@@ -1,0 +1,20 @@
+//! # dm-baselines — the stores DeepMapping is compared against
+//!
+//! Section V-A3 of the paper evaluates DeepMapping against:
+//!
+//! * **AB / ABC-{D,G,Z,L}** — array-based partitions (serialized sorted arrays),
+//!   uncompressed or compressed with Dictionary/Gzip/Z-Standard/LZMA,
+//! * **HB / HBC-{Z,L}** — hash-based partitions (serialized hash tables),
+//! * **DS** — DeepSqueeze, a lossy semantic (autoencoder-based) compressor.
+//!
+//! [`PartitionedStore`] implements the array and hash families on top of the
+//! `dm-storage` substrate (simulated disk + LRU buffer pool), so their latency
+//! profiles reproduce the paper's cost structure: partition location, load,
+//! decompression, then binary-search or hash lookup.  [`DeepSqueezeStore`] implements
+//! the DS baseline on top of `dm-nn`.
+
+pub mod deepsqueeze;
+pub mod partitioned;
+
+pub use deepsqueeze::{DeepSqueezeConfig, DeepSqueezeStore};
+pub use partitioned::{PartitionedStore, PartitionedStoreConfig};

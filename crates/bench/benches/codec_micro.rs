@@ -1,0 +1,65 @@
+//! Criterion micro-benchmark: throughput and ratio of every codec on tabular payloads.
+//!
+//! Supports Section V-A4's compression-tuning discussion: the "Z" codec must be the
+//! fast one, "L" the slow/high-ratio one, with "G" and "D" in between.  Run with
+//! `cargo bench -p dm-bench --bench codec_micro`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dm_compress::{Codec, CompressionStats};
+
+/// A payload that looks like a serialized categorical partition: fixed-width rows
+/// drawn from small domains, with mild long-range repetition.
+fn tabular_payload(rows: usize) -> Vec<u8> {
+    (0..rows as u32)
+        .flat_map(|i| {
+            let status = (i % 3) as u8;
+            let priority = (i % 5) as u8;
+            let clerk = (i % 97) as u8;
+            let flag = ((i / 7) % 2) as u8;
+            [status, priority, clerk, flag, 0, (i % 11) as u8, 0, 0]
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let payload = tabular_payload(32_768);
+    let codecs: Vec<(&str, Codec)> = vec![
+        ("dictionary(D)", Codec::Dictionary { record_width: 8 }),
+        ("deflate(G)", Codec::Deflate),
+        ("lz(Z)", Codec::Lz),
+        ("lzhuff(L)", Codec::LzHuff),
+    ];
+
+    // Print the ratios once so the bench output documents the codec positioning.
+    println!("codec compression ratios on a {}-byte tabular payload:", payload.len());
+    for (name, codec) in &codecs {
+        let stats = CompressionStats::measure(codec, &payload);
+        println!("  {name:<14} ratio {:.3}", stats.ratio());
+    }
+
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    for (name, codec) in &codecs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), codec, |b, codec| {
+            b.iter(|| codec.compress(std::hint::black_box(&payload)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    for (name, codec) in &codecs {
+        let compressed = codec.compress(&payload);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, compressed| {
+            b.iter(|| codec.decompress(std::hint::black_box(compressed)).expect("round trip"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_codecs
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Figure 10: progression of the compression-ratio vs latency trade-off during the
+//! MHAS search (TPC-H part table).
+//!
+//! Each dot in the paper's figure is one sampled architecture, colored by search
+//! stage; early samples scatter widely, later samples cluster in a small
+//! low-ratio/low-latency region.  This harness prints each sampled architecture's
+//! (stage, compression ratio, estimated latency, parameter count) and a per-stage
+//! dispersion summary that makes the clustering visible in text form.
+
+use dm_bench::{report, BenchScale};
+use dm_core::encoder::MappingSchema;
+use dm_core::{DeepMappingConfig, MhasConfig, MhasSearch, SearchSample};
+use dm_data::tpch::TpchConfig;
+use dm_data::TpchGenerator;
+
+fn stage_of(sample: &SearchSample, iterations: usize, stages: usize) -> usize {
+    (sample.iteration * stages / iterations.max(1)).min(stages - 1)
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    report::banner(
+        "Figure 10",
+        &format!(
+            "compression ratio vs latency of sampled architectures across MHAS search stages (TPC-H part, scale {})",
+            scale.factor
+        ),
+    );
+    let dataset = TpchGenerator::new(TpchConfig::scale(scale.factor)).part();
+    let rows = dataset.rows();
+    let schema = MappingSchema::infer(&rows, 0).expect("schema");
+    let config = MhasConfig {
+        iterations: 48,
+        model_epochs: 1,
+        controller_every: 4,
+        sample_rows: 2048,
+        ..MhasConfig::default()
+    };
+    let mut search = MhasSearch::new(&schema, config.clone(), 0xf10).expect("search");
+    let outcome = search
+        .run(&rows, &DeepMappingConfig::default())
+        .expect("search run");
+
+    let stages = 4usize;
+    report::row(
+        "sample",
+        &[
+            "stage".to_string(),
+            "ratio".to_string(),
+            "latency(ms)".to_string(),
+            "params".to_string(),
+        ],
+    );
+    for sample in &outcome.history {
+        report::row(
+            &format!("iter {}", sample.iteration),
+            &[
+                format!("{}", stage_of(sample, config.iterations, stages)),
+                report::ratio_cell(sample.compression_ratio),
+                report::latency_cell(sample.estimated_latency_ms),
+                format!("{}", sample.parameters),
+            ],
+        );
+    }
+
+    println!();
+    report::row(
+        "stage summary",
+        &[
+            "mean ratio".to_string(),
+            "ratio spread".to_string(),
+            "mean lat".to_string(),
+            "samples".to_string(),
+        ],
+    );
+    for stage in 0..stages {
+        let members: Vec<&SearchSample> = outcome
+            .history
+            .iter()
+            .filter(|s| stage_of(s, config.iterations, stages) == stage)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mean_ratio =
+            members.iter().map(|s| s.compression_ratio).sum::<f64>() / members.len() as f64;
+        let spread = members
+            .iter()
+            .map(|s| (s.compression_ratio - mean_ratio).abs())
+            .fold(0.0f64, f64::max);
+        let mean_lat =
+            members.iter().map(|s| s.estimated_latency_ms).sum::<f64>() / members.len() as f64;
+        report::row(
+            &format!("stage {stage}"),
+            &[
+                report::ratio_cell(mean_ratio),
+                report::ratio_cell(spread),
+                report::latency_cell(mean_lat),
+                format!("{}", members.len()),
+            ],
+        );
+    }
+    println!();
+    println!("(later stages should show lower mean ratio and smaller spread — the clustering of Figure 10)");
+}

@@ -1,0 +1,77 @@
+//! Figure 4: compression-ratio vs lookup-latency trade-off on TPC-H (small machine).
+//!
+//! The paper plots, for every TPC-H table and every system, the pair
+//! (compression ratio, lookup latency) normalized so the uncompressed array-based
+//! representation (AB) sits at (1.0, 1.0); points closer to the origin are better.
+//! This harness prints the same scatter data, one row per (table, system).
+
+use dm_bench::{
+    build_baselines, build_deepmapping_pair, build_deepsqueeze, measure_lookup, report, storage_mb,
+    BenchScale, MachineProfile,
+};
+use dm_data::tpch::{TpchConfig, TpchTable};
+use dm_data::{LookupWorkload, TpchGenerator};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    report::banner(
+        "Figure 4",
+        &format!(
+            "TPC-H trade-off between compression ratio and lookup latency (scale factor {}, small machine)",
+            scale.factor
+        ),
+    );
+    let generator = TpchGenerator::new(TpchConfig::scale(scale.factor));
+    let batch = scale.batch(100_000);
+
+    report::row(
+        "table / system",
+        &[
+            "size (MB)".to_string(),
+            "ratio".to_string(),
+            "latency(ms)".to_string(),
+            "lat. ratio".to_string(),
+        ],
+    );
+
+    for table in TpchTable::all() {
+        let dataset = generator.table(table);
+        let uncompressed_mb = dataset.uncompressed_bytes() as f64 / (1024.0 * 1024.0);
+        let machine = MachineProfile::small(dataset.uncompressed_bytes(), 0.3);
+        let workload = LookupWorkload::hits_only(batch);
+        let keys = workload.generate(&dataset);
+
+        let mut systems = build_baselines(&dataset, &machine);
+        systems.extend(build_deepmapping_pair(&dataset, &machine));
+        if let Some(ds) = build_deepsqueeze(&dataset, &machine) {
+            systems.push(ds);
+        }
+
+        // Latency of the uncompressed array baseline is the normalization reference.
+        let mut reference_latency_ms = None;
+        let mut rows = Vec::new();
+        for system in &mut systems {
+            let latency = measure_lookup(system, &keys);
+            let size_mb = storage_mb(system);
+            if system.name == "AB" {
+                reference_latency_ms = Some(latency.total_ms().max(1e-6));
+            }
+            rows.push((system.name.clone(), size_mb, latency.total_ms()));
+        }
+        let reference_latency_ms = reference_latency_ms.unwrap_or(1.0);
+
+        for (name, size_mb, latency_ms) in rows {
+            report::row(
+                &format!("{} / {}", table.name(), name),
+                &[
+                    report::size_cell(size_mb),
+                    report::ratio_cell(size_mb / uncompressed_mb.max(1e-9)),
+                    report::latency_cell(latency_ms),
+                    report::ratio_cell(latency_ms / reference_latency_ms),
+                ],
+            );
+        }
+        println!();
+    }
+    println!("(ratio and lat. ratio are relative to the uncompressed array baseline AB = 1.0)");
+}

@@ -1,0 +1,70 @@
+//! Figure 6: DeepMapping storage breakdown on the TPC-H tables.
+//!
+//! For every TPC-H table the paper shows (a) how the hybrid structure's footprint
+//! splits across existence vector / model / auxiliary table and (b) what percentage of
+//! tuples is stored in the model versus the auxiliary table, at SF 1 and SF 10.
+//! The same breakdown is printed here at two scales (the benchmark scale and 4× it,
+//! standing in for the paper's SF 1 vs SF 10 pair).
+
+use dm_bench::{report, BenchScale};
+use dm_compress::Codec;
+use dm_core::{DeepMapping, DeepMappingConfig, TrainingConfig};
+use dm_data::tpch::{TpchConfig, TpchTable};
+use dm_data::TpchGenerator;
+use dm_storage::DiskProfile;
+
+fn breakdown_at_scale(scale_factor: f64, label: &str) {
+    println!();
+    println!("--- {label} (generator scale {scale_factor}) ---");
+    report::row(
+        "table",
+        &[
+            "exist %".to_string(),
+            "model %".to_string(),
+            "aux %".to_string(),
+            "in model %".to_string(),
+            "in aux %".to_string(),
+            "ratio".to_string(),
+        ],
+    );
+    let generator = TpchGenerator::new(TpchConfig::scale(scale_factor));
+    let config = DeepMappingConfig::default()
+        .with_codec(Codec::Lz)
+        .with_partition_bytes(32 * 1024)
+        .with_disk_profile(DiskProfile::free())
+        .with_training(TrainingConfig {
+            epochs: 40,
+            batch_size: 512,
+            ..TrainingConfig::default()
+        });
+    for table in TpchTable::all() {
+        let dataset = generator.table(table);
+        let dm = DeepMapping::build(&dataset.rows(), &config).expect("build");
+        let breakdown = dm.storage_breakdown();
+        let (exist, model, aux) = breakdown.share_percentages();
+        let in_model = breakdown.memorized_fraction() * 100.0;
+        report::row(
+            table.name(),
+            &[
+                format!("{exist:.2}"),
+                format!("{model:.2}"),
+                format!("{aux:.2}"),
+                format!("{in_model:.1}"),
+                format!("{:.1}", 100.0 - in_model),
+                report::ratio_cell(breakdown.compression_ratio()),
+            ],
+        );
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    report::banner(
+        "Figure 6",
+        "DeepMapping storage breakdown (existence vector / model / auxiliary table) and memorized-tuple share",
+    );
+    breakdown_at_scale(scale.factor, "scale A (stands in for SF=1)");
+    breakdown_at_scale(scale.factor * 4.0, "scale B (stands in for SF=10)");
+    println!();
+    println!("(percentages of the hybrid structure footprint; 'in model %' = tuples not stored in Taux)");
+}

@@ -1,0 +1,64 @@
+//! Figure 7: breakdown of end-to-end lookup latency on the TPC-H tables
+//! (small machine, B = 100 K scaled).
+//!
+//! The paper splits latency into existence check, neural-network inference, auxiliary
+//! lookup, data loading + decompression, partition location and "other", and shows
+//! that for DeepMapping the load/decompress component nearly disappears while it
+//! dominates for the compressed baselines (and deserialization overwhelms the hash
+//! baselines).  The same per-phase breakdown is printed here for a representative
+//! system set.
+
+use dm_bench::{
+    build_baselines, build_deepmapping_pair, measure_lookup, report, BenchScale, MachineProfile,
+};
+use dm_data::tpch::{TpchConfig, TpchTable};
+use dm_data::{LookupWorkload, TpchGenerator};
+use dm_storage::Phase;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    report::banner(
+        "Figure 7",
+        &format!(
+            "end-to-end latency breakdown per phase (scale {}, small machine, B=100K scaled)",
+            scale.factor
+        ),
+    );
+    let generator = TpchGenerator::new(TpchConfig::scale(scale.factor));
+    let batch = scale.batch(100_000);
+    let interesting = ["AB", "HB", "ABC-Z", "HBC-Z", "DM-Z"];
+
+    for table in TpchTable::all() {
+        let dataset = generator.table(table);
+        let machine = MachineProfile::small(dataset.uncompressed_bytes(), 0.2);
+        let keys = LookupWorkload::hits_only(batch).generate(&dataset);
+        let mut systems = build_baselines(&dataset, &machine);
+        systems.extend(build_deepmapping_pair(&dataset, &machine));
+
+        println!();
+        println!("--- {} ---", table.name());
+        let mut header: Vec<String> = Phase::all().iter().map(|p| p.label().to_string()).collect();
+        header.push("sim. I/O".to_string());
+        header.push("total".to_string());
+        report::row("system", &header);
+
+        for system in systems
+            .iter_mut()
+            .filter(|s| interesting.contains(&s.name.as_str()))
+        {
+            let wall = measure_lookup(system, &keys);
+            let snapshot = system.metrics.snapshot();
+            let mut cells: Vec<String> = Phase::all()
+                .iter()
+                .map(|&p| report::latency_cell(snapshot.phase(p).as_secs_f64() * 1e3))
+                .collect();
+            cells.push(report::latency_cell(
+                snapshot.simulated_io_nanos as f64 / 1e6,
+            ));
+            cells.push(report::latency_cell(wall.total_ms()));
+            report::row(&system.name, &cells);
+        }
+    }
+    println!();
+    println!("(all values in milliseconds; 'sim. I/O' is the modelled disk time of partition loads)");
+}

@@ -1,0 +1,58 @@
+//! Figure 8: average per-tuple insertion time vs insertion batch size on the
+//! multi-column low-correlation synthetic dataset.
+//!
+//! The paper shows DeepMapping's insertions (existence-bit set + one inference + an
+//! auxiliary upsert for misclassified rows, no partition rewrites) are cheaper per
+//! tuple than the array/hash baselines, which must load, modify, re-serialize and
+//! re-compress partitions.
+
+use dm_bench::{build_baselines, build_deepmapping_pair, report, BenchScale, MachineProfile};
+use dm_data::{ModificationWorkload, SyntheticConfig};
+use std::time::Instant;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    report::banner(
+        "Figure 8",
+        &format!(
+            "average insertion time per tuple vs batch size, multi-column low-correlation synthetic (scale {})",
+            scale.factor
+        ),
+    );
+    let rows = scale.rows(2_000_000);
+    let dataset = SyntheticConfig::multi_low(rows).generate();
+    let machine = MachineProfile::small(dataset.uncompressed_bytes(), 0.3);
+    let workload = ModificationWorkload::default();
+    let interesting = ["AB", "HB", "ABC-Z", "HBC-Z", "DM-Z"];
+    let batch_sizes = [1usize, 10, 100, 1_000, 10_000];
+
+    let mut header: Vec<String> = batch_sizes.iter().map(|b| format!("batch {b}")).collect();
+    header.insert(0, "".to_string());
+    report::row("system", &header[1..].to_vec());
+
+    let mut systems = build_baselines(&dataset, &machine);
+    systems.extend(build_deepmapping_pair(&dataset, &machine));
+    for system in systems
+        .iter_mut()
+        .filter(|s| interesting.contains(&s.name.as_str()))
+    {
+        let mut cells = Vec::new();
+        let mut next_key_offset = 0u64;
+        for &batch in &batch_sizes {
+            // Fresh keys per batch so inserts never collide across measurements.
+            let mut inserts = workload.insertion_batch_empirical(&dataset, batch);
+            for row in &mut inserts {
+                row.key += next_key_offset;
+            }
+            next_key_offset += batch as u64 + 1;
+            let start = Instant::now();
+            system.store.insert(&inserts).expect("insert");
+            let elapsed = start.elapsed();
+            let per_tuple_us = elapsed.as_secs_f64() * 1e6 / batch as f64;
+            cells.push(format!("{per_tuple_us:.1}us"));
+        }
+        report::row(&system.name, &cells);
+    }
+    println!();
+    println!("(average wall-clock time per inserted tuple; lower is better)");
+}

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmark: per-batch lookup latency of DeepMapping vs the
+//! compressed array baseline when everything fits in memory.
+//!
+//! Complements Table II: with ample memory the baselines stop paying I/O, so the
+//! comparison reduces to inference + auxiliary search vs binary search — the regime
+//! where the paper notes hash/array baselines can be competitive.  Run with
+//! `cargo bench -p dm-bench --bench lookup_micro`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dm_baselines::{PartitionedStore, PartitionedStoreConfig};
+use dm_compress::Codec;
+use dm_core::{DeepMapping, DeepMappingConfig, TrainingConfig};
+use dm_data::{LookupWorkload, SyntheticConfig};
+use dm_storage::{DiskProfile, KeyValueStore, Metrics};
+
+fn bench_lookup(c: &mut Criterion) {
+    let dataset = SyntheticConfig::multi_high(20_000).generate();
+    let rows = dataset.rows();
+    let value_columns = dataset.num_value_columns();
+
+    let mut abc_z = PartitionedStore::build(
+        &rows,
+        value_columns,
+        PartitionedStoreConfig::array(Codec::Lz).with_disk_profile(DiskProfile::free()),
+        Metrics::new(),
+    )
+    .expect("ABC-Z build");
+
+    let dm_config = DeepMappingConfig::dm_z()
+        .with_disk_profile(DiskProfile::free())
+        .with_training(TrainingConfig {
+            epochs: 25,
+            batch_size: 4096,
+            ..TrainingConfig::default()
+        });
+    let mut dm = DeepMapping::build(&rows, &dm_config).expect("DM build");
+
+    let mut group = c.benchmark_group("lookup_batch");
+    for &batch in &[100usize, 1_000, 10_000] {
+        let keys = LookupWorkload::hits_only(batch).generate(&dataset);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("ABC-Z", batch), &keys, |b, keys| {
+            b.iter(|| {
+                KeyValueStore::lookup_batch(&mut abc_z, std::hint::black_box(keys)).expect("lookup")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("DM-Z", batch), &keys, |b, keys| {
+            b.iter(|| {
+                KeyValueStore::lookup_batch(&mut dm, std::hint::black_box(keys)).expect("lookup")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_lookup
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Table I: offline storage size and query latency when the dataset exceeds the
+//! available memory pool (small machine).
+//!
+//! The paper's headline table: on a 4 GB machine with a 3 GB memory pool, DeepMapping
+//! keeps its entire hybrid structure resident while every baseline keeps reloading and
+//! decompressing evicted partitions, giving DM-Z/DM-L both the smallest storage and
+//! the lowest latency (up to 15×/44× on the synthetic workloads).  Here the same
+//! scenario is reproduced with the memory pool set to 20 % of each dataset's
+//! uncompressed size.
+
+use dm_bench::{
+    build_baselines, build_deepmapping_pair, build_deepsqueeze, measure_lookup, report, storage_mb,
+    BenchScale, MachineProfile,
+};
+use dm_data::tpch::TpchConfig;
+use dm_data::{CropConfig, LookupWorkload, SyntheticConfig, TpchGenerator};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    report::banner(
+        "Table I",
+        &format!(
+            "storage size and lookup latency, dataset exceeds the memory pool (scale {}, pool = 20% of data)",
+            scale.factor
+        ),
+    );
+
+    let synthetic_rows = scale.rows(2_000_000);
+    let workloads: Vec<(&str, dm_data::Dataset)> = vec![
+        (
+            "TPC-H lineitem",
+            TpchGenerator::new(TpchConfig::scale(scale.factor)).lineitem(),
+        ),
+        (
+            "Synthetic single/low",
+            SyntheticConfig::single_low(synthetic_rows).generate(),
+        ),
+        (
+            "Synthetic single/high",
+            SyntheticConfig::single_high(synthetic_rows).generate(),
+        ),
+        (
+            "Synthetic multi/low",
+            SyntheticConfig::multi_low(synthetic_rows).generate(),
+        ),
+        (
+            "Synthetic multi/high",
+            SyntheticConfig::multi_high(synthetic_rows).generate(),
+        ),
+        (
+            "Real-world crop",
+            // A 128x128 raster keeps the largest Table-I workload tractable on one core.
+            CropConfig {
+                width: 128,
+                height: 128,
+                ..CropConfig::small()
+            }
+            .generate(),
+        ),
+    ];
+
+    let batch_sizes = [
+        ("B=1K", scale.batch(1_000)),
+        ("B=10K", scale.batch(10_000)),
+        ("B=100K", scale.batch(100_000)),
+    ];
+
+    for (label, dataset) in workloads {
+        println!();
+        println!(
+            "--- {label}: {} rows, {:.1} MB uncompressed ---",
+            dataset.num_rows(),
+            dataset.uncompressed_bytes() as f64 / (1024.0 * 1024.0)
+        );
+        let machine = MachineProfile::small(dataset.uncompressed_bytes(), 0.2);
+        let mut systems = build_baselines(&dataset, &machine);
+        systems.extend(build_deepmapping_pair(&dataset, &machine));
+        let ds = build_deepsqueeze(&dataset, &machine);
+        let ds_failed = ds.is_none();
+        if let Some(ds) = ds {
+            systems.push(ds);
+        }
+
+        let mut header = vec!["size (MB)".to_string()];
+        header.extend(batch_sizes.iter().map(|(n, _)| format!("lat {n} (ms)")));
+        report::row("system", &header);
+
+        for system in &mut systems {
+            let mut cells = vec![report::size_cell(storage_mb(system))];
+            for &(_, batch) in &batch_sizes {
+                let keys = LookupWorkload::hits_only(batch).generate(&dataset);
+                let latency = measure_lookup(system, &keys);
+                cells.push(report::latency_cell(latency.total_ms()));
+            }
+            report::row(&system.name, &cells);
+        }
+        if ds_failed {
+            report::row("DS", &vec!["failed".to_string(); batch_sizes.len() + 1]);
+        }
+    }
+    println!();
+    println!("(latencies include the simulated disk I/O time of partition loads)");
+}

@@ -1,0 +1,83 @@
+//! Table II: offline storage size and query latency when the dataset fits the memory
+//! pool, on the small-, medium- and large-size machine profiles.
+//!
+//! The paper's observations reproduced here: when everything fits in memory the
+//! latency gap narrows (the bottleneck is lookup work, not I/O), DeepMapping still
+//! wins on storage, and on strongly key-correlated tables (customer_demographics) it
+//! also wins on latency because almost nothing is ever fetched from the auxiliary
+//! table.
+
+use dm_bench::{
+    build_baselines, build_deepmapping_pair, build_deepsqueeze, measure_lookup, report, storage_mb,
+    BenchScale, MachineProfile,
+};
+use dm_data::tpcds::TpcdsConfig;
+use dm_data::tpch::TpchConfig;
+use dm_data::{LookupWorkload, TpcdsGenerator, TpchGenerator};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    report::banner(
+        "Table II",
+        &format!(
+            "storage size and lookup latency, dataset fits the memory pool (scale {}, B=100K scaled)",
+            scale.factor
+        ),
+    );
+    let tpch = TpchGenerator::new(TpchConfig::scale(scale.factor));
+    let tpcds = TpcdsGenerator::new(TpcdsConfig::scale(scale.factor));
+    let batch = scale.batch(100_000);
+
+    let workloads: Vec<(&str, dm_data::Dataset)> = vec![
+        ("TPC-H orders", tpch.orders()),
+        ("TPC-H part", tpch.part()),
+        ("TPC-DS catalog_sales", tpcds.catalog_sales()),
+        ("TPC-DS customer_demographics", tpcds.customer_demographics()),
+        ("TPC-DS catalog_returns", tpcds.catalog_returns()),
+    ];
+    let machines = [
+        ("latency-small", MachineProfile::small(usize::MAX, 1.0)),
+        ("latency-medium", MachineProfile::medium()),
+        ("latency-large", MachineProfile::large()),
+    ];
+
+    for (label, dataset) in workloads {
+        println!();
+        println!(
+            "--- {label}: {} rows, {:.1} MB uncompressed ---",
+            dataset.num_rows(),
+            dataset.uncompressed_bytes() as f64 / (1024.0 * 1024.0)
+        );
+        let mut header = vec!["size (MB)".to_string()];
+        header.extend(machines.iter().map(|(n, _)| format!("{n} (ms)")));
+        report::row("system", &header);
+
+        // Build per machine profile so the disk model matches; sizes are identical
+        // across profiles, so report the small-machine size.
+        let keys = LookupWorkload::hits_only(batch).generate(&dataset);
+        // Collect per-system rows: name -> (size, [latency per machine]).
+        let mut table: Vec<(String, f64, Vec<f64>)> = Vec::new();
+        for (mi, (_, machine)) in machines.iter().enumerate() {
+            let mut systems = build_baselines(&dataset, machine);
+            systems.extend(build_deepmapping_pair(&dataset, machine));
+            if let Some(ds) = build_deepsqueeze(&dataset, machine) {
+                systems.push(ds);
+            }
+            for system in &mut systems {
+                let latency = measure_lookup(system, &keys).total_ms();
+                if mi == 0 {
+                    table.push((system.name.clone(), storage_mb(system), vec![latency]));
+                } else if let Some(row) = table.iter_mut().find(|(n, _, _)| *n == system.name) {
+                    row.2.push(latency);
+                }
+            }
+        }
+        for (name, size, latencies) in table {
+            let mut cells = vec![report::size_cell(size)];
+            cells.extend(latencies.iter().map(|&l| report::latency_cell(l)));
+            report::row(&name, &cells);
+        }
+    }
+    println!();
+    println!("(small = constrained pool + edge SSD, medium = NVMe, large = in-memory)");
+}

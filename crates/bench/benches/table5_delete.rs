@@ -1,0 +1,19 @@
+//! Table V: storage size and query latency after deleting growing volumes of data
+//! (multi-column synthetic datasets).
+//!
+//! Deletions in DeepMapping only flip existence bits and drop auxiliary entries
+//! (Algorithm 4), so both storage and latency improve monotonically; the baselines
+//! must rewrite partitions.  DM-Z1 additionally retrains after the second increment,
+//! which re-optimizes the hybrid structure for the smaller dataset.
+
+use dm_bench::sweeps::{run_table, SweepKind};
+use dm_bench::{report, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    report::banner(
+        "Table V",
+        "storage and query latency after deleting growing volumes of data",
+    );
+    run_table(&scale, SweepKind::Delete);
+}

@@ -1,0 +1,185 @@
+//! Modification sweeps shared by the Table III / IV / V bench targets.
+//!
+//! Each sweep starts from a synthetic dataset, applies a sequence of modification
+//! increments (insertions that follow or violate the original distribution, or
+//! deletions), and after every increment reports each system's storage footprint and
+//! its batch-lookup latency over the *current* key population — exactly the rows of
+//! the paper's Tables III–V.
+
+use crate::{
+    build_baselines, build_deepmapping, measure_lookup, report, storage_mb, BenchScale,
+    MachineProfile, SystemUnderTest,
+};
+use dm_compress::Codec;
+use dm_core::TrainingConfig;
+use dm_data::{LookupWorkload, ModificationWorkload, SyntheticConfig};
+use dm_storage::Row;
+
+/// Which modification a sweep applies at each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepKind {
+    /// Insert rows generated from the dataset's own distribution (Table III).
+    InsertInDistribution,
+    /// Insert rows whose values are uniform-random (Table IV).
+    InsertOffDistribution,
+    /// Delete existing rows (Table V).
+    Delete,
+}
+
+impl SweepKind {
+    fn describes(&self) -> &'static str {
+        match self {
+            SweepKind::InsertInDistribution => "inserted data follows the original distribution",
+            SweepKind::InsertOffDistribution => {
+                "inserted data does NOT follow the original distribution"
+            }
+            SweepKind::Delete => "rows are deleted in 10% increments",
+        }
+    }
+}
+
+/// The baseline systems the paper's modification tables include.
+const INTERESTING_BASELINES: [&str; 4] = ["AB", "ABC-Z", "HB", "HBC-Z"];
+/// Number of modification increments (the paper's 100–600 MB steps on a 1 GB base).
+const STEPS: usize = 6;
+/// The step after which DM-Z1 retrains (the paper retrains at 200 MB ≈ 2 increments).
+const RETRAIN_STEP: usize = 2;
+
+/// Builds the system set of Tables III–V: the four partitioned baselines plus DM-Z
+/// (never retrained) and DM-Z1 (retrained at [`RETRAIN_STEP`]).
+fn build_systems(
+    dataset: &dm_data::Dataset,
+    machine: &MachineProfile,
+) -> Vec<SystemUnderTest> {
+    let training = TrainingConfig {
+        epochs: 30,
+        batch_size: 512,
+        ..TrainingConfig::default()
+    };
+    let mut systems: Vec<SystemUnderTest> = build_baselines(dataset, machine)
+        .into_iter()
+        .filter(|s| INTERESTING_BASELINES.contains(&s.name.as_str()))
+        .collect();
+    systems.push(build_deepmapping(dataset, Codec::Lz, machine, training));
+    let mut dm_z1 = build_deepmapping(dataset, Codec::Lz, machine, training);
+    dm_z1.name = "DM-Z1".to_string();
+    systems.push(dm_z1);
+    systems
+}
+
+/// Runs one modification sweep over one synthetic dataset and prints its table block.
+pub fn run_sweep(label: &str, config: SyntheticConfig, scale: &BenchScale, kind: SweepKind) {
+    let dataset = config.generate();
+    let base_rows = dataset.num_rows();
+    let increment = (base_rows / 10).max(1);
+    let machine = MachineProfile::small(dataset.uncompressed_bytes(), 0.3);
+    let batch = scale.batch(100_000);
+
+    println!();
+    println!(
+        "--- {label}: {} base rows, increments of {} rows ({}) ---",
+        base_rows,
+        increment,
+        kind.describes()
+    );
+
+    // Pre-generate the modification increments so every system sees identical data.
+    let modification = ModificationWorkload::default();
+    let mut insert_increments: Vec<Vec<Row>> = Vec::new();
+    let mut delete_increments: Vec<Vec<u64>> = Vec::new();
+    match kind {
+        SweepKind::InsertInDistribution | SweepKind::InsertOffDistribution => {
+            let mut next_key = dataset.max_key() + 1;
+            for step in 0..STEPS {
+                let rows = if kind == SweepKind::InsertOffDistribution {
+                    config.generate_range_off_distribution(next_key, increment, 7 + step as u64)
+                } else {
+                    config.generate_range(next_key, increment)
+                };
+                next_key += increment as u64;
+                insert_increments.push(rows);
+            }
+        }
+        SweepKind::Delete => {
+            // One shuffled pass over the existing keys, consumed in increments.
+            let all = modification.deletion_batch(&dataset, increment * STEPS);
+            for chunk in all.chunks(increment) {
+                delete_increments.push(chunk.to_vec());
+            }
+        }
+    }
+
+    let mut header: Vec<String> = Vec::new();
+    for step in 0..=STEPS {
+        let sign = if kind == SweepKind::Delete { "-" } else { "+" };
+        header.push(format!("{sign}{}%", step * 10));
+    }
+    report::row("system (storage MB)", &header);
+
+    let mut systems = build_systems(&dataset, &machine);
+    let mut storage_rows: Vec<(String, Vec<String>)> = Vec::new();
+    let mut latency_rows: Vec<(String, Vec<String>)> = Vec::new();
+    for system in &mut systems {
+        let mut storage_cells = Vec::with_capacity(STEPS + 1);
+        let mut latency_cells = Vec::with_capacity(STEPS + 1);
+        let mut live_keys: Vec<u64> = dataset.keys.clone();
+        for step in 0..=STEPS {
+            if step > 0 {
+                match kind {
+                    SweepKind::InsertInDistribution | SweepKind::InsertOffDistribution => {
+                        let rows = &insert_increments[step - 1];
+                        system.store.insert(rows).expect("insert");
+                        live_keys.extend(rows.iter().map(|r| r.key));
+                    }
+                    SweepKind::Delete => {
+                        if let Some(keys) = delete_increments.get(step - 1) {
+                            system.store.delete(keys).expect("delete");
+                            let victims: std::collections::HashSet<u64> =
+                                keys.iter().copied().collect();
+                            live_keys.retain(|k| !victims.contains(k));
+                        }
+                    }
+                }
+                if system.name == "DM-Z1" && step == RETRAIN_STEP {
+                    system.store.maintenance().expect("retrain");
+                }
+            }
+            storage_cells.push(report::size_cell(storage_mb(system)));
+            let max_key = live_keys.iter().copied().max().unwrap_or(0);
+            let keys = LookupWorkload::hits_only(batch).generate_from_keys(&live_keys, max_key);
+            let latency = measure_lookup(system, &keys);
+            latency_cells.push(report::latency_cell(latency.total_ms()));
+        }
+        storage_rows.push((system.name.clone(), storage_cells));
+        latency_rows.push((system.name.clone(), latency_cells));
+    }
+    for (name, cells) in storage_rows {
+        report::row(&format!("{name}-Storage"), &cells);
+    }
+    report::row("system (query ms)", &header);
+    for (name, cells) in latency_rows {
+        report::row(&format!("{name}-Query"), &cells);
+    }
+}
+
+/// Runs a full table (both synthetic datasets) for the given sweep kind.
+pub fn run_table(scale: &BenchScale, kind: SweepKind) {
+    let rows = scale.rows(2_000_000);
+    run_sweep(
+        "Multi-column, low correlation",
+        SyntheticConfig::multi_low(rows),
+        scale,
+        kind,
+    );
+    run_sweep(
+        "Multi-column, high correlation",
+        SyntheticConfig::multi_high(rows),
+        scale,
+        kind,
+    );
+    println!();
+    println!(
+        "(DM-Z never retrains; DM-Z1 retrains after the {}0% increment, as in the paper)",
+        RETRAIN_STEP
+    );
+}

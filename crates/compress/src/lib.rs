@@ -1,0 +1,75 @@
+//! # dm-compress — compression codecs for DeepMapping and its baselines
+//!
+//! The DeepMapping evaluation (Section V of the paper) compresses partitions with
+//! Z-Standard, LZMA, Gzip and Dictionary Encoding and compares storage/latency against
+//! DeepMapping, whose auxiliary table is itself compressed with the same codecs.
+//! This crate provides self-contained Rust equivalents so the whole pipeline runs
+//! without native libraries:
+//!
+//! | Paper codec      | This crate          | Positioning preserved                      |
+//! |------------------|---------------------|--------------------------------------------|
+//! | Z-Standard ("Z") | [`codec::Codec::Lz`]        | fast compress/decompress, medium ratio     |
+//! | LZMA ("L")       | [`codec::Codec::LzHuff`]    | slower, best ratio                         |
+//! | Gzip ("G")       | [`codec::Codec::Deflate`]   | between the two                            |
+//! | Dictionary ("D") | [`codec::Codec::Dictionary`]| cheapest, lowest ratio, no match search    |
+//!
+//! Lower-level building blocks ([`varint`], [`rle`], [`bitpack`], [`huffman`],
+//! [`lz`]) are public because the storage layer and the auxiliary-table format reuse
+//! them directly.
+
+pub mod bitpack;
+pub mod codec;
+pub mod dictionary;
+pub mod frame;
+pub mod huffman;
+pub mod lz;
+pub mod rle;
+pub mod varint;
+
+pub use codec::{Codec, CompressionStats};
+pub use frame::{compress_frame, decompress_frame};
+
+/// Errors produced while compressing or decompressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The compressed buffer is malformed, truncated or fails its checksum.
+    Corrupt(String),
+    /// The requested codec or parameter is not supported.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::Corrupt(msg) => write!(f, "corrupt compressed data: {msg}"),
+            CompressError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CompressError>;
+
+/// A 64-bit FNV-1a checksum used by the frame format to detect corruption.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+        assert_eq!(fnv1a64(b"deepmapping"), fnv1a64(b"deepmapping"));
+    }
+}

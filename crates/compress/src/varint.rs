@@ -1,0 +1,183 @@
+//! LEB128-style variable-length integer encoding.
+//!
+//! Varints are the workhorse of the partition and auxiliary-table formats: keys are
+//! delta-encoded and lengths/counts are small, so most integers fit in one or two
+//! bytes.  Encoding is the standard 7-bits-per-byte little-endian scheme with the high
+//! bit as a continuation flag; signed values use ZigZag.
+
+use crate::CompressError;
+
+/// Appends an unsigned varint to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned varint from `buf` starting at `pos`, returning the value and the
+/// new position.
+pub fn read_u64(buf: &[u8], mut pos: usize) -> crate::Result<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(pos)
+            .ok_or_else(|| CompressError::Corrupt("varint ran past end of buffer".into()))?;
+        pos += 1;
+        if shift >= 64 {
+            return Err(CompressError::Corrupt("varint longer than 10 bytes".into()));
+        }
+        value |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, pos));
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag-encodes a signed integer so that small magnitudes (positive or negative)
+/// produce small unsigned values.
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Appends a signed varint (ZigZag + LEB128).
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag_encode(value));
+}
+
+/// Reads a signed varint.
+pub fn read_i64(buf: &[u8], pos: usize) -> crate::Result<(i64, usize)> {
+    let (raw, pos) = read_u64(buf, pos)?;
+    Ok((zigzag_decode(raw), pos))
+}
+
+/// Delta-encodes a sorted (or nearly sorted) sequence of u64s as signed varint deltas
+/// prefixed by the element count.
+pub fn write_delta_sequence(out: &mut Vec<u8>, values: &[u64]) {
+    write_u64(out, values.len() as u64);
+    let mut prev = 0i64;
+    for &v in values {
+        let cur = v as i64;
+        write_i64(out, cur - prev);
+        prev = cur;
+    }
+}
+
+/// Inverse of [`write_delta_sequence`].
+pub fn read_delta_sequence(buf: &[u8], pos: usize) -> crate::Result<(Vec<u64>, usize)> {
+    let (count, mut pos) = read_u64(buf, pos)?;
+    if count > buf.len() as u64 * 10 {
+        return Err(CompressError::Corrupt(format!(
+            "delta sequence claims {count} elements in a {}-byte buffer",
+            buf.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(count as usize);
+    let mut prev = 0i64;
+    for _ in 0..count {
+        let (delta, next) = read_i64(buf, pos)?;
+        pos = next;
+        prev = prev.wrapping_add(delta);
+        values.push(prev as u64);
+    }
+    Ok((values, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip_across_magnitudes() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let (back, pos) = read_u64(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_values_use_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_u64(&mut buf, 200);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_to_small_codes() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        for v in [-1000i64, -1, 0, 1, 1000, i64::MIN, i64::MAX] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for v in [0i64, -5, 5, i64::MIN, i64::MAX, -123456789] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let (back, _) = read_i64(&buf, 0).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        assert!(read_u64(&buf[..buf.len() - 1], 0).is_err());
+        assert!(read_u64(&[], 0).is_err());
+    }
+
+    #[test]
+    fn overlong_varint_is_an_error() {
+        let buf = vec![0x80u8; 11];
+        assert!(read_u64(&buf, 0).is_err());
+    }
+
+    #[test]
+    fn delta_sequence_round_trip_sorted_and_unsorted() {
+        for values in [
+            vec![],
+            vec![42u64],
+            vec![1, 2, 3, 10, 11, 1000],
+            vec![5, 3, 9, 1, 7],
+            (0..1000u64).map(|v| v * 7 + 3).collect(),
+        ] {
+            let mut buf = Vec::new();
+            write_delta_sequence(&mut buf, &values);
+            let (back, pos) = read_delta_sequence(&buf, 0).unwrap();
+            assert_eq!(back, values);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn sorted_deltas_are_compact() {
+        let values: Vec<u64> = (1_000_000..1_001_000u64).collect();
+        let mut buf = Vec::new();
+        write_delta_sequence(&mut buf, &values);
+        // 1000 consecutive values: ~1 byte per delta plus the first value and count.
+        assert!(buf.len() < 1100, "delta sequence took {} bytes", buf.len());
+    }
+}

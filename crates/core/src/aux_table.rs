@@ -1,0 +1,427 @@
+//! The auxiliary accuracy-assurance table `Taux` (Section IV-B1).
+//!
+//! Misclassified key-value pairs are sorted by key, split into equally-sized
+//! partitions, and each partition is compressed (the paper uses Z-Standard or LZMA)
+//! and stored on the simulated disk.  Lookups locate the partition covering a key,
+//! bring it into the LRU buffer pool (paying load + decompression on a miss) and
+//! binary-search inside it — Algorithm 1's validation step.
+//!
+//! The same structure absorbs modifications (Section IV-D): inserted/updated rows the
+//! model cannot infer are staged in an in-memory *delta* overlay and deleted keys in a
+//! tombstone set, so modifications never rewrite compressed partitions on the hot
+//! path.  `compact()` folds the overlay back into freshly compressed partitions and is
+//! invoked by the retraining workflow.
+
+use crate::Result;
+use dm_compress::Codec;
+use dm_storage::layout::{partition_rows, ArrayPartition};
+use dm_storage::{BufferPool, DiskProfile, Metrics, Phase, Row, SimulatedDisk};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Directory entry for one compressed auxiliary partition.
+#[derive(Debug, Clone, Copy)]
+struct AuxPartitionMeta {
+    disk_id: u64,
+    min_key: u64,
+    max_key: u64,
+    rows: usize,
+}
+
+/// The auxiliary accuracy-assurance table.
+pub struct AuxTable {
+    codec: Codec,
+    partition_bytes: usize,
+    value_columns: usize,
+    disk: SimulatedDisk,
+    pool: BufferPool<ArrayPartition>,
+    directory: Vec<AuxPartitionMeta>,
+    /// Rows added/updated since the last compaction (key → values).
+    delta: BTreeMap<u64, Vec<u32>>,
+    /// Keys removed from the compressed partitions since the last compaction.
+    tombstones: BTreeSet<u64>,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for AuxTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuxTable")
+            .field("partitions", &self.directory.len())
+            .field("delta_rows", &self.delta.len())
+            .field("tombstones", &self.tombstones.len())
+            .finish()
+    }
+}
+
+impl AuxTable {
+    /// Builds the table from the misclassified rows of the model evaluation pass.
+    pub fn build(
+        misclassified: &[Row],
+        value_columns: usize,
+        codec: Codec,
+        partition_bytes: usize,
+        memory_budget_bytes: usize,
+        disk_profile: DiskProfile,
+        metrics: Metrics,
+    ) -> Result<Self> {
+        let disk = SimulatedDisk::new(disk_profile);
+        let pool = BufferPool::new(memory_budget_bytes, metrics.clone());
+        let mut table = AuxTable {
+            codec,
+            partition_bytes,
+            value_columns,
+            disk,
+            pool,
+            directory: Vec::new(),
+            delta: BTreeMap::new(),
+            tombstones: BTreeSet::new(),
+            metrics,
+        };
+        table.write_partitions(misclassified)?;
+        Ok(table)
+    }
+
+    fn write_partitions(&mut self, rows: &[Row]) -> Result<()> {
+        for chunk in partition_rows(rows, self.value_columns, self.partition_bytes) {
+            let partition = ArrayPartition::from_rows(&chunk, self.value_columns)
+                .map_err(crate::CoreError::from)?;
+            let payload = partition.to_bytes();
+            let disk_id = self.disk.write_partition(&self.codec, &payload, &self.metrics);
+            self.directory.push(AuxPartitionMeta {
+                disk_id,
+                min_key: partition.min_key().expect("chunk not empty"),
+                max_key: partition.max_key().expect("chunk not empty"),
+                rows: partition.len(),
+            });
+        }
+        self.directory.sort_by_key(|m| m.min_key);
+        Ok(())
+    }
+
+    /// Number of value columns per row.
+    pub fn value_columns(&self) -> usize {
+        self.value_columns
+    }
+
+    /// Number of rows currently represented (partitions + delta − tombstoned rows).
+    ///
+    /// Tombstones only count against rows that actually live in a partition, so the
+    /// value is exact, not an estimate.
+    pub fn len(&self) -> usize {
+        let partition_rows: usize = self.directory.iter().map(|m| m.rows).sum();
+        partition_rows + self.delta.len() - self.tombstones.len()
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of compressed partitions.
+    pub fn partition_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Compressed on-disk footprint plus the in-memory overlay — the `size(Taux)` term
+    /// of Eq. 1.
+    pub fn size_bytes(&self) -> usize {
+        let overlay = self.delta.len() * Row::fixed_width(self.value_columns) + self.tombstones.len() * 8;
+        self.disk.total_bytes() + overlay
+    }
+
+    /// Locates the partition whose key range covers `key`.
+    fn locate(&self, key: u64) -> Option<usize> {
+        if self.directory.is_empty() {
+            return None;
+        }
+        let idx = match self.directory.binary_search_by_key(&key, |m| m.min_key) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        (key <= self.directory[idx].max_key).then_some(idx)
+    }
+
+    fn load_partition(&self, idx: usize) -> Result<Arc<ArrayPartition>> {
+        let meta = self.directory[idx];
+        let disk = &self.disk;
+        let metrics = &self.metrics;
+        self.pool
+            .get_or_load(meta.disk_id, || {
+                let payload = metrics.time(Phase::LoadAndDecompress, || {
+                    disk.read_partition(meta.disk_id, metrics)
+                })?;
+                let partition = metrics
+                    .time(Phase::LoadAndDecompress, || ArrayPartition::from_bytes(&payload))?;
+                let bytes = partition.len() * Row::fixed_width(partition.iter().next().map(|r| r.values.len()).unwrap_or(0));
+                Ok((partition, bytes.max(64)))
+            })
+            .map_err(crate::CoreError::from)
+            .map_err(Into::into)
+    }
+
+    /// Looks up a key in the auxiliary table (Algorithm 1, lines 6–8).
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u32>>> {
+        // Overlay first: it reflects the most recent modifications.
+        if let Some(values) = self.delta.get(&key) {
+            return Ok(Some(values.clone()));
+        }
+        if self.tombstones.contains(&key) {
+            return Ok(None);
+        }
+        let Some(idx) = self
+            .metrics
+            .time(Phase::LocatePartition, || self.locate(key))
+        else {
+            return Ok(None);
+        };
+        let partition = self.load_partition(idx)?;
+        Ok(self
+            .metrics
+            .time(Phase::AuxiliaryLookup, || partition.get(key).map(|v| v.to_vec())))
+    }
+
+    /// Looks up many keys, visiting each partition at most once (the query keys are
+    /// processed grouped by partition, mirroring the batch-sorting optimization of
+    /// Section IV-B2).
+    pub fn get_batch(&self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
+        let mut results: Vec<Option<Vec<u32>>> = vec![None; keys.len()];
+        let mut by_partition: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (qi, &key) in keys.iter().enumerate() {
+            if let Some(values) = self.delta.get(&key) {
+                results[qi] = Some(values.clone());
+                continue;
+            }
+            if self.tombstones.contains(&key) {
+                continue;
+            }
+            if let Some(idx) = self
+                .metrics
+                .time(Phase::LocatePartition, || self.locate(key))
+            {
+                by_partition.entry(idx).or_default().push(qi);
+            }
+        }
+        for (idx, query_indices) in by_partition {
+            let partition = self.load_partition(idx)?;
+            self.metrics.time(Phase::AuxiliaryLookup, || {
+                for qi in query_indices {
+                    results[qi] = partition.get(keys[qi]).map(|v| v.to_vec());
+                }
+            });
+        }
+        Ok(results)
+    }
+
+    /// Whether `key` is present in the table.
+    pub fn contains(&self, key: u64) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Adds (or replaces) a misclassified row — used by `Insert` (Algorithm 3) and
+    /// `Update` (Algorithm 5).
+    pub fn upsert(&mut self, row: Row) {
+        self.tombstones.remove(&row.key);
+        // If the row also lives in a partition, the delta entry shadows it; the
+        // partition copy is reconciled at the next compaction.
+        if self.key_in_partitions(row.key) {
+            self.tombstones.insert(row.key);
+        }
+        self.delta.insert(row.key, row.values);
+    }
+
+    /// Removes a key — used by `Delete` (Algorithm 4) and by `Update` when the model
+    /// turns out to predict the new value correctly (Algorithm 5, line 4).
+    pub fn remove(&mut self, key: u64) {
+        self.delta.remove(&key);
+        if self.key_in_partitions(key) {
+            self.tombstones.insert(key);
+        } else {
+            self.tombstones.remove(&key);
+        }
+    }
+
+    fn key_in_partitions(&self, key: u64) -> bool {
+        match self.locate(key) {
+            Some(idx) => self
+                .load_partition(idx)
+                .map(|p| p.get(key).is_some())
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+
+    /// Iterates every live row (partitions merged with the overlay), in key order.
+    pub fn iter_rows(&self) -> Result<Vec<Row>> {
+        let mut merged: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for idx in 0..self.directory.len() {
+            let partition = self.load_partition(idx)?;
+            for row in partition.iter() {
+                merged.insert(row.key, row.values);
+            }
+        }
+        for key in &self.tombstones {
+            merged.remove(key);
+        }
+        for (key, values) in &self.delta {
+            merged.insert(*key, values.clone());
+        }
+        Ok(merged
+            .into_iter()
+            .map(|(key, values)| Row::new(key, values))
+            .collect())
+    }
+
+    /// Folds the delta overlay and tombstones back into freshly compressed partitions.
+    pub fn compact(&mut self) -> Result<()> {
+        let rows = self.iter_rows()?;
+        // Drop the old partitions.
+        for meta in std::mem::take(&mut self.directory) {
+            self.pool.invalidate(meta.disk_id);
+            self.disk
+                .delete_partition(meta.disk_id)
+                .map_err(crate::CoreError::from)?;
+        }
+        self.delta.clear();
+        self.tombstones.clear();
+        self.write_partitions(&rows)?;
+        Ok(())
+    }
+
+    /// The delta-overlay size in bytes (used by the retraining trigger).
+    pub fn overlay_bytes(&self) -> usize {
+        self.delta.len() * Row::fixed_width(self.value_columns) + self.tombstones.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_table(rows: &[Row]) -> AuxTable {
+        AuxTable::build(
+            rows,
+            2,
+            Codec::Lz,
+            4 * 1024,
+            usize::MAX,
+            DiskProfile::free(),
+            Metrics::new(),
+        )
+        .unwrap()
+    }
+
+    fn sample_rows(n: u64) -> Vec<Row> {
+        (0..n).map(|k| Row::new(k * 3, vec![(k % 7) as u32, (k % 4) as u32])).collect()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let rows = sample_rows(2_000);
+        let table = build_table(&rows);
+        assert_eq!(table.len(), 2_000);
+        assert!(table.partition_count() > 1);
+        assert!(table.size_bytes() > 0);
+        assert_eq!(table.get(3).unwrap(), Some(vec![1, 1]));
+        assert_eq!(table.get(4).unwrap(), None);
+        assert!(table.contains(0).unwrap());
+        assert!(!table.contains(1).unwrap());
+    }
+
+    #[test]
+    fn batch_lookup_matches_single_lookups() {
+        let rows = sample_rows(1_000);
+        let table = build_table(&rows);
+        let keys: Vec<u64> = (0..3_200u64).collect();
+        let batch = table.get_batch(&keys).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(batch[i], table.get(k).unwrap(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn compressed_partitions_are_smaller_than_raw() {
+        let rows = sample_rows(20_000);
+        let table = build_table(&rows);
+        let raw = rows.len() * Row::fixed_width(2);
+        assert!(table.size_bytes() < raw / 2, "{} vs raw {raw}", table.size_bytes());
+    }
+
+    #[test]
+    fn upsert_and_remove_shadow_partitions() {
+        let rows = sample_rows(500);
+        let mut table = build_table(&rows);
+        // Update an existing partition row.
+        table.upsert(Row::new(3, vec![9, 9]));
+        assert_eq!(table.get(3).unwrap(), Some(vec![9, 9]));
+        // Insert a brand-new row.
+        table.upsert(Row::new(1_000_000, vec![5, 5]));
+        assert_eq!(table.get(1_000_000).unwrap(), Some(vec![5, 5]));
+        assert_eq!(table.len(), 501);
+        // Remove a partition row.
+        table.remove(6);
+        assert_eq!(table.get(6).unwrap(), None);
+        assert_eq!(table.len(), 500);
+        // Remove a delta row.
+        table.remove(1_000_000);
+        assert_eq!(table.get(1_000_000).unwrap(), None);
+        assert_eq!(table.len(), 499);
+        // Removing an absent key changes nothing.
+        table.remove(1);
+        assert_eq!(table.len(), 499);
+        // Upsert after remove resurrects the key.
+        table.upsert(Row::new(6, vec![1, 2]));
+        assert_eq!(table.get(6).unwrap(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn compaction_preserves_contents_and_clears_overlay() {
+        let rows = sample_rows(1_000);
+        let mut table = build_table(&rows);
+        table.upsert(Row::new(3, vec![9, 9]));
+        table.upsert(Row::new(999_999, vec![1, 1]));
+        table.remove(0);
+        let before = table.iter_rows().unwrap();
+        assert!(table.overlay_bytes() > 0);
+        table.compact().unwrap();
+        assert_eq!(table.overlay_bytes(), 0);
+        let after = table.iter_rows().unwrap();
+        assert_eq!(before, after);
+        assert_eq!(table.get(3).unwrap(), Some(vec![9, 9]));
+        assert_eq!(table.get(0).unwrap(), None);
+        assert_eq!(table.get(999_999).unwrap(), Some(vec![1, 1]));
+    }
+
+    #[test]
+    fn empty_table_behaves() {
+        let table = build_table(&[]);
+        assert!(table.is_empty());
+        assert_eq!(table.get(5).unwrap(), None);
+        assert_eq!(table.get_batch(&[1, 2, 3]).unwrap(), vec![None, None, None]);
+        assert_eq!(table.iter_rows().unwrap(), Vec::<Row>::new());
+        assert_eq!(table.partition_count(), 0);
+    }
+
+    #[test]
+    fn constrained_pool_still_answers_correctly() {
+        let rows = sample_rows(20_000);
+        let metrics = Metrics::new();
+        let table = AuxTable::build(
+            &rows,
+            2,
+            Codec::Lz,
+            4 * 1024,
+            8 * 1024, // much smaller than the data
+            DiskProfile::free(),
+            metrics.clone(),
+        )
+        .unwrap();
+        let keys: Vec<u64> = (0..60_000u64).step_by(7).collect();
+        let results = table.get_batch(&keys).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            let expected = (k % 3 == 0).then(|| vec![((k / 3) % 7) as u32, ((k / 3) % 4) as u32]);
+            assert_eq!(results[i], expected, "key {k}");
+        }
+        assert!(metrics.snapshot().pool_evictions > 0);
+    }
+}

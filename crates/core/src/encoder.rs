@@ -1,0 +1,194 @@
+//! The decoding map `fdecode` and schema inference for a key-value mapping.
+//!
+//! The model predicts dense class codes; `fdecode` converts them back to the original
+//! categorical values (Section IV-B1 lists it as part of the auxiliary structure, and
+//! its serialized size is charged in Eq. 1).  [`MappingSchema`] captures everything the
+//! model needs to know about the relation being memorized: the key-encoding width and
+//! each value column's cardinality.
+
+use crate::{CoreError, Result};
+use dm_nn::KeyEncoder;
+use dm_storage::Row;
+
+/// The decode map for one relation: per column, `labels[col][code]` is the original
+/// value string.  Columns without labels decode to the code's decimal representation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecodeMap {
+    labels: Vec<Vec<String>>,
+}
+
+impl DecodeMap {
+    /// A decode map with no label tables (codes decode to their decimal form).
+    pub fn identity(columns: usize) -> Self {
+        DecodeMap {
+            labels: vec![Vec::new(); columns],
+        }
+    }
+
+    /// Builds a decode map from per-column label tables.
+    pub fn from_labels(labels: Vec<Vec<String>>) -> Self {
+        DecodeMap { labels }
+    }
+
+    /// Number of columns covered.
+    pub fn num_columns(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Decodes one column's code.
+    pub fn decode(&self, column: usize, code: u32) -> String {
+        match self.labels.get(column).and_then(|l| l.get(code as usize)) {
+            Some(label) => label.clone(),
+            None => code.to_string(),
+        }
+    }
+
+    /// Decodes a whole predicted tuple.
+    pub fn decode_row(&self, codes: &[u32]) -> Vec<String> {
+        codes
+            .iter()
+            .enumerate()
+            .map(|(c, &code)| self.decode(c, code))
+            .collect()
+    }
+
+    /// Serialized size in bytes (length-prefixed UTF-8 labels) — the `size(fdecode)`
+    /// term of Eq. 1.
+    pub fn size_bytes(&self) -> usize {
+        8 + self
+            .labels
+            .iter()
+            .map(|col| 8 + col.iter().map(|l| 4 + l.len()).sum::<usize>())
+            .sum::<usize>()
+    }
+}
+
+/// Everything the model needs to know about the mapping being learned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingSchema {
+    /// Encoder turning keys into input features.
+    pub key_encoder: KeyEncoder,
+    /// Per-column number of distinct values (output classes).
+    pub cardinalities: Vec<u32>,
+}
+
+impl MappingSchema {
+    /// Infers a schema from rows: the key width covers the largest key and each
+    /// column's cardinality is `max code + 1`.
+    ///
+    /// `headroom_keys` extends the key-encoder range beyond the current maximum so
+    /// future insertions (Section IV-D) stay encodable without rebuilding the model.
+    pub fn infer(rows: &[Row], headroom_keys: u64) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "cannot infer a mapping schema from zero rows".into(),
+            ));
+        }
+        let columns = rows[0].values.len();
+        if columns == 0 {
+            return Err(CoreError::InvalidConfig(
+                "mapping needs at least one value column".into(),
+            ));
+        }
+        let mut cardinalities = vec![0u32; columns];
+        let mut max_key = 0u64;
+        for row in rows {
+            if row.values.len() != columns {
+                return Err(CoreError::InvalidConfig(format!(
+                    "row {} has {} value columns, expected {columns}",
+                    row.key,
+                    row.values.len()
+                )));
+            }
+            max_key = max_key.max(row.key);
+            for (c, &v) in row.values.iter().enumerate() {
+                cardinalities[c] = cardinalities[c].max(v + 1);
+            }
+        }
+        Ok(MappingSchema {
+            key_encoder: KeyEncoder::with_periodic_features(max_key.saturating_add(headroom_keys)),
+            cardinalities,
+        })
+    }
+
+    /// Number of value columns (= number of model output heads).
+    pub fn num_columns(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Model input width.
+    pub fn input_dim(&self) -> usize {
+        self.key_encoder.input_dim()
+    }
+
+    /// Checks that a row's values fit within the schema's cardinalities.
+    pub fn validate_row(&self, row: &Row) -> Result<()> {
+        if row.values.len() != self.num_columns() {
+            return Err(CoreError::InvalidConfig(format!(
+                "row {} has {} value columns, schema expects {}",
+                row.key,
+                row.values.len(),
+                self.num_columns()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether a value code is representable by the model's output head for `column`
+    /// (codes at or beyond the cardinality can never be predicted and always go to the
+    /// auxiliary table).
+    pub fn code_in_domain(&self, column: usize, code: u32) -> bool {
+        code < self.cardinalities[column]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_map_decodes_labels_and_falls_back_to_codes() {
+        let map = DecodeMap::from_labels(vec![
+            vec!["Shipping".into(), "Pick-Up".into()],
+            Vec::new(),
+        ]);
+        assert_eq!(map.decode(0, 1), "Pick-Up");
+        assert_eq!(map.decode(0, 9), "9");
+        assert_eq!(map.decode(1, 3), "3");
+        assert_eq!(map.decode_row(&[0, 7]), vec!["Shipping".to_string(), "7".to_string()]);
+        assert!(map.size_bytes() > 8);
+        assert_eq!(DecodeMap::identity(3).num_columns(), 3);
+    }
+
+    #[test]
+    fn schema_inference_covers_keys_and_cardinalities() {
+        let rows = vec![
+            Row::new(5, vec![2, 0]),
+            Row::new(1000, vec![0, 4]),
+            Row::new(17, vec![1, 1]),
+        ];
+        let schema = MappingSchema::infer(&rows, 0).unwrap();
+        assert_eq!(schema.num_columns(), 2);
+        assert_eq!(schema.cardinalities, vec![3, 5]);
+        assert_eq!(schema.input_dim(), 10 + 17); // 10 key bits + one-hot residues mod 2,3,5,7
+        assert!(schema.code_in_domain(0, 2));
+        assert!(!schema.code_in_domain(0, 3));
+        assert!(schema.validate_row(&rows[0]).is_ok());
+        assert!(schema.validate_row(&Row::new(1, vec![1])).is_err());
+    }
+
+    #[test]
+    fn headroom_extends_the_key_encoder() {
+        let rows = vec![Row::new(10, vec![0])];
+        let tight = MappingSchema::infer(&rows, 0).unwrap();
+        let roomy = MappingSchema::infer(&rows, 1_000_000).unwrap();
+        assert!(roomy.input_dim() > tight.input_dim());
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(MappingSchema::infer(&[], 0).is_err());
+        assert!(MappingSchema::infer(&[Row::new(1, vec![])], 0).is_err());
+        assert!(MappingSchema::infer(&[Row::new(1, vec![1]), Row::new(2, vec![1, 2])], 0).is_err());
+    }
+}

@@ -1,0 +1,602 @@
+//! The DeepMapping hybrid structure: model + auxiliary table + existence vector +
+//! decode map, with Algorithm 1 lookups and the Algorithm 3–5 modification workflows.
+
+use crate::aux_table::AuxTable;
+use crate::config::{DeepMappingConfig, SearchStrategy};
+use crate::encoder::{DecodeMap, MappingSchema};
+use crate::mhas::MhasSearch;
+use crate::model::MappingModel;
+use crate::stats::StorageBreakdown;
+use crate::{CoreError, Result};
+use dm_storage::{BitVec, KeyValueStore, Metrics, Phase, Row, StoreStats};
+
+/// Key-range headroom added to the key encoder so insertions beyond the current
+/// maximum key (Section IV-D) stay encodable without rebuilding the model.
+const KEY_HEADROOM: u64 = 1 << 20;
+
+/// The DeepMapping hybrid learned data representation.
+pub struct DeepMapping {
+    config: DeepMappingConfig,
+    model: MappingModel,
+    aux: AuxTable,
+    exist: BitVec,
+    decode_map: DecodeMap,
+    metrics: Metrics,
+    tuple_count: usize,
+    memorized_tuples: usize,
+    retrain_count: usize,
+}
+
+impl std::fmt::Debug for DeepMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeepMapping")
+            .field("name", &self.config.paper_name())
+            .field("tuples", &self.tuple_count)
+            .field("memorized", &self.memorized_tuples)
+            .field("aux_partitions", &self.aux.partition_count())
+            .finish()
+    }
+}
+
+impl DeepMapping {
+    /// Builds a DeepMapping structure from rows: selects an architecture (fixed,
+    /// default, or via MHAS), trains the model, materializes the auxiliary table from
+    /// the misclassified rows, and fills the existence bit vector.
+    pub fn build(rows: &[Row], config: &DeepMappingConfig) -> Result<Self> {
+        Self::build_with_decode_map(rows, config, DecodeMap::default())
+    }
+
+    /// Like [`DeepMapping::build`], but with an explicit decode map (`fdecode`) so
+    /// predictions can be decoded back to the original categorical values.
+    pub fn build_with_decode_map(
+        rows: &[Row],
+        config: &DeepMappingConfig,
+        decode_map: DecodeMap,
+    ) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "DeepMapping needs at least one row to build".into(),
+            ));
+        }
+        let metrics = Metrics::new();
+        let schema = MappingSchema::infer(rows, KEY_HEADROOM)?;
+        let spec = match &config.search {
+            SearchStrategy::Fixed(spec) => spec.clone(),
+            SearchStrategy::DefaultArchitecture => MappingModel::default_spec(&schema, rows.len()),
+            SearchStrategy::Mhas(mhas_config) => {
+                let mut search = MhasSearch::new(&schema, mhas_config.clone(), config.seed)?;
+                let outcome = search.run(rows, config)?;
+                outcome.best_spec
+            }
+        };
+        let mut model = MappingModel::new(schema, &spec, config.seed)?;
+        model.train(rows, &config.training, config.seed)?;
+        let (memorized, misclassified) = model.split_by_memorization(rows)?;
+        let value_columns = rows[0].values.len();
+        let aux = AuxTable::build(
+            &misclassified,
+            value_columns,
+            config.codec,
+            config.partition_bytes,
+            config.memory_budget_bytes,
+            config.disk_profile,
+            metrics.clone(),
+        )?;
+        let mut exist = BitVec::new();
+        for row in rows {
+            exist.set(row.key, true);
+        }
+        Ok(DeepMapping {
+            config: config.clone(),
+            model,
+            aux,
+            exist,
+            decode_map,
+            metrics,
+            tuple_count: rows.len(),
+            memorized_tuples: memorized.len(),
+            retrain_count: 0,
+        })
+    }
+
+    /// The configuration this structure was built with.
+    pub fn config(&self) -> &DeepMappingConfig {
+        &self.config
+    }
+
+    /// The metrics handle lookups charge their phases to.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The learned model.
+    pub fn model(&self) -> &MappingModel {
+        &self.model
+    }
+
+    /// The auxiliary accuracy-assurance table.
+    pub fn aux_table(&self) -> &AuxTable {
+        &self.aux
+    }
+
+    /// The existence bit vector.
+    pub fn existence(&self) -> &BitVec {
+        &self.exist
+    }
+
+    /// The decode map (`fdecode`).
+    pub fn decode_map(&self) -> &DecodeMap {
+        &self.decode_map
+    }
+
+    /// How many times the structure has been retrained since it was built.
+    pub fn retrain_count(&self) -> usize {
+        self.retrain_count
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.tuple_count
+    }
+
+    /// Whether the structure holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuple_count == 0
+    }
+
+    /// Algorithm 1: batched key lookup.
+    ///
+    /// 1. run batched inference over all query keys,
+    /// 2. check the existence bit vector (non-existing keys return `None` — no
+    ///    hallucinated values),
+    /// 3. validate existing keys against the auxiliary table and override the model's
+    ///    prediction when the key was misclassified (or modified after training).
+    pub fn lookup_batch(&self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Step 1: batch inference (the paper runs this on GPU via ONNX; here it is a
+        // dense forward pass).
+        let predictions = self
+            .metrics
+            .time(Phase::NeuralNetwork, || self.model.predict(keys))?;
+        // Step 2: existence check.
+        let exists: Vec<bool> = self
+            .metrics
+            .time(Phase::ExistenceCheck, || {
+                keys.iter().map(|&k| self.exist.get(k)).collect()
+            });
+        // Step 3: auxiliary validation, only for keys that exist.
+        let validate_keys: Vec<u64> = keys
+            .iter()
+            .zip(exists.iter())
+            .filter_map(|(&k, &e)| e.then_some(k))
+            .collect();
+        let aux_results = self.aux.get_batch(&validate_keys)?;
+        let mut aux_iter = aux_results.into_iter();
+        let mut results = Vec::with_capacity(keys.len());
+        for (i, &exists_here) in exists.iter().enumerate() {
+            if !exists_here {
+                results.push(None);
+                continue;
+            }
+            let aux_hit = aux_iter.next().expect("one aux result per existing key");
+            results.push(Some(match aux_hit {
+                Some(values) => values,
+                None => predictions[i].clone(),
+            }));
+        }
+        Ok(results)
+    }
+
+    /// Batched lookup returning decoded (original categorical) values via `fdecode`.
+    pub fn lookup_batch_decoded(&self, keys: &[u64]) -> Result<Vec<Option<Vec<String>>>> {
+        Ok(self
+            .lookup_batch(keys)?
+            .into_iter()
+            .map(|opt| opt.map(|codes| self.decode_map.decode_row(&codes)))
+            .collect())
+    }
+
+    /// Single-key lookup.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u32>>> {
+        Ok(self.lookup_batch(&[key])?.pop().flatten())
+    }
+
+    /// Algorithm 3: insert a collection of rows.
+    ///
+    /// For each row the existence bit is set; the row is then inferred through the
+    /// model and only stored in the auxiliary table when the model does not already
+    /// generalize to it.
+    pub fn insert_rows(&mut self, rows: &[Row]) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let schema = self.model.schema();
+        for row in rows {
+            schema.validate_row(row)?;
+        }
+        let keys: Vec<u64> = rows.iter().map(|r| r.key).collect();
+        let predictions = self
+            .metrics
+            .time(Phase::NeuralNetwork, || self.model.predict(&keys))?;
+        for (row, prediction) in rows.iter().zip(predictions.iter()) {
+            let already_present = self.exist.get(row.key);
+            self.exist.set(row.key, true);
+            if !already_present {
+                self.tuple_count += 1;
+            } else {
+                // Re-inserting an existing key behaves like an update; make sure any
+                // stale auxiliary entry does not survive.
+                self.aux.remove(row.key);
+                if self.memorized_tuples > 0 {
+                    // Conservatively assume the old row was memorized; the counter is
+                    // re-derived exactly at the next retrain.
+                }
+            }
+            if prediction == &row.values {
+                // The model generalizes to the new row: nothing else to store.
+                if !already_present {
+                    self.memorized_tuples += 1;
+                }
+            } else {
+                self.aux.upsert(row.clone());
+            }
+        }
+        self.maybe_retrain()?;
+        Ok(())
+    }
+
+    /// Algorithm 4: delete a collection of keys.
+    pub fn delete_keys(&mut self, keys: &[u64]) -> Result<()> {
+        for &key in keys {
+            if !self.exist.get(key) {
+                continue;
+            }
+            self.exist.set(key, false);
+            self.tuple_count = self.tuple_count.saturating_sub(1);
+            if self.aux.contains(key)? {
+                self.aux.remove(key);
+            } else {
+                self.memorized_tuples = self.memorized_tuples.saturating_sub(1);
+            }
+        }
+        self.maybe_retrain()?;
+        Ok(())
+    }
+
+    /// Algorithm 5: update (substitute) the values of existing keys.  Keys that do not
+    /// exist are ignored (an update of a missing key would be an insertion).
+    pub fn update_rows(&mut self, rows: &[Row]) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let schema = self.model.schema();
+        let live: Vec<&Row> = rows
+            .iter()
+            .filter(|r| self.exist.get(r.key))
+            .collect();
+        for row in &live {
+            schema.validate_row(row)?;
+        }
+        let keys: Vec<u64> = live.iter().map(|r| r.key).collect();
+        let predictions = self
+            .metrics
+            .time(Phase::NeuralNetwork, || self.model.predict(&keys))?;
+        for (row, prediction) in live.iter().zip(predictions.iter()) {
+            if prediction == &row.values {
+                // The model already predicts the new value: drop any auxiliary entry.
+                self.aux.remove(row.key);
+            } else {
+                self.aux.upsert((*row).clone());
+            }
+        }
+        self.maybe_retrain()?;
+        Ok(())
+    }
+
+    /// Retrains the model and rebuilds the auxiliary structures from the current
+    /// contents (Section IV-D: triggered when the auxiliary table grows too large;
+    /// can also be called explicitly, e.g. during off-peak hours).
+    pub fn retrain(&mut self) -> Result<()> {
+        let rows = self.materialize_rows()?;
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let schema = MappingSchema::infer(&rows, KEY_HEADROOM)?;
+        let spec = match &self.config.search {
+            SearchStrategy::Fixed(spec) => spec.clone(),
+            SearchStrategy::DefaultArchitecture => MappingModel::default_spec(&schema, rows.len()),
+            SearchStrategy::Mhas(mhas_config) => {
+                let mut search =
+                    MhasSearch::new(&schema, mhas_config.clone(), self.config.seed ^ 0xa5)?;
+                search.run(&rows, &self.config)?.best_spec
+            }
+        };
+        let mut model = MappingModel::new(schema, &spec, self.config.seed ^ 0x5a)?;
+        model.train(&rows, &self.config.training, self.config.seed ^ 0x5a)?;
+        let (memorized, misclassified) = model.split_by_memorization(&rows)?;
+        let value_columns = rows[0].values.len();
+        let aux = AuxTable::build(
+            &misclassified,
+            value_columns,
+            self.config.codec,
+            self.config.partition_bytes,
+            self.config.memory_budget_bytes,
+            self.config.disk_profile,
+            self.metrics.clone(),
+        )?;
+        let mut exist = BitVec::new();
+        for row in &rows {
+            exist.set(row.key, true);
+        }
+        self.model = model;
+        self.aux = aux;
+        self.exist = exist;
+        self.tuple_count = rows.len();
+        self.memorized_tuples = memorized.len();
+        self.retrain_count += 1;
+        Ok(())
+    }
+
+    fn maybe_retrain(&mut self) -> Result<()> {
+        if let Some(threshold) = self.config.retrain_aux_bytes {
+            if self.aux.size_bytes() > threshold {
+                self.retrain()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes every live tuple (model predictions corrected by the auxiliary
+    /// table) — used by retraining and by the range-query extension.
+    pub fn materialize_rows(&self) -> Result<Vec<Row>> {
+        let keys: Vec<u64> = self.exist.iter_ones().collect();
+        let mut rows = Vec::with_capacity(keys.len());
+        const CHUNK: usize = 65_536;
+        for chunk in keys.chunks(CHUNK) {
+            let values = self.lookup_batch(chunk)?;
+            for (&key, value) in chunk.iter().zip(values.into_iter()) {
+                let values = value.expect("key came from the existence vector");
+                rows.push(Row::new(key, values));
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Storage breakdown for Figure 6.
+    pub fn storage_breakdown(&self) -> StorageBreakdown {
+        let value_columns = self.aux.value_columns();
+        StorageBreakdown {
+            model_bytes: self.model.size_bytes(),
+            aux_table_bytes: self.aux.size_bytes(),
+            existence_bytes: self.exist.serialized_bytes(),
+            decode_map_bytes: self.decode_map.size_bytes().max(8),
+            uncompressed_bytes: self.tuple_count * Row::fixed_width(value_columns),
+            tuple_count: self.tuple_count,
+            memorized_tuples: self.memorized_tuples.min(self.tuple_count),
+        }
+    }
+}
+
+impl KeyValueStore for DeepMapping {
+    fn name(&self) -> String {
+        self.config.paper_name()
+    }
+
+    fn lookup_batch(&mut self, keys: &[u64]) -> dm_storage::Result<Vec<Option<Vec<u32>>>> {
+        DeepMapping::lookup_batch(self, keys).map_err(Into::into)
+    }
+
+    fn insert(&mut self, rows: &[Row]) -> dm_storage::Result<()> {
+        self.insert_rows(rows).map_err(Into::into)
+    }
+
+    fn delete(&mut self, keys: &[u64]) -> dm_storage::Result<()> {
+        self.delete_keys(keys).map_err(Into::into)
+    }
+
+    fn update(&mut self, rows: &[Row]) -> dm_storage::Result<()> {
+        self.update_rows(rows).map_err(Into::into)
+    }
+
+    fn stats(&self) -> StoreStats {
+        let breakdown = self.storage_breakdown();
+        StoreStats {
+            disk_bytes: breakdown.total_bytes(),
+            resident_bytes: breakdown.model_bytes
+                + self.exist.resident_bytes()
+                + breakdown.decode_map_bytes,
+            tuple_count: self.tuple_count,
+            partition_count: self.aux.partition_count(),
+        }
+    }
+
+    fn maintenance(&mut self) -> dm_storage::Result<()> {
+        self.retrain().map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainingConfig;
+    use dm_storage::row::ReferenceStore;
+
+    fn correlated_rows(n: u64) -> Vec<Row> {
+        (0..n)
+            .map(|k| Row::new(k, vec![((k / 16) % 4) as u32, ((k / 64) % 3) as u32]))
+            .collect()
+    }
+
+    fn random_rows(n: u64) -> Vec<Row> {
+        (0..n)
+            .map(|k| {
+                let h = k.wrapping_mul(0x9E3779B97F4A7C15) >> 17;
+                Row::new(k, vec![(h % 5) as u32, ((h >> 7) % 3) as u32])
+            })
+            .collect()
+    }
+
+    fn quick_config() -> DeepMappingConfig {
+        DeepMappingConfig::default()
+            .with_training(TrainingConfig {
+                epochs: 40,
+                batch_size: 256,
+                ..Default::default()
+            })
+            .with_partition_bytes(4 * 1024)
+            .with_disk_profile(dm_storage::DiskProfile::free())
+    }
+
+    #[test]
+    fn build_rejects_empty_input() {
+        assert!(DeepMapping::build(&[], &quick_config()).is_err());
+    }
+
+    #[test]
+    fn lookups_are_exact_even_when_the_model_is_imperfect() {
+        // Random data: the model cannot learn it all, so correctness must come from
+        // the auxiliary table — the core accuracy guarantee (Desideratum #1).
+        let rows = random_rows(3_000);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let mut reference = ReferenceStore::from_rows(&rows);
+        let keys: Vec<u64> = (0..6_000u64).collect();
+        assert_eq!(
+            dm.lookup_batch(&keys).unwrap(),
+            reference.lookup_batch(&keys).unwrap()
+        );
+        // Non-existing keys are rejected by the existence check, not hallucinated.
+        assert_eq!(dm.get(999_999).unwrap(), None);
+    }
+
+    #[test]
+    fn correlated_data_is_mostly_memorized_and_compresses() {
+        let rows = correlated_rows(4_096);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let breakdown = dm.storage_breakdown();
+        assert!(
+            breakdown.memorized_fraction() > 0.8,
+            "memorized only {}",
+            breakdown.memorized_fraction()
+        );
+        assert!(
+            breakdown.compression_ratio() < 1.0,
+            "ratio {}",
+            breakdown.compression_ratio()
+        );
+        assert_eq!(breakdown.tuple_count, 4_096);
+    }
+
+    #[test]
+    fn modifications_follow_algorithms_3_to_5() {
+        let rows = correlated_rows(2_048);
+        let mut dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let mut reference = ReferenceStore::from_rows(&rows);
+
+        // Insert new keys: some follow the learned pattern (model generalizes), some
+        // do not (must land in the auxiliary table).
+        let pattern_follower = Row::new(2_048, vec![((2_048 / 16) % 4) as u32, ((2_048 / 64) % 3) as u32]);
+        let pattern_breaker = Row::new(2_049, vec![3, 2]);
+        let inserts = vec![pattern_follower.clone(), pattern_breaker.clone()];
+        dm.insert_rows(&inserts).unwrap();
+        reference.insert(&inserts).unwrap();
+
+        // Delete a handful of keys.
+        let deletions = vec![0u64, 17, 2_048, 999_999];
+        dm.delete_keys(&deletions).unwrap();
+        reference.delete(&deletions).unwrap();
+
+        // Update existing keys (one matching the pattern, one not) and a missing key.
+        let updates = vec![
+            Row::new(5, vec![3, 2]),
+            Row::new(100, vec![((100 / 16) % 4) as u32, ((100 / 64) % 3) as u32]),
+            Row::new(777_777, vec![1, 1]),
+        ];
+        dm.update_rows(&updates).unwrap();
+        reference.update(&updates).unwrap();
+
+        let probe: Vec<u64> = (0..2_100u64).chain([777_777]).collect();
+        assert_eq!(
+            dm.lookup_batch(&probe).unwrap(),
+            reference.lookup_batch(&probe).unwrap()
+        );
+        assert_eq!(dm.len(), reference.len());
+    }
+
+    #[test]
+    fn retraining_trigger_fires_and_preserves_contents() {
+        let rows = correlated_rows(1_024);
+        let config = quick_config().with_retrain_threshold(2_048);
+        let mut dm = DeepMapping::build(&rows, &config).unwrap();
+        let mut reference = ReferenceStore::from_rows(&rows);
+        assert_eq!(dm.retrain_count(), 0);
+        // Insert enough off-pattern rows to blow through the tiny threshold.
+        let inserts: Vec<Row> = (0..2_000u64)
+            .map(|i| Row::new(10_000 + i, vec![(i % 4) as u32, ((i * 7) % 3) as u32]))
+            .collect();
+        dm.insert_rows(&inserts).unwrap();
+        reference.insert(&inserts).unwrap();
+        assert!(dm.retrain_count() > 0, "retraining should have triggered");
+        let probe: Vec<u64> = (0..1_024u64).chain(10_000..12_000).collect();
+        assert_eq!(
+            dm.lookup_batch(&probe).unwrap(),
+            reference.lookup_batch(&probe).unwrap()
+        );
+    }
+
+    #[test]
+    fn explicit_retrain_shrinks_or_preserves_the_footprint() {
+        let rows = correlated_rows(1_024);
+        let mut dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        // Pile modifications into the overlay.
+        let updates: Vec<Row> = (0..512u64).map(|k| Row::new(k, vec![3, 2])).collect();
+        dm.update_rows(&updates).unwrap();
+        let before_rows = dm.materialize_rows().unwrap();
+        dm.retrain().unwrap();
+        let after_rows = dm.materialize_rows().unwrap();
+        assert_eq!(before_rows, after_rows);
+        assert_eq!(dm.retrain_count(), 1);
+    }
+
+    #[test]
+    fn decoded_lookups_use_fdecode() {
+        let rows = correlated_rows(256);
+        let decode = DecodeMap::from_labels(vec![
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            vec!["x".into(), "y".into(), "z".into()],
+        ]);
+        let dm =
+            DeepMapping::build_with_decode_map(&rows, &quick_config(), decode).unwrap();
+        let decoded = dm.lookup_batch_decoded(&[0, 999_999]).unwrap();
+        let values = decoded[0].as_ref().expect("key 0 exists");
+        assert!(["a", "b", "c", "d"].contains(&values[0].as_str()));
+        assert!(["x", "y", "z"].contains(&values[1].as_str()));
+        assert!(decoded[1].is_none());
+    }
+
+    #[test]
+    fn kv_store_trait_matches_native_api() {
+        let rows = correlated_rows(512);
+        let mut dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let native = DeepMapping::lookup_batch(&dm, &[1, 2, 3]).unwrap();
+        let via_trait = KeyValueStore::lookup_batch(&mut dm, &[1, 2, 3]).unwrap();
+        assert_eq!(native, via_trait);
+        let stats = KeyValueStore::stats(&dm);
+        assert_eq!(stats.tuple_count, 512);
+        assert!(stats.disk_bytes > 0);
+        assert_eq!(KeyValueStore::name(&dm), "DM-Z");
+    }
+
+    #[test]
+    fn metrics_record_the_lookup_phases() {
+        let rows = random_rows(1_024);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        dm.metrics().reset();
+        let keys: Vec<u64> = (0..2_048u64).collect();
+        dm.lookup_batch(&keys).unwrap();
+        let snap = dm.metrics().snapshot();
+        assert!(snap.phase(Phase::NeuralNetwork).as_nanos() > 0);
+        assert!(snap.phase(Phase::ExistenceCheck).as_nanos() > 0);
+    }
+}

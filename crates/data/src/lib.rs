@@ -1,0 +1,33 @@
+//! # dm-data — dataset substrate for DeepMapping
+//!
+//! The DeepMapping evaluation (Section V-A1) runs on TPC-H and TPC-DS tables (with
+//! float columns removed), synthetic datasets with controlled key-value correlation,
+//! and a real-world cropland raster.  None of those artifacts can be shipped here, so
+//! this crate generates deterministic, seedable equivalents that preserve the
+//! properties the experiments depend on: column cardinalities, key density, and —
+//! most importantly — the degree to which values are a learnable function of the key.
+//!
+//! * [`schema`] — the [`Dataset`]/[`Column`] model shared by every generator (values
+//!   are dense integer codes; the label table is the `fdecode` input),
+//! * [`tpch`] — TPC-H-like tables: lineitem, orders, part, supplier, customer,
+//! * [`tpcds`] — TPC-DS-like tables: customer_demographics (periodic, highly
+//!   compressible), catalog_sales and catalog_returns (high-cardinality columns),
+//! * [`synthetic`] — the four synthetic datasets (single/multi column × low/high
+//!   key-value correlation),
+//! * [`crop`] — a spatially-autocorrelated crop raster standing in for CroplandCROS,
+//! * [`workload`] — lookup batches and insert/delete/update batches, with knobs for
+//!   whether inserted data follows the original distribution (Tables III vs IV).
+
+pub mod crop;
+pub mod schema;
+pub mod synthetic;
+pub mod tpcds;
+pub mod tpch;
+pub mod workload;
+
+pub use crop::CropConfig;
+pub use schema::{Column, Dataset};
+pub use synthetic::{Correlation, SyntheticConfig};
+pub use tpcds::TpcdsGenerator;
+pub use tpch::TpchGenerator;
+pub use workload::{LookupWorkload, ModificationWorkload};

@@ -1,0 +1,297 @@
+//! The dataset model shared by every generator.
+//!
+//! A [`Dataset`] is one relation after the paper's preprocessing: float columns are
+//! dropped, the key is a single integer (composite keys are packed into one u64), and
+//! every value column holds dense integer codes with a label table mapping codes back
+//! to the original categorical values (that label table is what the paper calls the
+//! decoding map `fdecode`).
+
+use dm_storage::Row;
+use std::collections::HashMap;
+
+/// One value column: dense codes per row plus the code → label table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (e.g. `"o_orderstatus"`).
+    pub name: String,
+    /// One dense code per row, aligned with the dataset's key vector.
+    pub codes: Vec<u32>,
+    /// Label table: `labels[code]` is the original categorical value.
+    pub labels: Vec<String>,
+}
+
+impl Column {
+    /// Builds a column from raw categorical string values, assigning codes in
+    /// first-seen order.
+    pub fn from_values(name: impl Into<String>, values: &[String]) -> Self {
+        let mut index: HashMap<&str, u32> = HashMap::new();
+        let mut labels = Vec::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let code = match index.get(v.as_str()) {
+                Some(&c) => c,
+                None => {
+                    let c = labels.len() as u32;
+                    index.insert(v.as_str(), c);
+                    labels.push(v.clone());
+                    c
+                }
+            };
+            codes.push(code);
+        }
+        Column {
+            name: name.into(),
+            codes,
+            labels,
+        }
+    }
+
+    /// Builds a column directly from codes, synthesizing labels `"{prefix}{code}"`.
+    pub fn from_codes(name: impl Into<String>, codes: Vec<u32>, label_prefix: &str) -> Self {
+        let cardinality = codes.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+        let labels = (0..cardinality)
+            .map(|c| format!("{label_prefix}{c}"))
+            .collect();
+        Column {
+            name: name.into(),
+            codes,
+            labels,
+        }
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Decodes a code back to its label.
+    pub fn decode(&self, code: u32) -> Option<&str> {
+        self.labels.get(code as usize).map(String::as_str)
+    }
+
+    /// Serialized size of this column's share of the decode map, in bytes.
+    pub fn decode_map_bytes(&self) -> usize {
+        8 + self.labels.iter().map(|l| 4 + l.len()).sum::<usize>()
+    }
+
+    /// Pearson correlation between the key vector and this column's codes — the
+    /// statistic the paper uses to characterize its synthetic datasets.
+    pub fn key_correlation(&self, keys: &[u64]) -> f64 {
+        pearson(
+            &keys.iter().map(|&k| k as f64).collect::<Vec<_>>(),
+            &self.codes.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length vectors (0.0 for degenerate
+/// inputs).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.len() < 2 {
+        return 0.0;
+    }
+    let n = a.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        cov += (x - mean_a) * (y - mean_b);
+        var_a += (x - mean_a) * (x - mean_a);
+        var_b += (y - mean_b) * (y - mean_b);
+    }
+    if var_a <= f64::EPSILON || var_b <= f64::EPSILON {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// One relation: a key vector plus value columns, all row-aligned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    /// Relation name (e.g. `"tpch.orders"`).
+    pub name: String,
+    /// Lookup keys, one per row.  Keys are unique within a dataset.
+    pub keys: Vec<u64>,
+    /// Value columns, each aligned with `keys`.
+    pub columns: Vec<Column>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that all columns are row-aligned and keys unique.
+    pub fn new(name: impl Into<String>, keys: Vec<u64>, columns: Vec<Column>) -> Self {
+        let name = name.into();
+        for col in &columns {
+            assert_eq!(
+                col.codes.len(),
+                keys.len(),
+                "column {} of dataset {name} is not row-aligned",
+                col.name
+            );
+        }
+        debug_assert!(
+            {
+                let mut sorted = keys.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                sorted.len() == keys.len()
+            },
+            "dataset {name} has duplicate keys"
+        );
+        Dataset {
+            name,
+            keys,
+            columns,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of value columns.
+    pub fn num_value_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Largest key (0 for an empty dataset).
+    pub fn max_key(&self) -> u64 {
+        self.keys.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The row at index `i` as a storage [`Row`].
+    pub fn row(&self, i: usize) -> Row {
+        Row::new(
+            self.keys[i],
+            self.columns.iter().map(|c| c.codes[i]).collect(),
+        )
+    }
+
+    /// All rows as storage [`Row`]s.
+    pub fn rows(&self) -> Vec<Row> {
+        (0..self.num_rows()).map(|i| self.row(i)).collect()
+    }
+
+    /// Uncompressed size in bytes under the fixed-width representation every store
+    /// shares (8-byte key + 4 bytes per value column per row).  This is the `size(D)`
+    /// denominator of the paper's Eq. 1 and the "1.0" reference point of Figures 4/5.
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.num_rows() * Row::fixed_width(self.num_value_columns())
+    }
+
+    /// Total serialized size of the decode maps of all columns.
+    pub fn decode_map_bytes(&self) -> usize {
+        self.columns.iter().map(Column::decode_map_bytes).sum()
+    }
+
+    /// Per-column cardinalities.
+    pub fn cardinalities(&self) -> Vec<usize> {
+        self.columns.iter().map(Column::cardinality).collect()
+    }
+
+    /// Mean absolute Pearson correlation between the key and each value column.
+    pub fn mean_key_correlation(&self) -> f64 {
+        if self.columns.is_empty() {
+            return 0.0;
+        }
+        self.columns
+            .iter()
+            .map(|c| c.key_correlation(&self.keys).abs())
+            .sum::<f64>()
+            / self.columns.len() as f64
+    }
+
+    /// Restricts the dataset to its first `n` rows (used to build scaled-down variants).
+    pub fn truncate(&self, n: usize) -> Dataset {
+        let n = n.min(self.num_rows());
+        Dataset {
+            name: self.name.clone(),
+            keys: self.keys[..n].to_vec(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    name: c.name.clone(),
+                    codes: c.codes[..n].to_vec(),
+                    labels: c.labels.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_from_values_assigns_dense_codes() {
+        let values: Vec<String> = ["a", "b", "a", "c", "b"].iter().map(|s| s.to_string()).collect();
+        let col = Column::from_values("status", &values);
+        assert_eq!(col.cardinality(), 3);
+        assert_eq!(col.codes, vec![0, 1, 0, 2, 1]);
+        assert_eq!(col.decode(0), Some("a"));
+        assert_eq!(col.decode(2), Some("c"));
+        assert_eq!(col.decode(3), None);
+        assert!(col.decode_map_bytes() > 0);
+    }
+
+    #[test]
+    fn column_from_codes_synthesizes_labels() {
+        let col = Column::from_codes("type", vec![0, 2, 1], "t");
+        assert_eq!(col.cardinality(), 3);
+        assert_eq!(col.decode(2), Some("t2"));
+        let empty = Column::from_codes("empty", vec![], "x");
+        assert_eq!(empty.cardinality(), 0);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_and_absent_correlation() {
+        let x: Vec<f64> = (0..100).map(|v| v as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-9);
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-9);
+        let constant = vec![5.0; 100];
+        assert_eq!(pearson(&x, &constant), 0.0);
+        assert_eq!(pearson(&x, &x[..50]), 0.0);
+    }
+
+    #[test]
+    fn dataset_accessors_and_rows() {
+        let keys = vec![10, 20, 30];
+        let col_a = Column::from_codes("a", vec![1, 2, 3], "a");
+        let col_b = Column::from_codes("b", vec![0, 0, 1], "b");
+        let ds = Dataset::new("test", keys, vec![col_a, col_b]);
+        assert_eq!(ds.num_rows(), 3);
+        assert_eq!(ds.num_value_columns(), 2);
+        assert_eq!(ds.max_key(), 30);
+        assert_eq!(ds.row(1), Row::new(20, vec![2, 0]));
+        assert_eq!(ds.rows().len(), 3);
+        assert_eq!(ds.uncompressed_bytes(), 3 * 16);
+        assert_eq!(ds.cardinalities(), vec![4, 2]);
+        let truncated = ds.truncate(2);
+        assert_eq!(truncated.num_rows(), 2);
+        assert_eq!(truncated.max_key(), 20);
+        // Truncating beyond the length is a no-op.
+        assert_eq!(ds.truncate(100).num_rows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not row-aligned")]
+    fn misaligned_columns_panic() {
+        let col = Column::from_codes("a", vec![1, 2], "a");
+        let _ = Dataset::new("bad", vec![1, 2, 3], vec![col]);
+    }
+
+    #[test]
+    fn correlation_of_key_derived_column_is_high() {
+        let keys: Vec<u64> = (0..1000).collect();
+        let codes: Vec<u32> = keys.iter().map(|&k| (k / 100) as u32).collect();
+        let col = Column::from_codes("derived", codes, "d");
+        let ds = Dataset::new("corr", keys, vec![col]);
+        assert!(ds.mean_key_correlation() > 0.9);
+    }
+}

@@ -1,0 +1,376 @@
+//! TPC-H-like table generators.
+//!
+//! The paper evaluates on TPC-H SF 1 and SF 10 with float columns removed, keeping the
+//! categorical / integer attributes (Section V-A1).  The generators here reproduce the
+//! five tables the storage-breakdown and latency figures use (customer, lineitem,
+//! orders, part, supplier) with the same column cardinalities as dbgen and mostly
+//! key-uncorrelated values — TPC-H is the paper's "hard to learn" family (the model
+//! memorizes ~60–70 % of tuples, the rest lands in the auxiliary table).
+//!
+//! Row counts follow dbgen's per-SF scaling; the `scale` knob accepts fractional
+//! values so the whole suite runs in seconds (e.g. `scale(0.01)` ≈ 15 k orders).
+
+use crate::schema::{Column, Dataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the TPC-H-like generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchConfig {
+    /// Scale factor: 1.0 corresponds to the row counts of TPC-H SF 1.
+    pub scale: f64,
+    /// RNG seed; the same seed and scale always produce identical tables.
+    pub seed: u64,
+}
+
+impl TpchConfig {
+    /// A configuration with the given scale factor and a fixed default seed.
+    pub fn scale(scale: f64) -> Self {
+        TpchConfig { scale, seed: 0x7c9 }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        TpchConfig::scale(0.001)
+    }
+
+    fn rows(&self, base_sf1: usize) -> usize {
+        ((base_sf1 as f64) * self.scale).round().max(16.0) as usize
+    }
+}
+
+/// Generator for the TPC-H-like tables.
+#[derive(Debug, Clone)]
+pub struct TpchGenerator {
+    config: TpchConfig,
+}
+
+/// The TPC-H tables the paper evaluates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpchTable {
+    /// The `customer` table.
+    Customer,
+    /// The `lineitem` table (largest).
+    Lineitem,
+    /// The `orders` table.
+    Orders,
+    /// The `part` table.
+    Part,
+    /// The `supplier` table (smallest).
+    Supplier,
+}
+
+impl TpchTable {
+    /// All tables in the order the paper's Figure 6 lists them.
+    pub fn all() -> [TpchTable; 5] {
+        [
+            TpchTable::Customer,
+            TpchTable::Lineitem,
+            TpchTable::Orders,
+            TpchTable::Part,
+            TpchTable::Supplier,
+        ]
+    }
+
+    /// Lower-case table name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TpchTable::Customer => "customer",
+            TpchTable::Lineitem => "lineitem",
+            TpchTable::Orders => "orders",
+            TpchTable::Part => "part",
+            TpchTable::Supplier => "supplier",
+        }
+    }
+}
+
+impl TpchGenerator {
+    /// Creates a generator.
+    pub fn new(config: TpchConfig) -> Self {
+        TpchGenerator { config }
+    }
+
+    /// Generates one table by name.
+    pub fn table(&self, table: TpchTable) -> Dataset {
+        match table {
+            TpchTable::Customer => self.customer(),
+            TpchTable::Lineitem => self.lineitem(),
+            TpchTable::Orders => self.orders(),
+            TpchTable::Part => self.part(),
+            TpchTable::Supplier => self.supplier(),
+        }
+    }
+
+    /// Generates every table the evaluation uses.
+    pub fn all_tables(&self) -> Vec<Dataset> {
+        TpchTable::all().iter().map(|&t| self.table(t)).collect()
+    }
+
+    fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.config.seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// `orders`: key `o_orderkey`, columns o_orderstatus, o_orderpriority, o_clerk,
+    /// o_shippriority.
+    pub fn orders(&self) -> Dataset {
+        let n = self.config.rows(1_500_000);
+        let mut rng = self.rng(1);
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * 4 + 1).collect();
+        // dbgen: ~49% 'F', ~49% 'O', ~2% 'P'.
+        let status: Vec<u32> = (0..n)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                if r < 0.49 {
+                    0
+                } else if r < 0.98 {
+                    1
+                } else {
+                    2
+                }
+            })
+            .collect();
+        let priority: Vec<u32> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+        let clerk_card = ((1000.0 * self.config.scale).round() as u32).max(10);
+        let clerk: Vec<u32> = (0..n).map(|_| rng.gen_range(0..clerk_card)).collect();
+        let shippriority: Vec<u32> = vec![0; n];
+        Dataset::new(
+            "tpch.orders",
+            keys,
+            vec![
+                Column {
+                    name: "o_orderstatus".into(),
+                    codes: status,
+                    labels: vec!["F".into(), "O".into(), "P".into()],
+                },
+                Column {
+                    name: "o_orderpriority".into(),
+                    codes: priority,
+                    labels: vec![
+                        "1-URGENT".into(),
+                        "2-HIGH".into(),
+                        "3-MEDIUM".into(),
+                        "4-NOT SPECIFIED".into(),
+                        "5-LOW".into(),
+                    ],
+                },
+                Column::from_codes("o_clerk", clerk, "Clerk#"),
+                Column {
+                    name: "o_shippriority".into(),
+                    codes: shippriority,
+                    labels: vec!["0".into()],
+                },
+            ],
+        )
+    }
+
+    /// `lineitem`: key packs (orderkey, linenumber); columns l_quantity (integer),
+    /// l_returnflag, l_linestatus, l_shipinstruct, l_shipmode.
+    pub fn lineitem(&self) -> Dataset {
+        let orders = self.config.rows(1_500_000);
+        let mut rng = self.rng(2);
+        let mut keys = Vec::new();
+        let mut quantity = Vec::new();
+        let mut returnflag = Vec::new();
+        let mut linestatus = Vec::new();
+        let mut shipinstruct = Vec::new();
+        let mut shipmode = Vec::new();
+        for order in 0..orders as u64 {
+            let orderkey = order * 4 + 1;
+            let lines = rng.gen_range(1..=7u64);
+            for line in 1..=lines {
+                keys.push(orderkey * 8 + line);
+                quantity.push(rng.gen_range(0..50));
+                // Return flag correlates with line status in dbgen; keep a mild link.
+                let ls = rng.gen_range(0..2u32);
+                linestatus.push(ls);
+                returnflag.push(if ls == 0 { rng.gen_range(0..2) } else { 2 });
+                shipinstruct.push(rng.gen_range(0..4));
+                shipmode.push(rng.gen_range(0..7));
+            }
+        }
+        Dataset::new(
+            "tpch.lineitem",
+            keys,
+            vec![
+                Column::from_codes("l_quantity", quantity, "qty"),
+                Column {
+                    name: "l_returnflag".into(),
+                    codes: returnflag,
+                    labels: vec!["A".into(), "N".into(), "R".into()],
+                },
+                Column {
+                    name: "l_linestatus".into(),
+                    codes: linestatus,
+                    labels: vec!["F".into(), "O".into()],
+                },
+                Column {
+                    name: "l_shipinstruct".into(),
+                    codes: shipinstruct,
+                    labels: vec![
+                        "DELIVER IN PERSON".into(),
+                        "COLLECT COD".into(),
+                        "NONE".into(),
+                        "TAKE BACK RETURN".into(),
+                    ],
+                },
+                Column {
+                    name: "l_shipmode".into(),
+                    codes: shipmode,
+                    labels: vec![
+                        "REG AIR".into(),
+                        "AIR".into(),
+                        "RAIL".into(),
+                        "SHIP".into(),
+                        "TRUCK".into(),
+                        "MAIL".into(),
+                        "FOB".into(),
+                    ],
+                },
+            ],
+        )
+    }
+
+    /// `part`: key `p_partkey`; columns p_mfgr, p_brand, p_type, p_size, p_container.
+    pub fn part(&self) -> Dataset {
+        let n = self.config.rows(200_000);
+        let mut rng = self.rng(3);
+        let keys: Vec<u64> = (1..=n as u64).collect();
+        // Brand is derived from mfgr in dbgen (Brand#MN where M = mfgr).
+        let mfgr: Vec<u32> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+        let brand: Vec<u32> = mfgr.iter().map(|&m| m * 5 + rng.gen_range(0..5)).collect();
+        let ptype: Vec<u32> = (0..n).map(|_| rng.gen_range(0..150)).collect();
+        let size: Vec<u32> = (0..n).map(|_| rng.gen_range(0..50)).collect();
+        let container: Vec<u32> = (0..n).map(|_| rng.gen_range(0..40)).collect();
+        Dataset::new(
+            "tpch.part",
+            keys,
+            vec![
+                Column::from_codes("p_mfgr", mfgr, "Manufacturer#"),
+                Column::from_codes("p_brand", brand, "Brand#"),
+                Column::from_codes("p_type", ptype, "type"),
+                Column::from_codes("p_size", size, "size"),
+                Column::from_codes("p_container", container, "container"),
+            ],
+        )
+    }
+
+    /// `supplier`: key `s_suppkey`; column s_nationkey.
+    pub fn supplier(&self) -> Dataset {
+        let n = self.config.rows(10_000);
+        let mut rng = self.rng(4);
+        let keys: Vec<u64> = (1..=n as u64).collect();
+        let nation: Vec<u32> = (0..n).map(|_| rng.gen_range(0..25)).collect();
+        Dataset::new(
+            "tpch.supplier",
+            keys,
+            vec![Column::from_codes("s_nationkey", nation, "nation")],
+        )
+    }
+
+    /// `customer`: key `c_custkey`; columns c_nationkey, c_mktsegment.
+    pub fn customer(&self) -> Dataset {
+        let n = self.config.rows(150_000);
+        let mut rng = self.rng(5);
+        let keys: Vec<u64> = (1..=n as u64).collect();
+        let nation: Vec<u32> = (0..n).map(|_| rng.gen_range(0..25)).collect();
+        let segment: Vec<u32> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+        Dataset::new(
+            "tpch.customer",
+            keys,
+            vec![
+                Column::from_codes("c_nationkey", nation, "nation"),
+                Column {
+                    name: "c_mktsegment".into(),
+                    codes: segment,
+                    labels: vec![
+                        "AUTOMOBILE".into(),
+                        "BUILDING".into(),
+                        "FURNITURE".into(),
+                        "HOUSEHOLD".into(),
+                        "MACHINERY".into(),
+                    ],
+                },
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchGenerator::new(TpchConfig::tiny()).orders();
+        let b = TpchGenerator::new(TpchConfig::tiny()).orders();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn row_counts_scale_with_the_scale_factor() {
+        let small = TpchGenerator::new(TpchConfig::scale(0.001)).orders();
+        let large = TpchGenerator::new(TpchConfig::scale(0.01)).orders();
+        assert!(large.num_rows() > small.num_rows() * 5);
+        assert_eq!(large.num_rows(), 15_000);
+    }
+
+    #[test]
+    fn orders_columns_match_tpch_cardinalities() {
+        let ds = TpchGenerator::new(TpchConfig::scale(0.01)).orders();
+        assert_eq!(ds.num_value_columns(), 4);
+        let cards = ds.cardinalities();
+        assert_eq!(cards[0], 3); // orderstatus
+        assert_eq!(cards[1], 5); // orderpriority
+        assert!(cards[2] >= 10); // clerk
+        assert_eq!(cards[3], 1); // shippriority
+        // Keys are unique and sorted-friendly.
+        let mut keys = ds.keys.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), ds.num_rows());
+    }
+
+    #[test]
+    fn lineitem_has_multiple_lines_per_order_and_unique_keys() {
+        let ds = TpchGenerator::new(TpchConfig::tiny()).lineitem();
+        assert!(ds.num_rows() > 16);
+        let mut keys = ds.keys.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), ds.num_rows());
+        assert_eq!(ds.num_value_columns(), 5);
+        assert_eq!(ds.columns[1].cardinality(), 3); // returnflag
+        assert_eq!(ds.columns[2].cardinality(), 2); // linestatus
+    }
+
+    #[test]
+    fn part_brand_is_derived_from_mfgr() {
+        let ds = TpchGenerator::new(TpchConfig::tiny()).part();
+        let mfgr = &ds.columns[0];
+        let brand = &ds.columns[1];
+        for i in 0..ds.num_rows() {
+            assert_eq!(brand.codes[i] / 5, mfgr.codes[i]);
+        }
+        assert!(brand.cardinality() <= 25);
+    }
+
+    #[test]
+    fn all_tables_produces_the_five_evaluation_tables() {
+        let tables = TpchGenerator::new(TpchConfig::tiny()).all_tables();
+        assert_eq!(tables.len(), 5);
+        let names: Vec<&str> = tables.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"tpch.lineitem"));
+        assert!(names.contains(&"tpch.supplier"));
+        for t in &tables {
+            assert!(t.num_rows() >= 16);
+            assert!(t.uncompressed_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn tpch_values_are_weakly_correlated_with_keys() {
+        // TPC-H is the paper's low-correlation family.
+        let ds = TpchGenerator::new(TpchConfig::scale(0.005)).orders();
+        assert!(ds.mean_key_correlation() < 0.05, "correlation {}", ds.mean_key_correlation());
+    }
+}

@@ -1,0 +1,290 @@
+//! Query and modification workload generators.
+//!
+//! Section V-B issues batches of `B` randomly selected keys (B from 1 000 to 100 000)
+//! and Section V-C inserts/deletes/updates varying volumes of data.  These generators
+//! produce those workloads deterministically so every store sees the same queries.
+
+use crate::schema::Dataset;
+use dm_storage::Row;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A batch-lookup workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LookupWorkload {
+    /// Number of keys per batch (the paper's `B`).
+    pub batch_size: usize,
+    /// Fraction of query keys that do not exist in the dataset (exercises the
+    /// existence index / spurious-result avoidance).
+    pub miss_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LookupWorkload {
+    /// A workload of existing keys only.
+    pub fn hits_only(batch_size: usize) -> Self {
+        LookupWorkload {
+            batch_size,
+            miss_fraction: 0.0,
+            seed: 0x10,
+        }
+    }
+
+    /// A workload where `miss_fraction` of the keys are absent from the dataset.
+    pub fn with_misses(batch_size: usize, miss_fraction: f64) -> Self {
+        LookupWorkload {
+            batch_size,
+            miss_fraction,
+            seed: 0x11,
+        }
+    }
+
+    /// The batch sizes the paper sweeps in Table I.
+    pub fn paper_batch_sizes() -> [usize; 3] {
+        [1_000, 10_000, 100_000]
+    }
+
+    /// Generates one batch of query keys for `dataset`.  Existing keys are sampled
+    /// uniformly with replacement; missing keys are sampled beyond the key range.
+    pub fn generate(&self, dataset: &Dataset) -> Vec<u64> {
+        self.generate_from_keys(&dataset.keys, dataset.max_key())
+    }
+
+    /// Generates a batch from an explicit key population (used after modifications
+    /// when the live key set differs from the original dataset).
+    pub fn generate_from_keys(&self, keys: &[u64], max_key: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (self.batch_size as u64) << 8);
+        let mut batch = Vec::with_capacity(self.batch_size);
+        for _ in 0..self.batch_size {
+            if !keys.is_empty() && rng.gen::<f64>() >= self.miss_fraction {
+                batch.push(keys[rng.gen_range(0..keys.len())]);
+            } else {
+                batch.push(max_key + 1 + rng.gen_range(0..1_000_000u64));
+            }
+        }
+        batch
+    }
+}
+
+/// Modification workloads: insert / delete / update batches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModificationWorkload {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ModificationWorkload {
+    fn default() -> Self {
+        ModificationWorkload { seed: 0x20 }
+    }
+}
+
+impl ModificationWorkload {
+    /// Creates a workload generator with an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        ModificationWorkload { seed }
+    }
+
+    /// Approximate number of rows corresponding to `megabytes` of data for a dataset
+    /// with `value_columns` columns, under the shared fixed-width representation.
+    /// (The paper quotes its insertion/deletion volumes in MB.)
+    pub fn rows_for_megabytes(megabytes: f64, value_columns: usize) -> usize {
+        let row_width = Row::fixed_width(value_columns) as f64;
+        ((megabytes * 1024.0 * 1024.0) / row_width).round() as usize
+    }
+
+    /// Picks `count` distinct existing keys to delete.
+    pub fn deletion_batch(&self, dataset: &Dataset, count: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xdead);
+        let mut keys = dataset.keys.clone();
+        keys.shuffle(&mut rng);
+        keys.truncate(count.min(dataset.num_rows()));
+        keys
+    }
+
+    /// Builds an update batch: `count` distinct existing keys with fresh random values
+    /// drawn within each column's cardinality.
+    pub fn update_batch(&self, dataset: &Dataset, count: usize) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xbeef);
+        let mut indices: Vec<usize> = (0..dataset.num_rows()).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(count.min(dataset.num_rows()));
+        let cards = dataset.cardinalities();
+        indices
+            .into_iter()
+            .map(|i| {
+                Row::new(
+                    dataset.keys[i],
+                    cards
+                        .iter()
+                        .map(|&c| rng.gen_range(0..c.max(1) as u32))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Builds an insertion batch of `count` brand-new keys (beyond the dataset's key
+    /// range) whose values are drawn from the dataset's *empirical* per-column
+    /// distribution — the "follows the original distribution" workload of Table III
+    /// for datasets that are not described by a closed-form generator.
+    pub fn insertion_batch_empirical(&self, dataset: &Dataset, count: usize) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xf00d);
+        let start = dataset.max_key() + 1;
+        (0..count as u64)
+            .map(|i| {
+                // Sample each column's value from a uniformly chosen existing row, which
+                // reproduces the marginal distribution of every column.
+                let values = dataset
+                    .columns
+                    .iter()
+                    .map(|col| {
+                        if col.codes.is_empty() {
+                            0
+                        } else {
+                            col.codes[rng.gen_range(0..col.codes.len())]
+                        }
+                    })
+                    .collect();
+                Row::new(start + i, values)
+            })
+            .collect()
+    }
+
+    /// Builds an insertion batch whose values are uniform-random over each column's
+    /// cardinality — the "does NOT follow the original distribution" workload of
+    /// Table IV.
+    pub fn insertion_batch_uniform(&self, dataset: &Dataset, count: usize) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xfeed);
+        let start = dataset.max_key() + 1;
+        let cards = dataset.cardinalities();
+        (0..count as u64)
+            .map(|i| {
+                Row::new(
+                    start + i,
+                    cards
+                        .iter()
+                        .map(|&c| rng.gen_range(0..c.max(1) as u32))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    fn dataset() -> Dataset {
+        SyntheticConfig::multi_low(5_000).generate()
+    }
+
+    #[test]
+    fn lookup_batches_are_deterministic_and_sized() {
+        let ds = dataset();
+        let wl = LookupWorkload::hits_only(1_000);
+        let a = wl.generate(&ds);
+        let b = wl.generate(&ds);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1_000);
+        // All keys exist.
+        let keyset: std::collections::HashSet<u64> = ds.keys.iter().copied().collect();
+        assert!(a.iter().all(|k| keyset.contains(k)));
+    }
+
+    #[test]
+    fn miss_fraction_generates_absent_keys() {
+        let ds = dataset();
+        let wl = LookupWorkload::with_misses(2_000, 0.5);
+        let batch = wl.generate(&ds);
+        let keyset: std::collections::HashSet<u64> = ds.keys.iter().copied().collect();
+        let misses = batch.iter().filter(|k| !keyset.contains(k)).count();
+        assert!(misses > 500 && misses < 1_500, "misses = {misses}");
+    }
+
+    #[test]
+    fn paper_batch_sizes_match_section_v() {
+        assert_eq!(LookupWorkload::paper_batch_sizes(), [1_000, 10_000, 100_000]);
+    }
+
+    #[test]
+    fn rows_for_megabytes_inverts_fixed_width() {
+        // 5 value columns -> 28 bytes per row.
+        let rows = ModificationWorkload::rows_for_megabytes(1.0, 5);
+        let bytes = rows * Row::fixed_width(5);
+        assert!((bytes as f64 - 1024.0 * 1024.0).abs() < 64.0);
+    }
+
+    #[test]
+    fn deletion_batch_contains_distinct_existing_keys() {
+        let ds = dataset();
+        let wl = ModificationWorkload::default();
+        let del = wl.deletion_batch(&ds, 1_000);
+        assert_eq!(del.len(), 1_000);
+        let keyset: std::collections::HashSet<u64> = ds.keys.iter().copied().collect();
+        assert!(del.iter().all(|k| keyset.contains(k)));
+        let distinct: std::collections::HashSet<u64> = del.iter().copied().collect();
+        assert_eq!(distinct.len(), del.len());
+        // Requesting more deletions than rows caps at the dataset size.
+        assert_eq!(wl.deletion_batch(&ds, 10_000_000).len(), ds.num_rows());
+    }
+
+    #[test]
+    fn update_batch_targets_existing_keys_with_valid_values() {
+        let ds = dataset();
+        let wl = ModificationWorkload::default();
+        let updates = wl.update_batch(&ds, 500);
+        assert_eq!(updates.len(), 500);
+        let keyset: std::collections::HashSet<u64> = ds.keys.iter().copied().collect();
+        let cards = ds.cardinalities();
+        for row in &updates {
+            assert!(keyset.contains(&row.key));
+            for (c, &v) in row.values.iter().enumerate() {
+                assert!((v as usize) < cards[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_batches_use_fresh_keys() {
+        let ds = dataset();
+        let wl = ModificationWorkload::default();
+        for batch in [
+            wl.insertion_batch_empirical(&ds, 800),
+            wl.insertion_batch_uniform(&ds, 800),
+        ] {
+            assert_eq!(batch.len(), 800);
+            let max_key = ds.max_key();
+            assert!(batch.iter().all(|r| r.key > max_key));
+            let distinct: std::collections::HashSet<u64> = batch.iter().map(|r| r.key).collect();
+            assert_eq!(distinct.len(), batch.len());
+            for row in &batch {
+                assert_eq!(row.values.len(), ds.num_value_columns());
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_insertions_preserve_marginal_skew() {
+        // Build a dataset where column 0 is 90% value 0, and check the insertion batch
+        // reproduces that skew (unlike the uniform batch).
+        let keys: Vec<u64> = (0..10_000u64).collect();
+        let codes: Vec<u32> = keys.iter().map(|&k| if k % 10 == 0 { 1 } else { 0 }).collect();
+        let ds = Dataset::new(
+            "skewed",
+            keys,
+            vec![crate::schema::Column::from_codes("c", codes, "v")],
+        );
+        let wl = ModificationWorkload::default();
+        let emp = wl.insertion_batch_empirical(&ds, 5_000);
+        let zeros = emp.iter().filter(|r| r.values[0] == 0).count();
+        assert!(zeros as f64 > 0.85 * emp.len() as f64, "zeros = {zeros}");
+        let uni = wl.insertion_batch_uniform(&ds, 5_000);
+        let uni_zeros = uni.iter().filter(|r| r.values[0] == 0).count();
+        assert!((uni_zeros as f64) < 0.7 * uni.len() as f64, "uniform zeros = {uni_zeros}");
+    }
+}

@@ -1,0 +1,291 @@
+//! Feature and label encodings.
+//!
+//! DeepMapping feeds the key into the network and reads one categorical prediction per
+//! value column (Section IV-A: "strings or categorical data are encoded as integers
+//! using one-hot encoding before training and inference").  Two pieces live here:
+//!
+//! * [`KeyEncoder`] turns an integer key into the network's input features.  Keys are
+//!   encoded as their binary digits (one feature per bit, in `{0, 1}`), which keeps the
+//!   input width logarithmic in the key domain and lets the network pick up periodic
+//!   key→value patterns (the high-correlation datasets of Section V-A1 are periodic
+//!   along the key dimension).
+//! * [`LabelCodec`] assigns a dense class index to every distinct value of a column and
+//!   converts predictions back — this is the `fdecode` decoding map of Section IV-B1,
+//!   whose serialized size participates in the Eq.-1 objective.
+
+use crate::tensor::Matrix;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Encodes integer keys as feature vectors: the key's binary digits, optionally
+/// followed by one-hot residues modulo a few small primes.
+///
+/// The binary digits alone capture patterns aligned with powers of two (the synthetic
+/// high-correlation datasets, the crop raster).  The residue features make patterns
+/// that are periodic in small non-power-of-two periods (TPC-DS customer_demographics
+/// cycles through domains of size 2, 5, 7, ...) linearly separable, which is what lets
+/// a compact model memorize them — the paper reaches the same effect with larger
+/// models and longer training than a laptop-scale reproduction can afford.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyEncoder {
+    bits: usize,
+    moduli: Vec<u64>,
+}
+
+/// The small prime periods used by [`KeyEncoder::with_periodic_features`].
+pub const PERIODIC_MODULI: [u64; 4] = [2, 3, 5, 7];
+
+impl KeyEncoder {
+    /// Creates an encoder with an explicit number of bit features (no residues).
+    pub fn with_bits(bits: usize) -> Self {
+        KeyEncoder {
+            bits: bits.max(1),
+            moduli: Vec::new(),
+        }
+    }
+
+    /// Creates a binary-only encoder wide enough for every key in `0..=max_key`.
+    pub fn for_max_key(max_key: u64) -> Self {
+        KeyEncoder {
+            bits: Self::bits_for(max_key),
+            moduli: Vec::new(),
+        }
+    }
+
+    /// Creates an encoder with binary digits plus one-hot residues modulo
+    /// [`PERIODIC_MODULI`] — the encoding DeepMapping's mapping models use.
+    pub fn with_periodic_features(max_key: u64) -> Self {
+        KeyEncoder {
+            bits: Self::bits_for(max_key),
+            moduli: PERIODIC_MODULI.to_vec(),
+        }
+    }
+
+    fn bits_for(max_key: u64) -> usize {
+        if max_key == 0 {
+            1
+        } else {
+            64 - max_key.leading_zeros() as usize
+        }
+    }
+
+    /// Number of binary-digit features.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Number of input features produced per key.
+    pub fn input_dim(&self) -> usize {
+        self.bits + self.moduli.iter().map(|&m| m as usize).sum::<usize>()
+    }
+
+    /// Encodes a single key into the provided feature slice (must be `input_dim` long).
+    pub fn encode_into(&self, key: u64, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.input_dim());
+        for (b, slot) in out[..self.bits].iter_mut().enumerate() {
+            *slot = ((key >> b) & 1) as f32;
+        }
+        let mut offset = self.bits;
+        for &m in &self.moduli {
+            let residue = (key % m) as usize;
+            for (i, slot) in out[offset..offset + m as usize].iter_mut().enumerate() {
+                *slot = if i == residue { 1.0 } else { 0.0 };
+            }
+            offset += m as usize;
+        }
+    }
+
+    /// Encodes a batch of keys into a `len × input_dim` matrix.
+    pub fn encode_batch(&self, keys: &[u64]) -> Matrix {
+        let mut m = Matrix::zeros(keys.len(), self.input_dim());
+        for (i, &k) in keys.iter().enumerate() {
+            self.encode_into(k, m.row_mut(i));
+        }
+        m
+    }
+
+    /// Serialized size of the encoder metadata in bytes.
+    pub fn size_bytes(&self) -> usize {
+        8 + self.moduli.len() * 8
+    }
+}
+
+/// Bidirectional mapping between distinct column values and dense class indices.
+///
+/// The forward direction (`value → class`) is used to produce training targets; the
+/// reverse direction (`class → value`) is the paper's `fdecode` map applied to model
+/// predictions at query time.
+#[derive(Debug, Clone)]
+pub struct LabelCodec<T: Eq + Hash + Clone> {
+    to_class: HashMap<T, usize>,
+    to_value: Vec<T>,
+}
+
+impl<T: Eq + Hash + Clone> Default for LabelCodec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq + Hash + Clone> LabelCodec<T> {
+    /// Creates an empty codec.
+    pub fn new() -> Self {
+        LabelCodec {
+            to_class: HashMap::new(),
+            to_value: Vec::new(),
+        }
+    }
+
+    /// Builds a codec from an iterator of values, assigning classes in first-seen order.
+    pub fn fit<I: IntoIterator<Item = T>>(values: I) -> Self {
+        let mut codec = Self::new();
+        for v in values {
+            codec.encode_or_insert(v);
+        }
+        codec
+    }
+
+    /// Number of distinct classes.
+    pub fn num_classes(&self) -> usize {
+        self.to_value.len()
+    }
+
+    /// Returns the class of `value`, inserting a new class if unseen.
+    pub fn encode_or_insert(&mut self, value: T) -> usize {
+        if let Some(&c) = self.to_class.get(&value) {
+            return c;
+        }
+        let c = self.to_value.len();
+        self.to_class.insert(value.clone(), c);
+        self.to_value.push(value);
+        c
+    }
+
+    /// Returns the class of `value` if it has been seen.
+    pub fn encode(&self, value: &T) -> Option<usize> {
+        self.to_class.get(value).copied()
+    }
+
+    /// Decodes a class index back to the original value.
+    pub fn decode(&self, class: usize) -> Option<&T> {
+        self.to_value.get(class)
+    }
+
+    /// Iterates over `(class, value)` pairs in class order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.to_value.iter().enumerate()
+    }
+}
+
+impl LabelCodec<u64> {
+    /// Serialized size in bytes for integer-valued codecs (class table as u64s).
+    pub fn size_bytes(&self) -> usize {
+        8 + self.to_value.len() * 8
+    }
+}
+
+impl LabelCodec<String> {
+    /// Serialized size in bytes for string-valued codecs (length-prefixed UTF-8).
+    pub fn size_bytes(&self) -> usize {
+        8 + self
+            .to_value
+            .iter()
+            .map(|s| 4 + s.len())
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_encoder_width_covers_max_key() {
+        assert_eq!(KeyEncoder::for_max_key(0).input_dim(), 1);
+        assert_eq!(KeyEncoder::for_max_key(1).input_dim(), 1);
+        assert_eq!(KeyEncoder::for_max_key(2).input_dim(), 2);
+        assert_eq!(KeyEncoder::for_max_key(255).input_dim(), 8);
+        assert_eq!(KeyEncoder::for_max_key(256).input_dim(), 9);
+    }
+
+    #[test]
+    fn key_encoding_round_trips_through_bits() {
+        let enc = KeyEncoder::for_max_key(1023);
+        let keys = [0u64, 1, 2, 511, 1023, 777];
+        let m = enc.encode_batch(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            let mut reconstructed = 0u64;
+            for (b, &v) in m.row(i).iter().enumerate() {
+                assert!(v == 0.0 || v == 1.0);
+                if v == 1.0 {
+                    reconstructed |= 1 << b;
+                }
+            }
+            assert_eq!(reconstructed, k);
+        }
+    }
+
+    #[test]
+    fn encode_batch_shape() {
+        let enc = KeyEncoder::with_bits(12);
+        let m = enc.encode_batch(&[1, 2, 3]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 12);
+    }
+
+    #[test]
+    fn periodic_features_one_hot_the_residues() {
+        let enc = KeyEncoder::with_periodic_features(255);
+        assert_eq!(enc.bits(), 8);
+        assert_eq!(enc.input_dim(), 8 + 2 + 3 + 5 + 7);
+        let m = enc.encode_batch(&[9]);
+        let row = m.row(0);
+        // Binary part reconstructs the key.
+        let mut reconstructed = 0u64;
+        for (b, &v) in row[..8].iter().enumerate() {
+            if v == 1.0 {
+                reconstructed |= 1 << b;
+            }
+        }
+        assert_eq!(reconstructed, 9);
+        // Residue one-hots: 9 % 2 = 1, 9 % 3 = 0, 9 % 5 = 4, 9 % 7 = 2.
+        let mods = &row[8..];
+        assert_eq!(mods[..2], [0.0, 1.0]);
+        assert_eq!(mods[2..5], [1.0, 0.0, 0.0]);
+        assert_eq!(mods[5..10], [0.0, 0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(mods[10..17], [0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        // Every row has exactly bits-set + 4 one-hot ones.
+        let ones = row.iter().filter(|&&v| v == 1.0).count();
+        assert_eq!(ones, 2 + 4); // key 9 has two set bits plus one per modulus
+    }
+
+    #[test]
+    fn label_codec_assigns_dense_classes_in_first_seen_order() {
+        let codec = LabelCodec::fit(vec!["shipping", "pickup", "shipping", "return"]);
+        assert_eq!(codec.num_classes(), 3);
+        assert_eq!(codec.encode(&"shipping"), Some(0));
+        assert_eq!(codec.encode(&"pickup"), Some(1));
+        assert_eq!(codec.encode(&"return"), Some(2));
+        assert_eq!(codec.encode(&"unknown"), None);
+        assert_eq!(codec.decode(0), Some(&"shipping"));
+        assert_eq!(codec.decode(3), None);
+    }
+
+    #[test]
+    fn label_codec_encode_or_insert_is_idempotent() {
+        let mut codec = LabelCodec::new();
+        let a = codec.encode_or_insert(42u64);
+        let b = codec.encode_or_insert(42u64);
+        assert_eq!(a, b);
+        assert_eq!(codec.num_classes(), 1);
+    }
+
+    #[test]
+    fn codec_size_accounts_for_values() {
+        let int_codec: LabelCodec<u64> = LabelCodec::fit(0..10u64);
+        assert_eq!(int_codec.size_bytes(), 8 + 80);
+        let str_codec: LabelCodec<String> =
+            LabelCodec::fit(vec!["ab".to_string(), "cdef".to_string()]);
+        assert_eq!(str_codec.size_bytes(), 8 + (4 + 2) + (4 + 4));
+    }
+}

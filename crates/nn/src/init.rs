@@ -1,0 +1,96 @@
+//! Weight initialization.
+//!
+//! DeepMapping trains small multi-layer perceptrons from scratch many times during the
+//! MHAS search, so initialization quality matters for how much of the table a sampled
+//! model can memorize within a fixed number of epochs.  Xavier/Glorot uniform is the
+//! default for the dense trunk/head layers; the LSTM controller uses the paper's
+//! `N(0, 0.05^2)` initialization (Section V-A6).
+
+use crate::tensor::Matrix;
+use rand::Rng;
+
+/// Deterministic Xavier/Glorot uniform initialization for a `fan_in × fan_out` weight
+/// matrix: samples from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let mut m = Matrix::zeros(fan_in, fan_out);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-a..=a);
+    }
+    m
+}
+
+/// Gaussian initialization `N(mean, std^2)` using the Box–Muller transform, so the
+/// crate only needs `rand`'s uniform sampling (no `rand_distr` dependency).
+pub fn gaussian<R: Rng>(rng: &mut R, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let mut iter = m.as_mut_slice().iter_mut();
+    loop {
+        let a = match iter.next() {
+            Some(a) => a,
+            None => break,
+        };
+        // Box–Muller produces two independent normals per pair of uniforms.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        *a = mean + std * r * theta.cos();
+        if let Some(b) = iter.next() {
+            *b = mean + std * r * theta.sin();
+        }
+    }
+    m
+}
+
+/// Zero-initialized bias vector of width `cols`.
+pub fn zero_bias(cols: usize) -> Matrix {
+    Matrix::zeros(1, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_values_stay_within_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(&mut rng, 50, 70);
+        let a = (6.0f32 / 120.0).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v >= -a && v <= a));
+        // Not all values identical (sanity that the RNG was used).
+        let first = m.as_slice()[0];
+        assert!(m.as_slice().iter().any(|&v| v != first));
+    }
+
+    #[test]
+    fn gaussian_matches_requested_moments_roughly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = gaussian(&mut rng, 100, 100, 0.5, 0.2);
+        let mean = m.mean();
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / m.len() as f32;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+        assert!((var.sqrt() - 0.2).abs() < 0.01, "std was {}", var.sqrt());
+    }
+
+    #[test]
+    fn gaussian_handles_odd_element_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = gaussian(&mut rng, 1, 3, 0.0, 1.0);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn same_seed_gives_same_weights() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(42), 10, 10);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(42), 10, 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,335 @@
+//! Dense layers and activations with explicit forward/backward passes.
+//!
+//! The paper's models are sequences of fully-connected layers with ReLU activations
+//! (Section IV-A: "we consider a sequence of fully connected layers as the underlying
+//! neural network architecture").  Each [`Dense`] owns its weight and bias matrices and
+//! the gradients accumulated during the latest backward pass; an [`Optimizer`]
+//! (see [`crate::optimizer`]) consumes those gradients to update the parameters.
+
+use crate::init;
+use crate::tensor::Matrix;
+use rand::Rng;
+
+/// Activation functions supported by the substrate.
+///
+/// DeepMapping's published configuration only uses ReLU on hidden layers and a linear
+/// output fed into softmax cross-entropy, but sigmoid/tanh are required by the LSTM
+/// controller and are exposed here so every non-linearity lives in one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// `max(0, x)`.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation element-wise, returning a new matrix.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => {
+                for v in out.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for v in out.as_mut_slice() {
+                    *v = sigmoid(*v);
+                }
+            }
+            Activation::Tanh => {
+                for v in out.as_mut_slice() {
+                    *v = v.tanh();
+                }
+            }
+        }
+        out
+    }
+
+    /// Given the activation *output* `y` and the gradient w.r.t. that output, returns
+    /// the gradient w.r.t. the pre-activation input.
+    pub fn backward(&self, y: &Matrix, grad_out: &Matrix) -> Matrix {
+        let mut grad = grad_out.clone();
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => {
+                for (g, &o) in grad.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    if o <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for (g, &o) in grad.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *g *= o * (1.0 - o);
+                }
+            }
+            Activation::Tanh => {
+                for (g, &o) in grad.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *g *= 1.0 - o * o;
+                }
+            }
+        }
+        grad
+    }
+
+    /// Stable byte tag used by model serialization.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Activation::Linear => 0,
+            Activation::Relu => 1,
+            Activation::Sigmoid => 2,
+            Activation::Tanh => 3,
+        }
+    }
+
+    /// Inverse of [`Activation::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Activation::Linear),
+            1 => Some(Activation::Relu),
+            2 => Some(Activation::Sigmoid),
+            3 => Some(Activation::Tanh),
+            _ => None,
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A fully-connected layer `y = act(x · W + b)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Matrix,
+    bias: Matrix,
+    activation: Activation,
+    // Cached forward state required by backward().
+    last_input: Option<Matrix>,
+    last_output: Option<Matrix>,
+    // Gradients from the latest backward pass.
+    grad_weight: Matrix,
+    grad_bias: Matrix,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-initialized weights.
+    pub fn new<R: Rng>(rng: &mut R, in_dim: usize, out_dim: usize, activation: Activation) -> Self {
+        Dense {
+            weight: init::xavier_uniform(rng, in_dim, out_dim),
+            bias: init::zero_bias(out_dim),
+            activation,
+            last_input: None,
+            last_output: None,
+            grad_weight: Matrix::zeros(in_dim, out_dim),
+            grad_bias: Matrix::zeros(1, out_dim),
+        }
+    }
+
+    /// Rebuilds a layer from explicit parameters (used by deserialization).
+    pub fn from_parameters(weight: Matrix, bias: Matrix, activation: Activation) -> crate::Result<Self> {
+        if bias.rows() != 1 || bias.cols() != weight.cols() {
+            return Err(crate::NnError::ShapeMismatch {
+                context: format!(
+                    "dense from_parameters: weight is {}x{}, bias is {}x{}",
+                    weight.rows(),
+                    weight.cols(),
+                    bias.rows(),
+                    bias.cols()
+                ),
+            });
+        }
+        let (in_dim, out_dim) = (weight.rows(), weight.cols());
+        Ok(Dense {
+            weight,
+            bias,
+            activation,
+            last_input: None,
+            last_output: None,
+            grad_weight: Matrix::zeros(in_dim, out_dim),
+            grad_bias: Matrix::zeros(1, out_dim),
+        })
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Immutable access to the weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Immutable access to the bias row vector.
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Forward pass that caches activations for a subsequent [`Dense::backward`].
+    pub fn forward_train(&mut self, x: &Matrix) -> crate::Result<Matrix> {
+        let out = self.forward(x)?;
+        self.last_input = Some(x.clone());
+        self.last_output = Some(out.clone());
+        Ok(out)
+    }
+
+    /// Inference-only forward pass (no caching).
+    pub fn forward(&self, x: &Matrix) -> crate::Result<Matrix> {
+        let mut z = x.matmul(&self.weight)?;
+        z.add_row_broadcast(&self.bias)?;
+        Ok(self.activation.forward(&z))
+    }
+
+    /// Backward pass.  `grad_out` is the loss gradient w.r.t. this layer's output;
+    /// the return value is the gradient w.r.t. the layer's input.  Weight/bias
+    /// gradients are accumulated internally (overwriting the previous ones).
+    pub fn backward(&mut self, grad_out: &Matrix) -> crate::Result<Matrix> {
+        let input = self.last_input.as_ref().ok_or_else(|| crate::NnError::InvalidConfig(
+            "backward called before forward_train".to_string(),
+        ))?;
+        let output = self
+            .last_output
+            .as_ref()
+            .expect("last_output always set together with last_input");
+        let grad_pre = self.activation.backward(output, grad_out);
+        self.grad_weight = input.transpose_matmul(&grad_pre)?;
+        self.grad_bias = grad_pre.sum_rows();
+        grad_pre.matmul_transpose_rhs(&self.weight)
+    }
+
+    /// Mutable (parameters, gradients) pairs for optimizers.
+    pub fn parameters_and_grads(&mut self) -> Vec<(&mut Matrix, &Matrix)> {
+        vec![
+            (&mut self.weight, &self.grad_weight),
+            (&mut self.bias, &self.grad_bias),
+        ]
+    }
+
+    /// Drops cached activations (e.g. between epochs) to release memory.
+    pub fn clear_cache(&mut self) {
+        self.last_input = None;
+        self.last_output = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let x = Matrix::row_vector(&[-1.0, 0.0, 2.0]);
+        let y = Activation::Relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_monotone() {
+        let x = Matrix::row_vector(&[-10.0, 0.0, 10.0]);
+        let y = Activation::Sigmoid.forward(&x);
+        assert!(y.as_slice()[0] < 0.01);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 0.99);
+    }
+
+    #[test]
+    fn activation_tags_round_trip() {
+        for act in [
+            Activation::Linear,
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
+            assert_eq!(Activation::from_tag(act.tag()), Some(act));
+        }
+        assert_eq!(Activation::from_tag(200), None);
+    }
+
+    #[test]
+    fn dense_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Dense::new(&mut rng, 4, 3, Activation::Relu);
+        let x = Matrix::zeros(5, 4);
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.rows(), 5);
+        assert_eq!(y.cols(), 3);
+    }
+
+    #[test]
+    fn dense_backward_requires_forward_train() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(&mut rng, 2, 2, Activation::Linear);
+        let grad = Matrix::zeros(1, 2);
+        assert!(layer.backward(&grad).is_err());
+    }
+
+    /// Numerical gradient check of a single dense layer against the analytic backward
+    /// pass, using a scalar loss `L = sum(y)`.
+    #[test]
+    fn dense_gradients_match_numerical_estimate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Dense::new(&mut rng, 3, 2, Activation::Tanh);
+        let x = Matrix::from_vec(2, 3, vec![0.2, -0.4, 0.7, 1.1, 0.05, -0.3]).unwrap();
+
+        // Analytic gradients.
+        let y = layer.forward_train(&x).unwrap();
+        let grad_out = Matrix::filled(y.rows(), y.cols(), 1.0);
+        let _ = layer.backward(&grad_out).unwrap();
+        let analytic = layer.grad_weight.clone();
+
+        // Numerical gradients via central differences.
+        let eps = 1e-3f32;
+        let mut numeric = Matrix::zeros(3, 2);
+        for r in 0..3 {
+            for c in 0..2 {
+                let orig = layer.weight.get(r, c);
+                layer.weight.set(r, c, orig + eps);
+                let plus: f32 = layer.forward(&x).unwrap().as_slice().iter().sum();
+                layer.weight.set(r, c, orig - eps);
+                let minus: f32 = layer.forward(&x).unwrap().as_slice().iter().sum();
+                layer.weight.set(r, c, orig);
+                numeric.set(r, c, (plus - minus) / (2.0 * eps));
+            }
+        }
+        for (a, n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+            assert!((a - n).abs() < 1e-2, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn from_parameters_validates_bias_shape() {
+        let w = Matrix::zeros(3, 2);
+        let bad_bias = Matrix::zeros(1, 3);
+        assert!(Dense::from_parameters(w.clone(), bad_bias, Activation::Linear).is_err());
+        let good_bias = Matrix::zeros(1, 2);
+        assert!(Dense::from_parameters(w, good_bias, Activation::Linear).is_ok());
+    }
+}

@@ -1,0 +1,454 @@
+//! The multi-task network of Section IV-A: shared trunk layers that abstract the key,
+//! followed by one private head per value column.
+//!
+//! A table `R(K, V1, ..., Vm)` becomes one model with `m` output heads.  The trunk is
+//! shared across all heads (this is where the compression comes from — common key
+//! structure is stored once) while the heads specialize for each output attribute.
+//! MHAS (in `dm-core`) searches the number and width of both trunk and head layers;
+//! this module only cares about instantiating and training a concrete choice.
+
+use crate::layer::{Activation, Dense};
+use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::optimizer::Optimizer;
+use crate::tensor::Matrix;
+use rand::Rng;
+
+/// Specification of one private head: hidden widths plus the number of output classes
+/// (the cardinality of the target column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskHeadSpec {
+    /// Hidden layer widths private to this task (possibly empty).
+    pub hidden: Vec<usize>,
+    /// Number of distinct values of the target column.
+    pub classes: usize,
+}
+
+impl TaskHeadSpec {
+    /// A head with no private hidden layers.
+    pub fn direct(classes: usize) -> Self {
+        TaskHeadSpec {
+            hidden: Vec::new(),
+            classes,
+        }
+    }
+
+    /// A head with the given private hidden widths.
+    pub fn with_hidden(hidden: Vec<usize>, classes: usize) -> Self {
+        TaskHeadSpec { hidden, classes }
+    }
+}
+
+/// Specification of the full multi-task model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiTaskSpec {
+    /// Number of input features (key encoding width).
+    pub input_dim: usize,
+    /// Shared trunk hidden widths (possibly empty — heads then read the input directly).
+    pub shared_hidden: Vec<usize>,
+    /// One head per value column.
+    pub heads: Vec<TaskHeadSpec>,
+}
+
+impl MultiTaskSpec {
+    /// Total number of trainable parameters this spec instantiates.
+    pub fn parameter_count(&self) -> usize {
+        let mut count = 0usize;
+        let mut prev = self.input_dim;
+        for &w in &self.shared_hidden {
+            count += prev * w + w;
+            prev = w;
+        }
+        let trunk_out = prev;
+        for head in &self.heads {
+            let mut prev = trunk_out;
+            for &w in &head.hidden {
+                count += prev * w + w;
+                prev = w;
+            }
+            count += prev * head.classes + head.classes;
+        }
+        count
+    }
+
+    /// Serialized size in bytes if stored as f32 parameters plus shape metadata.
+    /// This is the `size(M)` term of the paper's Eq. 1.
+    pub fn size_bytes(&self) -> usize {
+        // 4 bytes per parameter + a small per-layer header estimate (16 bytes).
+        let layers = self.shared_hidden.len()
+            + 1
+            + self
+                .heads
+                .iter()
+                .map(|h| h.hidden.len() + 1)
+                .sum::<usize>();
+        self.parameter_count() * 4 + layers * 16
+    }
+
+    fn validate(&self) -> crate::Result<()> {
+        if self.input_dim == 0 {
+            return Err(crate::NnError::InvalidConfig(
+                "multi-task input dimension must be positive".into(),
+            ));
+        }
+        if self.heads.is_empty() {
+            return Err(crate::NnError::InvalidConfig(
+                "multi-task model needs at least one head".into(),
+            ));
+        }
+        if self.shared_hidden.iter().any(|&w| w == 0) {
+            return Err(crate::NnError::InvalidConfig(
+                "shared layer width must be positive".into(),
+            ));
+        }
+        for (i, head) in self.heads.iter().enumerate() {
+            if head.classes == 0 {
+                return Err(crate::NnError::InvalidConfig(format!(
+                    "head {i} has zero output classes"
+                )));
+            }
+            if head.hidden.iter().any(|&w| w == 0) {
+                return Err(crate::NnError::InvalidConfig(format!(
+                    "head {i} has a zero-width hidden layer"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The instantiated multi-task model.
+#[derive(Debug, Clone)]
+pub struct MultiTaskModel {
+    spec: MultiTaskSpec,
+    trunk: Vec<Dense>,
+    heads: Vec<Vec<Dense>>,
+}
+
+impl MultiTaskModel {
+    /// Instantiates a model with Xavier-initialized weights.
+    pub fn new<R: Rng>(rng: &mut R, spec: &MultiTaskSpec) -> crate::Result<Self> {
+        spec.validate()?;
+        let mut trunk = Vec::with_capacity(spec.shared_hidden.len());
+        let mut prev = spec.input_dim;
+        for &w in &spec.shared_hidden {
+            trunk.push(Dense::new(rng, prev, w, Activation::Relu));
+            prev = w;
+        }
+        let trunk_out = prev;
+        let mut heads = Vec::with_capacity(spec.heads.len());
+        for head_spec in &spec.heads {
+            let mut head = Vec::with_capacity(head_spec.hidden.len() + 1);
+            let mut prev = trunk_out;
+            for &w in &head_spec.hidden {
+                head.push(Dense::new(rng, prev, w, Activation::Relu));
+                prev = w;
+            }
+            head.push(Dense::new(rng, prev, head_spec.classes, Activation::Linear));
+            heads.push(head);
+        }
+        Ok(MultiTaskModel {
+            spec: spec.clone(),
+            trunk,
+            heads,
+        })
+    }
+
+    /// Rebuilds a model from explicit layer stacks (used by deserialization).
+    pub fn from_layers(
+        spec: MultiTaskSpec,
+        trunk: Vec<Dense>,
+        heads: Vec<Vec<Dense>>,
+    ) -> crate::Result<Self> {
+        spec.validate()?;
+        if heads.len() != spec.heads.len() {
+            return Err(crate::NnError::InvalidConfig(format!(
+                "spec declares {} heads but {} were provided",
+                spec.heads.len(),
+                heads.len()
+            )));
+        }
+        Ok(MultiTaskModel { spec, trunk, heads })
+    }
+
+    /// The specification this model was built from.
+    pub fn spec(&self) -> &MultiTaskSpec {
+        &self.spec
+    }
+
+    /// The shared trunk layers.
+    pub fn trunk(&self) -> &[Dense] {
+        &self.trunk
+    }
+
+    /// The private head layer stacks, one per task.
+    pub fn heads(&self) -> &[Vec<Dense>] {
+        &self.heads
+    }
+
+    /// Number of tasks (value columns).
+    pub fn num_tasks(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Total trainable parameter count.
+    pub fn parameter_count(&self) -> usize {
+        self.trunk.iter().map(Dense::parameter_count).sum::<usize>()
+            + self
+                .heads
+                .iter()
+                .flat_map(|h| h.iter())
+                .map(Dense::parameter_count)
+                .sum::<usize>()
+    }
+
+    /// Serialized model size in bytes (f32 parameters + per-layer headers); the
+    /// `size(M)` term in Eq. 1.
+    pub fn size_bytes(&self) -> usize {
+        let layers = self.trunk.len() + self.heads.iter().map(Vec::len).sum::<usize>();
+        self.parameter_count() * 4 + layers * 16
+    }
+
+    /// Batched inference: returns one logit matrix per task (`batch × classes`).
+    pub fn forward(&self, x: &Matrix) -> crate::Result<Vec<Matrix>> {
+        let mut h = x.clone();
+        for layer in &self.trunk {
+            h = layer.forward(&h)?;
+        }
+        let mut outputs = Vec::with_capacity(self.heads.len());
+        for head in &self.heads {
+            let mut t = h.clone();
+            for layer in head {
+                t = layer.forward(&t)?;
+            }
+            outputs.push(t);
+        }
+        Ok(outputs)
+    }
+
+    /// Batched inference returning per-task argmax class predictions
+    /// (`predictions[task][row]`).
+    pub fn predict_classes(&self, x: &Matrix) -> crate::Result<Vec<Vec<usize>>> {
+        let logits = self.forward(x)?;
+        Ok(logits
+            .iter()
+            .map(|m| (0..m.rows()).map(|r| m.argmax_row(r)).collect())
+            .collect())
+    }
+
+    /// One supervised training step on a batch.
+    ///
+    /// `targets[task][row]` is the class index of `row` for `task`.  The per-task
+    /// cross-entropy losses are summed (all tasks share the trunk gradient).  Returns
+    /// the mean loss across tasks.
+    pub fn train_batch<O: Optimizer>(
+        &mut self,
+        x: &Matrix,
+        targets: &[Vec<usize>],
+        optimizer: &mut O,
+    ) -> crate::Result<f32> {
+        if targets.len() != self.heads.len() {
+            return Err(crate::NnError::InvalidConfig(format!(
+                "expected targets for {} tasks, got {}",
+                self.heads.len(),
+                targets.len()
+            )));
+        }
+        // Trunk forward (cached).
+        let mut h = x.clone();
+        for layer in &mut self.trunk {
+            h = layer.forward_train(&h)?;
+        }
+        // Heads forward + backward; accumulate gradient at the trunk output.
+        let mut total_loss = 0.0f32;
+        let mut trunk_grad = Matrix::zeros(h.rows(), h.cols());
+        for (head, head_targets) in self.heads.iter_mut().zip(targets.iter()) {
+            let mut t = h.clone();
+            for layer in head.iter_mut() {
+                t = layer.forward_train(&t)?;
+            }
+            let (loss, mut grad) = softmax_cross_entropy(&t, head_targets)?;
+            total_loss += loss;
+            for layer in head.iter_mut().rev() {
+                grad = layer.backward(&grad)?;
+            }
+            trunk_grad.add_scaled(&grad, 1.0)?;
+        }
+        // Trunk backward.
+        let mut grad = trunk_grad;
+        for layer in self.trunk.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        // Optimizer update over all parameters (stable order: trunk then heads).
+        let mut pairs = Vec::new();
+        for layer in &mut self.trunk {
+            pairs.extend(layer.parameters_and_grads());
+        }
+        for head in &mut self.heads {
+            for layer in head.iter_mut() {
+                pairs.extend(layer.parameters_and_grads());
+            }
+        }
+        optimizer.step(&mut pairs);
+        Ok(total_loss / self.heads.len() as f32)
+    }
+
+    /// Per-task accuracy on a labelled batch.
+    pub fn evaluate(&self, x: &Matrix, targets: &[Vec<usize>]) -> crate::Result<Vec<f32>> {
+        if targets.len() != self.heads.len() {
+            return Err(crate::NnError::InvalidConfig(format!(
+                "expected targets for {} tasks, got {}",
+                self.heads.len(),
+                targets.len()
+            )));
+        }
+        let logits = self.forward(x)?;
+        Ok(logits
+            .iter()
+            .zip(targets.iter())
+            .map(|(l, t)| accuracy(l, t))
+            .collect())
+    }
+
+    /// Fraction of rows for which *every* task is predicted correctly — the paper's
+    /// notion of a tuple being "memorized by the model" (a tuple goes to the auxiliary
+    /// table unless all of its attributes are inferred correctly).
+    pub fn tuple_accuracy(&self, x: &Matrix, targets: &[Vec<usize>]) -> crate::Result<f32> {
+        let preds = self.predict_classes(x)?;
+        let rows = x.rows();
+        if rows == 0 {
+            return Ok(1.0);
+        }
+        let mut correct = 0usize;
+        for r in 0..rows {
+            let all_ok = preds
+                .iter()
+                .zip(targets.iter())
+                .all(|(p, t)| p[r] == t[r]);
+            if all_ok {
+                correct += 1;
+            }
+        }
+        Ok(correct as f32 / rows as f32)
+    }
+
+    /// Drops cached activations on all layers.
+    pub fn clear_cache(&mut self) {
+        for layer in &mut self.trunk {
+            layer.clear_cache();
+        }
+        for head in &mut self.heads {
+            for layer in head.iter_mut() {
+                layer.clear_cache();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_spec() -> MultiTaskSpec {
+        MultiTaskSpec {
+            input_dim: 6,
+            shared_hidden: vec![32],
+            heads: vec![
+                TaskHeadSpec::with_hidden(vec![16], 4),
+                TaskHeadSpec::direct(3),
+            ],
+        }
+    }
+
+    #[test]
+    fn spec_parameter_count_matches_model() {
+        let spec = toy_spec();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = MultiTaskModel::new(&mut rng, &spec).unwrap();
+        assert_eq!(spec.parameter_count(), model.parameter_count());
+        assert_eq!(model.num_tasks(), 2);
+        assert!(model.size_bytes() > model.parameter_count() * 4);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = toy_spec();
+        s.input_dim = 0;
+        assert!(MultiTaskModel::new(&mut rng, &s).is_err());
+        let mut s = toy_spec();
+        s.heads.clear();
+        assert!(MultiTaskModel::new(&mut rng, &s).is_err());
+        let mut s = toy_spec();
+        s.heads[0].classes = 0;
+        assert!(MultiTaskModel::new(&mut rng, &s).is_err());
+        let mut s = toy_spec();
+        s.shared_hidden = vec![0];
+        assert!(MultiTaskModel::new(&mut rng, &s).is_err());
+    }
+
+    #[test]
+    fn forward_produces_one_logit_matrix_per_task() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = MultiTaskModel::new(&mut rng, &toy_spec()).unwrap();
+        let x = Matrix::zeros(7, 6);
+        let out = model.forward(&x).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].rows(), 7);
+        assert_eq!(out[0].cols(), 4);
+        assert_eq!(out[1].cols(), 3);
+    }
+
+    #[test]
+    fn train_batch_rejects_wrong_task_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = MultiTaskModel::new(&mut rng, &toy_spec()).unwrap();
+        let x = Matrix::zeros(2, 6);
+        let mut opt = Adam::new(0.01);
+        assert!(model.train_batch(&x, &[vec![0, 0]], &mut opt).is_err());
+    }
+
+    /// The multi-task model must memorize a small correlated mapping for both tasks —
+    /// this mirrors the "Order_Type / Order_Status" example of Figure 1.
+    #[test]
+    fn multitask_model_memorizes_two_columns() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 32usize;
+        let mut x = Matrix::zeros(n, 6);
+        let mut t0 = Vec::new();
+        let mut t1 = Vec::new();
+        for k in 0..n {
+            for b in 0..6 {
+                x.set(k, b, ((k >> b) & 1) as f32);
+            }
+            t0.push(k % 4); // strongly key-correlated column
+            t1.push((k / 8) % 3); // coarser correlated column
+        }
+        let targets = vec![t0.clone(), t1.clone()];
+        let spec = MultiTaskSpec {
+            input_dim: 6,
+            shared_hidden: vec![48, 48],
+            heads: vec![TaskHeadSpec::with_hidden(vec![24], 4), TaskHeadSpec::with_hidden(vec![24], 3)],
+        };
+        let mut model = MultiTaskModel::new(&mut rng, &spec).unwrap();
+        let mut opt = Adam::new(0.01);
+        for _ in 0..400 {
+            model.train_batch(&x, &targets, &mut opt).unwrap();
+        }
+        let accs = model.evaluate(&x, &targets).unwrap();
+        assert!(accs.iter().all(|&a| a > 0.9), "accuracies {accs:?}");
+        let tuple_acc = model.tuple_accuracy(&x, &targets).unwrap();
+        assert!(tuple_acc > 0.85, "tuple accuracy {tuple_acc}");
+    }
+
+    #[test]
+    fn tuple_accuracy_on_empty_batch_is_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = MultiTaskModel::new(&mut rng, &toy_spec()).unwrap();
+        let x = Matrix::zeros(0, 6);
+        let acc = model.tuple_accuracy(&x, &[vec![], vec![]]).unwrap();
+        assert_eq!(acc, 1.0);
+    }
+}

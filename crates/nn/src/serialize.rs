@@ -1,0 +1,353 @@
+//! Binary (de)serialization of models.
+//!
+//! DeepMapping's Eq.-1 objective charges the learned model by its *serialized* size,
+//! and the lookup path deserializes the model once at load time (the paper ships an
+//! ONNX file).  This module defines a small self-describing little-endian format:
+//!
+//! ```text
+//! magic "DMNN" | version u16 | input_dim u32
+//! | n_shared u32 | shared widths u32...
+//! | n_heads u32 | per head: n_hidden u32, hidden widths u32..., classes u32
+//! | per layer in (trunk, then heads in order): activation u8, rows u32, cols u32,
+//!   weight f32..., bias f32...
+//! ```
+
+use crate::layer::{Activation, Dense};
+use crate::multitask::{MultiTaskModel, MultiTaskSpec, TaskHeadSpec};
+use crate::tensor::Matrix;
+use crate::NnError;
+
+const MAGIC: &[u8; 4] = b"DMNN";
+const VERSION: u16 = 1;
+
+/// A streaming little-endian writer over a byte vector.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// Consumes the writer and returns the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a u8.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian f32.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A cursor-based little-endian reader.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> crate::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(NnError::Corrupt(format!(
+                "unexpected end of buffer at offset {} (wanted {n} more bytes of {})",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> crate::Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a u8.
+    pub fn get_u8(&mut self) -> crate::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn get_u16(&mut self) -> crate::Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> crate::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> crate::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian f32.
+    pub fn get_f32(&mut self) -> crate::Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Number of bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+fn write_dense(w: &mut ByteWriter, layer: &Dense) {
+    w.put_u8(layer.activation().tag());
+    w.put_u32(layer.weight().rows() as u32);
+    w.put_u32(layer.weight().cols() as u32);
+    for &v in layer.weight().as_slice() {
+        w.put_f32(v);
+    }
+    for &v in layer.bias().as_slice() {
+        w.put_f32(v);
+    }
+}
+
+fn read_dense(r: &mut ByteReader<'_>) -> crate::Result<Dense> {
+    let act = Activation::from_tag(r.get_u8()?)
+        .ok_or_else(|| NnError::Corrupt("unknown activation tag".into()))?;
+    let rows = r.get_u32()? as usize;
+    let cols = r.get_u32()? as usize;
+    if rows == 0 || cols == 0 || rows.saturating_mul(cols) > 1 << 28 {
+        return Err(NnError::Corrupt(format!(
+            "implausible layer shape {rows}x{cols}"
+        )));
+    }
+    let mut weight = Matrix::zeros(rows, cols);
+    for v in weight.as_mut_slice() {
+        *v = r.get_f32()?;
+    }
+    let mut bias = Matrix::zeros(1, cols);
+    for v in bias.as_mut_slice() {
+        *v = r.get_f32()?;
+    }
+    Dense::from_parameters(weight, bias, act)
+}
+
+/// Serializes a multi-task model into a self-describing byte buffer.
+pub fn serialize_multitask(model: &MultiTaskModel) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(MAGIC);
+    w.put_u16(VERSION);
+    let spec = model.spec();
+    w.put_u32(spec.input_dim as u32);
+    w.put_u32(spec.shared_hidden.len() as u32);
+    for &s in &spec.shared_hidden {
+        w.put_u32(s as u32);
+    }
+    w.put_u32(spec.heads.len() as u32);
+    for head in &spec.heads {
+        w.put_u32(head.hidden.len() as u32);
+        for &s in &head.hidden {
+            w.put_u32(s as u32);
+        }
+        w.put_u32(head.classes as u32);
+    }
+    for layer in model.trunk() {
+        write_dense(&mut w, layer);
+    }
+    for head in model.heads() {
+        for layer in head {
+            write_dense(&mut w, layer);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Deserializes a multi-task model produced by [`serialize_multitask`].
+pub fn deserialize_multitask(bytes: &[u8]) -> crate::Result<MultiTaskModel> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.get_bytes(4)?;
+    if magic != MAGIC {
+        return Err(NnError::Corrupt("bad magic".into()));
+    }
+    let version = r.get_u16()?;
+    if version != VERSION {
+        return Err(NnError::Corrupt(format!("unsupported version {version}")));
+    }
+    let input_dim = r.get_u32()? as usize;
+    let n_shared = r.get_u32()? as usize;
+    if n_shared > 64 {
+        return Err(NnError::Corrupt("implausible shared layer count".into()));
+    }
+    let mut shared_hidden = Vec::with_capacity(n_shared);
+    for _ in 0..n_shared {
+        shared_hidden.push(r.get_u32()? as usize);
+    }
+    let n_heads = r.get_u32()? as usize;
+    if n_heads == 0 || n_heads > 4096 {
+        return Err(NnError::Corrupt("implausible head count".into()));
+    }
+    let mut heads = Vec::with_capacity(n_heads);
+    for _ in 0..n_heads {
+        let n_hidden = r.get_u32()? as usize;
+        if n_hidden > 64 {
+            return Err(NnError::Corrupt("implausible private layer count".into()));
+        }
+        let mut hidden = Vec::with_capacity(n_hidden);
+        for _ in 0..n_hidden {
+            hidden.push(r.get_u32()? as usize);
+        }
+        let classes = r.get_u32()? as usize;
+        heads.push(TaskHeadSpec { hidden, classes });
+    }
+    let spec = MultiTaskSpec {
+        input_dim,
+        shared_hidden,
+        heads,
+    };
+    let mut trunk = Vec::with_capacity(spec.shared_hidden.len());
+    for _ in 0..spec.shared_hidden.len() {
+        trunk.push(read_dense(&mut r)?);
+    }
+    let mut head_layers = Vec::with_capacity(spec.heads.len());
+    for head_spec in &spec.heads {
+        let mut layers = Vec::with_capacity(head_spec.hidden.len() + 1);
+        for _ in 0..=head_spec.hidden.len() {
+            layers.push(read_dense(&mut r)?);
+        }
+        head_layers.push(layers);
+    }
+    if r.remaining() != 0 {
+        return Err(NnError::Corrupt(format!(
+            "{} trailing bytes after model",
+            r.remaining()
+        )));
+    }
+    MultiTaskModel::from_layers(spec, trunk, head_layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multitask::{MultiTaskSpec, TaskHeadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_model(seed: u64) -> MultiTaskModel {
+        let spec = MultiTaskSpec {
+            input_dim: 10,
+            shared_hidden: vec![16, 8],
+            heads: vec![
+                TaskHeadSpec::with_hidden(vec![12], 5),
+                TaskHeadSpec::direct(7),
+            ],
+        };
+        MultiTaskModel::new(&mut StdRng::seed_from_u64(seed), &spec).unwrap()
+    }
+
+    #[test]
+    fn byte_reader_writer_round_trip_scalars() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(65535);
+        w.put_u32(123456);
+        w.put_u64(u64::MAX - 3);
+        w.put_f32(-1.25);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 65535);
+        assert_eq!(r.get_u32().unwrap(), 123456);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f32().unwrap(), -1.25);
+        assert_eq!(r.remaining(), 0);
+        assert!(r.get_u8().is_err());
+    }
+
+    #[test]
+    fn model_round_trips_exactly() {
+        let model = sample_model(3);
+        let bytes = serialize_multitask(&model);
+        let restored = deserialize_multitask(&bytes).unwrap();
+        assert_eq!(restored.spec(), model.spec());
+        // Same predictions on a batch.
+        let x = crate::encoding::KeyEncoder::with_bits(10).encode_batch(&[0, 1, 5, 999]);
+        let a = model.predict_classes(&x).unwrap();
+        let b = restored.predict_classes(&x).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serialized_size_tracks_parameter_count() {
+        let model = sample_model(4);
+        let bytes = serialize_multitask(&model);
+        // Parameters dominate: serialized size must be at least 4 bytes per parameter
+        // and not wildly larger.
+        assert!(bytes.len() >= model.parameter_count() * 4);
+        assert!(bytes.len() <= model.parameter_count() * 4 + 1024);
+    }
+
+    #[test]
+    fn corrupt_buffers_are_rejected() {
+        let model = sample_model(5);
+        let bytes = serialize_multitask(&model);
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(deserialize_multitask(&bad).is_err());
+        // Truncated.
+        assert!(deserialize_multitask(&bytes[..bytes.len() / 2]).is_err());
+        // Trailing garbage.
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&[0u8; 3]);
+        assert!(deserialize_multitask(&extended).is_err());
+        // Empty.
+        assert!(deserialize_multitask(&[]).is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! Array- and hash-partition layouts.
+//!
+//! The paper's baselines store each partition either as a serialized array (rows
+//! sorted by key, looked up by binary search — the `AB`/`ABC-*` systems, mirroring
+//! serialized numpy arrays) or as a serialized hash table (`HB`/`HBC-*`, mirroring
+//! pickled Python dicts).  Two cost asymmetries from the paper are reproduced here
+//! because the experiments depend on them:
+//!
+//! * hash partitions are *larger* on disk (the serialized form carries the bucket
+//!   directory, not just the entries), and
+//! * hash partitions are *slower to deserialize* (the table must be rebuilt entry by
+//!   entry on load), which is why HB/HBC lose badly once partitions no longer fit in
+//!   memory (Section V-C, Figure 7).
+
+use crate::row::Row;
+use crate::{Result, StorageError};
+use dm_compress::varint;
+use std::collections::HashMap;
+
+/// Which in-memory/on-disk representation a partition uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionLayout {
+    /// Rows sorted by key, fixed-width records, binary-search lookups.
+    Array,
+    /// An explicit bucket directory plus entries, constant-time lookups.
+    Hash,
+}
+
+impl PartitionLayout {
+    /// The paper's prefix for stores using this layout (`AB`/`ABC` vs `HB`/`HBC`).
+    pub fn paper_prefix(&self, compressed: bool) -> &'static str {
+        match (self, compressed) {
+            (PartitionLayout::Array, false) => "AB",
+            (PartitionLayout::Array, true) => "ABC",
+            (PartitionLayout::Hash, false) => "HB",
+            (PartitionLayout::Hash, true) => "HBC",
+        }
+    }
+}
+
+/// Splits rows into partitions whose serialized (uncompressed) size is close to
+/// `target_bytes`.  Rows are sorted by key first so array partitions support binary
+/// search and partition key ranges are disjoint.
+pub fn partition_rows(rows: &[Row], num_value_columns: usize, target_bytes: usize) -> Vec<Vec<Row>> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<Row> = rows.to_vec();
+    sorted.sort_by_key(|r| r.key);
+    let row_width = Row::fixed_width(num_value_columns);
+    let rows_per_partition = (target_bytes / row_width).max(1);
+    sorted
+        .chunks(rows_per_partition)
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+/// A decoded array partition: keys sorted ascending, values stored row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayPartition {
+    keys: Vec<u64>,
+    values: Vec<u32>,
+    value_columns: usize,
+}
+
+impl ArrayPartition {
+    /// Builds a partition from rows (sorted internally).
+    pub fn from_rows(rows: &[Row], value_columns: usize) -> Result<Self> {
+        let mut sorted: Vec<&Row> = rows.iter().collect();
+        sorted.sort_by_key(|r| r.key);
+        let mut keys = Vec::with_capacity(rows.len());
+        let mut values = Vec::with_capacity(rows.len() * value_columns);
+        for row in sorted {
+            if row.values.len() != value_columns {
+                return Err(StorageError::InvalidConfig(format!(
+                    "row {} has {} value columns, partition expects {value_columns}",
+                    row.key,
+                    row.values.len()
+                )));
+            }
+            keys.push(row.key);
+            values.extend_from_slice(&row.values);
+        }
+        Ok(ArrayPartition {
+            keys,
+            values,
+            value_columns,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the partition holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Smallest key in the partition (None when empty).
+    pub fn min_key(&self) -> Option<u64> {
+        self.keys.first().copied()
+    }
+
+    /// Largest key in the partition (None when empty).
+    pub fn max_key(&self) -> Option<u64> {
+        self.keys.last().copied()
+    }
+
+    /// Binary-search lookup.
+    pub fn get(&self, key: u64) -> Option<&[u32]> {
+        let idx = self.keys.binary_search(&key).ok()?;
+        Some(&self.values[idx * self.value_columns..(idx + 1) * self.value_columns])
+    }
+
+    /// Iterates rows in key order.
+    pub fn iter(&self) -> impl Iterator<Item = Row> + '_ {
+        self.keys.iter().enumerate().map(|(i, &key)| {
+            Row::new(
+                key,
+                self.values[i * self.value_columns..(i + 1) * self.value_columns].to_vec(),
+            )
+        })
+    }
+
+    /// Serializes to the fixed-width array format:
+    /// `varint count | varint value_columns | per row: key u64 LE, values u32 LE...`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(16 + self.keys.len() * Row::fixed_width(self.value_columns));
+        varint::write_u64(&mut out, self.keys.len() as u64);
+        varint::write_u64(&mut out, self.value_columns as u64);
+        for (i, &key) in self.keys.iter().enumerate() {
+            out.extend_from_slice(&key.to_le_bytes());
+            for &v in &self.values[i * self.value_columns..(i + 1) * self.value_columns] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a buffer produced by [`ArrayPartition::to_bytes`].  This is the
+    /// cheap deserialization path: one pass, no index rebuild.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let (count, pos) = varint::read_u64(bytes, 0).map_err(StorageError::from)?;
+        let (value_columns, mut pos) = varint::read_u64(bytes, pos).map_err(StorageError::from)?;
+        let count = count as usize;
+        let value_columns = value_columns as usize;
+        let row_width = Row::fixed_width(value_columns);
+        if bytes.len() < pos + count * row_width {
+            return Err(StorageError::Corrupt(format!(
+                "array partition truncated: need {} bytes, have {}",
+                pos + count * row_width,
+                bytes.len()
+            )));
+        }
+        let mut keys = Vec::with_capacity(count);
+        let mut values = Vec::with_capacity(count * value_columns);
+        let mut prev_key: Option<u64> = None;
+        for _ in 0..count {
+            let key = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+            pos += 8;
+            if let Some(p) = prev_key {
+                if key < p {
+                    return Err(StorageError::Corrupt(
+                        "array partition keys are not sorted".into(),
+                    ));
+                }
+            }
+            prev_key = Some(key);
+            keys.push(key);
+            for _ in 0..value_columns {
+                values.push(u32::from_le_bytes(
+                    bytes[pos..pos + 4].try_into().expect("4 bytes"),
+                ));
+                pos += 4;
+            }
+        }
+        Ok(ArrayPartition {
+            keys,
+            values,
+            value_columns,
+        })
+    }
+}
+
+/// A decoded hash partition: an open-addressing style serialized form rebuilt into a
+/// `HashMap` on load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashPartition {
+    map: HashMap<u64, Vec<u32>>,
+    value_columns: usize,
+}
+
+impl HashPartition {
+    /// Builds a partition from rows.
+    pub fn from_rows(rows: &[Row], value_columns: usize) -> Result<Self> {
+        let mut map = HashMap::with_capacity(rows.len() * 2);
+        for row in rows {
+            if row.values.len() != value_columns {
+                return Err(StorageError::InvalidConfig(format!(
+                    "row {} has {} value columns, partition expects {value_columns}",
+                    row.key,
+                    row.values.len()
+                )));
+            }
+            map.insert(row.key, row.values.clone());
+        }
+        Ok(HashPartition { map, value_columns })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the partition holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Constant-time lookup.
+    pub fn get(&self, key: u64) -> Option<&[u32]> {
+        self.map.get(&key).map(|v| v.as_slice())
+    }
+
+    /// Iterates rows in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = Row> + '_ {
+        self.map
+            .iter()
+            .map(|(&key, values)| Row::new(key, values.clone()))
+    }
+
+    /// Serializes to the hash format.  The serialized form mirrors a persisted hash
+    /// table: a bucket directory sized at twice the entry count (8 bytes per slot:
+    /// entry index or the empty marker) followed by the entries themselves.  The
+    /// directory is what makes hash partitions bigger on disk than array partitions.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.map.len();
+        let buckets = (n * 2).next_power_of_two().max(8);
+        let mut directory = vec![u64::MAX; buckets];
+        let mut entries: Vec<(&u64, &Vec<u32>)> = self.map.iter().collect();
+        // Deterministic output: order entries by key.
+        entries.sort_by_key(|(k, _)| **k);
+        for (i, (key, _)) in entries.iter().enumerate() {
+            let mut slot = (*(*key) as usize).wrapping_mul(0x9E3779B97F4A7C15_usize % buckets) % buckets;
+            // Linear probing for a free directory slot.
+            while directory[slot] != u64::MAX {
+                slot = (slot + 1) % buckets;
+            }
+            directory[slot] = i as u64;
+        }
+        let mut out = Vec::with_capacity(16 + buckets * 8 + n * Row::fixed_width(self.value_columns));
+        varint::write_u64(&mut out, n as u64);
+        varint::write_u64(&mut out, self.value_columns as u64);
+        varint::write_u64(&mut out, buckets as u64);
+        for slot in &directory {
+            out.extend_from_slice(&slot.to_le_bytes());
+        }
+        for (key, values) in entries {
+            out.extend_from_slice(&key.to_le_bytes());
+            for &v in values.iter() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a buffer produced by [`HashPartition::to_bytes`].  This is the
+    /// expensive deserialization path: every entry is re-inserted into a fresh map,
+    /// reproducing the cost profile of unpickling a Python dict.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let (count, pos) = varint::read_u64(bytes, 0).map_err(StorageError::from)?;
+        let (value_columns, pos) = varint::read_u64(bytes, pos).map_err(StorageError::from)?;
+        let (buckets, mut pos) = varint::read_u64(bytes, pos).map_err(StorageError::from)?;
+        let count = count as usize;
+        let value_columns = value_columns as usize;
+        let buckets = buckets as usize;
+        let dir_bytes = buckets * 8;
+        let row_width = Row::fixed_width(value_columns);
+        if bytes.len() < pos + dir_bytes + count * row_width {
+            return Err(StorageError::Corrupt("hash partition truncated".into()));
+        }
+        // The directory is validated (every non-empty slot must reference a valid
+        // entry) and then discarded — the in-memory representation is a std HashMap.
+        for slot_bytes in bytes[pos..pos + dir_bytes].chunks_exact(8) {
+            let slot = u64::from_le_bytes(slot_bytes.try_into().expect("8 bytes"));
+            if slot != u64::MAX && slot as usize >= count {
+                return Err(StorageError::Corrupt(format!(
+                    "hash directory references entry {slot} of {count}"
+                )));
+            }
+        }
+        pos += dir_bytes;
+        let mut map = HashMap::with_capacity(count * 2);
+        for _ in 0..count {
+            let key = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+            pos += 8;
+            let mut values = Vec::with_capacity(value_columns);
+            for _ in 0..value_columns {
+                values.push(u32::from_le_bytes(
+                    bytes[pos..pos + 4].try_into().expect("4 bytes"),
+                ));
+                pos += 4;
+            }
+            map.insert(key, values);
+        }
+        Ok(HashPartition { map, value_columns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows(n: u64) -> Vec<Row> {
+        (0..n)
+            .map(|k| Row::new(k * 3 + 1, vec![(k % 5) as u32, (k % 7) as u32]))
+            .collect()
+    }
+
+    #[test]
+    fn partition_rows_respects_target_size_and_sorts() {
+        let mut rows = sample_rows(100);
+        rows.reverse();
+        let partitions = partition_rows(&rows, 2, 160);
+        // 16 bytes per row -> 10 rows per partition -> 10 partitions.
+        assert_eq!(partitions.len(), 10);
+        let mut last_key = 0u64;
+        for p in &partitions {
+            for r in p {
+                assert!(r.key >= last_key);
+                last_key = r.key;
+            }
+        }
+        assert!(partition_rows(&[], 2, 160).is_empty());
+    }
+
+    #[test]
+    fn array_partition_lookup_and_bounds() {
+        let rows = sample_rows(50);
+        let p = ArrayPartition::from_rows(&rows, 2).unwrap();
+        assert_eq!(p.len(), 50);
+        assert_eq!(p.min_key(), Some(1));
+        assert_eq!(p.max_key(), Some(148));
+        assert_eq!(p.get(4), Some(&[1u32, 1u32][..]));
+        assert_eq!(p.get(5), None);
+        let all: Vec<Row> = p.iter().collect();
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn array_partition_round_trips() {
+        let rows = sample_rows(200);
+        let p = ArrayPartition::from_rows(&rows, 2).unwrap();
+        let bytes = p.to_bytes();
+        let restored = ArrayPartition::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, p);
+    }
+
+    #[test]
+    fn array_partition_rejects_mismatched_columns_and_corruption() {
+        let rows = vec![Row::new(1, vec![1])];
+        assert!(ArrayPartition::from_rows(&rows, 2).is_err());
+        let good = ArrayPartition::from_rows(&sample_rows(10), 2).unwrap();
+        let bytes = good.to_bytes();
+        assert!(ArrayPartition::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(ArrayPartition::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn unsorted_serialized_array_is_rejected() {
+        // Hand-craft a buffer with keys out of order.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 2);
+        varint::write_u64(&mut bytes, 0);
+        bytes.extend_from_slice(&5u64.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        assert!(ArrayPartition::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn hash_partition_lookup_and_round_trip() {
+        let rows = sample_rows(100);
+        let p = HashPartition::from_rows(&rows, 2).unwrap();
+        assert_eq!(p.len(), 100);
+        assert_eq!(p.get(1), Some(&[0u32, 0u32][..]));
+        assert_eq!(p.get(2), None);
+        let bytes = p.to_bytes();
+        let restored = HashPartition::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), p.len());
+        for row in p.iter() {
+            assert_eq!(restored.get(row.key), Some(row.values.as_slice()));
+        }
+    }
+
+    #[test]
+    fn hash_serialization_is_larger_than_array() {
+        // The paper's observation: serialized hash tables carry directory overhead.
+        let rows = sample_rows(1000);
+        let array_bytes = ArrayPartition::from_rows(&rows, 2).unwrap().to_bytes();
+        let hash_bytes = HashPartition::from_rows(&rows, 2).unwrap().to_bytes();
+        assert!(
+            hash_bytes.len() > array_bytes.len() + rows.len() * 4,
+            "hash {} vs array {}",
+            hash_bytes.len(),
+            array_bytes.len()
+        );
+    }
+
+    #[test]
+    fn hash_partition_rejects_corruption() {
+        let p = HashPartition::from_rows(&sample_rows(20), 2).unwrap();
+        let bytes = p.to_bytes();
+        assert!(HashPartition::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(HashPartition::from_bytes(&[]).is_err());
+        assert!(HashPartition::from_rows(&[Row::new(1, vec![1, 2, 3])], 2).is_err());
+    }
+
+    #[test]
+    fn layout_prefixes_match_paper_names() {
+        assert_eq!(PartitionLayout::Array.paper_prefix(false), "AB");
+        assert_eq!(PartitionLayout::Array.paper_prefix(true), "ABC");
+        assert_eq!(PartitionLayout::Hash.paper_prefix(false), "HB");
+        assert_eq!(PartitionLayout::Hash.paper_prefix(true), "HBC");
+    }
+}

@@ -1,0 +1,70 @@
+//! # dm-storage — storage substrate for DeepMapping
+//!
+//! The DeepMapping evaluation runs on memory-constrained edge machines: datasets are
+//! partitioned, partitions are compressed and written to disk, and at query time a
+//! memory pool loads, decompresses and (under memory pressure) evicts partitions with
+//! an LRU policy (Sections IV-B2 and V-A of the paper).  The headline speedups of
+//! Table I come from DeepMapping avoiding exactly these load + decompress cycles.
+//!
+//! This crate is the from-scratch substitute for that environment:
+//!
+//! * [`row`] — the numeric row model every store in the workspace shares
+//!   (`key → encoded value codes`), and the [`KeyValueStore`] trait the benchmark
+//!   harness sweeps over,
+//! * [`bitvec`] — the dynamic existence bit vector (`Vexist`),
+//! * [`layout`] — array- and hash-partition serialization (the paper's "array-based"
+//!   and "hash-based" representations, with their asymmetric deserialization costs),
+//! * [`disk`] — a simulated disk: partitions live as compressed frames in byte
+//!   buffers, reads are counted and costed with a configurable bandwidth model,
+//! * [`pool`] — an LRU buffer pool with a byte budget that loads/decompresses/evicts
+//!   partitions,
+//! * [`metrics`] — the latency-breakdown accounting behind Figure 7.
+
+pub mod bitvec;
+pub mod disk;
+pub mod layout;
+pub mod metrics;
+pub mod pool;
+pub mod row;
+
+pub use bitvec::BitVec;
+pub use disk::{DiskProfile, SimulatedDisk};
+pub use layout::{ArrayPartition, HashPartition, PartitionLayout};
+pub use metrics::{LatencyBreakdown, Metrics, Phase};
+pub use pool::BufferPool;
+pub use row::{KeyValueStore, Row, StoreStats};
+
+/// Errors produced by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A partition or serialized structure was malformed.
+    Corrupt(String),
+    /// A referenced partition does not exist on the simulated disk.
+    MissingPartition(u64),
+    /// A compression codec failed.
+    Compression(String),
+    /// The operation's configuration was invalid.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage data: {msg}"),
+            StorageError::MissingPartition(id) => write!(f, "partition {id} not found"),
+            StorageError::Compression(msg) => write!(f, "compression error: {msg}"),
+            StorageError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<dm_compress::CompressError> for StorageError {
+    fn from(err: dm_compress::CompressError) -> Self {
+        StorageError::Compression(err.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,227 @@
+//! The LRU buffer pool.
+//!
+//! "In memory-constrained devices, we free up the space of the least recently used
+//! (LRU) partition before loading the subsequent partition of the auxiliary table when
+//! the memory becomes insufficient" (Section IV-B2).  The same pool also serves the
+//! baselines: array/hash partitions are loaded through it, so when a dataset exceeds
+//! the pool's byte budget the baselines pay repeated load + decompress cycles while
+//! DeepMapping's small hybrid structure stays resident — the mechanism behind Table I.
+//!
+//! The pool is generic over the decoded partition type: the caller supplies a loader
+//! closure that turns the partition id into a decoded value plus its in-memory size.
+
+use crate::metrics::Metrics;
+use crate::Result;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An LRU cache of decoded partitions with a byte budget.
+#[derive(Debug)]
+pub struct BufferPool<V> {
+    inner: Mutex<PoolInner<V>>,
+    capacity_bytes: usize,
+    metrics: Metrics,
+}
+
+#[derive(Debug)]
+struct PoolInner<V> {
+    entries: HashMap<u64, Entry<V>>,
+    clock: u64,
+    used_bytes: usize,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: Arc<V>,
+    bytes: usize,
+    last_used: u64,
+}
+
+impl<V> BufferPool<V> {
+    /// Creates a pool with the given byte budget.  A budget of `usize::MAX` models a
+    /// machine whose memory comfortably holds the whole dataset.
+    pub fn new(capacity_bytes: usize, metrics: Metrics) -> Self {
+        BufferPool {
+            inner: Mutex::new(PoolInner {
+                entries: HashMap::new(),
+                clock: 0,
+                used_bytes: 0,
+            }),
+            capacity_bytes,
+            metrics,
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently pinned by cached partitions.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+
+    /// Number of cached partitions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().entries.is_empty()
+    }
+
+    /// Returns the cached partition if present (marking it recently used) without
+    /// invoking the loader.
+    pub fn peek(&self, id: u64) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.entries.get_mut(&id).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.value)
+        })
+    }
+
+    /// Gets a partition, loading it with `loader` on a miss.  The loader returns the
+    /// decoded value and its in-memory size in bytes; the pool evicts least-recently
+    /// used entries until the new value fits.
+    pub fn get_or_load(
+        &self,
+        id: u64,
+        loader: impl FnOnce() -> Result<(V, usize)>,
+    ) -> Result<Arc<V>> {
+        if let Some(hit) = self.peek(id) {
+            self.metrics.add_pool_hit();
+            return Ok(hit);
+        }
+        self.metrics.add_pool_miss();
+        let (value, bytes) = loader()?;
+        let value = Arc::new(value);
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        // Evict until the new entry fits (an entry larger than the whole budget is
+        // admitted alone — the query still has to run).
+        while inner.used_bytes + bytes > self.capacity_bytes && !inner.entries.is_empty() {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("entries not empty");
+            if let Some(evicted) = inner.entries.remove(&victim) {
+                inner.used_bytes -= evicted.bytes;
+                self.metrics.add_pool_eviction();
+            }
+        }
+        inner.used_bytes += bytes;
+        inner.entries.insert(
+            id,
+            Entry {
+                value: Arc::clone(&value),
+                bytes,
+                last_used: clock,
+            },
+        );
+        Ok(value)
+    }
+
+    /// Removes a partition from the pool (e.g. after it was rewritten on disk).
+    pub fn invalidate(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.entries.remove(&id) {
+            inner.used_bytes -= entry.bytes;
+        }
+    }
+
+    /// Drops every cached partition.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.used_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loader(value: u32, bytes: usize) -> impl FnOnce() -> Result<(u32, usize)> {
+        move || Ok((value, bytes))
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let metrics = Metrics::new();
+        let pool: BufferPool<u32> = BufferPool::new(1024, metrics.clone());
+        let a = pool.get_or_load(1, loader(10, 100)).unwrap();
+        assert_eq!(*a, 10);
+        let b = pool.get_or_load(1, loader(99, 100)).unwrap();
+        assert_eq!(*b, 10, "second access must be served from cache");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.pool_misses, 1);
+        assert_eq!(snap.pool_hits, 1);
+        assert_eq!(pool.used_bytes(), 100);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let metrics = Metrics::new();
+        let pool: BufferPool<u32> = BufferPool::new(250, metrics.clone());
+        pool.get_or_load(1, loader(1, 100)).unwrap();
+        pool.get_or_load(2, loader(2, 100)).unwrap();
+        // Touch 1 so 2 becomes the LRU victim.
+        pool.peek(1).unwrap();
+        pool.get_or_load(3, loader(3, 100)).unwrap();
+        assert!(pool.peek(2).is_none(), "2 should have been evicted");
+        assert!(pool.peek(1).is_some());
+        assert!(pool.peek(3).is_some());
+        assert_eq!(metrics.snapshot().pool_evictions, 1);
+        assert!(pool.used_bytes() <= 250);
+    }
+
+    #[test]
+    fn oversized_entry_is_admitted_alone() {
+        let metrics = Metrics::new();
+        let pool: BufferPool<u32> = BufferPool::new(50, metrics);
+        pool.get_or_load(1, loader(1, 40)).unwrap();
+        pool.get_or_load(2, loader(2, 400)).unwrap();
+        // Everything else evicted, the big entry resident.
+        assert!(pool.peek(1).is_none());
+        assert!(pool.peek(2).is_some());
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let metrics = Metrics::new();
+        let pool: BufferPool<u32> = BufferPool::new(1000, metrics);
+        pool.get_or_load(7, loader(7, 10)).unwrap();
+        pool.invalidate(7);
+        assert!(pool.peek(7).is_none());
+        assert_eq!(pool.used_bytes(), 0);
+        pool.get_or_load(8, loader(8, 10)).unwrap();
+        pool.get_or_load(9, loader(9, 10)).unwrap();
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.used_bytes(), 0);
+        // Invalidating a missing id is a no-op.
+        pool.invalidate(1234);
+    }
+
+    #[test]
+    fn loader_errors_propagate_and_do_not_poison_the_pool() {
+        let metrics = Metrics::new();
+        let pool: BufferPool<u32> = BufferPool::new(100, metrics);
+        let err = pool.get_or_load(1, || {
+            Err(crate::StorageError::Corrupt("boom".into()))
+        });
+        assert!(err.is_err());
+        assert!(pool.is_empty());
+        // A later successful load works.
+        assert_eq!(*pool.get_or_load(1, loader(5, 10)).unwrap(), 5);
+    }
+}

@@ -1,0 +1,211 @@
+//! The shared row model and the [`KeyValueStore`] trait.
+//!
+//! Every store in the workspace — DeepMapping and all baselines — answers the same
+//! query: given an integer key, return the tuple's value columns as dense integer
+//! codes (decoding back to strings via `fdecode` happens above this layer).  Keeping
+//! the model numeric mirrors the paper's preprocessing (categorical values are
+//! one-hot/integer encoded before anything touches the network or the partitions) and
+//! lets the benchmark harness sweep stores uniformly through one trait.
+
+use crate::Result;
+
+/// A single tuple: an integer key plus one encoded code per value column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Row {
+    /// The lookup key.
+    pub key: u64,
+    /// One dense code per value column, in schema order.
+    pub values: Vec<u32>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(key: u64, values: Vec<u32>) -> Self {
+        Row { key, values }
+    }
+
+    /// Serialized width in bytes when stored with a fixed-width layout
+    /// (8-byte key + 4 bytes per value column).
+    pub fn fixed_width(num_value_columns: usize) -> usize {
+        8 + 4 * num_value_columns
+    }
+}
+
+/// Summary statistics every store can report, used for the storage-size columns of the
+/// paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Total bytes the store occupies on (simulated) disk.
+    pub disk_bytes: usize,
+    /// Bytes the store pins in memory independently of the buffer pool
+    /// (e.g. DeepMapping's model + existence vector, a hash store's directory).
+    pub resident_bytes: usize,
+    /// Number of tuples currently represented.
+    pub tuple_count: usize,
+    /// Number of partitions the store is divided into.
+    pub partition_count: usize,
+}
+
+/// The uniform interface the benchmark harness (and the examples) use to compare
+/// DeepMapping against the array- and hash-based baselines.
+pub trait KeyValueStore {
+    /// A short, table-friendly name (e.g. `"DM-Z"`, `"ABC-L"`, `"HB"`).
+    fn name(&self) -> String;
+
+    /// Looks up a batch of keys.  The result has one entry per query key, in query
+    /// order: `Some(values)` when the key exists, `None` otherwise.
+    fn lookup_batch(&mut self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>>;
+
+    /// Inserts new rows (keys may be previously unseen).
+    fn insert(&mut self, rows: &[Row]) -> Result<()>;
+
+    /// Deletes keys; deleting a non-existing key is a no-op.
+    fn delete(&mut self, keys: &[u64]) -> Result<()>;
+
+    /// Updates the values of existing keys (rows whose keys do not exist are ignored).
+    fn update(&mut self, rows: &[Row]) -> Result<()>;
+
+    /// Storage-size statistics.
+    fn stats(&self) -> StoreStats;
+
+    /// Convenience single-key lookup.
+    fn lookup(&mut self, key: u64) -> Result<Option<Vec<u32>>> {
+        Ok(self.lookup_batch(&[key])?.pop().flatten())
+    }
+
+    /// Optional maintenance hook run off the query path (e.g. during off-peak hours).
+    /// DeepMapping retrains its model and compacts the auxiliary structures here; the
+    /// partitioned baselines have nothing to do and keep the default no-op.
+    fn maintenance(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A trivially correct reference store backed by a `BTreeMap`, used by tests and
+/// property tests as the ground truth all other stores are compared against.
+#[derive(Debug, Default, Clone)]
+pub struct ReferenceStore {
+    map: std::collections::BTreeMap<u64, Vec<u32>>,
+}
+
+impl ReferenceStore {
+    /// Creates an empty reference store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a reference store from rows.
+    pub fn from_rows(rows: &[Row]) -> Self {
+        let mut store = Self::new();
+        for row in rows {
+            store.map.insert(row.key, row.values.clone());
+        }
+        store
+    }
+
+    /// Iterates over all rows in key order.
+    pub fn iter(&self) -> impl Iterator<Item = Row> + '_ {
+        self.map
+            .iter()
+            .map(|(&key, values)| Row::new(key, values.clone()))
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl KeyValueStore for ReferenceStore {
+    fn name(&self) -> String {
+        "REF".to_string()
+    }
+
+    fn lookup_batch(&mut self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
+        Ok(keys.iter().map(|k| self.map.get(k).cloned()).collect())
+    }
+
+    fn insert(&mut self, rows: &[Row]) -> Result<()> {
+        for row in rows {
+            self.map.insert(row.key, row.values.clone());
+        }
+        Ok(())
+    }
+
+    fn delete(&mut self, keys: &[u64]) -> Result<()> {
+        for k in keys {
+            self.map.remove(k);
+        }
+        Ok(())
+    }
+
+    fn update(&mut self, rows: &[Row]) -> Result<()> {
+        for row in rows {
+            if let Some(slot) = self.map.get_mut(&row.key) {
+                *slot = row.values.clone();
+            }
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        let tuple_count = self.map.len();
+        let value_cols = self.map.values().next().map(Vec::len).unwrap_or(0);
+        StoreStats {
+            disk_bytes: tuple_count * Row::fixed_width(value_cols),
+            resident_bytes: tuple_count * Row::fixed_width(value_cols),
+            tuple_count,
+            partition_count: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_accounts_for_key_and_columns() {
+        assert_eq!(Row::fixed_width(0), 8);
+        assert_eq!(Row::fixed_width(3), 20);
+    }
+
+    #[test]
+    fn reference_store_supports_full_lifecycle() {
+        let mut store = ReferenceStore::new();
+        store
+            .insert(&[Row::new(1, vec![10, 20]), Row::new(5, vec![11, 21])])
+            .unwrap();
+        assert_eq!(store.lookup(1).unwrap(), Some(vec![10, 20]));
+        assert_eq!(store.lookup(2).unwrap(), None);
+
+        store.update(&[Row::new(1, vec![99, 98]), Row::new(7, vec![0, 0])]).unwrap();
+        assert_eq!(store.lookup(1).unwrap(), Some(vec![99, 98]));
+        // Updating a missing key does not insert it.
+        assert_eq!(store.lookup(7).unwrap(), None);
+
+        store.delete(&[1, 100]).unwrap();
+        assert_eq!(store.lookup(1).unwrap(), None);
+        assert_eq!(store.len(), 1);
+
+        let stats = store.stats();
+        assert_eq!(stats.tuple_count, 1);
+        assert!(stats.disk_bytes > 0);
+    }
+
+    #[test]
+    fn batch_lookup_preserves_query_order() {
+        let mut store = ReferenceStore::from_rows(&[
+            Row::new(3, vec![3]),
+            Row::new(1, vec![1]),
+            Row::new(2, vec![2]),
+        ]);
+        let result = store.lookup_batch(&[2, 99, 1]).unwrap();
+        assert_eq!(result, vec![Some(vec![2]), None, Some(vec![1])]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Edge kiosk scenario: a memory-constrained self-serve retail device keeps its order
+//! and inventory data local (the motivating use case of the paper's introduction) and
+//! must answer random lookups while absorbing a stream of new transactions.
+//!
+//! The example compares DeepMapping against the compressed array baseline (ABC-Z)
+//! under a memory pool much smaller than the data, showing both the storage footprint
+//! and the lookup latency gap, then runs a day of inserts/updates through
+//! DeepMapping's modification workflows.
+//!
+//! Run with `cargo run --release --example edge_kiosk`.
+
+use deepmapping::baselines::{PartitionedStore, PartitionedStoreConfig};
+use deepmapping::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // The kiosk's transaction log: order_id -> (item_category, payment_method,
+    // fulfilment_status).  Values follow daily patterns, so they correlate with the
+    // (monotonically increasing) order id.
+    let orders = 40_000u64;
+    let rows: Vec<Row> = (0..orders)
+        .map(|id| {
+            Row::new(
+                id,
+                vec![
+                    ((id / 128) % 12) as u32, // item category rotates through the day
+                    ((id / 32) % 4) as u32,   // payment method
+                    ((id / 8) % 3) as u32,    // fulfilment status
+                ],
+            )
+        })
+        .collect();
+    let dataset_bytes = rows.len() * Row::fixed_width(3);
+    // The kiosk has memory for only ~25% of the raw data.
+    let memory_budget = dataset_bytes / 4;
+
+    println!("edge kiosk: {} orders, {} KiB raw, {} KiB memory budget", orders, dataset_bytes / 1024, memory_budget / 1024);
+
+    // Baseline: compressed array partitions behind an LRU pool.
+    let metrics = Metrics::new();
+    let mut abc_z = PartitionedStore::build(
+        &rows,
+        3,
+        PartitionedStoreConfig::array(Codec::Lz)
+            .with_memory_budget(memory_budget)
+            .with_partition_bytes(32 * 1024)
+            .with_disk_profile(DiskProfile::edge_ssd()),
+        metrics.clone(),
+    )
+    .expect("baseline build");
+
+    // DeepMapping with the same budget.
+    let config = DeepMappingConfig::dm_z()
+        .with_memory_budget(memory_budget)
+        .with_disk_profile(DiskProfile::edge_ssd())
+        .with_training(TrainingConfig {
+            epochs: 25,
+            batch_size: 4096,
+            ..TrainingConfig::default()
+        });
+    let mut dm = deepmapping::core::DeepMapping::build(&rows, &config).expect("DeepMapping build");
+
+    // A burst of random point lookups (customers scanning receipts).
+    let workload = LookupWorkload::with_misses(5_000, 0.05);
+    let keys = workload.generate_from_keys(&(0..orders).collect::<Vec<_>>(), orders);
+
+    let start = Instant::now();
+    let baseline_answers = KeyValueStore::lookup_batch(&mut abc_z, &keys).expect("baseline lookup");
+    let baseline_wall = start.elapsed();
+    let baseline_io = metrics.snapshot().simulated_io_nanos;
+
+    dm.metrics().reset();
+    let start = Instant::now();
+    let dm_answers = dm.lookup_batch(&keys).expect("dm lookup");
+    let dm_wall = start.elapsed();
+    let dm_io = dm.metrics().snapshot().simulated_io_nanos;
+
+    assert_eq!(baseline_answers, dm_answers, "both stores must agree exactly");
+    println!("\nlookup burst of {} keys:", keys.len());
+    println!(
+        "  ABC-Z : {:>7.2} ms wall + {:>7.2} ms simulated I/O, {} KiB on disk",
+        baseline_wall.as_secs_f64() * 1e3,
+        baseline_io as f64 / 1e6,
+        KeyValueStore::stats(&abc_z).disk_bytes / 1024
+    );
+    println!(
+        "  DM-Z  : {:>7.2} ms wall + {:>7.2} ms simulated I/O, {} KiB hybrid structure",
+        dm_wall.as_secs_f64() * 1e3,
+        dm_io as f64 / 1e6,
+        dm.storage_breakdown().total_bytes() / 1024
+    );
+
+    // A day of new transactions: mostly following the usual pattern, a few odd ones.
+    let new_orders: Vec<Row> = (orders..orders + 2_000)
+        .map(|id| {
+            if id % 97 == 0 {
+                Row::new(id, vec![11, 3, 2]) // unusual combination
+            } else {
+                Row::new(id, vec![((id / 128) % 12) as u32, ((id / 32) % 4) as u32, ((id / 8) % 3) as u32])
+            }
+        })
+        .collect();
+    let start = Instant::now();
+    dm.insert_rows(&new_orders).expect("insert");
+    println!(
+        "\ninserted {} new orders in {:.2} ms ({:.1} us/order) without retraining",
+        new_orders.len(),
+        start.elapsed().as_secs_f64() * 1e3,
+        start.elapsed().as_secs_f64() * 1e6 / new_orders.len() as f64
+    );
+    // Returns / cancellations.
+    dm.update_rows(&[Row::new(orders + 5, vec![11, 3, 2])]).expect("update");
+    dm.delete_keys(&[orders + 10]).expect("delete");
+    println!("updated order {} -> {:?}", orders + 5, dm.get(orders + 5).unwrap());
+    println!("deleted order {} -> {:?}", orders + 10, dm.get(orders + 10).unwrap());
+
+    let breakdown = dm.storage_breakdown();
+    println!(
+        "\nend of day: {} live orders, hybrid structure {:.1} KiB (ratio {:.3}), {:.1}% memorized",
+        dm.len(),
+        breakdown.total_bytes() as f64 / 1024.0,
+        breakdown.compression_ratio(),
+        breakdown.memorized_fraction() * 100.0
+    );
+}

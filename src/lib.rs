@@ -1,0 +1,98 @@
+//! # deepmapping
+//!
+//! A Rust implementation of **DeepMapping: Learned Data Mapping for Lossless
+//! Compression and Efficient Lookup** (Zhou, Candan, Zou — ICDE 2024).
+//!
+//! DeepMapping stores a relational table as a *hybrid learned structure*: a compact
+//! multi-task neural network that memorizes the key → value mapping, an auxiliary
+//! table holding the (compressed) tuples the model gets wrong, an existence bit vector
+//! that prevents hallucinated answers for non-existing keys, and a decode map back to
+//! the original categorical values.  The result is lossless compression *and* fast
+//! random lookups at the same time, with insert/delete/update absorbed by the
+//! auxiliary structures instead of retraining.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`dm_core`] (re-exported as [`core`]) — the hybrid structure, Algorithm 1
+//!   lookups, modification workflows and the MHAS architecture search,
+//! * [`dm_nn`] — the from-scratch neural-network substrate,
+//! * [`dm_compress`] — the compression codecs (Z-Standard / LZMA / gzip / dictionary
+//!   stand-ins),
+//! * [`dm_storage`] — partitions, simulated disk, LRU buffer pool, existence bit
+//!   vector, latency metrics,
+//! * [`dm_data`] — TPC-H-like / TPC-DS-like / synthetic / crop dataset generators and
+//!   workloads,
+//! * [`dm_baselines`] — the array-based, hash-based and DeepSqueeze-like baselines the
+//!   paper compares against.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deepmapping::prelude::*;
+//!
+//! // A small, strongly key-correlated table (order_id -> status, priority).
+//! let rows: Vec<Row> = (0..2_000u64)
+//!     .map(|k| Row::new(k, vec![((k / 32) % 3) as u32, ((k / 8) % 5) as u32]))
+//!     .collect();
+//!
+//! let config = DeepMappingConfig::dm_z()
+//!     .with_training(TrainingConfig::quick())
+//!     .with_partition_bytes(16 * 1024);
+//! let mut dm = DeepMapping::build(&rows, &config).expect("build");
+//!
+//! // Exact lookups — including rejection of keys that do not exist.
+//! assert_eq!(dm.get(40).unwrap(), Some(vec![1, 0]));
+//! assert_eq!(dm.get(1_000_000).unwrap(), None);
+//!
+//! // Modifications without retraining (Algorithms 3-5).
+//! dm.insert_rows(&[Row::new(2_000, vec![2, 4])]).unwrap();
+//! dm.delete_keys(&[0]).unwrap();
+//! assert_eq!(dm.get(2_000).unwrap(), Some(vec![2, 4]));
+//! assert_eq!(dm.get(0).unwrap(), None);
+//!
+//! // Storage breakdown (Figure 6 of the paper).  On real table sizes the hybrid
+//! // structure compresses well below 1.0; this toy example just demonstrates the API
+//! // (the model is intentionally under-trained to keep the doctest fast).
+//! let breakdown = dm.storage_breakdown();
+//! assert_eq!(breakdown.tuple_count, 2_000);
+//! assert!(breakdown.total_bytes() > 0);
+//! ```
+
+pub use dm_baselines as baselines;
+pub use dm_compress as compress;
+pub use dm_core as core;
+pub use dm_data as data;
+pub use dm_nn as nn;
+pub use dm_storage as storage;
+
+/// The most commonly used types, importable in one line.
+pub mod prelude {
+    pub use dm_baselines::{DeepSqueezeConfig, DeepSqueezeStore, PartitionedStore, PartitionedStoreConfig};
+    pub use dm_compress::Codec;
+    pub use dm_core::{
+        DeepMapping, DeepMappingConfig, MhasConfig, MhasSearch, SearchStrategy, StorageBreakdown,
+        TrainingConfig,
+    };
+    pub use dm_data::{
+        Column, Correlation, CropConfig, Dataset, LookupWorkload, ModificationWorkload,
+        SyntheticConfig, TpcdsGenerator, TpchGenerator,
+    };
+    pub use dm_data::tpcds::TpcdsConfig;
+    pub use dm_data::tpch::TpchConfig;
+    pub use dm_storage::{
+        BitVec, DiskProfile, KeyValueStore, LatencyBreakdown, Metrics, Phase, Row, StoreStats,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        let _ = DeepMappingConfig::dm_z();
+        let _ = PartitionedStoreConfig::array(Codec::Lz);
+        let _ = TpchConfig::tiny();
+        let _ = Row::new(1, vec![2]);
+    }
+}

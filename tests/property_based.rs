@@ -1,0 +1,141 @@
+//! Workspace-level property-based tests (proptest): the hybrid structure must behave
+//! exactly like a plain map for *any* data, no matter how badly the model fits it, and
+//! the storage substrate's codecs must round-trip arbitrary buffers.
+
+use deepmapping::core::{DeepMapping, DeepMappingConfig, SearchStrategy, TrainingConfig};
+use deepmapping::prelude::*;
+use dm_nn::{MultiTaskSpec, TaskHeadSpec};
+use dm_storage::row::ReferenceStore;
+use proptest::prelude::*;
+
+/// A deliberately tiny, under-trained configuration: correctness must never depend on
+/// the model being any good.
+fn untrained_config(cardinalities: &[u32], max_key: u64) -> DeepMappingConfig {
+    // The schema adds a 1<<20 key headroom and periodic residue features; mirror that
+    // here so the fixed spec's input width matches what `MappingSchema::infer` builds.
+    let input_dim = dm_nn::KeyEncoder::with_periodic_features(max_key + (1 << 20)).input_dim();
+    let spec = MultiTaskSpec {
+        input_dim,
+        shared_hidden: vec![8],
+        heads: cardinalities
+            .iter()
+            .map(|&c| TaskHeadSpec::direct(c.max(1) as usize))
+            .collect(),
+    };
+    DeepMappingConfig::dm_z()
+        .with_search(SearchStrategy::Fixed(spec))
+        .with_training(TrainingConfig {
+            epochs: 1,
+            batch_size: 256,
+            ..TrainingConfig::default()
+        })
+        .with_partition_bytes(1024)
+        .with_disk_profile(DiskProfile::free())
+}
+
+/// Strategy: a small table of rows with 2 value columns, unique keys in 0..512.
+fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::btree_map(0u64..512, (0u32..6, 0u32..4), 1..120).prop_map(|map| {
+        map.into_iter()
+            .map(|(key, (a, b))| Row::new(key, vec![a, b]))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever rows the structure is built from, every built key returns its exact
+    /// values and every other key returns None — even though the model is essentially
+    /// untrained and misclassifies nearly everything.
+    #[test]
+    fn deepmapping_lookup_is_exact_for_arbitrary_tables(rows in arb_rows()) {
+        let config = untrained_config(&[6, 4], 512);
+        let dm = DeepMapping::build(&rows, &config).unwrap();
+        let mut reference = ReferenceStore::from_rows(&rows);
+        let probe: Vec<u64> = (0..600u64).collect();
+        prop_assert_eq!(
+            DeepMapping::lookup_batch(&dm, &probe).unwrap(),
+            reference.lookup_batch(&probe).unwrap()
+        );
+    }
+
+    /// Random interleavings of insert/delete/update keep DeepMapping equivalent to the
+    /// reference map (Algorithms 3-5 as one property).
+    #[test]
+    fn modification_sequences_match_reference(
+        base in arb_rows(),
+        ops in proptest::collection::vec((0u8..3, 0u64..700, 0u32..6, 0u32..4), 1..60),
+    ) {
+        let config = untrained_config(&[6, 4], 700);
+        let mut dm = DeepMapping::build(&base, &config).unwrap();
+        let mut reference = ReferenceStore::from_rows(&base);
+        for (op, key, a, b) in ops {
+            match op {
+                0 => {
+                    let row = Row::new(key, vec![a, b]);
+                    dm.insert_rows(std::slice::from_ref(&row)).unwrap();
+                    reference.insert(std::slice::from_ref(&row)).unwrap();
+                }
+                1 => {
+                    dm.delete_keys(&[key]).unwrap();
+                    reference.delete(&[key]).unwrap();
+                }
+                _ => {
+                    let row = Row::new(key, vec![a, b]);
+                    dm.update_rows(std::slice::from_ref(&row)).unwrap();
+                    reference.update(std::slice::from_ref(&row)).unwrap();
+                }
+            }
+        }
+        let probe: Vec<u64> = (0..750u64).collect();
+        prop_assert_eq!(
+            DeepMapping::lookup_batch(&dm, &probe).unwrap(),
+            reference.lookup_batch(&probe).unwrap()
+        );
+    }
+
+    /// Range lookups agree with filtering the reference map.
+    #[test]
+    fn range_lookup_matches_reference(rows in arb_rows(), lo in 0u64..600, span in 0u64..200) {
+        let config = untrained_config(&[6, 4], 512);
+        let dm = DeepMapping::build(&rows, &config).unwrap();
+        let hi = lo + span;
+        let got = dm.range_lookup(lo, hi).unwrap();
+        let expected: Vec<Row> = rows
+            .iter()
+            .filter(|r| r.key >= lo && r.key <= hi)
+            .cloned()
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every codec round-trips arbitrary byte strings (the partition formats depend
+    /// on this holding for *any* payload, not just well-formed ones).
+    #[test]
+    fn codecs_round_trip_arbitrary_buffers(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for codec in Codec::paper_sweep(8) {
+            let compressed = codec.compress(&data);
+            prop_assert_eq!(codec.decompress(&compressed).unwrap(), data.clone(), "codec {:?}", codec);
+            let framed = dm_compress::compress_frame(&codec, &data);
+            prop_assert_eq!(dm_compress::decompress_frame(&framed).unwrap(), data.clone());
+        }
+    }
+
+    /// The existence bit vector serialization round-trips arbitrary key sets and
+    /// answers membership exactly.
+    #[test]
+    fn bitvec_round_trips_arbitrary_key_sets(keys in proptest::collection::btree_set(0u64..100_000, 0..300)) {
+        let bv: BitVec = keys.iter().copied().collect();
+        prop_assert_eq!(bv.count_ones() as usize, keys.len());
+        let restored = BitVec::from_bytes(&bv.to_bytes()).unwrap();
+        for k in 0..1_000u64 {
+            prop_assert_eq!(restored.get(k), keys.contains(&k));
+        }
+        prop_assert_eq!(restored.iter_ones().collect::<Vec<_>>(), keys.into_iter().collect::<Vec<_>>());
+    }
+}
