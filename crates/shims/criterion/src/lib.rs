@@ -1,0 +1,329 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so bench targets written against
+//! the criterion API compile and run against this minimal harness instead.  It keeps
+//! the API shape (`Criterion`, `benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! `Throughput`, `criterion_group!`/`criterion_main!`) but replaces the statistics
+//! engine with a plain calibrated-loop timer: each benchmark is warmed up, the
+//! iteration count is scaled so one sample takes a measurable slice of the
+//! measurement time, and the per-iteration mean / min across samples is printed.
+//! Good enough to compare order-of-magnitude behavior offline; swap in real criterion
+//! when a registry is reachable.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter, `name/param`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Total time budget the samples of one benchmark aim to fill.
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.sample_size, self.measurement_time, |b| f(b));
+        print_result(&id.to_string(), &stats, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput annotation and configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = run_bench(
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            |b| f(b, input),
+        );
+        print_result(&format!("{}/{}", self.name, id), &stats, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            |b| f(b),
+        );
+        print_result(&format!("{}/{}", self.name, id), &stats, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing is already done incrementally).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct BenchStats {
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) -> BenchStats {
+    // Calibration: find an iteration count whose sample takes a measurable slice of
+    // the measurement budget.
+    let mut iters = 1u64;
+    let per_sample = measurement_time.div_f64(sample_size as f64);
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= per_sample.div_f64(4.0) || b.elapsed >= Duration::from_millis(250) {
+            let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            if per_iter > 0.0 {
+                let target = per_sample.as_secs_f64() / per_iter;
+                iters = (target.ceil() as u64).clamp(1, iters.saturating_mul(1_000));
+            }
+            break;
+        }
+        // A closure that never calls `b.iter` (e.g. an early return) leaves elapsed
+        // at zero forever; bail out instead of calibrating indefinitely.
+        if b.elapsed.is_zero() && iters >= 1 << 20 {
+            iters = 1;
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    let mut total_ns = 0.0f64;
+    let mut min_ns = f64::INFINITY;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+        total_ns += per_iter;
+        min_ns = min_ns.min(per_iter);
+    }
+    BenchStats {
+        mean_ns: total_ns / sample_size as f64,
+        min_ns,
+        samples: sample_size,
+    }
+}
+
+fn print_result(id: &str, stats: &BenchStats, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(
+            "  {:>12.0} elem/s",
+            n as f64 / (stats.mean_ns / 1e9)
+        ),
+        Throughput::Bytes(n) => format!(
+            "  {:>12.1} MiB/s",
+            n as f64 / (1024.0 * 1024.0) / (stats.mean_ns / 1e9)
+        ),
+    });
+    println!(
+        "  {id:<40} mean {:>12} min {:>12} ({} samples){}",
+        format_ns(stats.mean_ns),
+        format_ns(stats.min_ns),
+        stats.samples,
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Mirrors `criterion::black_box` (re-export of the std hint).
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_times() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            ran = true;
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn macros_compile() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10));
+            targets = target
+        }
+        benches();
+    }
+}

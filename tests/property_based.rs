@@ -1,12 +1,37 @@
-//! Workspace-level property-based tests (proptest): the hybrid structure must behave
-//! exactly like a plain map for *any* data, no matter how badly the model fits it, and
-//! the storage substrate's codecs must round-trip arbitrary buffers.
+//! Workspace-level property-based tests: the hybrid structure must behave exactly
+//! like a plain map for *any* data, no matter how badly the model fits it, and every
+//! codec in `dm-compress` must round-trip arbitrary buffers.
+//!
+//! The build environment has no registry access, so instead of `proptest` these
+//! properties run on a small self-contained harness: each property is executed over
+//! many deterministically-seeded random cases (`cases(n, |rng| ...)`), which keeps
+//! failures reproducible — a failing case prints its seed, and re-running the test
+//! replays the identical inputs.
 
 use deepmapping::core::{DeepMapping, DeepMappingConfig, SearchStrategy, TrainingConfig};
 use deepmapping::prelude::*;
 use dm_nn::{MultiTaskSpec, TaskHeadSpec};
 use dm_storage::row::ReferenceStore;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Runs `property` over `n` deterministically-seeded random cases.  When a case
+/// fails, its index and seed are printed before the panic propagates, so the failing
+/// inputs can be replayed in isolation.
+fn cases(n: u64, mut property: impl FnMut(&mut StdRng)) {
+    for case in 0..n {
+        let seed = 0xD33F_4A11u64 ^ (case << 16);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            property(&mut rng);
+        }));
+        if let Err(panic) = outcome {
+            eprintln!("property failed on case {case}/{n} (StdRng seed {seed:#x})");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
 
 /// A deliberately tiny, under-trained configuration: correctness must never depend on
 /// the model being any good.
@@ -33,47 +58,104 @@ fn untrained_config(cardinalities: &[u32], max_key: u64) -> DeepMappingConfig {
         .with_disk_profile(DiskProfile::free())
 }
 
-/// Strategy: a small table of rows with 2 value columns, unique keys in 0..512.
-fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
-    proptest::collection::btree_map(0u64..512, (0u32..6, 0u32..4), 1..120).prop_map(|map| {
-        map.into_iter()
-            .map(|(key, (a, b))| Row::new(key, vec![a, b]))
-            .collect()
-    })
+/// A small random table: unique keys in `0..512`, two value columns from small
+/// domains (cardinalities 6 and 4).
+fn arb_rows(rng: &mut StdRng) -> Vec<Row> {
+    let count = rng.gen_range(1..120usize);
+    let mut map = BTreeMap::new();
+    for _ in 0..count {
+        let key = rng.gen_range(0..512u64);
+        map.insert(key, vec![rng.gen_range(0..6u32), rng.gen_range(0..4u32)]);
+    }
+    map.into_iter().map(|(k, v)| Row::new(k, v)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Random byte payloads with mixed entropy regimes so codec match-search, RLE and
+/// dictionary paths all get exercised: pure noise, long runs, repeated records.
+fn arb_payload(rng: &mut StdRng) -> Vec<u8> {
+    let len = rng.gen_range(0..4096usize);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        match rng.gen_range(0..4u32) {
+            // Uniform noise.
+            0 => {
+                let n = rng.gen_range(1..64usize).min(len - out.len());
+                out.extend((0..n).map(|_| rng.gen_range(0..256u32) as u8));
+            }
+            // A run of one byte.
+            1 => {
+                let n = rng.gen_range(1..200usize).min(len - out.len());
+                let b = rng.gen_range(0..256u32) as u8;
+                out.extend(std::iter::repeat_n(b, n));
+            }
+            // A repeated short record (dictionary / LZ friendly).
+            2 => {
+                let w = rng.gen_range(2..12usize);
+                let record: Vec<u8> =
+                    (0..w).map(|_| rng.gen_range(0..8u32) as u8).collect();
+                let reps = rng.gen_range(1..40usize);
+                for _ in 0..reps {
+                    if out.len() + w > len {
+                        break;
+                    }
+                    out.extend_from_slice(&record);
+                }
+                if out.len() >= len {
+                    break;
+                }
+            }
+            // A back-reference to earlier output (long-range match).
+            _ => {
+                if out.is_empty() {
+                    out.push(rng.gen_range(0..256u32) as u8);
+                } else {
+                    let start = rng.gen_range(0..out.len());
+                    let n = rng.gen_range(1..64usize).min(out.len() - start).min(len - out.len());
+                    let slice: Vec<u8> = out[start..start + n].to_vec();
+                    out.extend_from_slice(&slice);
+                }
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
 
-    /// Whatever rows the structure is built from, every built key returns its exact
-    /// values and every other key returns None — even though the model is essentially
-    /// untrained and misclassifies nearly everything.
-    #[test]
-    fn deepmapping_lookup_is_exact_for_arbitrary_tables(rows in arb_rows()) {
+/// Whatever rows the structure is built from, every built key returns its exact
+/// values and every other key returns None — even though the model is essentially
+/// untrained and misclassifies nearly everything.
+#[test]
+fn deepmapping_lookup_is_exact_for_arbitrary_tables() {
+    cases(12, |rng| {
+        let rows = arb_rows(rng);
         let config = untrained_config(&[6, 4], 512);
         let dm = DeepMapping::build(&rows, &config).unwrap();
         let mut reference = ReferenceStore::from_rows(&rows);
         let probe: Vec<u64> = (0..600u64).collect();
-        prop_assert_eq!(
+        assert_eq!(
             DeepMapping::lookup_batch(&dm, &probe).unwrap(),
             reference.lookup_batch(&probe).unwrap()
         );
-    }
+    });
+}
 
-    /// Random interleavings of insert/delete/update keep DeepMapping equivalent to the
-    /// reference map (Algorithms 3-5 as one property).
-    #[test]
-    fn modification_sequences_match_reference(
-        base in arb_rows(),
-        ops in proptest::collection::vec((0u8..3, 0u64..700, 0u32..6, 0u32..4), 1..60),
-    ) {
+/// Random interleavings of insert/delete/update keep DeepMapping equivalent to the
+/// reference map (Algorithms 3–5 as one property).
+#[test]
+fn modification_sequences_match_reference() {
+    cases(10, |rng| {
+        let base = arb_rows(rng);
         let config = untrained_config(&[6, 4], 700);
         let mut dm = DeepMapping::build(&base, &config).unwrap();
         let mut reference = ReferenceStore::from_rows(&base);
-        for (op, key, a, b) in ops {
+        let ops = rng.gen_range(1..60usize);
+        for _ in 0..ops {
+            let op = rng.gen_range(0..3u8);
+            let key = rng.gen_range(0..700u64);
+            let values = vec![rng.gen_range(0..6u32), rng.gen_range(0..4u32)];
             match op {
                 0 => {
-                    let row = Row::new(key, vec![a, b]);
+                    let row = Row::new(key, values);
                     dm.insert_rows(std::slice::from_ref(&row)).unwrap();
                     reference.insert(std::slice::from_ref(&row)).unwrap();
                 }
@@ -82,60 +164,216 @@ proptest! {
                     reference.delete(&[key]).unwrap();
                 }
                 _ => {
-                    let row = Row::new(key, vec![a, b]);
+                    let row = Row::new(key, values);
                     dm.update_rows(std::slice::from_ref(&row)).unwrap();
                     reference.update(std::slice::from_ref(&row)).unwrap();
                 }
             }
         }
         let probe: Vec<u64> = (0..750u64).collect();
-        prop_assert_eq!(
+        assert_eq!(
             DeepMapping::lookup_batch(&dm, &probe).unwrap(),
             reference.lookup_batch(&probe).unwrap()
         );
-    }
+    });
+}
 
-    /// Range lookups agree with filtering the reference map.
-    #[test]
-    fn range_lookup_matches_reference(rows in arb_rows(), lo in 0u64..600, span in 0u64..200) {
+/// Range lookups agree with filtering the reference map.
+#[test]
+fn range_lookup_matches_reference() {
+    cases(10, |rng| {
+        let rows = arb_rows(rng);
+        let lo = rng.gen_range(0..600u64);
+        let hi = lo + rng.gen_range(0..200u64);
         let config = untrained_config(&[6, 4], 512);
         let dm = DeepMapping::build(&rows, &config).unwrap();
-        let hi = lo + span;
         let got = dm.range_lookup(lo, hi).unwrap();
         let expected: Vec<Row> = rows
             .iter()
             .filter(|r| r.key >= lo && r.key <= hi)
             .cloned()
             .collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
+    });
+}
+
+/// Every high-level codec round-trips arbitrary byte strings, raw and framed (the
+/// partition formats depend on this holding for *any* payload, not just well-formed
+/// ones).
+#[test]
+fn codecs_round_trip_arbitrary_buffers() {
+    cases(48, |rng| {
+        let data = arb_payload(rng);
+        for codec in Codec::paper_sweep(8) {
+            let compressed = codec.compress(&data);
+            assert_eq!(
+                codec.decompress(&compressed).unwrap(),
+                data,
+                "codec {codec:?}"
+            );
+            let framed = dm_compress::compress_frame(&codec, &data);
+            assert_eq!(
+                dm_compress::decompress_frame(&framed).unwrap(),
+                data,
+                "framed codec {codec:?}"
+            );
+        }
+    });
+}
+
+/// varint: u64, zigzag i64 and delta-sequence encodings round-trip and report the
+/// exact number of bytes they consumed.
+#[test]
+fn varint_round_trips_arbitrary_values() {
+    use dm_compress::varint;
+    cases(64, |rng| {
+        let count = rng.gen_range(0..64usize);
+        // Mix magnitudes so 1-byte through 10-byte encodings all occur.
+        let values: Vec<u64> = (0..count)
+            .map(|_| {
+                let bits = rng.gen_range(0..64u32);
+                rng.gen::<u64>() >> bits
+            })
+            .collect();
+        let mut buf = Vec::new();
+        for &v in &values {
+            varint::write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            let (decoded, next) = varint::read_u64(&buf, pos).unwrap();
+            assert_eq!(decoded, v);
+            assert!(next > pos, "cursor must advance");
+            pos = next;
+        }
+        assert_eq!(pos, buf.len(), "all bytes must be consumed");
+
+        let signed: Vec<i64> = values.iter().map(|&v| (v as i64).wrapping_mul(-1)).collect();
+        let mut buf = Vec::new();
+        for &v in &signed {
+            varint::write_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &signed {
+            let (decoded, next) = varint::read_i64(&buf, pos).unwrap();
+            assert_eq!(decoded, v);
+            pos = next;
+        }
+
+        // Delta sequences must handle non-monotone inputs via zigzag deltas.
+        let mut buf = Vec::new();
+        varint::write_delta_sequence(&mut buf, &values);
+        let (decoded, end) = varint::read_delta_sequence(&buf, 0).unwrap();
+        assert_eq!(decoded, values);
+        assert_eq!(end, buf.len());
+    });
+}
+
+/// rle: run-length encoding round-trips payloads of every run profile.
+#[test]
+fn rle_round_trips_arbitrary_buffers() {
+    use dm_compress::rle;
+    cases(64, |rng| {
+        let data = arb_payload(rng);
+        let compressed = rle::compress(&data);
+        assert_eq!(rle::decompress(&compressed).unwrap(), data);
+    });
+}
+
+/// bitpack: values packed at the minimum width (or any wider width) unpack exactly.
+#[test]
+fn bitpack_round_trips_arbitrary_widths() {
+    use dm_compress::bitpack;
+    cases(64, |rng| {
+        let count = rng.gen_range(0..96usize);
+        let width = rng.gen_range(0..=64u32);
+        let values: Vec<u64> = (0..count)
+            .map(|_| {
+                if width == 0 {
+                    0
+                } else if width == 64 {
+                    rng.gen::<u64>()
+                } else {
+                    rng.gen::<u64>() & ((1u64 << width) - 1)
+                }
+            })
+            .collect();
+        let max = values.iter().copied().max().unwrap_or(0);
+        let min_bits = bitpack::bits_for(max);
+        assert!(max == 0 || max >> (min_bits - 1) == 1, "bits_for too wide");
+        // Any width from the minimum up to 64 must round-trip.
+        for bits in [min_bits, (min_bits + 7).min(64), 64] {
+            let packed = bitpack::pack(&values, bits.max(1)).unwrap();
+            assert_eq!(bitpack::unpack(&packed).unwrap(), values, "bits {bits}");
+        }
+    });
+}
+
+/// dictionary: record-dictionary encoding round-trips for every record width,
+/// including payloads whose length is not a multiple of the width.
+#[test]
+fn dictionary_round_trips_arbitrary_record_widths() {
+    use dm_compress::dictionary;
+    cases(64, |rng| {
+        let data = arb_payload(rng);
+        for width in [1usize, 2, 5, 8, 16] {
+            let compressed = dictionary::compress(&data, width);
+            assert_eq!(
+                dictionary::decompress(&compressed).unwrap(),
+                data,
+                "record width {width}"
+            );
+        }
+    });
+}
+
+/// huffman: entropy coding round-trips payloads of every skew, including empty and
+/// single-symbol inputs.
+#[test]
+fn huffman_round_trips_arbitrary_buffers() {
+    use dm_compress::huffman;
+    cases(64, |rng| {
+        let data = arb_payload(rng);
+        let compressed = huffman::compress(&data);
+        assert_eq!(huffman::decompress(&compressed).unwrap(), data);
+    });
+    // Degenerate alphabets.
+    for data in [vec![], vec![7u8], vec![42u8; 1000]] {
+        let compressed = huffman::compress(&data);
+        assert_eq!(huffman::decompress(&compressed).unwrap(), data);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every codec round-trips arbitrary byte strings (the partition formats depend
-    /// on this holding for *any* payload, not just well-formed ones).
-    #[test]
-    fn codecs_round_trip_arbitrary_buffers(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
-        for codec in Codec::paper_sweep(8) {
-            let compressed = codec.compress(&data);
-            prop_assert_eq!(codec.decompress(&compressed).unwrap(), data.clone(), "codec {:?}", codec);
-            let framed = dm_compress::compress_frame(&codec, &data);
-            prop_assert_eq!(dm_compress::decompress_frame(&framed).unwrap(), data.clone());
+/// lz: every match-search effort level round-trips every payload.
+#[test]
+fn lz_round_trips_at_every_effort_level() {
+    use dm_compress::lz::{self, LzConfig};
+    cases(48, |rng| {
+        let data = arb_payload(rng);
+        for config in [LzConfig::fast(), LzConfig::balanced(), LzConfig::thorough()] {
+            let compressed = lz::compress(&data, &config);
+            assert_eq!(lz::decompress(&compressed).unwrap(), data);
         }
-    }
+    });
+}
 
-    /// The existence bit vector serialization round-trips arbitrary key sets and
-    /// answers membership exactly.
-    #[test]
-    fn bitvec_round_trips_arbitrary_key_sets(keys in proptest::collection::btree_set(0u64..100_000, 0..300)) {
+/// The existence bit vector serialization round-trips arbitrary key sets and answers
+/// membership exactly.
+#[test]
+fn bitvec_round_trips_arbitrary_key_sets() {
+    cases(32, |rng| {
+        let count = rng.gen_range(0..300usize);
+        let keys: std::collections::BTreeSet<u64> =
+            (0..count).map(|_| rng.gen_range(0..100_000u64)).collect();
         let bv: BitVec = keys.iter().copied().collect();
-        prop_assert_eq!(bv.count_ones() as usize, keys.len());
+        assert_eq!(bv.count_ones() as usize, keys.len());
         let restored = BitVec::from_bytes(&bv.to_bytes()).unwrap();
         for k in 0..1_000u64 {
-            prop_assert_eq!(restored.get(k), keys.contains(&k));
+            assert_eq!(restored.get(k), keys.contains(&k));
         }
-        prop_assert_eq!(restored.iter_ones().collect::<Vec<_>>(), keys.into_iter().collect::<Vec<_>>());
-    }
+        assert_eq!(
+            restored.iter_ones().collect::<Vec<_>>(),
+            keys.into_iter().collect::<Vec<_>>()
+        );
+    });
 }
