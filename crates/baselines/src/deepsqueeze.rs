@@ -274,7 +274,7 @@ impl KeyValueStore for DeepSqueezeStore {
             }
             let pos = self.latents.len() / self.config.latent_dim;
             self.latents
-                .extend(std::iter::repeat(128u8).take(self.config.latent_dim));
+                .extend(std::iter::repeat_n(128u8, self.config.latent_dim));
             self.key_index.insert(row.key, pos);
         }
         Ok(())

@@ -28,7 +28,7 @@ fn main() {
 
     let mut header: Vec<String> = batch_sizes.iter().map(|b| format!("batch {b}")).collect();
     header.insert(0, "".to_string());
-    report::row("system", &header[1..].to_vec());
+    report::row("system", &header[1..]);
 
     let mut systems = build_baselines(&dataset, &machine);
     systems.extend(build_deepmapping_pair(&dataset, &machine));

@@ -26,7 +26,7 @@ pub fn pack(values: &[u64], bits: u32) -> crate::Result<Vec<u8>> {
         )));
     }
     let limit = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-    let mut out = Vec::with_capacity(8 + (values.len() * bits as usize + 7) / 8);
+    let mut out = Vec::with_capacity(8 + (values.len() * bits as usize).div_ceil(8));
     varint::write_u64(&mut out, values.len() as u64);
     out.push(bits as u8);
     let mut acc: u64 = 0;
@@ -51,7 +51,7 @@ pub fn pack(values: &[u64], bits: u32) -> crate::Result<Vec<u8>> {
         }
     }
     if acc_bits > 0 {
-        let bytes = ((acc_bits + 7) / 8) as usize;
+        let bytes = acc_bits.div_ceil(8) as usize;
         out.extend_from_slice(&acc.to_le_bytes()[..bytes]);
     }
     Ok(out)

@@ -312,7 +312,7 @@ impl Decoder {
         for len in 1..=self.max_len {
             code = (code << 1) | reader.read_bit()? as u32;
             let lens = len as usize;
-            let next_index = if lens + 1 <= self.max_len as usize {
+            let next_index = if lens < self.max_len as usize {
                 self.first_index[lens + 1]
             } else {
                 self.symbols.len()

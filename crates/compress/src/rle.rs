@@ -132,7 +132,9 @@ mod tests {
 
     #[test]
     fn incompressible_data_does_not_explode() {
-        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 2654435761 % 251) as u8).collect();
+        let data: Vec<u8> = (0..10_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) % 251) as u8)
+            .collect();
         let compressed = compress(&data);
         // Worst case adds only the header and a handful of literal tags.
         assert!(compressed.len() < data.len() + 64);

@@ -60,10 +60,10 @@ impl SearchSpace {
     /// private-layer count and `max_private` private widths.
     pub fn choice_counts(&self) -> Vec<usize> {
         let mut counts = vec![self.max_shared + 1];
-        counts.extend(std::iter::repeat(self.layer_sizes.len()).take(self.max_shared));
+        counts.extend(std::iter::repeat_n(self.layer_sizes.len(), self.max_shared));
         for _ in 0..self.num_tasks {
             counts.push(self.max_private + 1);
-            counts.extend(std::iter::repeat(self.layer_sizes.len()).take(self.max_private));
+            counts.extend(std::iter::repeat_n(self.layer_sizes.len(), self.max_private));
         }
         counts
     }

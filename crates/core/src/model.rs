@@ -10,7 +10,7 @@
 use crate::config::TrainingConfig;
 use crate::encoder::MappingSchema;
 use crate::{CoreError, Result};
-use dm_nn::{serialize, Adam, Matrix, MultiTaskModel, MultiTaskSpec, TaskHeadSpec};
+use dm_nn::{serialize, Adam, Matrix, MultiTaskModel, MultiTaskSpec, Optimizer, TaskHeadSpec};
 use dm_storage::Row;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -100,8 +100,19 @@ impl MappingModel {
         // workloads; the decayed-SGD schedule of the paper assumes thousands of
         // iterations, which the scaled-down datasets here do not need.
         let mut optimizer = Adam::new(config.learning_rate);
-        let mut prev_loss = f32::INFINITY;
         let mut final_loss = 0.0f32;
+        // Shuffled mini-batch losses fluctuate between epochs, and memorization
+        // curves stall on plateaus (and oscillate under a too-hot learning rate)
+        // long before convergence.  Track the best loss seen; after a few epochs
+        // without substantial relative improvement, anneal the learning rate
+        // instead of giving up, and stop early only once the loss itself is below
+        // the convergence floor (`loss_tolerance`) or annealing is exhausted.
+        let mut best_loss = f32::INFINITY;
+        let mut stalled_epochs = 0usize;
+        let mut reductions = 0usize;
+        const PLATEAU_PATIENCE: usize = 3;
+        const MAX_LR_REDUCTIONS: usize = 5;
+        const MIN_RELATIVE_IMPROVEMENT: f32 = 0.01;
         for _epoch in 0..config.epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f32;
@@ -113,10 +124,23 @@ impl MappingModel {
                 batches += 1;
             }
             final_loss = epoch_loss / batches.max(1) as f32;
-            if (prev_loss - final_loss).abs() < config.loss_tolerance {
+            if final_loss < config.loss_tolerance {
                 break;
             }
-            prev_loss = final_loss;
+            if final_loss < best_loss * (1.0 - MIN_RELATIVE_IMPROVEMENT) {
+                best_loss = final_loss;
+                stalled_epochs = 0;
+            } else {
+                stalled_epochs += 1;
+                if stalled_epochs >= PLATEAU_PATIENCE {
+                    if reductions >= MAX_LR_REDUCTIONS {
+                        break;
+                    }
+                    optimizer.set_learning_rate(optimizer.learning_rate() * 0.5);
+                    reductions += 1;
+                    stalled_epochs = 0;
+                }
+            }
         }
         self.network.clear_cache();
         Ok(final_loss)

@@ -28,7 +28,7 @@ impl DeepMapping {
         let values = self.lookup_batch(&keys)?;
         Ok(keys
             .into_iter()
-            .zip(values.into_iter())
+            .zip(values)
             .filter_map(|(key, v)| v.map(|values| Row::new(key, values)))
             .collect())
     }
@@ -64,7 +64,7 @@ impl RangeAggregateView {
     pub fn materialize(dm: &DeepMapping, column: usize, bucket_width: u64) -> Result<Self> {
         let bucket_width = bucket_width.max(1);
         let max_key = dm.existence().len();
-        let num_buckets = ((max_key + bucket_width - 1) / bucket_width) as usize;
+        let num_buckets = max_key.div_ceil(bucket_width) as usize;
         let mut buckets = vec![std::collections::BTreeMap::new(); num_buckets.max(1)];
         let rows = dm.materialize_rows()?;
         for row in rows {

@@ -73,8 +73,8 @@ impl CropConfig {
         assert!(self.width > 0 && self.height > 0, "raster must be non-empty");
         assert!(self.crop_types > 0, "need at least one crop type");
         let patch = self.patch_size.max(1);
-        let patches_x = (self.width + patch - 1) / patch;
-        let patches_y = (self.height + patch - 1) / patch;
+        let patches_x = self.width.div_ceil(patch);
+        let patches_y = self.height.div_ceil(patch);
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Coarse grid of patch crop assignments.
         let patch_types: Vec<u32> = (0..patches_x * patches_y)

@@ -30,6 +30,8 @@ use std::hash::Hash;
 pub struct KeyEncoder {
     bits: usize,
     moduli: Vec<u64>,
+    /// Scalar ramp periods: each `p` contributes one feature `(key % p) / p`.
+    ramps: Vec<u64>,
 }
 
 /// The small prime periods used by [`KeyEncoder::with_periodic_features`].
@@ -41,6 +43,7 @@ impl KeyEncoder {
         KeyEncoder {
             bits: bits.max(1),
             moduli: Vec::new(),
+            ramps: Vec::new(),
         }
     }
 
@@ -49,6 +52,7 @@ impl KeyEncoder {
         KeyEncoder {
             bits: Self::bits_for(max_key),
             moduli: Vec::new(),
+            ramps: Vec::new(),
         }
     }
 
@@ -58,7 +62,29 @@ impl KeyEncoder {
         KeyEncoder {
             bits: Self::bits_for(max_key),
             moduli: PERIODIC_MODULI.to_vec(),
+            ramps: Vec::new(),
         }
+    }
+
+    /// Returns the encoder extended with scalar ramp features `(key % p) / p`, one
+    /// per period in `periods` (zeros and ones are dropped; duplicates collapse).
+    ///
+    /// A value column that is a long-period staircase of the key — e.g. TPC-DS
+    /// customer_demographics' `(k / divisor) % card` cross-product columns — is nearly
+    /// unlearnable from key bits alone at small widths, but becomes a simple
+    /// threshold function of the matching ramp.  `MappingSchema::infer` (dm-core)
+    /// detects such periods from the data and injects them here.
+    pub fn with_ramp_periods(mut self, periods: &[u64]) -> Self {
+        let mut ramps: Vec<u64> = periods.iter().copied().filter(|&p| p > 1).collect();
+        ramps.sort_unstable();
+        ramps.dedup();
+        self.ramps = ramps;
+        self
+    }
+
+    /// The scalar ramp periods this encoder emits features for.
+    pub fn ramp_periods(&self) -> &[u64] {
+        &self.ramps
     }
 
     fn bits_for(max_key: u64) -> usize {
@@ -76,14 +102,15 @@ impl KeyEncoder {
 
     /// Number of input features produced per key.
     pub fn input_dim(&self) -> usize {
-        self.bits + self.moduli.iter().map(|&m| m as usize).sum::<usize>()
+        self.bits + self.moduli.iter().map(|&m| m as usize).sum::<usize>() + self.ramps.len()
     }
 
     /// Encodes a single key into the provided feature slice (must be `input_dim` long).
     pub fn encode_into(&self, key: u64, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.input_dim());
         for (b, slot) in out[..self.bits].iter_mut().enumerate() {
-            *slot = ((key >> b) & 1) as f32;
+            // Zero-centered bits condition the first layer much better than 0/1.
+            *slot = if (key >> b) & 1 == 1 { 1.0 } else { -1.0 };
         }
         let mut offset = self.bits;
         for &m in &self.moduli {
@@ -92,6 +119,9 @@ impl KeyEncoder {
                 *slot = if i == residue { 1.0 } else { 0.0 };
             }
             offset += m as usize;
+        }
+        for (&p, slot) in self.ramps.iter().zip(out[offset..].iter_mut()) {
+            *slot = (key % p) as f32 / p as f32;
         }
     }
 
@@ -106,7 +136,7 @@ impl KeyEncoder {
 
     /// Serialized size of the encoder metadata in bytes.
     pub fn size_bytes(&self) -> usize {
-        8 + self.moduli.len() * 8
+        8 + self.moduli.len() * 8 + self.ramps.len() * 8
     }
 }
 
@@ -216,13 +246,26 @@ mod tests {
         for (i, &k) in keys.iter().enumerate() {
             let mut reconstructed = 0u64;
             for (b, &v) in m.row(i).iter().enumerate() {
-                assert!(v == 0.0 || v == 1.0);
+                assert!(v == -1.0 || v == 1.0, "bit features are zero-centered");
                 if v == 1.0 {
                     reconstructed |= 1 << b;
                 }
             }
             assert_eq!(reconstructed, k);
         }
+    }
+
+    #[test]
+    fn ramp_features_emit_scaled_residues() {
+        let enc = KeyEncoder::with_periodic_features(255).with_ramp_periods(&[70, 10, 70, 0, 1]);
+        // Zeros/ones dropped, duplicates collapsed, periods sorted.
+        assert_eq!(enc.ramp_periods(), &[10, 70]);
+        assert_eq!(enc.input_dim(), 8 + (2 + 3 + 5 + 7) + 2);
+        let m = enc.encode_batch(&[93]);
+        let row = m.row(0);
+        let ramps = &row[row.len() - 2..];
+        assert!((ramps[0] - (93 % 10) as f32 / 10.0).abs() < 1e-6);
+        assert!((ramps[1] - (93 % 70) as f32 / 70.0).abs() < 1e-6);
     }
 
     #[test]
@@ -240,9 +283,10 @@ mod tests {
         assert_eq!(enc.input_dim(), 8 + 2 + 3 + 5 + 7);
         let m = enc.encode_batch(&[9]);
         let row = m.row(0);
-        // Binary part reconstructs the key.
+        // Binary part (±1-centered) reconstructs the key.
         let mut reconstructed = 0u64;
         for (b, &v) in row[..8].iter().enumerate() {
+            assert!(v == -1.0 || v == 1.0);
             if v == 1.0 {
                 reconstructed |= 1 << b;
             }

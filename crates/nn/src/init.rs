@@ -20,16 +20,28 @@ pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Mat
     m
 }
 
+/// Deterministic He/Kaiming uniform initialization for a `fan_in × fan_out` weight
+/// matrix feeding a ReLU: samples from `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+///
+/// ReLU halves the variance of its input, so Xavier's `fan_in + fan_out` scaling
+/// systematically under-scales deep ReLU stacks; with unlucky seeds whole layers die
+/// (all-negative pre-activations) and training stalls at a high loss.  He scaling
+/// compensates for the halving and makes convergence robust across seeds.
+pub fn he_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let a = (6.0 / fan_in.max(1) as f32).sqrt();
+    let mut m = Matrix::zeros(fan_in, fan_out);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-a..=a);
+    }
+    m
+}
+
 /// Gaussian initialization `N(mean, std^2)` using the Box–Muller transform, so the
 /// crate only needs `rand`'s uniform sampling (no `rand_distr` dependency).
 pub fn gaussian<R: Rng>(rng: &mut R, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
     let mut m = Matrix::zeros(rows, cols);
     let mut iter = m.as_mut_slice().iter_mut();
-    loop {
-        let a = match iter.next() {
-            Some(a) => a,
-            None => break,
-        };
+    while let Some(a) = iter.next() {
         // Box–Muller produces two independent normals per pair of uniforms.
         let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
         let u2: f32 = rng.gen_range(0.0..1.0);

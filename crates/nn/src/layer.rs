@@ -123,10 +123,16 @@ pub struct Dense {
 }
 
 impl Dense {
-    /// Creates a dense layer with Xavier-initialized weights.
+    /// Creates a dense layer with activation-appropriate initialization: He/Kaiming
+    /// uniform for ReLU layers (robust against dead-layer seeds), Xavier uniform for
+    /// everything else.
     pub fn new<R: Rng>(rng: &mut R, in_dim: usize, out_dim: usize, activation: Activation) -> Self {
+        let weight = match activation {
+            Activation::Relu => init::he_uniform(rng, in_dim, out_dim),
+            _ => init::xavier_uniform(rng, in_dim, out_dim),
+        };
         Dense {
-            weight: init::xavier_uniform(rng, in_dim, out_dim),
+            weight,
             bias: init::zero_bias(out_dim),
             activation,
             last_input: None,

@@ -14,6 +14,10 @@ use crate::init;
 use crate::tensor::Matrix;
 use rand::Rng;
 
+/// The four gate activation vectors (input, forget, cell candidate, output) of one
+/// LSTM step.
+type GateActivations = (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>);
+
 /// A single-layer LSTM cell operating on one time step at a time.
 ///
 /// Gates are computed from the concatenation `[x, h]`, with weights stored as one
@@ -90,7 +94,7 @@ impl LstmCell {
         self.weight.len() + self.bias.len()
     }
 
-    fn gates(&self, x: &Matrix, state: &LstmState) -> crate::Result<(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>)> {
+    fn gates(&self, x: &Matrix, state: &LstmState) -> crate::Result<GateActivations> {
         let concat = x.hstack(&state.h)?;
         let mut z = concat.matmul(&self.weight)?;
         z.add_row_broadcast(&self.bias)?;
@@ -259,7 +263,7 @@ impl SequenceController {
                 "controller needs at least one decision step".into(),
             ));
         }
-        if choice_counts.iter().any(|&c| c == 0) {
+        if choice_counts.contains(&0) {
             return Err(crate::NnError::InvalidConfig(
                 "every decision step needs at least one choice".into(),
             ));

@@ -17,6 +17,9 @@ pub trait Optimizer {
 
     /// The current learning rate (after any decay).
     fn learning_rate(&self) -> f32;
+
+    /// Overrides the current learning rate (used by plateau-annealing schedules).
+    fn set_learning_rate(&mut self, lr: f32);
 }
 
 /// Plain stochastic gradient descent with optional momentum and multiplicative
@@ -75,6 +78,10 @@ impl Optimizer for Sgd {
 
     fn learning_rate(&self) -> f32 {
         self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
     }
 }
 
@@ -148,6 +155,10 @@ impl Optimizer for Adam {
 
     fn learning_rate(&self) -> f32 {
         self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
     }
 }
 

@@ -26,7 +26,7 @@ impl BitVec {
     /// Creates a bit vector covering `len_bits` positions, all zero.
     pub fn with_capacity(len_bits: u64) -> Self {
         BitVec {
-            words: vec![0; ((len_bits + 63) / 64) as usize],
+            words: vec![0; len_bits.div_ceil(64) as usize],
             len_bits,
             ones: 0,
         }
@@ -61,7 +61,7 @@ impl BitVec {
     pub fn set(&mut self, index: u64, value: bool) {
         if index >= self.len_bits {
             self.len_bits = index + 1;
-            let needed = ((self.len_bits + 63) / 64) as usize;
+            let needed = self.len_bits.div_ceil(64) as usize;
             if needed > self.words.len() {
                 self.words.resize(needed, 0);
             }

@@ -179,7 +179,8 @@ fn full_modification_lifecycle_stays_consistent_with_reference() {
         let off_inserts = syn.generate_range_off_distribution(10_000 + round * 500, 100, round);
         let deletions = workload.deletion_batch(&dataset, 200);
         let updates = workload.update_batch(&dataset, 200);
-        for store in [&mut dm as &mut dyn KeyValueStore] {
+        {
+            let store = &mut dm as &mut dyn KeyValueStore;
             store.insert(&inserts).unwrap();
             store.insert(&off_inserts).unwrap();
             store.delete(&deletions).unwrap();
