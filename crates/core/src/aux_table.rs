@@ -28,6 +28,24 @@ struct AuxPartitionMeta {
     rows: usize,
 }
 
+/// One batch's auxiliary probe plan (see [`AuxTable::plan_probes`]).
+#[derive(Debug, Default)]
+pub(crate) struct ProbePlan {
+    /// `(query index, values)` pairs the delta overlay answered without touching disk.
+    pub resolved: Vec<(usize, Vec<u32>)>,
+    /// Partition index → query indices that must be checked inside that partition.
+    pub groups: BTreeMap<usize, Vec<usize>>,
+}
+
+impl ProbePlan {
+    /// Number of distinct partitions this batch will touch — the number of
+    /// load+decompress cycles a cold buffer pool would pay for the batch.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn partitions_touched(&self) -> usize {
+        self.groups.len()
+    }
+}
+
 /// The auxiliary accuracy-assurance table.
 pub struct AuxTable {
     codec: Codec,
@@ -157,7 +175,6 @@ impl AuxTable {
                 Ok((partition, bytes.max(64)))
             })
             .map_err(crate::CoreError::from)
-            .map_err(Into::into)
     }
 
     /// Looks up a key in the auxiliary table (Algorithm 1, lines 6–8).
@@ -183,13 +200,29 @@ impl AuxTable {
 
     /// Looks up many keys, visiting each partition at most once (the query keys are
     /// processed grouped by partition, mirroring the batch-sorting optimization of
-    /// Section IV-B2).
+    /// Section IV-B2).  This is the plan/probe machinery the `pipeline` module drives;
+    /// callers that already have a batch should prefer `QueryPipeline`.
     pub fn get_batch(&self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
         let mut results: Vec<Option<Vec<u32>>> = vec![None; keys.len()];
-        let mut by_partition: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let plan = self.plan_probes(keys);
+        for (qi, values) in plan.resolved {
+            results[qi] = Some(values);
+        }
+        for (idx, query_indices) in &plan.groups {
+            self.probe_group(*idx, keys, query_indices, &mut results)?;
+        }
+        Ok(results)
+    }
+
+    /// Stage-3 planning for a probe batch: answers whatever the in-memory delta
+    /// overlay / tombstones can resolve immediately and groups the remaining keys by
+    /// the compressed partition that covers them, so each partition is loaded and
+    /// decompressed at most once per batch no matter how the keys interleave.
+    pub(crate) fn plan_probes(&self, keys: &[u64]) -> ProbePlan {
+        let mut plan = ProbePlan::default();
         for (qi, &key) in keys.iter().enumerate() {
             if let Some(values) = self.delta.get(&key) {
-                results[qi] = Some(values.clone());
+                plan.resolved.push((qi, values.clone()));
                 continue;
             }
             if self.tombstones.contains(&key) {
@@ -199,18 +232,29 @@ impl AuxTable {
                 .metrics
                 .time(Phase::LocatePartition, || self.locate(key))
             {
-                by_partition.entry(idx).or_default().push(qi);
+                plan.groups.entry(idx).or_default().push(qi);
             }
         }
-        for (idx, query_indices) in by_partition {
-            let partition = self.load_partition(idx)?;
-            self.metrics.time(Phase::AuxiliaryLookup, || {
-                for qi in query_indices {
-                    results[qi] = partition.get(keys[qi]).map(|v| v.to_vec());
-                }
-            });
-        }
-        Ok(results)
+        plan
+    }
+
+    /// Stage-3 execution for one partition group: brings the partition into the
+    /// buffer pool (paying load + decompression on a miss) exactly once, then
+    /// binary-searches every grouped key inside it.
+    pub(crate) fn probe_group(
+        &self,
+        partition_idx: usize,
+        keys: &[u64],
+        query_indices: &[usize],
+        results: &mut [Option<Vec<u32>>],
+    ) -> Result<()> {
+        let partition = self.load_partition(partition_idx)?;
+        self.metrics.time(Phase::AuxiliaryLookup, || {
+            for &qi in query_indices {
+                results[qi] = partition.get(keys[qi]).map(|v| v.to_vec());
+            }
+        });
+        Ok(())
     }
 
     /// Whether `key` is present in the table.

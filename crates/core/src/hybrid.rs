@@ -6,6 +6,7 @@ use crate::config::{DeepMappingConfig, SearchStrategy};
 use crate::encoder::{DecodeMap, MappingSchema};
 use crate::mhas::MhasSearch;
 use crate::model::MappingModel;
+use crate::pipeline::QueryPipeline;
 use crate::stats::StorageBreakdown;
 use crate::{CoreError, Result};
 use dm_storage::{BitVec, KeyValueStore, Metrics, Phase, Row, StoreStats};
@@ -144,49 +145,25 @@ impl DeepMapping {
         self.tuple_count == 0
     }
 
-    /// Algorithm 1: batched key lookup.
+    /// The staged batch pipeline over this structure's components (Algorithm 1 as a
+    /// dataflow: existence split → vectorized inference → partition-grouped
+    /// auxiliary validation → order-preserving merge).  See [`crate::pipeline`].
+    pub fn pipeline(&self) -> QueryPipeline<'_> {
+        QueryPipeline::new(&self.model, &self.aux, &self.exist, &self.metrics)
+    }
+
+    /// Algorithm 1: batched key lookup, routed through the [`QueryPipeline`].
     ///
-    /// 1. run batched inference over all query keys,
-    /// 2. check the existence bit vector (non-existing keys return `None` — no
-    ///    hallucinated values),
-    /// 3. validate existing keys against the auxiliary table and override the model's
-    ///    prediction when the key was misclassified (or modified after training).
+    /// 1. split the batch by the existence bit vector (non-existing keys return
+    ///    `None` — no hallucinated values — and never reach the model),
+    /// 2. run one vectorized multi-task forward pass over all surviving keys,
+    /// 3. validate surviving keys against the auxiliary table with probes grouped by
+    ///    partition (each compressed partition is loaded at most once per batch) and
+    ///    override the model's prediction when the key was misclassified (or
+    ///    modified after training),
+    /// 4. merge results preserving the input order.
     pub fn lookup_batch(&self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
-        if keys.is_empty() {
-            return Ok(Vec::new());
-        }
-        // Step 1: batch inference (the paper runs this on GPU via ONNX; here it is a
-        // dense forward pass).
-        let predictions = self
-            .metrics
-            .time(Phase::NeuralNetwork, || self.model.predict(keys))?;
-        // Step 2: existence check.
-        let exists: Vec<bool> = self
-            .metrics
-            .time(Phase::ExistenceCheck, || {
-                keys.iter().map(|&k| self.exist.get(k)).collect()
-            });
-        // Step 3: auxiliary validation, only for keys that exist.
-        let validate_keys: Vec<u64> = keys
-            .iter()
-            .zip(exists.iter())
-            .filter_map(|(&k, &e)| e.then_some(k))
-            .collect();
-        let aux_results = self.aux.get_batch(&validate_keys)?;
-        let mut aux_iter = aux_results.into_iter();
-        let mut results = Vec::with_capacity(keys.len());
-        for (i, &exists_here) in exists.iter().enumerate() {
-            if !exists_here {
-                results.push(None);
-                continue;
-            }
-            let aux_hit = aux_iter.next().expect("one aux result per existing key");
-            results.push(Some(match aux_hit {
-                Some(values) => values,
-                None => predictions[i].clone(),
-            }));
-        }
-        Ok(results)
+        self.pipeline().execute(keys)
     }
 
     /// Batched lookup returning decoded (original categorical) values via `fdecode`.
@@ -356,7 +333,7 @@ impl DeepMapping {
         const CHUNK: usize = 65_536;
         for chunk in keys.chunks(CHUNK) {
             let values = self.lookup_batch(chunk)?;
-            for (&key, value) in chunk.iter().zip(values.into_iter()) {
+            for (&key, value) in chunk.iter().zip(values) {
                 let values = value.expect("key came from the existence vector");
                 rows.push(Row::new(key, values));
             }
@@ -510,7 +487,7 @@ mod tests {
         // Update existing keys (one matching the pattern, one not) and a missing key.
         let updates = vec![
             Row::new(5, vec![3, 2]),
-            Row::new(100, vec![((100 / 16) % 4) as u32, ((100 / 64) % 3) as u32]),
+            Row::new(100, vec![((100 / 16) % 4) as u32, (100 / 64) as u32]),
             Row::new(777_777, vec![1, 1]),
         ];
         dm.update_rows(&updates).unwrap();

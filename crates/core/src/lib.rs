@@ -25,6 +25,7 @@ pub mod encoder;
 pub mod hybrid;
 pub mod mhas;
 pub mod model;
+pub mod pipeline;
 pub mod range;
 pub mod stats;
 
@@ -34,6 +35,7 @@ pub use encoder::DecodeMap;
 pub use hybrid::DeepMapping;
 pub use mhas::{MhasConfig, MhasSearch, SearchSample, SearchSpace};
 pub use model::MappingModel;
+pub use pipeline::QueryPipeline;
 pub use stats::StorageBreakdown;
 
 /// Errors produced by the DeepMapping core.

@@ -162,20 +162,20 @@ impl MappingModel {
     }
 
     /// Batched inference: predicted class codes per query key
-    /// (`predictions[i][c]` = column `c` of query `i`).
+    /// (`predictions[i][c]` = column `c` of query `i`).  The whole batch runs as one
+    /// vectorized [`MultiTaskModel::forward_batch`] pass — one matrix-multiply
+    /// sequence per batch, never per key.
     pub fn predict(&self, keys: &[u64]) -> Result<Vec<Vec<u32>>> {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
         let x = self.schema.key_encoder.encode_batch(keys);
-        let per_task = self.network.predict_classes(&x)?;
-        let mut out = vec![vec![0u32; per_task.len()]; keys.len()];
-        for (c, task_preds) in per_task.iter().enumerate() {
-            for (i, &p) in task_preds.iter().enumerate() {
-                out[i][c] = p as u32;
-            }
-        }
-        Ok(out)
+        Ok(self
+            .network
+            .forward_batch(&x)?
+            .into_iter()
+            .map(|row| row.into_iter().map(|class| class as u32).collect())
+            .collect())
     }
 
     /// Runs the model over `rows` and splits them into (memorized, misclassified):

@@ -1,0 +1,337 @@
+//! The batched lookup pipeline — Algorithm 1 as an explicit staged dataflow.
+//!
+//! Every lookup in the workspace (single-key `get`, `lookup_batch`, the benchmark
+//! harness, range materialization) funnels through [`QueryPipeline`], which runs a
+//! key batch through four stages and charges each one to the matching Figure 7
+//! latency phase:
+//!
+//! 1. **Existence split** ([`Phase::ExistenceCheck`]) — probe the existence bit
+//!    vector `Vexist` and drop non-existing keys immediately, so the model can never
+//!    hallucinate a value for them and the later stages only pay for keys that are
+//!    actually present.
+//! 2. **Vectorized inference** ([`Phase::NeuralNetwork`]) — encode all surviving keys
+//!    into one feature matrix and run a single
+//!    [`forward_batch`](dm_nn::MultiTaskModel::forward_batch) pass: one trunk
+//!    matrix-multiply sequence for the whole batch plus one per head, never a
+//!    per-key pass.  The pass is recorded via
+//!    [`Metrics::add_inference_batch`], so the batching discipline is observable.
+//! 3. **Grouped auxiliary validation** ([`Phase::LocatePartition`],
+//!    [`Phase::LoadAndDecompress`], [`Phase::AuxiliaryLookup`]) — plan all auxiliary
+//!    probes up front ([`AuxTable::plan_probes`]): the delta overlay answers what it
+//!    can in memory, and the remaining keys are grouped by the compressed partition
+//!    covering them so each partition is loaded and decompressed **at most once per
+//!    batch** through the LRU [`dm_storage::BufferPool`], no matter how the query
+//!    keys interleave (Section IV-B2's batch-sorting optimization).
+//! 4. **Order-preserving merge** ([`Phase::Other`]) — auxiliary hits override model
+//!    predictions (the accuracy-assurance contract), and results are emitted in the
+//!    original batch order.
+//!
+//! The stages are deliberately separable: later PRs can shard stage 3 across
+//! threads, overlap stage 2 with partition prefetch, or swap the inference backend,
+//! without touching the lookup contract.
+
+use crate::aux_table::AuxTable;
+use crate::model::MappingModel;
+use crate::Result;
+use dm_storage::{BitVec, Metrics, Phase};
+
+/// Stage-1 output: which positions of the batch survive the existence filter.
+#[derive(Debug, Default)]
+pub struct ExistenceSplit {
+    /// Keys that exist, in batch order.
+    surviving_keys: Vec<u64>,
+    /// For each surviving key, its position in the original batch.
+    surviving_positions: Vec<usize>,
+    /// Length of the original batch.
+    batch_len: usize,
+}
+
+impl ExistenceSplit {
+    /// Keys that passed the existence check, in batch order.
+    pub fn surviving_keys(&self) -> &[u64] {
+        &self.surviving_keys
+    }
+
+    /// How many keys of the batch were filtered out as non-existing.
+    pub fn filtered_out(&self) -> usize {
+        self.batch_len - self.surviving_keys.len()
+    }
+}
+
+/// The staged batch-lookup pipeline over one hybrid structure's components.
+///
+/// A pipeline borrows the structure's parts for the duration of a batch; it is
+/// created per call (it holds no state between batches) via
+/// [`DeepMapping::pipeline`](crate::DeepMapping::pipeline) or internally by
+/// `lookup_batch`.
+pub struct QueryPipeline<'a> {
+    model: &'a MappingModel,
+    aux: &'a AuxTable,
+    exist: &'a BitVec,
+    metrics: &'a Metrics,
+}
+
+impl<'a> QueryPipeline<'a> {
+    /// Assembles a pipeline over the hybrid structure's components.
+    pub fn new(
+        model: &'a MappingModel,
+        aux: &'a AuxTable,
+        exist: &'a BitVec,
+        metrics: &'a Metrics,
+    ) -> Self {
+        QueryPipeline {
+            model,
+            aux,
+            exist,
+            metrics,
+        }
+    }
+
+    /// Runs the full four-stage pipeline over a key batch, returning one result per
+    /// input key in input order (`None` for keys that do not exist).
+    pub fn execute(&self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let split = self.split_by_existence(keys);
+        let predictions = self.infer(split.surviving_keys())?;
+        let aux_hits = self.validate(split.surviving_keys())?;
+        Ok(self.merge(&split, predictions, aux_hits))
+    }
+
+    /// Stage 1: existence split.  Non-existing keys are dropped here so inference
+    /// and auxiliary probing only pay for keys that are present.
+    fn split_by_existence(&self, keys: &[u64]) -> ExistenceSplit {
+        self.metrics.time(Phase::ExistenceCheck, || {
+            let mut split = ExistenceSplit {
+                batch_len: keys.len(),
+                ..ExistenceSplit::default()
+            };
+            for (position, &key) in keys.iter().enumerate() {
+                if self.exist.get(key) {
+                    split.surviving_keys.push(key);
+                    split.surviving_positions.push(position);
+                }
+            }
+            split
+        })
+    }
+
+    /// Stage 2: one vectorized multi-task forward pass over every surviving key.
+    fn infer(&self, surviving: &[u64]) -> Result<Vec<Vec<u32>>> {
+        if surviving.is_empty() {
+            return Ok(Vec::new());
+        }
+        let predictions = self
+            .metrics
+            .time(Phase::NeuralNetwork, || self.model.predict(surviving))?;
+        self.metrics.add_inference_batch(surviving.len() as u64);
+        Ok(predictions)
+    }
+
+    /// Stage 3: auxiliary validation with probes grouped by partition, so each
+    /// compressed partition is loaded/decompressed at most once for the batch.
+    /// The plan/probe machinery ([`AuxTable::plan_probes`] /
+    /// [`AuxTable::probe_group`]) is shared with `AuxTable::get_batch`, which is
+    /// exactly this stage run standalone.
+    fn validate(&self, surviving: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
+        self.aux.get_batch(surviving)
+    }
+
+    /// Stage 4: merge model predictions with auxiliary overrides, restoring the
+    /// original batch order (and `None` for filtered-out keys).
+    fn merge(
+        &self,
+        split: &ExistenceSplit,
+        predictions: Vec<Vec<u32>>,
+        aux_hits: Vec<Option<Vec<u32>>>,
+    ) -> Vec<Option<Vec<u32>>> {
+        self.metrics.time(Phase::Other, || {
+            let mut results: Vec<Option<Vec<u32>>> = vec![None; split.batch_len];
+            for ((position, prediction), aux_hit) in split
+                .surviving_positions
+                .iter()
+                .zip(predictions)
+                .zip(aux_hits)
+            {
+                results[*position] = Some(match aux_hit {
+                    Some(values) => values,
+                    None => prediction,
+                });
+            }
+            results
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeepMappingConfig, TrainingConfig};
+    use crate::hybrid::DeepMapping;
+    use dm_storage::row::ReferenceStore;
+    use dm_storage::{DiskProfile, KeyValueStore, Row};
+
+    /// Rows the model cannot learn, so every key lands in the auxiliary table —
+    /// which makes partition-load accounting deterministic.
+    fn adversarial_rows(n: u64) -> Vec<Row> {
+        (0..n)
+            .map(|k| {
+                let h = k.wrapping_mul(0x9E3779B97F4A7C15) >> 17;
+                Row::new(k, vec![(h % 5) as u32, ((h >> 7) % 3) as u32])
+            })
+            .collect()
+    }
+
+    fn quick_config() -> DeepMappingConfig {
+        DeepMappingConfig::default()
+            .with_training(TrainingConfig {
+                epochs: 2,
+                batch_size: 512,
+                ..TrainingConfig::default()
+            })
+            .with_partition_bytes(4 * 1024)
+            .with_disk_profile(DiskProfile::free())
+    }
+
+    #[test]
+    fn one_batch_runs_one_inference_pass() {
+        let rows = adversarial_rows(2_000);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        dm.metrics().reset();
+        let keys: Vec<u64> = (0..1_500u64).collect();
+        dm.lookup_batch(&keys).unwrap();
+        let snap = dm.metrics().snapshot();
+        assert_eq!(
+            snap.inference_batches, 1,
+            "a batch must run exactly one vectorized forward pass"
+        );
+        assert_eq!(snap.inference_rows, 1_500);
+        assert!(snap.phase(Phase::NeuralNetwork).as_nanos() > 0);
+        assert!(snap.phase(Phase::ExistenceCheck).as_nanos() > 0);
+    }
+
+    #[test]
+    fn non_existing_keys_skip_inference_entirely() {
+        let rows = adversarial_rows(100);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        dm.metrics().reset();
+        let miss_keys: Vec<u64> = (1_000_000..1_000_050).collect();
+        let results = dm.lookup_batch(&miss_keys).unwrap();
+        assert!(results.iter().all(|r| r.is_none()));
+        let snap = dm.metrics().snapshot();
+        assert_eq!(snap.inference_batches, 0, "all keys filtered by stage 1");
+        assert_eq!(snap.partition_loads, 0);
+    }
+
+    #[test]
+    fn batch_hitting_one_partition_loads_it_at_most_once() {
+        let rows = adversarial_rows(4_000);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        assert!(
+            dm.aux_table().partition_count() > 1,
+            "need multiple partitions for the grouping to matter"
+        );
+        // All keys of the probe batch live inside the first partition's key range.
+        let probe: Vec<u64> = (0..64u64).collect();
+        assert_eq!(
+            dm.aux_table().plan_probes(&probe).partitions_touched(),
+            1,
+            "probe plan should group the whole batch into one partition"
+        );
+        dm.metrics().reset();
+        dm.lookup_batch(&probe).unwrap();
+        let snap = dm.metrics().snapshot();
+        assert!(
+            snap.partition_loads <= 1,
+            "64 keys in one partition caused {} loads",
+            snap.partition_loads
+        );
+        assert!(snap.decompressions <= 1);
+        assert!(snap.pool_misses <= 1);
+    }
+
+    #[test]
+    fn interleaved_batch_loads_each_partition_once_even_under_memory_pressure() {
+        let rows = adversarial_rows(4_000);
+        // A buffer pool that holds barely one decompressed partition: per-key probing
+        // in batch order would thrash (load, evict, reload); the pipeline's grouping
+        // must keep it to one load per touched partition.
+        let config = quick_config().with_memory_budget(8 * 1024);
+        let dm = DeepMapping::build(&rows, &config).unwrap();
+        let partitions = dm.aux_table().partition_count();
+        assert!(partitions >= 2);
+        // Interleave keys across the whole key space so consecutive probes alternate
+        // between partitions.
+        let probe: Vec<u64> = (0..4_000u64)
+            .step_by(7)
+            .flat_map(|k| [k, 3_999 - k])
+            .collect();
+        dm.metrics().reset();
+        let results = dm.lookup_batch(&probe).unwrap();
+        assert!(results.iter().all(|r| r.is_some()));
+        let snap = dm.metrics().snapshot();
+        assert!(
+            snap.partition_loads <= partitions as u64,
+            "{} loads for {partitions} partitions — the batch thrashed the pool",
+            snap.partition_loads
+        );
+    }
+
+    #[test]
+    fn pipeline_results_preserve_input_order_and_match_reference() {
+        let rows = adversarial_rows(1_000);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let mut reference = ReferenceStore::from_rows(&rows);
+        // Shuffled hits and misses, with duplicates.
+        let probe: Vec<u64> = (0..2_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) % 1_500)
+            .collect();
+        assert_eq!(
+            dm.lookup_batch(&probe).unwrap(),
+            reference.lookup_batch(&probe).unwrap()
+        );
+    }
+
+    #[test]
+    fn get_is_a_batch_of_one() {
+        let rows = adversarial_rows(500);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        dm.metrics().reset();
+        assert!(dm.get(3).unwrap().is_some());
+        let snap = dm.metrics().snapshot();
+        assert_eq!(snap.inference_batches, 1);
+        assert_eq!(snap.inference_rows, 1);
+        assert_eq!(dm.get(1_000_000).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let rows = adversarial_rows(100);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        dm.metrics().reset();
+        assert!(dm.lookup_batch(&[]).unwrap().is_empty());
+        let snap = dm.metrics().snapshot();
+        assert_eq!(snap.inference_batches, 0);
+        assert_eq!(snap.partition_loads, 0);
+    }
+
+    #[test]
+    fn explicit_pipeline_handle_matches_lookup_batch() {
+        let rows = adversarial_rows(800);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let keys: Vec<u64> = (0..1_000u64).rev().collect();
+        let via_pipeline = dm.pipeline().execute(&keys).unwrap();
+        assert_eq!(via_pipeline, dm.lookup_batch(&keys).unwrap());
+    }
+
+    #[test]
+    fn existence_split_reports_filtering() {
+        let rows = adversarial_rows(10);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let pipeline = dm.pipeline();
+        let split = pipeline.split_by_existence(&[0, 5, 9, 50, 60]);
+        assert_eq!(split.surviving_keys(), &[0, 5, 9]);
+        assert_eq!(split.filtered_out(), 2);
+    }
+}

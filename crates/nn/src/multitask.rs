@@ -95,7 +95,7 @@ impl MultiTaskSpec {
                 "multi-task model needs at least one head".into(),
             ));
         }
-        if self.shared_hidden.iter().any(|&w| w == 0) {
+        if self.shared_hidden.contains(&0) {
             return Err(crate::NnError::InvalidConfig(
                 "shared layer width must be positive".into(),
             ));
@@ -106,7 +106,7 @@ impl MultiTaskSpec {
                     "head {i} has zero output classes"
                 )));
             }
-            if head.hidden.iter().any(|&w| w == 0) {
+            if head.hidden.contains(&0) {
                 return Err(crate::NnError::InvalidConfig(format!(
                     "head {i} has a zero-width hidden layer"
                 )));
@@ -233,6 +233,26 @@ impl MultiTaskModel {
             .iter()
             .map(|m| (0..m.rows()).map(|r| m.argmax_row(r)).collect())
             .collect())
+    }
+
+    /// Vectorized inference for the lookup path: one trunk matrix-multiply sequence
+    /// over the *whole* batch followed by one per head — never a per-key pass —
+    /// returning row-major class predictions (`out[row][task]`), the layout query
+    /// pipelines consume.
+    ///
+    /// This is the entry point `dm-core`'s `QueryPipeline` drives; keeping it a
+    /// single dense pass per batch is what amortizes inference across a lookup batch
+    /// (Section IV-B2 of the paper).
+    pub fn forward_batch(&self, x: &Matrix) -> crate::Result<Vec<Vec<usize>>> {
+        let per_task = self.predict_classes(x)?;
+        let rows = x.rows();
+        let mut out = vec![vec![0usize; per_task.len()]; rows];
+        for (task, preds) in per_task.iter().enumerate() {
+            for (row, &class) in preds.iter().enumerate() {
+                out[row][task] = class;
+            }
+        }
+        Ok(out)
     }
 
     /// One supervised training step on a batch.
@@ -399,6 +419,36 @@ mod tests {
         assert_eq!(out[0].rows(), 7);
         assert_eq!(out[0].cols(), 4);
         assert_eq!(out[1].cols(), 3);
+    }
+
+    #[test]
+    fn forward_batch_is_row_major_and_matches_batches_of_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = MultiTaskModel::new(&mut rng, &toy_spec()).unwrap();
+        let mut x = Matrix::zeros(9, 6);
+        for r in 0..9 {
+            for c in 0..6 {
+                x.set(r, c, ((r * 6 + c) % 3) as f32 - 1.0);
+            }
+        }
+        let batched = model.forward_batch(&x).unwrap();
+        assert_eq!(batched.len(), 9);
+        assert!(batched.iter().all(|row| row.len() == 2));
+        // One vectorized pass over N rows must agree exactly with N batches of one.
+        for (r, batched_row) in batched.iter().enumerate() {
+            let mut single = Matrix::zeros(1, 6);
+            for c in 0..6 {
+                single.set(0, c, x.get(r, c));
+            }
+            assert_eq!(&model.forward_batch(&single).unwrap()[0], batched_row, "row {r}");
+        }
+        // And with the task-major view from predict_classes.
+        let per_task = model.predict_classes(&x).unwrap();
+        for (task, preds) in per_task.iter().enumerate() {
+            for (row, &class) in preds.iter().enumerate() {
+                assert_eq!(batched[row][task], class);
+            }
+        }
     }
 
     #[test]

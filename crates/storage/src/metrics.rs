@@ -86,6 +86,11 @@ pub struct LatencyBreakdown {
     pub pool_misses: u64,
     /// Buffer-pool evictions.
     pub pool_evictions: u64,
+    /// Number of vectorized model forward passes (one per lookup batch when the
+    /// query pipeline is doing its job — many per batch means per-key inference).
+    pub inference_batches: u64,
+    /// Total rows pushed through model inference.
+    pub inference_rows: u64,
 }
 
 impl LatencyBreakdown {
@@ -175,6 +180,13 @@ impl Metrics {
     pub fn add_pool_eviction(&self) {
         self.inner.lock().pool_evictions += 1;
     }
+
+    /// Records one vectorized model forward pass over `rows` inputs.
+    pub fn add_inference_batch(&self, rows: u64) {
+        let mut inner = self.inner.lock();
+        inner.inference_batches += 1;
+        inner.inference_rows += rows;
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +218,7 @@ mod tests {
         metrics.add_pool_hit();
         metrics.add_pool_miss();
         metrics.add_pool_eviction();
+        metrics.add_inference_batch(128);
         let snap = metrics.snapshot();
         assert_eq!(snap.phase(Phase::NeuralNetwork), Duration::from_millis(8));
         assert_eq!(snap.bytes_read, 1024);
@@ -215,6 +228,8 @@ mod tests {
         assert_eq!(snap.pool_hits, 1);
         assert_eq!(snap.pool_misses, 1);
         assert_eq!(snap.pool_evictions, 1);
+        assert_eq!(snap.inference_batches, 1);
+        assert_eq!(snap.inference_rows, 128);
         assert_eq!(snap.simulated_io_nanos, 1_000_000);
         assert_eq!(snap.total(), Duration::from_millis(8));
         assert_eq!(snap.total_with_simulated_io(), Duration::from_millis(9));
