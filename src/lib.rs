@@ -13,8 +13,9 @@
 //!
 //! This crate is a facade over the workspace:
 //!
-//! * [`dm_core`] (re-exported as [`core`]) — the hybrid structure, Algorithm 1
-//!   lookups, modification workflows and the MHAS architecture search,
+//! * [`dm_core`] (re-exported as [`core`]) — the hybrid structure, the batched
+//!   [`QueryPipeline`](dm_core::pipeline) every lookup routes through (Algorithm 1 as
+//!   a staged dataflow), modification workflows and the MHAS architecture search,
 //! * [`dm_nn`] — the from-scratch neural-network substrate,
 //! * [`dm_compress`] — the compression codecs (Z-Standard / LZMA / gzip / dictionary
 //!   stand-ins),
@@ -24,6 +25,33 @@
 //!   workloads,
 //! * [`dm_baselines`] — the array-based, hash-based and DeepSqueeze-like baselines the
 //!   paper compares against.
+//!
+//! ## Workspace map
+//!
+//! ```text
+//! Cargo.toml                 workspace root + this facade package
+//! ├── crates/nn              dm-nn        matrices, dense layers, multi-task model,
+//! │                                       forward_batch (vectorized lookup inference)
+//! ├── crates/compress        dm-compress  lz / lz+huffman / deflate-like / dictionary,
+//! │                                       varint, rle, bitpack, framed format
+//! ├── crates/storage         dm-storage   Row + KeyValueStore, BitVec (Vexist),
+//! │                                       partition layouts, simulated disk,
+//! │                                       LRU BufferPool, Figure-7 Metrics
+//! ├── crates/core            dm-core      DeepMapping hybrid, QueryPipeline,
+//! │                                       AuxTable, schema/encoders, MHAS
+//! ├── crates/data            dm-data      TPC-H / TPC-DS / synthetic / crop
+//! │                                       generators, lookup & modification workloads
+//! ├── crates/baselines       dm-baselines array/hash partitioned stores, DeepSqueeze
+//! ├── crates/bench           dm-bench     harness + fig*/table* bench binaries
+//! └── crates/shims           offline stand-ins for rand / parking_lot / criterion
+//!                            (no registry access in the build environment; each
+//!                            implements only the API subset the workspace uses)
+//! ```
+//!
+//! Lookups flow facade → `dm_core::DeepMapping::lookup_batch` →
+//! `dm_core::pipeline::QueryPipeline` (existence split → one vectorized forward pass
+//! → partition-grouped auxiliary probes through the buffer pool → order-preserving
+//! merge), with every stage charged to a `dm_storage::Metrics` phase.
 //!
 //! ## Quickstart
 //!
