@@ -20,7 +20,9 @@
 //! reports its error rate separately, mirroring the paper's ϵ-bounded setting.
 
 use dm_nn::{Adam, Matrix, Mlp, MlpSpec};
-use dm_storage::{KeyValueStore, Metrics, Phase, Row, StorageError, StoreStats};
+use dm_storage::{
+    LookupBuffer, Metrics, MutableStore, Phase, Row, StorageError, StoreStats, TupleStore,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -238,12 +240,15 @@ fn nn_err(err: dm_nn::NnError) -> StorageError {
     StorageError::InvalidConfig(format!("DeepSqueeze model error: {err}"))
 }
 
-impl KeyValueStore for DeepSqueezeStore {
-    fn name(&self) -> String {
-        "DS".to_string()
+impl TupleStore for DeepSqueezeStore {
+    fn name(&self) -> &str {
+        "DS"
     }
 
-    fn lookup_batch(&mut self, keys: &[u64]) -> dm_storage::Result<Vec<Option<Vec<u32>>>> {
+    fn lookup_batch_into(&self, keys: &[u64], out: &mut LookupBuffer) -> dm_storage::Result<()> {
+        // Reset first so a failed lookup cannot leave a previous batch's results in
+        // the caller's buffer.
+        out.reset(keys);
         // Decoding pins the full latent matrix plus per-batch reconstructions.
         let working_set = self.latents.len() + keys.len() * (self.value_columns * 4 + 64);
         if working_set > self.config.memory_budget_bytes {
@@ -251,14 +256,40 @@ impl KeyValueStore for DeepSqueezeStore {
                 "DeepSqueeze lookup working set of {working_set} bytes exceeds the memory budget (OOM)"
             )));
         }
-        let results = self.metrics.time(Phase::NeuralNetwork, || {
-            keys.iter()
-                .map(|k| self.key_index.get(k).map(|&pos| self.reconstruct(pos)))
-                .collect()
+        self.metrics.time(Phase::NeuralNetwork, || {
+            for (qi, key) in keys.iter().enumerate() {
+                if let Some(&pos) = self.key_index.get(key) {
+                    // The decoder pass is inherently per-tuple; the reconstruction is
+                    // still staged through the caller's arena rather than a fresh Vec
+                    // per result row.
+                    out.set_hit(qi, &self.reconstruct(pos));
+                }
+            }
         });
-        Ok(results)
+        Ok(())
     }
 
+    fn stats(&self) -> StoreStats {
+        let model_bytes: usize = self
+            .decoder
+            .parameter_count()
+            .saturating_mul(4);
+        let bin_bytes = self.column_ranges.len() * 12;
+        let latent_bytes = self.latents.len();
+        let index_bytes = self.key_index.len() * 16;
+        StoreStats {
+            disk_bytes: model_bytes + bin_bytes + latent_bytes + index_bytes,
+            resident_bytes: model_bytes + latent_bytes + index_bytes,
+            tuple_count: self.key_index.len(),
+            partition_count: 1,
+        }
+    }
+
+    // `scan_range` keeps the trait's `Unsupported` default: DeepSqueeze stores tuples
+    // by latent position and has no key order to scan.
+}
+
+impl MutableStore for DeepSqueezeStore {
     fn insert(&mut self, rows: &[Row]) -> dm_storage::Result<()> {
         // DeepSqueeze has no incremental path: new tuples are appended with latents
         // obtained by snapping to the nearest existing tuple (re-encoding would need
@@ -292,22 +323,6 @@ impl KeyValueStore for DeepSqueezeStore {
         // practice.  Keep the stored latents (values remain approximate).
         Ok(())
     }
-
-    fn stats(&self) -> StoreStats {
-        let model_bytes: usize = self
-            .decoder
-            .parameter_count()
-            .saturating_mul(4);
-        let bin_bytes = self.column_ranges.len() * 12;
-        let latent_bytes = self.latents.len();
-        let index_bytes = self.key_index.len() * 16;
-        StoreStats {
-            disk_bytes: model_bytes + bin_bytes + latent_bytes + index_bytes,
-            resident_bytes: model_bytes + latent_bytes + index_bytes,
-            tuple_count: self.key_index.len(),
-            partition_count: 1,
-        }
-    }
 }
 
 #[cfg(test)]
@@ -328,7 +343,7 @@ mod tests {
     #[test]
     fn build_and_lookup_return_plausible_values() {
         let rows = correlated_rows(2_000);
-        let mut store = DeepSqueezeStore::build(
+        let store = DeepSqueezeStore::build(
             &rows,
             2,
             DeepSqueezeConfig::default(),
@@ -345,7 +360,12 @@ mod tests {
             assert!(values[1] < 8);
         }
         // Missing keys are None.
-        assert_eq!(store.lookup(1_000_000).unwrap(), None);
+        assert_eq!(store.get(1_000_000).unwrap(), None);
+        // The DS baseline has no key order, so range scans are declined.
+        assert!(matches!(
+            store.scan_range(0, 10),
+            Err(StorageError::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -374,7 +394,7 @@ mod tests {
         // A store built with an ample budget can still fail lookups if the budget is
         // later modelled as smaller than the latent matrix (not exercised here), but
         // normal lookups succeed.
-        let mut ok_store = DeepSqueezeStore::build(
+        let ok_store = DeepSqueezeStore::build(
             &correlated_rows(500),
             2,
             DeepSqueezeConfig::default(),
@@ -409,6 +429,6 @@ mod tests {
         assert!(store.insert(&[Row::new(500, vec![1])]).is_err());
         store.insert(&[Row::new(500, vec![1, 1])]).unwrap();
         store.delete(&[500]).unwrap();
-        assert_eq!(store.lookup(500).unwrap(), None);
+        assert_eq!(store.get(500).unwrap(), None);
     }
 }

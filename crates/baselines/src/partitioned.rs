@@ -18,8 +18,8 @@
 use dm_compress::Codec;
 use dm_storage::layout::{partition_rows, ArrayPartition, HashPartition, PartitionLayout};
 use dm_storage::{
-    BufferPool, DiskProfile, KeyValueStore, Metrics, Phase, Row, SimulatedDisk, StorageError,
-    StoreStats,
+    BufferPool, DiskProfile, LookupBuffer, Metrics, MutableStore, Phase, Row, SimulatedDisk,
+    StorageError, StoreStats, TupleStore,
 };
 use std::sync::Arc;
 
@@ -143,6 +143,8 @@ struct PartitionMeta {
 /// An array- or hash-partitioned key-value store backed by the simulated disk.
 pub struct PartitionedStore {
     config: PartitionedStoreConfig,
+    /// Paper-style name, computed once so [`TupleStore::name`] can borrow it.
+    name: String,
     value_columns: usize,
     disk: SimulatedDisk,
     pool: BufferPool<DecodedPartition>,
@@ -173,6 +175,7 @@ impl PartitionedStore {
         let disk = SimulatedDisk::new(config.disk_profile);
         let pool = BufferPool::new(config.memory_budget_bytes, metrics.clone());
         let mut store = PartitionedStore {
+            name: config.paper_name(),
             config,
             value_columns,
             disk,
@@ -319,25 +322,67 @@ impl PartitionedStore {
     }
 }
 
-impl KeyValueStore for PartitionedStore {
-    fn name(&self) -> String {
-        self.config.paper_name()
+impl TupleStore for PartitionedStore {
+    fn name(&self) -> &str {
+        &self.name
     }
 
-    fn lookup_batch(&mut self, keys: &[u64]) -> dm_storage::Result<Vec<Option<Vec<u32>>>> {
-        let mut results: Vec<Option<Vec<u32>>> = vec![None; keys.len()];
+    fn lookup_batch_into(&self, keys: &[u64], out: &mut LookupBuffer) -> dm_storage::Result<()> {
+        out.reset(keys);
         let (groups, _unlocated) = self.group_by_partition(keys);
         for (partition_idx, query_indices) in groups {
             let partition = self.load_partition(partition_idx)?;
             self.metrics.time(Phase::AuxiliaryLookup, || {
                 for qi in query_indices {
-                    results[qi] = partition.get(keys[qi]).map(|v| v.to_vec());
+                    if let Some(values) = partition.get(keys[qi]) {
+                        out.set_hit(qi, values);
+                    }
                 }
             });
         }
-        Ok(results)
+        Ok(())
     }
 
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            disk_bytes: self.disk.total_bytes(),
+            resident_bytes: self.directory.len() * std::mem::size_of::<PartitionMeta>(),
+            tuple_count: self.tuple_count,
+            partition_count: self.directory.len(),
+        }
+    }
+
+    fn scan_range(&self, lo: u64, hi: u64) -> dm_storage::Result<Vec<Row>> {
+        if lo > hi {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        // The directory is sorted by disjoint key ranges, so visiting overlapping
+        // partitions in order (each loaded through the pool at most once) yields the
+        // rows already key-ordered — `DecodedPartition::rows` is sorted for both
+        // layouts.
+        for (idx, meta) in self.directory.iter().enumerate() {
+            if meta.max_key < lo {
+                continue;
+            }
+            if meta.min_key > hi {
+                break;
+            }
+            let partition = self.load_partition(idx)?;
+            self.metrics.time(Phase::AuxiliaryLookup, || {
+                out.extend(
+                    partition
+                        .rows()
+                        .into_iter()
+                        .filter(|row| (lo..=hi).contains(&row.key)),
+                );
+            });
+        }
+        Ok(out)
+    }
+}
+
+impl MutableStore for PartitionedStore {
     fn insert(&mut self, rows: &[Row]) -> dm_storage::Result<()> {
         if rows.is_empty() {
             return Ok(());
@@ -458,15 +503,6 @@ impl KeyValueStore for PartitionedStore {
         }
         Ok(())
     }
-
-    fn stats(&self) -> StoreStats {
-        StoreStats {
-            disk_bytes: self.disk.total_bytes(),
-            resident_bytes: self.directory.len() * std::mem::size_of::<PartitionMeta>(),
-            tuple_count: self.tuple_count,
-            partition_count: self.directory.len(),
-        }
-    }
 }
 
 #[cfg(test)]
@@ -504,14 +540,35 @@ mod tests {
     #[test]
     fn lookup_matches_reference_for_all_configs() {
         let rows = sample_rows(500);
-        let mut reference = ReferenceStore::from_rows(&rows);
+        let reference = ReferenceStore::from_rows(&rows);
         let query_keys: Vec<u64> = (0..1000u64).collect();
         let expected = reference.lookup_batch(&query_keys).unwrap();
+        let mut buffer = LookupBuffer::new();
         for config in configs() {
-            let mut store =
+            let store =
                 PartitionedStore::build(&rows, 2, config.clone(), Metrics::new()).unwrap();
             let got = store.lookup_batch(&query_keys).unwrap();
             assert_eq!(got, expected, "config {}", config.paper_name());
+            store.lookup_batch_into(&query_keys, &mut buffer).unwrap();
+            assert_eq!(buffer.to_options(), expected, "config {}", config.paper_name());
+        }
+    }
+
+    #[test]
+    fn scan_range_matches_reference_for_all_configs() {
+        let rows = sample_rows(500);
+        let reference = ReferenceStore::from_rows(&rows);
+        for config in configs() {
+            let store =
+                PartitionedStore::build(&rows, 2, config.clone(), Metrics::new()).unwrap();
+            for (lo, hi) in [(0u64, 0u64), (0, 57), (100, 500), (900, 2_000), (7, 3)] {
+                assert_eq!(
+                    store.scan_range(lo, hi).unwrap(),
+                    reference.scan_range(lo, hi).unwrap(),
+                    "config {} range {lo}..={hi}",
+                    config.paper_name()
+                );
+            }
         }
     }
 
@@ -601,7 +658,7 @@ mod tests {
         let config = PartitionedStoreConfig::array(Codec::Lz)
             .with_partition_bytes(8 * 1024)
             .with_memory_budget(16 * 1024); // far smaller than the dataset
-        let mut store = PartitionedStore::build(&rows, 2, config, metrics.clone()).unwrap();
+        let store = PartitionedStore::build(&rows, 2, config, metrics.clone()).unwrap();
         let keys: Vec<u64> = (0..40_000u64).step_by(37).collect();
         store.lookup_batch(&keys).unwrap();
         let snap = metrics.snapshot();
@@ -616,7 +673,7 @@ mod tests {
         let rows = sample_rows(5_000);
         let metrics = Metrics::new();
         let config = PartitionedStoreConfig::array(Codec::Lz).with_partition_bytes(8 * 1024);
-        let mut store = PartitionedStore::build(&rows, 2, config, metrics.clone()).unwrap();
+        let store = PartitionedStore::build(&rows, 2, config, metrics.clone()).unwrap();
         let keys: Vec<u64> = (0..10_000u64).collect();
         store.lookup_batch(&keys).unwrap();
         let first = metrics.snapshot().decompressions;
@@ -641,7 +698,7 @@ mod tests {
         store.update(&[]).unwrap();
         // Insert into an empty store.
         store.insert(&[Row::new(5, vec![1, 2])]).unwrap();
-        assert_eq!(store.lookup(5).unwrap(), Some(vec![1, 2]));
+        assert_eq!(store.get(5).unwrap(), Some(vec![1, 2]));
     }
 
     #[test]

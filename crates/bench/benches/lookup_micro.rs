@@ -9,16 +9,16 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dm_baselines::{PartitionedStore, PartitionedStoreConfig};
 use dm_compress::Codec;
-use dm_core::{DeepMapping, DeepMappingConfig, TrainingConfig};
+use dm_core::{DeepMappingBuilder, TrainingConfig};
 use dm_data::{LookupWorkload, SyntheticConfig};
-use dm_storage::{DiskProfile, KeyValueStore, Metrics};
+use dm_storage::{DiskProfile, LookupBuffer, Metrics, TupleStore};
 
 fn bench_lookup(c: &mut Criterion) {
     let dataset = SyntheticConfig::multi_high(20_000).generate();
     let rows = dataset.rows();
     let value_columns = dataset.num_value_columns();
 
-    let mut abc_z = PartitionedStore::build(
+    let abc_z = PartitionedStore::build(
         &rows,
         value_columns,
         PartitionedStoreConfig::array(Codec::Lz).with_disk_profile(DiskProfile::free()),
@@ -26,27 +26,33 @@ fn bench_lookup(c: &mut Criterion) {
     )
     .expect("ABC-Z build");
 
-    let dm_config = DeepMappingConfig::dm_z()
-        .with_disk_profile(DiskProfile::free())
-        .with_training(TrainingConfig {
+    let dm = DeepMappingBuilder::dm_z()
+        .disk_profile(DiskProfile::free())
+        .training(TrainingConfig {
             epochs: 25,
             batch_size: 4096,
             ..TrainingConfig::default()
-        });
-    let mut dm = DeepMapping::build(&rows, &dm_config).expect("DM build");
+        })
+        .build(&rows)
+        .expect("DM build");
 
     let mut group = c.benchmark_group("lookup_batch");
     for &batch in &[100usize, 1_000, 10_000] {
         let keys = LookupWorkload::hits_only(batch).generate(&dataset);
         group.throughput(Throughput::Elements(batch as u64));
         group.bench_with_input(BenchmarkId::new("ABC-Z", batch), &keys, |b, keys| {
+            let mut buffer = LookupBuffer::new();
             b.iter(|| {
-                KeyValueStore::lookup_batch(&mut abc_z, std::hint::black_box(keys)).expect("lookup")
+                abc_z
+                    .lookup_batch_into(std::hint::black_box(keys), &mut buffer)
+                    .expect("lookup")
             });
         });
         group.bench_with_input(BenchmarkId::new("DM-Z", batch), &keys, |b, keys| {
+            let mut buffer = LookupBuffer::new();
             b.iter(|| {
-                KeyValueStore::lookup_batch(&mut dm, std::hint::black_box(keys)).expect("lookup")
+                TupleStore::lookup_batch_into(&dm, std::hint::black_box(keys), &mut buffer)
+                    .expect("lookup")
             });
         });
     }

@@ -1,0 +1,64 @@
+//! Per-backend batch-lookup throughput, emitted both as a printed table and as the
+//! machine-readable `BENCH_lookup.json` report so successive PRs can track the
+//! lookup-path performance trajectory mechanically.
+//!
+//! Run with `cargo bench -p dm-bench --bench lookup_throughput`; the JSON lands in
+//! the invocation directory.
+
+use dm_bench::{
+    build_baselines, build_deepmapping_pair, build_deepsqueeze, measure_lookup, report,
+    write_lookup_json, BenchScale, LookupThroughputRecord, MachineProfile,
+};
+use dm_data::{LookupWorkload, SyntheticConfig};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let dataset = SyntheticConfig::multi_high(scale.rows(2_000_000)).generate();
+    let machine = MachineProfile::large();
+
+    report::banner(
+        "BENCH_lookup",
+        "per-backend batch-lookup throughput (in-memory machine profile)",
+    );
+    println!(
+        "dataset: {} rows x {} value columns (scale {})",
+        dataset.num_rows(),
+        dataset.num_value_columns(),
+        scale.factor
+    );
+
+    let mut systems = build_baselines(&dataset, &machine);
+    systems.extend(build_deepmapping_pair(&dataset, &machine));
+    if let Some(ds) = build_deepsqueeze(&dataset, &machine) {
+        systems.push(ds);
+    }
+
+    let batch_sizes = [1_000usize, scale.batch(100_000)];
+    let mut header: Vec<String> = Vec::new();
+    for &batch in &batch_sizes {
+        header.push(format!("B={batch}"));
+        header.push("keys/s".to_string());
+    }
+    report::row("system", &header);
+
+    let mut records: Vec<LookupThroughputRecord> = Vec::new();
+    for system in &mut systems {
+        let mut cells = Vec::new();
+        for &batch in &batch_sizes {
+            let keys = LookupWorkload::hits_only(batch).generate(&dataset);
+            // Warm the buffer pool and the lookup arena, then measure.
+            measure_lookup(system, &keys);
+            let latency = measure_lookup(system, &keys);
+            let record = LookupThroughputRecord::from_measurement(&system.name, batch, latency);
+            cells.push(report::latency_cell(record.total_ms));
+            cells.push(format!("{:.0}", record.keys_per_second));
+            records.push(record);
+        }
+        report::row(&system.name, &cells);
+    }
+
+    match write_lookup_json(&scale, &records) {
+        Ok(path) => println!("\nwrote {} ({} records)", path.display(), records.len()),
+        Err(err) => eprintln!("\nfailed to write BENCH_lookup.json: {err}"),
+    }
+}

@@ -20,9 +20,9 @@ pub mod sweeps;
 
 use dm_baselines::{DeepSqueezeConfig, DeepSqueezeStore, PartitionedStore, PartitionedStoreConfig};
 use dm_compress::Codec;
-use dm_core::{DeepMapping, DeepMappingConfig, TrainingConfig};
+use dm_core::{DeepMappingBuilder, TrainingConfig};
 use dm_data::Dataset;
-use dm_storage::{DiskProfile, KeyValueStore, Metrics, Row};
+use dm_storage::{DiskProfile, LookupBuffer, Metrics, MutableStore, Row};
 use std::time::{Duration, Instant};
 
 /// Global scale knob for the benchmark suite.
@@ -102,10 +102,25 @@ impl MachineProfile {
 pub struct SystemUnderTest {
     /// Paper-style system name (`AB`, `ABC-Z`, `DM-L`, ...).
     pub name: String,
-    /// The store.
-    pub store: Box<dyn KeyValueStore>,
+    /// The store, swept through the shared read/write traits.
+    pub store: Box<dyn MutableStore>,
     /// Metrics handle shared with the store.
     pub metrics: Metrics,
+    /// Reusable lookup arena, so repeated measurements over one system stay free of
+    /// per-key allocations.
+    pub buffer: LookupBuffer,
+}
+
+impl SystemUnderTest {
+    /// Wraps a store for the harness.
+    pub fn new(name: impl Into<String>, store: Box<dyn MutableStore>, metrics: Metrics) -> Self {
+        SystemUnderTest {
+            name: name.into(),
+            store,
+            metrics,
+            buffer: LookupBuffer::new(),
+        }
+    }
 }
 
 /// Builds the array- and hash-based baseline matrix of Section V-A3 over a dataset.
@@ -133,11 +148,7 @@ pub fn build_baselines(dataset: &Dataset, machine: &MachineProfile) -> Vec<Syste
         let name = config.paper_name();
         let store = PartitionedStore::build(&rows, value_columns, config, metrics.clone())
             .expect("baseline build");
-        systems.push(SystemUnderTest {
-            name,
-            store: Box::new(store),
-            metrics,
-        });
+        systems.push(SystemUnderTest::new(name, Box::new(store), metrics));
     }
     systems
 }
@@ -152,11 +163,7 @@ pub fn build_deepsqueeze(dataset: &Dataset, machine: &MachineProfile) -> Option<
     }
     .with_memory_budget(machine.memory_budget_bytes);
     match DeepSqueezeStore::build(&dataset.rows(), dataset.num_value_columns(), config, metrics.clone()) {
-        Ok(store) => Some(SystemUnderTest {
-            name: "DS".to_string(),
-            store: Box::new(store),
-            metrics,
-        }),
+        Ok(store) => Some(SystemUnderTest::new("DS", Box::new(store), metrics)),
         Err(_) => None,
     }
 }
@@ -168,22 +175,18 @@ pub fn build_deepmapping(
     machine: &MachineProfile,
     training: TrainingConfig,
 ) -> SystemUnderTest {
-    let config = match codec {
-        Codec::LzHuff => DeepMappingConfig::dm_l(),
-        _ => DeepMappingConfig::dm_z().with_codec(codec),
+    let builder = match codec {
+        Codec::LzHuff => DeepMappingBuilder::dm_l(),
+        _ => DeepMappingBuilder::dm_z().codec(codec),
     }
-    .with_memory_budget(machine.memory_budget_bytes)
-    .with_disk_profile(machine.disk)
-    .with_partition_bytes(32 * 1024)
-    .with_training(training);
-    let name = config.paper_name();
-    let dm = DeepMapping::build(&dataset.rows(), &config).expect("DeepMapping build");
+    .memory_budget(machine.memory_budget_bytes)
+    .disk_profile(machine.disk)
+    .partition_bytes(32 * 1024)
+    .training(training);
+    let name = builder.config().paper_name();
+    let dm = builder.build(&dataset.rows()).expect("DeepMapping build");
     let metrics = dm.metrics().clone();
-    SystemUnderTest {
-        name,
-        store: Box::new(dm),
-        metrics,
-    }
+    SystemUnderTest::new(name, Box::new(dm), metrics)
 }
 
 /// Builds DM-Z and DM-L with a default quick training budget.
@@ -221,11 +224,13 @@ impl MeasuredLatency {
     }
 }
 
-/// Runs one lookup batch through a system and measures it.
+/// Runs one lookup batch through a system and measures it.  The batch goes through
+/// the allocation-aware `lookup_batch_into` path with the system's reusable buffer,
+/// so the measurement covers the query work, not result materialization.
 pub fn measure_lookup(system: &mut SystemUnderTest, keys: &[u64]) -> MeasuredLatency {
     system.metrics.reset();
     let start = Instant::now();
-    let result = system.store.lookup_batch(keys);
+    let result = system.store.lookup_batch_into(keys, &mut system.buffer);
     let wall = start.elapsed();
     let snapshot = system.metrics.snapshot();
     // A failed lookup (e.g. DS running out of memory) is reported as an effectively
@@ -240,6 +245,93 @@ pub fn measure_lookup(system: &mut SystemUnderTest, keys: &[u64]) -> MeasuredLat
         wall,
         simulated_io: Duration::from_nanos(snapshot.simulated_io_nanos),
     }
+}
+
+/// One per-system, per-batch-size throughput sample for the machine-readable
+/// `BENCH_lookup.json` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupThroughputRecord {
+    /// Paper-style system name (`DM-Z`, `ABC-Z`, ...).
+    pub system: String,
+    /// Keys per batch.
+    pub batch_size: usize,
+    /// Total latency (wall + simulated I/O) in milliseconds.
+    pub total_ms: f64,
+    /// Lookup throughput in keys per second.
+    pub keys_per_second: f64,
+}
+
+impl LookupThroughputRecord {
+    /// Builds a record from a measured batch.
+    pub fn from_measurement(system: &str, batch_size: usize, latency: MeasuredLatency) -> Self {
+        let seconds = latency.total().as_secs_f64();
+        LookupThroughputRecord {
+            system: system.to_string(),
+            batch_size,
+            total_ms: latency.total_ms(),
+            keys_per_second: if seconds > 0.0 {
+                batch_size as f64 / seconds
+            } else {
+                f64::INFINITY
+            },
+        }
+    }
+}
+
+/// Serializes throughput records as a `BENCH_lookup.json` document so successive PRs
+/// can diff per-backend batch-lookup throughput mechanically.  (Hand-rolled JSON —
+/// the offline build environment has no serde.)
+pub fn lookup_records_to_json(scale: &BenchScale, records: &[LookupThroughputRecord]) -> String {
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn finite(v: f64) -> f64 {
+        if v.is_finite() { v } else { f64::MAX }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"lookup_batch\",\n");
+    out.push_str(&format!("  \"scale_factor\": {},\n", scale.factor));
+    out.push_str("  \"results\": [\n");
+    for (i, record) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"batch_size\": {}, \"total_ms\": {:.6}, \"keys_per_second\": {:.3}}}{}\n",
+            escape(&record.system),
+            record.batch_size,
+            finite(record.total_ms),
+            finite(record.keys_per_second),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_lookup.json` at the workspace root (where `Cargo.lock` lives —
+/// cargo runs bench binaries from the package directory) and returns the path
+/// written.  Falls back to the current directory outside a cargo invocation.
+pub fn write_lookup_json(
+    scale: &BenchScale,
+    records: &[LookupThroughputRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut dir = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let mut found = false;
+    for _ in 0..4 {
+        if dir.join("Cargo.lock").exists() {
+            found = true;
+            break;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    if !found {
+        dir = std::path::PathBuf::from(".");
+    }
+    let path = dir.join("BENCH_lookup.json");
+    std::fs::write(&path, lookup_records_to_json(scale, records))?;
+    Ok(path)
 }
 
 /// Storage size of a system in megabytes (compressed/on-disk footprint).
@@ -334,9 +426,34 @@ mod tests {
         }
         // The exact stores must agree with each other (DS is lossy and excluded).
         let reference = systems[0].store.lookup_batch(&keys).unwrap();
-        for system in systems.iter_mut().filter(|s| s.name != "DS") {
+        for system in systems.iter().filter(|s| s.name != "DS") {
             assert_eq!(system.store.lookup_batch(&keys).unwrap(), reference, "{}", system.name);
         }
+    }
+
+    #[test]
+    fn lookup_json_is_machine_readable() {
+        let scale = BenchScale { factor: 0.005 };
+        let records = vec![
+            LookupThroughputRecord::from_measurement(
+                "DM-Z",
+                1_000,
+                MeasuredLatency {
+                    wall: Duration::from_millis(2),
+                    simulated_io: Duration::from_millis(1),
+                },
+            ),
+            LookupThroughputRecord::from_measurement("ABC-\"Z\"", 100, MeasuredLatency::default()),
+        ];
+        let json = lookup_records_to_json(&scale, &records);
+        assert!(json.contains("\"benchmark\": \"lookup_batch\""));
+        assert!(json.contains("\"system\": \"DM-Z\""));
+        assert!(json.contains("\"batch_size\": 1000"));
+        assert!(json.contains("\\\"Z\\\""), "quotes must be escaped: {json}");
+        // Throughput of the 3 ms / 1000-key batch is ~333k keys/s.
+        assert!((records[0].keys_per_second - 333_333.3).abs() < 1_000.0);
+        // A zero-latency measurement must not emit non-JSON tokens like `inf`.
+        assert!(!json.contains("inf"));
     }
 
     #[test]

@@ -31,8 +31,8 @@ struct AuxPartitionMeta {
 /// One batch's auxiliary probe plan (see [`AuxTable::plan_probes`]).
 #[derive(Debug, Default)]
 pub(crate) struct ProbePlan {
-    /// `(query index, values)` pairs the delta overlay answered without touching disk.
-    pub resolved: Vec<(usize, Vec<u32>)>,
+    /// Query indices the delta overlay answers without touching disk.
+    pub resolved: Vec<usize>,
     /// Partition index → query indices that must be checked inside that partition.
     pub groups: BTreeMap<usize, Vec<usize>>,
 }
@@ -204,14 +204,37 @@ impl AuxTable {
     /// callers that already have a batch should prefer `QueryPipeline`.
     pub fn get_batch(&self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
         let mut results: Vec<Option<Vec<u32>>> = vec![None; keys.len()];
+        self.get_batch_with(keys, &mut |qi, values| results[qi] = Some(values.to_vec()))?;
+        Ok(results)
+    }
+
+    /// Allocation-aware batch lookup: calls `sink(query_index, values)` once for every
+    /// key the auxiliary table answers, handing out borrowed slices (from the delta
+    /// overlay or the pooled decompressed partitions) instead of allocating per hit.
+    /// Partition grouping is identical to [`get_batch`](Self::get_batch): each
+    /// compressed partition is loaded and decompressed at most once per batch.
+    pub fn get_batch_with(
+        &self,
+        keys: &[u64],
+        sink: &mut dyn FnMut(usize, &[u32]),
+    ) -> Result<()> {
         let plan = self.plan_probes(keys);
-        for (qi, values) in plan.resolved {
-            results[qi] = Some(values);
+        for qi in plan.resolved {
+            if let Some(values) = self.delta.get(&keys[qi]) {
+                sink(qi, values);
+            }
         }
         for (idx, query_indices) in &plan.groups {
-            self.probe_group(*idx, keys, query_indices, &mut results)?;
+            let partition = self.load_partition(*idx)?;
+            self.metrics.time(Phase::AuxiliaryLookup, || {
+                for &qi in query_indices {
+                    if let Some(values) = partition.get(keys[qi]) {
+                        sink(qi, values);
+                    }
+                }
+            });
         }
-        Ok(results)
+        Ok(())
     }
 
     /// Stage-3 planning for a probe batch: answers whatever the in-memory delta
@@ -221,8 +244,8 @@ impl AuxTable {
     pub(crate) fn plan_probes(&self, keys: &[u64]) -> ProbePlan {
         let mut plan = ProbePlan::default();
         for (qi, &key) in keys.iter().enumerate() {
-            if let Some(values) = self.delta.get(&key) {
-                plan.resolved.push((qi, values.clone()));
+            if self.delta.contains_key(&key) {
+                plan.resolved.push(qi);
                 continue;
             }
             if self.tombstones.contains(&key) {
@@ -236,25 +259,6 @@ impl AuxTable {
             }
         }
         plan
-    }
-
-    /// Stage-3 execution for one partition group: brings the partition into the
-    /// buffer pool (paying load + decompression on a miss) exactly once, then
-    /// binary-searches every grouped key inside it.
-    pub(crate) fn probe_group(
-        &self,
-        partition_idx: usize,
-        keys: &[u64],
-        query_indices: &[usize],
-        results: &mut [Option<Vec<u32>>],
-    ) -> Result<()> {
-        let partition = self.load_partition(partition_idx)?;
-        self.metrics.time(Phase::AuxiliaryLookup, || {
-            for &qi in query_indices {
-                results[qi] = partition.get(keys[qi]).map(|v| v.to_vec());
-            }
-        });
-        Ok(())
     }
 
     /// Whether `key` is present in the table.

@@ -9,15 +9,23 @@ use crate::model::MappingModel;
 use crate::pipeline::QueryPipeline;
 use crate::stats::StorageBreakdown;
 use crate::{CoreError, Result};
-use dm_storage::{BitVec, KeyValueStore, Metrics, Phase, Row, StoreStats};
+use dm_storage::{BitVec, LookupBuffer, Metrics, MutableStore, Phase, Row, StoreStats, TupleStore};
 
 /// Key-range headroom added to the key encoder so insertions beyond the current
 /// maximum key (Section IV-D) stay encodable without rebuilding the model.
-const KEY_HEADROOM: u64 = 1 << 20;
+///
+/// Public so callers that infer a [`MappingSchema`] themselves (e.g. to drive
+/// [`MhasSearch`] by hand and feed the winning spec back through
+/// [`SearchStrategy::Fixed`](crate::config::SearchStrategy)) can match the input
+/// width `DeepMapping::build` will use.
+pub const KEY_HEADROOM: u64 = 1 << 20;
 
 /// The DeepMapping hybrid learned data representation.
 pub struct DeepMapping {
     config: DeepMappingConfig,
+    /// Paper-style system name, computed once at build time so
+    /// [`TupleStore::name`] can hand out a borrow instead of formatting per call.
+    name: String,
     model: MappingModel,
     aux: AuxTable,
     exist: BitVec,
@@ -89,6 +97,7 @@ impl DeepMapping {
         }
         Ok(DeepMapping {
             config: config.clone(),
+            name: config.paper_name(),
             model,
             aux,
             exist,
@@ -164,6 +173,13 @@ impl DeepMapping {
     /// 4. merge results preserving the input order.
     pub fn lookup_batch(&self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
         self.pipeline().execute(keys)
+    }
+
+    /// Algorithm 1 into a caller-owned [`LookupBuffer`]: identical staging to
+    /// [`lookup_batch`](Self::lookup_batch), but results land in the buffer's flat
+    /// reusable arena so steady-state batches allocate nothing per key.
+    pub fn lookup_batch_into(&self, keys: &[u64], out: &mut LookupBuffer) -> Result<()> {
+        self.pipeline().execute_into(keys, out)
     }
 
     /// Batched lookup returning decoded (original categorical) values via `fdecode`.
@@ -331,12 +347,15 @@ impl DeepMapping {
         let keys: Vec<u64> = self.exist.iter_ones().collect();
         let mut rows = Vec::with_capacity(keys.len());
         const CHUNK: usize = 65_536;
+        let mut buffer = LookupBuffer::new();
         for chunk in keys.chunks(CHUNK) {
-            let values = self.lookup_batch(chunk)?;
-            for (&key, value) in chunk.iter().zip(values) {
-                let values = value.expect("key came from the existence vector");
-                rows.push(Row::new(key, values));
-            }
+            self.lookup_batch_into(chunk, &mut buffer)?;
+            assert_eq!(
+                buffer.hit_count(),
+                chunk.len(),
+                "every key came from the existence vector"
+            );
+            rows.extend(buffer.tuples().map(|tuple| tuple.to_row()));
         }
         Ok(rows)
     }
@@ -356,25 +375,13 @@ impl DeepMapping {
     }
 }
 
-impl KeyValueStore for DeepMapping {
-    fn name(&self) -> String {
-        self.config.paper_name()
+impl TupleStore for DeepMapping {
+    fn name(&self) -> &str {
+        &self.name
     }
 
-    fn lookup_batch(&mut self, keys: &[u64]) -> dm_storage::Result<Vec<Option<Vec<u32>>>> {
-        DeepMapping::lookup_batch(self, keys).map_err(Into::into)
-    }
-
-    fn insert(&mut self, rows: &[Row]) -> dm_storage::Result<()> {
-        self.insert_rows(rows).map_err(Into::into)
-    }
-
-    fn delete(&mut self, keys: &[u64]) -> dm_storage::Result<()> {
-        self.delete_keys(keys).map_err(Into::into)
-    }
-
-    fn update(&mut self, rows: &[Row]) -> dm_storage::Result<()> {
-        self.update_rows(rows).map_err(Into::into)
+    fn lookup_batch_into(&self, keys: &[u64], out: &mut LookupBuffer) -> dm_storage::Result<()> {
+        DeepMapping::lookup_batch_into(self, keys, out).map_err(Into::into)
     }
 
     fn stats(&self) -> StoreStats {
@@ -387,6 +394,24 @@ impl KeyValueStore for DeepMapping {
             tuple_count: self.tuple_count,
             partition_count: self.aux.partition_count(),
         }
+    }
+
+    fn scan_range(&self, lo: u64, hi: u64) -> dm_storage::Result<Vec<Row>> {
+        self.range_lookup(lo, hi).map_err(Into::into)
+    }
+}
+
+impl MutableStore for DeepMapping {
+    fn insert(&mut self, rows: &[Row]) -> dm_storage::Result<()> {
+        self.insert_rows(rows).map_err(Into::into)
+    }
+
+    fn delete(&mut self, keys: &[u64]) -> dm_storage::Result<()> {
+        self.delete_keys(keys).map_err(Into::into)
+    }
+
+    fn update(&mut self, rows: &[Row]) -> dm_storage::Result<()> {
+        self.update_rows(rows).map_err(Into::into)
     }
 
     fn maintenance(&mut self) -> dm_storage::Result<()> {
@@ -437,7 +462,7 @@ mod tests {
         // the auxiliary table — the core accuracy guarantee (Desideratum #1).
         let rows = random_rows(3_000);
         let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
-        let mut reference = ReferenceStore::from_rows(&rows);
+        let reference = ReferenceStore::from_rows(&rows);
         let keys: Vec<u64> = (0..6_000u64).collect();
         assert_eq!(
             dm.lookup_batch(&keys).unwrap(),
@@ -553,16 +578,23 @@ mod tests {
     }
 
     #[test]
-    fn kv_store_trait_matches_native_api() {
+    fn tuple_store_trait_matches_native_api() {
         let rows = correlated_rows(512);
-        let mut dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
         let native = DeepMapping::lookup_batch(&dm, &[1, 2, 3]).unwrap();
-        let via_trait = KeyValueStore::lookup_batch(&mut dm, &[1, 2, 3]).unwrap();
+        let via_trait = TupleStore::lookup_batch(&dm, &[1, 2, 3]).unwrap();
         assert_eq!(native, via_trait);
-        let stats = KeyValueStore::stats(&dm);
+        let mut buffer = LookupBuffer::new();
+        TupleStore::lookup_batch_into(&dm, &[1, 2, 3], &mut buffer).unwrap();
+        assert_eq!(buffer.to_options(), native);
+        let stats = TupleStore::stats(&dm);
         assert_eq!(stats.tuple_count, 512);
         assert!(stats.disk_bytes > 0);
-        assert_eq!(KeyValueStore::name(&dm), "DM-Z");
+        assert_eq!(TupleStore::name(&dm), "DM-Z");
+        // The range extension is reachable through the shared trait, too.
+        let range = TupleStore::scan_range(&dm, 10, 13).unwrap();
+        assert_eq!(range.len(), 4);
+        assert!(range.windows(2).all(|w| w[0].key < w[1].key));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! driven by an LSTM controller trained with REINFORCE on the Eq.-1 objective.
 
 pub mod aux_table;
+pub mod builder;
 pub mod config;
 pub mod encoder;
 pub mod hybrid;
@@ -30,9 +31,10 @@ pub mod range;
 pub mod stats;
 
 pub use aux_table::AuxTable;
+pub use builder::DeepMappingBuilder;
 pub use config::{DeepMappingConfig, SearchStrategy, TrainingConfig};
 pub use encoder::DecodeMap;
-pub use hybrid::DeepMapping;
+pub use hybrid::{DeepMapping, KEY_HEADROOM};
 pub use mhas::{MhasConfig, MhasSearch, SearchSample, SearchSpace};
 pub use model::MappingModel;
 pub use pipeline::QueryPipeline;

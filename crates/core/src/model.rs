@@ -178,6 +178,20 @@ impl MappingModel {
             .collect())
     }
 
+    /// Allocation-aware batched inference: appends row-major predictions to a
+    /// caller-owned flat arena (`out[i * columns + c]` = column `c` of query `i`) and
+    /// returns the number of value columns.  Same single vectorized forward pass as
+    /// [`predict`](Self::predict), but with no per-key `Vec` — the layout the
+    /// buffer-reusing query pipeline consumes.
+    pub fn predict_into(&self, keys: &[u64], out: &mut Vec<u32>) -> Result<usize> {
+        if keys.is_empty() {
+            out.clear();
+            return Ok(self.schema.num_columns());
+        }
+        let x = self.schema.key_encoder.encode_batch(keys);
+        Ok(self.network.forward_batch_flat(&x, out)?)
+    }
+
     /// Runs the model over `rows` and splits them into (memorized, misclassified):
     /// a row is memorized only if *every* column is predicted correctly — the test
     /// that decides what goes into the auxiliary table (Section IV-B1).

@@ -17,7 +17,7 @@
 //!    [`Metrics::add_inference_batch`], so the batching discipline is observable.
 //! 3. **Grouped auxiliary validation** ([`Phase::LocatePartition`],
 //!    [`Phase::LoadAndDecompress`], [`Phase::AuxiliaryLookup`]) — plan all auxiliary
-//!    probes up front ([`AuxTable::plan_probes`]): the delta overlay answers what it
+//!    probes up front (`AuxTable::plan_probes`): the delta overlay answers what it
 //!    can in memory, and the remaining keys are grouped by the compressed partition
 //!    covering them so each partition is loaded and decompressed **at most once per
 //!    batch** through the LRU [`dm_storage::BufferPool`], no matter how the query
@@ -26,6 +26,13 @@
 //!    predictions (the accuracy-assurance contract), and results are emitted in the
 //!    original batch order.
 //!
+//! The whole pipeline writes into a caller-owned [`LookupBuffer`]
+//! ([`QueryPipeline::execute_into`]): predictions land in the buffer's flat arena via
+//! one row-major [`MappingModel::predict_into`] pass and auxiliary overrides are
+//! copied straight from the pooled decompressed partitions, so a reused buffer makes
+//! the steady-state batch free of per-key heap allocations.
+//! [`QueryPipeline::execute`] materializes the legacy owned shape on top.
+//!
 //! The stages are deliberately separable: later PRs can shard stage 3 across
 //! threads, overlap stage 2 with partition prefetch, or swap the inference backend,
 //! without touching the lookup contract.
@@ -33,7 +40,7 @@
 use crate::aux_table::AuxTable;
 use crate::model::MappingModel;
 use crate::Result;
-use dm_storage::{BitVec, Metrics, Phase};
+use dm_storage::{BitVec, LookupBuffer, Metrics, Phase};
 
 /// Stage-1 output: which positions of the batch survive the existence filter.
 #[derive(Debug, Default)]
@@ -90,13 +97,61 @@ impl<'a> QueryPipeline<'a> {
     /// Runs the full four-stage pipeline over a key batch, returning one result per
     /// input key in input order (`None` for keys that do not exist).
     pub fn execute(&self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
+        let mut buffer = LookupBuffer::with_capacity(keys.len(), 4);
+        self.execute_into(keys, &mut buffer)?;
+        Ok(buffer.to_options())
+    }
+
+    /// Runs the full four-stage pipeline over a key batch, writing one span per input
+    /// key (in input order, misses for keys that do not exist) into a caller-owned
+    /// [`LookupBuffer`].  A reused buffer keeps its arena capacity between batches,
+    /// so the steady state performs zero per-key heap allocations.
+    pub fn execute_into(&self, keys: &[u64], out: &mut LookupBuffer) -> Result<()> {
+        out.reset(keys);
         if keys.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let split = self.split_by_existence(keys);
-        let predictions = self.infer(split.surviving_keys())?;
-        let aux_hits = self.validate(split.surviving_keys())?;
-        Ok(self.merge(&split, predictions, aux_hits))
+        let surviving = split.surviving_keys();
+        if surviving.is_empty() {
+            return Ok(());
+        }
+
+        // Stage 2: one vectorized forward pass, flat row-major predictions staged in
+        // the buffer's detachable scratch arena (no per-batch allocation).
+        let mut predictions = out.take_scratch();
+        let inference = self.metrics.time(Phase::NeuralNetwork, || {
+            self.model.predict_into(surviving, &mut predictions)
+        });
+        let columns = match inference {
+            Ok(columns) => columns,
+            Err(err) => {
+                out.restore_scratch(predictions);
+                return Err(err);
+            }
+        };
+        self.metrics.add_inference_batch(surviving.len() as u64);
+
+        // Stage 3: auxiliary hits (grouped by partition, each loaded at most once)
+        // land in the buffer first — the accuracy-assurance contract says they win.
+        let positions = &split.surviving_positions;
+        let validated = self.aux.get_batch_with(surviving, &mut |si, values| {
+            out.set_hit(positions[si], values);
+        });
+
+        // Stage 4: merge — surviving keys the auxiliary table did not override take
+        // the model's prediction, restoring the original batch order via positions.
+        if validated.is_ok() {
+            self.metrics.time(Phase::Other, || {
+                for (si, &position) in positions.iter().enumerate() {
+                    if !out.is_hit(position) {
+                        out.set_hit(position, &predictions[si * columns..(si + 1) * columns]);
+                    }
+                }
+            });
+        }
+        out.restore_scratch(predictions);
+        validated
     }
 
     /// Stage 1: existence split.  Non-existing keys are dropped here so inference
@@ -117,51 +172,6 @@ impl<'a> QueryPipeline<'a> {
         })
     }
 
-    /// Stage 2: one vectorized multi-task forward pass over every surviving key.
-    fn infer(&self, surviving: &[u64]) -> Result<Vec<Vec<u32>>> {
-        if surviving.is_empty() {
-            return Ok(Vec::new());
-        }
-        let predictions = self
-            .metrics
-            .time(Phase::NeuralNetwork, || self.model.predict(surviving))?;
-        self.metrics.add_inference_batch(surviving.len() as u64);
-        Ok(predictions)
-    }
-
-    /// Stage 3: auxiliary validation with probes grouped by partition, so each
-    /// compressed partition is loaded/decompressed at most once for the batch.
-    /// The plan/probe machinery ([`AuxTable::plan_probes`] /
-    /// [`AuxTable::probe_group`]) is shared with `AuxTable::get_batch`, which is
-    /// exactly this stage run standalone.
-    fn validate(&self, surviving: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
-        self.aux.get_batch(surviving)
-    }
-
-    /// Stage 4: merge model predictions with auxiliary overrides, restoring the
-    /// original batch order (and `None` for filtered-out keys).
-    fn merge(
-        &self,
-        split: &ExistenceSplit,
-        predictions: Vec<Vec<u32>>,
-        aux_hits: Vec<Option<Vec<u32>>>,
-    ) -> Vec<Option<Vec<u32>>> {
-        self.metrics.time(Phase::Other, || {
-            let mut results: Vec<Option<Vec<u32>>> = vec![None; split.batch_len];
-            for ((position, prediction), aux_hit) in split
-                .surviving_positions
-                .iter()
-                .zip(predictions)
-                .zip(aux_hits)
-            {
-                results[*position] = Some(match aux_hit {
-                    Some(values) => values,
-                    None => prediction,
-                });
-            }
-            results
-        })
-    }
 }
 
 #[cfg(test)]
@@ -170,7 +180,7 @@ mod tests {
     use crate::config::{DeepMappingConfig, TrainingConfig};
     use crate::hybrid::DeepMapping;
     use dm_storage::row::ReferenceStore;
-    use dm_storage::{DiskProfile, KeyValueStore, Row};
+    use dm_storage::{DiskProfile, Row, TupleStore};
 
     /// Rows the model cannot learn, so every key lands in the auxiliary table —
     /// which makes partition-load accounting deterministic.
@@ -282,7 +292,7 @@ mod tests {
     fn pipeline_results_preserve_input_order_and_match_reference() {
         let rows = adversarial_rows(1_000);
         let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
-        let mut reference = ReferenceStore::from_rows(&rows);
+        let reference = ReferenceStore::from_rows(&rows);
         // Shuffled hits and misses, with duplicates.
         let probe: Vec<u64> = (0..2_000u64)
             .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) % 1_500)
@@ -291,6 +301,26 @@ mod tests {
             dm.lookup_batch(&probe).unwrap(),
             reference.lookup_batch(&probe).unwrap()
         );
+    }
+
+    #[test]
+    fn execute_into_matches_execute_and_reuses_the_buffer() {
+        let rows = adversarial_rows(1_200);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let probe: Vec<u64> = (0..2_400u64).map(|i| (i * 7) % 1_800).collect();
+        let expected = dm.pipeline().execute(&probe).unwrap();
+        let mut buffer = LookupBuffer::new();
+        for _ in 0..3 {
+            dm.pipeline().execute_into(&probe, &mut buffer).unwrap();
+            assert_eq!(buffer.to_options(), expected);
+        }
+        let key_capacity = buffer.key_capacity();
+        let value_capacity = buffer.value_capacity();
+        for _ in 0..5 {
+            dm.pipeline().execute_into(&probe, &mut buffer).unwrap();
+        }
+        assert_eq!(buffer.key_capacity(), key_capacity, "span table must be reused");
+        assert_eq!(buffer.value_capacity(), value_capacity, "value arena must be reused");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! produce those workloads deterministically so every store sees the same queries.
 
 use crate::schema::Dataset;
-use dm_storage::Row;
+use dm_storage::{LookupBuffer, Row, TupleStore};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -50,6 +50,22 @@ impl LookupWorkload {
     /// uniformly with replacement; missing keys are sampled beyond the key range.
     pub fn generate(&self, dataset: &Dataset) -> Vec<u64> {
         self.generate_from_keys(&dataset.keys, dataset.max_key())
+    }
+
+    /// Generates one batch for `dataset` and drives it through `store`'s
+    /// allocation-aware read path ([`TupleStore::lookup_batch_into`]), reusing
+    /// `buffer` across calls so a steady-state workload driver allocates nothing per
+    /// key.  Returns the number of hits; the per-key results stay readable in
+    /// `buffer` until the next call.
+    pub fn drive(
+        &self,
+        store: &dyn TupleStore,
+        dataset: &Dataset,
+        buffer: &mut LookupBuffer,
+    ) -> dm_storage::Result<usize> {
+        let keys = self.generate(dataset);
+        store.lookup_batch_into(&keys, buffer)?;
+        Ok(buffer.hit_count())
     }
 
     /// Generates a batch from an explicit key population (used after modifications
@@ -209,6 +225,30 @@ mod tests {
     #[test]
     fn paper_batch_sizes_match_section_v() {
         assert_eq!(LookupWorkload::paper_batch_sizes(), [1_000, 10_000, 100_000]);
+    }
+
+    #[test]
+    fn drive_runs_a_workload_through_a_tuple_store() {
+        let ds = dataset();
+        let reference = dm_storage::ReferenceStore::from_rows(&ds.rows());
+        let mut buffer = LookupBuffer::new();
+
+        let all_hits = LookupWorkload::hits_only(1_000);
+        assert_eq!(all_hits.drive(&reference, &ds, &mut buffer).unwrap(), 1_000);
+        assert_eq!(buffer.len(), 1_000);
+
+        let with_misses = LookupWorkload::with_misses(1_000, 0.5);
+        let hits = with_misses.drive(&reference, &ds, &mut buffer).unwrap();
+        assert!(hits > 250 && hits < 750, "hits = {hits}");
+
+        // The buffer is reused, not regrown, across repeated drives.
+        let key_capacity = buffer.key_capacity();
+        let value_capacity = buffer.value_capacity();
+        for _ in 0..5 {
+            with_misses.drive(&reference, &ds, &mut buffer).unwrap();
+        }
+        assert_eq!(buffer.key_capacity(), key_capacity);
+        assert_eq!(buffer.value_capacity(), value_capacity);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! The paper's models are sequences of fully-connected layers with ReLU activations
 //! (Section IV-A: "we consider a sequence of fully connected layers as the underlying
 //! neural network architecture").  Each [`Dense`] owns its weight and bias matrices and
-//! the gradients accumulated during the latest backward pass; an [`Optimizer`]
-//! (see [`crate::optimizer`]) consumes those gradients to update the parameters.
+//! the gradients accumulated during the latest backward pass; an
+//! [`Optimizer`](crate::optimizer::Optimizer) consumes those gradients to update the
+//! parameters.
 
 use crate::init;
 use crate::tensor::Matrix;

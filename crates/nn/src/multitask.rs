@@ -255,6 +255,23 @@ impl MultiTaskModel {
         Ok(out)
     }
 
+    /// Like [`forward_batch`](Self::forward_batch), but appends the predictions to a
+    /// caller-owned flat row-major arena (`out[row * tasks + task]`) instead of
+    /// allocating one `Vec` per row — the allocation-free layout `dm-core`'s buffer
+    ///-reusing lookup path consumes.  Returns the number of tasks (columns per row).
+    pub fn forward_batch_flat(&self, x: &Matrix, out: &mut Vec<u32>) -> crate::Result<usize> {
+        out.clear();
+        let logits = self.forward(x)?;
+        let tasks = logits.len();
+        out.resize(x.rows() * tasks, 0);
+        for (task, m) in logits.iter().enumerate() {
+            for row in 0..m.rows() {
+                out[row * tasks + task] = m.argmax_row(row) as u32;
+            }
+        }
+        Ok(tasks)
+    }
+
     /// One supervised training step on a batch.
     ///
     /// `targets[task][row]` is the class index of `row` for `task`.  The per-task

@@ -9,8 +9,11 @@
 //! This crate is the from-scratch substitute for that environment:
 //!
 //! * [`row`] — the numeric row model every store in the workspace shares
-//!   (`key → encoded value codes`), and the [`KeyValueStore`] trait the benchmark
-//!   harness sweeps over,
+//!   (`key → encoded value codes`) and the `BTreeMap`-backed [`ReferenceStore`]
+//!   ground truth,
+//! * [`store`] — the cross-backend store API: the `&self`-based read trait
+//!   [`TupleStore`] with its reusable [`LookupBuffer`] result arena, and the write
+//!   trait [`MutableStore`] the benchmark harness sweeps over,
 //! * [`bitvec`] — the dynamic existence bit vector (`Vexist`),
 //! * [`layout`] — array- and hash-partition serialization (the paper's "array-based"
 //!   and "hash-based" representations, with their asymmetric deserialization costs),
@@ -26,13 +29,15 @@ pub mod layout;
 pub mod metrics;
 pub mod pool;
 pub mod row;
+pub mod store;
 
 pub use bitvec::BitVec;
 pub use disk::{DiskProfile, SimulatedDisk};
 pub use layout::{ArrayPartition, HashPartition, PartitionLayout};
 pub use metrics::{LatencyBreakdown, Metrics, Phase};
 pub use pool::BufferPool;
-pub use row::{KeyValueStore, Row, StoreStats};
+pub use row::{ReferenceStore, Row, StoreStats};
+pub use store::{LookupBuffer, MutableStore, TupleRef, TupleStore};
 
 /// Errors produced by the storage substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +50,9 @@ pub enum StorageError {
     Compression(String),
     /// The operation's configuration was invalid.
     InvalidConfig(String),
+    /// The store does not implement the requested operation (e.g. range scans on a
+    /// backend with no key order).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -54,6 +62,7 @@ impl std::fmt::Display for StorageError {
             StorageError::MissingPartition(id) => write!(f, "partition {id} not found"),
             StorageError::Compression(msg) => write!(f, "compression error: {msg}"),
             StorageError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            StorageError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
         }
     }
 }

@@ -68,7 +68,7 @@ impl Phase {
 /// Per-phase accumulated time plus I/O counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyBreakdown {
-    /// Wall-clock time per phase, indexed by [`Phase::index`], in nanoseconds.
+    /// Wall-clock time per phase, indexed in [`Phase::all`] order, in nanoseconds.
     pub phase_nanos: [u64; 6],
     /// Simulated I/O time (bytes ÷ modelled bandwidth), in nanoseconds.
     pub simulated_io_nanos: u64,

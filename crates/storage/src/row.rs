@@ -1,12 +1,14 @@
-//! The shared row model and the [`KeyValueStore`] trait.
+//! The shared row model and the reference store.
 //!
 //! Every store in the workspace — DeepMapping and all baselines — answers the same
 //! query: given an integer key, return the tuple's value columns as dense integer
 //! codes (decoding back to strings via `fdecode` happens above this layer).  Keeping
 //! the model numeric mirrors the paper's preprocessing (categorical values are
 //! one-hot/integer encoded before anything touches the network or the partitions) and
-//! lets the benchmark harness sweep stores uniformly through one trait.
+//! lets the benchmark harness sweep stores uniformly through the
+//! [`crate::TupleStore`] / [`crate::MutableStore`] traits defined in [`crate::store`].
 
+use crate::store::{LookupBuffer, MutableStore, TupleStore};
 use crate::Result;
 
 /// A single tuple: an integer key plus one encoded code per value column.
@@ -44,41 +46,6 @@ pub struct StoreStats {
     pub tuple_count: usize,
     /// Number of partitions the store is divided into.
     pub partition_count: usize,
-}
-
-/// The uniform interface the benchmark harness (and the examples) use to compare
-/// DeepMapping against the array- and hash-based baselines.
-pub trait KeyValueStore {
-    /// A short, table-friendly name (e.g. `"DM-Z"`, `"ABC-L"`, `"HB"`).
-    fn name(&self) -> String;
-
-    /// Looks up a batch of keys.  The result has one entry per query key, in query
-    /// order: `Some(values)` when the key exists, `None` otherwise.
-    fn lookup_batch(&mut self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>>;
-
-    /// Inserts new rows (keys may be previously unseen).
-    fn insert(&mut self, rows: &[Row]) -> Result<()>;
-
-    /// Deletes keys; deleting a non-existing key is a no-op.
-    fn delete(&mut self, keys: &[u64]) -> Result<()>;
-
-    /// Updates the values of existing keys (rows whose keys do not exist are ignored).
-    fn update(&mut self, rows: &[Row]) -> Result<()>;
-
-    /// Storage-size statistics.
-    fn stats(&self) -> StoreStats;
-
-    /// Convenience single-key lookup.
-    fn lookup(&mut self, key: u64) -> Result<Option<Vec<u32>>> {
-        Ok(self.lookup_batch(&[key])?.pop().flatten())
-    }
-
-    /// Optional maintenance hook run off the query path (e.g. during off-peak hours).
-    /// DeepMapping retrains its model and compacts the auxiliary structures here; the
-    /// partitioned baselines have nothing to do and keep the default no-op.
-    fn maintenance(&mut self) -> Result<()> {
-        Ok(())
-    }
 }
 
 /// A trivially correct reference store backed by a `BTreeMap`, used by tests and
@@ -121,15 +88,45 @@ impl ReferenceStore {
     }
 }
 
-impl KeyValueStore for ReferenceStore {
-    fn name(&self) -> String {
-        "REF".to_string()
+impl TupleStore for ReferenceStore {
+    fn name(&self) -> &str {
+        "REF"
     }
 
-    fn lookup_batch(&mut self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
-        Ok(keys.iter().map(|k| self.map.get(k).cloned()).collect())
+    fn lookup_batch_into(&self, keys: &[u64], out: &mut LookupBuffer) -> Result<()> {
+        out.reset(keys);
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(values) = self.map.get(key) {
+                out.set_hit(i, values);
+            }
+        }
+        Ok(())
     }
 
+    fn stats(&self) -> StoreStats {
+        let tuple_count = self.map.len();
+        let value_cols = self.map.values().next().map(Vec::len).unwrap_or(0);
+        StoreStats {
+            disk_bytes: tuple_count * Row::fixed_width(value_cols),
+            resident_bytes: tuple_count * Row::fixed_width(value_cols),
+            tuple_count,
+            partition_count: 1,
+        }
+    }
+
+    fn scan_range(&self, lo: u64, hi: u64) -> Result<Vec<Row>> {
+        if lo > hi {
+            return Ok(Vec::new());
+        }
+        Ok(self
+            .map
+            .range(lo..=hi)
+            .map(|(&key, values)| Row::new(key, values.clone()))
+            .collect())
+    }
+}
+
+impl MutableStore for ReferenceStore {
     fn insert(&mut self, rows: &[Row]) -> Result<()> {
         for row in rows {
             self.map.insert(row.key, row.values.clone());
@@ -152,17 +149,6 @@ impl KeyValueStore for ReferenceStore {
         }
         Ok(())
     }
-
-    fn stats(&self) -> StoreStats {
-        let tuple_count = self.map.len();
-        let value_cols = self.map.values().next().map(Vec::len).unwrap_or(0);
-        StoreStats {
-            disk_bytes: tuple_count * Row::fixed_width(value_cols),
-            resident_bytes: tuple_count * Row::fixed_width(value_cols),
-            tuple_count,
-            partition_count: 1,
-        }
-    }
 }
 
 #[cfg(test)]
@@ -181,31 +167,51 @@ mod tests {
         store
             .insert(&[Row::new(1, vec![10, 20]), Row::new(5, vec![11, 21])])
             .unwrap();
-        assert_eq!(store.lookup(1).unwrap(), Some(vec![10, 20]));
-        assert_eq!(store.lookup(2).unwrap(), None);
+        assert_eq!(store.get(1).unwrap(), Some(vec![10, 20]));
+        assert_eq!(store.get(2).unwrap(), None);
 
         store.update(&[Row::new(1, vec![99, 98]), Row::new(7, vec![0, 0])]).unwrap();
-        assert_eq!(store.lookup(1).unwrap(), Some(vec![99, 98]));
+        assert_eq!(store.get(1).unwrap(), Some(vec![99, 98]));
         // Updating a missing key does not insert it.
-        assert_eq!(store.lookup(7).unwrap(), None);
+        assert_eq!(store.get(7).unwrap(), None);
 
         store.delete(&[1, 100]).unwrap();
-        assert_eq!(store.lookup(1).unwrap(), None);
+        assert_eq!(store.get(1).unwrap(), None);
         assert_eq!(store.len(), 1);
 
         let stats = store.stats();
         assert_eq!(stats.tuple_count, 1);
         assert!(stats.disk_bytes > 0);
+        assert_eq!(store.name(), "REF");
     }
 
     #[test]
     fn batch_lookup_preserves_query_order() {
-        let mut store = ReferenceStore::from_rows(&[
+        let store = ReferenceStore::from_rows(&[
             Row::new(3, vec![3]),
             Row::new(1, vec![1]),
             Row::new(2, vec![2]),
         ]);
         let result = store.lookup_batch(&[2, 99, 1]).unwrap();
         assert_eq!(result, vec![Some(vec![2]), None, Some(vec![1])]);
+
+        let mut buffer = LookupBuffer::new();
+        store.lookup_batch_into(&[2, 99, 1], &mut buffer).unwrap();
+        assert_eq!(buffer.to_options(), result);
+        assert_eq!(buffer.hit_count(), 2);
+    }
+
+    #[test]
+    fn scan_range_returns_key_ordered_rows() {
+        let store = ReferenceStore::from_rows(&[
+            Row::new(5, vec![5]),
+            Row::new(1, vec![1]),
+            Row::new(3, vec![3]),
+        ]);
+        assert_eq!(
+            store.scan_range(2, 5).unwrap(),
+            vec![Row::new(3, vec![3]), Row::new(5, vec![5])]
+        );
+        assert!(store.scan_range(6, 2).unwrap().is_empty());
     }
 }

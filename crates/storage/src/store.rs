@@ -1,0 +1,349 @@
+//! The cross-backend store API: [`TupleStore`] (shared, allocation-aware reads) and
+//! [`MutableStore`] (modifications), plus the reusable [`LookupBuffer`] arena batch
+//! lookups write into.
+//!
+//! The read trait is deliberately `&self`-based: DeepMapping's Algorithm 1 only ever
+//! *reads* the model, existence vector and auxiliary partitions, and every shared
+//! component (buffer pool, simulated disk, metrics) already sits behind interior
+//! mutability, so one store instance can serve lookups from many threads at once.
+//! Requiring `Send + Sync` on the trait makes that contract explicit — an
+//! `Arc<impl TupleStore>` is a valid concurrent query server.
+//!
+//! The allocation story: the old interface returned `Vec<Option<Vec<u32>>>`, one heap
+//! allocation per hit per batch.  [`TupleStore::lookup_batch_into`] instead appends
+//! every hit's values to one flat arena inside a caller-owned [`LookupBuffer`] and
+//! records a per-key span, so a steady-state workload that reuses its buffer performs
+//! zero per-key allocations — the arena and span table are cleared, not freed, between
+//! batches.  [`TupleStore::lookup_batch`] keeps the old materialized shape as a
+//! convenience built on top.
+
+use crate::row::{Row, StoreStats};
+use crate::{Result, StorageError};
+
+/// Span of one key's values inside the [`LookupBuffer`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Span {
+    start: u32,
+    len: u32,
+}
+
+/// Sentinel span marking a key with no result (a miss).
+const MISS: Span = Span {
+    start: u32::MAX,
+    len: 0,
+};
+
+/// A borrowed view of one tuple inside a [`LookupBuffer`]: the query key plus a slice
+/// of its value codes in the buffer's arena.  No allocation, valid until the buffer is
+/// next reset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleRef<'a> {
+    /// The query key this tuple answers.
+    pub key: u64,
+    /// The tuple's value codes, in schema order.
+    pub values: &'a [u32],
+}
+
+impl TupleRef<'_> {
+    /// Materializes the view into an owned [`Row`].
+    pub fn to_row(&self) -> Row {
+        Row::new(self.key, self.values.to_vec())
+    }
+}
+
+/// A reusable result arena for batch lookups.
+///
+/// One buffer holds one batch's results: the queried keys, a flat `u32` arena with
+/// every hit's values, and a per-key span/miss table.  Resetting for the next batch
+/// clears the contents but keeps the allocations, so repeated batches of similar shape
+/// reach a steady state with **zero** per-key heap allocations (asserted by the
+/// workspace's capacity-stability test).
+#[derive(Debug, Default, Clone)]
+pub struct LookupBuffer {
+    keys: Vec<u64>,
+    spans: Vec<Span>,
+    values: Vec<u32>,
+    hits: usize,
+    /// Detachable scratch arena stores may borrow to stage flat intermediate results
+    /// (e.g. a model's row-major predictions) without allocating per batch.
+    scratch: Vec<u32>,
+}
+
+impl LookupBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer pre-sized for `keys` queries with about `values_per_key`
+    /// value columns each.
+    pub fn with_capacity(keys: usize, values_per_key: usize) -> Self {
+        LookupBuffer {
+            keys: Vec::with_capacity(keys),
+            spans: Vec::with_capacity(keys),
+            values: Vec::with_capacity(keys * values_per_key),
+            hits: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Clears the buffer and re-seeds it with a new query batch: every key starts as
+    /// a miss.  Existing allocations are reused.
+    pub fn reset(&mut self, keys: &[u64]) {
+        self.keys.clear();
+        self.keys.extend_from_slice(keys);
+        self.spans.clear();
+        self.spans.resize(keys.len(), MISS);
+        self.values.clear();
+        self.hits = 0;
+    }
+
+    /// Records a hit for query position `index`, appending `values` to the arena.
+    /// Overwriting an earlier hit for the same position is allowed (the newest values
+    /// win); the superseded arena bytes are reclaimed at the next [`reset`](Self::reset).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds or the arena would exceed `u32::MAX` values.
+    pub fn set_hit(&mut self, index: usize, values: &[u32]) {
+        let start = u32::try_from(self.values.len()).expect("lookup arena exceeds u32 span space");
+        let len = u32::try_from(values.len()).expect("tuple wider than u32 span space");
+        self.values.extend_from_slice(values);
+        if self.spans[index] == MISS {
+            self.hits += 1;
+        }
+        self.spans[index] = Span { start, len };
+    }
+
+    /// Number of keys in the current batch.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the current batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Number of keys answered with a hit.
+    pub fn hit_count(&self) -> usize {
+        self.hits
+    }
+
+    /// The query key at `index`.
+    pub fn key(&self, index: usize) -> u64 {
+        self.keys[index]
+    }
+
+    /// Whether query position `index` was answered with a hit.
+    pub fn is_hit(&self, index: usize) -> bool {
+        self.spans[index] != MISS
+    }
+
+    /// The values for query position `index`, or `None` on a miss.
+    pub fn get(&self, index: usize) -> Option<&[u32]> {
+        let span = self.spans[index];
+        (span != MISS).then(|| &self.values[span.start as usize..(span.start + span.len) as usize])
+    }
+
+    /// A [`TupleRef`] view of query position `index`, or `None` on a miss.
+    pub fn tuple(&self, index: usize) -> Option<TupleRef<'_>> {
+        self.get(index).map(|values| TupleRef {
+            key: self.keys[index],
+            values,
+        })
+    }
+
+    /// Iterates the batch in query order as `(key, Some(values) | None)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Option<&[u32]>)> + '_ {
+        (0..self.len()).map(|i| (self.keys[i], self.get(i)))
+    }
+
+    /// Iterates only the hits, in query order, as [`TupleRef`] views.
+    pub fn tuples(&self) -> impl Iterator<Item = TupleRef<'_>> + '_ {
+        (0..self.len()).filter_map(|i| self.tuple(i))
+    }
+
+    /// Materializes the batch into the legacy `Vec<Option<Vec<u32>>>` shape (one
+    /// allocation per hit) — the compatibility path behind
+    /// [`TupleStore::lookup_batch`].
+    pub fn to_options(&self) -> Vec<Option<Vec<u32>>> {
+        (0..self.len()).map(|i| self.get(i).map(<[u32]>::to_vec)).collect()
+    }
+
+    /// Detaches the buffer's scratch arena for a store to fill with flat
+    /// intermediate results during one batch.  Contents are unspecified; hand it
+    /// back with [`restore_scratch`](Self::restore_scratch) so the allocation is
+    /// reused by later batches.
+    pub fn take_scratch(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Returns a scratch arena previously obtained from
+    /// [`take_scratch`](Self::take_scratch), keeping its allocation for reuse.
+    pub fn restore_scratch(&mut self, scratch: Vec<u32>) {
+        self.scratch = scratch;
+    }
+
+    /// Current capacity of the key/span tables (stable across same-shape batches).
+    pub fn key_capacity(&self) -> usize {
+        self.keys.capacity().min(self.spans.capacity())
+    }
+
+    /// Current capacity of the flat value arena (stable across same-shape batches).
+    pub fn value_capacity(&self) -> usize {
+        self.values.capacity()
+    }
+}
+
+/// The shared read interface every store in the workspace serves queries through.
+///
+/// All methods take `&self`: implementors keep their query-path state (buffer pools,
+/// metrics, simulated disks) behind interior mutability so a single store can be
+/// probed concurrently from many threads (`Send + Sync` is part of the contract).
+pub trait TupleStore: Send + Sync {
+    /// A short, table-friendly system name (e.g. `"DM-Z"`, `"ABC-L"`, `"HB"`).
+    /// Borrowed from the store — computed once at build time, never per call.
+    fn name(&self) -> &str;
+
+    /// Looks up a batch of keys, writing results into `out` (which is reset to this
+    /// batch first).  One span per query key, in query order; hits share `out`'s flat
+    /// value arena, so a reused buffer makes the steady state allocation-free.
+    fn lookup_batch_into(&self, keys: &[u64], out: &mut LookupBuffer) -> Result<()>;
+
+    /// Storage-size statistics.
+    fn stats(&self) -> StoreStats;
+
+    /// Convenience batch lookup materializing owned results: one entry per query key
+    /// in query order, `Some(values)` on a hit, `None` otherwise.
+    fn lookup_batch(&self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
+        let mut buffer = LookupBuffer::with_capacity(keys.len(), 4);
+        self.lookup_batch_into(keys, &mut buffer)?;
+        Ok(buffer.to_options())
+    }
+
+    /// Convenience single-key lookup (a batch of one).
+    fn get(&self, key: u64) -> Result<Option<Vec<u32>>> {
+        Ok(self.lookup_batch(std::slice::from_ref(&key))?.pop().flatten())
+    }
+
+    /// Returns every live row with key in `[lo, hi]`, in ascending key order.
+    ///
+    /// The default declines with [`StorageError::Unsupported`]; key-ordered backends
+    /// (DeepMapping via its existence index, the array/hash partitioned baselines, the
+    /// reference store) override it so range workloads can compare all backends.
+    fn scan_range(&self, lo: u64, hi: u64) -> Result<Vec<Row>> {
+        let _ = (lo, hi);
+        Err(StorageError::Unsupported(format!(
+            "{} does not support range scans",
+            self.name()
+        )))
+    }
+}
+
+/// The write interface: batch modifications plus the off-peak maintenance hook.
+/// Writes keep `&mut self` — exclusive access is the point at which the read
+/// structures may be rebuilt.
+pub trait MutableStore: TupleStore {
+    /// Inserts new rows (keys may be previously unseen).
+    fn insert(&mut self, rows: &[Row]) -> Result<()>;
+
+    /// Deletes keys; deleting a non-existing key is a no-op.
+    fn delete(&mut self, keys: &[u64]) -> Result<()>;
+
+    /// Updates the values of existing keys (rows whose keys do not exist are ignored).
+    fn update(&mut self, rows: &[Row]) -> Result<()>;
+
+    /// Optional maintenance hook run off the query path (e.g. during off-peak hours).
+    /// DeepMapping retrains its model and compacts the auxiliary structures here; the
+    /// partitioned baselines have nothing to do and keep the default no-op.
+    fn maintenance(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_starts_as_all_misses_and_records_hits() {
+        let mut buffer = LookupBuffer::new();
+        buffer.reset(&[10, 20, 30]);
+        assert_eq!(buffer.len(), 3);
+        assert_eq!(buffer.hit_count(), 0);
+        assert!(!buffer.is_hit(1));
+
+        buffer.set_hit(1, &[7, 8]);
+        buffer.set_hit(2, &[9]);
+        assert_eq!(buffer.hit_count(), 2);
+        assert_eq!(buffer.get(0), None);
+        assert_eq!(buffer.get(1), Some(&[7u32, 8][..]));
+        assert_eq!(buffer.get(2), Some(&[9u32][..]));
+        assert_eq!(buffer.key(1), 20);
+
+        let tuple = buffer.tuple(1).unwrap();
+        assert_eq!(tuple.key, 20);
+        assert_eq!(tuple.to_row(), Row::new(20, vec![7, 8]));
+        assert!(buffer.tuple(0).is_none());
+
+        let collected: Vec<(u64, Option<&[u32]>)> = buffer.iter().collect();
+        assert_eq!(collected[0], (10, None));
+        assert_eq!(collected[1], (20, Some(&[7u32, 8][..])));
+        assert_eq!(buffer.tuples().count(), 2);
+        assert_eq!(
+            buffer.to_options(),
+            vec![None, Some(vec![7, 8]), Some(vec![9])]
+        );
+    }
+
+    #[test]
+    fn overwriting_a_hit_keeps_the_newest_values_and_hit_count() {
+        let mut buffer = LookupBuffer::new();
+        buffer.reset(&[1]);
+        buffer.set_hit(0, &[1, 2]);
+        buffer.set_hit(0, &[3, 4, 5]);
+        assert_eq!(buffer.hit_count(), 1);
+        assert_eq!(buffer.get(0), Some(&[3u32, 4, 5][..]));
+    }
+
+    #[test]
+    fn reset_reuses_allocations() {
+        let mut buffer = LookupBuffer::with_capacity(4, 2);
+        for round in 0..5u32 {
+            buffer.reset(&[1, 2, 3, 4]);
+            for i in 0..4 {
+                buffer.set_hit(i, &[round, i as u32]);
+            }
+        }
+        let keys_cap = buffer.key_capacity();
+        let values_cap = buffer.value_capacity();
+        for round in 0..50u32 {
+            buffer.reset(&[1, 2, 3, 4]);
+            for i in 0..4 {
+                buffer.set_hit(i, &[round, i as u32]);
+            }
+        }
+        assert_eq!(buffer.key_capacity(), keys_cap);
+        assert_eq!(buffer.value_capacity(), values_cap);
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let mut buffer = LookupBuffer::new();
+        buffer.reset(&[]);
+        assert!(buffer.is_empty());
+        assert_eq!(buffer.to_options(), Vec::<Option<Vec<u32>>>::new());
+        assert_eq!(buffer.iter().count(), 0);
+    }
+
+    #[test]
+    fn zero_width_hits_are_distinct_from_misses() {
+        let mut buffer = LookupBuffer::new();
+        buffer.reset(&[5, 6]);
+        buffer.set_hit(0, &[]);
+        assert!(buffer.is_hit(0));
+        assert_eq!(buffer.get(0), Some(&[][..]));
+        assert_eq!(buffer.get(1), None);
+        assert_eq!(buffer.to_options(), vec![Some(vec![]), None]);
+    }
+}

@@ -26,15 +26,16 @@ fn main() {
 
     // Build DeepMapping and the compressed-array baseline over the same data.
     let rows = raster.rows();
-    let dm_config = DeepMappingConfig::dm_z()
-        .with_training(TrainingConfig {
+    let dm = DeepMappingBuilder::dm_z()
+        .training(TrainingConfig {
             epochs: 30,
             batch_size: 4096,
             ..TrainingConfig::default()
         })
-        .with_disk_profile(DiskProfile::free());
-    let dm = deepmapping::core::DeepMapping::build(&rows, &dm_config).expect("build DM");
-    let mut abc_z = PartitionedStore::build(
+        .disk_profile(DiskProfile::free())
+        .build(&rows)
+        .expect("build DM");
+    let abc_z = PartitionedStore::build(
         &rows,
         1,
         PartitionedStoreConfig::array(Codec::Lz).with_disk_profile(DiskProfile::free()),
@@ -48,7 +49,7 @@ fn main() {
         dm_size.total_bytes() as f64 / 1024.0,
         dm_size.compression_ratio(),
         dm_size.memorized_fraction() * 100.0,
-        KeyValueStore::stats(&abc_z).disk_bytes as f64 / 1024.0,
+        TupleStore::stats(&abc_z).disk_bytes as f64 / 1024.0,
     );
 
     // Point queries: what grows at these coordinates?
@@ -57,8 +58,8 @@ fn main() {
         let key = crop_config.key_for(row, col);
         let crop = dm.get(key).expect("lookup").expect("inside raster");
         let label = raster.columns[0].decode(crop[0]).unwrap_or("?");
-        // Cross-check against the baseline.
-        let baseline = KeyValueStore::lookup(&mut abc_z, key).unwrap().unwrap();
+        // Cross-check against the baseline through the shared read trait.
+        let baseline = TupleStore::get(&abc_z, key).unwrap().unwrap();
         assert_eq!(baseline, crop);
         println!("  ({row:>3}, {col:>3}) -> {label}");
     }
@@ -69,7 +70,11 @@ fn main() {
     for row in 32..64 {
         let lo = crop_config.key_for(row, 0);
         let hi = crop_config.key_for(row, crop_config.width - 1);
-        for cell in dm.range_lookup(lo, hi).expect("range") {
+        let cells = dm.range_lookup(lo, hi).expect("range");
+        // `scan_range` is part of the shared store trait, so the same range workload
+        // runs against the partitioned baseline — and must agree exactly.
+        assert_eq!(cells, abc_z.scan_range(lo, hi).expect("baseline range"));
+        for cell in cells {
             *composition.entry(cell.values[0]).or_insert(0) += 1;
         }
     }

@@ -38,7 +38,7 @@ fn main() {
 
     // Baseline: compressed array partitions behind an LRU pool.
     let metrics = Metrics::new();
-    let mut abc_z = PartitionedStore::build(
+    let abc_z = PartitionedStore::build(
         &rows,
         3,
         PartitionedStoreConfig::array(Codec::Lz)
@@ -50,38 +50,50 @@ fn main() {
     .expect("baseline build");
 
     // DeepMapping with the same budget.
-    let config = DeepMappingConfig::dm_z()
-        .with_memory_budget(memory_budget)
-        .with_disk_profile(DiskProfile::edge_ssd())
-        .with_training(TrainingConfig {
+    let mut dm = DeepMappingBuilder::dm_z()
+        .memory_budget(memory_budget)
+        .disk_profile(DiskProfile::edge_ssd())
+        .training(TrainingConfig {
             epochs: 25,
             batch_size: 4096,
             ..TrainingConfig::default()
-        });
-    let mut dm = deepmapping::core::DeepMapping::build(&rows, &config).expect("DeepMapping build");
+        })
+        .build(&rows)
+        .expect("DeepMapping build");
 
-    // A burst of random point lookups (customers scanning receipts).
+    // A burst of random point lookups (customers scanning receipts), driven through
+    // the shared `TupleStore` read path with one reusable buffer per store — the
+    // kiosk's steady state allocates nothing per key.
     let workload = LookupWorkload::with_misses(5_000, 0.05);
     let keys = workload.generate_from_keys(&(0..orders).collect::<Vec<_>>(), orders);
+    let mut baseline_buffer = LookupBuffer::new();
+    let mut dm_buffer = LookupBuffer::new();
 
+    metrics.reset(); // drop build-time accounting so the burst is measured alone
     let start = Instant::now();
-    let baseline_answers = KeyValueStore::lookup_batch(&mut abc_z, &keys).expect("baseline lookup");
+    abc_z
+        .lookup_batch_into(&keys, &mut baseline_buffer)
+        .expect("baseline lookup");
     let baseline_wall = start.elapsed();
     let baseline_io = metrics.snapshot().simulated_io_nanos;
 
     dm.metrics().reset();
     let start = Instant::now();
-    let dm_answers = dm.lookup_batch(&keys).expect("dm lookup");
+    dm.lookup_batch_into(&keys, &mut dm_buffer).expect("dm lookup");
     let dm_wall = start.elapsed();
     let dm_io = dm.metrics().snapshot().simulated_io_nanos;
 
-    assert_eq!(baseline_answers, dm_answers, "both stores must agree exactly");
-    println!("\nlookup burst of {} keys:", keys.len());
+    assert_eq!(
+        baseline_buffer.to_options(),
+        dm_buffer.to_options(),
+        "both stores must agree exactly"
+    );
+    println!("\nlookup burst of {} keys ({} hits):", keys.len(), dm_buffer.hit_count());
     println!(
         "  ABC-Z : {:>7.2} ms wall + {:>7.2} ms simulated I/O, {} KiB on disk",
         baseline_wall.as_secs_f64() * 1e3,
         baseline_io as f64 / 1e6,
-        KeyValueStore::stats(&abc_z).disk_bytes / 1024
+        TupleStore::stats(&abc_z).disk_bytes / 1024
     );
     println!(
         "  DM-Z  : {:>7.2} ms wall + {:>7.2} ms simulated I/O, {} KiB hybrid structure",

@@ -24,7 +24,10 @@ fn main() {
         dataset.num_value_columns()
     );
 
-    let schema = MappingSchema::infer(&rows, 0).expect("schema");
+    // Infer the schema with the same key headroom `DeepMapping::build` applies, so
+    // the searched architecture's input width matches the final build below.
+    let schema =
+        MappingSchema::infer(&rows, deepmapping::core::KEY_HEADROOM).expect("schema");
     let mhas = MhasConfig {
         iterations: 24,
         model_epochs: 1,
@@ -67,14 +70,15 @@ fn main() {
     );
 
     // Build the final structure from the searched architecture and verify it.
-    let config = base_config
-        .with_search(SearchStrategy::Fixed(outcome.best_spec.clone()))
-        .with_training(TrainingConfig {
+    let dm = DeepMappingBuilder::from_config(base_config)
+        .search(SearchStrategy::Fixed(outcome.best_spec.clone()))
+        .training(TrainingConfig {
             epochs: 30,
             batch_size: 2048,
             ..TrainingConfig::default()
-        });
-    let dm = deepmapping::core::DeepMapping::build(&rows, &config).expect("build");
+        })
+        .build(&rows)
+        .expect("build");
     let breakdown = dm.storage_breakdown();
     println!(
         "\nfinal hybrid structure: {:.1} KiB over {:.1} KiB of data (ratio {:.3}), {:.1}% of tuples memorized",

@@ -17,20 +17,20 @@ fn main() {
             Row::new(order_id, vec![order_type, order_status])
         })
         .collect();
-    let decode = deepmapping::core::DecodeMap::from_labels(vec![
-        vec!["Shipping".into(), "Pick-Up".into(), "Return".into()],
-        vec!["In Process".into(), "Done".into(), "Cancelled".into(), "Returned".into()],
-    ]);
-
-    // 2. Build the hybrid structure (DM-Z configuration: LZ-compressed auxiliary table).
-    let config = DeepMappingConfig::dm_z()
-        .with_training(TrainingConfig {
+    // 2. Build the hybrid structure fluently (DM-Z preset: LZ-compressed auxiliary
+    //    table), attaching the decode map in the same chain.
+    let mut dm = DeepMappingBuilder::dm_z()
+        .training(TrainingConfig {
             epochs: 25,
             batch_size: 4096,
             ..TrainingConfig::default()
         })
-        .with_partition_bytes(64 * 1024);
-    let mut dm = deepmapping::core::DeepMapping::build_with_decode_map(&rows, &config, decode)
+        .partition_bytes(64 * 1024)
+        .decode_labels(vec![
+            vec!["Shipping".into(), "Pick-Up".into(), "Return".into()],
+            vec!["In Process".into(), "Done".into(), "Cancelled".into(), "Returned".into()],
+        ])
+        .build(&rows)
         .expect("build DeepMapping");
 
     // 3. Batched lookups (Algorithm 1): exact answers, including "not found" for keys

@@ -11,18 +11,40 @@
 //! random lookups at the same time, with insert/delete/update absorbed by the
 //! auxiliary structures instead of retraining.
 //!
+//! ## The store API
+//!
+//! Every backend in the workspace — DeepMapping and all baselines — is swept through
+//! two traits from [`dm_storage`]:
+//!
+//! * [`TupleStore`](dm_storage::TupleStore) — the **read** interface.  All methods
+//!   take `&self` and implementors are `Send + Sync`, so one store (e.g. an
+//!   `Arc<DeepMapping>`) serves lookups from many threads concurrently.  The primary
+//!   entry point is `lookup_batch_into(&self, keys, &mut LookupBuffer)`: results land
+//!   in a caller-owned, reusable flat arena ([`dm_storage::LookupBuffer`], viewed
+//!   through [`dm_storage::TupleRef`]), so steady-state batches make **zero per-key
+//!   heap allocations**.  `lookup_batch` materializes the owned
+//!   `Vec<Option<Vec<u32>>>` shape when convenience beats allocation discipline, and
+//!   `scan_range` serves range workloads on every key-ordered backend.
+//! * [`MutableStore`](dm_storage::MutableStore) — the **write** interface
+//!   (`insert`/`delete`/`update` plus the off-peak `maintenance` hook DeepMapping
+//!   retrains under).  Writes keep `&mut self`: exclusive access is the point at
+//!   which the read structures may be rebuilt.
+//!
 //! This crate is a facade over the workspace:
 //!
-//! * [`dm_core`] (re-exported as [`core`]) — the hybrid structure, the batched
-//!   [`QueryPipeline`](dm_core::pipeline) every lookup routes through (Algorithm 1 as
-//!   a staged dataflow), modification workflows and the MHAS architecture search,
+//! * [`dm_core`] (re-exported as [`core`]) — the hybrid structure, the
+//!   [`DeepMappingBuilder`](dm_core::DeepMappingBuilder) fluent constructor, the
+//!   batched [`QueryPipeline`](dm_core::pipeline) every lookup routes through
+//!   (Algorithm 1 as a staged dataflow), modification workflows and the MHAS
+//!   architecture search,
 //! * [`dm_nn`] — the from-scratch neural-network substrate,
 //! * [`dm_compress`] — the compression codecs (Z-Standard / LZMA / gzip / dictionary
 //!   stand-ins),
-//! * [`dm_storage`] — partitions, simulated disk, LRU buffer pool, existence bit
-//!   vector, latency metrics,
+//! * [`dm_storage`] — the store traits and lookup buffer, partitions, simulated
+//!   disk, LRU buffer pool, existence bit vector, latency metrics,
 //! * [`dm_data`] — TPC-H-like / TPC-DS-like / synthetic / crop dataset generators and
-//!   workloads,
+//!   workloads (with [`LookupWorkload::drive`](dm_data::LookupWorkload::drive) running
+//!   a workload against any `TupleStore`),
 //! * [`dm_baselines`] — the array-based, hash-based and DeepSqueeze-like baselines the
 //!   paper compares against.
 //!
@@ -31,27 +53,34 @@
 //! ```text
 //! Cargo.toml                 workspace root + this facade package
 //! ├── crates/nn              dm-nn        matrices, dense layers, multi-task model,
-//! │                                       forward_batch (vectorized lookup inference)
+//! │                                       forward_batch / forward_batch_flat
+//! │                                       (vectorized lookup inference)
 //! ├── crates/compress        dm-compress  lz / lz+huffman / deflate-like / dictionary,
 //! │                                       varint, rle, bitpack, framed format
-//! ├── crates/storage         dm-storage   Row + KeyValueStore, BitVec (Vexist),
-//! │                                       partition layouts, simulated disk,
-//! │                                       LRU BufferPool, Figure-7 Metrics
-//! ├── crates/core            dm-core      DeepMapping hybrid, QueryPipeline,
-//! │                                       AuxTable, schema/encoders, MHAS
+//! ├── crates/storage         dm-storage   Row, TupleStore/MutableStore + LookupBuffer,
+//! │                                       BitVec (Vexist), partition layouts,
+//! │                                       simulated disk, LRU BufferPool,
+//! │                                       Figure-7 Metrics
+//! ├── crates/core            dm-core      DeepMapping hybrid + DeepMappingBuilder,
+//! │                                       QueryPipeline, AuxTable, schema/encoders,
+//! │                                       MHAS
 //! ├── crates/data            dm-data      TPC-H / TPC-DS / synthetic / crop
 //! │                                       generators, lookup & modification workloads
 //! ├── crates/baselines       dm-baselines array/hash partitioned stores, DeepSqueeze
-//! ├── crates/bench           dm-bench     harness + fig*/table* bench binaries
+//! ├── crates/bench           dm-bench     harness + fig*/table* bench binaries,
+//! │                                       BENCH_lookup.json throughput report
 //! └── crates/shims           offline stand-ins for rand / parking_lot / criterion
 //!                            (no registry access in the build environment; each
 //!                            implements only the API subset the workspace uses)
 //! ```
 //!
-//! Lookups flow facade → `dm_core::DeepMapping::lookup_batch` →
-//! `dm_core::pipeline::QueryPipeline` (existence split → one vectorized forward pass
-//! → partition-grouped auxiliary probes through the buffer pool → order-preserving
-//! merge), with every stage charged to a `dm_storage::Metrics` phase.
+//! Lookups flow facade → `TupleStore::lookup_batch_into` →
+//! `dm_core::pipeline::QueryPipeline::execute_into` (existence split → one vectorized
+//! flat forward pass → partition-grouped auxiliary probes through the shared buffer
+//! pool, each partition loaded at most once per batch → order-preserving merge into
+//! the caller's `LookupBuffer` arena), with every stage charged to a
+//! `dm_storage::Metrics` phase.  Because the pipeline only reads, batches from
+//! different threads interleave freely over one store instance.
 //!
 //! ## Quickstart
 //!
@@ -63,18 +92,30 @@
 //!     .map(|k| Row::new(k, vec![((k / 32) % 3) as u32, ((k / 8) % 5) as u32]))
 //!     .collect();
 //!
-//! let config = DeepMappingConfig::dm_z()
-//!     .with_training(TrainingConfig::quick())
-//!     .with_partition_bytes(16 * 1024);
-//! let mut dm = DeepMapping::build(&rows, &config).expect("build");
+//! // Fluent construction (DM-Z preset: LZ-compressed auxiliary table).
+//! let mut dm = DeepMappingBuilder::dm_z()
+//!     .training(TrainingConfig::quick())
+//!     .partition_bytes(16 * 1024)
+//!     .build(&rows)
+//!     .expect("build");
 //!
 //! // Exact lookups — including rejection of keys that do not exist.
 //! assert_eq!(dm.get(40).unwrap(), Some(vec![1, 0]));
 //! assert_eq!(dm.get(1_000_000).unwrap(), None);
 //!
-//! // Modifications without retraining (Algorithms 3-5).
-//! dm.insert_rows(&[Row::new(2_000, vec![2, 4])]).unwrap();
-//! dm.delete_keys(&[0]).unwrap();
+//! // The allocation-aware batch path: results land in a reusable arena.
+//! let mut buffer = LookupBuffer::new();
+//! dm.lookup_batch_into(&[40, 41, 1_000_000], &mut buffer).unwrap();
+//! assert_eq!(buffer.hit_count(), 2);
+//! assert_eq!(buffer.get(0), Some(&[1u32, 0][..]));
+//! assert!(buffer.get(2).is_none());
+//!
+//! // Range scans through the shared trait (served by the existence index).
+//! assert_eq!(dm.scan_range(10, 13).unwrap().len(), 4);
+//!
+//! // Modifications without retraining (Algorithms 3-5), via MutableStore.
+//! dm.insert(&[Row::new(2_000, vec![2, 4])]).unwrap();
+//! dm.delete(&[0]).unwrap();
 //! assert_eq!(dm.get(2_000).unwrap(), Some(vec![2, 4]));
 //! assert_eq!(dm.get(0).unwrap(), None);
 //!
@@ -98,8 +139,8 @@ pub mod prelude {
     pub use dm_baselines::{DeepSqueezeConfig, DeepSqueezeStore, PartitionedStore, PartitionedStoreConfig};
     pub use dm_compress::Codec;
     pub use dm_core::{
-        DeepMapping, DeepMappingConfig, MhasConfig, MhasSearch, SearchStrategy, StorageBreakdown,
-        TrainingConfig,
+        DeepMapping, DeepMappingBuilder, DeepMappingConfig, MhasConfig, MhasSearch,
+        SearchStrategy, StorageBreakdown, TrainingConfig,
     };
     pub use dm_data::{
         Column, Correlation, CropConfig, Dataset, LookupWorkload, ModificationWorkload,
@@ -108,7 +149,8 @@ pub mod prelude {
     pub use dm_data::tpcds::TpcdsConfig;
     pub use dm_data::tpch::TpchConfig;
     pub use dm_storage::{
-        BitVec, DiskProfile, KeyValueStore, LatencyBreakdown, Metrics, Phase, Row, StoreStats,
+        BitVec, DiskProfile, LatencyBreakdown, LookupBuffer, Metrics, MutableStore, Phase,
+        ReferenceStore, Row, StoreStats, TupleRef, TupleStore,
     };
 }
 
@@ -119,8 +161,11 @@ mod tests {
     #[test]
     fn prelude_exposes_the_main_types() {
         let _ = DeepMappingConfig::dm_z();
+        let _ = DeepMappingBuilder::dm_z();
         let _ = PartitionedStoreConfig::array(Codec::Lz);
         let _ = TpchConfig::tiny();
         let _ = Row::new(1, vec![2]);
+        let _ = LookupBuffer::new();
+        let _ = ReferenceStore::new();
     }
 }

@@ -26,7 +26,7 @@ fn dm_config() -> DeepMappingConfig {
 fn assert_all_stores_agree(dataset: &Dataset) {
     let rows = dataset.rows();
     let value_columns = dataset.num_value_columns();
-    let mut stores: Vec<Box<dyn KeyValueStore>> = vec![
+    let stores: Vec<Box<dyn MutableStore>> = vec![
         Box::new(
             PartitionedStore::build(
                 &rows,
@@ -59,8 +59,12 @@ fn assert_all_stores_agree(dataset: &Dataset) {
     let workload = LookupWorkload::with_misses(2_000, 0.2);
     let keys = workload.generate(dataset);
     let expected = stores[0].lookup_batch(&keys).unwrap();
-    for store in stores.iter_mut().skip(1) {
+    let mut buffer = LookupBuffer::new();
+    for store in stores.iter().skip(1) {
         assert_eq!(store.lookup_batch(&keys).unwrap(), expected, "{}", store.name());
+        // The buffer-reusing read path must agree with the materializing one.
+        store.lookup_batch_into(&keys, &mut buffer).unwrap();
+        assert_eq!(buffer.to_options(), expected, "{} (buffered)", store.name());
     }
 }
 
@@ -147,7 +151,7 @@ fn deepmapping_is_compact_on_correlated_data() {
         dataset.uncompressed_bytes()
     );
     assert!(
-        dm_bytes < KeyValueStore::stats(&hb).disk_bytes,
+        dm_bytes < TupleStore::stats(&hb).disk_bytes,
         "DM {} bytes should be below the uncompressed hash baseline",
         dm_bytes
     );
@@ -180,7 +184,7 @@ fn full_modification_lifecycle_stays_consistent_with_reference() {
         let deletions = workload.deletion_batch(&dataset, 200);
         let updates = workload.update_batch(&dataset, 200);
         {
-            let store = &mut dm as &mut dyn KeyValueStore;
+            let store = &mut dm as &mut dyn MutableStore;
             store.insert(&inserts).unwrap();
             store.insert(&off_inserts).unwrap();
             store.delete(&deletions).unwrap();

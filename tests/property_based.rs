@@ -130,7 +130,7 @@ fn deepmapping_lookup_is_exact_for_arbitrary_tables() {
         let rows = arb_rows(rng);
         let config = untrained_config(&[6, 4], 512);
         let dm = DeepMapping::build(&rows, &config).unwrap();
-        let mut reference = ReferenceStore::from_rows(&rows);
+        let reference = ReferenceStore::from_rows(&rows);
         let probe: Vec<u64> = (0..600u64).collect();
         assert_eq!(
             DeepMapping::lookup_batch(&dm, &probe).unwrap(),
@@ -194,6 +194,8 @@ fn range_lookup_matches_reference() {
             .cloned()
             .collect();
         assert_eq!(got, expected);
+        // The trait-level range scan is the same operation.
+        assert_eq!(TupleStore::scan_range(&dm, lo, hi).unwrap(), expected);
     });
 }
 
