@@ -701,6 +701,45 @@ mod tests {
         assert_eq!(store.get(5).unwrap(), Some(vec![1, 2]));
     }
 
+    /// The baselines share the sharded single-flight buffer pool: many threads
+    /// hammering a cold store must decompress each partition exactly once.
+    #[test]
+    fn concurrent_cold_lookups_load_each_partition_once() {
+        let rows = sample_rows(8_000);
+        let metrics = Metrics::new();
+        let config = PartitionedStoreConfig::array(Codec::Lz).with_partition_bytes(8 * 1024);
+        let store = std::sync::Arc::new(
+            PartitionedStore::build(&rows, 2, config, metrics.clone()).unwrap(),
+        );
+        let partitions = store.stats().partition_count as u64;
+        assert!(partitions >= 2);
+        let reference = ReferenceStore::from_rows(&rows);
+        let keys: Vec<u64> = (0..16_000u64).collect();
+        let expected = reference.lookup_batch(&keys).unwrap();
+        metrics.reset();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let store = std::sync::Arc::clone(&store);
+                let keys = &keys;
+                let expected = &expected;
+                s.spawn(move || {
+                    assert_eq!(&store.lookup_batch(keys).unwrap(), expected);
+                });
+            }
+        });
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.partition_loads, partitions,
+            "racing readers must not duplicate cold loads (single-flight)"
+        );
+        assert_eq!(snap.decompressions, partitions);
+        assert_eq!(snap.pool_misses, partitions);
+        assert!(
+            snap.pool_hits + snap.pool_single_flight_waits >= 7 * partitions,
+            "the other seven threads were served by cache or latch: {snap:?}"
+        );
+    }
+
     #[test]
     fn mismatched_insert_width_is_rejected() {
         let mut store = PartitionedStore::build(

@@ -168,13 +168,15 @@ pub fn build_deepsqueeze(dataset: &Dataset, machine: &MachineProfile) -> Option<
     }
 }
 
-/// Builds a DeepMapping store (DM-Z or DM-L) over a dataset.
-pub fn build_deepmapping(
+/// Builds a concrete DeepMapping store (DM-Z or DM-L) over a dataset — the shape
+/// the multi-threaded throughput variant needs (an `Arc<DeepMapping>` shared
+/// across OS threads).  [`build_deepmapping`] wraps it for the trait-object sweep.
+pub fn build_deepmapping_store(
     dataset: &Dataset,
     codec: Codec,
     machine: &MachineProfile,
     training: TrainingConfig,
-) -> SystemUnderTest {
+) -> dm_core::DeepMapping {
     let builder = match codec {
         Codec::LzHuff => DeepMappingBuilder::dm_l(),
         _ => DeepMappingBuilder::dm_z().codec(codec),
@@ -183,8 +185,18 @@ pub fn build_deepmapping(
     .disk_profile(machine.disk)
     .partition_bytes(32 * 1024)
     .training(training);
-    let name = builder.config().paper_name();
-    let dm = builder.build(&dataset.rows()).expect("DeepMapping build");
+    builder.build(&dataset.rows()).expect("DeepMapping build")
+}
+
+/// Builds a DeepMapping store (DM-Z or DM-L) over a dataset.
+pub fn build_deepmapping(
+    dataset: &Dataset,
+    codec: Codec,
+    machine: &MachineProfile,
+    training: TrainingConfig,
+) -> SystemUnderTest {
+    let dm = build_deepmapping_store(dataset, codec, machine, training);
+    let name = dm.config().paper_name();
     let metrics = dm.metrics().clone();
     SystemUnderTest::new(name, Box::new(dm), metrics)
 }
@@ -247,30 +259,77 @@ pub fn measure_lookup(system: &mut SystemUnderTest, keys: &[u64]) -> MeasuredLat
     }
 }
 
-/// One per-system, per-batch-size throughput sample for the machine-readable
-/// `BENCH_lookup.json` report.
+/// Runs `samples` measured repetitions of a lookup batch against a system (after
+/// one warmup pass) and returns the individual measurements, for percentile
+/// reporting.
+pub fn measure_lookup_samples(
+    system: &mut SystemUnderTest,
+    keys: &[u64],
+    samples: usize,
+) -> Vec<MeasuredLatency> {
+    measure_lookup(system, keys); // warm the buffer pool and the lookup arena
+    (0..samples.max(1))
+        .map(|_| measure_lookup(system, keys))
+        .collect()
+}
+
+/// One per-system, per-batch-size throughput record for the machine-readable
+/// `BENCH_lookup.json` report, with latency-distribution tails.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LookupThroughputRecord {
     /// Paper-style system name (`DM-Z`, `ABC-Z`, ...).
     pub system: String,
+    /// Concurrent OS threads issuing batches (1 = the classic single-issuer run).
+    pub threads: usize,
     /// Keys per batch.
     pub batch_size: usize,
-    /// Total latency (wall + simulated I/O) in milliseconds.
+    /// Mean total latency (wall + simulated I/O) per batch in milliseconds.
     pub total_ms: f64,
-    /// Lookup throughput in keys per second.
+    /// Median per-batch latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-batch latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile per-batch latency in milliseconds.
+    pub p99_ms: f64,
+    /// Lookup throughput in keys per second (aggregate across threads).
     pub keys_per_second: f64,
 }
 
 impl LookupThroughputRecord {
-    /// Builds a record from a measured batch.
+    /// Builds a record from one measured batch (no distribution: the percentiles
+    /// all equal the single measurement).
     pub fn from_measurement(system: &str, batch_size: usize, latency: MeasuredLatency) -> Self {
-        let seconds = latency.total().as_secs_f64();
+        Self::from_samples(system, 1, batch_size, &[latency])
+    }
+
+    /// Builds a record from repeated measurements of one batch: `total_ms` is the
+    /// mean, the percentile fields are nearest-rank over the samples, and
+    /// throughput is derived from the mean.
+    pub fn from_samples(
+        system: &str,
+        threads: usize,
+        batch_size: usize,
+        samples: &[MeasuredLatency],
+    ) -> Self {
+        assert!(!samples.is_empty(), "need at least one measurement");
+        let mut sorted_ms: Vec<f64> = samples.iter().map(MeasuredLatency::total_ms).collect();
+        sorted_ms.sort_by(|a, b| a.total_cmp(b));
+        let percentile = |p: f64| {
+            let rank = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+            sorted_ms[rank.min(sorted_ms.len() - 1)]
+        };
+        let mean_ms = sorted_ms.iter().sum::<f64>() / sorted_ms.len() as f64;
+        let mean_seconds = mean_ms / 1e3;
         LookupThroughputRecord {
             system: system.to_string(),
+            threads,
             batch_size,
-            total_ms: latency.total_ms(),
-            keys_per_second: if seconds > 0.0 {
-                batch_size as f64 / seconds
+            total_ms: mean_ms,
+            p50_ms: percentile(50.0),
+            p95_ms: percentile(95.0),
+            p99_ms: percentile(99.0),
+            keys_per_second: if mean_seconds > 0.0 {
+                (threads * batch_size) as f64 / mean_seconds
             } else {
                 f64::INFINITY
             },
@@ -294,10 +353,14 @@ pub fn lookup_records_to_json(scale: &BenchScale, records: &[LookupThroughputRec
     out.push_str("  \"results\": [\n");
     for (i, record) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"system\": \"{}\", \"batch_size\": {}, \"total_ms\": {:.6}, \"keys_per_second\": {:.3}}}{}\n",
+            "    {{\"system\": \"{}\", \"threads\": {}, \"batch_size\": {}, \"total_ms\": {:.6}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"p99_ms\": {:.6}, \"keys_per_second\": {:.3}}}{}\n",
             escape(&record.system),
+            record.threads,
             record.batch_size,
             finite(record.total_ms),
+            finite(record.p50_ms),
+            finite(record.p95_ms),
+            finite(record.p99_ms),
             finite(record.keys_per_second),
             if i + 1 == records.len() { "" } else { "," }
         ));
@@ -384,6 +447,20 @@ pub mod report {
     pub fn ratio_cell(ratio: f64) -> String {
         format!("{:.3}", ratio)
     }
+
+    /// One-line buffer-pool / runtime observability summary for a measured system,
+    /// from its metrics snapshot.
+    pub fn pool_counters_line(snapshot: &dm_storage::LatencyBreakdown) -> String {
+        format!(
+            "pool: {} hits / {} misses / {} evictions / {} single-flight waits; exec: {} tasks / {} steals",
+            snapshot.pool_hits,
+            snapshot.pool_misses,
+            snapshot.pool_evictions,
+            snapshot.pool_single_flight_waits,
+            snapshot.exec_tasks,
+            snapshot.exec_steals,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -448,12 +525,54 @@ mod tests {
         let json = lookup_records_to_json(&scale, &records);
         assert!(json.contains("\"benchmark\": \"lookup_batch\""));
         assert!(json.contains("\"system\": \"DM-Z\""));
+        assert!(json.contains("\"threads\": 1"));
         assert!(json.contains("\"batch_size\": 1000"));
+        assert!(json.contains("\"p50_ms\""));
+        assert!(json.contains("\"p95_ms\""));
+        assert!(json.contains("\"p99_ms\""));
         assert!(json.contains("\\\"Z\\\""), "quotes must be escaped: {json}");
         // Throughput of the 3 ms / 1000-key batch is ~333k keys/s.
         assert!((records[0].keys_per_second - 333_333.3).abs() < 1_000.0);
+        // A single measurement degenerates to flat percentiles.
+        assert_eq!(records[0].p50_ms, records[0].total_ms);
+        assert_eq!(records[0].p99_ms, records[0].total_ms);
         // A zero-latency measurement must not emit non-JSON tokens like `inf`.
         assert!(!json.contains("inf"));
+    }
+
+    #[test]
+    fn record_percentiles_summarize_a_sample_distribution() {
+        let ms = |v: u64| MeasuredLatency {
+            wall: Duration::from_millis(v),
+            simulated_io: Duration::ZERO,
+        };
+        // 1..=20 ms, shuffled: p50 ≈ 11 ms, p95 ≈ 19 ms, p99 ≈ 20 ms.
+        let samples: Vec<MeasuredLatency> =
+            (1..=20u64).map(|v| ms(((v * 7) % 20) + 1)).collect();
+        let record = LookupThroughputRecord::from_samples("DM-Z", 2, 1_000, &samples);
+        assert_eq!(record.threads, 2);
+        assert!((record.total_ms - 10.5).abs() < 1e-6, "mean {}", record.total_ms);
+        assert_eq!(record.p50_ms, 11.0);
+        assert_eq!(record.p95_ms, 19.0);
+        assert_eq!(record.p99_ms, 20.0);
+        assert!(record.p50_ms <= record.p95_ms && record.p95_ms <= record.p99_ms);
+        // Aggregate throughput counts every thread's keys.
+        assert!((record.keys_per_second - 2.0 * 1_000.0 / 0.0105).abs() < 1.0);
+    }
+
+    #[test]
+    fn pool_counters_line_reads_the_snapshot() {
+        let metrics = Metrics::new();
+        metrics.add_pool_hit();
+        metrics.add_pool_miss();
+        metrics.add_pool_single_flight_wait();
+        metrics.add_exec(5, 2, 100);
+        let line = report::pool_counters_line(&metrics.snapshot());
+        assert!(line.contains("1 hits"));
+        assert!(line.contains("1 misses"));
+        assert!(line.contains("1 single-flight waits"));
+        assert!(line.contains("5 tasks"));
+        assert!(line.contains("2 steals"));
     }
 
     #[test]

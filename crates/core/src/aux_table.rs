@@ -14,6 +14,7 @@
 
 use crate::Result;
 use dm_compress::Codec;
+use dm_exec::ThreadPool;
 use dm_storage::layout::{partition_rows, ArrayPartition};
 use dm_storage::{BufferPool, DiskProfile, Metrics, Phase, Row, SimulatedDisk};
 use std::collections::{BTreeMap, BTreeSet};
@@ -44,6 +45,15 @@ impl ProbePlan {
     pub(crate) fn partitions_touched(&self) -> usize {
         self.groups.len()
     }
+}
+
+/// One partition group's probe results, collected by a pool task: hit query
+/// indices plus their values in a flat `columns`-stride arena, so the parallel
+/// path allocates per *group*, never per key.
+struct GroupHits {
+    columns: usize,
+    qis: Vec<usize>,
+    values: Vec<u32>,
 }
 
 /// The auxiliary accuracy-assurance table.
@@ -213,9 +223,28 @@ impl AuxTable {
     /// overlay or the pooled decompressed partitions) instead of allocating per hit.
     /// Partition grouping is identical to [`get_batch`](Self::get_batch): each
     /// compressed partition is loaded and decompressed at most once per batch.
+    ///
+    /// Runs on the shared [`dm_exec::global`] pool; the query pipeline pins its
+    /// store's pool via the crate-internal `get_batch_with_exec`.
     pub fn get_batch_with(
         &self,
         keys: &[u64],
+        sink: &mut dyn FnMut(usize, &[u32]),
+    ) -> Result<()> {
+        self.get_batch_with_exec(keys, dm_exec::global(), sink)
+    }
+
+    /// [`get_batch_with`](Self::get_batch_with) on an explicit execution pool.
+    ///
+    /// With a parallel pool and at least two partition groups, the groups are
+    /// probed as independent pool tasks — safe because the PR-2 read path is
+    /// `&self + Sync` and the buffer pool's single-flight sharding keeps racing
+    /// cold loads deduplicated.  `sink` is always invoked serially on the calling
+    /// thread, after the parallel section, so it needs no synchronization.
+    pub(crate) fn get_batch_with_exec(
+        &self,
+        keys: &[u64],
+        exec: &ThreadPool,
         sink: &mut dyn FnMut(usize, &[u32]),
     ) -> Result<()> {
         let plan = self.plan_probes(keys);
@@ -224,17 +253,57 @@ impl AuxTable {
                 sink(qi, values);
             }
         }
-        for (idx, query_indices) in &plan.groups {
-            let partition = self.load_partition(*idx)?;
-            self.metrics.time(Phase::AuxiliaryLookup, || {
-                for &qi in query_indices {
-                    if let Some(values) = partition.get(keys[qi]) {
-                        sink(qi, values);
-                    }
+        let groups: Vec<(usize, Vec<usize>)> = plan.groups.into_iter().collect();
+        if groups.len() >= 2 && exec.threads() > 1 {
+            let mut results: Vec<Option<Result<GroupHits>>> =
+                std::iter::repeat_with(|| None).take(groups.len()).collect();
+            exec.scope(|s| {
+                for (slot, (idx, query_indices)) in results.iter_mut().zip(groups.iter()) {
+                    s.spawn(move || {
+                        *slot = Some(self.probe_group(*idx, query_indices, keys));
+                    });
                 }
             });
+            for result in results {
+                let hits = result.expect("scope waits for every probe task")?;
+                for (i, &qi) in hits.qis.iter().enumerate() {
+                    sink(qi, &hits.values[i * hits.columns..(i + 1) * hits.columns]);
+                }
+            }
+        } else {
+            for (idx, query_indices) in &groups {
+                let partition = self.load_partition(*idx)?;
+                self.metrics.time(Phase::AuxiliaryLookup, || {
+                    for &qi in query_indices {
+                        if let Some(values) = partition.get(keys[qi]) {
+                            sink(qi, values);
+                        }
+                    }
+                });
+            }
         }
         Ok(())
+    }
+
+    /// Probes one partition group (pool task body of the parallel stage-3 path):
+    /// loads the partition through the single-flight pool and collects the hits
+    /// into an owned, flat per-group arena.
+    fn probe_group(&self, idx: usize, query_indices: &[usize], keys: &[u64]) -> Result<GroupHits> {
+        let partition = self.load_partition(idx)?;
+        let mut hits = GroupHits {
+            columns: self.value_columns,
+            qis: Vec::new(),
+            values: Vec::new(),
+        };
+        self.metrics.time(Phase::AuxiliaryLookup, || {
+            for &qi in query_indices {
+                if let Some(values) = partition.get(keys[qi]) {
+                    hits.qis.push(qi);
+                    hits.values.extend_from_slice(values);
+                }
+            }
+        });
+        Ok(hits)
     }
 
     /// Stage-3 planning for a probe batch: answers whatever the in-memory delta
@@ -299,25 +368,65 @@ impl AuxTable {
         }
     }
 
+    /// Decodes partition `idx` for a full-table scan *without* caching it: a
+    /// resident copy is reused (via `peek`), but a cold partition is read and
+    /// decompressed straight from disk and dropped after use.  This is what keeps
+    /// retrain-time scans ([`iter_rows`](Self::iter_rows), and
+    /// `DeepMapping::materialize_rows` above it) from evicting the hot working
+    /// set out of the lookup path's buffer pool.
+    fn decode_partition_bypass(&self, idx: usize) -> Result<Arc<ArrayPartition>> {
+        let meta = self.directory[idx];
+        if let Some(resident) = self.pool.peek(meta.disk_id) {
+            return Ok(resident);
+        }
+        let payload = self
+            .metrics
+            .time(Phase::LoadAndDecompress, || {
+                self.disk.read_partition(meta.disk_id, &self.metrics)
+            })
+            .map_err(crate::CoreError::from)?;
+        let partition = self
+            .metrics
+            .time(Phase::LoadAndDecompress, || ArrayPartition::from_bytes(&payload))
+            .map_err(crate::CoreError::from)?;
+        Ok(Arc::new(partition))
+    }
+
     /// Iterates every live row (partitions merged with the overlay), in key order.
+    ///
+    /// Partitions are streamed one at a time through a pool-*bypass* decode (see
+    /// `decode_partition_bypass`) and merge-joined
+    /// with the sorted delta overlay, so a full-table scan neither evicts the hot
+    /// working set nor materializes more than one decoded partition at a time.
     pub fn iter_rows(&self) -> Result<Vec<Row>> {
-        let mut merged: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        let mut out = Vec::with_capacity(self.len());
+        let mut delta = self.delta.iter().peekable();
+        // The directory is sorted by disjoint key ranges and rows are sorted
+        // within each partition, so partition order is global key order.
         for idx in 0..self.directory.len() {
-            let partition = self.load_partition(idx)?;
+            let partition = self.decode_partition_bypass(idx)?;
             for row in partition.iter() {
-                merged.insert(row.key, row.values);
+                // Delta rows with smaller keys interleave first.
+                while delta.peek().is_some_and(|(&k, _)| k < row.key) {
+                    let (&key, values) = delta.next().expect("peeked");
+                    out.push(Row::new(key, values.clone()));
+                }
+                if delta.peek().is_some_and(|(&k, _)| k == row.key) {
+                    // The overlay shadows the partition copy.
+                    let (&key, values) = delta.next().expect("peeked");
+                    out.push(Row::new(key, values.clone()));
+                    continue;
+                }
+                if self.tombstones.contains(&row.key) {
+                    continue;
+                }
+                out.push(row);
             }
         }
-        for key in &self.tombstones {
-            merged.remove(key);
+        for (&key, values) in delta {
+            out.push(Row::new(key, values.clone()));
         }
-        for (key, values) in &self.delta {
-            merged.insert(*key, values.clone());
-        }
-        Ok(merged
-            .into_iter()
-            .map(|(key, values)| Row::new(key, values))
-            .collect())
+        Ok(out)
     }
 
     /// Folds the delta overlay and tombstones back into freshly compressed partitions.
@@ -448,6 +557,109 @@ mod tests {
         assert_eq!(table.get_batch(&[1, 2, 3]).unwrap(), vec![None, None, None]);
         assert_eq!(table.iter_rows().unwrap(), Vec::<Row>::new());
         assert_eq!(table.partition_count(), 0);
+    }
+
+    /// Full-table scans must not thrash the lookup path's buffer pool: the scan
+    /// decodes cold partitions pool-bypass (no miss, no insert, no eviction) and
+    /// reuses partitions that already happen to be resident.
+    #[test]
+    fn iter_rows_bypasses_the_pool_and_keeps_the_hot_set_resident() {
+        let rows = sample_rows(4_000);
+        let metrics = Metrics::new();
+        let table = AuxTable::build(
+            &rows,
+            2,
+            Codec::Lz,
+            4 * 1024,
+            usize::MAX,
+            DiskProfile::free(),
+            metrics.clone(),
+        )
+        .unwrap();
+        let partitions = table.partition_count();
+        assert!(partitions >= 3);
+        // Make the first partition hot.
+        assert!(table.get(0).unwrap().is_some());
+        metrics.reset();
+        let scanned = table.iter_rows().unwrap();
+        assert_eq!(scanned.len(), rows.len());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.pool_misses, 0, "scan decodes must bypass the pool");
+        assert_eq!(snap.pool_evictions, 0);
+        assert_eq!(
+            snap.partition_loads,
+            partitions as u64 - 1,
+            "the resident hot partition is reused, the rest stream from disk"
+        );
+        // The hot partition is still resident: a lookup in it is a pure pool hit.
+        metrics.reset();
+        assert!(table.get(0).unwrap().is_some());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.pool_hits, 1);
+        assert_eq!(snap.partition_loads, 0);
+    }
+
+    /// The overlay merge-join in `iter_rows` must agree with ground truth when
+    /// delta rows interleave between, inside and beyond the partition key ranges.
+    #[test]
+    fn iter_rows_merges_interleaved_overlay_rows_in_key_order() {
+        let rows = sample_rows(1_000); // keys 0, 3, 6, ..., 2997
+        let mut table = build_table(&rows);
+        table.upsert(Row::new(1, vec![7, 7])); // between partition keys
+        table.upsert(Row::new(3, vec![8, 8])); // shadows a partition row
+        table.upsert(Row::new(10_000, vec![9, 9])); // beyond every partition
+        table.remove(6); // tombstone a partition row
+        let merged = table.iter_rows().unwrap();
+        assert!(merged.windows(2).all(|w| w[0].key < w[1].key), "key order");
+        assert_eq!(merged.len(), 1_000 + 2 - 1);
+        let get = |k: u64| merged.iter().find(|r| r.key == k).map(|r| r.values.clone());
+        assert_eq!(get(1), Some(vec![7, 7]));
+        assert_eq!(get(3), Some(vec![8, 8]));
+        assert_eq!(get(10_000), Some(vec![9, 9]));
+        assert_eq!(get(6), None);
+        assert_eq!(get(9), Some(vec![3, 3]));
+    }
+
+    /// Parallel grouped probing over a 4-thread pool must agree with the serial
+    /// path for every key, and still load each partition at most once per batch.
+    #[test]
+    fn parallel_batch_probes_match_serial() {
+        let rows = sample_rows(5_000);
+        let metrics = Metrics::new();
+        let table = AuxTable::build(
+            &rows,
+            2,
+            Codec::Lz,
+            4 * 1024,
+            usize::MAX,
+            DiskProfile::free(),
+            metrics.clone(),
+        )
+        .unwrap();
+        assert!(table.partition_count() >= 2);
+        let pool = ThreadPool::new(4);
+        let serial = ThreadPool::new(1);
+        let keys: Vec<u64> = (0..20_000u64).step_by(5).collect();
+        let collect = |exec: &ThreadPool| {
+            let mut results: Vec<Option<Vec<u32>>> = vec![None; keys.len()];
+            table
+                .get_batch_with_exec(&keys, exec, &mut |qi, values| {
+                    results[qi] = Some(values.to_vec());
+                })
+                .unwrap();
+            results
+        };
+        let expected = collect(&serial);
+        metrics.reset();
+        let got = collect(&pool);
+        assert_eq!(got, expected);
+        let snap = metrics.snapshot();
+        assert!(
+            snap.partition_loads == 0,
+            "partitions were already pooled by the serial pass; got {} loads",
+            snap.partition_loads
+        );
+        assert!(pool.stats().tasks_executed >= 2, "groups must fan out");
     }
 
     #[test]

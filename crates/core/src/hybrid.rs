@@ -9,6 +9,7 @@ use crate::model::MappingModel;
 use crate::pipeline::QueryPipeline;
 use crate::stats::StorageBreakdown;
 use crate::{CoreError, Result};
+use dm_exec::ExecHandle;
 use dm_storage::{BitVec, LookupBuffer, Metrics, MutableStore, Phase, Row, StoreStats, TupleStore};
 
 /// Key-range headroom added to the key encoder so insertions beyond the current
@@ -31,6 +32,10 @@ pub struct DeepMapping {
     exist: BitVec,
     decode_map: DecodeMap,
     metrics: Metrics,
+    /// The execution pool the store's parallel read paths run on: the shared
+    /// global pool by default, or a dedicated pool when
+    /// `DeepMappingConfig::exec_threads` is set.
+    exec: ExecHandle,
     tuple_count: usize,
     memorized_tuples: usize,
     retrain_count: usize,
@@ -95,6 +100,10 @@ impl DeepMapping {
         for row in rows {
             exist.set(row.key, true);
         }
+        let exec = match config.exec_threads {
+            Some(threads) => ExecHandle::with_threads(threads),
+            None => ExecHandle::Global,
+        };
         Ok(DeepMapping {
             config: config.clone(),
             name: config.paper_name(),
@@ -103,6 +112,7 @@ impl DeepMapping {
             exist,
             decode_map,
             metrics,
+            exec,
             tuple_count: rows.len(),
             memorized_tuples: memorized.len(),
             retrain_count: 0,
@@ -139,6 +149,11 @@ impl DeepMapping {
         &self.decode_map
     }
 
+    /// The execution pool this store's parallel read paths run on.
+    pub fn exec(&self) -> &dm_exec::ThreadPool {
+        self.exec.get()
+    }
+
     /// How many times the structure has been retrained since it was built.
     pub fn retrain_count(&self) -> usize {
         self.retrain_count
@@ -158,7 +173,13 @@ impl DeepMapping {
     /// dataflow: existence split → vectorized inference → partition-grouped
     /// auxiliary validation → order-preserving merge).  See [`crate::pipeline`].
     pub fn pipeline(&self) -> QueryPipeline<'_> {
-        QueryPipeline::new(&self.model, &self.aux, &self.exist, &self.metrics)
+        QueryPipeline::new(
+            &self.model,
+            &self.aux,
+            &self.exist,
+            &self.metrics,
+            self.exec.get(),
+        )
     }
 
     /// Algorithm 1: batched key lookup, routed through the [`QueryPipeline`].
@@ -343,19 +364,39 @@ impl DeepMapping {
 
     /// Materializes every live tuple (model predictions corrected by the auxiliary
     /// table) — used by retraining and by the range-query extension.
+    ///
+    /// Unlike the lookup path, this full-table scan streams the auxiliary
+    /// partitions through a pool-*bypass* decode (`AuxTable::iter_rows`) and
+    /// merge-joins them with chunked model predictions, so retraining does not
+    /// evict the hot working set out of the lookup buffer pool.
     pub fn materialize_rows(&self) -> Result<Vec<Row>> {
+        let aux_rows = self.aux.iter_rows()?;
+        let mut aux_iter = aux_rows.into_iter().peekable();
         let keys: Vec<u64> = self.exist.iter_ones().collect();
         let mut rows = Vec::with_capacity(keys.len());
         const CHUNK: usize = 65_536;
-        let mut buffer = LookupBuffer::new();
+        let mut predictions: Vec<u32> = Vec::new();
         for chunk in keys.chunks(CHUNK) {
-            self.lookup_batch_into(chunk, &mut buffer)?;
-            assert_eq!(
-                buffer.hit_count(),
-                chunk.len(),
-                "every key came from the existence vector"
-            );
-            rows.extend(buffer.tuples().map(|tuple| tuple.to_row()));
+            let columns = self.metrics.time(Phase::NeuralNetwork, || {
+                self.model
+                    .predict_into_on(self.exec.get(), chunk, &mut predictions)
+            })?;
+            self.metrics.add_inference_batch(chunk.len() as u64);
+            for (i, &key) in chunk.iter().enumerate() {
+                // Both streams are ascending in key; skip any auxiliary strays
+                // below the cursor (deleted keys cannot appear, but stay robust).
+                while aux_iter.peek().is_some_and(|row| row.key < key) {
+                    aux_iter.next();
+                }
+                if aux_iter.peek().is_some_and(|row| row.key == key) {
+                    rows.push(aux_iter.next().expect("peeked"));
+                } else {
+                    rows.push(Row::new(
+                        key,
+                        predictions[i * columns..(i + 1) * columns].to_vec(),
+                    ));
+                }
+            }
         }
         Ok(rows)
     }

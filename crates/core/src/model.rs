@@ -182,14 +182,29 @@ impl MappingModel {
     /// caller-owned flat arena (`out[i * columns + c]` = column `c` of query `i`) and
     /// returns the number of value columns.  Same single vectorized forward pass as
     /// [`predict`](Self::predict), but with no per-key `Vec` — the layout the
-    /// buffer-reusing query pipeline consumes.
+    /// buffer-reusing query pipeline consumes.  Runs on the shared
+    /// [`dm_exec::global`] pool.
     pub fn predict_into(&self, keys: &[u64], out: &mut Vec<u32>) -> Result<usize> {
+        self.predict_into_on(dm_exec::global(), keys, out)
+    }
+
+    /// [`predict_into`](Self::predict_into) on an explicit execution pool: large
+    /// batches are split into row chunks whose matrix-multiply sequences run as
+    /// independent pool tasks (serial below `dm_nn::PARALLEL_ROW_CROSSOVER` rows).
+    /// This is the entry point the query pipeline drives, so a store's
+    /// `exec_threads` knob governs its inference parallelism.
+    pub fn predict_into_on(
+        &self,
+        exec: &dm_exec::ThreadPool,
+        keys: &[u64],
+        out: &mut Vec<u32>,
+    ) -> Result<usize> {
         if keys.is_empty() {
             out.clear();
             return Ok(self.schema.num_columns());
         }
         let x = self.schema.key_encoder.encode_batch(keys);
-        Ok(self.network.forward_batch_flat(&x, out)?)
+        Ok(self.network.forward_batch_flat_on(exec, &x, out)?)
     }
 
     /// Runs the model over `rows` and splits them into (memorized, misclassified):

@@ -33,13 +33,35 @@
 //! the steady-state batch free of per-key heap allocations.
 //! [`QueryPipeline::execute`] materializes the legacy owned shape on top.
 //!
-//! The stages are deliberately separable: later PRs can shard stage 3 across
-//! threads, overlap stage 2 with partition prefetch, or swap the inference backend,
-//! without touching the lookup contract.
+//! ## Parallelism
+//!
+//! The pipeline runs on a `dm_exec` work-stealing pool (the store's
+//! `exec_threads` knob, or the shared `DM_EXEC_THREADS`-sized global pool):
+//!
+//! * stage 2 splits large inference batches into row chunks
+//!   ([`MappingModel::predict_into_on`], serial below
+//!   `dm_nn::PARALLEL_ROW_CROSSOVER` rows),
+//! * stage 3 shards independent partition groups across the pool
+//!   ([`AuxTable::get_batch_with_exec`](crate::aux_table::AuxTable)), leaning on
+//!   the sharded single-flight [`dm_storage::BufferPool`] so racing cold loads
+//!   are never duplicated,
+//! * stage 4's order-preserving merge is unchanged — parallel probe results are
+//!   folded into the buffer serially, in batch order.
+//!
+//! Runtime activity observed during a batch (tasks, steals, park time) is
+//! recorded on the store's [`Metrics`] as an [`dm_exec::ExecStats`] delta; with a
+//! serial pool every stage degrades to the PR-2 single-threaded path.
+//!
+//! Phase attribution under parallelism: concurrent stage-3 tasks each charge
+//! their own [`Phase::AuxiliaryLookup`] / [`Phase::LoadAndDecompress`] time, so
+//! those figures are CPU time summed across tasks (an upper bound on the
+//! stage's wall-clock); on a serial pool they are exact wall-clock.  See the
+//! [`dm_storage::LatencyBreakdown`] docs.
 
 use crate::aux_table::AuxTable;
 use crate::model::MappingModel;
 use crate::Result;
+use dm_exec::ThreadPool;
 use dm_storage::{BitVec, LookupBuffer, Metrics, Phase};
 
 /// Stage-1 output: which positions of the batch survive the existence filter.
@@ -76,21 +98,26 @@ pub struct QueryPipeline<'a> {
     aux: &'a AuxTable,
     exist: &'a BitVec,
     metrics: &'a Metrics,
+    exec: &'a ThreadPool,
 }
 
 impl<'a> QueryPipeline<'a> {
-    /// Assembles a pipeline over the hybrid structure's components.
+    /// Assembles a pipeline over the hybrid structure's components.  `exec` is the
+    /// work-stealing pool stages 2 and 3 fan out on (a serial pool reproduces the
+    /// single-threaded dataflow exactly).
     pub fn new(
         model: &'a MappingModel,
         aux: &'a AuxTable,
         exist: &'a BitVec,
         metrics: &'a Metrics,
+        exec: &'a ThreadPool,
     ) -> Self {
         QueryPipeline {
             model,
             aux,
             exist,
             metrics,
+            exec,
         }
     }
 
@@ -116,12 +143,15 @@ impl<'a> QueryPipeline<'a> {
         if surviving.is_empty() {
             return Ok(());
         }
+        let exec_before = self.exec.stats();
 
-        // Stage 2: one vectorized forward pass, flat row-major predictions staged in
-        // the buffer's detachable scratch arena (no per-batch allocation).
+        // Stage 2: one vectorized forward pass (row-chunked across the pool for
+        // large batches), flat row-major predictions staged in the buffer's
+        // detachable scratch arena (no per-batch allocation).
         let mut predictions = out.take_scratch();
         let inference = self.metrics.time(Phase::NeuralNetwork, || {
-            self.model.predict_into(surviving, &mut predictions)
+            self.model
+                .predict_into_on(self.exec, surviving, &mut predictions)
         });
         let columns = match inference {
             Ok(columns) => columns,
@@ -132,12 +162,15 @@ impl<'a> QueryPipeline<'a> {
         };
         self.metrics.add_inference_batch(surviving.len() as u64);
 
-        // Stage 3: auxiliary hits (grouped by partition, each loaded at most once)
-        // land in the buffer first — the accuracy-assurance contract says they win.
+        // Stage 3: auxiliary hits (grouped by partition, each loaded at most once,
+        // groups probed in parallel on the pool) land in the buffer first — the
+        // accuracy-assurance contract says they win.
         let positions = &split.surviving_positions;
-        let validated = self.aux.get_batch_with(surviving, &mut |si, values| {
-            out.set_hit(positions[si], values);
-        });
+        let validated = self
+            .aux
+            .get_batch_with_exec(surviving, self.exec, &mut |si, values| {
+                out.set_hit(positions[si], values);
+            });
 
         // Stage 4: merge — surviving keys the auxiliary table did not override take
         // the model's prediction, restoring the original batch order via positions.
@@ -151,6 +184,13 @@ impl<'a> QueryPipeline<'a> {
             });
         }
         out.restore_scratch(predictions);
+        // Charge the runtime activity this batch drove (approximate when several
+        // batches share one pool concurrently) to the store's metrics.
+        let delta = self.exec.stats().delta_since(&exec_before);
+        if delta.tasks_executed > 0 {
+            self.metrics
+                .add_exec(delta.tasks_executed, delta.steals, delta.park_nanos);
+        }
         validated
     }
 
@@ -353,6 +393,44 @@ mod tests {
         let keys: Vec<u64> = (0..1_000u64).rev().collect();
         let via_pipeline = dm.pipeline().execute(&keys).unwrap();
         assert_eq!(via_pipeline, dm.lookup_batch(&keys).unwrap());
+    }
+
+    /// Stage 3 sharded across a 4-thread pool must agree exactly with the fully
+    /// serial pipeline and the reference store, and the parallel run must record
+    /// its runtime activity on the store's metrics.
+    #[test]
+    fn parallel_stage3_matches_serial_and_records_exec_stats() {
+        let rows = adversarial_rows(4_000);
+        let serial = DeepMapping::build(&rows, &quick_config().with_exec_threads(1)).unwrap();
+        let parallel = DeepMapping::build(&rows, &quick_config().with_exec_threads(4)).unwrap();
+        assert_eq!(parallel.exec().threads(), 4);
+        assert!(
+            parallel.aux_table().partition_count() >= 2,
+            "need multiple partitions for stage-3 sharding to engage"
+        );
+        let reference = ReferenceStore::from_rows(&rows);
+        // Shuffled hits and misses spanning every partition, with duplicates.
+        let probe: Vec<u64> = (0..8_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) % 5_000)
+            .collect();
+        let expected = reference.lookup_batch(&probe).unwrap();
+        parallel.metrics().reset();
+        assert_eq!(parallel.lookup_batch(&probe).unwrap(), expected);
+        assert_eq!(serial.lookup_batch(&probe).unwrap(), expected);
+        let snap = parallel.metrics().snapshot();
+        assert!(
+            snap.exec_tasks > 0,
+            "parallel stage 3 must execute pool tasks, snapshot {snap:?}"
+        );
+        assert!(
+            snap.partition_loads <= parallel.aux_table().partition_count() as u64,
+            "sharded probes must still load each partition at most once per batch"
+        );
+        // The serial store shares the metrics contract but records no pool tasks
+        // of its own (its pool is the 1-thread inline executor).
+        serial.metrics().reset();
+        serial.lookup_batch(&probe).unwrap();
+        assert_eq!(serial.metrics().snapshot().exec_tasks, 0);
     }
 
     #[test]

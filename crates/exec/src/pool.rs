@@ -1,0 +1,353 @@
+//! The fixed work-stealing thread pool.
+//!
+//! Layout mirrors a minimal rayon: every worker owns a deque it pushes to and pops
+//! from at the back (LIFO keeps the working set hot), external callers push into a
+//! global injector, and an idle worker first drains its own deque, then the
+//! injector, then steals from the *front* of sibling deques (FIFO stealing takes
+//! the oldest — largest — tasks).  Workers with nothing to do park on a condvar
+//! with a timeout; pushes notify it.  A pool built with `threads == 1` spawns no
+//! workers at all and executes every task inline on the calling thread — the fully
+//! serial debugging mode `DM_EXEC_THREADS=1` selects.
+
+use crate::scope::{run_scope, Scope, ScopeState};
+use crate::stats::{ExecStats, StatsCells};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar};
+use std::time::{Duration, Instant};
+
+/// Hard ceiling on pool size; guards against absurd `DM_EXEC_THREADS` values.
+pub const MAX_THREADS: usize = 256;
+
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// `(pool identity, worker index)` when the current thread is a pool worker.
+    /// The identity is the address of the pool's shared state, which is stable for
+    /// the pool's lifetime (workers hold an `Arc` to it).
+    static CURRENT_WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Construct one directly ([`ThreadPool::new`]), from the environment
+/// ([`ThreadPool::from_env`], honouring `DM_EXEC_THREADS`), or use the shared
+/// process-wide pool via [`crate::global`].  Dropping a pool drains queued tasks
+/// and joins its workers.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+pub(crate) struct Shared {
+    /// External submissions land here.
+    injector: Mutex<VecDeque<Task>>,
+    /// One deque per worker; the owner pops at the back, thieves at the front.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks pushed but not yet popped, across all queues.  Workers use it to
+    /// decide whether parking is safe; it is advisory (the park has a timeout).
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
+    stats: StatsCells,
+}
+
+impl Shared {
+    fn identity(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Index of the current thread if it is a worker of *this* pool.
+    fn current_worker_index(self: &Arc<Self>) -> Option<usize> {
+        let id = self.identity();
+        CURRENT_WORKER.with(|c| match c.get() {
+            Some((pool, idx)) if pool == id => Some(idx),
+            _ => None,
+        })
+    }
+
+    /// Pops the next task: own deque (back), injector (front), then steals from
+    /// sibling deques (front).  `idx` is the calling worker's index, or `None`
+    /// for a non-worker helper (which only drains the injector and steals).
+    pub(crate) fn find_task(&self, idx: Option<usize>) -> Option<Task> {
+        if let Some(idx) = idx {
+            if let Some(task) = self.deques[idx].lock().pop_back() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(task);
+            }
+        }
+        if let Some(task) = self.injector.lock().pop_front() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(task);
+        }
+        let own = idx.unwrap_or(usize::MAX);
+        for (victim, deque) in self.deques.iter().enumerate() {
+            if victim == own {
+                continue;
+            }
+            if let Some(task) = deque.lock().pop_front() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                self.stats.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Runs one task, counting it.  Tasks are pre-wrapped with panic handling at
+    /// push time, so execution itself never unwinds into the worker loop.
+    pub(crate) fn execute(&self, task: Task) {
+        self.stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        task();
+    }
+
+    fn push(self: &Arc<Self>, task: Task) {
+        match self.current_worker_index() {
+            Some(idx) => self.deques[idx].lock().push_back(task),
+            None => self.injector.lock().push_back(task),
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // Taking the park lock orders this notify after any in-progress "queues
+        // are empty, about to wait" check, so the wakeup cannot be lost.
+        let _guard = self.park_lock.lock();
+        self.park_cv.notify_one();
+    }
+
+    fn park(&self) {
+        let start = Instant::now();
+        let guard = self.park_lock.lock();
+        if self.pending.load(Ordering::SeqCst) == 0 && !self.shutdown.load(Ordering::SeqCst) {
+            // The timeout is a belt-and-braces bound, not the wakeup mechanism.
+            let _ = self
+                .park_cv
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        self.stats
+            .park_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, idx: usize) {
+    CURRENT_WORKER.with(|c| c.set(Some((shared.identity(), idx))));
+    loop {
+        if let Some(task) = shared.find_task(Some(idx)) {
+            shared.execute(task);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        shared.park();
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool of `threads` execution contexts.  `threads == 1` (or 0) is
+    /// the fully serial mode: no worker threads are spawned and every task runs
+    /// inline on the calling thread, in submission order.  `threads >= 2` spawns
+    /// that many workers.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.clamp(1, MAX_THREADS);
+        let worker_count = if threads == 1 { 0 } else { threads };
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..worker_count).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            park_lock: Mutex::new(()),
+            park_cv: Condvar::new(),
+            stats: StatsCells::default(),
+        });
+        let workers = (0..worker_count)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dm-exec-{idx}"))
+                    .spawn(move || worker_loop(shared, idx))
+                    .expect("spawn dm-exec worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Creates a pool sized from `DM_EXEC_THREADS` (default: the machine's
+    /// available parallelism).
+    pub fn from_env() -> Self {
+        Self::new(crate::threads_from_env())
+    }
+
+    /// The configured number of execution contexts (1 means fully serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether the pool executes everything inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// A snapshot of the pool's lifetime counters.
+    pub fn stats(&self) -> ExecStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Submits a detached fire-and-forget task.  Panics inside the task are
+    /// caught and counted in [`ExecStats::panics_caught`].  On a serial pool the
+    /// task runs inline before `spawn` returns.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        let shared = Arc::clone(&self.shared);
+        let task: Task = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(f)).is_err() {
+                shared.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        self.push_task(task);
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowing tasks can be spawned; returns
+    /// only after every spawned task has finished.  A panic in any spawned task
+    /// (or in `f` itself) is re-raised here after all tasks have completed, so
+    /// borrowed data is never observed by a task after `scope` returns.
+    pub fn scope<'pool, F, R>(&'pool self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool>) -> R,
+    {
+        run_scope(self, f)
+    }
+
+    /// Runs two closures, potentially in parallel (`a` inline on the calling
+    /// thread, `b` on the pool), and returns both results.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB + Send,
+        RB: Send,
+    {
+        let b_slot: Mutex<Option<RB>> = Mutex::new(None);
+        let ra = self.scope(|s| {
+            s.spawn(|| {
+                *b_slot.lock() = Some(b());
+            });
+            a()
+        });
+        let rb = b_slot
+            .into_inner()
+            .expect("scope waits for the spawned half of a join");
+        (ra, rb)
+    }
+
+    /// Applies `f` to consecutive chunks of `items` (at most `chunk_size`
+    /// elements each), potentially in parallel.  `f` receives the element offset
+    /// of the chunk within `items` and the chunk itself.
+    pub fn parallel_chunks<T, F>(&self, items: &[T], chunk_size: usize, f: F)
+    where
+        T: Sync,
+        F: Fn(usize, &[T]) + Send + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        if self.is_serial() || items.len() <= chunk_size {
+            for (ci, chunk) in items.chunks(chunk_size).enumerate() {
+                f(ci * chunk_size, chunk);
+            }
+            return;
+        }
+        let f = &f;
+        self.scope(|s| {
+            for (ci, chunk) in items.chunks(chunk_size).enumerate() {
+                s.spawn(move || f(ci * chunk_size, chunk));
+            }
+        });
+    }
+
+    /// Mutable-slice variant of [`parallel_chunks`](Self::parallel_chunks):
+    /// disjoint `&mut` chunks are handed to `f`, potentially in parallel.
+    pub fn parallel_chunks_mut<T, F>(&self, items: &mut [T], chunk_size: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Send + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        if self.is_serial() || items.len() <= chunk_size {
+            for (ci, chunk) in items.chunks_mut(chunk_size).enumerate() {
+                f(ci * chunk_size, chunk);
+            }
+            return;
+        }
+        let f = &f;
+        self.scope(|s| {
+            for (ci, chunk) in items.chunks_mut(chunk_size).enumerate() {
+                s.spawn(move || f(ci * chunk_size, chunk));
+            }
+        });
+    }
+
+    /// Submits a pre-wrapped task (serial pools execute it inline).
+    pub(crate) fn push_task(&self, task: Task) {
+        if self.is_serial() {
+            self.shared.execute(task);
+        } else {
+            self.shared.push(task);
+        }
+    }
+
+    /// Blocks until `state.pending` reaches zero.  A worker of this pool helps by
+    /// executing queued tasks while it waits (this is what makes nested scopes
+    /// deadlock-free); any other thread parks on the scope's condvar.
+    pub(crate) fn wait_for_scope(&self, state: &ScopeState) {
+        if state.pending() == 0 {
+            return;
+        }
+        match self.shared.current_worker_index() {
+            Some(idx) => {
+                let mut idle_spins = 0u32;
+                while state.pending() > 0 {
+                    if let Some(task) = self.shared.find_task(Some(idx)) {
+                        self.shared.execute(task);
+                        idle_spins = 0;
+                    } else {
+                        idle_spins += 1;
+                        if idle_spins < 64 {
+                            std::thread::yield_now();
+                        } else {
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                    }
+                }
+            }
+            None => state.wait_external(),
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.park_lock.lock();
+            self.shared.park_cv.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Structured task scopes.
+//!
+//! [`ThreadPool::scope`] hands its closure a [`Scope`] on which tasks borrowing
+//! stack data can be spawned.  The contract that makes the lifetime-erasure below
+//! sound is the same one `std::thread::scope` and rayon rely on: `scope` does not
+//! return — not even by panicking — until every spawned task has run to
+//! completion, so nothing a task borrowed for `'scope` can be dropped while the
+//! task can still observe it.
+//!
+//! Panics in spawned tasks are caught at the task boundary, the first payload is
+//! stashed, and `scope` re-raises it on the owning thread after all tasks have
+//! drained — rayon's propagation semantics.
+
+use crate::pool::{Task, ThreadPool};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Shared completion state of one scope: how many spawned tasks are still
+/// outstanding, plus the first panic payload any of them produced.
+pub(crate) struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    wait_lock: Mutex<()>,
+    wait_cv: Condvar,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            wait_lock: Mutex::new(()),
+            wait_cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        self.panic.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    fn complete_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Taking the wait lock orders this notify after a waiter's
+            // "pending > 0, about to wait" check, so the wakeup cannot be lost.
+            let _guard = self.wait_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.wait_cv.notify_all();
+        }
+    }
+
+    /// Parks the calling (non-worker) thread until every task has completed.
+    pub(crate) fn wait_external(&self) {
+        let mut guard = self.wait_lock.lock().unwrap_or_else(|e| e.into_inner());
+        while self.pending() > 0 {
+            guard = self
+                .wait_cv
+                .wait_timeout(guard, Duration::from_millis(10))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+}
+
+/// Handle for spawning borrowing tasks inside a [`ThreadPool::scope`] block.
+///
+/// The `'scope` lifetime is invariant (see the `PhantomData`), which is what
+/// stops a `Scope` from being smuggled into a longer-lived context.
+pub struct Scope<'scope> {
+    pool: &'scope ThreadPool,
+    state: Arc<ScopeState>,
+    _invariant: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task that may borrow anything outliving the scope.  The task
+    /// runs on the pool (inline on a serial pool); `scope` will not return until
+    /// it completes, and a panic inside it is re-raised by `scope`.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                state.record_panic(payload);
+            }
+            state.complete_one();
+        });
+        // SAFETY: the task's borrows are valid for 'scope, and `run_scope` does
+        // not return (even on panic) before `pending` reaches zero, i.e. before
+        // this task has finished running.  Erasing the lifetime to 'static is
+        // therefore unobservable.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task)
+        };
+        self.pool.push_task(task);
+    }
+
+    /// How many spawned tasks have not yet completed (0 on a serial pool, where
+    /// tasks run inline inside `spawn`).
+    pub fn pending_tasks(&self) -> usize {
+        self.state.pending()
+    }
+}
+
+pub(crate) fn run_scope<'pool, F, R>(pool: &'pool ThreadPool, f: F) -> R
+where
+    F: FnOnce(&Scope<'pool>) -> R,
+{
+    let state = Arc::new(ScopeState::new());
+    let scope = Scope {
+        pool,
+        state: Arc::clone(&state),
+        _invariant: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    // The structured-lifetime guarantee: every spawned task finishes before we
+    // return, whether `f` succeeded or panicked mid-spawn.
+    pool.wait_for_scope(&state);
+    if let Some(payload) = state.take_panic() {
+        resume_unwind(payload);
+    }
+    match result {
+        Ok(value) => value,
+        Err(payload) => resume_unwind(payload),
+    }
+}

@@ -1,0 +1,85 @@
+//! Runtime counters: how many tasks ran, how often workers stole, how long they
+//! parked.  The cells are plain relaxed atomics — they are observability, not
+//! synchronization — and a [`ExecStats`] snapshot is what `Metrics`-style consumers
+//! (the query pipeline, the benchmark harness) record.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters owned by the pool.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCells {
+    pub tasks_executed: AtomicU64,
+    pub steals: AtomicU64,
+    pub park_nanos: AtomicU64,
+    pub panics_caught: AtomicU64,
+}
+
+impl StatsCells {
+    pub(crate) fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            park_nanos: self.park_nanos.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a pool's lifetime counters.
+///
+/// Counters are cumulative since pool construction; use
+/// [`delta_since`](ExecStats::delta_since) to attribute work to a region of
+/// interest (e.g. one lookup batch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tasks executed to completion (including tasks that panicked).
+    pub tasks_executed: u64,
+    /// Tasks a worker stole from another worker's deque (injector pops are not
+    /// steals).
+    pub steals: u64,
+    /// Total time workers spent parked waiting for work, in nanoseconds.
+    pub park_nanos: u64,
+    /// Panics caught inside detached tasks (scope panics are propagated to the
+    /// scope owner instead and are not counted here).
+    pub panics_caught: u64,
+}
+
+impl ExecStats {
+    /// Counter-wise difference against an earlier snapshot of the same pool.
+    pub fn delta_since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            steals: self.steals.saturating_sub(earlier.steals),
+            park_nanos: self.park_nanos.saturating_sub(earlier.park_nanos),
+            panics_caught: self.panics_caught.saturating_sub(earlier.panics_caught),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counter_wise_and_saturates() {
+        let earlier = ExecStats {
+            tasks_executed: 10,
+            steals: 2,
+            park_nanos: 100,
+            panics_caught: 1,
+        };
+        let later = ExecStats {
+            tasks_executed: 25,
+            steals: 2,
+            park_nanos: 500,
+            panics_caught: 1,
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.tasks_executed, 15);
+        assert_eq!(delta.steals, 0);
+        assert_eq!(delta.park_nanos, 400);
+        assert_eq!(delta.panics_caught, 0);
+        // A stale "later" snapshot saturates instead of wrapping.
+        assert_eq!(earlier.delta_since(&later).tasks_executed, 0);
+    }
+}

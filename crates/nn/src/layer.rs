@@ -32,6 +32,13 @@ impl Activation {
     /// Applies the activation element-wise, returning a new matrix.
     pub fn forward(&self, x: &Matrix) -> Matrix {
         let mut out = x.clone();
+        self.apply_in_place(&mut out);
+        out
+    }
+
+    /// Applies the activation element-wise in place (the allocation-free form the
+    /// inference hot path uses on matrices it already owns).
+    pub fn apply_in_place(&self, out: &mut Matrix) {
         match self {
             Activation::Linear => {}
             Activation::Relu => {
@@ -52,7 +59,6 @@ impl Activation {
                 }
             }
         }
-        out
     }
 
     /// Given the activation *output* `y` and the gradient w.r.t. that output, returns
@@ -208,9 +214,17 @@ impl Dense {
 
     /// Inference-only forward pass (no caching).
     pub fn forward(&self, x: &Matrix) -> crate::Result<Matrix> {
-        let mut z = x.matmul(&self.weight)?;
+        self.forward_rows(x, 0, x.rows())
+    }
+
+    /// Inference-only forward pass over rows `[start, start + count)` of `x`,
+    /// without materializing the input window: `y = act(x[rows] · W + b)`.  The
+    /// chunked batch-inference path uses this so cache blocking costs no copies.
+    pub fn forward_rows(&self, x: &Matrix, start: usize, count: usize) -> crate::Result<Matrix> {
+        let mut z = x.matmul_rows(start, count, &self.weight)?;
         z.add_row_broadcast(&self.bias)?;
-        Ok(self.activation.forward(&z))
+        self.activation.apply_in_place(&mut z);
+        Ok(z)
     }
 
     /// Backward pass.  `grad_out` is the loss gradient w.r.t. this layer's output;

@@ -39,7 +39,9 @@ pub use layer::{Activation, Dense};
 pub use loss::softmax_cross_entropy;
 pub use lstm::{LstmCell, SequenceController};
 pub use mlp::{Mlp, MlpSpec};
-pub use multitask::{MultiTaskModel, MultiTaskSpec, TaskHeadSpec};
+pub use multitask::{
+    MultiTaskModel, MultiTaskSpec, TaskHeadSpec, CACHE_CHUNK_ROWS, PARALLEL_ROW_CROSSOVER,
+};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use tensor::Matrix;
 

@@ -11,7 +11,20 @@ use crate::layer::{Activation, Dense};
 use crate::loss::{accuracy, softmax_cross_entropy};
 use crate::optimizer::Optimizer;
 use crate::tensor::Matrix;
+use dm_exec::ThreadPool;
 use rand::Rng;
+use std::sync::Mutex;
+
+/// Batches below this many rows run [`MultiTaskModel::forward_batch_flat`]
+/// serially even on a parallel pool: per-task scheduling overhead beats the
+/// matmul win for small batches.
+pub const PARALLEL_ROW_CROSSOVER: usize = 256;
+
+/// Upper bound on rows per forward chunk, parallel *or* serial.  A 25 k-row
+/// batch through a 100-wide trunk materializes ~10 MB of activations per layer —
+/// far out of cache; bounding chunks keeps each pass's activations resident, so
+/// large batches stop paying per-key latency that small batches don't.
+pub const CACHE_CHUNK_ROWS: usize = 2048;
 
 /// Specification of one private head: hidden widths plus the number of output classes
 /// (the cardinality of the target column).
@@ -259,17 +272,107 @@ impl MultiTaskModel {
     /// caller-owned flat row-major arena (`out[row * tasks + task]`) instead of
     /// allocating one `Vec` per row — the allocation-free layout `dm-core`'s buffer
     ///-reusing lookup path consumes.  Returns the number of tasks (columns per row).
+    ///
+    /// Runs on the shared [`dm_exec::global`] pool; use
+    /// [`forward_batch_flat_on`](Self::forward_batch_flat_on) to pin a pool.
     pub fn forward_batch_flat(&self, x: &Matrix, out: &mut Vec<u32>) -> crate::Result<usize> {
+        self.forward_batch_flat_on(dm_exec::global(), x, out)
+    }
+
+    /// [`forward_batch_flat`](Self::forward_batch_flat) on an explicit execution
+    /// pool.  Batches of at least [`PARALLEL_ROW_CROSSOVER`] rows are split into
+    /// row chunks whose trunk + head matrix-multiply sequences run as independent
+    /// pool tasks (each chunk writes its disjoint slice of `out`); smaller batches
+    /// — and serial pools — take the single-pass path.
+    pub fn forward_batch_flat_on(
+        &self,
+        exec: &ThreadPool,
+        x: &Matrix,
+        out: &mut Vec<u32>,
+    ) -> crate::Result<usize> {
+        let tasks = self.heads.len();
+        let rows = x.rows();
         out.clear();
-        let logits = self.forward(x)?;
-        let tasks = logits.len();
-        out.resize(x.rows() * tasks, 0);
-        for (task, m) in logits.iter().enumerate() {
-            for row in 0..m.rows() {
-                out[row * tasks + task] = m.argmax_row(row) as u32;
+        out.resize(rows * tasks, 0);
+        if rows < PARALLEL_ROW_CROSSOVER || exec.threads() <= 1 {
+            // Serial path, cache-blocked: never materialize more than
+            // CACHE_CHUNK_ROWS rows of activations at once.
+            if rows <= CACHE_CHUNK_ROWS {
+                self.forward_rows_flat(x, 0, rows, out)?;
+            } else {
+                for (ci, out_chunk) in out.chunks_mut(CACHE_CHUNK_ROWS * tasks).enumerate() {
+                    let start = ci * CACHE_CHUNK_ROWS;
+                    self.forward_rows_flat(x, start, out_chunk.len() / tasks, out_chunk)?;
+                }
             }
+            return Ok(tasks);
+        }
+        // Aim for ~2 chunks per thread so the work steals evenly, but never chunks
+        // so small the scheduling overhead dominates nor so large the activations
+        // fall out of cache.
+        let chunk_rows = rows
+            .div_ceil(exec.threads() * 2)
+            .clamp(PARALLEL_ROW_CROSSOVER / 2, CACHE_CHUNK_ROWS);
+        let first_error: Mutex<Option<crate::NnError>> = Mutex::new(None);
+        exec.scope(|s| {
+            for (ci, out_chunk) in out.chunks_mut(chunk_rows * tasks).enumerate() {
+                let first_error = &first_error;
+                s.spawn(move || {
+                    let start = ci * chunk_rows;
+                    let count = out_chunk.len() / tasks;
+                    if let Err(err) = self.forward_rows_flat(x, start, count, out_chunk) {
+                        let mut slot = first_error.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(err);
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(err) = first_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(err);
         }
         Ok(tasks)
+    }
+
+    /// One serial trunk + heads pass over rows `[start, start + count)` of `x`,
+    /// writing row-major argmax predictions into `out` (`count * num_tasks` wide).
+    /// The row window enters the first layer via `Dense::forward_rows`, so
+    /// chunking never copies the input.
+    fn forward_rows_flat(
+        &self,
+        x: &Matrix,
+        start: usize,
+        count: usize,
+        out: &mut [u32],
+    ) -> crate::Result<()> {
+        let tasks = self.heads.len();
+        debug_assert_eq!(out.len(), count * tasks);
+        let trunk_out = match self.trunk.split_first() {
+            Some((first, rest)) => {
+                let mut h = first.forward_rows(x, start, count)?;
+                for layer in rest {
+                    h = layer.forward(&h)?;
+                }
+                Some(h)
+            }
+            None => None,
+        };
+        for (task, head) in self.heads.iter().enumerate() {
+            let (first, rest) = head.split_first().expect("heads have an output layer");
+            // With no trunk, the head reads the input window directly.
+            let mut t = match &trunk_out {
+                Some(h) => first.forward(h)?,
+                None => first.forward_rows(x, start, count)?,
+            };
+            for layer in rest {
+                t = layer.forward(&t)?;
+            }
+            for row in 0..t.rows() {
+                out[row * tasks + task] = t.argmax_row(row) as u32;
+            }
+        }
+        Ok(())
     }
 
     /// One supervised training step on a batch.
@@ -508,6 +611,37 @@ mod tests {
         assert!(accs.iter().all(|&a| a > 0.9), "accuracies {accs:?}");
         let tuple_acc = model.tuple_accuracy(&x, &targets).unwrap();
         assert!(tuple_acc > 0.85, "tuple accuracy {tuple_acc}");
+    }
+
+    /// The chunked parallel inference path must agree bit-for-bit with the serial
+    /// single-pass path, both above and below the crossover threshold.
+    #[test]
+    fn parallel_flat_inference_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = MultiTaskModel::new(&mut rng, &toy_spec()).unwrap();
+        let parallel = dm_exec::ThreadPool::new(4);
+        let serial = dm_exec::ThreadPool::new(1);
+        for rows in [3usize, PARALLEL_ROW_CROSSOVER - 1, PARALLEL_ROW_CROSSOVER, 1_000] {
+            let mut x = Matrix::zeros(rows, 6);
+            for r in 0..rows {
+                for c in 0..6 {
+                    x.set(r, c, ((r * 7 + c * 3) % 5) as f32 - 2.0);
+                }
+            }
+            let mut expected = Vec::new();
+            let tasks_serial = model
+                .forward_batch_flat_on(&serial, &x, &mut expected)
+                .unwrap();
+            let mut got = Vec::new();
+            let tasks_parallel = model
+                .forward_batch_flat_on(&parallel, &x, &mut got)
+                .unwrap();
+            assert_eq!(tasks_serial, tasks_parallel);
+            assert_eq!(expected, got, "rows={rows}");
+            assert_eq!(got.len(), rows * 2);
+        }
+        // The big batch really did fan out.
+        assert!(parallel.stats().tasks_executed >= 2);
     }
 
     #[test]

@@ -123,7 +123,22 @@ impl Matrix {
     }
 
     /// Matrix product `self (m×k) · rhs (k×n) -> m×n`.
+    ///
+    /// The k dimension is processed four rows of `rhs` at a time, so every pass
+    /// over the output row does four fused multiply-adds per element instead of
+    /// one — output-row memory traffic, not multiplies, is what bounds the naive
+    /// k-inner loop.  Inference is matmul-bound (ROADMAP "known slow paths"), so
+    /// this directly moves batch-lookup throughput.
     pub fn matmul(&self, rhs: &Matrix) -> crate::Result<Matrix> {
+        self.matmul_rows(0, self.rows, rhs)
+    }
+
+    /// `self[start .. start + count] (count×k) · rhs (k×n) -> count×n`: the
+    /// product of a row window of `self` with `rhs`, without materializing the
+    /// window.  This is what lets cache-blocked/parallel batch inference chunk
+    /// its input for free.  Same kernel as [`matmul`](Self::matmul) (which is the
+    /// full-range special case).
+    pub fn matmul_rows(&self, start: usize, count: usize, rhs: &Matrix) -> crate::Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(NnError::ShapeMismatch {
                 context: format!(
@@ -132,12 +147,39 @@ impl Matrix {
                 ),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        if start + count > self.rows {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "matmul_rows: rows [{start}, {}) of a matrix with {} rows",
+                    start + count,
+                    self.rows
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(count, rhs.cols);
         let n = rhs.cols;
-        for i in 0..self.rows {
-            let lhs_row = self.row(i);
+        let k_dim = self.cols;
+        for i in 0..count {
+            let lhs_row = self.row(start + i);
             let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in lhs_row.iter().enumerate() {
+            let mut k = 0;
+            while k + 4 <= k_dim {
+                let (a0, a1, a2, a3) =
+                    (lhs_row[k], lhs_row[k + 1], lhs_row[k + 2], lhs_row[k + 3]);
+                // ReLU activations are zero-heavy; skip fully dead k-blocks.
+                if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+                    let (r0, rest) = rhs.data[k * n..(k + 4) * n].split_at(n);
+                    let (r1, rest) = rest.split_at(n);
+                    let (r2, r3) = rest.split_at(n);
+                    for ((((o, &b0), &b1), &b2), &b3) in
+                        out_row.iter_mut().zip(r0).zip(r1).zip(r2).zip(r3)
+                    {
+                        *o += a0 * b0 + a1 * b1 + a2 * b2 + a3 * b3;
+                    }
+                }
+                k += 4;
+            }
+            for (k, &a) in lhs_row.iter().enumerate().skip(k) {
                 if a == 0.0 {
                     continue;
                 }
@@ -404,6 +446,16 @@ mod tests {
         assert!(a.matmul(&b).is_err());
     }
 
+    /// `matmul` accumulates four k-terms per pass, so it is only
+    /// ulp-equivalent — not bitwise-equal — to the transpose variants' purely
+    /// sequential sums; compare with a tolerance.
+    fn assert_matrices_close(a: &Matrix, b: &Matrix) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(approx_eq(x, y), "{x} vs {y}");
+        }
+    }
+
     #[test]
     fn transpose_variants_agree_with_explicit_transpose() {
         let a = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 4.0, -1.0]).unwrap();
@@ -411,13 +463,50 @@ mod tests {
         // a (2x3) * b^T (3x4) == a * transpose(b)
         let fast = a.matmul_transpose_rhs(&b).unwrap();
         let slow = a.matmul(&b.transpose()).unwrap();
-        assert_eq!(fast, slow);
+        assert_matrices_close(&fast, &slow);
 
         let c = Matrix::from_vec(2, 4, (0..8).map(|v| v as f32).collect()).unwrap();
         // a^T (3x2) * c (2x4)
         let fast = a.transpose_matmul(&c).unwrap();
         let slow = a.transpose().matmul(&c).unwrap();
-        assert_eq!(fast, slow);
+        assert_matrices_close(&fast, &slow);
+    }
+
+    /// The unrolled k-blocks and the scalar tail must agree across every k
+    /// remainder (k % 4 ∈ {0,1,2,3}) and handle zero-heavy rows.
+    #[test]
+    fn matmul_handles_all_k_remainders_and_sparse_rows() {
+        for k_dim in 1..=9usize {
+            let m = 3;
+            let n = 5;
+            let a = Matrix::from_vec(
+                m,
+                k_dim,
+                (0..m * k_dim)
+                    .map(|v| if v % 3 == 0 { 0.0 } else { v as f32 * 0.25 - 1.0 })
+                    .collect(),
+            )
+            .unwrap();
+            let b = Matrix::from_vec(
+                k_dim,
+                n,
+                (0..k_dim * n).map(|v| v as f32 * 0.5 - 3.0).collect(),
+            )
+            .unwrap();
+            let got = a.matmul(&b).unwrap();
+            // Reference: textbook i-j-k triple loop.
+            let mut expected = Matrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for k in 0..k_dim {
+                        acc += a.get(i, k) * b.get(k, j);
+                    }
+                    expected.set(i, j, acc);
+                }
+            }
+            assert_matrices_close(&got, &expected);
+        }
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! `Throughput`, `criterion_group!`/`criterion_main!`) but replaces the statistics
 //! engine with a plain calibrated-loop timer: each benchmark is warmed up, the
 //! iteration count is scaled so one sample takes a measurable slice of the
-//! measurement time, and the per-iteration mean / min across samples is printed.
+//! measurement time, and the per-iteration mean / min / p50 / p95 / p99 across
+//! samples is printed (percentiles are nearest-rank over the per-sample means, so
+//! tail numbers stay honest about the sample count).
 //! Good enough to compare order-of-magnitude behavior offline; swap in real criterion
 //! when a registry is reachable.
 
@@ -172,7 +174,19 @@ impl Bencher {
 struct BenchStats {
     mean_ns: f64,
     min_ns: f64,
+    p50_ns: f64,
+    p95_ns: f64,
+    p99_ns: f64,
     samples: usize,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (`p` in 0..=100).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(
@@ -206,21 +220,23 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         }
         iters = iters.saturating_mul(4);
     }
-    let mut total_ns = 0.0f64;
-    let mut min_ns = f64::INFINITY;
+    let mut samples_ns = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
         let mut b = Bencher {
             iters,
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
-        total_ns += per_iter;
-        min_ns = min_ns.min(per_iter);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
     }
+    let mean_ns = samples_ns.iter().sum::<f64>() / sample_size as f64;
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
     BenchStats {
-        mean_ns: total_ns / sample_size as f64,
-        min_ns,
+        mean_ns,
+        min_ns: samples_ns.first().copied().unwrap_or(0.0),
+        p50_ns: percentile(&samples_ns, 50.0),
+        p95_ns: percentile(&samples_ns, 95.0),
+        p99_ns: percentile(&samples_ns, 99.0),
         samples: sample_size,
     }
 }
@@ -237,9 +253,12 @@ fn print_result(id: &str, stats: &BenchStats, throughput: Option<Throughput>) {
         ),
     });
     println!(
-        "  {id:<40} mean {:>12} min {:>12} ({} samples){}",
+        "  {id:<40} mean {:>10} min {:>10} p50 {:>10} p95 {:>10} p99 {:>10} ({} samples){}",
         format_ns(stats.mean_ns),
         format_ns(stats.min_ns),
+        format_ns(stats.p50_ns),
+        format_ns(stats.p95_ns),
+        format_ns(stats.p99_ns),
         stats.samples,
         rate.unwrap_or_default()
     );
@@ -306,6 +325,29 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_over_sorted_samples() {
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 50.0), 51.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn run_bench_orders_min_p50_p95_p99() {
+        let stats = run_bench(5, Duration::from_millis(20), |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()))
+        });
+        assert!(stats.min_ns <= stats.p50_ns);
+        assert!(stats.p50_ns <= stats.p95_ns);
+        assert!(stats.p95_ns <= stats.p99_ns);
+        assert_eq!(stats.samples, 5);
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //!   and "hash-based" representations, with their asymmetric deserialization costs),
 //! * [`disk`] — a simulated disk: partitions live as compressed frames in byte
 //!   buffers, reads are counted and costed with a configurable bandwidth model,
-//! * [`pool`] — an LRU buffer pool with a byte budget that loads/decompresses/evicts
-//!   partitions,
+//! * [`pool`] — a mutex-sharded LRU buffer pool with a byte budget that
+//!   loads/decompresses/evicts partitions, with single-flight cold loads so racing
+//!   readers never duplicate a load,
 //! * [`metrics`] — the latency-breakdown accounting behind Figure 7.
 
 pub mod bitvec;
@@ -35,7 +36,7 @@ pub use bitvec::BitVec;
 pub use disk::{DiskProfile, SimulatedDisk};
 pub use layout::{ArrayPartition, HashPartition, PartitionLayout};
 pub use metrics::{LatencyBreakdown, Metrics, Phase};
-pub use pool::BufferPool;
+pub use pool::{BufferPool, PoolShardStats, DEFAULT_POOL_SHARDS};
 pub use row::{ReferenceStore, Row, StoreStats};
 pub use store::{LookupBuffer, MutableStore, TupleRef, TupleStore};
 

@@ -66,9 +66,19 @@ impl Phase {
 }
 
 /// Per-phase accumulated time plus I/O counters.
+///
+/// **Parallelism caveat:** phase time is accumulated wherever the work runs.
+/// When a stage fans out across a `dm-exec` pool (e.g. the query pipeline's
+/// sharded partition probes), concurrent tasks each charge their own time, so a
+/// phase's figure is *CPU time summed across tasks* and can exceed the batch's
+/// wall-clock; on a serial pool it is exact wall-clock.
+/// [`total`](LatencyBreakdown::total) is therefore an upper bound on wall time
+/// under parallelism — benchmark harnesses that need wall latency measure it
+/// around the batch call (see `dm-bench`'s `measure_lookup`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyBreakdown {
-    /// Wall-clock time per phase, indexed in [`Phase::all`] order, in nanoseconds.
+    /// Time per phase, indexed in [`Phase::all`] order, in nanoseconds (see the
+    /// struct-level parallelism caveat).
     pub phase_nanos: [u64; 6],
     /// Simulated I/O time (bytes ÷ modelled bandwidth), in nanoseconds.
     pub simulated_io_nanos: u64,
@@ -86,11 +96,22 @@ pub struct LatencyBreakdown {
     pub pool_misses: u64,
     /// Buffer-pool evictions.
     pub pool_evictions: u64,
+    /// Buffer-pool lookups that blocked on another reader's in-flight load
+    /// instead of duplicating it (single-flight cold loads).  Waits are counted
+    /// separately from hits and misses: a wait is served by someone else's miss.
+    pub pool_single_flight_waits: u64,
     /// Number of vectorized model forward passes (one per lookup batch when the
     /// query pipeline is doing its job — many per batch means per-key inference).
     pub inference_batches: u64,
     /// Total rows pushed through model inference.
     pub inference_rows: u64,
+    /// Tasks executed on the `dm-exec` runtime on behalf of this store's work
+    /// (attribution is approximate when several stores share one pool).
+    pub exec_tasks: u64,
+    /// Work-stealing events among the runtime's workers during that work.
+    pub exec_steals: u64,
+    /// Time runtime workers spent parked during that work, in nanoseconds.
+    pub exec_park_nanos: u64,
 }
 
 impl LatencyBreakdown {
@@ -181,6 +202,21 @@ impl Metrics {
         self.inner.lock().pool_evictions += 1;
     }
 
+    /// Records a buffer-pool lookup that waited on another reader's in-flight
+    /// single-flight load.
+    pub fn add_pool_single_flight_wait(&self) {
+        self.inner.lock().pool_single_flight_waits += 1;
+    }
+
+    /// Records execution-runtime activity (a `dm_exec::ExecStats` delta) observed
+    /// while serving this store's work.
+    pub fn add_exec(&self, tasks: u64, steals: u64, park_nanos: u64) {
+        let mut inner = self.inner.lock();
+        inner.exec_tasks += tasks;
+        inner.exec_steals += steals;
+        inner.exec_park_nanos += park_nanos;
+    }
+
     /// Records one vectorized model forward pass over `rows` inputs.
     pub fn add_inference_batch(&self, rows: u64) {
         let mut inner = self.inner.lock();
@@ -218,6 +254,8 @@ mod tests {
         metrics.add_pool_hit();
         metrics.add_pool_miss();
         metrics.add_pool_eviction();
+        metrics.add_pool_single_flight_wait();
+        metrics.add_exec(12, 3, 450);
         metrics.add_inference_batch(128);
         let snap = metrics.snapshot();
         assert_eq!(snap.phase(Phase::NeuralNetwork), Duration::from_millis(8));
@@ -228,6 +266,10 @@ mod tests {
         assert_eq!(snap.pool_hits, 1);
         assert_eq!(snap.pool_misses, 1);
         assert_eq!(snap.pool_evictions, 1);
+        assert_eq!(snap.pool_single_flight_waits, 1);
+        assert_eq!(snap.exec_tasks, 12);
+        assert_eq!(snap.exec_steals, 3);
+        assert_eq!(snap.exec_park_nanos, 450);
         assert_eq!(snap.inference_batches, 1);
         assert_eq!(snap.inference_rows, 128);
         assert_eq!(snap.simulated_io_nanos, 1_000_000);

@@ -1,4 +1,4 @@
-//! The LRU buffer pool.
+//! The sharded, single-flight LRU buffer pool.
 //!
 //! "In memory-constrained devices, we free up the space of the least recently used
 //! (LRU) partition before loading the subsequent partition of the auxiliary table when
@@ -7,28 +7,85 @@
 //! the pool's byte budget the baselines pay repeated load + decompress cycles while
 //! DeepMapping's small hybrid structure stays resident — the mechanism behind Table I.
 //!
+//! Since the PR-2 store API made reads `&self + Send + Sync`, many threads probe one
+//! pool concurrently, so the pool is built for that:
+//!
+//! * **Sharding** — entries are hash-distributed over N independently locked LRU
+//!   shards (each owning `capacity / N` of the byte budget), so concurrent readers
+//!   touching different partitions never contend on one global mutex.  Eviction is
+//!   therefore per-shard LRU: approximate global LRU, exact within a shard.
+//! * **Single-flight loads** — a cold partition is loaded and decompressed exactly
+//!   once no matter how many readers race for it.  The first reader installs an
+//!   in-flight latch and runs the loader *outside* the shard lock; the others find
+//!   the latch and block on it (counted as [`single-flight waits`]
+//!   [`crate::LatencyBreakdown::pool_single_flight_waits`]) until the winner
+//!   publishes the value or the error.
+//!
 //! The pool is generic over the decoded partition type: the caller supplies a loader
 //! closure that turns the partition id into a decoded value plus its in-memory size.
 
 use crate::metrics::Metrics;
-use crate::Result;
+use crate::{Result, StorageError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
-/// An LRU cache of decoded partitions with a byte budget.
+/// Default shard count (rounded up to a power of two in [`BufferPool::with_shards`]).
+/// Eight shards keep per-shard contention negligible for the thread counts the
+/// workspace uses while staying cheap for tiny pools.
+pub const DEFAULT_POOL_SHARDS: usize = 8;
+
+/// A sharded LRU cache of decoded partitions with a byte budget and single-flight
+/// cold loads.
 #[derive(Debug)]
 pub struct BufferPool<V> {
-    inner: Mutex<PoolInner<V>>,
+    shards: Vec<Shard<V>>,
+    /// log2(shards), used to take the top hash bits as the shard index.
+    shard_bits: u32,
     capacity_bytes: usize,
     metrics: Metrics,
 }
 
+/// Per-shard counters, readable via [`BufferPool::shard_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolShardStats {
+    /// Lookups served from this shard's resident entries.
+    pub hits: u64,
+    /// Lookups that ran the loader (exactly one per cold partition).
+    pub misses: u64,
+    /// Entries evicted from this shard to make room.
+    pub evictions: u64,
+    /// Lookups that blocked on another reader's in-flight load.
+    pub single_flight_waits: u64,
+    /// Resident (fully loaded) entries currently cached.
+    pub resident_entries: usize,
+    /// Bytes pinned by this shard's resident entries.
+    pub used_bytes: usize,
+}
+
 #[derive(Debug)]
-struct PoolInner<V> {
-    entries: HashMap<u64, Entry<V>>,
+struct Shard<V> {
+    inner: Mutex<ShardInner<V>>,
+    capacity_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    single_flight_waits: AtomicU64,
+}
+
+#[derive(Debug)]
+struct ShardInner<V> {
+    entries: HashMap<u64, Slot<V>>,
     clock: u64,
     used_bytes: usize,
+}
+
+#[derive(Debug)]
+enum Slot<V> {
+    Resident(Entry<V>),
+    /// A load in progress; racing readers wait on the latch instead of loading.
+    InFlight(Arc<LoadLatch<V>>),
 }
 
 #[derive(Debug)]
@@ -38,125 +95,316 @@ struct Entry<V> {
     last_used: u64,
 }
 
+/// The per-entry latch racing readers block on.  Uses `std::sync` directly because
+/// it needs a condvar, which the `parking_lot` shim does not provide.
+#[derive(Debug)]
+struct LoadLatch<V> {
+    state: StdMutex<LatchState<V>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum LatchState<V> {
+    Pending,
+    Ready(Arc<V>),
+    Failed(StorageError),
+}
+
+impl<V> LoadLatch<V> {
+    fn new() -> Self {
+        LoadLatch {
+            state: StdMutex::new(LatchState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Result<Arc<V>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*state {
+                LatchState::Pending => {
+                    state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                LatchState::Ready(value) => return Ok(Arc::clone(value)),
+                LatchState::Failed(err) => return Err(err.clone()),
+            }
+        }
+    }
+
+    fn fulfill(&self, result: Result<Arc<V>>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = match result {
+            Ok(value) => LatchState::Ready(value),
+            Err(err) => LatchState::Failed(err),
+        };
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
 impl<V> BufferPool<V> {
-    /// Creates a pool with the given byte budget.  A budget of `usize::MAX` models a
-    /// machine whose memory comfortably holds the whole dataset.
+    /// Creates a pool with the given byte budget and the default shard count.  A
+    /// budget of `usize::MAX` models a machine whose memory comfortably holds the
+    /// whole dataset.
     pub fn new(capacity_bytes: usize, metrics: Metrics) -> Self {
+        Self::with_shards(capacity_bytes, DEFAULT_POOL_SHARDS, metrics)
+    }
+
+    /// Creates a pool with an explicit shard count (rounded up to a power of two;
+    /// use 1 for exact global LRU, e.g. in deterministic eviction tests).  Each
+    /// shard owns `capacity_bytes / shards` of the budget.
+    pub fn with_shards(capacity_bytes: usize, shards: usize, metrics: Metrics) -> Self {
+        let shards = shards.clamp(1, 1 << 10).next_power_of_two();
+        let per_shard = (capacity_bytes / shards).max(1);
         BufferPool {
-            inner: Mutex::new(PoolInner {
-                entries: HashMap::new(),
-                clock: 0,
-                used_bytes: 0,
-            }),
+            shards: (0..shards)
+                .map(|_| Shard {
+                    inner: Mutex::new(ShardInner {
+                        entries: HashMap::new(),
+                        clock: 0,
+                        used_bytes: 0,
+                    }),
+                    capacity_bytes: per_shard,
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                    evictions: AtomicU64::new(0),
+                    single_flight_waits: AtomicU64::new(0),
+                })
+                .collect(),
+            shard_bits: shards.trailing_zeros(),
             capacity_bytes,
             metrics,
         }
     }
 
-    /// The configured byte budget.
+    /// The configured byte budget (split evenly across shards).
     pub fn capacity_bytes(&self) -> usize {
         self.capacity_bytes
     }
 
+    /// Number of LRU shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, id: u64) -> &Shard<V> {
+        // Fibonacci hashing spreads sequential partition ids across shards; the
+        // top bits select the shard.
+        let mixed = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = if self.shard_bits == 0 {
+            0
+        } else {
+            (mixed >> (64 - self.shard_bits)) as usize
+        };
+        &self.shards[idx]
+    }
+
     /// Bytes currently pinned by cached partitions.
     pub fn used_bytes(&self) -> usize {
-        self.inner.lock().used_bytes
+        self.shards.iter().map(|s| s.inner.lock().used_bytes).sum()
     }
 
-    /// Number of cached partitions.
+    /// Number of fully loaded cached partitions (in-flight loads excluded).
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.inner
+                    .lock()
+                    .entries
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Resident(_)))
+                    .count()
+            })
+            .sum()
     }
 
-    /// Whether the pool is empty.
+    /// Whether the pool holds no fully loaded partitions.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().entries.is_empty()
+        self.len() == 0
     }
 
-    /// Returns the cached partition if present (marking it recently used) without
-    /// invoking the loader.
+    /// Per-shard counters (hits / misses / evictions / single-flight waits plus
+    /// residency), index-aligned with the shard layout.
+    pub fn shard_stats(&self) -> Vec<PoolShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let inner = shard.inner.lock();
+                PoolShardStats {
+                    hits: shard.hits.load(Ordering::Relaxed),
+                    misses: shard.misses.load(Ordering::Relaxed),
+                    evictions: shard.evictions.load(Ordering::Relaxed),
+                    single_flight_waits: shard.single_flight_waits.load(Ordering::Relaxed),
+                    resident_entries: inner
+                        .entries
+                        .values()
+                        .filter(|slot| matches!(slot, Slot::Resident(_)))
+                        .count(),
+                    used_bytes: inner.used_bytes,
+                }
+            })
+            .collect()
+    }
+
+    /// Returns the cached partition if fully loaded (marking it recently used)
+    /// without invoking the loader.  An in-flight load counts as absent: `peek`
+    /// never blocks.
     pub fn peek(&self, id: u64) -> Option<Arc<V>> {
-        let mut inner = self.inner.lock();
+        let shard = self.shard_for(id);
+        let mut inner = shard.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
-        inner.entries.get_mut(&id).map(|e| {
-            e.last_used = clock;
-            Arc::clone(&e.value)
-        })
+        match inner.entries.get_mut(&id) {
+            Some(Slot::Resident(entry)) => {
+                entry.last_used = clock;
+                Some(Arc::clone(&entry.value))
+            }
+            _ => None,
+        }
     }
 
     /// Gets a partition, loading it with `loader` on a miss.  The loader returns the
-    /// decoded value and its in-memory size in bytes; the pool evicts least-recently
-    /// used entries until the new value fits.
+    /// decoded value and its in-memory size in bytes; the shard evicts its
+    /// least-recently used entries until the new value fits.
+    ///
+    /// Cold loads are **single-flight**: when several readers race for the same
+    /// absent id, exactly one runs `loader` (outside any lock) while the rest block
+    /// until the value — or the loader's error — is published.
     pub fn get_or_load(
         &self,
         id: u64,
         loader: impl FnOnce() -> Result<(V, usize)>,
     ) -> Result<Arc<V>> {
-        if let Some(hit) = self.peek(id) {
-            self.metrics.add_pool_hit();
-            return Ok(hit);
-        }
+        let shard = self.shard_for(id);
+        let our_latch = {
+            let mut inner = shard.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            match inner.entries.get_mut(&id) {
+                Some(Slot::Resident(entry)) => {
+                    entry.last_used = clock;
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.add_pool_hit();
+                    return Ok(Arc::clone(&entry.value));
+                }
+                Some(Slot::InFlight(latch)) => {
+                    let latch = Arc::clone(latch);
+                    drop(inner);
+                    shard.single_flight_waits.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.add_pool_single_flight_wait();
+                    return latch.wait();
+                }
+                None => {
+                    let latch = Arc::new(LoadLatch::new());
+                    inner.entries.insert(id, Slot::InFlight(Arc::clone(&latch)));
+                    latch
+                }
+            }
+        };
+        // We won the race: run the loader with no lock held.
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         self.metrics.add_pool_miss();
-        let (value, bytes) = loader()?;
-        let value = Arc::new(value);
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let clock = inner.clock;
-        // Evict until the new entry fits (an entry larger than the whole budget is
-        // admitted alone — the query still has to run).
-        while inner.used_bytes + bytes > self.capacity_bytes && !inner.entries.is_empty() {
+        match loader() {
+            Ok((value, bytes)) => {
+                let value = Arc::new(value);
+                self.publish(shard, id, &our_latch, Arc::clone(&value), bytes);
+                our_latch.fulfill(Ok(Arc::clone(&value)));
+                Ok(value)
+            }
+            Err(err) => {
+                let mut inner = shard.inner.lock();
+                if matches!(inner.entries.get(&id), Some(Slot::InFlight(l)) if Arc::ptr_eq(l, &our_latch))
+                {
+                    inner.entries.remove(&id);
+                }
+                drop(inner);
+                our_latch.fulfill(Err(err.clone()));
+                Err(err)
+            }
+        }
+    }
+
+    /// Replaces our in-flight latch with a resident entry, evicting LRU residents
+    /// of the shard until the new entry fits (an entry larger than the whole shard
+    /// budget is admitted alone — the query still has to run).  Skips caching when
+    /// the latch was invalidated/cleared while the load ran.
+    fn publish(&self, shard: &Shard<V>, id: u64, our_latch: &Arc<LoadLatch<V>>, value: Arc<V>, bytes: usize) {
+        let mut inner = shard.inner.lock();
+        if !matches!(inner.entries.get(&id), Some(Slot::InFlight(l)) if Arc::ptr_eq(l, our_latch)) {
+            return;
+        }
+        while inner.used_bytes + bytes > shard.capacity_bytes {
             let victim = inner
                 .entries
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&k, _)| k)
-                .expect("entries not empty");
-            if let Some(evicted) = inner.entries.remove(&victim) {
+                .filter_map(|(&k, slot)| match slot {
+                    Slot::Resident(entry) if k != id => Some((k, entry.last_used)),
+                    _ => None,
+                })
+                .min_by_key(|&(_, last_used)| last_used)
+                .map(|(k, _)| k);
+            let Some(victim) = victim else { break };
+            if let Some(Slot::Resident(evicted)) = inner.entries.remove(&victim) {
                 inner.used_bytes -= evicted.bytes;
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
                 self.metrics.add_pool_eviction();
             }
         }
+        inner.clock += 1;
+        let clock = inner.clock;
         inner.used_bytes += bytes;
         inner.entries.insert(
             id,
-            Entry {
-                value: Arc::clone(&value),
+            Slot::Resident(Entry {
+                value,
                 bytes,
                 last_used: clock,
-            },
+            }),
         );
-        Ok(value)
     }
 
-    /// Removes a partition from the pool (e.g. after it was rewritten on disk).
+    /// Removes a partition from the pool (e.g. after it was rewritten on disk).  A
+    /// load in flight for the id is detached: its waiters still receive the loaded
+    /// value, but it is not cached.
     pub fn invalidate(&self, id: u64) {
-        let mut inner = self.inner.lock();
-        if let Some(entry) = inner.entries.remove(&id) {
+        let shard = self.shard_for(id);
+        let mut inner = shard.inner.lock();
+        if let Some(Slot::Resident(entry)) = inner.entries.remove(&id) {
             inner.used_bytes -= entry.bytes;
         }
     }
 
-    /// Drops every cached partition.
+    /// Drops every cached partition (in-flight loads are detached, not interrupted).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.entries.clear();
-        inner.used_bytes = 0;
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            inner.entries.clear();
+            inner.used_bytes = 0;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+    use std::time::Duration;
 
     fn loader(value: u32, bytes: usize) -> impl FnOnce() -> Result<(u32, usize)> {
         move || Ok((value, bytes))
     }
 
+    /// Single-shard pool: exact global LRU, deterministic eviction order.
+    fn lru_pool(capacity: usize, metrics: Metrics) -> BufferPool<u32> {
+        BufferPool::with_shards(capacity, 1, metrics)
+    }
+
     #[test]
     fn hit_and_miss_accounting() {
         let metrics = Metrics::new();
-        let pool: BufferPool<u32> = BufferPool::new(1024, metrics.clone());
+        let pool = lru_pool(1024, metrics.clone());
         let a = pool.get_or_load(1, loader(10, 100)).unwrap();
         assert_eq!(*a, 10);
         let b = pool.get_or_load(1, loader(99, 100)).unwrap();
@@ -164,6 +412,7 @@ mod tests {
         let snap = metrics.snapshot();
         assert_eq!(snap.pool_misses, 1);
         assert_eq!(snap.pool_hits, 1);
+        assert_eq!(snap.pool_single_flight_waits, 0);
         assert_eq!(pool.used_bytes(), 100);
         assert_eq!(pool.len(), 1);
     }
@@ -171,7 +420,7 @@ mod tests {
     #[test]
     fn lru_eviction_under_pressure() {
         let metrics = Metrics::new();
-        let pool: BufferPool<u32> = BufferPool::new(250, metrics.clone());
+        let pool = lru_pool(250, metrics.clone());
         pool.get_or_load(1, loader(1, 100)).unwrap();
         pool.get_or_load(2, loader(2, 100)).unwrap();
         // Touch 1 so 2 becomes the LRU victim.
@@ -187,7 +436,7 @@ mod tests {
     #[test]
     fn oversized_entry_is_admitted_alone() {
         let metrics = Metrics::new();
-        let pool: BufferPool<u32> = BufferPool::new(50, metrics);
+        let pool = lru_pool(50, metrics);
         pool.get_or_load(1, loader(1, 40)).unwrap();
         pool.get_or_load(2, loader(2, 400)).unwrap();
         // Everything else evicted, the big entry resident.
@@ -198,7 +447,7 @@ mod tests {
     #[test]
     fn invalidate_and_clear() {
         let metrics = Metrics::new();
-        let pool: BufferPool<u32> = BufferPool::new(1000, metrics);
+        let pool = lru_pool(1000, metrics);
         pool.get_or_load(7, loader(7, 10)).unwrap();
         pool.invalidate(7);
         assert!(pool.peek(7).is_none());
@@ -215,7 +464,7 @@ mod tests {
     #[test]
     fn loader_errors_propagate_and_do_not_poison_the_pool() {
         let metrics = Metrics::new();
-        let pool: BufferPool<u32> = BufferPool::new(100, metrics);
+        let pool = lru_pool(100, metrics);
         let err = pool.get_or_load(1, || {
             Err(crate::StorageError::Corrupt("boom".into()))
         });
@@ -223,5 +472,118 @@ mod tests {
         assert!(pool.is_empty());
         // A later successful load works.
         assert_eq!(*pool.get_or_load(1, loader(5, 10)).unwrap(), 5);
+    }
+
+    #[test]
+    fn sharded_pool_spreads_entries_and_isolates_eviction() {
+        let metrics = Metrics::new();
+        let pool: BufferPool<u32> = BufferPool::with_shards(8_000, 4, metrics);
+        assert_eq!(pool.shard_count(), 4);
+        for id in 0..64u64 {
+            pool.get_or_load(id, loader(id as u32, 100)).unwrap();
+        }
+        let stats = pool.shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), 64);
+        let populated = stats.iter().filter(|s| s.resident_entries > 0).count();
+        assert!(populated >= 2, "fibonacci hashing must spread sequential ids");
+        // Per-shard budget is 2 000 bytes → at most 20 resident per shard.
+        assert!(stats.iter().all(|s| s.used_bytes <= 2_000));
+        assert!(pool.used_bytes() <= 8_000);
+    }
+
+    #[test]
+    fn shard_count_is_rounded_to_a_power_of_two() {
+        let pool: BufferPool<u32> = BufferPool::with_shards(1024, 3, Metrics::new());
+        assert_eq!(pool.shard_count(), 4);
+        let pool: BufferPool<u32> = BufferPool::with_shards(1024, 0, Metrics::new());
+        assert_eq!(pool.shard_count(), 1);
+    }
+
+    #[test]
+    fn racing_readers_trigger_exactly_one_load() {
+        let metrics = Metrics::new();
+        let pool: Arc<BufferPool<u32>> = Arc::new(BufferPool::new(usize::MAX, metrics.clone()));
+        let loads = Arc::new(AtomicUsize::new(0));
+        let threads = 8;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let loads = Arc::clone(&loads);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let value = pool
+                        .get_or_load(42, || {
+                            loads.fetch_add(1, Ordering::SeqCst);
+                            // Hold the race open long enough for the others to
+                            // arrive at the latch.
+                            std::thread::sleep(Duration::from_millis(30));
+                            Ok((7u32, 10))
+                        })
+                        .unwrap();
+                    assert_eq!(*value, 7);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(loads.load(Ordering::SeqCst), 1, "single-flight violated");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.pool_misses, 1);
+        assert_eq!(
+            snap.pool_single_flight_waits,
+            threads as u64 - 1,
+            "everyone but the winner waits"
+        );
+    }
+
+    #[test]
+    fn waiters_observe_the_loaders_error_and_can_retry() {
+        let metrics = Metrics::new();
+        let pool: Arc<BufferPool<u32>> = Arc::new(BufferPool::new(usize::MAX, metrics));
+        let barrier = Arc::new(Barrier::new(2));
+        let winner = {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                pool.get_or_load(5, || {
+                    barrier.wait();
+                    std::thread::sleep(Duration::from_millis(30));
+                    Err(StorageError::Corrupt("cold load failed".into()))
+                })
+            })
+        };
+        barrier.wait();
+        // By now the winner holds the latch; this call must wait and then fail.
+        let waited = pool.get_or_load(5, loader(1, 10));
+        assert!(winner.join().unwrap().is_err());
+        assert!(waited.is_err(), "waiters share the loader's failure");
+        // The failed entry is gone, so a retry loads fresh.
+        assert_eq!(*pool.get_or_load(5, loader(9, 10)).unwrap(), 9);
+    }
+
+    #[test]
+    fn invalidate_during_inflight_load_detaches_but_still_serves_waiters() {
+        let pool: Arc<BufferPool<u32>> = Arc::new(BufferPool::new(usize::MAX, Metrics::new()));
+        let barrier = Arc::new(Barrier::new(2));
+        let loaded = {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                pool.get_or_load(11, || {
+                    barrier.wait();
+                    std::thread::sleep(Duration::from_millis(30));
+                    Ok((3u32, 10))
+                })
+            })
+        };
+        barrier.wait();
+        pool.invalidate(11);
+        assert_eq!(*loaded.join().unwrap().unwrap(), 3, "loader still gets its value");
+        // The invalidated load was not cached.
+        assert!(pool.peek(11).is_none());
     }
 }

@@ -52,23 +52,28 @@
 //!
 //! ```text
 //! Cargo.toml                 workspace root + this facade package
+//! ├── crates/exec            dm-exec      vendored work-stealing runtime: fixed
+//! │                                       ThreadPool (per-worker deques + injector
+//! │                                       + parking), scope/join/parallel_chunks,
+//! │                                       panic propagation, ExecStats
 //! ├── crates/nn              dm-nn        matrices, dense layers, multi-task model,
 //! │                                       forward_batch / forward_batch_flat
-//! │                                       (vectorized lookup inference)
+//! │                                       (vectorized, row-chunked on the pool)
 //! ├── crates/compress        dm-compress  lz / lz+huffman / deflate-like / dictionary,
 //! │                                       varint, rle, bitpack, framed format
 //! ├── crates/storage         dm-storage   Row, TupleStore/MutableStore + LookupBuffer,
 //! │                                       BitVec (Vexist), partition layouts,
-//! │                                       simulated disk, LRU BufferPool,
-//! │                                       Figure-7 Metrics
+//! │                                       simulated disk, sharded single-flight
+//! │                                       LRU BufferPool, Figure-7 Metrics
 //! ├── crates/core            dm-core      DeepMapping hybrid + DeepMappingBuilder,
-//! │                                       QueryPipeline, AuxTable, schema/encoders,
-//! │                                       MHAS
+//! │                                       QueryPipeline (parallel stage 3), AuxTable,
+//! │                                       schema/encoders, MHAS
 //! ├── crates/data            dm-data      TPC-H / TPC-DS / synthetic / crop
 //! │                                       generators, lookup & modification workloads
 //! ├── crates/baselines       dm-baselines array/hash partitioned stores, DeepSqueeze
 //! ├── crates/bench           dm-bench     harness + fig*/table* bench binaries,
 //! │                                       BENCH_lookup.json throughput report
+//! │                                       (p50/p95/p99 + 1/2/4-thread DM variant)
 //! └── crates/shims           offline stand-ins for rand / parking_lot / criterion
 //!                            (no registry access in the build environment; each
 //!                            implements only the API subset the workspace uses)
@@ -81,6 +86,28 @@
 //! the caller's `LookupBuffer` arena), with every stage charged to a
 //! `dm_storage::Metrics` phase.  Because the pipeline only reads, batches from
 //! different threads interleave freely over one store instance.
+//!
+//! ## The parallel read path
+//!
+//! The read path runs on [`dm-exec`](dm_exec), the workspace's vendored
+//! work-stealing runtime:
+//!
+//! * **Stage 2** splits large inference batches into row chunks executed as pool
+//!   tasks (`MultiTaskModel::forward_batch_flat`, serial below
+//!   `dm_nn::PARALLEL_ROW_CROSSOVER` rows).
+//! * **Stage 3** probes independent auxiliary partition groups as parallel pool
+//!   tasks; the order-preserving merge is unchanged.
+//! * **`dm_storage::BufferPool`** is mutex-sharded with *single-flight* cold
+//!   loads: racing readers (pipeline tasks or external threads) trigger exactly
+//!   one load + decompress per partition, the losers wait on a per-entry latch
+//!   (observable via `LatencyBreakdown::pool_single_flight_waits`).
+//!
+//! **Sizing:** the shared process-wide pool is sized once from the
+//! `DM_EXEC_THREADS` environment variable (default: available parallelism;
+//! `1` = fully serial for debugging).  Per-store override:
+//! `DeepMappingBuilder::exec_threads(n)` pins that store to a dedicated
+//! n-thread pool.  Runtime activity per batch (tasks, steals, park time) lands
+//! in `LatencyBreakdown::exec_*` alongside the buffer-pool counters.
 //!
 //! ## Quickstart
 //!
@@ -131,6 +158,7 @@ pub use dm_baselines as baselines;
 pub use dm_compress as compress;
 pub use dm_core as core;
 pub use dm_data as data;
+pub use dm_exec as exec;
 pub use dm_nn as nn;
 pub use dm_storage as storage;
 
