@@ -15,12 +15,13 @@
 
 use dm_bench::{
     build_baselines, build_deepmapping_pair, build_deepmapping_store, build_deepsqueeze,
-    measure_lookup_samples, report, write_lookup_json, BenchScale, LookupThroughputRecord,
-    MachineProfile, MeasuredLatency,
+    measure_cold_start, measure_lookup_samples, report, write_lookup_json, BenchScale,
+    ColdStartRecord, LookupThroughputRecord, MachineProfile, MeasuredLatency,
 };
 use dm_compress::Codec;
-use dm_core::TrainingConfig;
+use dm_core::{DeepMappingBuilder, MappingSchema, SearchStrategy, TrainingConfig, KEY_HEADROOM};
 use dm_data::{LookupWorkload, SyntheticConfig};
+use dm_nn::{MultiTaskSpec, TaskHeadSpec};
 use dm_storage::LookupBuffer;
 use std::sync::Arc;
 use std::time::Instant;
@@ -155,8 +156,82 @@ fn main() {
         }
     }
 
-    match write_lookup_json(&scale, &records) {
+    // Cold start: snapshot a store whose auxiliary partitions dominate the file
+    // (low-correlation data, deliberately small fixed model), drop it, reopen it
+    // from the file and serve one single-partition batch — measuring how little
+    // of the snapshot the lazy open actually reads.
+    report::banner(
+        "BENCH_lookup (cold start)",
+        "snapshot open time, time-to-first-batch, bytes read vs. snapshot size",
+    );
+    let cold_records = match run_cold_start(&scale) {
+        Ok(record) => {
+            report::row(
+                "system",
+                &[
+                    "open ms".into(),
+                    "1st batch ms".into(),
+                    "read/total".into(),
+                ],
+            );
+            report::row(
+                &record.system,
+                &[
+                    report::latency_cell(record.open_ms),
+                    report::latency_cell(record.first_batch_ms),
+                    format!(
+                        "{}/{} ({:.1}%)",
+                        record.bytes_read_before_first_batch,
+                        record.file_bytes,
+                        100.0 * record.read_fraction()
+                    ),
+                ],
+            );
+            vec![record]
+        }
+        Err(err) => {
+            eprintln!("cold-start section failed: {err}");
+            Vec::new()
+        }
+    };
+
+    match write_lookup_json(&scale, &records, &cold_records) {
         Ok(path) => println!("\nwrote {} ({} records)", path.display(), records.len()),
         Err(err) => eprintln!("\nfailed to write BENCH_lookup.json: {err}"),
     }
+}
+
+/// Builds the cold-start store: low-correlation rows (the auxiliary table holds
+/// nearly everything, so the snapshot is partition-dominated — the honest
+/// setting for a lazy-loading claim) with a deliberately small fixed
+/// architecture, then snapshots/reopens it through `measure_cold_start`.
+fn run_cold_start(scale: &BenchScale) -> Result<ColdStartRecord, Box<dyn std::error::Error>> {
+    let rows = SyntheticConfig::multi_low(scale.rows(2_000_000).max(30_000))
+        .generate()
+        .rows();
+    let schema = MappingSchema::infer(&rows, KEY_HEADROOM)?;
+    let spec = MultiTaskSpec {
+        input_dim: schema.input_dim(),
+        shared_hidden: vec![32],
+        heads: schema
+            .cardinalities
+            .iter()
+            .map(|&card| TaskHeadSpec::direct(card as usize))
+            .collect(),
+    };
+    let dm = DeepMappingBuilder::dm_z()
+        .training(TrainingConfig {
+            epochs: 4,
+            batch_size: 4096,
+            ..TrainingConfig::default()
+        })
+        .search(SearchStrategy::Fixed(spec))
+        .partition_bytes(32 * 1024)
+        .build(&rows)?;
+    let dir = std::env::temp_dir().join(format!("dm-bench-cold-start-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("cold_start.dmss");
+    let record = measure_cold_start(dm, &path)?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(record)
 }

@@ -337,10 +337,50 @@ impl LookupThroughputRecord {
     }
 }
 
+/// One cold-start measurement: snapshot a store, drop it, reopen it from the
+/// file and run one single-partition batch — the lazy-loading story measured,
+/// not asserted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColdStartRecord {
+    /// Paper-style system name (`DM-Z`, ...).
+    pub system: String,
+    /// Rows in the snapshotted store.
+    pub rows: usize,
+    /// Auxiliary partitions left on disk for lazy serving.
+    pub partitions: usize,
+    /// Total snapshot size in bytes.
+    pub file_bytes: u64,
+    /// Bytes `open` read eagerly (header + manifest + model + existence).
+    pub eager_bytes: u64,
+    /// Wall time of `Snapshot::open` in milliseconds.
+    pub open_ms: f64,
+    /// Wall time of the first batch (confined to one partition) in milliseconds.
+    pub first_batch_ms: f64,
+    /// Keys in that first batch.
+    pub first_batch_keys: usize,
+    /// Total snapshot bytes read by open + first batch (eager + the one
+    /// partition frame the batch pulled in).
+    pub bytes_read_before_first_batch: u64,
+}
+
+impl ColdStartRecord {
+    /// Fraction of the snapshot read before the first batch completed.
+    pub fn read_fraction(&self) -> f64 {
+        if self.file_bytes == 0 {
+            return 0.0;
+        }
+        self.bytes_read_before_first_batch as f64 / self.file_bytes as f64
+    }
+}
+
 /// Serializes throughput records as a `BENCH_lookup.json` document so successive PRs
 /// can diff per-backend batch-lookup throughput mechanically.  (Hand-rolled JSON —
 /// the offline build environment has no serde.)
-pub fn lookup_records_to_json(scale: &BenchScale, records: &[LookupThroughputRecord]) -> String {
+pub fn lookup_records_to_json(
+    scale: &BenchScale,
+    records: &[LookupThroughputRecord],
+    cold_start: &[ColdStartRecord],
+) -> String {
     fn escape(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
@@ -365,6 +405,24 @@ pub fn lookup_records_to_json(scale: &BenchScale, records: &[LookupThroughputRec
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"cold_start\": [\n");
+    for (i, record) in cold_start.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"rows\": {}, \"partitions\": {}, \"file_bytes\": {}, \"eager_bytes\": {}, \"open_ms\": {:.6}, \"first_batch_ms\": {:.6}, \"first_batch_keys\": {}, \"bytes_read_before_first_batch\": {}, \"read_fraction\": {:.4}}}{}\n",
+            escape(&record.system),
+            record.rows,
+            record.partitions,
+            record.file_bytes,
+            record.eager_bytes,
+            finite(record.open_ms),
+            finite(record.first_batch_ms),
+            record.first_batch_keys,
+            record.bytes_read_before_first_batch,
+            finite(record.read_fraction()),
+            if i + 1 == cold_start.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -375,6 +433,7 @@ pub fn lookup_records_to_json(scale: &BenchScale, records: &[LookupThroughputRec
 pub fn write_lookup_json(
     scale: &BenchScale,
     records: &[LookupThroughputRecord],
+    cold_start: &[ColdStartRecord],
 ) -> std::io::Result<std::path::PathBuf> {
     let mut dir = std::env::var_os("CARGO_MANIFEST_DIR")
         .map(std::path::PathBuf::from)
@@ -393,8 +452,52 @@ pub fn write_lookup_json(
         dir = std::path::PathBuf::from(".");
     }
     let path = dir.join("BENCH_lookup.json");
-    std::fs::write(&path, lookup_records_to_json(scale, records))?;
+    std::fs::write(&path, lookup_records_to_json(scale, records, cold_start))?;
     Ok(path)
+}
+
+/// Runs the cold-start protocol for one store: snapshot to `path`, drop the
+/// store, time `Snapshot::open`, then time one batch confined to the first
+/// auxiliary partition, and account for exactly how many snapshot bytes were
+/// touched along the way.
+pub fn measure_cold_start(
+    dm: dm_core::DeepMapping,
+    path: &std::path::Path,
+) -> Result<ColdStartRecord, dm_persist::PersistError> {
+    use dm_persist::Snapshot;
+    let system = dm.config().paper_name();
+    let rows = dm.len();
+    Snapshot::write(&dm, path)?;
+    drop(dm);
+
+    let open_start = Instant::now();
+    let (reopened, stats) = Snapshot::open_with_stats(path)?;
+    let open_ms = open_start.elapsed().as_secs_f64() * 1e3;
+
+    // One batch confined to the first partition's key range: the shape a
+    // point-lookup service sees right after a cold start.
+    let directory = reopened.aux_table().partition_directory();
+    let first_keys: Vec<u64> = directory
+        .first()
+        .map(|p| (p.min_key..=p.max_key).take(256).collect())
+        .unwrap_or_else(|| vec![0]);
+    let batch_start = Instant::now();
+    reopened
+        .lookup_batch(&first_keys)
+        .map_err(|err| dm_persist::PersistError::Core(err.to_string()))?;
+    let first_batch_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+    let lazy_read = reopened.metrics().snapshot().bytes_read;
+    Ok(ColdStartRecord {
+        system,
+        rows,
+        partitions: stats.partition_count,
+        file_bytes: stats.file_bytes,
+        eager_bytes: stats.eager_bytes,
+        open_ms,
+        first_batch_ms,
+        first_batch_keys: first_keys.len(),
+        bytes_read_before_first_batch: stats.eager_bytes + lazy_read,
+    })
 }
 
 /// Storage size of a system in megabytes (compressed/on-disk footprint).
@@ -522,8 +625,23 @@ mod tests {
             ),
             LookupThroughputRecord::from_measurement("ABC-\"Z\"", 100, MeasuredLatency::default()),
         ];
-        let json = lookup_records_to_json(&scale, &records);
+        let cold = vec![ColdStartRecord {
+            system: "DM-Z".into(),
+            rows: 30_000,
+            partitions: 12,
+            file_bytes: 400_000,
+            eager_bytes: 50_000,
+            open_ms: 1.25,
+            first_batch_ms: 0.4,
+            first_batch_keys: 256,
+            bytes_read_before_first_batch: 64_000,
+        }];
+        let json = lookup_records_to_json(&scale, &records, &cold);
         assert!(json.contains("\"benchmark\": \"lookup_batch\""));
+        assert!(json.contains("\"cold_start\""));
+        assert!(json.contains("\"eager_bytes\": 50000"));
+        assert!(json.contains("\"read_fraction\": 0.1600"));
+        assert!((cold[0].read_fraction() - 0.16).abs() < 1e-9);
         assert!(json.contains("\"system\": \"DM-Z\""));
         assert!(json.contains("\"threads\": 1"));
         assert!(json.contains("\"batch_size\": 1000"));

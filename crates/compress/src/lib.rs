@@ -62,6 +62,34 @@ pub fn fnv1a64(data: &[u8]) -> u64 {
     hash
 }
 
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 == 1 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The standard CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) used by the
+/// snapshot/WAL persistence formats to checksum sections and records.  Unlike
+/// [`fnv1a64`] (an internal hash), this matches the ubiquitous zlib/`cksum -o3`
+/// definition so snapshot files can be validated by external tooling.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +99,14 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
         assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
         assert_eq!(fnv1a64(b"deepmapping"), fnv1a64(b"deepmapping"));
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vectors() {
+        // Reference values from the zlib documentation / RFC 3720 appendix.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
     }
 }

@@ -16,7 +16,7 @@ use crate::Result;
 use dm_compress::Codec;
 use dm_exec::ThreadPool;
 use dm_storage::layout::{partition_rows, ArrayPartition};
-use dm_storage::{BufferPool, DiskProfile, Metrics, Phase, Row, SimulatedDisk};
+use dm_storage::{BufferPool, DiskProfile, Metrics, PartitionSource, Phase, Row, SimulatedDisk};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -27,6 +27,71 @@ struct AuxPartitionMeta {
     min_key: u64,
     max_key: u64,
     rows: usize,
+}
+
+/// Public shape of one partition directory entry, in directory (= key) order.
+/// Partition ids are implicit: entry `i` is partition id `i` of whatever
+/// [`PartitionSource`] serves the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuxPartitionInfo {
+    /// Smallest key stored in the partition.
+    pub min_key: u64,
+    /// Largest key stored in the partition.
+    pub max_key: u64,
+    /// Number of rows in the partition.
+    pub rows: usize,
+}
+
+/// One partition's compressed frame plus its directory entry — what
+/// `dm-persist` copies verbatim into a snapshot file.
+#[derive(Debug, Clone)]
+pub struct PartitionFrame {
+    /// Directory entry of the partition.
+    pub info: AuxPartitionInfo,
+    /// The raw compressed frame bytes (self-describing `dm_compress` frame).
+    pub frame: Arc<Vec<u8>>,
+}
+
+/// Everything needed to reconstitute an [`AuxTable`] over an external
+/// (e.g. snapshot-file-backed) [`PartitionSource`] without rebuilding it.
+#[derive(Debug, Clone)]
+pub struct AuxTableSnapshot {
+    /// Codec future compactions will compress with.
+    pub codec: Codec,
+    /// Target uncompressed partition size for future compactions.
+    pub partition_bytes: usize,
+    /// Buffer-pool byte budget.
+    pub memory_budget_bytes: usize,
+    /// Disk profile future compactions rebuild their simulated disk with.
+    pub disk_profile: DiskProfile,
+    /// Number of value columns per row.
+    pub value_columns: usize,
+    /// Partition directory; entry `i` describes partition id `i` of the source.
+    pub partitions: Vec<AuxPartitionInfo>,
+    /// The delta overlay rows (key order not required).
+    pub delta: Vec<Row>,
+    /// The tombstoned keys.
+    pub tombstones: Vec<u64>,
+}
+
+/// Which backing serves (and, for the simulated variant, absorbs) partitions.
+#[derive(Debug)]
+enum Backing {
+    /// The writable in-memory simulated disk — build path and compactions.
+    Simulated(SimulatedDisk),
+    /// A read-only external source (snapshot file extents).  Modifications are
+    /// absorbed by the overlay; a compaction migrates back to a fresh
+    /// simulated disk.
+    External(Arc<dyn PartitionSource>),
+}
+
+impl Backing {
+    fn source(&self) -> &dyn PartitionSource {
+        match self {
+            Backing::Simulated(disk) => disk,
+            Backing::External(source) => source.as_ref(),
+        }
+    }
 }
 
 /// One batch's auxiliary probe plan (see [`AuxTable::plan_probes`]).
@@ -60,8 +125,10 @@ struct GroupHits {
 pub struct AuxTable {
     codec: Codec,
     partition_bytes: usize,
+    memory_budget_bytes: usize,
+    disk_profile: DiskProfile,
     value_columns: usize,
-    disk: SimulatedDisk,
+    backing: Backing,
     pool: BufferPool<ArrayPartition>,
     directory: Vec<AuxPartitionMeta>,
     /// Rows added/updated since the last compaction (key → values).
@@ -97,8 +164,10 @@ impl AuxTable {
         let mut table = AuxTable {
             codec,
             partition_bytes,
+            memory_budget_bytes,
+            disk_profile,
             value_columns,
-            disk,
+            backing: Backing::Simulated(disk),
             pool,
             directory: Vec::new(),
             delta: BTreeMap::new(),
@@ -109,12 +178,57 @@ impl AuxTable {
         Ok(table)
     }
 
+    /// Reconstitutes a table over an external read-only [`PartitionSource`] —
+    /// the lazy-open path of `dm-persist`: only the directory and overlay are
+    /// materialized; partitions stay in the source until a lookup touches them.
+    pub fn open_from_source(
+        source: Arc<dyn PartitionSource>,
+        snapshot: AuxTableSnapshot,
+        metrics: Metrics,
+    ) -> Self {
+        let pool = BufferPool::new(snapshot.memory_budget_bytes, metrics.clone());
+        let mut directory: Vec<AuxPartitionMeta> = snapshot
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(id, info)| AuxPartitionMeta {
+                disk_id: id as u64,
+                min_key: info.min_key,
+                max_key: info.max_key,
+                rows: info.rows,
+            })
+            .collect();
+        directory.sort_by_key(|m| m.min_key);
+        AuxTable {
+            codec: snapshot.codec,
+            partition_bytes: snapshot.partition_bytes,
+            memory_budget_bytes: snapshot.memory_budget_bytes,
+            disk_profile: snapshot.disk_profile,
+            value_columns: snapshot.value_columns,
+            backing: Backing::External(source),
+            pool,
+            directory,
+            delta: snapshot
+                .delta
+                .into_iter()
+                .map(|row| (row.key, row.values))
+                .collect(),
+            tombstones: snapshot.tombstones.into_iter().collect(),
+            metrics,
+        }
+    }
+
     fn write_partitions(&mut self, rows: &[Row]) -> Result<()> {
+        let Backing::Simulated(disk) = &self.backing else {
+            return Err(crate::CoreError::InvalidConfig(
+                "cannot write partitions into a read-only external partition source".into(),
+            ));
+        };
         for chunk in partition_rows(rows, self.value_columns, self.partition_bytes) {
             let partition = ArrayPartition::from_rows(&chunk, self.value_columns)
                 .map_err(crate::CoreError::from)?;
             let payload = partition.to_bytes();
-            let disk_id = self.disk.write_partition(&self.codec, &payload, &self.metrics);
+            let disk_id = disk.write_partition(&self.codec, &payload, &self.metrics);
             self.directory.push(AuxPartitionMeta {
                 disk_id,
                 min_key: partition.min_key().expect("chunk not empty"),
@@ -154,7 +268,12 @@ impl AuxTable {
     /// of Eq. 1.
     pub fn size_bytes(&self) -> usize {
         let overlay = self.delta.len() * Row::fixed_width(self.value_columns) + self.tombstones.len() * 8;
-        self.disk.total_bytes() + overlay
+        self.backing.source().total_bytes() + overlay
+    }
+
+    /// The metrics handle this table charges loads/decompressions to.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Locates the partition whose key range covers `key`.
@@ -172,12 +291,12 @@ impl AuxTable {
 
     fn load_partition(&self, idx: usize) -> Result<Arc<ArrayPartition>> {
         let meta = self.directory[idx];
-        let disk = &self.disk;
+        let source = self.backing.source();
         let metrics = &self.metrics;
         self.pool
             .get_or_load(meta.disk_id, || {
                 let payload = metrics.time(Phase::LoadAndDecompress, || {
-                    disk.read_partition(meta.disk_id, metrics)
+                    source.read_partition(meta.disk_id, metrics)
                 })?;
                 let partition = metrics
                     .time(Phase::LoadAndDecompress, || ArrayPartition::from_bytes(&payload))?;
@@ -382,7 +501,7 @@ impl AuxTable {
         let payload = self
             .metrics
             .time(Phase::LoadAndDecompress, || {
-                self.disk.read_partition(meta.disk_id, &self.metrics)
+                self.backing.source().read_partition(meta.disk_id, &self.metrics)
             })
             .map_err(crate::CoreError::from)?;
         let partition = self
@@ -430,17 +549,19 @@ impl AuxTable {
     }
 
     /// Folds the delta overlay and tombstones back into freshly compressed partitions.
+    ///
+    /// The rebuild always lands on a fresh in-memory [`SimulatedDisk`] — this is also
+    /// how a read-only snapshot-backed table migrates back to a writable backing
+    /// (`dm-persist` then re-snapshots the result atomically).
     pub fn compact(&mut self) -> Result<()> {
         let rows = self.iter_rows()?;
-        // Drop the old partitions.
-        for meta in std::mem::take(&mut self.directory) {
-            self.pool.invalidate(meta.disk_id);
-            self.disk
-                .delete_partition(meta.disk_id)
-                .map_err(crate::CoreError::from)?;
-        }
+        // The fresh disk reuses partition ids from 0, so drop every cached entry
+        // before the directory switches over.
+        self.pool.clear();
+        self.directory.clear();
         self.delta.clear();
         self.tombstones.clear();
+        self.backing = Backing::Simulated(SimulatedDisk::new(self.disk_profile));
         self.write_partitions(&rows)?;
         Ok(())
     }
@@ -448,6 +569,83 @@ impl AuxTable {
     /// The delta-overlay size in bytes (used by the retraining trigger).
     pub fn overlay_bytes(&self) -> usize {
         self.delta.len() * Row::fixed_width(self.value_columns) + self.tombstones.len() * 8
+    }
+
+    /// The public partition directory, in key order (entry `i` ↔ partition id `i`
+    /// once written to a snapshot in this order).
+    pub fn partition_directory(&self) -> Vec<AuxPartitionInfo> {
+        self.directory
+            .iter()
+            .map(|m| AuxPartitionInfo {
+                min_key: m.min_key,
+                max_key: m.max_key,
+                rows: m.rows,
+            })
+            .collect()
+    }
+
+    /// Exports one compressed partition frame verbatim, by directory index —
+    /// the snapshot writer streams these straight into the file one at a time,
+    /// bounding its memory at a single frame.  The read is charged to a scratch
+    /// [`Metrics`] so exporting a snapshot does not pollute the store's lookup
+    /// counters, and the frame is fetched source-to-source without touching the
+    /// buffer pool.
+    pub fn partition_frame(&self, idx: usize) -> Result<PartitionFrame> {
+        let meta = self.directory.get(idx).ok_or_else(|| {
+            crate::CoreError::InvalidConfig(format!(
+                "partition index {idx} out of range ({} partitions)",
+                self.directory.len()
+            ))
+        })?;
+        let scratch = Metrics::new();
+        let frame = self
+            .backing
+            .source()
+            .read_frame(meta.disk_id, &scratch)
+            .map_err(crate::CoreError::from)?;
+        Ok(PartitionFrame {
+            info: AuxPartitionInfo {
+                min_key: meta.min_key,
+                max_key: meta.max_key,
+                rows: meta.rows,
+            },
+            frame,
+        })
+    }
+
+    /// Every partition frame at once, in directory order (convenience over
+    /// [`partition_frame`](Self::partition_frame); materializes all frames).
+    pub fn partition_frames(&self) -> Result<Vec<PartitionFrame>> {
+        (0..self.directory.len()).map(|idx| self.partition_frame(idx)).collect()
+    }
+
+    /// The delta-overlay rows in key order.
+    pub fn delta_rows(&self) -> Vec<Row> {
+        self.delta
+            .iter()
+            .map(|(&key, values)| Row::new(key, values.clone()))
+            .collect()
+    }
+
+    /// The tombstoned keys in ascending order.
+    pub fn tombstone_keys(&self) -> Vec<u64> {
+        self.tombstones.iter().copied().collect()
+    }
+
+    /// The snapshot description of this table (directory + overlay + rebuild knobs);
+    /// pair it with [`partition_frames`](Self::partition_frames) to persist, and with
+    /// [`open_from_source`](Self::open_from_source) to reconstitute.
+    pub fn to_snapshot(&self) -> AuxTableSnapshot {
+        AuxTableSnapshot {
+            codec: self.codec,
+            partition_bytes: self.partition_bytes,
+            memory_budget_bytes: self.memory_budget_bytes,
+            disk_profile: self.disk_profile,
+            value_columns: self.value_columns,
+            partitions: self.partition_directory(),
+            delta: self.delta_rows(),
+            tombstones: self.tombstone_keys(),
+        }
     }
 }
 
@@ -660,6 +858,80 @@ mod tests {
             snap.partition_loads
         );
         assert!(pool.stats().tasks_executed >= 2, "groups must fan out");
+    }
+
+    /// A read-only frame map standing in for a snapshot file: serves the exact
+    /// frames a built table exported, so `open_from_source` can be tested without
+    /// the persistence crate.
+    #[derive(Debug)]
+    struct FrameMapSource {
+        frames: Vec<Arc<Vec<u8>>>,
+    }
+
+    impl PartitionSource for FrameMapSource {
+        fn read_frame(&self, id: u64, metrics: &Metrics) -> dm_storage::Result<Arc<Vec<u8>>> {
+            let frame = self
+                .frames
+                .get(id as usize)
+                .ok_or(dm_storage::StorageError::MissingPartition(id))?;
+            metrics.add_read(frame.len() as u64, std::time::Duration::ZERO);
+            Ok(Arc::clone(frame))
+        }
+
+        fn partition_bytes(&self, id: u64) -> dm_storage::Result<usize> {
+            self.frames
+                .get(id as usize)
+                .map(|f| f.len())
+                .ok_or(dm_storage::StorageError::MissingPartition(id))
+        }
+
+        fn partition_count(&self) -> usize {
+            self.frames.len()
+        }
+
+        fn total_bytes(&self) -> usize {
+            self.frames.iter().map(|f| f.len()).sum()
+        }
+    }
+
+    /// Export → reconstitute over an external source must preserve every read,
+    /// keep serving lazily, and a compaction must migrate back to a writable
+    /// simulated backing.
+    #[test]
+    fn snapshot_round_trip_over_an_external_source() {
+        let rows = sample_rows(2_000);
+        let mut table = build_table(&rows);
+        table.upsert(Row::new(1, vec![8, 8])); // overlay row between partition keys
+        table.remove(6); // tombstone
+        let frames = table.partition_frames().unwrap();
+        assert_eq!(frames.len(), table.partition_count());
+        let snapshot = table.to_snapshot();
+        assert_eq!(snapshot.partitions.len(), frames.len());
+        assert_eq!(snapshot.delta.len(), 1);
+        assert_eq!(snapshot.tombstones, vec![6]);
+
+        let source = Arc::new(FrameMapSource {
+            frames: frames.iter().map(|f| Arc::clone(&f.frame)).collect(),
+        });
+        let metrics = Metrics::new();
+        let reopened = AuxTable::open_from_source(source, snapshot, metrics.clone());
+        assert_eq!(reopened.len(), table.len());
+        assert_eq!(reopened.partition_count(), table.partition_count());
+        assert_eq!(metrics.snapshot().partition_loads, 0, "open must stay lazy");
+
+        let keys: Vec<u64> = (0..6_100u64).collect();
+        assert_eq!(reopened.get_batch(&keys).unwrap(), table.get_batch(&keys).unwrap());
+        assert_eq!(reopened.iter_rows().unwrap(), table.iter_rows().unwrap());
+
+        // The external backing is read-only; a compaction folds everything back
+        // onto a fresh simulated disk and keeps answering identically.
+        let mut reopened = reopened;
+        let before = reopened.iter_rows().unwrap();
+        reopened.compact().unwrap();
+        assert_eq!(reopened.iter_rows().unwrap(), before);
+        assert_eq!(reopened.overlay_bytes(), 0);
+        reopened.upsert(Row::new(9_999_999, vec![1, 2]));
+        assert_eq!(reopened.get(9_999_999).unwrap(), Some(vec![1, 2]));
     }
 
     #[test]

@@ -35,6 +35,11 @@ impl DecodeMap {
         self.labels.len()
     }
 
+    /// The per-column label tables (`labels[col][code]`), e.g. for serialization.
+    pub fn labels(&self) -> &[Vec<String>] {
+        &self.labels
+    }
+
     /// Decodes one column's code.
     pub fn decode(&self, column: usize, code: u32) -> String {
         match self.labels.get(column).and_then(|l| l.get(code as usize)) {

@@ -21,6 +21,29 @@ use dm_storage::{BitVec, LookupBuffer, Metrics, MutableStore, Phase, Row, StoreS
 /// width `DeepMapping::build` will use.
 pub const KEY_HEADROOM: u64 = 1 << 20;
 
+/// The prebuilt components [`DeepMapping::from_parts`] reassembles — produced by
+/// deserializing a `dm-persist` snapshot (or any caller that already holds a
+/// trained model plus its auxiliary structures).
+pub struct DeepMappingParts {
+    /// The configuration the structure was originally built with.
+    pub config: DeepMappingConfig,
+    /// The trained model (schema + weights).
+    pub model: MappingModel,
+    /// The auxiliary table (typically reconstituted via
+    /// [`AuxTable::open_from_source`]).
+    pub aux: AuxTable,
+    /// The existence bit vector.
+    pub exist: BitVec,
+    /// The decode map (`fdecode`).
+    pub decode_map: DecodeMap,
+    /// Live tuple count.
+    pub tuple_count: usize,
+    /// Tuples memorized by the model at the last build/retrain.
+    pub memorized_tuples: usize,
+    /// Retrains since the original build.
+    pub retrain_count: usize,
+}
+
 /// The DeepMapping hybrid learned data representation.
 pub struct DeepMapping {
     config: DeepMappingConfig,
@@ -157,6 +180,38 @@ impl DeepMapping {
     /// How many times the structure has been retrained since it was built.
     pub fn retrain_count(&self) -> usize {
         self.retrain_count
+    }
+
+    /// Number of tuples the model memorizes (all columns predicted correctly at
+    /// the last build/retrain; kept approximate between retrains).
+    pub fn memorized_tuples(&self) -> usize {
+        self.memorized_tuples
+    }
+
+    /// Reassembles a structure from previously built components — the snapshot
+    /// *open* path of `dm-persist`: no training, no architecture search, the
+    /// model weights and auxiliary directory arrive as-is.  The store's metrics
+    /// handle is shared with `parts.aux` so lazy partition loads keep charging
+    /// the same counters the lookup path reads.
+    pub fn from_parts(parts: DeepMappingParts) -> Self {
+        let metrics = parts.aux.metrics().clone();
+        let exec = match parts.config.exec_threads {
+            Some(threads) => ExecHandle::with_threads(threads),
+            None => ExecHandle::Global,
+        };
+        DeepMapping {
+            name: parts.config.paper_name(),
+            config: parts.config,
+            model: parts.model,
+            aux: parts.aux,
+            exist: parts.exist,
+            decode_map: parts.decode_map,
+            metrics,
+            exec,
+            tuple_count: parts.tuple_count,
+            memorized_tuples: parts.memorized_tuples,
+            retrain_count: parts.retrain_count,
+        }
     }
 
     /// Number of live tuples.

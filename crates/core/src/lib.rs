@@ -30,11 +30,11 @@ pub mod pipeline;
 pub mod range;
 pub mod stats;
 
-pub use aux_table::AuxTable;
+pub use aux_table::{AuxPartitionInfo, AuxTable, AuxTableSnapshot, PartitionFrame};
 pub use builder::DeepMappingBuilder;
 pub use config::{DeepMappingConfig, SearchStrategy, TrainingConfig};
-pub use encoder::DecodeMap;
-pub use hybrid::{DeepMapping, KEY_HEADROOM};
+pub use encoder::{DecodeMap, MappingSchema};
+pub use hybrid::{DeepMapping, DeepMappingParts, KEY_HEADROOM};
 pub use mhas::{MhasConfig, MhasSearch, SearchSample, SearchSpace};
 pub use model::MappingModel;
 pub use pipeline::QueryPipeline;

@@ -73,6 +73,27 @@ impl MappingModel {
         Ok(MappingModel { schema, network })
     }
 
+    /// Wraps an already-trained network (e.g. deserialized from a snapshot) with
+    /// its schema, validating that the two agree on input width and head count.
+    pub fn from_parts(schema: MappingSchema, network: MultiTaskModel) -> Result<Self> {
+        let spec = network.spec();
+        if spec.input_dim != schema.input_dim() {
+            return Err(CoreError::InvalidConfig(format!(
+                "deserialized network expects input width {} but the schema encodes {}",
+                spec.input_dim,
+                schema.input_dim()
+            )));
+        }
+        if spec.heads.len() != schema.num_columns() {
+            return Err(CoreError::InvalidConfig(format!(
+                "deserialized network has {} heads but the schema has {} value columns",
+                spec.heads.len(),
+                schema.num_columns()
+            )));
+        }
+        Ok(MappingModel { schema, network })
+    }
+
     /// The schema this model was built for.
     pub fn schema(&self) -> &MappingSchema {
         &self.schema

@@ -87,6 +87,24 @@ impl KeyEncoder {
         &self.ramps
     }
 
+    /// The one-hot residue moduli this encoder emits features for.
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// Reassembles an encoder from its serialized components (bit width, residue
+    /// moduli, ramp periods).  Inputs are normalized the same way the fluent
+    /// constructors normalize them, so an encoder round-trips exactly through
+    /// (`bits`, `moduli`, `ramp_periods`) → `from_parts`.
+    pub fn from_parts(bits: usize, moduli: Vec<u64>, ramp_periods: &[u64]) -> Self {
+        KeyEncoder {
+            bits: bits.max(1),
+            moduli,
+            ramps: Vec::new(),
+        }
+        .with_ramp_periods(ramp_periods)
+    }
+
     fn bits_for(max_key: u64) -> usize {
         if max_key == 0 {
             1

@@ -1,0 +1,124 @@
+//! Typed errors for the persistence layer.
+//!
+//! Every failure mode a snapshot or WAL can hit maps to a distinct variant, so
+//! callers (and tests) can tell *why* a file was rejected — truncation, bit rot
+//! in a specific section, a version from the future — instead of getting a
+//! panic or, worse, silently wrong query answers.
+
+use std::fmt;
+
+/// Errors produced while writing, opening or replaying persisted state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// An operating-system I/O failure (open/read/write/rename/sync).
+    Io(String),
+    /// The file does not start with the snapshot magic — not a snapshot at all.
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    UnsupportedVersion(u16),
+    /// The file is shorter than its header/manifest declares — a torn or
+    /// truncated write (e.g. a crash mid-snapshot, or `truncate(1)` in a test).
+    Truncated {
+        /// Which structure noticed the truncation.
+        section: &'static str,
+        /// Bytes the structure expected to be present.
+        expected: u64,
+        /// Bytes actually available.
+        actual: u64,
+    },
+    /// A CRC-32-protected section does not match its recorded checksum.
+    ChecksumMismatch {
+        /// Which section failed its check.
+        section: &'static str,
+    },
+    /// A structural invariant of the format is violated (bad tag, impossible
+    /// length, trailing bytes, ...).
+    Corrupt {
+        /// Which section is malformed.
+        section: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The WAL contains a record that is invalid *before* the torn tail (a
+    /// crc-valid record with an unknown op, for example).
+    Wal(String),
+    /// The neural-network substrate rejected the deserialized model.
+    Model(String),
+    /// The core crate rejected the reassembled structure.
+    Core(String),
+    /// The storage substrate failed (pool/partition/bit-vector decode).
+    Storage(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+            PersistError::BadMagic => write!(f, "not a DeepMapping snapshot (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            PersistError::Truncated {
+                section,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "snapshot truncated in {section}: expected {expected} bytes, found {actual}"
+            ),
+            PersistError::ChecksumMismatch { section } => {
+                write!(f, "snapshot section {section} failed its CRC-32 check")
+            }
+            PersistError::Corrupt { section, detail } => {
+                write!(f, "snapshot section {section} is corrupt: {detail}")
+            }
+            PersistError::Wal(msg) => write!(f, "delta WAL corrupt: {msg}"),
+            PersistError::Model(msg) => write!(f, "snapshot model invalid: {msg}"),
+            PersistError::Core(msg) => write!(f, "snapshot structure invalid: {msg}"),
+            PersistError::Storage(msg) => write!(f, "snapshot storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(err: std::io::Error) -> Self {
+        PersistError::Io(err.to_string())
+    }
+}
+
+impl From<dm_nn::NnError> for PersistError {
+    fn from(err: dm_nn::NnError) -> Self {
+        PersistError::Model(err.to_string())
+    }
+}
+
+impl From<dm_core::CoreError> for PersistError {
+    fn from(err: dm_core::CoreError) -> Self {
+        PersistError::Core(err.to_string())
+    }
+}
+
+impl From<dm_storage::StorageError> for PersistError {
+    fn from(err: dm_storage::StorageError) -> Self {
+        PersistError::Storage(err.to_string())
+    }
+}
+
+impl From<dm_compress::CompressError> for PersistError {
+    fn from(err: dm_compress::CompressError) -> Self {
+        PersistError::Storage(err.to_string())
+    }
+}
+
+/// Lossy conversion for the store-trait surface: `PersistentStore` implements
+/// `MutableStore`, whose methods return `dm_storage::Result`.
+impl From<PersistError> for dm_storage::StorageError {
+    fn from(err: PersistError) -> Self {
+        dm_storage::StorageError::Corrupt(err.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, PersistError>;

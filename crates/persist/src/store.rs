@@ -1,0 +1,167 @@
+//! A durable store: a snapshot-backed [`DeepMapping`] plus its delta WAL.
+//!
+//! [`PersistentStore`] is the deployment wrapper the quickstart example and the
+//! restart tests drive: reads delegate straight to the inner store (same
+//! `TupleStore` surface, same lazy partition serving), each write batch is
+//! applied and then logged + fsynced to the WAL before the call returns (apply
+//! first, so a batch the store *rejects* never enters the log), and
+//! `maintenance()` retrains, rewrites the snapshot atomically (temp file +
+//! rename + directory fsync) and resets the WAL — the fold-in step of
+//! Section IV-D mapped onto real files.
+//!
+//! Crash model: the snapshot file is immutable between checkpoints and replaced
+//! atomically, so it is always internally consistent; the WAL absorbs everything
+//! since the last checkpoint, and replay is idempotent with respect to contents
+//! (re-inserting an existing row acts as an update with the same values), so a
+//! crash between checkpoint-rename and WAL-reset double-applies harmlessly.
+
+use crate::error::Result;
+use crate::snapshot::{Snapshot, SnapshotStats};
+use crate::wal::{DeltaWal, WalOp, WalReplay};
+use dm_core::DeepMapping;
+use dm_storage::{LookupBuffer, MutableStore, Row, StoreStats, TupleStore};
+use std::path::{Path, PathBuf};
+
+/// A [`DeepMapping`] store whose state survives process restarts.
+#[derive(Debug)]
+pub struct PersistentStore {
+    dm: DeepMapping,
+    wal: DeltaWal,
+    snapshot_path: PathBuf,
+    replay: WalReplay,
+}
+
+/// The WAL that pairs with a snapshot path: `<file name>.wal` in the same
+/// directory.
+pub fn wal_path_for(snapshot: &Path) -> PathBuf {
+    let mut name = snapshot.file_name().unwrap_or_default().to_os_string();
+    name.push(".wal");
+    snapshot.with_file_name(name)
+}
+
+impl PersistentStore {
+    /// Persists a freshly built store: writes the snapshot at `path` and starts
+    /// an empty WAL next to it.
+    pub fn create(dm: DeepMapping, path: impl Into<PathBuf>) -> Result<Self> {
+        let snapshot_path = path.into();
+        Snapshot::write(&dm, &snapshot_path)?;
+        let wal = DeltaWal::create(wal_path_for(&snapshot_path))?;
+        Ok(PersistentStore {
+            dm,
+            wal,
+            snapshot_path,
+            replay: WalReplay::default(),
+        })
+    }
+
+    /// Restores a store from its snapshot + WAL: opens the snapshot lazily,
+    /// replays every complete WAL record into the structure (inserted/updated
+    /// rows land in the auxiliary delta overlay, deletions flip existence
+    /// bits), and keeps the WAL open for further appends.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let snapshot_path = path.into();
+        let mut dm = Snapshot::open(&snapshot_path)?;
+        let wal_path = wal_path_for(&snapshot_path);
+        let (ops, replay) = DeltaWal::replay(&wal_path)?;
+        for op in &ops {
+            apply(&mut dm, op)?;
+        }
+        let wal = DeltaWal::open_append(wal_path, replay)?;
+        Ok(PersistentStore {
+            dm,
+            wal,
+            snapshot_path,
+            replay,
+        })
+    }
+
+    /// The wrapped store (shared read surface — safe to hand out).
+    pub fn store(&self) -> &DeepMapping {
+        &self.dm
+    }
+
+    /// Unwraps into the in-memory store, leaving the files on disk as-is.
+    pub fn into_store(self) -> DeepMapping {
+        self.dm
+    }
+
+    /// The snapshot file this store checkpoints to.
+    pub fn snapshot_path(&self) -> &Path {
+        &self.snapshot_path
+    }
+
+    /// What the last [`open`](Self::open) replayed from the WAL.
+    pub fn last_replay(&self) -> WalReplay {
+        self.replay
+    }
+
+    /// Folds the current state into a fresh snapshot (atomically: temp file +
+    /// rename) and resets the WAL.  Called by [`MutableStore::maintenance`]
+    /// after retraining; also useful on its own as a cheap checkpoint that
+    /// skips the retrain.
+    pub fn checkpoint(&mut self) -> Result<SnapshotStats> {
+        let stats = Snapshot::write(&self.dm, &self.snapshot_path)?;
+        self.wal.reset()?;
+        Ok(stats)
+    }
+
+    /// Applies the mutation first, then logs it.  In-memory state dies with the
+    /// process, so durability needs only "logged before the call returns
+    /// success" — and validating via the real apply first means a *rejected*
+    /// batch (e.g. wrong column count) never enters the WAL, so replay-on-open
+    /// can only ever see operations that succeeded against this exact state.
+    fn apply_then_log(&mut self, op: WalOp) -> dm_storage::Result<()> {
+        apply(&mut self.dm, &op).map_err(dm_storage::StorageError::from)?;
+        self.wal.append(&op).map_err(dm_storage::StorageError::from)?;
+        self.wal.sync().map_err(dm_storage::StorageError::from)
+    }
+}
+
+fn apply(dm: &mut DeepMapping, op: &WalOp) -> Result<()> {
+    match op {
+        WalOp::Insert(rows) => dm.insert_rows(rows)?,
+        WalOp::Delete(keys) => dm.delete_keys(keys)?,
+        WalOp::Update(rows) => dm.update_rows(rows)?,
+    }
+    Ok(())
+}
+
+impl TupleStore for PersistentStore {
+    fn name(&self) -> &str {
+        self.dm.name()
+    }
+
+    fn lookup_batch_into(&self, keys: &[u64], out: &mut LookupBuffer) -> dm_storage::Result<()> {
+        TupleStore::lookup_batch_into(&self.dm, keys, out)
+    }
+
+    fn stats(&self) -> StoreStats {
+        TupleStore::stats(&self.dm)
+    }
+
+    fn scan_range(&self, lo: u64, hi: u64) -> dm_storage::Result<Vec<Row>> {
+        TupleStore::scan_range(&self.dm, lo, hi)
+    }
+}
+
+impl MutableStore for PersistentStore {
+    fn insert(&mut self, rows: &[Row]) -> dm_storage::Result<()> {
+        self.apply_then_log(WalOp::Insert(rows.to_vec()))
+    }
+
+    fn delete(&mut self, keys: &[u64]) -> dm_storage::Result<()> {
+        self.apply_then_log(WalOp::Delete(keys.to_vec()))
+    }
+
+    fn update(&mut self, rows: &[Row]) -> dm_storage::Result<()> {
+        self.apply_then_log(WalOp::Update(rows.to_vec()))
+    }
+
+    /// Retrain + checkpoint: the off-peak fold-in.  The WAL is only reset after
+    /// the new snapshot has been renamed into place.
+    fn maintenance(&mut self) -> dm_storage::Result<()> {
+        self.dm.retrain().map_err(dm_storage::StorageError::from)?;
+        self.checkpoint().map_err(dm_storage::StorageError::from)?;
+        Ok(())
+    }
+}

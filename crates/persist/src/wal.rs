@@ -1,0 +1,398 @@
+//! The append-only delta WAL (`<snapshot>.wal`).
+//!
+//! A snapshot is immutable once written; modifications between checkpoints
+//! land here.  The ordering is apply-*then*-log: `PersistentStore` applies a
+//! batch to the in-memory structure first (so a batch the store rejects never
+//! enters the log) and then appends + fsyncs the record before acknowledging
+//! the caller — in-memory state dies with the process, so durability only
+//! requires the record to be on disk by the time the call returns success.
+//! The next open replays the log into the store (inserted/updated rows land
+//! back in the auxiliary delta overlay, deletions flip existence bits), and
+//! `maintenance()` folds everything into a fresh snapshot and resets the log.
+//!
+//! ## Record format
+//!
+//! ```text
+//! payload_len u32 | crc32(payload) u32 | payload
+//! payload: op u8 (1 insert / 2 delete / 3 update) | count u32 | body
+//!   insert/update body: per row  key u64 | n_cols u16 | values u32 × n_cols
+//!   delete body:        per key  key u64
+//! ```
+//!
+//! Replay stops at an incomplete record — or at a CRC-failing *final* record —
+//! and reports the dropped byte count: a torn tail is the *expected* shape of
+//! a crash, not an error.  Provable mid-log corruption, by contrast, fails
+//! replay with a typed [`PersistError::Wal`]: a CRC-failing record with more
+//! log *after* it (append-only logs tear only at the end, so that is bit rot,
+//! and silently truncating it would drop acknowledged records), or a
+//! crc-valid record with an unknown op tag.
+
+use crate::error::{PersistError, Result};
+use dm_nn::serialize::{ByteReader, ByteWriter};
+use dm_storage::Row;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+const OP_UPDATE: u8 = 3;
+
+/// One logged modification batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Rows passed to `MutableStore::insert`.
+    Insert(Vec<Row>),
+    /// Keys passed to `MutableStore::delete`.
+    Delete(Vec<u64>),
+    /// Rows passed to `MutableStore::update`.
+    Update(Vec<Row>),
+}
+
+/// Outcome of a WAL replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalReplay {
+    /// Complete, CRC-valid records replayed.
+    pub records: usize,
+    /// Bytes dropped at the tail (torn final record after a crash; 0 on a
+    /// clean log).
+    pub dropped_tail_bytes: u64,
+}
+
+/// An open append handle on a WAL file.
+#[derive(Debug)]
+pub struct DeltaWal {
+    file: File,
+    path: PathBuf,
+    /// Set when a failed append could not be rolled back: the log may end in a
+    /// partial record, so further appends would land *behind* garbage and be
+    /// unreachable at replay.  All subsequent appends are refused.
+    poisoned: bool,
+}
+
+impl DeltaWal {
+    /// Creates (or truncates) the WAL at `path`.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(DeltaWal {
+            file,
+            path,
+            poisoned: false,
+        })
+    }
+
+    /// Opens the WAL at `path` for appending, creating it if missing.  The
+    /// caller is expected to have replayed it first (see [`DeltaWal::replay`]);
+    /// a torn tail record, if any, is truncated away so new appends cannot be
+    /// shadowed by garbage.
+    pub fn open_append(path: impl Into<PathBuf>, replay: WalReplay) -> Result<Self> {
+        let path = path.into();
+        if replay.dropped_tail_bytes > 0 {
+            let len = std::fs::metadata(&path)?.len();
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(len.saturating_sub(replay.dropped_tail_bytes))?;
+            file.sync_all()?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(DeltaWal {
+            file,
+            path,
+            poisoned: false,
+        })
+    }
+
+    /// The file this WAL appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record (length + CRC + payload in a single write).
+    ///
+    /// A failed write is rolled back by truncating to the pre-append length,
+    /// so a short write (ENOSPC, ...) cannot strand garbage mid-log that would
+    /// make *later* successfully-appended records unreachable at replay.  If
+    /// even the rollback fails, the handle is poisoned and refuses further
+    /// appends — better loudly unavailable than silently lossy.
+    pub fn append(&mut self, op: &WalOp) -> Result<()> {
+        if self.poisoned {
+            return Err(PersistError::Wal(
+                "WAL poisoned by an earlier unrecoverable append failure".into(),
+            ));
+        }
+        let start = self.file.metadata()?.len();
+        let payload = encode_op(op);
+        let mut record = ByteWriter::new();
+        record.put_u32(payload.len() as u32);
+        record.put_u32(dm_compress::crc32(&payload));
+        record.put_bytes(&payload);
+        if let Err(err) = self.file.write_all(&record.into_bytes()) {
+            if self.file.set_len(start).is_err() {
+                self.poisoned = true;
+            }
+            return Err(err.into());
+        }
+        Ok(())
+    }
+
+    /// Forces appended records to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Empties the log (after its contents were folded into a new snapshot).
+    pub fn reset(&mut self) -> Result<()> {
+        self.file.set_len(0)?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Reads and validates every record of the WAL at `path`.  A missing file
+    /// replays as empty (a snapshot written before any mutation has no WAL yet).
+    pub fn replay(path: impl AsRef<Path>) -> Result<(Vec<WalOp>, WalReplay)> {
+        let bytes = match std::fs::read(path.as_ref()) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Vec::new(), WalReplay::default()))
+            }
+            Err(err) => return Err(err.into()),
+        };
+        let mut ops = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let remaining = bytes.len() - pos;
+            if remaining < 8 {
+                break; // torn record header
+            }
+            let payload_len =
+                u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if remaining < 8 + payload_len {
+                break; // torn payload
+            }
+            let payload = &bytes[pos + 8..pos + 8 + payload_len];
+            if dm_compress::crc32(payload) != crc {
+                // A CRC failure on the FINAL record is the expected shape of a
+                // crash mid-append (length persisted, payload partially so).
+                // With more log after it, the failure cannot be a tear — an
+                // append-only log only tears at the end — so this is bit rot,
+                // and truncating it away would silently drop the acknowledged
+                // records behind it.
+                if pos + 8 + payload_len < bytes.len() {
+                    return Err(PersistError::Wal(format!(
+                        "record at byte {pos} fails its CRC with {} bytes of log after it \
+                         (mid-log corruption, not a torn tail)",
+                        bytes.len() - (pos + 8 + payload_len)
+                    )));
+                }
+                break; // torn tail
+            }
+            ops.push(decode_op(payload)?);
+            pos += 8 + payload_len;
+        }
+        let replay = WalReplay {
+            records: ops.len(),
+            dropped_tail_bytes: (bytes.len() - pos) as u64,
+        };
+        Ok((ops, replay))
+    }
+}
+
+fn encode_rows(w: &mut ByteWriter, rows: &[Row]) {
+    w.put_u32(rows.len() as u32);
+    for row in rows {
+        w.put_u64(row.key);
+        w.put_u16(row.values.len() as u16);
+        for &value in &row.values {
+            w.put_u32(value);
+        }
+    }
+}
+
+fn encode_op(op: &WalOp) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match op {
+        WalOp::Insert(rows) => {
+            w.put_u8(OP_INSERT);
+            encode_rows(&mut w, rows);
+        }
+        WalOp::Delete(keys) => {
+            w.put_u8(OP_DELETE);
+            w.put_u32(keys.len() as u32);
+            for &key in keys {
+                w.put_u64(key);
+            }
+        }
+        WalOp::Update(rows) => {
+            w.put_u8(OP_UPDATE);
+            encode_rows(&mut w, rows);
+        }
+    }
+    w.into_bytes()
+}
+
+fn wal_err(detail: impl Into<String>) -> PersistError {
+    PersistError::Wal(detail.into())
+}
+
+fn decode_rows(r: &mut ByteReader<'_>) -> Result<Vec<Row>> {
+    let count = r.get_u32().map_err(|e| wal_err(e.to_string()))? as usize;
+    let mut rows = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let key = r.get_u64().map_err(|e| wal_err(e.to_string()))?;
+        let n_cols = r.get_u16().map_err(|e| wal_err(e.to_string()))? as usize;
+        let mut values = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            values.push(r.get_u32().map_err(|e| wal_err(e.to_string()))?);
+        }
+        rows.push(Row::new(key, values));
+    }
+    Ok(rows)
+}
+
+fn decode_op(payload: &[u8]) -> Result<WalOp> {
+    let mut r = ByteReader::new(payload);
+    let tag = r.get_u8().map_err(|e| wal_err(e.to_string()))?;
+    let op = match tag {
+        OP_INSERT => WalOp::Insert(decode_rows(&mut r)?),
+        OP_DELETE => {
+            let count = r.get_u32().map_err(|e| wal_err(e.to_string()))? as usize;
+            let mut keys = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                keys.push(r.get_u64().map_err(|e| wal_err(e.to_string()))?);
+            }
+            WalOp::Delete(keys)
+        }
+        OP_UPDATE => WalOp::Update(decode_rows(&mut r)?),
+        tag => return Err(wal_err(format!("unknown WAL op tag {tag}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(wal_err(format!(
+            "{} trailing bytes inside a crc-valid record",
+            r.remaining()
+        )));
+    }
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "dm-persist-wal-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Insert(vec![Row::new(1, vec![1, 2]), Row::new(2, vec![3, 4])]),
+            WalOp::Delete(vec![7, 8, 9]),
+            WalOp::Update(vec![Row::new(1, vec![9, 9])]),
+            WalOp::Insert(Vec::new()),
+        ]
+    }
+
+    #[test]
+    fn append_sync_replay_round_trips() {
+        let path = temp_wal("round-trip");
+        let mut wal = DeltaWal::create(&path).unwrap();
+        for op in sample_ops() {
+            wal.append(&op).unwrap();
+        }
+        wal.sync().unwrap();
+        let (ops, replay) = DeltaWal::replay(&path).unwrap();
+        assert_eq!(ops, sample_ops());
+        assert_eq!(replay.records, 4);
+        assert_eq!(replay.dropped_tail_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_wal_replays_empty() {
+        let (ops, replay) = DeltaWal::replay(temp_wal("missing")).unwrap();
+        assert!(ops.is_empty());
+        assert_eq!(replay, WalReplay::default());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated_on_reopen() {
+        let path = temp_wal("torn");
+        let mut wal = DeltaWal::create(&path).unwrap();
+        for op in sample_ops() {
+            wal.append(&op).unwrap();
+        }
+        drop(wal);
+        // Simulate a crash mid-append: chop the last record's payload.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+        let (ops, replay) = DeltaWal::replay(&path).unwrap();
+        assert_eq!(ops, sample_ops()[..3].to_vec());
+        assert_eq!(replay.records, 3);
+        assert!(replay.dropped_tail_bytes > 0);
+        // Reopening truncates the torn tail; a fresh append then replays cleanly.
+        let mut wal = DeltaWal::open_append(&path, replay).unwrap();
+        wal.append(&WalOp::Delete(vec![42])).unwrap();
+        drop(wal);
+        let (ops, replay) = DeltaWal::replay(&path).unwrap();
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops[3], WalOp::Delete(vec![42]));
+        assert_eq!(replay.dropped_tail_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_log_bit_rot_is_a_hard_error_not_a_tear() {
+        let path = temp_wal("bit-rot");
+        let mut wal = DeltaWal::create(&path).unwrap();
+        for op in sample_ops() {
+            wal.append(&op).unwrap();
+        }
+        drop(wal);
+        // Flip one payload byte of the FIRST record: valid records follow it,
+        // so this is provable corruption — truncating would drop them.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = DeltaWal::replay(&path).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Wal(ref msg) if msg.contains("mid-log")),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn a_crc_valid_record_with_a_bad_op_is_a_hard_error() {
+        let path = temp_wal("bad-op");
+        let payload = [99u8]; // unknown tag
+        let mut record = Vec::new();
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&dm_compress::crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        std::fs::write(&path, record).unwrap();
+        let err = DeltaWal::replay(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Wal(_)), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = temp_wal("reset");
+        let mut wal = DeltaWal::create(&path).unwrap();
+        wal.append(&WalOp::Delete(vec![1])).unwrap();
+        wal.reset().unwrap();
+        let (ops, replay) = DeltaWal::replay(&path).unwrap();
+        assert!(ops.is_empty());
+        assert_eq!(replay.records, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

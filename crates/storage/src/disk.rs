@@ -196,6 +196,28 @@ impl SimulatedDisk {
     }
 }
 
+impl crate::source::PartitionSource for SimulatedDisk {
+    fn read_frame(&self, id: u64, metrics: &Metrics) -> Result<std::sync::Arc<Vec<u8>>> {
+        SimulatedDisk::read_frame(self, id, metrics)
+    }
+
+    fn read_partition(&self, id: u64, metrics: &Metrics) -> Result<Vec<u8>> {
+        SimulatedDisk::read_partition(self, id, metrics)
+    }
+
+    fn partition_bytes(&self, id: u64) -> Result<usize> {
+        SimulatedDisk::partition_bytes(self, id)
+    }
+
+    fn partition_count(&self) -> usize {
+        SimulatedDisk::partition_count(self)
+    }
+
+    fn total_bytes(&self) -> usize {
+        SimulatedDisk::total_bytes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,10 @@
 //!   and "hash-based" representations, with their asymmetric deserialization costs),
 //! * [`disk`] — a simulated disk: partitions live as compressed frames in byte
 //!   buffers, reads are counted and costed with a configurable bandwidth model,
+//! * [`source`] — the [`PartitionSource`] seam the buffer pool loads through: the
+//!   simulated disk is one implementation, the snapshot-file-backed
+//!   [`FilePartitionSource`] (real positional reads + CRC checks, the lazy half of
+//!   `dm-persist`) is the other,
 //! * [`pool`] — a mutex-sharded LRU buffer pool with a byte budget that
 //!   loads/decompresses/evicts partitions, with single-flight cold loads so racing
 //!   readers never duplicate a load,
@@ -30,10 +34,12 @@ pub mod layout;
 pub mod metrics;
 pub mod pool;
 pub mod row;
+pub mod source;
 pub mod store;
 
 pub use bitvec::BitVec;
 pub use disk::{DiskProfile, SimulatedDisk};
+pub use source::{FileExtent, FilePartitionSource, PartitionSource};
 pub use layout::{ArrayPartition, HashPartition, PartitionLayout};
 pub use metrics::{LatencyBreakdown, Metrics, Phase};
 pub use pool::{BufferPool, PoolShardStats, DEFAULT_POOL_SHARDS};

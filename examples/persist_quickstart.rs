@@ -1,0 +1,93 @@
+//! Persistence quickstart: build a DeepMapping store once, snapshot it to a
+//! single file, reopen it in a fresh store (no retraining — cold start is
+//! manifest + model only, partitions stream in lazily), then mutate it through
+//! the WAL-backed [`PersistentStore`] and prove the mutation survives a
+//! simulated restart.
+//!
+//! Run with `cargo run --release --example persist_quickstart`.
+
+use deepmapping::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("dm-persist-quickstart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let snapshot_path = dir.join("orders.dmss");
+
+    // 1. Build once: an orders-like table with learnable structure plus noise.
+    let rows: Vec<Row> = (0..30_000u64)
+        .map(|k| {
+            let noise = (k.wrapping_mul(0x9E3779B97F4A7C15) >> 17) as u32;
+            Row::new(k, vec![((k / 64) % 3) as u32, noise % 5])
+        })
+        .collect();
+    let build_start = Instant::now();
+    let dm = DeepMappingBuilder::dm_z()
+        .training(TrainingConfig {
+            epochs: 15,
+            batch_size: 4096,
+            ..TrainingConfig::default()
+        })
+        .partition_bytes(32 * 1024)
+        .build(&rows)
+        .expect("build DeepMapping");
+    println!("built {} rows in {:.2?}", dm.len(), build_start.elapsed());
+
+    // 2. Snapshot: the whole hybrid structure into one file, atomically.
+    let stats = dm.write_snapshot(&snapshot_path).expect("write snapshot");
+    println!(
+        "snapshot: {} bytes total, {} eager / {} lazy across {} partitions",
+        stats.file_bytes, stats.eager_bytes, stats.partition_bytes, stats.partition_count
+    );
+
+    // 3. Reopen in a *fresh* store: milliseconds, not a retrain.
+    let keys: Vec<u64> = (0..31_000u64).step_by(7).collect();
+    let expected = dm.lookup_batch(&keys).expect("lookup original");
+    drop(dm);
+    let open_start = Instant::now();
+    let (reopened, open_stats) = Snapshot::open_with_stats(&snapshot_path).expect("open snapshot");
+    println!(
+        "reopened in {:.2?}, reading {} of {} bytes eagerly ({:.1}%)",
+        open_start.elapsed(),
+        open_stats.eager_bytes,
+        open_stats.file_bytes,
+        100.0 * open_stats.eager_bytes as f64 / open_stats.file_bytes as f64
+    );
+    assert_eq!(
+        reopened.lookup_batch(&keys).expect("lookup reopened"),
+        expected,
+        "reopened store must answer byte-identically"
+    );
+    println!("all {} probed keys agree with the pre-snapshot store", keys.len());
+
+    // 4. Mutations through the WAL-backed wrapper...
+    let mut store = PersistentStore::open(&snapshot_path).expect("open persistent store");
+    store
+        .insert(&[Row::new(40_000, vec![2, 4])])
+        .expect("insert");
+    store.update(&[Row::new(5, vec![0, 0])]).expect("update");
+    store.delete(&[6]).expect("delete");
+    // ...survive a simulated crash: drop WITHOUT checkpointing.
+    drop(store);
+
+    let restarted = PersistentStore::open(&snapshot_path).expect("reopen after 'crash'");
+    println!(
+        "restart replayed {} WAL records",
+        restarted.last_replay().records
+    );
+    assert_eq!(restarted.get(40_000).expect("get"), Some(vec![2, 4]));
+    assert_eq!(restarted.get(5).expect("get"), Some(vec![0, 0]));
+    assert_eq!(restarted.get(6).expect("get"), None);
+    println!("insert/update/delete all survived the restart");
+
+    // 5. maintenance() folds the WAL into a fresh snapshot (temp file + rename).
+    let mut restarted = restarted;
+    restarted.maintenance().expect("maintenance");
+    assert_eq!(restarted.last_replay().records, 3, "pre-fold replay count");
+    let folded = PersistentStore::open(&snapshot_path).expect("open folded snapshot");
+    assert_eq!(folded.last_replay().records, 0, "WAL reset after fold-in");
+    assert_eq!(folded.get(40_000).expect("get"), Some(vec![2, 4]));
+    println!("maintenance folded the WAL into the snapshot; clean reopen verified");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -68,6 +68,9 @@
 //! ├── crates/core            dm-core      DeepMapping hybrid + DeepMappingBuilder,
 //! │                                       QueryPipeline (parallel stage 3), AuxTable,
 //! │                                       schema/encoders, MHAS
+//! ├── crates/persist         dm-persist   single-file snapshots (lazy partition
+//! │                                       serving via FilePartitionSource), delta
+//! │                                       WAL, PersistentStore wrapper
 //! ├── crates/data            dm-data      TPC-H / TPC-DS / synthetic / crop
 //! │                                       generators, lookup & modification workloads
 //! ├── crates/baselines       dm-baselines array/hash partitioned stores, DeepSqueeze
@@ -108,6 +111,43 @@
 //! `DeepMappingBuilder::exec_threads(n)` pins that store to a dedicated
 //! n-thread pool.  Runtime activity per batch (tasks, steals, park time) lands
 //! in `LatencyBreakdown::exec_*` alongside the buffer-pool counters.
+//!
+//! ## Persistence: the snapshot file + delta WAL
+//!
+//! [`dm_persist`] turns the hybrid structure into a deployable on-disk format.
+//! `dm.write_snapshot(path)` (or [`dm_persist::Snapshot::write`]) emits one
+//! versioned file; `DeepMapping::open(path)` (via
+//! [`SnapshotExt`](dm_persist::SnapshotExt)) restores it without retraining.
+//!
+//! ```text
+//! offset 0   header (28 B): magic "DMSS" | version u16 | reserved u16
+//!                           | file_len u64 | manifest_len u64 | manifest_crc u32
+//! then       manifest   — CRC-32-protected: config, schema (key encoder +
+//!                         cardinalities), decode labels, counters, aux delta
+//!                         overlay + tombstones, section table (model/existence
+//!                         lengths + CRCs), partition directory (key range,
+//!                         rows, frame length, frame CRC per partition)
+//! then       model      — dm_nn::serialize bytes          (eager, CRC-checked)
+//! then       existence  — BitVec RLE bytes                (eager, CRC-checked)
+//! then       partitions — dm_compress frames, verbatim    (LAZY, CRC on touch)
+//! ```
+//!
+//! Opening reads only header + manifest + model + existence; the partition
+//! frames — typically most of the file — stay on disk and are served on demand
+//! by a `dm_storage::FilePartitionSource` behind the sharded single-flight
+//! buffer pool (one `pread` + one decompression per cold partition, parallel
+//! under `dm-exec`).  Versioning is strict: an unknown header version or any
+//! failed CRC is a typed [`dm_persist::PersistError`], never a guess.  The
+//! compatibility policy is bump-on-any-layout-change; the manifest decoder
+//! rejects trailing bytes so mixed-version files cannot half-parse.
+//!
+//! Mutations persist through [`dm_persist::PersistentStore`]: each
+//! insert/delete/update batch is applied and then appended + fsynced to
+//! `<snapshot>.wal` (CRC per record, torn tails tolerated and truncated)
+//! before the call returns — apply-first, so a batch the store rejects never
+//! enters the log.  Reopening replays the log into the auxiliary delta
+//! overlay, and `maintenance()` retrains, rewrites the snapshot atomically
+//! (temp file + rename + directory fsync) and resets the WAL.
 //!
 //! ## Quickstart
 //!
@@ -160,6 +200,7 @@ pub use dm_core as core;
 pub use dm_data as data;
 pub use dm_exec as exec;
 pub use dm_nn as nn;
+pub use dm_persist as persist;
 pub use dm_storage as storage;
 
 /// The most commonly used types, importable in one line.
@@ -176,6 +217,9 @@ pub mod prelude {
     };
     pub use dm_data::tpcds::TpcdsConfig;
     pub use dm_data::tpch::TpchConfig;
+    pub use dm_persist::{
+        PersistError, PersistentStore, Snapshot, SnapshotExt, WalOp,
+    };
     pub use dm_storage::{
         BitVec, DiskProfile, LatencyBreakdown, LookupBuffer, Metrics, MutableStore, Phase,
         ReferenceStore, Row, StoreStats, TupleRef, TupleStore,

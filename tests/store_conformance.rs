@@ -10,7 +10,10 @@
 //! * shared reads: concurrent `lookup_batch_into` batches over one `Arc<DeepMapping>`
 //!   return exactly what sequential `get` calls return, with the batch amortization
 //!   counters (one inference pass per batch, partitions served from the warm pool)
-//!   still holding.
+//!   still holding,
+//! * snapshot round trip: every `TupleStore` read agrees before/after
+//!   `write_snapshot` + `open`, including `scan_range` and the concurrent
+//!   `Arc<DeepMapping>` smoke test on the reopened (lazily served) store.
 
 use deepmapping::prelude::*;
 use std::sync::Arc;
@@ -207,6 +210,73 @@ fn lookup_buffer_capacity_is_stable_across_repeated_batches() {
         value_capacity,
         "the flat value arena must be reused, not regrown"
     );
+}
+
+/// Snapshot round-trip conformance: the reopened store is the *same*
+/// `TupleStore` as the original in every observable way, and stays fully
+/// shareable across threads while serving partitions lazily from the file.
+#[test]
+fn snapshot_round_trip_preserves_every_tuple_store_read() {
+    let dir = std::env::temp_dir().join(format!(
+        "dm-conformance-snapshot-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("conformance.dmss");
+
+    let rows = seed_rows(900);
+    let mut dm = quick_dm(&rows);
+    // Leave a live overlay in place so the snapshot covers the mutated shape too.
+    dm.insert(&[Row::new(5_001, vec![1, 2]), Row::new(5_003, vec![0, 4])])
+        .unwrap();
+    dm.delete(&[4, 16]).unwrap();
+    dm.update(&[Row::new(8, vec![3, 3])]).unwrap();
+
+    let probe: Vec<u64> = (0..5_100u64).step_by(3).chain([999_983]).collect();
+    let expected = dm.lookup_batch(&probe).unwrap();
+    let expected_stats = dm.stats();
+    let expected_name = dm.name().to_string();
+    let ranges = [(0u64, 0u64), (3, 101), (500, 2_000), (0, u64::MAX), (9, 2)];
+    let expected_ranges: Vec<Vec<Row>> = ranges
+        .iter()
+        .map(|&(lo, hi)| dm.scan_range(lo, hi).unwrap())
+        .collect();
+    dm.write_snapshot(&path).expect("write snapshot");
+    drop(dm);
+
+    let reopened = Arc::new(DeepMapping::open(&path).expect("open snapshot"));
+    assert_eq!(reopened.name(), expected_name);
+    assert_eq!(reopened.lookup_batch(&probe).unwrap(), expected);
+    let mut buffer = LookupBuffer::new();
+    reopened.lookup_batch_into(&probe, &mut buffer).unwrap();
+    assert_eq!(buffer.to_options(), expected);
+    let stats = reopened.stats();
+    assert_eq!(stats.tuple_count, expected_stats.tuple_count);
+    assert_eq!(stats.partition_count, expected_stats.partition_count);
+    for (&(lo, hi), want) in ranges.iter().zip(&expected_ranges) {
+        assert_eq!(&reopened.scan_range(lo, hi).unwrap(), want, "range {lo}..={hi}");
+    }
+
+    // Concurrent smoke over the reopened store: cold partition loads race
+    // through the single-flight pool, results stay exact.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let store = Arc::clone(&reopened);
+            let probe = probe.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut buffer = LookupBuffer::new();
+                for _ in 0..3 {
+                    store.lookup_batch_into(&probe, &mut buffer).unwrap();
+                    assert_eq!(buffer.to_options(), expected);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("reader thread panicked");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
