@@ -272,6 +272,32 @@ impl DeepMapping {
         Ok(self.lookup_batch(&[key])?.pop().flatten())
     }
 
+    /// Dry-run validation of an insert batch: exactly the checks
+    /// [`insert_rows`](Self::insert_rows) performs before its first mutation,
+    /// with no state touched.  Durability layers call this up front so they
+    /// can tell a clean rejection (state untouched) from a mid-apply failure.
+    pub fn validate_insert(&self, rows: &[Row]) -> Result<()> {
+        let schema = self.model.schema();
+        for row in rows {
+            schema.validate_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Dry-run validation of an update batch: exactly the checks
+    /// [`update_rows`](Self::update_rows) performs before its first mutation.
+    /// Rows whose key does not exist are skipped, matching the apply path
+    /// which ignores them.
+    pub fn validate_update(&self, rows: &[Row]) -> Result<()> {
+        let schema = self.model.schema();
+        for row in rows {
+            if self.exist.get(row.key) {
+                schema.validate_row(row)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Algorithm 3: insert a collection of rows.
     ///
     /// For each row the existence bit is set; the row is then inferred through the
@@ -281,10 +307,7 @@ impl DeepMapping {
         if rows.is_empty() {
             return Ok(());
         }
-        let schema = self.model.schema();
-        for row in rows {
-            schema.validate_row(row)?;
-        }
+        self.validate_insert(rows)?;
         let keys: Vec<u64> = rows.iter().map(|r| r.key).collect();
         let predictions = self
             .metrics
@@ -340,14 +363,11 @@ impl DeepMapping {
         if rows.is_empty() {
             return Ok(());
         }
-        let schema = self.model.schema();
+        self.validate_update(rows)?;
         let live: Vec<&Row> = rows
             .iter()
             .filter(|r| self.exist.get(r.key))
             .collect();
-        for row in &live {
-            schema.validate_row(row)?;
-        }
         let keys: Vec<u64> = live.iter().map(|r| r.key).collect();
         let predictions = self
             .metrics

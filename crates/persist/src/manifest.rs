@@ -316,7 +316,14 @@ fn get_schema(r: &mut ByteReader<'_>) -> Result<MappingSchema> {
     }
     let mut moduli = Vec::with_capacity(n_moduli);
     for _ in 0..n_moduli {
-        moduli.push(rd(r.get_u64())?);
+        let m = rd(r.get_u64())?;
+        // Each modulus contributes `m` one-hot features: zero would panic at
+        // the first `key % 0` and a huge value inflates input_dim to OOM
+        // scale.  Legitimate moduli are small primes (see PERIODIC_MODULI).
+        if m == 0 || m > 4096 {
+            return Err(corrupt("implausible one-hot modulus"));
+        }
+        moduli.push(m);
     }
     let n_ramps = rd(r.get_u32())? as usize;
     if n_ramps > 64 {
@@ -410,6 +417,15 @@ impl Manifest {
         let value_columns = rd(r.get_u32())?;
         if value_columns == 0 || value_columns > 4096 {
             return Err(corrupt("implausible value-column count"));
+        }
+        // Derivable state must agree with its source of truth: delta rows and
+        // the aux table are reconstituted `value_columns` wide, the model and
+        // lookup path serve `cardinalities.len()` columns — a mismatch would
+        // pass every CRC and still produce wrong-arity rows.
+        if value_columns as usize != schema.cardinalities.len() {
+            return Err(corrupt(
+                "value-column count disagrees with the schema's column count",
+            ));
         }
         let n_partitions = rd(r.get_u32())? as usize;
         if n_partitions > 1 << 24 {
@@ -567,6 +583,32 @@ mod tests {
         manifest.config.memory_budget_bytes = usize::MAX;
         manifest.config.disk_profile = DiskProfile::free(); // infinite bandwidth
         assert_round_trip(&manifest);
+    }
+
+    #[test]
+    fn hostile_schema_and_column_counts_are_rejected() {
+        // A zero one-hot modulus would panic (`key % 0`) at the first lookup;
+        // a huge one inflates input_dim to OOM scale.  Both must die at decode.
+        let mut manifest = sample_manifest(SearchStrategy::DefaultArchitecture);
+        manifest.schema.key_encoder = KeyEncoder::from_parts(8, vec![0], &[]);
+        assert!(matches!(
+            Manifest::decode(&manifest.encode()),
+            Err(PersistError::Corrupt { .. })
+        ));
+        let mut manifest = sample_manifest(SearchStrategy::DefaultArchitecture);
+        manifest.schema.key_encoder = KeyEncoder::from_parts(8, vec![1 << 33], &[]);
+        assert!(matches!(
+            Manifest::decode(&manifest.encode()),
+            Err(PersistError::Corrupt { .. })
+        ));
+        // value_columns is derivable from the schema; a disagreement would
+        // reconstitute wrong-arity rows from a CRC-clean file.
+        let mut manifest = sample_manifest(SearchStrategy::DefaultArchitecture);
+        manifest.value_columns = 3; // the sample schema has 2 columns
+        assert!(matches!(
+            Manifest::decode(&manifest.encode()),
+            Err(PersistError::Corrupt { .. })
+        ));
     }
 
     #[test]

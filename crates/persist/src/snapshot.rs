@@ -93,7 +93,17 @@ impl Snapshot {
     /// `path`, so a crash mid-write never leaves a half-snapshot under the
     /// final name.
     pub fn write(dm: &DeepMapping, path: impl AsRef<Path>) -> Result<SnapshotStats> {
-        let path = path.as_ref();
+        Self::stage(dm, path.as_ref())?.commit()
+    }
+
+    /// The write half of [`write`](Self::write) without the rename: the full
+    /// snapshot is written and fsynced at a sibling temp path but not yet
+    /// visible under `path`.  `PersistentStore::create` uses this to order the
+    /// stale-WAL truncation between the expensive (failure-prone) section
+    /// writes and the cheap rename — if staging fails, whatever previously
+    /// lived at `path` (snapshot *and* WAL) is untouched and fully
+    /// recoverable.
+    pub(crate) fn stage(dm: &DeepMapping, path: &Path) -> Result<StagedSnapshot> {
         let model_bytes = dm.model().to_bytes();
         let exist_bytes = dm.existence().to_bytes();
         let aux = dm.aux_table().to_snapshot();
@@ -178,16 +188,15 @@ impl Snapshot {
             let _ = std::fs::remove_file(&tmp_path);
             return Err(err);
         }
-        std::fs::rename(&tmp_path, path)?;
-        // Make the rename itself durable: fsync the parent directory, so a
-        // power failure after this call cannot resurface the *old* snapshot
-        // next to an already-reset WAL (losing the folded mutations).
-        sync_parent_dir(path)?;
-        Ok(SnapshotStats {
-            file_bytes: file_len,
-            eager_bytes: file_len - partition_bytes,
-            partition_bytes,
-            partition_count: manifest.partitions.len(),
+        Ok(StagedSnapshot {
+            tmp_path: Some(tmp_path),
+            final_path: path.to_path_buf(),
+            stats: SnapshotStats {
+                file_bytes: file_len,
+                eager_bytes: file_len - partition_bytes,
+                partition_bytes,
+                partition_count: manifest.partitions.len(),
+            },
         })
     }
 
@@ -242,6 +251,18 @@ impl Snapshot {
             });
         }
 
+        // The manifest length must fit inside the (already cross-checked) file
+        // length BEFORE it sizes an allocation: a single corrupted header field
+        // must surface as a typed error, not an OOM abort.
+        if manifest_len > file_len - HEADER_LEN {
+            return Err(PersistError::Corrupt {
+                section: "header",
+                detail: format!(
+                    "manifest length {manifest_len} does not fit in the {file_len}-byte file"
+                ),
+            });
+        }
+
         // Manifest.
         let manifest_bytes = read_section(&mut file, manifest_len, "manifest")?;
         if dm_compress::crc32(&manifest_bytes) != manifest_crc {
@@ -250,12 +271,23 @@ impl Snapshot {
             });
         }
         let manifest = Manifest::decode(&manifest_bytes)?;
-        let partition_bytes: u64 = manifest.partitions.iter().map(|p| p.frame_len).sum();
-        let declared_len = HEADER_LEN
-            + manifest_len
-            + manifest.model_len
-            + manifest.exist_len
-            + partition_bytes;
+        // Checked sums: corrupted lengths must not wrap around and accidentally
+        // match `file_len` — and this check runs before `model_len`/`exist_len`
+        // size any allocation, so every section length is bounded by the real
+        // file size by the time it is read.
+        let overflow = || PersistError::Corrupt {
+            section: "section table",
+            detail: "section lengths overflow u64".into(),
+        };
+        let partition_bytes = manifest
+            .partitions
+            .iter()
+            .try_fold(0u64, |acc, p| acc.checked_add(p.frame_len))
+            .ok_or_else(overflow)?;
+        let declared_len = [manifest.model_len, manifest.exist_len, partition_bytes]
+            .into_iter()
+            .try_fold(HEADER_LEN + manifest_len, u64::checked_add)
+            .ok_or_else(overflow)?;
         if declared_len != file_len {
             return Err(PersistError::Corrupt {
                 section: "section table",
@@ -333,6 +365,41 @@ impl Snapshot {
                 partition_count: manifest.partitions.len(),
             },
         ))
+    }
+}
+
+/// A fully written, fsynced snapshot that is not yet visible under its final
+/// name (see [`Snapshot::stage`]).  Dropping it uncommitted removes the temp
+/// file.
+#[derive(Debug)]
+pub(crate) struct StagedSnapshot {
+    /// `Some` until committed; the `Drop` cleanup keys off it.
+    tmp_path: Option<std::path::PathBuf>,
+    final_path: std::path::PathBuf,
+    stats: SnapshotStats,
+}
+
+impl StagedSnapshot {
+    /// Renames the staged file over the final path and makes the rename itself
+    /// durable by fsyncing the parent directory — a power failure after this
+    /// returns cannot resurface the *old* snapshot next to an already-reset
+    /// WAL (losing the folded mutations).
+    pub(crate) fn commit(mut self) -> Result<SnapshotStats> {
+        let tmp = self.tmp_path.take().expect("staged snapshot committed twice");
+        if let Err(err) = std::fs::rename(&tmp, &self.final_path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(err.into());
+        }
+        sync_parent_dir(&self.final_path)?;
+        Ok(self.stats)
+    }
+}
+
+impl Drop for StagedSnapshot {
+    fn drop(&mut self) {
+        if let Some(tmp) = &self.tmp_path {
+            let _ = std::fs::remove_file(tmp);
+        }
     }
 }
 

@@ -71,15 +71,28 @@ pub struct DeltaWal {
 }
 
 impl DeltaWal {
-    /// Creates (or truncates) the WAL at `path`.
+    /// Creates (or truncates) the WAL at `path`.  The truncation is fsynced
+    /// before this returns: a caller that is about to write a fresh snapshot
+    /// next to this WAL must know any stale records from a previous store
+    /// incarnation are durably gone first.
+    ///
+    /// The handle is opened in append mode — every write goes to the current
+    /// EOF regardless of the file cursor.  This matters because
+    /// [`reset`](Self::reset) and the append rollback shrink the file (via a
+    /// sibling write-mode handle; see [`truncate_to`](Self::truncate_to)),
+    /// which does *not* move a plain write cursor: a cursor-positioned handle
+    /// would resume writing past the truncation point, leaving a zero-filled
+    /// hole that replay reads as garbage.
     pub fn create(path: impl Into<PathBuf>) -> Result<Self> {
         let path = path.into();
-        let file = File::create(&path)?;
-        Ok(DeltaWal {
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let wal = DeltaWal {
             file,
             path,
             poisoned: false,
-        })
+        };
+        wal.truncate_to(0)?;
+        Ok(wal)
     }
 
     /// Opens the WAL at `path` for appending, creating it if missing.  The
@@ -120,14 +133,24 @@ impl DeltaWal {
                 "WAL poisoned by an earlier unrecoverable append failure".into(),
             ));
         }
-        let start = self.file.metadata()?.len();
         let payload = encode_op(op);
+        // The record header stores the length as u32; a batch that encodes
+        // past 4 GiB must be rejected here, before anything touches the file —
+        // a wrapped length would be fsynced, acknowledged, and then destroy
+        // the log's parseability at the next replay.
+        let payload_len = u32::try_from(payload.len()).map_err(|_| {
+            PersistError::Wal(format!(
+                "batch encodes to {} bytes, past the 4 GiB record limit",
+                payload.len()
+            ))
+        })?;
+        let start = self.file.metadata()?.len();
         let mut record = ByteWriter::new();
-        record.put_u32(payload.len() as u32);
+        record.put_u32(payload_len);
         record.put_u32(dm_compress::crc32(&payload));
         record.put_bytes(&payload);
         if let Err(err) = self.file.write_all(&record.into_bytes()) {
-            if self.file.set_len(start).is_err() {
+            if self.truncate_to(start).is_err() {
                 self.poisoned = true;
             }
             return Err(err.into());
@@ -141,11 +164,34 @@ impl DeltaWal {
         Ok(())
     }
 
-    /// Empties the log (after its contents were folded into a new snapshot).
-    pub fn reset(&mut self) -> Result<()> {
-        self.file.set_len(0)?;
-        self.file.sync_all()?;
+    /// Durably shrinks the log to `len` bytes through a sibling write-mode
+    /// handle: `set_len` on the append handle itself is not portable (Windows
+    /// opens append handles without the permission `set_len` needs), and the
+    /// append handle keeps writing to EOF regardless, so the two never
+    /// disagree about where the next record lands.
+    fn truncate_to(&self, len: u64) -> Result<()> {
+        let file = OpenOptions::new().write(true).open(&self.path)?;
+        file.set_len(len)?;
+        file.sync_all()?;
         Ok(())
+    }
+
+    /// Empties the log (after its contents were folded into a new snapshot).
+    /// Appends go to EOF (the handle is in append mode), so the next record
+    /// lands at offset 0 — no hole.  An emptied log is clean by construction,
+    /// so a successful reset also lifts the poisoned state: whatever partial
+    /// record the failed rollback stranded is gone.
+    pub fn reset(&mut self) -> Result<()> {
+        self.truncate_to(0)?;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// Test hook: forces the handle into the poisoned state so callers can
+    /// exercise their append-failure paths without needing a real ENOSPC.
+    #[cfg(test)]
+    pub(crate) fn poison_for_test(&mut self) {
+        self.poisoned = true;
     }
 
     /// Reads and validates every record of the WAL at `path`.  A missing file
@@ -381,6 +427,41 @@ mod tests {
         std::fs::write(&path, record).unwrap();
         let err = DeltaWal::replay(&path).unwrap_err();
         assert!(matches!(err, PersistError::Wal(_)), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_after_reset_starts_at_offset_zero() {
+        let path = temp_wal("reset-append");
+        let mut wal = DeltaWal::create(&path).unwrap();
+        for op in sample_ops() {
+            wal.append(&op).unwrap();
+        }
+        // The checkpoint path: reset, then keep appending on the SAME handle.
+        // A cursor-positioned handle would write the next record at the old
+        // offset, leaving a zero-filled hole that replay reads as garbage.
+        wal.reset().unwrap();
+        wal.append(&WalOp::Delete(vec![5])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (ops, replay) = DeltaWal::replay(&path).unwrap();
+        assert_eq!(ops, vec![WalOp::Delete(vec![5])]);
+        assert_eq!(replay.records, 1);
+        assert_eq!(replay.dropped_tail_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_truncates_a_preexisting_wal() {
+        let path = temp_wal("create-truncates");
+        let mut wal = DeltaWal::create(&path).unwrap();
+        wal.append(&WalOp::Delete(vec![1, 2])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        drop(DeltaWal::create(&path).unwrap());
+        let (ops, replay) = DeltaWal::replay(&path).unwrap();
+        assert!(ops.is_empty());
+        assert_eq!(replay, WalReplay::default());
         std::fs::remove_file(&path).unwrap();
     }
 

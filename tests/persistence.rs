@@ -175,6 +175,14 @@ fn corruption_returns_typed_errors_not_garbage() {
     });
     assert!(matches!(err, PersistError::ChecksumMismatch { .. }), "{err}");
 
+    // A mangled manifest length in the header (bytes 16..24) is rejected
+    // against the file size BEFORE it can size an allocation — a corrupt
+    // header field must be a typed error, never an OOM.
+    let err = open_after(&path, &pristine, |bytes| {
+        bytes[16..24].copy_from_slice(&(1u64 << 39).to_le_bytes());
+    });
+    assert!(matches!(err, PersistError::Corrupt { section: "header", .. }), "{err}");
+
     // Wrong magic / future version are rejected up front.
     let err = open_after(&path, &pristine, |bytes| bytes[0] = b'X');
     assert!(matches!(err, PersistError::BadMagic), "{err}");
@@ -274,6 +282,10 @@ fn rejected_mutations_do_not_poison_the_wal() {
     assert!(err.is_err(), "schema-violating insert must be rejected");
     let err = store.update(&[Row::new(8, vec![1])]); // 1 col on a 2-col schema
     assert!(err.is_err(), "schema-violating update must be rejected");
+    // Clean rejections happen before any state is touched: the store stays
+    // healthy (not poisoned) and keeps serving.
+    assert!(!store.is_poisoned());
+    assert_eq!(store.get(7_000).unwrap(), Some(vec![1, 2]));
     drop(store);
 
     // The WAL holds only the valid record; reopening replays it cleanly.
