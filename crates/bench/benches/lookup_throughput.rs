@@ -14,17 +14,16 @@
 //! the workspace root.
 
 use dm_bench::{
-    build_baselines, build_deepmapping_pair, build_deepmapping_store, build_deepsqueeze,
-    measure_cold_start, measure_lookup_samples, report, write_lookup_json, BenchScale,
-    ColdStartRecord, LookupThroughputRecord, MachineProfile, MeasuredLatency,
+    build_baselines, build_deepmapping_pair, build_deepsqueeze, measure_cold_start,
+    measure_lookup_samples, report, write_lookup_json, BenchScale, ColdStartRecord,
+    InferenceKernelRecord, LookupThroughputRecord, MachineProfile, MeasuredLatency,
 };
-use dm_compress::Codec;
 use dm_core::{DeepMappingBuilder, MappingSchema, SearchStrategy, TrainingConfig, KEY_HEADROOM};
 use dm_data::{LookupWorkload, SyntheticConfig};
-use dm_nn::{MultiTaskSpec, TaskHeadSpec};
+use dm_nn::{kernel, Activation, Matrix, MultiTaskSpec, TaskHeadSpec};
 use dm_storage::LookupBuffer;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Measured batch repetitions per (system, batch size) cell.
 const SAMPLES: usize = 9;
@@ -88,6 +87,10 @@ fn main() {
     // Multi-threaded scaling: T OS threads hammer one shared Arc<DeepMapping>
     // (each with its own reusable LookupBuffer), so concurrent batches exercise
     // the sharded single-flight pool and the parallel pipeline stages together.
+    // Latency and throughput are kept apart: each thread times its *own*
+    // batches (per-op latency percentiles), while aggregate keys/s comes from
+    // the wall-clock of whole rounds — per-thread wall time is never summed
+    // into a per-op figure.
     report::banner(
         "BENCH_lookup (multi-threaded)",
         "DM backend, 1/2/4 OS threads over one shared Arc<DeepMapping>",
@@ -97,49 +100,80 @@ fn main() {
         batch_size: 512,
         ..TrainingConfig::default()
     };
-    let dm = Arc::new(build_deepmapping_store(
-        &dataset,
-        Codec::Lz,
-        &machine,
-        training,
-    ));
+    // A dedicated 2-thread dm-exec pool so the parallel pipeline stages —
+    // including the stage-2/3 prefetch overlap — engage regardless of host
+    // core count; the prefetch counters below are the observable.
+    let dm = Arc::new(
+        DeepMappingBuilder::dm_z()
+            .memory_budget(machine.memory_budget_bytes)
+            .disk_profile(machine.disk)
+            .partition_bytes(32 * 1024)
+            .training(training)
+            .exec_threads(2)
+            .build(&dataset.rows())
+            .expect("DeepMapping build"),
+    );
     let name = dm.config().paper_name();
     let batch = scale.batch(100_000);
     let keys = LookupWorkload::hits_only(batch).generate(&dataset);
-    report::row("threads", &["B".into(), "ms/round".into(), "keys/s".into()]);
+    report::row(
+        "threads",
+        &[
+            "B".into(),
+            "per-op ms".into(),
+            "p95".into(),
+            "agg keys/s".into(),
+        ],
+    );
     for &threads in &[1usize, 2, 4] {
         // Warm the pool and per-thread buffers once outside the timed region.
         let mut warm = LookupBuffer::new();
         dm.lookup_batch_into(&keys, &mut warm).expect("warmup");
-        let mut samples: Vec<MeasuredLatency> = Vec::with_capacity(MT_ROUNDS);
+        let mut per_op: Vec<MeasuredLatency> = Vec::with_capacity(MT_ROUNDS * threads);
+        let mut rounds: Vec<MeasuredLatency> = Vec::with_capacity(MT_ROUNDS);
         for _ in 0..MT_ROUNDS {
             dm.metrics().reset();
-            let start = Instant::now();
-            std::thread::scope(|s| {
-                for _ in 0..threads {
-                    let dm = Arc::clone(&dm);
-                    let keys = &keys;
-                    s.spawn(move || {
-                        let mut buffer = LookupBuffer::new();
-                        dm.lookup_batch_into(keys, &mut buffer).expect("lookup");
-                    });
-                }
+            let round_start = Instant::now();
+            let batch_walls: Vec<Duration> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let dm = Arc::clone(&dm);
+                        let keys = &keys;
+                        s.spawn(move || {
+                            let mut buffer = LookupBuffer::new();
+                            let start = Instant::now();
+                            dm.lookup_batch_into(keys, &mut buffer).expect("lookup");
+                            start.elapsed()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("issuing thread"))
+                    .collect()
             });
-            // Simulated disk time accumulates across the round's threads, the
-            // same accounting the single-thread sweep applies per batch.
-            samples.push(MeasuredLatency {
-                wall: start.elapsed(),
-                simulated_io: std::time::Duration::from_nanos(
-                    dm.metrics().snapshot().simulated_io_nanos,
-                ),
+            // Simulated disk time accumulates on shared metrics across the
+            // round's threads; the round keeps the full amount (aggregate
+            // throughput) and each batch carries an even share, so per-op
+            // latency means wall + simulated I/O on every row of the JSON —
+            // threads=1 sweep and multi-threaded section alike.
+            let round_io = Duration::from_nanos(dm.metrics().snapshot().simulated_io_nanos);
+            rounds.push(MeasuredLatency {
+                wall: round_start.elapsed(),
+                simulated_io: round_io,
             });
+            per_op.extend(batch_walls.into_iter().map(|wall| MeasuredLatency {
+                wall,
+                simulated_io: round_io / threads as u32,
+            }));
         }
-        let record = LookupThroughputRecord::from_samples(&name, threads, batch, &samples);
+        let record = LookupThroughputRecord::from_concurrent(&name, threads, batch, &per_op, &rounds);
         report::row(
             &format!("{name} x{threads}"),
             &[
                 format!("{batch}"),
                 report::latency_cell(record.total_ms),
+                report::latency_cell(record.p95_ms),
                 format!("{:.0}", record.keys_per_second),
             ],
         );
@@ -154,6 +188,50 @@ fn main() {
         if threads > 1 {
             records.push(record);
         }
+    }
+
+    // Stage-2/3 overlap: the high-correlation dataset above leaves the aux
+    // table nearly empty, so demonstrate the prefetch on a partition-dominated
+    // low-correlation store instead — a cold batch spanning every partition
+    // must show its loads overlapping inference via the prefetch counters.
+    report::banner(
+        "BENCH_lookup (stage-2/3 overlap)",
+        "cold partition loads prefetched during inference (low-correlation store)",
+    );
+    match run_overlap_probe(&scale) {
+        Ok(line) => println!("{line}"),
+        Err(err) => eprintln!("overlap section failed: {err}"),
+    }
+
+    // Inference micro-kernels: ns/row per dense layer shape through the
+    // packed-panel SIMD kernel vs the pre-kernel reference path, so the
+    // kernel's contribution is visible separately from end-to-end lookups.
+    report::banner(
+        "BENCH_lookup (inference kernels)",
+        "ns/row per dense layer shape: packed panels vs matmul+bias+activation",
+    );
+    let inference_records = run_inference_micro();
+    report::row(
+        "shape",
+        &[
+            "rows".into(),
+            "packed ns/row".into(),
+            "ref ns/row".into(),
+            "speedup".into(),
+            "kernel".into(),
+        ],
+    );
+    for record in &inference_records {
+        report::row(
+            &format!("{} {}", record.shape, record.activation),
+            &[
+                format!("{}", record.rows),
+                format!("{:.1}", record.packed_ns_per_row),
+                format!("{:.1}", record.reference_ns_per_row),
+                format!("{:.2}x", record.speedup()),
+                record.kernel.clone(),
+            ],
+        );
     }
 
     // Cold start: snapshot a store whose auxiliary partitions dominate the file
@@ -195,10 +273,112 @@ fn main() {
         }
     };
 
-    match write_lookup_json(&scale, &records, &cold_records) {
+    match write_lookup_json(&scale, &records, &cold_records, &inference_records) {
         Ok(path) => println!("\nwrote {} ({} records)", path.display(), records.len()),
         Err(err) => eprintln!("\nfailed to write BENCH_lookup.json: {err}"),
     }
+}
+
+/// Measures each representative DM layer shape through the packed-panel kernel
+/// and through the pre-kernel reference path (`matmul` + bias broadcast +
+/// activation), best-of-N to shed scheduler noise.
+fn run_inference_micro() -> Vec<InferenceKernelRecord> {
+    const ROWS: usize = 4_096;
+    const REPS: usize = 9;
+    // Shapes mirroring the default DM-Z architecture over the bench dataset:
+    // trunk input, trunk interior, head hidden, head output.
+    let shapes: [(usize, usize, Activation); 4] = [
+        (35, 100, Activation::Relu),
+        (100, 100, Activation::Relu),
+        (100, 32, Activation::Relu),
+        (32, 8, Activation::Linear),
+    ];
+    let fill = |rows: usize, cols: usize, salt: u64| {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let h = (r as u64 * 131 + c as u64 * 29 + salt).wrapping_mul(0x9E3779B97F4A7C15);
+                m.set(r, c, ((h >> 40) as i32 % 1000) as f32 / 500.0 - 1.0);
+            }
+        }
+        m
+    };
+    fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+        f(); // warm caches and the panel pack
+        (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_nanos() as f64
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+    let mut records = Vec::new();
+    for &(k, n, act) in &shapes {
+        let x = fill(ROWS, k, 1);
+        let w = fill(k, n, 2);
+        let b = fill(1, n, 3);
+        let panels = kernel::PackedPanels::pack(&w, Some(&b)).expect("pack");
+        let packed_ns = best_of(REPS, || {
+            let out = kernel::forward_packed(&x, 0, ROWS, &panels, act).expect("forward");
+            std::hint::black_box(out.as_slice()[0]);
+        });
+        let reference_ns = best_of(REPS, || {
+            let mut z = x.matmul(&w).expect("matmul");
+            z.add_row_broadcast(&b).expect("bias");
+            act.apply_in_place(&mut z);
+            std::hint::black_box(z.as_slice()[0]);
+        });
+        records.push(InferenceKernelRecord {
+            shape: format!("{k}x{n}"),
+            activation: match act {
+                Activation::Relu => "relu".to_string(),
+                Activation::Linear => "linear".to_string(),
+                Activation::Sigmoid => "sigmoid".to_string(),
+                Activation::Tanh => "tanh".to_string(),
+            },
+            rows: ROWS,
+            kernel: kernel::active().name().to_string(),
+            packed_ns_per_row: packed_ns / ROWS as f64,
+            reference_ns_per_row: reference_ns / ROWS as f64,
+        });
+    }
+    records
+}
+
+/// Builds a partition-dominated low-correlation store on a 2-thread dm-exec
+/// pool, runs one cold batch spanning every partition, and reports how much of
+/// the partition loading hid behind stage-2 inference.
+fn run_overlap_probe(scale: &BenchScale) -> Result<String, Box<dyn std::error::Error>> {
+    let rows = SyntheticConfig::multi_low(scale.rows(2_000_000).max(30_000))
+        .generate()
+        .rows();
+    let max_key = rows.last().map(|r| r.key).unwrap_or(0);
+    let dm = DeepMappingBuilder::dm_z()
+        .training(TrainingConfig {
+            epochs: 4,
+            batch_size: 4096,
+            ..TrainingConfig::default()
+        })
+        .partition_bytes(32 * 1024)
+        .exec_threads(2)
+        .build(&rows)?;
+    let keys: Vec<u64> = (0..=max_key).step_by((max_key as usize / 8_192).max(1)).collect();
+    dm.metrics().reset();
+    let start = Instant::now();
+    dm.lookup_batch(&keys)?;
+    let wall = start.elapsed();
+    let snap = dm.metrics().snapshot();
+    Ok(format!(
+        "cold batch of {} keys over {} partitions in {:.2} ms: {} prefetch tasks / {} hits, {:.2} ms of loads overlapped with inference\n  {}",
+        keys.len(),
+        dm.aux_table().partition_count(),
+        wall.as_secs_f64() * 1e3,
+        snap.prefetch_tasks,
+        snap.prefetch_hits,
+        snap.prefetch_overlap_nanos as f64 / 1e6,
+        report::pool_counters_line(&snap),
+    ))
 }
 
 /// Builds the cold-start store: low-correlation rows (the auxiliary table holds

@@ -367,6 +367,56 @@ impl AuxTable {
         sink: &mut dyn FnMut(usize, &[u32]),
     ) -> Result<()> {
         let plan = self.plan_probes(keys);
+        self.probe_planned(plan, keys, exec, sink)
+    }
+
+    /// Whether partition `idx` is decoded and resident in the buffer pool right
+    /// now (no LRU touch, no blocking) — how the pipeline decides which of a
+    /// plan's partitions are worth prefetching and which prefetches landed.
+    pub(crate) fn partition_resident(&self, idx: usize) -> bool {
+        self.pool.contains(self.directory[idx].disk_id)
+    }
+
+    /// Loads partition `idx` into the buffer pool through the normal
+    /// single-flight path and drops the handle — the stage-2/3 overlap prefetch
+    /// body.  Errors are swallowed: a failed prefetch leaves the partition
+    /// cold, and the stage-3 probe retries the load and surfaces the error
+    /// through the lookup path.
+    pub(crate) fn prefetch_partition(&self, idx: usize) {
+        let _ = self.load_partition(idx);
+    }
+
+    /// Decoded (pool-resident) size estimate of partition `idx`, matching what
+    /// `load_partition` charges the buffer pool on insert.
+    fn partition_resident_bytes(&self, idx: usize) -> usize {
+        (self.directory[idx].rows * Row::fixed_width(self.value_columns)).max(64)
+    }
+
+    /// Truncates a prospective prefetch set to the prefix whose decoded bytes
+    /// fit in **half** the buffer-pool budget.  Prefetching past residency is
+    /// strictly worse than the lazy load-at-probe path: the pool evicts the
+    /// early prefetches (or the warm working set) before stage 3 reaches them,
+    /// so the same partition is loaded and decompressed twice in one batch.
+    /// Half the budget leaves the other half for the batch's warm residents.
+    pub(crate) fn clamp_prefetch(&self, indices: &mut Vec<usize>) {
+        let budget = self.pool.capacity_bytes() / 2;
+        let mut used = 0usize;
+        indices.retain(|&idx| {
+            used = used.saturating_add(self.partition_resident_bytes(idx));
+            used <= budget
+        });
+    }
+
+    /// Executes an already-computed [`ProbePlan`] (see
+    /// [`plan_probes`](Self::plan_probes)) — the pipeline plans before stage 2
+    /// so partition prefetch can overlap inference, then probes here.
+    pub(crate) fn probe_planned(
+        &self,
+        plan: ProbePlan,
+        keys: &[u64],
+        exec: &ThreadPool,
+        sink: &mut dyn FnMut(usize, &[u32]),
+    ) -> Result<()> {
         for qi in plan.resolved {
             if let Some(values) = self.delta.get(&keys[qi]) {
                 sink(qi, values);
@@ -932,6 +982,41 @@ mod tests {
         assert_eq!(reopened.overlay_bytes(), 0);
         reopened.upsert(Row::new(9_999_999, vec![1, 2]));
         assert_eq!(reopened.get(9_999_999).unwrap(), Some(vec![1, 2]));
+    }
+
+    /// The prefetch clamp must keep only the prefix of partitions whose
+    /// decoded size fits in half the pool budget — prefetching more would
+    /// evict its own loads before the probe stage reaches them.
+    #[test]
+    fn clamp_prefetch_respects_the_pool_budget() {
+        let rows = sample_rows(20_000);
+        // Unconstrained pool: everything survives the clamp.
+        let table = build_table(&rows);
+        let all: Vec<usize> = (0..table.partition_count()).collect();
+        let mut clamped = all.clone();
+        table.clamp_prefetch(&mut clamped);
+        assert_eq!(clamped, all);
+
+        // A pool that holds roughly one decoded partition: the clamp keeps at
+        // most the prefix that fits half of it — never the whole directory.
+        let per_partition = rows.len() / table.partition_count() * Row::fixed_width(2);
+        let tight = AuxTable::build(
+            &rows,
+            2,
+            Codec::Lz,
+            4 * 1024,
+            per_partition * 2,
+            DiskProfile::free(),
+            Metrics::new(),
+        )
+        .unwrap();
+        let mut clamped: Vec<usize> = (0..tight.partition_count()).collect();
+        tight.clamp_prefetch(&mut clamped);
+        assert!(
+            clamped.len() <= 1,
+            "half of a ~2-partition budget holds at most one decoded partition, kept {clamped:?}"
+        );
+        assert_eq!(clamped, (0..clamped.len()).collect::<Vec<_>>(), "clamp keeps a prefix");
     }
 
     #[test]

@@ -41,6 +41,12 @@
 //! * stage 2 splits large inference batches into row chunks
 //!   ([`MappingModel::predict_into_on`], serial below
 //!   `dm_nn::PARALLEL_ROW_CROSSOVER` rows),
+//! * stages 2 and 3 **overlap**: the probe plan is computed up front (it
+//!   depends only on the keys), and on a parallel pool the plan's cold
+//!   partitions are loaded+decompressed as pool tasks *while* inference runs,
+//!   behind the buffer pool's single-flight latch; how much load time hid
+//!   behind the forward pass is charged to the
+//!   `LatencyBreakdown::prefetch_{tasks,hits,overlap_nanos}` counters,
 //! * stage 3 shards independent partition groups across the pool
 //!   ([`AuxTable::get_batch_with_exec`](crate::aux_table::AuxTable)), leaning on
 //!   the sharded single-flight [`dm_storage::BufferPool`] so racing cold loads
@@ -63,6 +69,8 @@ use crate::model::MappingModel;
 use crate::Result;
 use dm_exec::ThreadPool;
 use dm_storage::{BitVec, LookupBuffer, Metrics, Phase};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Stage-1 output: which positions of the batch survive the existence filter.
 #[derive(Debug, Default)]
@@ -145,14 +153,83 @@ impl<'a> QueryPipeline<'a> {
         }
         let exec_before = self.exec.stats();
 
+        // Stage 3 is *planned* before stage 2 runs: the probe plan depends only
+        // on the keys, so the partitions it names can start loading while the
+        // model is still inferring.
+        let plan = self.aux.plan_probes(surviving);
+        // Only a parallel pool can overlap, so only then is it worth probing
+        // pool residency (one shard lock per touched partition); a serial pool
+        // skips straight to load-at-probe.  Never prefetch past what the pool
+        // can keep resident: an over-budget prefetch set evicts its own early
+        // loads (or the warm set) before stage 3 probes them, turning the
+        // overlap into double loads.
+        let cold: Vec<usize> = if self.exec.threads() > 1 {
+            let mut cold: Vec<usize> = plan
+                .groups
+                .keys()
+                .copied()
+                .filter(|&idx| !self.aux.partition_resident(idx))
+                .collect();
+            self.aux.clamp_prefetch(&mut cold);
+            cold
+        } else {
+            Vec::new()
+        };
+
         // Stage 2: one vectorized forward pass (row-chunked across the pool for
         // large batches), flat row-major predictions staged in the buffer's
-        // detachable scratch arena (no per-batch allocation).
+        // detachable scratch arena (no per-batch allocation).  On a parallel
+        // pool the plan's cold partitions are prefetched as concurrent pool
+        // tasks while the calling thread drives inference — the buffer pool's
+        // single-flight latch deduplicates any racing load, and stage 3 then
+        // probes resident partitions.  Observed via the
+        // `LatencyBreakdown::prefetch_*` counters.
+        //
+        // Phase attribution: load+decompress time is charged to
+        // `Phase::LoadAndDecompress` by the worker task that runs it (the
+        // module's parallel-attribution convention).  When loads outlast
+        // inference, a non-worker caller parks at the scope barrier until they
+        // finish — that idle wait is charged to no phase, the same as stage
+        // 3's parallel probes; wall-clock harnesses time the batch call.
         let mut predictions = out.take_scratch();
-        let inference = self.metrics.time(Phase::NeuralNetwork, || {
-            self.model
-                .predict_into_on(self.exec, surviving, &mut predictions)
-        });
+        let inference = if !cold.is_empty() {
+            let load_nanos = AtomicU64::new(0);
+            let (inference, inference_wall) = self.exec.scope(|s| {
+                for &idx in &cold {
+                    let load_nanos = &load_nanos;
+                    s.spawn(move || {
+                        let start = Instant::now();
+                        self.aux.prefetch_partition(idx);
+                        load_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    });
+                }
+                let start = Instant::now();
+                let result = self
+                    .model
+                    .predict_into_on(self.exec, surviving, &mut predictions);
+                (result, start.elapsed())
+            });
+            self.metrics.add_time(Phase::NeuralNetwork, inference_wall);
+            // The scope is a barrier, so a prefetched partition is only absent
+            // now if its load failed or memory pressure already evicted it.
+            let hits = cold
+                .iter()
+                .filter(|&&idx| self.aux.partition_resident(idx))
+                .count() as u64;
+            self.metrics.add_prefetch(
+                cold.len() as u64,
+                hits,
+                load_nanos
+                    .into_inner()
+                    .min(inference_wall.as_nanos() as u64),
+            );
+            inference
+        } else {
+            self.metrics.time(Phase::NeuralNetwork, || {
+                self.model
+                    .predict_into_on(self.exec, surviving, &mut predictions)
+            })
+        };
         let columns = match inference {
             Ok(columns) => columns,
             Err(err) => {
@@ -164,11 +241,12 @@ impl<'a> QueryPipeline<'a> {
 
         // Stage 3: auxiliary hits (grouped by partition, each loaded at most once,
         // groups probed in parallel on the pool) land in the buffer first — the
-        // accuracy-assurance contract says they win.
+        // accuracy-assurance contract says they win.  Executes the plan computed
+        // above.
         let positions = &split.surviving_positions;
         let validated = self
             .aux
-            .get_batch_with_exec(surviving, self.exec, &mut |si, values| {
+            .probe_planned(plan, surviving, self.exec, &mut |si, values| {
                 out.set_hit(positions[si], values);
             });
 
@@ -431,6 +509,80 @@ mod tests {
         serial.metrics().reset();
         serial.lookup_batch(&probe).unwrap();
         assert_eq!(serial.metrics().snapshot().exec_tasks, 0);
+    }
+
+    /// On a parallel pool, a batch touching cold partitions must prefetch them
+    /// during stage 2 (observable via the prefetch counters), finish stage 3
+    /// with every prefetched partition resident, and still agree with the
+    /// fully serial pipeline — with each partition loaded at most once.
+    #[test]
+    fn parallel_batches_overlap_stage2_inference_with_stage3_prefetch() {
+        let rows = adversarial_rows(4_000);
+        let parallel = DeepMapping::build(&rows, &quick_config().with_exec_threads(4)).unwrap();
+        let serial = DeepMapping::build(&rows, &quick_config().with_exec_threads(1)).unwrap();
+        let partitions = parallel.aux_table().partition_count();
+        assert!(partitions >= 2, "need several cold partitions to prefetch");
+        let probe: Vec<u64> = (0..4_000u64).step_by(3).collect();
+        parallel.metrics().reset();
+        let expected = serial.lookup_batch(&probe).unwrap();
+        assert_eq!(parallel.lookup_batch(&probe).unwrap(), expected);
+        let snap = parallel.metrics().snapshot();
+        assert!(
+            snap.prefetch_tasks > 0,
+            "cold partitions must be prefetched during inference, snapshot {snap:?}"
+        );
+        assert_eq!(
+            snap.prefetch_hits, snap.prefetch_tasks,
+            "with an unconstrained pool every prefetch lands before stage 3"
+        );
+        assert!(
+            snap.partition_loads <= partitions as u64,
+            "prefetch must reuse the single-flight pool, not duplicate loads"
+        );
+        // A second, warm batch has nothing cold to prefetch.
+        let tasks_after_first = snap.prefetch_tasks;
+        parallel.lookup_batch(&probe).unwrap();
+        assert_eq!(
+            parallel.metrics().snapshot().prefetch_tasks,
+            tasks_after_first,
+            "warm partitions must not spawn prefetch tasks"
+        );
+        // The serial pipeline never prefetches (nothing to overlap with).
+        serial.metrics().reset();
+        serial.lookup_batch(&probe).unwrap();
+        assert_eq!(serial.metrics().snapshot().prefetch_tasks, 0);
+    }
+
+    /// Under memory pressure the prefetch must be clamped to what the pool can
+    /// keep resident: loads may not balloon past the lazy path's bound by more
+    /// than the (budget-capped) prefetch set itself.
+    #[test]
+    fn prefetch_under_memory_pressure_does_not_thrash_the_pool() {
+        let rows = adversarial_rows(4_000);
+        let config = quick_config()
+            .with_memory_budget(8 * 1024)
+            .with_exec_threads(4);
+        let dm = DeepMapping::build(&rows, &config).unwrap();
+        let partitions = dm.aux_table().partition_count() as u64;
+        assert!(partitions >= 2);
+        let probe: Vec<u64> = (0..4_000u64)
+            .step_by(7)
+            .flat_map(|k| [k, 3_999 - k])
+            .collect();
+        dm.metrics().reset();
+        let results = dm.lookup_batch(&probe).unwrap();
+        assert!(results.iter().all(|r| r.is_some()));
+        let snap = dm.metrics().snapshot();
+        assert!(
+            snap.prefetch_tasks < partitions,
+            "an over-budget cold set must not be prefetched wholesale: {snap:?}"
+        );
+        assert!(
+            snap.partition_loads <= partitions + snap.prefetch_tasks,
+            "{} loads for {partitions} partitions (+{} prefetched) — the overlap thrashed the pool",
+            snap.partition_loads,
+            snap.prefetch_tasks
+        );
     }
 
     #[test]

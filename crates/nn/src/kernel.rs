@@ -1,0 +1,898 @@
+//! Register-blocked, lane-vectorized inference micro-kernels over pre-packed
+//! weight panels.
+//!
+//! The hot path of DeepMapping lookup is `batch × k` times `k × n` dense-layer
+//! products.  This module repacks each weight matrix **once** (at build /
+//! deserialize time) into column-major panels of [`LANES`] columns — panel `p`
+//! holds columns `[8p, 8p+8)` contiguously per `k`-row, zero-padded at the
+//! edge — so the inner loop is a streaming load + fused multiply-add over
+//! 8-wide f32 lanes, with the bias add and activation fused into the same pass
+//! over each output tile.
+//!
+//! ## Bit-identical kernel selection
+//!
+//! The auxiliary table memorizes *build-time* mispredictions, so any serve-time
+//! drift in model predictions would silently break losslessness.  Every kernel
+//! here is therefore defined as one fixed arithmetic recipe:
+//!
+//! * accumulators are laid out as 8 independent f32 lanes, initialized from the
+//!   (zero-padded) bias,
+//! * every multiply-add is **fused** (`f32::mul_add` in the scalar kernel, FMA
+//!   instructions in the vector kernel — both round once, so they agree bit for
+//!   bit),
+//! * lane reductions (for the `· Wᵀ` kernel) use one **fixed tree**:
+//!   `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`,
+//! * rows are computed independently, so chunking, batch size and thread count
+//!   cannot change any row's result.
+//!
+//! The scalar fallback emulates exactly this layout, which makes predictions
+//! bit-identical across kernel selection (guarded by tests here and by the
+//! snapshot round-trip guard in the facade crate).
+//!
+//! ## Selection
+//!
+//! [`Kernel::selected`] picks the vector kernel when the CPU supports AVX2+FMA,
+//! unless `DM_NN_KERNEL=scalar` forces the fallback (CI runs the whole suite
+//! once that way).  [`with_forced`] overrides the choice for the calling thread
+//! — the hook the bit-identity guard tests use to exercise both kernels in one
+//! process.
+
+use crate::layer::Activation;
+use crate::tensor::Matrix;
+use crate::NnError;
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Vector lane width: 8 f32 lanes (one AVX2 register).
+pub const LANES: usize = 8;
+
+/// Which micro-kernel implementation executes the packed operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Portable fallback emulating the 8-accumulator lane layout with
+    /// `f32::mul_add` — bit-identical to [`Kernel::Vector`].
+    Scalar,
+    /// AVX2 + FMA lanes (x86-64).  Falls back to the scalar recipe on other
+    /// hardware; results are identical either way.
+    Vector,
+}
+
+impl Kernel {
+    /// The process-wide kernel: `DM_NN_KERNEL=scalar` forces the fallback,
+    /// `DM_NN_KERNEL=vector` asks for lanes (granted only when the CPU
+    /// supports them), anything else auto-detects.  Read once.
+    pub fn selected() -> Kernel {
+        static SELECTED: OnceLock<Kernel> = OnceLock::new();
+        *SELECTED.get_or_init(|| {
+            let requested = std::env::var("DM_NN_KERNEL").unwrap_or_default();
+            match requested.trim().to_ascii_lowercase().as_str() {
+                "scalar" => Kernel::Scalar,
+                _ if vector_available() => Kernel::Vector,
+                _ => Kernel::Scalar,
+            }
+        })
+    }
+
+    /// Human-readable kernel name (bench/report output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Vector => "avx2+fma",
+        }
+    }
+}
+
+/// Whether the vector kernel's lanes are actually available on this CPU.
+pub fn vector_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+thread_local! {
+    static FORCED: Cell<Option<Kernel>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the calling thread's kernel selection overridden — the test
+/// hook behind the scalar-vs-vector bit-identity guards.  Only affects the
+/// calling thread (drive stores through a serial pool when using this).
+pub fn with_forced<T>(kernel: Kernel, f: impl FnOnce() -> T) -> T {
+    let previous = FORCED.with(|slot| slot.replace(Some(kernel)));
+    let result = f();
+    FORCED.with(|slot| slot.set(previous));
+    result
+}
+
+/// The kernel the current thread will execute packed operations with.
+pub fn active() -> Kernel {
+    FORCED.with(|slot| slot.get()).unwrap_or_else(Kernel::selected)
+}
+
+/// A weight matrix (`k × n`) repacked into column-major panels of [`LANES`]
+/// columns, plus the layer's bias zero-padded to the panel edge.  Packed once
+/// per weight mutation (build, deserialize, optimizer step); every packed
+/// kernel call then streams panels with unit stride.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedPanels {
+    k: usize,
+    n: usize,
+    /// `panel_count() * k * LANES` floats: panel `p`, row `kk`, lane `l` is at
+    /// `p * k * LANES + kk * LANES + l` and holds `weight[kk][8p + l]`
+    /// (zero for padding lanes `8p + l >= n`).
+    data: Vec<f32>,
+    /// Bias padded to `panel_count() * LANES` (zeros when the layer has none).
+    bias: Vec<f32>,
+}
+
+impl PackedPanels {
+    /// Packs a weight matrix and its optional `1 × n` bias row.
+    pub fn pack(weight: &Matrix, bias: Option<&Matrix>) -> crate::Result<Self> {
+        let (k, n) = (weight.rows(), weight.cols());
+        if let Some(b) = bias {
+            if b.rows() != 1 || b.cols() != n {
+                return Err(NnError::ShapeMismatch {
+                    context: format!(
+                        "pack: weight is {k}x{n}, bias is {}x{}",
+                        b.rows(),
+                        b.cols()
+                    ),
+                });
+            }
+        }
+        let panels = n.div_ceil(LANES);
+        let mut data = vec![0.0f32; panels * k * LANES];
+        for p in 0..panels {
+            let base = p * k * LANES;
+            for kk in 0..k {
+                let row = weight.row(kk);
+                for l in 0..LANES.min(n - p * LANES) {
+                    data[base + kk * LANES + l] = row[p * LANES + l];
+                }
+            }
+        }
+        let mut padded_bias = vec![0.0f32; panels * LANES];
+        if let Some(b) = bias {
+            padded_bias[..n].copy_from_slice(b.as_slice());
+        }
+        Ok(PackedPanels {
+            k,
+            n,
+            data,
+            bias: padded_bias,
+        })
+    }
+
+    /// Input dimension (rows of the original weight).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimension (columns of the original weight).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of 8-column panels (including the zero-padded edge panel).
+    pub fn panel_count(&self) -> usize {
+        self.n.div_ceil(LANES)
+    }
+
+    /// Resident bytes of the packed representation.
+    pub fn bytes(&self) -> usize {
+        (self.data.len() + self.bias.len()) * std::mem::size_of::<f32>()
+    }
+
+    #[inline]
+    fn panel(&self, p: usize) -> &[f32] {
+        &self.data[p * self.k * LANES..(p + 1) * self.k * LANES]
+    }
+
+    #[inline]
+    fn bias_panel(&self, p: usize) -> &[f32] {
+        &self.bias[p * LANES..(p + 1) * LANES]
+    }
+}
+
+/// `act(lhs[start .. start+count] · W + b)` over packed panels, written into a
+/// fresh `count × n` matrix.  The bias initializes the accumulator lanes and
+/// the activation is applied to each output tile while it is hot, so every
+/// tile is touched once.
+pub fn forward_packed(
+    lhs: &Matrix,
+    start: usize,
+    count: usize,
+    panels: &PackedPanels,
+    activation: Activation,
+) -> crate::Result<Matrix> {
+    forward_packed_with(active(), lhs, start, count, panels, activation)
+}
+
+/// [`forward_packed`] with an explicit kernel (tests and micro-benchmarks).
+pub fn forward_packed_with(
+    kernel: Kernel,
+    lhs: &Matrix,
+    start: usize,
+    count: usize,
+    panels: &PackedPanels,
+    activation: Activation,
+) -> crate::Result<Matrix> {
+    if lhs.cols() != panels.k {
+        return Err(NnError::ShapeMismatch {
+            context: format!(
+                "forward_packed: lhs is {}x{}, panels expect k={}",
+                lhs.rows(),
+                lhs.cols(),
+                panels.k
+            ),
+        });
+    }
+    if start + count > lhs.rows() {
+        return Err(NnError::ShapeMismatch {
+            context: format!(
+                "forward_packed: rows [{start}, {}) of a matrix with {} rows",
+                start + count,
+                lhs.rows()
+            ),
+        });
+    }
+    let mut out = Matrix::zeros(count, panels.n);
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Vector if vector_available() => unsafe {
+            // Safety: AVX2+FMA availability checked at runtime.
+            x86::forward_avx2(lhs, start, count, panels, activation, out.as_mut_slice());
+        },
+        _ => forward_scalar_dispatch(lhs, start, count, panels, activation, out.as_mut_slice()),
+    }
+    Ok(out)
+}
+
+/// `lhs (m × n) · Wᵀ (n × k) -> m × k` over packed panels — the backward-pass
+/// shape (`dy · Wᵀ`), reusing the forward panels ("gradients get the panels
+/// for free").  Each output element is a lane-parallel dot product finished by
+/// the fixed reduction tree.
+pub fn matmul_transpose_packed(lhs: &Matrix, panels: &PackedPanels) -> crate::Result<Matrix> {
+    matmul_transpose_packed_with(active(), lhs, panels)
+}
+
+/// [`matmul_transpose_packed`] with an explicit kernel.
+pub fn matmul_transpose_packed_with(
+    kernel: Kernel,
+    lhs: &Matrix,
+    panels: &PackedPanels,
+) -> crate::Result<Matrix> {
+    if lhs.cols() != panels.n {
+        return Err(NnError::ShapeMismatch {
+            context: format!(
+                "matmul_transpose_packed: lhs is {}x{}, panels expect n={}",
+                lhs.rows(),
+                lhs.cols(),
+                panels.n
+            ),
+        });
+    }
+    let mut out = Matrix::zeros(lhs.rows(), panels.k);
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Vector if vector_available() => unsafe {
+            // Safety: AVX2+FMA availability checked at runtime.
+            x86::matmul_wt_avx2(lhs, panels, out.as_mut_slice());
+        },
+        _ => matmul_wt_scalar_dispatch(lhs, panels, out.as_mut_slice()),
+    }
+    Ok(out)
+}
+
+/// `lhsᵀ (k × m) · rhs (k × n) -> m × n` without materializing the transpose —
+/// the weight-gradient shape (`xᵀ · dy`), lane-vectorized over the contiguous
+/// `rhs` rows.  Operations are element-wise fused multiply-adds, so the scalar
+/// and vector kernels agree bit for bit.
+pub fn transpose_matmul(lhs: &Matrix, rhs: &Matrix) -> crate::Result<Matrix> {
+    transpose_matmul_with(active(), lhs, rhs)
+}
+
+/// [`transpose_matmul`] with an explicit kernel.
+pub fn transpose_matmul_with(
+    kernel: Kernel,
+    lhs: &Matrix,
+    rhs: &Matrix,
+) -> crate::Result<Matrix> {
+    if lhs.rows() != rhs.rows() {
+        return Err(NnError::ShapeMismatch {
+            context: format!(
+                "transpose_matmul: lhs is {}x{}, rhs is {}x{}",
+                lhs.rows(),
+                lhs.cols(),
+                rhs.rows(),
+                rhs.cols()
+            ),
+        });
+    }
+    let mut out = Matrix::zeros(lhs.cols(), rhs.cols());
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Vector if vector_available() => unsafe {
+            // Safety: AVX2+FMA availability checked at runtime.
+            x86::transpose_matmul_avx2(lhs, rhs, out.as_mut_slice());
+        },
+        _ => transpose_matmul_scalar_dispatch(lhs, rhs, out.as_mut_slice()),
+    }
+    Ok(out)
+}
+
+/// The fixed lane-reduction tree both kernels finish dot products with:
+/// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` — the exact sum order of the vector
+/// kernel's extract/add shuffle sequence.
+#[inline(always)]
+pub fn reduce_lanes(v: [f32; LANES]) -> f32 {
+    let s04 = v[0] + v[4];
+    let s15 = v[1] + v[5];
+    let s26 = v[2] + v[6];
+    let s37 = v[3] + v[7];
+    (s04 + s26) + (s15 + s37)
+}
+
+/// Activation applied lane-wise to a freshly computed tile.  ReLU is defined as
+/// `if v < 0.0 { 0.0 } else { v }` (keeps `-0.0` and NaN), which both kernels
+/// implement identically; sigmoid/tanh run scalar over the stored tile in both.
+#[inline(always)]
+fn apply_activation_slice(activation: Activation, out: &mut [f32]) {
+    match activation {
+        Activation::Linear => {}
+        Activation::Relu => {
+            for v in out {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        Activation::Sigmoid => {
+            for v in out {
+                *v = 1.0 / (1.0 + (-*v).exp());
+            }
+        }
+        Activation::Tanh => {
+            for v in out {
+                *v = v.tanh();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernel bodies.
+//
+// Each body is `#[inline(always)]` and compiled twice: once portably, and once
+// under `#[target_feature(enable = "fma")]` so that on FMA hardware the forced
+// scalar kernel uses hardware fused multiply-adds instead of libm `fmaf` calls.
+// Both compute the identical correctly-rounded fused result.
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn forward_scalar_body(
+    lhs: &Matrix,
+    start: usize,
+    count: usize,
+    panels: &PackedPanels,
+    activation: Activation,
+    out: &mut [f32],
+) {
+    let n = panels.n;
+    let k = panels.k;
+    for i in 0..count {
+        let lhs_row = lhs.row(start + i);
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..panels.panel_count() {
+            let panel = panels.panel(p);
+            let mut acc: [f32; LANES] = panels.bias_panel(p).try_into().expect("lane width");
+            for (kk, &a) in lhs_row.iter().enumerate().take(k) {
+                let w = &panel[kk * LANES..(kk + 1) * LANES];
+                for (lane, &wl) in acc.iter_mut().zip(w) {
+                    *lane = a.mul_add(wl, *lane);
+                }
+            }
+            let cols = LANES.min(n - p * LANES);
+            let tile = &mut out_row[p * LANES..p * LANES + cols];
+            tile.copy_from_slice(&acc[..cols]);
+            apply_activation_slice(activation, tile);
+        }
+    }
+}
+
+#[inline(always)]
+fn matmul_wt_scalar_body(lhs: &Matrix, panels: &PackedPanels, out: &mut [f32]) {
+    let k = panels.k;
+    let n = panels.n;
+    let np = panels.panel_count();
+    // Zero-padded copy of each lhs row's edge panel, built once per row.
+    for i in 0..lhs.rows() {
+        let lhs_row = lhs.row(i);
+        let out_row = &mut out[i * k..(i + 1) * k];
+        // Process output columns in blocks of 8 accumulator groups so the
+        // panel stream is read once per block while staying register-resident.
+        const KC: usize = 8;
+        let mut kk0 = 0;
+        while kk0 < k {
+            let kb = KC.min(k - kk0);
+            let mut acc = [[0.0f32; LANES]; KC];
+            for p in 0..np {
+                let mut x = [0.0f32; LANES];
+                let cols = LANES.min(n - p * LANES);
+                x[..cols].copy_from_slice(&lhs_row[p * LANES..p * LANES + cols]);
+                let panel = panels.panel(p);
+                for (j, acc_j) in acc.iter_mut().enumerate().take(kb) {
+                    let w = &panel[(kk0 + j) * LANES..(kk0 + j + 1) * LANES];
+                    for ((lane, &xl), &wl) in acc_j.iter_mut().zip(&x).zip(w) {
+                        *lane = xl.mul_add(wl, *lane);
+                    }
+                }
+            }
+            for (j, &acc_j) in acc.iter().enumerate().take(kb) {
+                out_row[kk0 + j] = reduce_lanes(acc_j);
+            }
+            kk0 += kb;
+        }
+    }
+}
+
+#[inline(always)]
+fn transpose_matmul_scalar_body(lhs: &Matrix, rhs: &Matrix, out: &mut [f32]) {
+    let n = rhs.cols();
+    for kk in 0..lhs.rows() {
+        let lhs_row = lhs.row(kk);
+        let rhs_row = rhs.row(kk);
+        for (i, &a) in lhs_row.iter().enumerate() {
+            // ReLU activations are zero-heavy; both kernels skip identically.
+            if a == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                *o = a.mul_add(b, *o);
+            }
+        }
+    }
+}
+
+macro_rules! scalar_dispatch {
+    ($dispatch:ident, $body:ident, $fma:ident, ($($arg:ident: $ty:ty),*)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "fma")]
+        unsafe fn $fma($($arg: $ty),*) {
+            $body($($arg),*);
+        }
+
+        fn $dispatch($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if is_x86_feature_detected!("fma") {
+                    // Safety: FMA availability checked at runtime; the body's
+                    // `mul_add` then compiles to hardware FMA (same correctly
+                    // rounded result as the portable libm path).
+                    unsafe { $fma($($arg),*) };
+                    return;
+                }
+            }
+            $body($($arg),*);
+        }
+    };
+}
+
+scalar_dispatch!(
+    forward_scalar_dispatch,
+    forward_scalar_body,
+    forward_scalar_fma,
+    (
+        lhs: &Matrix,
+        start: usize,
+        count: usize,
+        panels: &PackedPanels,
+        activation: Activation,
+        out: &mut [f32]
+    )
+);
+
+scalar_dispatch!(
+    matmul_wt_scalar_dispatch,
+    matmul_wt_scalar_body,
+    matmul_wt_scalar_fma,
+    (lhs: &Matrix, panels: &PackedPanels, out: &mut [f32])
+);
+
+scalar_dispatch!(
+    transpose_matmul_scalar_dispatch,
+    transpose_matmul_scalar_body,
+    transpose_matmul_scalar_fma,
+    (lhs: &Matrix, rhs: &Matrix, out: &mut [f32])
+);
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA kernels.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{apply_activation_slice, PackedPanels, LANES};
+    use crate::layer::Activation;
+    use crate::tensor::Matrix;
+    use std::arch::x86_64::*;
+
+    /// Row-block size of the forward micro-kernel: 4 rows × 1 panel = 4
+    /// accumulator registers sharing each panel-row load.
+    const MR: usize = 4;
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn forward_avx2(
+        lhs: &Matrix,
+        start: usize,
+        count: usize,
+        panels: &PackedPanels,
+        activation: Activation,
+        out: &mut [f32],
+    ) {
+        let n = panels.n;
+        let k = panels.k;
+        let np = panels.panel_count();
+        let mut r = 0;
+        while r + MR <= count {
+            for p in 0..np {
+                let panel = panels.panel(p);
+                let bias = _mm256_loadu_ps(panels.bias_panel(p).as_ptr());
+                let rows: [&[f32]; MR] = std::array::from_fn(|j| lhs.row(start + r + j));
+                let mut acc = [bias; MR];
+                #[allow(clippy::needless_range_loop)] // kk indexes 4 rows + the panel in lockstep
+                for kk in 0..k {
+                    let w = _mm256_loadu_ps(panel.as_ptr().add(kk * LANES));
+                    for j in 0..MR {
+                        acc[j] = _mm256_fmadd_ps(_mm256_set1_ps(rows[j][kk]), w, acc[j]);
+                    }
+                }
+                for (j, &acc_j) in acc.iter().enumerate() {
+                    store_tile(acc_j, activation, out, (r + j) * n + p * LANES, n - p * LANES);
+                }
+            }
+            r += MR;
+        }
+        while r < count {
+            let lhs_row = lhs.row(start + r);
+            for p in 0..np {
+                let panel = panels.panel(p);
+                let mut acc = _mm256_loadu_ps(panels.bias_panel(p).as_ptr());
+                for (kk, &a) in lhs_row.iter().enumerate().take(k) {
+                    let w = _mm256_loadu_ps(panel.as_ptr().add(kk * LANES));
+                    acc = _mm256_fmadd_ps(_mm256_set1_ps(a), w, acc);
+                }
+                store_tile(acc, activation, out, r * n + p * LANES, n - p * LANES);
+            }
+            r += 1;
+        }
+    }
+
+    /// Stores up to 8 lanes of a finished tile and applies the activation in
+    /// the same pass (ReLU in registers; sigmoid/tanh scalar on the stored
+    /// lanes, identical to the scalar kernel's recipe).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn store_tile(
+        acc: __m256,
+        activation: Activation,
+        out: &mut [f32],
+        offset: usize,
+        remaining_cols: usize,
+    ) {
+        let acc = match activation {
+            Activation::Relu => {
+                // `if v < 0.0 { 0.0 }`: lanes where v < 0 are cleared; -0.0 and
+                // NaN compare not-less-than and pass through — exactly the
+                // scalar recipe.
+                let lt = _mm256_cmp_ps::<_CMP_LT_OQ>(acc, _mm256_setzero_ps());
+                _mm256_andnot_ps(lt, acc)
+            }
+            _ => acc,
+        };
+        let cols = LANES.min(remaining_cols);
+        if cols == LANES {
+            _mm256_storeu_ps(out.as_mut_ptr().add(offset), acc);
+        } else {
+            let mut tmp = [0.0f32; LANES];
+            _mm256_storeu_ps(tmp.as_mut_ptr(), acc);
+            out[offset..offset + cols].copy_from_slice(&tmp[..cols]);
+        }
+        if matches!(activation, Activation::Sigmoid | Activation::Tanh) {
+            apply_activation_slice(activation, &mut out[offset..offset + cols]);
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn matmul_wt_avx2(lhs: &Matrix, panels: &PackedPanels, out: &mut [f32]) {
+        let k = panels.k;
+        let n = panels.n;
+        let np = panels.panel_count();
+        const KC: usize = 8;
+        for i in 0..lhs.rows() {
+            let lhs_row = lhs.row(i);
+            let mut kk0 = 0;
+            while kk0 < k {
+                let kb = KC.min(k - kk0);
+                let mut acc = [_mm256_setzero_ps(); KC];
+                for p in 0..np {
+                    let cols = LANES.min(n - p * LANES);
+                    let x = if cols == LANES {
+                        _mm256_loadu_ps(lhs_row.as_ptr().add(p * LANES))
+                    } else {
+                        let mut tmp = [0.0f32; LANES];
+                        tmp[..cols].copy_from_slice(&lhs_row[p * LANES..p * LANES + cols]);
+                        _mm256_loadu_ps(tmp.as_ptr())
+                    };
+                    let panel = panels.panel(p);
+                    for (j, acc_j) in acc.iter_mut().enumerate().take(kb) {
+                        let w = _mm256_loadu_ps(panel.as_ptr().add((kk0 + j) * LANES));
+                        *acc_j = _mm256_fmadd_ps(x, w, *acc_j);
+                    }
+                }
+                for (j, &acc_j) in acc.iter().enumerate().take(kb) {
+                    out[i * k + kk0 + j] = reduce_lanes_avx(acc_j);
+                }
+                kk0 += kb;
+            }
+        }
+    }
+
+    /// The vector form of [`super::reduce_lanes`]: extract/add the 128-bit
+    /// halves, then the movehl/shuffle pair — summing in exactly the fixed
+    /// tree's order.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn reduce_lanes_avx(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps::<1>(v);
+        // [l0+l4, l1+l5, l2+l6, l3+l7]
+        let quad = _mm_add_ps(lo, hi);
+        // [s04+s26, s15+s37, ..]
+        let pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+        let one = _mm_add_ss(pair, _mm_shuffle_ps::<0b01>(pair, pair));
+        _mm_cvtss_f32(one)
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn transpose_matmul_avx2(lhs: &Matrix, rhs: &Matrix, out: &mut [f32]) {
+        let n = rhs.cols();
+        for kk in 0..lhs.rows() {
+            let lhs_row = lhs.row(kk);
+            let rhs_row = rhs.row(kk);
+            for (i, &a) in lhs_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                let av = _mm256_set1_ps(a);
+                let mut j = 0;
+                while j + LANES <= n {
+                    let o = _mm256_loadu_ps(out_row.as_ptr().add(j));
+                    let b = _mm256_loadu_ps(rhs_row.as_ptr().add(j));
+                    _mm256_storeu_ps(out_row.as_mut_ptr().add(j), _mm256_fmadd_ps(av, b, o));
+                    j += LANES;
+                }
+                for (o, &b) in out_row[j..].iter_mut().zip(&rhs_row[j..]) {
+                    *o = a.mul_add(b, *o);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill that exercises signs, zeros and
+    /// magnitudes without a PRNG dependency.
+    fn fill(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let h = (r as u64 * 31 + c as u64 * 7 + salt).wrapping_mul(0x9E3779B97F4A7C15);
+                let v = ((h >> 40) as i32 % 1000) as f32 / 250.0 - 2.0;
+                m.set(r, c, if h.is_multiple_of(5) { 0.0 } else { v });
+            }
+        }
+        m
+    }
+
+    fn reference_forward(
+        x: &Matrix,
+        w: &Matrix,
+        b: &Matrix,
+        act: Activation,
+    ) -> Matrix {
+        let mut z = x.matmul(w).unwrap();
+        z.add_row_broadcast(b).unwrap();
+        act.apply_in_place(&mut z);
+        z
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    fn both_kernels() -> Vec<Kernel> {
+        vec![Kernel::Scalar, Kernel::Vector]
+    }
+
+    #[test]
+    fn pack_lays_out_panels_with_zero_padding() {
+        let w = fill(3, 10, 1);
+        let b = fill(1, 10, 2);
+        let panels = PackedPanels::pack(&w, Some(&b)).unwrap();
+        assert_eq!(panels.k(), 3);
+        assert_eq!(panels.n(), 10);
+        assert_eq!(panels.panel_count(), 2);
+        assert!(panels.bytes() > 0);
+        // Panel 0, row 1, lane 3 is weight[1][3]; panel 1, row 2, lane 1 is
+        // weight[2][9]; padding lanes are zero.
+        assert_eq!(panels.panel(0)[LANES + 3], w.get(1, 3));
+        assert_eq!(panels.panel(1)[2 * LANES + 1], w.get(2, 9));
+        for lane in 2..LANES {
+            assert_eq!(panels.panel(1)[2 * LANES + lane], 0.0);
+            assert_eq!(panels.bias_panel(1)[lane], 0.0);
+        }
+        assert_eq!(panels.bias_panel(1)[1], b.get(0, 9));
+    }
+
+    #[test]
+    fn pack_rejects_mismatched_bias() {
+        let w = Matrix::zeros(3, 4);
+        let bad = Matrix::zeros(1, 5);
+        assert!(PackedPanels::pack(&w, Some(&bad)).is_err());
+    }
+
+    /// The packed forward kernel must agree with the textbook matmul + bias +
+    /// activation across every m/n/k remainder class of the lane and panel
+    /// widths — including empty and single-row inputs.
+    #[test]
+    fn forward_packed_matches_reference_across_remainders() {
+        for kernel in both_kernels() {
+            for &m in &[0usize, 1, 3, 4, 5, 9] {
+                for &k in &[1usize, 4, 7, 8, 9, 17] {
+                    for &n in &[1usize, 7, 8, 9, 16, 19] {
+                        for act in [Activation::Linear, Activation::Relu, Activation::Tanh] {
+                            let x = fill(m, k, 3);
+                            let w = fill(k, n, 4);
+                            let b = fill(1, n, 5);
+                            let panels = PackedPanels::pack(&w, Some(&b)).unwrap();
+                            let got =
+                                forward_packed_with(kernel, &x, 0, m, &panels, act).unwrap();
+                            let expected = reference_forward(&x, &w, &b, act);
+                            assert_close(&got, &expected);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_packed_row_windows_match_full_pass() {
+        let x = fill(10, 9, 6);
+        let w = fill(9, 12, 7);
+        let b = fill(1, 12, 8);
+        let panels = PackedPanels::pack(&w, Some(&b)).unwrap();
+        let full = forward_packed(&x, 0, 10, &panels, Activation::Relu).unwrap();
+        for start in 0..10 {
+            for count in 0..=(10 - start) {
+                let window =
+                    forward_packed(&x, start, count, &panels, Activation::Relu).unwrap();
+                for r in 0..count {
+                    assert_eq!(window.row(r), full.row(start + r), "window [{start}; {count})");
+                }
+            }
+        }
+        assert!(forward_packed(&x, 8, 3, &panels, Activation::Relu).is_err());
+        let wrong_k = fill(4, 8, 1);
+        assert!(forward_packed(&wrong_k, 0, 4, &panels, Activation::Relu).is_err());
+    }
+
+    /// Scalar and vector kernels must agree bit for bit — the invariant that
+    /// keeps aux-table memorization lossless across kernel selection.
+    #[test]
+    fn scalar_and_vector_kernels_are_bit_identical() {
+        if !vector_available() {
+            return; // vector lanes degrade to the scalar recipe anyway
+        }
+        for &(m, k, n) in &[(1usize, 5usize, 3usize), (4, 8, 8), (7, 33, 21), (64, 40, 100)] {
+            let x = fill(m, k, 11);
+            let w = fill(k, n, 12);
+            let b = fill(1, n, 13);
+            let panels = PackedPanels::pack(&w, Some(&b)).unwrap();
+            for act in [
+                Activation::Linear,
+                Activation::Relu,
+                Activation::Sigmoid,
+                Activation::Tanh,
+            ] {
+                let s = forward_packed_with(Kernel::Scalar, &x, 0, m, &panels, act).unwrap();
+                let v = forward_packed_with(Kernel::Vector, &x, 0, m, &panels, act).unwrap();
+                let s_bits: Vec<u32> = s.as_slice().iter().map(|f| f.to_bits()).collect();
+                let v_bits: Vec<u32> = v.as_slice().iter().map(|f| f.to_bits()).collect();
+                assert_eq!(s_bits, v_bits, "forward {m}x{k}x{n} {act:?}");
+            }
+            let dy = fill(m, n, 14);
+            let s = matmul_transpose_packed_with(Kernel::Scalar, &dy, &panels).unwrap();
+            let v = matmul_transpose_packed_with(Kernel::Vector, &dy, &panels).unwrap();
+            assert_eq!(
+                s.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                v.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "matmul_wt {m}x{n}x{k}"
+            );
+            let xt = fill(k, m, 15);
+            let rhs = fill(k, n, 16);
+            let s = transpose_matmul_with(Kernel::Scalar, &xt, &rhs).unwrap();
+            let v = transpose_matmul_with(Kernel::Vector, &xt, &rhs).unwrap();
+            assert_eq!(
+                s.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                v.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "transpose_matmul {k}x{m}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_packed_matches_explicit_transpose() {
+        for kernel in both_kernels() {
+            for &(m, n, k) in &[(1usize, 1usize, 1usize), (3, 9, 7), (5, 16, 8), (6, 21, 33)] {
+                let lhs = fill(m, n, 21);
+                let w = fill(k, n, 22);
+                let panels = PackedPanels::pack(&w, None).unwrap();
+                let got = matmul_transpose_packed_with(kernel, &lhs, &panels).unwrap();
+                let expected = lhs.matmul(&w.transpose()).unwrap();
+                assert_close(&got, &expected);
+            }
+        }
+        let lhs = Matrix::zeros(2, 5);
+        let panels = PackedPanels::pack(&Matrix::zeros(3, 4), None).unwrap();
+        assert!(matmul_transpose_packed(&lhs, &panels).is_err());
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit_transpose() {
+        for kernel in both_kernels() {
+            for &(k, m, n) in &[(1usize, 1usize, 1usize), (4, 3, 9), (9, 8, 16), (17, 5, 21)] {
+                let lhs = fill(k, m, 31);
+                let rhs = fill(k, n, 32);
+                let got = transpose_matmul_with(kernel, &lhs, &rhs).unwrap();
+                let expected = lhs.transpose().matmul(&rhs).unwrap();
+                assert_close(&got, &expected);
+            }
+        }
+        assert!(transpose_matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 5)).is_err());
+    }
+
+    #[test]
+    fn reduce_lanes_is_the_documented_tree() {
+        let v = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        assert_eq!(reduce_lanes(v), 36.0);
+        // Order sensitivity: the tree is ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+        let v = [1e8f32, 1.0, -1e8, 0.5, 1e8, 0.25, -1e8, 0.125];
+        let expected = ((1e8f32 + 1e8) + (-1e8 + -1e8)) + ((1.0 + 0.25) + (0.5 + 0.125));
+        assert_eq!(reduce_lanes(v), expected);
+    }
+
+    #[test]
+    fn forced_kernel_overrides_selection_on_this_thread() {
+        let outside = active();
+        with_forced(Kernel::Scalar, || {
+            assert_eq!(active(), Kernel::Scalar);
+            with_forced(Kernel::Vector, || assert_eq!(active(), Kernel::Vector));
+            assert_eq!(active(), Kernel::Scalar);
+        });
+        assert_eq!(active(), outside);
+        assert!(!Kernel::Scalar.name().is_empty());
+        assert!(!Kernel::Vector.name().is_empty());
+    }
+}

@@ -8,8 +8,10 @@
 //! parameters.
 
 use crate::init;
+use crate::kernel::{self, PackedPanels};
 use crate::tensor::Matrix;
 use rand::Rng;
+use std::sync::OnceLock;
 
 /// Activation functions supported by the substrate.
 ///
@@ -121,6 +123,9 @@ pub struct Dense {
     weight: Matrix,
     bias: Matrix,
     activation: Activation,
+    /// Weight + bias repacked into lane-width panels for the SIMD kernels
+    /// (packed on first use after every weight mutation; see `dm_nn::kernel`).
+    panels: OnceLock<PackedPanels>,
     // Cached forward state required by backward().
     last_input: Option<Matrix>,
     last_output: Option<Matrix>,
@@ -142,6 +147,7 @@ impl Dense {
             weight,
             bias: init::zero_bias(out_dim),
             activation,
+            panels: OnceLock::new(),
             last_input: None,
             last_output: None,
             grad_weight: Matrix::zeros(in_dim, out_dim),
@@ -163,10 +169,15 @@ impl Dense {
             });
         }
         let (in_dim, out_dim) = (weight.rows(), weight.cols());
+        // Deserialized layers are immutable until an optimizer touches them, so
+        // repack eagerly: snapshot opens pay the (tiny) pack cost up front and
+        // the first lookup batch runs on panels immediately.
+        let panels = OnceLock::from(PackedPanels::pack(&weight, Some(&bias))?);
         Ok(Dense {
             weight,
             bias,
             activation,
+            panels,
             last_input: None,
             last_output: None,
             grad_weight: Matrix::zeros(in_dim, out_dim),
@@ -192,6 +203,22 @@ impl Dense {
     /// Immutable access to the weight matrix.
     pub fn weight(&self) -> &Matrix {
         &self.weight
+    }
+
+    /// Mutable access to the weight matrix.  Invalidates the packed panels, so
+    /// the next forward/backward pass repacks the mutated weights.
+    pub fn weight_mut(&mut self) -> &mut Matrix {
+        self.panels.take();
+        &mut self.weight
+    }
+
+    /// The weight/bias pair repacked into lane-width panels, packing on first
+    /// use after a mutation.
+    pub fn packed(&self) -> &PackedPanels {
+        self.panels.get_or_init(|| {
+            PackedPanels::pack(&self.weight, Some(&self.bias))
+                .expect("weight/bias shapes are validated at construction")
+        })
     }
 
     /// Immutable access to the bias row vector.
@@ -220,11 +247,12 @@ impl Dense {
     /// Inference-only forward pass over rows `[start, start + count)` of `x`,
     /// without materializing the input window: `y = act(x[rows] · W + b)`.  The
     /// chunked batch-inference path uses this so cache blocking costs no copies.
+    ///
+    /// Runs on the packed-panel SIMD kernel ([`kernel::forward_packed`]): one
+    /// register-blocked FMA pass with the bias and activation fused into each
+    /// output tile.
     pub fn forward_rows(&self, x: &Matrix, start: usize, count: usize) -> crate::Result<Matrix> {
-        let mut z = x.matmul_rows(start, count, &self.weight)?;
-        z.add_row_broadcast(&self.bias)?;
-        self.activation.apply_in_place(&mut z);
-        Ok(z)
+        kernel::forward_packed(x, start, count, self.packed(), self.activation)
     }
 
     /// Backward pass.  `grad_out` is the loss gradient w.r.t. this layer's output;
@@ -241,11 +269,16 @@ impl Dense {
         let grad_pre = self.activation.backward(output, grad_out);
         self.grad_weight = input.transpose_matmul(&grad_pre)?;
         self.grad_bias = grad_pre.sum_rows();
-        grad_pre.matmul_transpose_rhs(&self.weight)
+        // `dy · Wᵀ` reuses the forward panels — the gradient pass gets the
+        // packed layout for free (the optimizer has not touched W yet).
+        kernel::matmul_transpose_packed(&grad_pre, self.packed())
     }
 
-    /// Mutable (parameters, gradients) pairs for optimizers.
+    /// Mutable (parameters, gradients) pairs for optimizers.  Handing out the
+    /// mutable weight/bias invalidates the packed panels; the next pass
+    /// repacks the updated parameters.
     pub fn parameters_and_grads(&mut self) -> Vec<(&mut Matrix, &Matrix)> {
+        self.panels.take();
         vec![
             (&mut self.weight, &self.grad_weight),
             (&mut self.bias, &self.grad_bias),
@@ -331,12 +364,12 @@ mod tests {
         let mut numeric = Matrix::zeros(3, 2);
         for r in 0..3 {
             for c in 0..2 {
-                let orig = layer.weight.get(r, c);
-                layer.weight.set(r, c, orig + eps);
+                let orig = layer.weight().get(r, c);
+                layer.weight_mut().set(r, c, orig + eps);
                 let plus: f32 = layer.forward(&x).unwrap().as_slice().iter().sum();
-                layer.weight.set(r, c, orig - eps);
+                layer.weight_mut().set(r, c, orig - eps);
                 let minus: f32 = layer.forward(&x).unwrap().as_slice().iter().sum();
-                layer.weight.set(r, c, orig);
+                layer.weight_mut().set(r, c, orig);
                 numeric.set(r, c, (plus - minus) / (2.0 * eps));
             }
         }

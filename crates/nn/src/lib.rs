@@ -9,6 +9,9 @@
 //!
 //! * [`tensor::Matrix`] — a row-major `f32` matrix with the handful of BLAS-like
 //!   operations the forward/backward passes need,
+//! * [`kernel`] — register-blocked, lane-vectorized micro-kernels over
+//!   pre-packed weight panels (AVX2/FMA with a bit-identical scalar fallback,
+//!   selectable via `DM_NN_KERNEL`), the engine under every dense matmul,
 //! * [`layer`] — dense layers and activations with explicit backward passes,
 //! * [`loss`] — softmax cross-entropy (the paper's training loss),
 //! * [`optimizer`] — SGD (with momentum and decay) and Adam,
@@ -25,6 +28,7 @@
 
 pub mod encoding;
 pub mod init;
+pub mod kernel;
 pub mod layer;
 pub mod loss;
 pub mod lstm;
@@ -35,6 +39,7 @@ pub mod serialize;
 pub mod tensor;
 
 pub use encoding::{KeyEncoder, LabelCodec};
+pub use kernel::{Kernel, PackedPanels, LANES};
 pub use layer::{Activation, Dense};
 pub use loss::softmax_cross_entropy;
 pub use lstm::{LstmCell, SequenceController};

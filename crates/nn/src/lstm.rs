@@ -11,8 +11,11 @@
 //! update.
 
 use crate::init;
+use crate::kernel::{self, PackedPanels};
+use crate::layer::Activation;
 use crate::tensor::Matrix;
 use rand::Rng;
+use std::sync::OnceLock;
 
 /// The four gate activation vectors (input, forget, cell candidate, output) of one
 /// LSTM step.
@@ -28,6 +31,9 @@ pub struct LstmCell {
     hidden: usize,
     weight: Matrix,
     bias: Matrix,
+    /// Gate weights repacked into lane-width panels for the SIMD kernels
+    /// (invalidated whenever an optimizer touches the parameters).
+    panels: OnceLock<PackedPanels>,
     // Gradients accumulated across the steps of an episode (REINFORCE update granularity).
     grad_weight: Matrix,
     grad_bias: Matrix,
@@ -74,9 +80,19 @@ impl LstmCell {
             hidden,
             weight: init::gaussian(rng, input_dim + hidden, 4 * hidden, 0.0, init_std),
             bias: Matrix::zeros(1, 4 * hidden),
+            panels: OnceLock::new(),
             grad_weight: Matrix::zeros(input_dim + hidden, 4 * hidden),
             grad_bias: Matrix::zeros(1, 4 * hidden),
         }
+    }
+
+    /// The gate weight/bias pair repacked into lane-width panels, packing on
+    /// first use after a mutation.
+    fn packed(&self) -> &PackedPanels {
+        self.panels.get_or_init(|| {
+            PackedPanels::pack(&self.weight, Some(&self.bias))
+                .expect("gate weight/bias shapes are fixed at construction")
+        })
     }
 
     /// Hidden width.
@@ -96,8 +112,9 @@ impl LstmCell {
 
     fn gates(&self, x: &Matrix, state: &LstmState) -> crate::Result<GateActivations> {
         let concat = x.hstack(&state.h)?;
-        let mut z = concat.matmul(&self.weight)?;
-        z.add_row_broadcast(&self.bias)?;
+        // One packed-panel pass with the bias fused into the accumulators; the
+        // gate nonlinearities are applied per section below.
+        let z = kernel::forward_packed(&concat, 0, 1, self.packed(), Activation::Linear)?;
         let h = self.hidden;
         let zr = z.row(0);
         let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
@@ -183,7 +200,9 @@ impl LstmCell {
         let grad_w = concat.transpose_matmul(&dz_m)?;
         self.grad_weight.add_scaled(&grad_w, 1.0)?;
         self.grad_bias.add_scaled(&dz_m, 1.0)?;
-        let d_concat = dz_m.matmul_transpose_rhs(&self.weight)?;
+        // `dz · Wᵀ` reuses the forward panels (the optimizer only runs after
+        // the episode's gradients are fully accumulated).
+        let d_concat = kernel::matmul_transpose_packed(&dz_m, self.packed())?;
         let dx = Matrix::from_vec(1, self.input_dim, d_concat.row(0)[..self.input_dim].to_vec())
             .expect("shape");
         let dh_prev = d_concat.row(0)[self.input_dim..].to_vec();
@@ -196,8 +215,10 @@ impl LstmCell {
         self.grad_bias = Matrix::zeros(1, 4 * self.hidden);
     }
 
-    /// Mutable (parameter, gradient) pairs for optimizer updates.
+    /// Mutable (parameter, gradient) pairs for optimizer updates.  Handing out
+    /// the mutable parameters invalidates the packed panels.
     pub fn parameters_and_grads(&mut self) -> Vec<(&mut Matrix, &Matrix)> {
+        self.panels.take();
         vec![
             (&mut self.weight, &self.grad_weight),
             (&mut self.bias, &self.grad_bias),

@@ -644,6 +644,40 @@ mod tests {
         assert!(parallel.stats().tasks_executed >= 2);
     }
 
+    /// The scalar and vector kernels must produce bit-identical predictions at
+    /// the whole-model level — the property that keeps aux-table memorization
+    /// lossless no matter which kernel a process selects.
+    #[test]
+    fn model_predictions_are_bit_identical_across_kernels() {
+        use crate::kernel::{self, Kernel};
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = MultiTaskModel::new(&mut rng, &toy_spec()).unwrap();
+        let rows = 700;
+        let mut x = Matrix::zeros(rows, 6);
+        for r in 0..rows {
+            for c in 0..6 {
+                x.set(r, c, ((r * 11 + c * 5) % 7) as f32 / 3.0 - 1.0);
+            }
+        }
+        let serial = dm_exec::ThreadPool::new(1);
+        let run = |kernel: Kernel| {
+            kernel::with_forced(kernel, || {
+                let logits = model.forward(&x).unwrap();
+                let mut flat = Vec::new();
+                model.forward_batch_flat_on(&serial, &x, &mut flat).unwrap();
+                let bits: Vec<Vec<u32>> = logits
+                    .iter()
+                    .map(|m| m.as_slice().iter().map(|v| v.to_bits()).collect())
+                    .collect();
+                (bits, flat)
+            })
+        };
+        let (scalar_logits, scalar_classes) = run(Kernel::Scalar);
+        let (vector_logits, vector_classes) = run(Kernel::Vector);
+        assert_eq!(scalar_logits, vector_logits, "logit bits must match exactly");
+        assert_eq!(scalar_classes, vector_classes);
+    }
+
     #[test]
     fn tuple_accuracy_on_empty_batch_is_one() {
         let mut rng = StdRng::seed_from_u64(1);

@@ -221,31 +221,12 @@ impl Matrix {
     /// `self^T (k×m becomes m×k view) · rhs (k×n) -> m×n`, i.e. multiply the transpose
     /// of `self` by `rhs` without materializing the transpose.  Used for weight
     /// gradients (`x^T · dy`).
+    ///
+    /// Runs on the lane-vectorized FMA kernel ([`crate::kernel::transpose_matmul`]);
+    /// the scalar fallback performs the identical element-wise fused
+    /// multiply-adds, so results never depend on kernel selection.
     pub fn transpose_matmul(&self, rhs: &Matrix) -> crate::Result<Matrix> {
-        if self.rows != rhs.rows {
-            return Err(NnError::ShapeMismatch {
-                context: format!(
-                    "transpose_matmul: lhs is {}x{}, rhs is {}x{}",
-                    self.rows, self.cols, rhs.rows, rhs.cols
-                ),
-            });
-        }
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        let n = rhs.cols;
-        for k in 0..self.rows {
-            let lhs_row = self.row(k);
-            let rhs_row = rhs.row(k);
-            for (i, &a) in lhs_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Ok(out)
+        crate::kernel::transpose_matmul(self, rhs)
     }
 
     /// Returns an explicit transpose of the matrix.
@@ -506,6 +487,18 @@ mod tests {
                 }
             }
             assert_matrices_close(&got, &expected);
+            // The packed-panel kernel must agree on the same k remainders and
+            // zero-heavy rows (zero bias + linear activation = plain matmul).
+            let panels = crate::kernel::PackedPanels::pack(&b, None).unwrap();
+            let packed = crate::kernel::forward_packed(
+                &a,
+                0,
+                m,
+                &panels,
+                crate::layer::Activation::Linear,
+            )
+            .unwrap();
+            assert_matrices_close(&packed, &expected);
         }
     }
 

@@ -53,7 +53,13 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"DMSS";
-const VERSION: u16 = 1;
+/// v1 → v2: the inference kernels changed the model's arithmetic recipe
+/// (packed-panel fused multiply-adds, bias-initialized accumulators).  A v1
+/// snapshot's auxiliary table memorizes the mispredictions of the *old*
+/// arithmetic, so serving it with the new kernels would silently return wrong
+/// tuples for keys whose prediction drifted — v1 files are rejected with
+/// [`PersistError::UnsupportedVersion`] instead.
+const VERSION: u16 = 2;
 /// magic(4) + version(2) + reserved(2) + file_len(8) + manifest_len(8) + manifest_crc(4)
 const HEADER_LEN: u64 = 28;
 

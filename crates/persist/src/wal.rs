@@ -79,7 +79,7 @@ impl DeltaWal {
     /// The handle is opened in append mode — every write goes to the current
     /// EOF regardless of the file cursor.  This matters because
     /// [`reset`](Self::reset) and the append rollback shrink the file (via a
-    /// sibling write-mode handle; see [`truncate_to`](Self::truncate_to)),
+    /// sibling write-mode handle; see the private `truncate_to`),
     /// which does *not* move a plain write cursor: a cursor-positioned handle
     /// would resume writing past the truncation point, leaving a zero-filled
     /// hole that replay reads as garbage.

@@ -105,6 +105,18 @@ pub struct LatencyBreakdown {
     pub inference_batches: u64,
     /// Total rows pushed through model inference.
     pub inference_rows: u64,
+    /// Partition loads initiated as stage-2/3 overlap prefetch tasks: the
+    /// partitions a lookup batch's probe plan named that were cold when
+    /// inference started, so their load+decompress ran as `dm-exec` tasks
+    /// concurrently with the model's forward pass.
+    pub prefetch_tasks: u64,
+    /// Prefetched partitions that were resident by the time stage 3 probed
+    /// them (the prefetch fully hid that load behind inference).
+    pub prefetch_hits: u64,
+    /// Conservative estimate of partition-load time hidden behind stage-2
+    /// inference, in nanoseconds: `min(prefetch load time, inference wall)`
+    /// per batch.
+    pub prefetch_overlap_nanos: u64,
     /// Tasks executed on the `dm-exec` runtime on behalf of this store's work
     /// (attribution is approximate when several stores share one pool).
     pub exec_tasks: u64,
@@ -208,6 +220,16 @@ impl Metrics {
         self.inner.lock().pool_single_flight_waits += 1;
     }
 
+    /// Records one batch's stage-2/3 overlap: `tasks` prefetch loads spawned,
+    /// `hits` of them resident by the time stage 3 probed, and the estimated
+    /// load time hidden behind inference.
+    pub fn add_prefetch(&self, tasks: u64, hits: u64, overlap_nanos: u64) {
+        let mut inner = self.inner.lock();
+        inner.prefetch_tasks += tasks;
+        inner.prefetch_hits += hits;
+        inner.prefetch_overlap_nanos += overlap_nanos;
+    }
+
     /// Records execution-runtime activity (a `dm_exec::ExecStats` delta) observed
     /// while serving this store's work.
     pub fn add_exec(&self, tasks: u64, steals: u64, park_nanos: u64) {
@@ -255,6 +277,7 @@ mod tests {
         metrics.add_pool_miss();
         metrics.add_pool_eviction();
         metrics.add_pool_single_flight_wait();
+        metrics.add_prefetch(4, 3, 2_500);
         metrics.add_exec(12, 3, 450);
         metrics.add_inference_batch(128);
         let snap = metrics.snapshot();
@@ -267,6 +290,9 @@ mod tests {
         assert_eq!(snap.pool_misses, 1);
         assert_eq!(snap.pool_evictions, 1);
         assert_eq!(snap.pool_single_flight_waits, 1);
+        assert_eq!(snap.prefetch_tasks, 4);
+        assert_eq!(snap.prefetch_hits, 3);
+        assert_eq!(snap.prefetch_overlap_nanos, 2_500);
         assert_eq!(snap.exec_tasks, 12);
         assert_eq!(snap.exec_steals, 3);
         assert_eq!(snap.exec_park_nanos, 450);

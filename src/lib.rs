@@ -58,7 +58,10 @@
 //! │                                       panic propagation, ExecStats
 //! ├── crates/nn              dm-nn        matrices, dense layers, multi-task model,
 //! │                                       forward_batch / forward_batch_flat
-//! │                                       (vectorized, row-chunked on the pool)
+//! │                                       (vectorized, row-chunked on the pool);
+//! │                                       kernel: packed-panel AVX2/FMA micro-
+//! │                                       kernels with a bit-identical scalar
+//! │                                       fallback (DM_NN_KERNEL=scalar)
 //! ├── crates/compress        dm-compress  lz / lz+huffman / deflate-like / dictionary,
 //! │                                       varint, rle, bitpack, framed format
 //! ├── crates/storage         dm-storage   Row, TupleStore/MutableStore + LookupBuffer,
@@ -76,7 +79,8 @@
 //! ├── crates/baselines       dm-baselines array/hash partitioned stores, DeepSqueeze
 //! ├── crates/bench           dm-bench     harness + fig*/table* bench binaries,
 //! │                                       BENCH_lookup.json throughput report
-//! │                                       (p50/p95/p99 + 1/2/4-thread DM variant)
+//! │                                       (p50/p95/p99, per-op vs aggregate MT
+//! │                                       fields, inference-kernel ns/row)
 //! └── crates/shims           offline stand-ins for rand / parking_lot / criterion
 //!                            (no registry access in the build environment; each
 //!                            implements only the API subset the workspace uses)
@@ -97,7 +101,12 @@
 //!
 //! * **Stage 2** splits large inference batches into row chunks executed as pool
 //!   tasks (`MultiTaskModel::forward_batch_flat`, serial below
-//!   `dm_nn::PARALLEL_ROW_CROSSOVER` rows).
+//!   `dm_nn::PARALLEL_ROW_CROSSOVER` rows), each chunk running the packed-panel
+//!   SIMD kernels of [`dm_nn::kernel`].
+//! * **Stages 2 and 3 overlap**: the probe plan is computed before inference
+//!   starts, and on a parallel pool the plan's cold partitions load+decompress
+//!   as pool tasks *while* the model infers — observable via
+//!   `LatencyBreakdown::prefetch_{tasks,hits,overlap_nanos}`.
 //! * **Stage 3** probes independent auxiliary partition groups as parallel pool
 //!   tasks; the order-preserving merge is unchanged.
 //! * **`dm_storage::BufferPool`** is mutex-sharded with *single-flight* cold

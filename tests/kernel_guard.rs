@@ -1,0 +1,134 @@
+//! Kernel-selection losslessness guard.
+//!
+//! The auxiliary table memorizes the rows the model mispredicted **at build
+//! time**; a lookup trusts the model for everything else.  If serve-time
+//! predictions drifted from build-time predictions — e.g. because a snapshot
+//! written on an AVX2 host is opened on a host that selects the scalar kernel —
+//! the hybrid would silently return wrong tuples.  These tests pin the
+//! invariant that makes that impossible: the scalar and vector kernels are
+//! bit-identical, so a store snapshotted under one kernel reopens under the
+//! other with byte-identical tuple reads.
+//!
+//! The stores here use a serial (1-thread) exec pool so inference runs on the
+//! calling thread, where `kernel::with_forced` applies.
+
+use deepmapping::nn::kernel::{self, Kernel};
+use deepmapping::persist::{Snapshot, SnapshotExt};
+use deepmapping::prelude::*;
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dm-kernel-guard-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Rows with a learnable backbone plus scattered noise, so the model memorizes
+/// most rows (predictions matter) while the aux table holds real overrides.
+fn mixed_rows(n: u64) -> Vec<Row> {
+    (0..n)
+        .map(|k| {
+            let h = k.wrapping_mul(0x9E3779B97F4A7C15) >> 17;
+            if h % 11 == 0 {
+                Row::new(k, vec![(h % 5) as u32, ((h >> 7) % 3) as u32])
+            } else {
+                Row::new(k, vec![((k / 16) % 4) as u32, ((k / 64) % 3) as u32])
+            }
+        })
+        .collect()
+}
+
+fn build_store(rows: &[Row]) -> DeepMapping {
+    DeepMappingBuilder::dm_z()
+        .training(TrainingConfig {
+            epochs: 12,
+            batch_size: 512,
+            ..TrainingConfig::default()
+        })
+        .partition_bytes(4 * 1024)
+        .exec_threads(1)
+        .build(rows)
+        .expect("build")
+}
+
+/// A live store must answer identically — byte for byte — under both kernels.
+#[test]
+fn live_store_reads_are_byte_identical_across_kernels() {
+    if !kernel::vector_available() {
+        eprintln!("vector kernel unavailable; scalar-vs-vector guard is trivial here");
+    }
+    let rows = mixed_rows(3_000);
+    let dm = build_store(&rows);
+    let probe: Vec<u64> = (0..6_000u64).collect();
+    let scalar = kernel::with_forced(Kernel::Scalar, || dm.lookup_batch(&probe).unwrap());
+    let vector = kernel::with_forced(Kernel::Vector, || dm.lookup_batch(&probe).unwrap());
+    assert_eq!(scalar, vector);
+    // And both agree with ground truth (the aux table covers mispredictions).
+    let reference = deepmapping::storage::row::ReferenceStore::from_rows(&rows);
+    assert_eq!(scalar, reference.lookup_batch(&probe).unwrap());
+}
+
+/// Snapshot under one kernel, reopen and serve under the other: every tuple
+/// read must be byte-identical in both directions.
+#[test]
+fn snapshot_round_trips_across_kernel_selection() {
+    let dir = scratch_dir("roundtrip");
+    let rows = mixed_rows(2_500);
+    let probe: Vec<u64> = (0..5_000u64).collect();
+
+    // Build + snapshot under the scalar kernel; reopen + read under vector.
+    let path_s = dir.join("built-under-scalar.dmss");
+    let expected = kernel::with_forced(Kernel::Scalar, || {
+        let dm = build_store(&rows);
+        Snapshot::write(&dm, &path_s).expect("write snapshot");
+        dm.lookup_batch(&probe).unwrap()
+    });
+    let under_vector = kernel::with_forced(Kernel::Vector, || {
+        let reopened = DeepMapping::open(&path_s).expect("open snapshot");
+        reopened.lookup_batch(&probe).unwrap()
+    });
+    assert_eq!(expected, under_vector, "scalar-written, vector-served");
+
+    // And the reverse direction.
+    let path_v = dir.join("built-under-vector.dmss");
+    let expected = kernel::with_forced(Kernel::Vector, || {
+        let dm = build_store(&rows);
+        Snapshot::write(&dm, &path_v).expect("write snapshot");
+        dm.lookup_batch(&probe).unwrap()
+    });
+    let under_scalar = kernel::with_forced(Kernel::Scalar, || {
+        let reopened = DeepMapping::open(&path_v).expect("open snapshot");
+        reopened.lookup_batch(&probe).unwrap()
+    });
+    assert_eq!(expected, under_scalar, "vector-written, scalar-served");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Mutations that consult the model (insert/update decide whether the model
+/// generalizes to the new row) must also be kernel-independent.
+#[test]
+fn modifications_are_kernel_independent() {
+    let rows = mixed_rows(1_500);
+    let run = |kernel_choice: Kernel| {
+        kernel::with_forced(kernel_choice, || {
+            let mut dm = build_store(&rows);
+            let inserts: Vec<Row> = (1_500..1_600u64)
+                .map(|k| Row::new(k, vec![((k / 16) % 4) as u32, ((k / 64) % 3) as u32]))
+                .collect();
+            dm.insert_rows(&inserts).unwrap();
+            let updates: Vec<Row> = (0..100u64).map(|k| Row::new(k, vec![3, 2])).collect();
+            dm.update_rows(&updates).unwrap();
+            let probe: Vec<u64> = (0..2_000u64).collect();
+            (
+                dm.lookup_batch(&probe).unwrap(),
+                dm.aux_table().len(),
+                dm.memorized_tuples(),
+            )
+        })
+    };
+    assert_eq!(run(Kernel::Scalar), run(Kernel::Vector));
+}
