@@ -18,7 +18,9 @@ use dm_bench::{
     measure_lookup_samples, report, write_lookup_json, BenchScale, ColdStartRecord,
     InferenceKernelRecord, LookupThroughputRecord, MachineProfile, MeasuredLatency,
 };
-use dm_core::{DeepMappingBuilder, MappingSchema, SearchStrategy, TrainingConfig, KEY_HEADROOM};
+use dm_core::{
+    DeepMappingBuilder, MappingSchema, Quantization, SearchStrategy, TrainingConfig, KEY_HEADROOM,
+};
 use dm_data::{LookupWorkload, SyntheticConfig};
 use dm_nn::{kernel, Activation, Matrix, MultiTaskSpec, TaskHeadSpec};
 use dm_storage::LookupBuffer;
@@ -108,6 +110,7 @@ fn main() {
             .memory_budget(machine.memory_budget_bytes)
             .disk_profile(machine.disk)
             .partition_bytes(32 * 1024)
+            .quantization(Quantization::Int8)
             .training(training)
             .exec_threads(2)
             .build(&dataset.rows())
@@ -234,6 +237,15 @@ fn main() {
         );
     }
 
+    // CACHE_CHUNK_ROWS sweep: serial cache-blocked inference over the MT store's
+    // trained network at several chunk sizes, so retunes of the committed
+    // constant are grounded in a measurement against the current kernels.
+    report::banner(
+        "BENCH_lookup (chunk sweep)",
+        "serial forward ns/row by cache chunk size (committed CACHE_CHUNK_ROWS marked *)",
+    );
+    run_chunk_sweep(&dm, &keys);
+
     // Cold start: snapshot a store whose auxiliary partitions dominate the file
     // (low-correlation data, deliberately small fixed model), drop it, reopen it
     // from the file and serve one single-partition batch — measuring how little
@@ -313,6 +325,15 @@ fn run_inference_micro() -> Vec<InferenceKernelRecord> {
             })
             .fold(f64::INFINITY, f64::min)
     }
+    let act_name = |act: Activation| {
+        match act {
+            Activation::Relu => "relu",
+            Activation::Linear => "linear",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+        }
+        .to_string()
+    };
     let mut records = Vec::new();
     for &(k, n, act) in &shapes {
         let x = fill(ROWS, k, 1);
@@ -331,19 +352,67 @@ fn run_inference_micro() -> Vec<InferenceKernelRecord> {
         });
         records.push(InferenceKernelRecord {
             shape: format!("{k}x{n}"),
-            activation: match act {
-                Activation::Relu => "relu".to_string(),
-                Activation::Linear => "linear".to_string(),
-                Activation::Sigmoid => "sigmoid".to_string(),
-                Activation::Tanh => "tanh".to_string(),
-            },
+            activation: act_name(act),
             rows: ROWS,
             kernel: kernel::active().name().to_string(),
             packed_ns_per_row: packed_ns / ROWS as f64,
             reference_ns_per_row: reference_ns / ROWS as f64,
         });
+        // The same shape through the int8 widening path (quantize-once weights,
+        // per-row input quantization inside the kernel), against the same f32
+        // reference so the speedup columns are directly comparable.
+        let qpanels = kernel::QuantizedPanels::quantize(&w, Some(&b)).expect("quantize");
+        let quant_ns = best_of(REPS, || {
+            let out = kernel::forward_quantized(&x, 0, ROWS, &qpanels, act).expect("forward");
+            std::hint::black_box(out.as_slice()[0]);
+        });
+        records.push(InferenceKernelRecord {
+            shape: format!("{k}x{n}"),
+            activation: act_name(act),
+            rows: ROWS,
+            kernel: format!("int8+{}", kernel::active().name()),
+            packed_ns_per_row: quant_ns / ROWS as f64,
+            reference_ns_per_row: reference_ns / ROWS as f64,
+        });
     }
     records
+}
+
+/// Sweeps the serial cache-blocked forward pass over candidate chunk sizes on
+/// the MT section's trained store (int8 path — what production inference runs),
+/// printing ns/row per candidate.  This is the measurement behind the committed
+/// `dm_nn::multitask::CACHE_CHUNK_ROWS` value; rerun it here when the kernels
+/// change.  Chunking never changes predictions, only activation residency.
+fn run_chunk_sweep(dm: &dm_core::DeepMapping, keys: &[u64]) {
+    const REPS: usize = 7;
+    let model = dm.model();
+    let network = model.network();
+    let x = model.schema().key_encoder.encode_batch(keys);
+    let rows = x.rows();
+    let mut out = vec![0u32; rows * network.num_tasks()];
+    report::row("chunk rows", &["ns/row".into(), "batch ms".into()]);
+    for &chunk in &[256usize, 512, 1024, 2048, 4096, 8192] {
+        let mut best = f64::INFINITY;
+        network
+            .forward_flat_serial_chunked(&x, chunk, &mut out)
+            .expect("warmup forward");
+        for _ in 0..REPS {
+            let start = Instant::now();
+            network
+                .forward_flat_serial_chunked(&x, chunk, &mut out)
+                .expect("forward");
+            best = best.min(start.elapsed().as_nanos() as f64);
+        }
+        std::hint::black_box(&out);
+        let marker = if chunk == dm_nn::CACHE_CHUNK_ROWS { "*" } else { "" };
+        report::row(
+            &format!("{chunk}{marker}"),
+            &[
+                format!("{:.1}", best / rows as f64),
+                format!("{:.2}", best / 1e6),
+            ],
+        );
+    }
 }
 
 /// Builds a partition-dominated low-correlation store on a 2-thread dm-exec

@@ -20,7 +20,7 @@ pub mod sweeps;
 
 use dm_baselines::{DeepSqueezeConfig, DeepSqueezeStore, PartitionedStore, PartitionedStoreConfig};
 use dm_compress::Codec;
-use dm_core::{DeepMappingBuilder, TrainingConfig};
+use dm_core::{DeepMappingBuilder, Quantization, TrainingConfig};
 use dm_data::Dataset;
 use dm_storage::{DiskProfile, LookupBuffer, Metrics, MutableStore, Row};
 use std::time::{Duration, Instant};
@@ -171,6 +171,10 @@ pub fn build_deepsqueeze(dataset: &Dataset, machine: &MachineProfile) -> Option<
 /// Builds a concrete DeepMapping store (DM-Z or DM-L) over a dataset — the shape
 /// the multi-threaded throughput variant needs (an `Arc<DeepMapping>` shared
 /// across OS threads).  [`build_deepmapping`] wraps it for the trait-object sweep.
+///
+/// The benchmarked stores run int8-quantized inference: it is the shipped fast
+/// path (lossless by construction — the aux table memorizes under quantized
+/// arithmetic), so the throughput tables measure what a production store does.
 pub fn build_deepmapping_store(
     dataset: &Dataset,
     codec: Codec,
@@ -184,6 +188,7 @@ pub fn build_deepmapping_store(
     .memory_budget(machine.memory_budget_bytes)
     .disk_profile(machine.disk)
     .partition_bytes(32 * 1024)
+    .quantization(Quantization::Int8)
     .training(training);
     builder.build(&dataset.rows()).expect("DeepMapping build")
 }

@@ -23,7 +23,7 @@
 //! assert_eq!(dm.len(), 512);
 //! ```
 
-use crate::config::{DeepMappingConfig, SearchStrategy, TrainingConfig};
+use crate::config::{DeepMappingConfig, Quantization, SearchStrategy, TrainingConfig};
 use crate::encoder::DecodeMap;
 use crate::hybrid::DeepMapping;
 use crate::Result;
@@ -112,6 +112,15 @@ impl DeepMappingBuilder {
         self
     }
 
+    /// Sets the arithmetic mode of the inference path
+    /// ([`Quantization::Int8`] serves through the widening integer kernels
+    /// with the auxiliary table memorized under quantized arithmetic, so
+    /// lookups stay exact).  Recorded in the snapshot manifest.
+    pub fn quantization(mut self, quantization: Quantization) -> Self {
+        self.config = self.config.with_quantization(quantization);
+        self
+    }
+
     /// Sets the RNG seed for weight initialization and search sampling.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config = self.config.with_seed(seed);
@@ -160,6 +169,7 @@ mod tests {
             .disk_profile(DiskProfile::free())
             .training(TrainingConfig::quick())
             .retrain_threshold(123_456)
+            .quantization(Quantization::Int8)
             .seed(42);
         let manual = DeepMappingConfig::dm_l()
             .with_codec(Codec::Lz)
@@ -168,6 +178,7 @@ mod tests {
             .with_disk_profile(DiskProfile::free())
             .with_training(TrainingConfig::quick())
             .with_retrain_threshold(123_456)
+            .with_quantization(Quantization::Int8)
             .with_seed(42);
         assert_eq!(builder.config(), &manual);
     }

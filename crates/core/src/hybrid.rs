@@ -2,7 +2,7 @@
 //! decode map, with Algorithm 1 lookups and the Algorithm 3–5 modification workflows.
 
 use crate::aux_table::AuxTable;
-use crate::config::{DeepMappingConfig, SearchStrategy};
+use crate::config::{DeepMappingConfig, Quantization, SearchStrategy};
 use crate::encoder::{DecodeMap, MappingSchema};
 use crate::mhas::MhasSearch;
 use crate::model::MappingModel;
@@ -108,6 +108,12 @@ impl DeepMapping {
         };
         let mut model = MappingModel::new(schema, &spec, config.seed)?;
         model.train(rows, &config.training, config.seed)?;
+        // Quantization must happen *between* training and memorization: the aux
+        // table records exactly what the serve-time (quantized) arithmetic gets
+        // wrong, which is what keeps int8 stores lossless.
+        if config.quantization == Quantization::Int8 {
+            model.quantize_int8()?;
+        }
         let (memorized, misclassified) = model.split_by_memorization(rows)?;
         let value_columns = rows[0].values.len();
         let aux = AuxTable::build(
@@ -180,6 +186,15 @@ impl DeepMapping {
     /// How many times the structure has been retrained since it was built.
     pub fn retrain_count(&self) -> usize {
         self.retrain_count
+    }
+
+    /// Switches the store's arithmetic mode (f32 ↔ int8).  The new mode takes
+    /// effect at the next [`retrain`](Self::retrain) — which `maintenance()`
+    /// triggers — because losslessness requires the auxiliary table to be
+    /// re-memorized under the new arithmetic; the currently served predictions
+    /// are untouched until then.
+    pub fn set_quantization(&mut self, quantization: Quantization) {
+        self.config.quantization = quantization;
     }
 
     /// Number of tuples the model memorizes (all columns predicted correctly at
@@ -404,6 +419,9 @@ impl DeepMapping {
         };
         let mut model = MappingModel::new(schema, &spec, self.config.seed ^ 0x5a)?;
         model.train(&rows, &self.config.training, self.config.seed ^ 0x5a)?;
+        if self.config.quantization == Quantization::Int8 {
+            model.quantize_int8()?;
+        }
         let (memorized, misclassified) = model.split_by_memorization(&rows)?;
         let value_columns = rows[0].values.len();
         let aux = AuxTable::build(
@@ -675,6 +693,40 @@ mod tests {
         let after_rows = dm.materialize_rows().unwrap();
         assert_eq!(before_rows, after_rows);
         assert_eq!(dm.retrain_count(), 1);
+    }
+
+    #[test]
+    fn int8_stores_are_lossless_and_switch_modes_through_maintenance() {
+        // Random data guarantees mispredictions, so this exercises the aux
+        // table being memorized under the *quantized* arithmetic.
+        let rows = random_rows(2_000);
+        let reference = ReferenceStore::from_rows(&rows);
+        let config = quick_config().with_quantization(Quantization::Int8);
+        let mut dm = DeepMapping::build(&rows, &config).unwrap();
+        assert!(dm.model().is_quantized());
+        let keys: Vec<u64> = (0..4_000u64).collect();
+        assert_eq!(
+            dm.lookup_batch(&keys).unwrap(),
+            reference.lookup_batch(&keys).unwrap()
+        );
+        // Switching the mode takes effect at the next maintenance pass, which
+        // re-memorizes the aux table under the new arithmetic.
+        dm.set_quantization(Quantization::F32);
+        assert!(dm.model().is_quantized(), "mode switch is deferred");
+        MutableStore::maintenance(&mut dm).unwrap();
+        assert!(!dm.model().is_quantized());
+        assert_eq!(
+            dm.lookup_batch(&keys).unwrap(),
+            reference.lookup_batch(&keys).unwrap()
+        );
+        // And back again: maintenance re-quantizes.
+        dm.set_quantization(Quantization::Int8);
+        MutableStore::maintenance(&mut dm).unwrap();
+        assert!(dm.model().is_quantized());
+        assert_eq!(
+            dm.lookup_batch(&keys).unwrap(),
+            reference.lookup_batch(&keys).unwrap()
+        );
     }
 
     #[test]

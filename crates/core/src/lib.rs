@@ -32,7 +32,7 @@ pub mod stats;
 
 pub use aux_table::{AuxPartitionInfo, AuxTable, AuxTableSnapshot, PartitionFrame};
 pub use builder::DeepMappingBuilder;
-pub use config::{DeepMappingConfig, SearchStrategy, TrainingConfig};
+pub use config::{DeepMappingConfig, Quantization, SearchStrategy, TrainingConfig};
 pub use encoder::{DecodeMap, MappingSchema};
 pub use hybrid::{DeepMapping, DeepMappingParts, KEY_HEADROOM};
 pub use mhas::{MhasConfig, MhasSearch, SearchSample, SearchSpace};

@@ -109,6 +109,20 @@ impl MappingModel {
         self.network.size_bytes()
     }
 
+    /// Quantizes every dense layer to int8 (per-output-column symmetric
+    /// scales).  Must run *before* [`split_by_memorization`](Self::split_by_memorization):
+    /// the auxiliary table memorizes whatever the serve-time arithmetic
+    /// mispredicts, so it has to be built against the quantized forward pass.
+    pub fn quantize_int8(&mut self) -> Result<()> {
+        self.network.quantize_int8()?;
+        Ok(())
+    }
+
+    /// Whether the network serves through the int8 quantized inference path.
+    pub fn is_quantized(&self) -> bool {
+        self.network.is_quantized()
+    }
+
     /// Trains the model on `rows` with mini-batch SGD (decayed learning rate, early
     /// stop on loss plateau).  Returns the final epoch's mean loss.
     pub fn train(&mut self, rows: &[Row], config: &TrainingConfig, seed: u64) -> Result<f32> {

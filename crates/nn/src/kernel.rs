@@ -4,10 +4,17 @@
 //! The hot path of DeepMapping lookup is `batch × k` times `k × n` dense-layer
 //! products.  This module repacks each weight matrix **once** (at build /
 //! deserialize time) into column-major panels of [`LANES`] columns — panel `p`
-//! holds columns `[8p, 8p+8)` contiguously per `k`-row, zero-padded at the
+//! holds columns `[16p, 16p+16)` contiguously per `k`-row, zero-padded at the
 //! edge — so the inner loop is a streaming load + fused multiply-add over
-//! 8-wide f32 lanes, with the bias add and activation fused into the same pass
-//! over each output tile.
+//! 16-wide f32 lanes (one AVX-512 register; the AVX2 kernel works the same
+//! panel as two 8-lane halves), with the bias add and activation fused into
+//! the same pass over each output tile.
+//!
+//! Alongside the f32 panels there is an int8 path: [`QuantizedPanels`] holds
+//! per-output-column symmetrically quantized weights in k-pair-interleaved
+//! panels so the inner loop is a widening multiply-add (`vpmaddwd`: 32 int8
+//! products per AVX-512 register pair) into exact i32 accumulators, with the
+//! dequantize + bias + activation fused into the tile store.
 //!
 //! ## Bit-identical kernel selection
 //!
@@ -15,13 +22,19 @@
 //! drift in model predictions would silently break losslessness.  Every kernel
 //! here is therefore defined as one fixed arithmetic recipe:
 //!
-//! * accumulators are laid out as 8 independent f32 lanes, initialized from the
-//!   (zero-padded) bias,
+//! * f32 accumulators are laid out as 16 independent lanes, initialized from
+//!   the (zero-padded) bias,
 //! * every multiply-add is **fused** (`f32::mul_add` in the scalar kernel, FMA
-//!   instructions in the vector kernel — both round once, so they agree bit for
-//!   bit),
-//! * lane reductions (for the `· Wᵀ` kernel) use one **fixed tree**:
-//!   `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`,
+//!   instructions in the vector kernels — all round once, so they agree bit
+//!   for bit),
+//! * lane reductions (for the `· Wᵀ` kernel) use one **fixed tree**: fold the
+//!   16 lanes in half (`s_i = l_i + l_{i+8}`), then
+//!   `((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7))` — exactly what the AVX-512
+//!   extract/add plus the AVX2 shuffle sequence computes,
+//! * the int8 path quantizes each input row **once** through a single scalar
+//!   helper, accumulates in exact i32 arithmetic (order-independent), and
+//!   dequantizes through one fixed f32 epilogue — so its scalar, AVX2 and
+//!   AVX-512 forms are structurally identical,
 //! * rows are computed independently, so chunking, batch size and thread count
 //!   cannot change any row's result.
 //!
@@ -31,7 +44,8 @@
 //!
 //! ## Selection
 //!
-//! [`Kernel::selected`] picks the vector kernel when the CPU supports AVX2+FMA,
+//! [`Kernel::selected`] picks the vector kernel when the CPU supports AVX2+FMA
+//! (using the AVX-512 forms when the CPU additionally has AVX-512 F/BW/DQ),
 //! unless `DM_NN_KERNEL=scalar` forces the fallback (CI runs the whole suite
 //! once that way).  [`with_forced`] overrides the choice for the calling thread
 //! — the hook the bit-identity guard tests use to exercise both kernels in one
@@ -43,17 +57,26 @@ use crate::NnError;
 use std::cell::Cell;
 use std::sync::OnceLock;
 
-/// Vector lane width: 8 f32 lanes (one AVX2 register).
-pub const LANES: usize = 8;
+/// Vector lane width: 16 f32 lanes (one AVX-512 register; the AVX2 kernel
+/// processes each panel as two 8-lane halves).
+pub const LANES: usize = 16;
+
+/// Output columns per int8 panel (same 16-column tile as the f32 panels).
+pub const QLANES: usize = 16;
+
+/// Largest input dimension the int8 path accepts: `k · 127² < i32::MAX` keeps
+/// the integer accumulation exact with headroom to spare.
+const QUANT_MAX_K: usize = 1 << 16;
 
 /// Which micro-kernel implementation executes the packed operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kernel {
-    /// Portable fallback emulating the 8-accumulator lane layout with
-    /// `f32::mul_add` — bit-identical to [`Kernel::Vector`].
+    /// Portable fallback emulating the 16-accumulator lane layout with
+    /// `f32::mul_add` (and the exact i32 recipe for int8 panels) —
+    /// bit-identical to [`Kernel::Vector`].
     Scalar,
-    /// AVX2 + FMA lanes (x86-64).  Falls back to the scalar recipe on other
-    /// hardware; results are identical either way.
+    /// AVX-512 (or AVX2 + FMA) lanes on x86-64.  Falls back to the scalar
+    /// recipe on other hardware; results are identical either way.
     Vector,
 }
 
@@ -77,6 +100,7 @@ impl Kernel {
     pub fn name(self) -> &'static str {
         match self {
             Kernel::Scalar => "scalar",
+            Kernel::Vector if avx512_available() => "avx512",
             Kernel::Vector => "avx2+fma",
         }
     }
@@ -92,6 +116,53 @@ pub fn vector_available() -> bool {
     {
         false
     }
+}
+
+/// Whether the AVX-512 forms of the vector kernels are available (F for the
+/// 16-lane f32 panels, BW for `vpmaddwd` over int8 panels, DQ for the 256-bit
+/// extract in the reduction tree).
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512bw")
+            && is_x86_feature_detected!("avx512dq")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether `vpdpwssd` (AVX512-VNNI) can fuse the int8 multiply-add pairs into
+/// one instruction.  Purely a speed knob: the fused form accumulates the same
+/// exact i32 values as `vpmaddwd` + `vpaddd`, so kernel output is bit-identical
+/// with or without it.
+fn vnni_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx512vnni")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(all(test, target_arch = "x86_64"))]
+thread_local! {
+    /// Test hook: pretend AVX-512 is absent so the AVX2 forms can be compared
+    /// against it on one machine.
+    static DISABLE_AVX512: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the vector dispatch should take the AVX-512 forms right now.
+fn avx512_enabled() -> bool {
+    #[cfg(all(test, target_arch = "x86_64"))]
+    if DISABLE_AVX512.with(|c| c.get()) {
+        return false;
+    }
+    avx512_available()
 }
 
 thread_local! {
@@ -122,8 +193,8 @@ pub struct PackedPanels {
     k: usize,
     n: usize,
     /// `panel_count() * k * LANES` floats: panel `p`, row `kk`, lane `l` is at
-    /// `p * k * LANES + kk * LANES + l` and holds `weight[kk][8p + l]`
-    /// (zero for padding lanes `8p + l >= n`).
+    /// `p * k * LANES + kk * LANES + l` and holds `weight[kk][16p + l]`
+    /// (zero for padding lanes `16p + l >= n`).
     data: Vec<f32>,
     /// Bias padded to `panel_count() * LANES` (zeros when the layer has none).
     bias: Vec<f32>,
@@ -177,7 +248,7 @@ impl PackedPanels {
         self.n
     }
 
-    /// Number of 8-column panels (including the zero-padded edge panel).
+    /// Number of 16-column panels (including the zero-padded edge panel).
     pub fn panel_count(&self) -> usize {
         self.n.div_ceil(LANES)
     }
@@ -195,6 +266,315 @@ impl PackedPanels {
     #[inline]
     fn bias_panel(&self, p: usize) -> &[f32] {
         &self.bias[p * LANES..(p + 1) * LANES]
+    }
+}
+
+/// A weight matrix (`k × n`) quantized to int8 with one symmetric scale per
+/// output column, packed into [`QLANES`]-column panels interleaved by `k`
+/// pairs: panel `p`, pair `kp` is a 32-byte block whose byte `2c + s` holds
+/// `q[2kp + s][16p + c]` — exactly the operand order `vpmaddwd` consumes
+/// after a widening int8→int16 load.  Odd `k` (and edge columns) are
+/// zero-padded.
+///
+/// Quantization is part of the store's arithmetic recipe: the same panels
+/// produce bit-identical predictions under the scalar, AVX2 and AVX-512
+/// kernels, so a quantized snapshot serves losslessly on any of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedPanels {
+    k: usize,
+    n: usize,
+    /// `k.div_ceil(2)` — number of 32-byte blocks per panel.
+    kpairs: usize,
+    /// `panel_count() * kpairs * 32` bytes (see the struct docs for layout).
+    data: Vec<i8>,
+    /// Per-output-column dequantization scales (`max_abs / 127`, `1.0` for an
+    /// all-zero column), padded to the panel edge.
+    scales: Vec<f32>,
+    /// f32 bias padded to the panel edge (zeros when the layer has none).
+    bias: Vec<f32>,
+}
+
+impl QuantizedPanels {
+    /// Quantizes a weight matrix (and its optional `1 × n` bias row) with one
+    /// symmetric per-column scale: `scale_c = max_kk |w[kk][c]| / 127` (1.0
+    /// for an all-zero column) and `q = round(w / scale_c)` clamped to
+    /// `[-127, 127]`.  One deterministic code path — the panels produced at
+    /// build time and at snapshot reload are identical.
+    pub fn quantize(weight: &Matrix, bias: Option<&Matrix>) -> crate::Result<Self> {
+        let (k, n) = (weight.rows(), weight.cols());
+        let mut scales = vec![1.0f32; n];
+        for (c, scale) in scales.iter_mut().enumerate() {
+            let mut amax = 0.0f32;
+            for kk in 0..k {
+                let a = weight.get(kk, c).abs();
+                if a > amax {
+                    amax = a;
+                }
+            }
+            if amax > 0.0 {
+                *scale = amax / 127.0;
+            }
+        }
+        let mut q = vec![0i8; k * n];
+        for kk in 0..k {
+            let row = weight.row(kk);
+            for c in 0..n {
+                q[kk * n + c] = (row[c] / scales[c]).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        Self::from_parts(k, n, &q, &scales, bias)
+    }
+
+    /// Reassembles panels from raw row-major quantized weights and per-column
+    /// scales — the snapshot-reload path.  The panels are byte-identical to
+    /// what [`quantize`](Self::quantize) produced at build time.
+    pub fn from_parts(
+        k: usize,
+        n: usize,
+        q: &[i8],
+        scales: &[f32],
+        bias: Option<&Matrix>,
+    ) -> crate::Result<Self> {
+        if q.len() != k * n || scales.len() != n {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "quantized panels: {k}x{n} weights need {} values and {n} scales, got {} and {}",
+                    k * n,
+                    q.len(),
+                    scales.len()
+                ),
+            });
+        }
+        if k > QUANT_MAX_K {
+            return Err(NnError::InvalidConfig(format!(
+                "quantized panels: input dimension {k} exceeds the exact-i32 bound {QUANT_MAX_K}"
+            )));
+        }
+        if let Some(b) = bias {
+            if b.rows() != 1 || b.cols() != n {
+                return Err(NnError::ShapeMismatch {
+                    context: format!(
+                        "quantized panels: weight is {k}x{n}, bias is {}x{}",
+                        b.rows(),
+                        b.cols()
+                    ),
+                });
+            }
+        }
+        let panels = n.div_ceil(QLANES);
+        let kpairs = k.div_ceil(2);
+        let mut data = vec![0i8; panels * kpairs * 2 * QLANES];
+        for p in 0..panels {
+            let cols = QLANES.min(n - p * QLANES);
+            for kp in 0..kpairs {
+                let block = &mut data[(p * kpairs + kp) * 2 * QLANES..][..2 * QLANES];
+                for c in 0..cols {
+                    block[2 * c] = q[2 * kp * n + p * QLANES + c];
+                    if 2 * kp + 1 < k {
+                        block[2 * c + 1] = q[(2 * kp + 1) * n + p * QLANES + c];
+                    }
+                }
+            }
+        }
+        let mut padded_scales = vec![1.0f32; panels * QLANES];
+        padded_scales[..n].copy_from_slice(scales);
+        let mut padded_bias = vec![0.0f32; panels * QLANES];
+        if let Some(b) = bias {
+            padded_bias[..n].copy_from_slice(b.as_slice());
+        }
+        Ok(QuantizedPanels {
+            k,
+            n,
+            kpairs,
+            data,
+            scales: padded_scales,
+            bias: padded_bias,
+        })
+    }
+
+    /// Input dimension (rows of the original weight).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimension (columns of the original weight).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of 16-column panels (including the zero-padded edge panel).
+    pub fn panel_count(&self) -> usize {
+        self.n.div_ceil(QLANES)
+    }
+
+    /// Resident bytes of the quantized representation.
+    pub fn bytes(&self) -> usize {
+        self.data.len() + (self.scales.len() + self.bias.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Per-output-column dequantization scales (unpadded).
+    pub fn column_scales(&self) -> &[f32] {
+        &self.scales[..self.n]
+    }
+
+    /// The raw quantized weights, row-major — the serialization source of
+    /// truth (scales + these bytes reproduce the panels exactly).
+    pub fn weights_row_major(&self) -> Vec<i8> {
+        let mut q = vec![0i8; self.k * self.n];
+        for p in 0..self.panel_count() {
+            let cols = QLANES.min(self.n - p * QLANES);
+            for kp in 0..self.kpairs {
+                let block = &self.data[(p * self.kpairs + kp) * 2 * QLANES..][..2 * QLANES];
+                for c in 0..cols {
+                    q[2 * kp * self.n + p * QLANES + c] = block[2 * c];
+                    if 2 * kp + 1 < self.k {
+                        q[(2 * kp + 1) * self.n + p * QLANES + c] = block[2 * c + 1];
+                    }
+                }
+            }
+        }
+        q
+    }
+
+    /// The dequantized weight matrix `(q as f32) · scale_c` — what the
+    /// backward-pass kernels (`dy · Wᵀ`, `xᵀ · dy`) run against.  Single
+    /// rounding per element, so it is deterministic across rebuilds.
+    pub fn dequantized_weight(&self) -> Matrix {
+        let q = self.weights_row_major();
+        let mut w = Matrix::zeros(self.k, self.n);
+        for kk in 0..self.k {
+            for c in 0..self.n {
+                w.set(kk, c, (q[kk * self.n + c] as f32) * self.scales[c]);
+            }
+        }
+        w
+    }
+
+    #[inline]
+    fn block(&self, p: usize, kp: usize) -> &[i8] {
+        &self.data[(p * self.kpairs + kp) * 2 * QLANES..][..2 * QLANES]
+    }
+}
+
+/// Quantizes one f32 input row into packed `[x0, x1]` int16 pairs — one i32
+/// word per weight k-pair, exactly the operand every `vpmaddwd` lane
+/// multiplies against, so the vector kernels broadcast it straight from
+/// memory (`vpbroadcastd`) instead of reassembling bytes in the inner loop.
+/// `q = round_ties_even(v · 127 / max_abs)` clamped to `[-127, 127]`;
+/// returns the row's dequantization scale `max_abs / 127` (an all-zero row
+/// quantizes to zeros with scale 1.0).
+///
+/// Rounding is ties-to-even — the hardware `vcvtps2dq` mode — so the
+/// AVX-512 form below is bit-identical to this scalar recipe; the guard
+/// tests compare them directly.  `pairs` must arrive zeroed (freshly
+/// allocated), so padding lanes need no explicit writes.
+fn quantize_input_row(kernel: Kernel, row: &[f32], pairs: &mut [i32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if matches!(kernel, Kernel::Vector) && avx512_enabled() {
+        // Safety: AVX-512 F/BW availability checked at runtime.
+        return unsafe { x86::quantize_input_row_avx512(row, pairs) };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = kernel;
+    let mut amax = 0.0f32;
+    for &v in row {
+        let a = v.abs();
+        if a > amax {
+            amax = a;
+        }
+    }
+    if amax == 0.0 {
+        pairs.fill(0);
+        return 1.0;
+    }
+    let inv = 127.0 / amax;
+    let quant = |v: f32| (v * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+    for (kp, pair) in pairs.iter_mut().enumerate() {
+        let x0 = row.get(2 * kp).copied().map_or(0, quant);
+        let x1 = row.get(2 * kp + 1).copied().map_or(0, quant);
+        *pair = (x0 as i16 as u16 as u32 | ((x1 as i16 as u16 as u32) << 16)) as i32;
+    }
+    amax / 127.0
+}
+
+/// A window of input rows quantized once into the packed i16-pair form the
+/// int8 kernels consume (`quantize_input_row`).  Building this is O(k)
+/// scalar work per row, so callers running several quantized layers over the
+/// *same* activation window — the multi-task heads all reading the trunk
+/// output — construct it once and reuse it via [`forward_prequantized`];
+/// the pairs are identical to what [`forward_quantized`] would produce
+/// internally, so sharing never changes a prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedRows {
+    kpairs: usize,
+    count: usize,
+    /// `count * kpairs` packed pairs, row-major.
+    pairs: Vec<i32>,
+    /// Per-row dequantization scales.
+    scales: Vec<f32>,
+}
+
+impl QuantizedRows {
+    /// Quantizes rows `[start, start + count)` of `lhs` for panels with the
+    /// given k-pair count (`lhs.cols().div_ceil(2)` — checked), on the
+    /// calling thread's [`active`] kernel.
+    pub fn quantize(
+        lhs: &Matrix,
+        start: usize,
+        count: usize,
+        kpairs: usize,
+    ) -> crate::Result<Self> {
+        Self::quantize_with(active(), lhs, start, count, kpairs)
+    }
+
+    /// [`quantize`](Self::quantize) with an explicit kernel — the row
+    /// quantizer has scalar and AVX-512 forms that produce identical pairs;
+    /// the bit-identity guards pin that by selecting each explicitly.
+    pub fn quantize_with(
+        kernel: Kernel,
+        lhs: &Matrix,
+        start: usize,
+        count: usize,
+        kpairs: usize,
+    ) -> crate::Result<Self> {
+        if kpairs != lhs.cols().div_ceil(2) {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "quantized rows: {} input columns pack into {} k-pairs, got {kpairs}",
+                    lhs.cols(),
+                    lhs.cols().div_ceil(2)
+                ),
+            });
+        }
+        if start + count > lhs.rows() {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "quantized rows: rows [{start}, {}) of a matrix with {} rows",
+                    start + count,
+                    lhs.rows()
+                ),
+            });
+        }
+        let mut pairs = vec![0i32; count * kpairs];
+        let mut scales = vec![0.0f32; count];
+        for i in 0..count {
+            scales[i] = quantize_input_row(
+                kernel,
+                lhs.row(start + i),
+                &mut pairs[i * kpairs..(i + 1) * kpairs],
+            );
+        }
+        Ok(QuantizedRows {
+            kpairs,
+            count,
+            pairs,
+            scales,
+        })
+    }
+
+    /// Number of quantized rows.
+    pub fn count(&self) -> usize {
+        self.count
     }
 }
 
@@ -243,11 +623,145 @@ pub fn forward_packed_with(
     let mut out = Matrix::zeros(count, panels.n);
     match kernel {
         #[cfg(target_arch = "x86_64")]
+        Kernel::Vector if avx512_enabled() => unsafe {
+            // Safety: AVX-512 F/BW/DQ availability checked at runtime.
+            x86::forward_avx512(lhs, start, count, panels, activation, out.as_mut_slice());
+        },
+        #[cfg(target_arch = "x86_64")]
         Kernel::Vector if vector_available() => unsafe {
             // Safety: AVX2+FMA availability checked at runtime.
             x86::forward_avx2(lhs, start, count, panels, activation, out.as_mut_slice());
         },
         _ => forward_scalar_dispatch(lhs, start, count, panels, activation, out.as_mut_slice()),
+    }
+    Ok(out)
+}
+
+/// `act((lhs[start .. start+count] quantized) · Q + b)` over int8 panels,
+/// written into a fresh `count × n` matrix.  Each input row is quantized once
+/// (shared scalar helper), accumulated exactly in i32, and dequantized through
+/// the fixed f32 epilogue `y = (acc as f32) · (x_scale · w_scale_c) + bias_c`
+/// with the activation fused into the tile store — bit-identical across
+/// kernel selection, chunking, batch size and thread count.
+pub fn forward_quantized(
+    lhs: &Matrix,
+    start: usize,
+    count: usize,
+    panels: &QuantizedPanels,
+    activation: Activation,
+) -> crate::Result<Matrix> {
+    forward_quantized_with(active(), lhs, start, count, panels, activation)
+}
+
+/// [`forward_quantized`] with an explicit kernel (tests and micro-benchmarks).
+pub fn forward_quantized_with(
+    kernel: Kernel,
+    lhs: &Matrix,
+    start: usize,
+    count: usize,
+    panels: &QuantizedPanels,
+    activation: Activation,
+) -> crate::Result<Matrix> {
+    if lhs.cols() != panels.k {
+        return Err(NnError::ShapeMismatch {
+            context: format!(
+                "forward_quantized: lhs is {}x{}, panels expect k={}",
+                lhs.rows(),
+                lhs.cols(),
+                panels.k
+            ),
+        });
+    }
+    if start + count > lhs.rows() {
+        return Err(NnError::ShapeMismatch {
+            context: format!(
+                "forward_quantized: rows [{start}, {}) of a matrix with {} rows",
+                start + count,
+                lhs.rows()
+            ),
+        });
+    }
+    // Quantize the whole row window up front; the scalar and AVX-512 row
+    // quantizers produce identical pairs, so every kernel reads the same
+    // operands.
+    let qrows = QuantizedRows::quantize_with(kernel, lhs, start, count, panels.kpairs)?;
+    forward_prequantized_with(kernel, &qrows, panels, activation)
+}
+
+/// [`forward_quantized`] over an input window already quantized by
+/// [`QuantizedRows::quantize`] — the multi-task head path, where every head
+/// reads the same trunk output and the per-row input quantization would
+/// otherwise be repeated once per head.
+pub fn forward_prequantized(
+    qrows: &QuantizedRows,
+    panels: &QuantizedPanels,
+    activation: Activation,
+) -> crate::Result<Matrix> {
+    forward_prequantized_with(active(), qrows, panels, activation)
+}
+
+/// [`forward_prequantized`] with an explicit kernel.
+pub fn forward_prequantized_with(
+    kernel: Kernel,
+    qrows: &QuantizedRows,
+    panels: &QuantizedPanels,
+    activation: Activation,
+) -> crate::Result<Matrix> {
+    if qrows.kpairs != panels.kpairs {
+        return Err(NnError::ShapeMismatch {
+            context: format!(
+                "forward_prequantized: input rows pack {} k-pairs, panels expect {}",
+                qrows.kpairs, panels.kpairs
+            ),
+        });
+    }
+    let count = qrows.count;
+    let mut out = Matrix::zeros(count, panels.n);
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Vector if avx512_enabled() && vnni_available() => unsafe {
+            // Safety: AVX-512 F/BW/DQ/VNNI availability checked at runtime.
+            x86::forward_quantized_avx512_vnni(
+                &qrows.pairs,
+                &qrows.scales,
+                count,
+                panels,
+                activation,
+                out.as_mut_slice(),
+            );
+        },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Vector if avx512_enabled() => unsafe {
+            // Safety: AVX-512 F/BW/DQ availability checked at runtime.
+            x86::forward_quantized_avx512(
+                &qrows.pairs,
+                &qrows.scales,
+                count,
+                panels,
+                activation,
+                out.as_mut_slice(),
+            );
+        },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Vector if vector_available() => unsafe {
+            // Safety: AVX2+FMA availability checked at runtime.
+            x86::forward_quantized_avx2(
+                &qrows.pairs,
+                &qrows.scales,
+                count,
+                panels,
+                activation,
+                out.as_mut_slice(),
+            );
+        },
+        _ => forward_quantized_scalar_dispatch(
+            &qrows.pairs,
+            &qrows.scales,
+            count,
+            panels,
+            activation,
+            out.as_mut_slice(),
+        ),
     }
     Ok(out)
 }
@@ -278,6 +792,11 @@ pub fn matmul_transpose_packed_with(
     }
     let mut out = Matrix::zeros(lhs.rows(), panels.k);
     match kernel {
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Vector if avx512_enabled() => unsafe {
+            // Safety: AVX-512 F/BW/DQ availability checked at runtime.
+            x86::matmul_wt_avx512(lhs, panels, out.as_mut_slice());
+        },
         #[cfg(target_arch = "x86_64")]
         Kernel::Vector if vector_available() => unsafe {
             // Safety: AVX2+FMA availability checked at runtime.
@@ -317,7 +836,9 @@ pub fn transpose_matmul_with(
     match kernel {
         #[cfg(target_arch = "x86_64")]
         Kernel::Vector if vector_available() => unsafe {
-            // Safety: AVX2+FMA availability checked at runtime.
+            // Safety: AVX2+FMA availability checked at runtime.  (Element-wise
+            // fused multiply-adds — lane width cannot change the result, so
+            // there is no separate AVX-512 form.)
             x86::transpose_matmul_avx2(lhs, rhs, out.as_mut_slice());
         },
         _ => transpose_matmul_scalar_dispatch(lhs, rhs, out.as_mut_slice()),
@@ -325,21 +846,26 @@ pub fn transpose_matmul_with(
     Ok(out)
 }
 
-/// The fixed lane-reduction tree both kernels finish dot products with:
-/// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))` — the exact sum order of the vector
-/// kernel's extract/add shuffle sequence.
+/// The fixed lane-reduction tree both kernels finish dot products with: fold
+/// the halves (`s_i = l_i + l_{i+8}`) — the AVX-512 256-bit extract/add —
+/// then `((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7))`, the exact sum order of the
+/// AVX2 extract/add shuffle sequence.
 #[inline(always)]
 pub fn reduce_lanes(v: [f32; LANES]) -> f32 {
-    let s04 = v[0] + v[4];
-    let s15 = v[1] + v[5];
-    let s26 = v[2] + v[6];
-    let s37 = v[3] + v[7];
+    let mut s = [0.0f32; 8];
+    for i in 0..8 {
+        s[i] = v[i] + v[i + 8];
+    }
+    let s04 = s[0] + s[4];
+    let s15 = s[1] + s[5];
+    let s26 = s[2] + s[6];
+    let s37 = s[3] + s[7];
     (s04 + s26) + (s15 + s37)
 }
 
 /// Activation applied lane-wise to a freshly computed tile.  ReLU is defined as
-/// `if v < 0.0 { 0.0 } else { v }` (keeps `-0.0` and NaN), which both kernels
-/// implement identically; sigmoid/tanh run scalar over the stored tile in both.
+/// `if v < 0.0 { 0.0 } else { v }` (keeps `-0.0` and NaN), which all kernels
+/// implement identically; sigmoid/tanh run scalar over the stored tile in all.
 #[inline(always)]
 fn apply_activation_slice(activation: Activation, out: &mut [f32]) {
     match activation {
@@ -399,6 +925,43 @@ fn forward_scalar_body(
             let cols = LANES.min(n - p * LANES);
             let tile = &mut out_row[p * LANES..p * LANES + cols];
             tile.copy_from_slice(&acc[..cols]);
+            apply_activation_slice(activation, tile);
+        }
+    }
+}
+
+#[inline(always)]
+fn forward_quantized_scalar_body(
+    qpairs: &[i32],
+    xscales: &[f32],
+    count: usize,
+    panels: &QuantizedPanels,
+    activation: Activation,
+    out: &mut [f32],
+) {
+    let n = panels.n;
+    let kpairs = panels.kpairs;
+    for i in 0..count {
+        let xrow = &qpairs[i * kpairs..(i + 1) * kpairs];
+        let x_scale = xscales[i];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..panels.panel_count() {
+            let mut acc = [0i32; QLANES];
+            for (kp, &pair) in xrow.iter().enumerate() {
+                let x0 = pair as i16 as i32;
+                let x1 = (pair >> 16) as i16 as i32;
+                let block = panels.block(p, kp);
+                for (c, lane) in acc.iter_mut().enumerate() {
+                    // The exact i32 form of one `vpmaddwd` lane.
+                    *lane += x0 * block[2 * c] as i32 + x1 * block[2 * c + 1] as i32;
+                }
+            }
+            let cols = QLANES.min(n - p * QLANES);
+            let tile = &mut out_row[p * QLANES..p * QLANES + cols];
+            for (c, t) in tile.iter_mut().enumerate() {
+                let m = x_scale * panels.scales[p * QLANES + c];
+                *t = (acc[c] as f32).mul_add(m, panels.bias[p * QLANES + c]);
+            }
             apply_activation_slice(activation, tile);
         }
     }
@@ -498,6 +1061,20 @@ scalar_dispatch!(
 );
 
 scalar_dispatch!(
+    forward_quantized_scalar_dispatch,
+    forward_quantized_scalar_body,
+    forward_quantized_scalar_fma,
+    (
+        qpairs: &[i32],
+        xscales: &[f32],
+        count: usize,
+        panels: &QuantizedPanels,
+        activation: Activation,
+        out: &mut [f32]
+    )
+);
+
+scalar_dispatch!(
     matmul_wt_scalar_dispatch,
     matmul_wt_scalar_body,
     matmul_wt_scalar_fma,
@@ -512,19 +1089,23 @@ scalar_dispatch!(
 );
 
 // ---------------------------------------------------------------------------
-// AVX2 + FMA kernels.
+// AVX2 + FMA and AVX-512 kernels.
 // ---------------------------------------------------------------------------
 
 #[cfg(target_arch = "x86_64")]
 mod x86 {
-    use super::{apply_activation_slice, PackedPanels, LANES};
+    use super::{apply_activation_slice, PackedPanels, QuantizedPanels, LANES, QLANES};
     use crate::layer::Activation;
     use crate::tensor::Matrix;
     use std::arch::x86_64::*;
 
-    /// Row-block size of the forward micro-kernel: 4 rows × 1 panel = 4
-    /// accumulator registers sharing each panel-row load.
+    /// Row-block size of the forward micro-kernels: 4 rows sharing each
+    /// panel-row load (AVX-512 additionally blocks 2 panels, so its inner
+    /// loop holds 2 × 4 accumulator registers).
     const MR: usize = 4;
+
+    /// Half-panel width of the AVX2 forms (one `__m256`).
+    const HALF: usize = 8;
 
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn forward_avx2(
@@ -542,18 +1123,24 @@ mod x86 {
         while r + MR <= count {
             for p in 0..np {
                 let panel = panels.panel(p);
-                let bias = _mm256_loadu_ps(panels.bias_panel(p).as_ptr());
+                let bias = panels.bias_panel(p);
+                let b_lo = _mm256_loadu_ps(bias.as_ptr());
+                let b_hi = _mm256_loadu_ps(bias.as_ptr().add(HALF));
                 let rows: [&[f32]; MR] = std::array::from_fn(|j| lhs.row(start + r + j));
-                let mut acc = [bias; MR];
+                let mut lo = [b_lo; MR];
+                let mut hi = [b_hi; MR];
                 #[allow(clippy::needless_range_loop)] // kk indexes 4 rows + the panel in lockstep
                 for kk in 0..k {
-                    let w = _mm256_loadu_ps(panel.as_ptr().add(kk * LANES));
+                    let w_lo = _mm256_loadu_ps(panel.as_ptr().add(kk * LANES));
+                    let w_hi = _mm256_loadu_ps(panel.as_ptr().add(kk * LANES + HALF));
                     for j in 0..MR {
-                        acc[j] = _mm256_fmadd_ps(_mm256_set1_ps(rows[j][kk]), w, acc[j]);
+                        let a = _mm256_set1_ps(rows[j][kk]);
+                        lo[j] = _mm256_fmadd_ps(a, w_lo, lo[j]);
+                        hi[j] = _mm256_fmadd_ps(a, w_hi, hi[j]);
                     }
                 }
-                for (j, &acc_j) in acc.iter().enumerate() {
-                    store_tile(acc_j, activation, out, (r + j) * n + p * LANES, n - p * LANES);
+                for j in 0..MR {
+                    store_half_tiles(lo[j], hi[j], activation, out, (r + j) * n + p * LANES, n - p * LANES);
                 }
             }
             r += MR;
@@ -562,14 +1149,403 @@ mod x86 {
             let lhs_row = lhs.row(start + r);
             for p in 0..np {
                 let panel = panels.panel(p);
-                let mut acc = _mm256_loadu_ps(panels.bias_panel(p).as_ptr());
+                let bias = panels.bias_panel(p);
+                let mut lo = _mm256_loadu_ps(bias.as_ptr());
+                let mut hi = _mm256_loadu_ps(bias.as_ptr().add(HALF));
                 for (kk, &a) in lhs_row.iter().enumerate().take(k) {
-                    let w = _mm256_loadu_ps(panel.as_ptr().add(kk * LANES));
-                    acc = _mm256_fmadd_ps(_mm256_set1_ps(a), w, acc);
+                    let av = _mm256_set1_ps(a);
+                    let w_lo = _mm256_loadu_ps(panel.as_ptr().add(kk * LANES));
+                    let w_hi = _mm256_loadu_ps(panel.as_ptr().add(kk * LANES + HALF));
+                    lo = _mm256_fmadd_ps(av, w_lo, lo);
+                    hi = _mm256_fmadd_ps(av, w_hi, hi);
                 }
-                store_tile(acc, activation, out, r * n + p * LANES, n - p * LANES);
+                store_half_tiles(lo, hi, activation, out, r * n + p * LANES, n - p * LANES);
             }
             r += 1;
+        }
+    }
+
+    /// 2-panel × 4-row register-blocked AVX-512 forward: 8 zmm accumulators
+    /// sharing each pair of panel-row loads.  Each output column is still one
+    /// independent bias-initialized FMA chain over `k` — the identical recipe
+    /// of the scalar and AVX2 forms.
+    #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512dq")]
+    pub(super) unsafe fn forward_avx512(
+        lhs: &Matrix,
+        start: usize,
+        count: usize,
+        panels: &PackedPanels,
+        activation: Activation,
+        out: &mut [f32],
+    ) {
+        let n = panels.n;
+        let k = panels.k;
+        let np = panels.panel_count();
+        let mut r = 0;
+        while r + MR <= count {
+            let rows: [&[f32]; MR] = std::array::from_fn(|j| lhs.row(start + r + j));
+            let mut p = 0;
+            while p + 2 <= np {
+                let p0 = panels.panel(p);
+                let p1 = panels.panel(p + 1);
+                let b0 = _mm512_loadu_ps(panels.bias_panel(p).as_ptr());
+                let b1 = _mm512_loadu_ps(panels.bias_panel(p + 1).as_ptr());
+                let mut acc0 = [b0; MR];
+                let mut acc1 = [b1; MR];
+                #[allow(clippy::needless_range_loop)] // kk indexes 4 rows + 2 panels in lockstep
+                for kk in 0..k {
+                    let w0 = _mm512_loadu_ps(p0.as_ptr().add(kk * LANES));
+                    let w1 = _mm512_loadu_ps(p1.as_ptr().add(kk * LANES));
+                    for j in 0..MR {
+                        let a = _mm512_set1_ps(rows[j][kk]);
+                        acc0[j] = _mm512_fmadd_ps(a, w0, acc0[j]);
+                        acc1[j] = _mm512_fmadd_ps(a, w1, acc1[j]);
+                    }
+                }
+                for j in 0..MR {
+                    store_tile512(acc0[j], activation, out, (r + j) * n + p * LANES, n - p * LANES);
+                    store_tile512(
+                        acc1[j],
+                        activation,
+                        out,
+                        (r + j) * n + (p + 1) * LANES,
+                        n - (p + 1) * LANES,
+                    );
+                }
+                p += 2;
+            }
+            if p < np {
+                let panel = panels.panel(p);
+                let b = _mm512_loadu_ps(panels.bias_panel(p).as_ptr());
+                let mut acc = [b; MR];
+                #[allow(clippy::needless_range_loop)] // kk indexes 4 rows + the panel in lockstep
+                for kk in 0..k {
+                    let w = _mm512_loadu_ps(panel.as_ptr().add(kk * LANES));
+                    for j in 0..MR {
+                        acc[j] = _mm512_fmadd_ps(_mm512_set1_ps(rows[j][kk]), w, acc[j]);
+                    }
+                }
+                for (j, &a) in acc.iter().enumerate() {
+                    store_tile512(a, activation, out, (r + j) * n + p * LANES, n - p * LANES);
+                }
+            }
+            r += MR;
+        }
+        while r < count {
+            let lhs_row = lhs.row(start + r);
+            for p in 0..np {
+                let panel = panels.panel(p);
+                let mut acc = _mm512_loadu_ps(panels.bias_panel(p).as_ptr());
+                for (kk, &a) in lhs_row.iter().enumerate().take(k) {
+                    let w = _mm512_loadu_ps(panel.as_ptr().add(kk * LANES));
+                    acc = _mm512_fmadd_ps(_mm512_set1_ps(a), w, acc);
+                }
+                store_tile512(acc, activation, out, r * n + p * LANES, n - p * LANES);
+            }
+            r += 1;
+        }
+    }
+
+    /// AVX-512 form of the shared input-row quantizer: `vmaxps` amax scan,
+    /// then `q = clamp(vcvtps2dq(v · 127/amax), -127, 127)` narrowed to i16
+    /// pairs with `vpmovdw`.  Bit-identical to the scalar recipe: the max
+    /// reduction is order-independent, the multiply rounds identically, and
+    /// `vcvtps2dq` is exactly `round_ties_even` (inputs are finite — they are
+    /// activations).  `pairs` must arrive zeroed (padding lanes are never
+    /// stored).
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn quantize_input_row_avx512(row: &[f32], pairs: &mut [i32]) -> f32 {
+        let k = row.len();
+        let src = row.as_ptr();
+        let mut vmax = _mm512_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= k {
+            vmax = _mm512_max_ps(vmax, _mm512_abs_ps(_mm512_loadu_ps(src.add(i))));
+            i += 16;
+        }
+        if i < k {
+            let mask = (1u16 << (k - i)) - 1;
+            vmax = _mm512_max_ps(vmax, _mm512_abs_ps(_mm512_maskz_loadu_ps(mask, src.add(i))));
+        }
+        let amax = _mm512_reduce_max_ps(vmax);
+        if amax == 0.0 {
+            pairs.fill(0);
+            return 1.0;
+        }
+        let vinv = _mm512_set1_ps(127.0 / amax);
+        let lo = _mm512_set1_epi32(-127);
+        let hi = _mm512_set1_epi32(127);
+        let dst = pairs.as_mut_ptr() as *mut i16;
+        let mut i = 0;
+        while i < k {
+            let remaining = k - i;
+            let mask = if remaining >= 16 {
+                0xFFFFu16
+            } else {
+                (1u16 << remaining) - 1
+            };
+            let v = _mm512_maskz_loadu_ps(mask, src.add(i));
+            let q = _mm512_min_epi32(
+                _mm512_max_epi32(_mm512_cvtps_epi32(_mm512_mul_ps(v, vinv)), lo),
+                hi,
+            );
+            let w16 = _mm512_cvtepi32_epi16(q);
+            if remaining >= 16 {
+                _mm256_storeu_si256(dst.add(i) as *mut __m256i, w16);
+            } else {
+                let mut tail = [0i16; 16];
+                _mm256_storeu_si256(tail.as_mut_ptr() as *mut __m256i, w16);
+                std::ptr::copy_nonoverlapping(tail.as_ptr(), dst.add(i), remaining);
+            }
+            i += 16;
+        }
+        amax / 127.0
+    }
+
+    /// Row-block size of the int8 forward micro-kernels: 8 rows share each
+    /// widening weight load (8 i32 accumulators + the widened block + the
+    /// broadcast pair stay comfortably inside the 32-register zmm file).
+    const QMR: usize = 8;
+
+    /// One int8 multiply-accumulate step: `acc + Σ_pairs w · x` in exact i32.
+    /// The VNNI form fuses `vpmaddwd` + `vpaddd` into one `vpdpwssd`; both
+    /// forms accumulate identical lane values (no saturation is reachable —
+    /// products of `[-127, 127]` pairs summed into i32), so selection is
+    /// purely a speed knob.
+    #[inline(always)]
+    unsafe fn madd_acc<const VNNI: bool>(acc: __m512i, w: __m512i, x: __m512i) -> __m512i {
+        if VNNI {
+            _mm512_dpwssd_epi32(acc, w, x)
+        } else {
+            _mm512_add_epi32(acc, _mm512_madd_epi16(w, x))
+        }
+    }
+
+    /// Int8 forward, AVX-512 form: one `vpmovsxbw` widening load per panel
+    /// k-pair feeds `vpmaddwd`/`vpdpwssd` against 8 rows' broadcast input
+    /// pairs (a single `vpbroadcastd` from the prequantized pair words each)
+    /// — 32 int8 products per instruction — accumulated exactly in 16 i32
+    /// lanes, then dequantized through the fixed f32 epilogue.
+    #[inline(always)]
+    unsafe fn forward_quantized_avx512_body<const VNNI: bool>(
+        qpairs: &[i32],
+        xscales: &[f32],
+        count: usize,
+        panels: &QuantizedPanels,
+        activation: Activation,
+        out: &mut [f32],
+    ) {
+        let n = panels.n;
+        let kpairs = panels.kpairs;
+        let np = panels.panel_count();
+        let data = panels.data.as_ptr();
+        let px = qpairs.as_ptr();
+        let mut r = 0;
+        while r + QMR <= count {
+            for p in 0..np {
+                let mut acc = [_mm512_setzero_si512(); QMR];
+                let mut wp = data.add(p * kpairs * 2 * QLANES);
+                for kp in 0..kpairs {
+                    let w = _mm512_cvtepi8_epi16(_mm256_loadu_si256(wp as *const __m256i));
+                    wp = wp.add(2 * QLANES);
+                    #[allow(clippy::needless_range_loop)] // j indexes rows + accumulators in lockstep
+                    for j in 0..QMR {
+                        let x = _mm512_set1_epi32(*px.add((r + j) * kpairs + kp));
+                        acc[j] = madd_acc::<VNNI>(acc[j], w, x);
+                    }
+                }
+                for (j, &a) in acc.iter().enumerate() {
+                    let m = _mm512_mul_ps(
+                        _mm512_set1_ps(xscales[r + j]),
+                        _mm512_loadu_ps(panels.scales.as_ptr().add(p * QLANES)),
+                    );
+                    let y = _mm512_fmadd_ps(
+                        _mm512_cvtepi32_ps(a),
+                        m,
+                        _mm512_loadu_ps(panels.bias.as_ptr().add(p * QLANES)),
+                    );
+                    store_tile512(y, activation, out, (r + j) * n + p * QLANES, n - p * QLANES);
+                }
+            }
+            r += QMR;
+        }
+        while r < count {
+            for p in 0..np {
+                let mut acc = _mm512_setzero_si512();
+                let mut wp = data.add(p * kpairs * 2 * QLANES);
+                for kp in 0..kpairs {
+                    let w = _mm512_cvtepi8_epi16(_mm256_loadu_si256(wp as *const __m256i));
+                    wp = wp.add(2 * QLANES);
+                    let x = _mm512_set1_epi32(*px.add(r * kpairs + kp));
+                    acc = madd_acc::<VNNI>(acc, w, x);
+                }
+                let m = _mm512_mul_ps(
+                    _mm512_set1_ps(xscales[r]),
+                    _mm512_loadu_ps(panels.scales.as_ptr().add(p * QLANES)),
+                );
+                let y = _mm512_fmadd_ps(
+                    _mm512_cvtepi32_ps(acc),
+                    m,
+                    _mm512_loadu_ps(panels.bias.as_ptr().add(p * QLANES)),
+                );
+                store_tile512(y, activation, out, r * n + p * QLANES, n - p * QLANES);
+            }
+            r += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512dq")]
+    pub(super) unsafe fn forward_quantized_avx512(
+        qpairs: &[i32],
+        xscales: &[f32],
+        count: usize,
+        panels: &QuantizedPanels,
+        activation: Activation,
+        out: &mut [f32],
+    ) {
+        forward_quantized_avx512_body::<false>(qpairs, xscales, count, panels, activation, out);
+    }
+
+    /// [`forward_quantized_avx512`] with the fused `vpdpwssd` accumulate —
+    /// bit-identical output (see [`madd_acc`]), fewer inner-loop uops.
+    #[target_feature(
+        enable = "avx512f",
+        enable = "avx512bw",
+        enable = "avx512dq",
+        enable = "avx512vnni"
+    )]
+    pub(super) unsafe fn forward_quantized_avx512_vnni(
+        qpairs: &[i32],
+        xscales: &[f32],
+        count: usize,
+        panels: &QuantizedPanels,
+        activation: Activation,
+        out: &mut [f32],
+    ) {
+        forward_quantized_avx512_body::<true>(qpairs, xscales, count, panels, activation, out);
+    }
+
+    /// Int8 forward, AVX2 form: the same recipe as the AVX-512 form with each
+    /// 32-byte block processed as two widening 16-byte halves (`vpmaddwd`
+    /// over `__m256i`), so the i32 lane values are identical.  4 rows share
+    /// each widening load (8 + 2 + 1 live ymm registers).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn forward_quantized_avx2(
+        qpairs: &[i32],
+        xscales: &[f32],
+        count: usize,
+        panels: &QuantizedPanels,
+        activation: Activation,
+        out: &mut [f32],
+    ) {
+        let n = panels.n;
+        let kpairs = panels.kpairs;
+        let np = panels.panel_count();
+        let data = panels.data.as_ptr();
+        let px = qpairs.as_ptr();
+        let mut r = 0;
+        while r + MR <= count {
+            for p in 0..np {
+                let mut acc_lo = [_mm256_setzero_si256(); MR];
+                let mut acc_hi = [_mm256_setzero_si256(); MR];
+                let mut wp = data.add(p * kpairs * 2 * QLANES);
+                for kp in 0..kpairs {
+                    let w_lo = _mm256_cvtepi8_epi16(_mm_loadu_si128(wp as *const __m128i));
+                    let w_hi =
+                        _mm256_cvtepi8_epi16(_mm_loadu_si128(wp.add(QLANES) as *const __m128i));
+                    wp = wp.add(2 * QLANES);
+                    #[allow(clippy::needless_range_loop)] // j indexes rows + accumulators in lockstep
+                    for j in 0..MR {
+                        let x = _mm256_set1_epi32(*px.add((r + j) * kpairs + kp));
+                        acc_lo[j] = _mm256_add_epi32(acc_lo[j], _mm256_madd_epi16(w_lo, x));
+                        acc_hi[j] = _mm256_add_epi32(acc_hi[j], _mm256_madd_epi16(w_hi, x));
+                    }
+                }
+                for j in 0..MR {
+                    store_quantized_avx2_row(
+                        acc_lo[j],
+                        acc_hi[j],
+                        xscales[r + j],
+                        panels,
+                        p,
+                        activation,
+                        out,
+                        (r + j) * n,
+                    );
+                }
+            }
+            r += MR;
+        }
+        while r < count {
+            for p in 0..np {
+                let mut acc_lo = _mm256_setzero_si256();
+                let mut acc_hi = _mm256_setzero_si256();
+                let mut wp = data.add(p * kpairs * 2 * QLANES);
+                for kp in 0..kpairs {
+                    let w_lo = _mm256_cvtepi8_epi16(_mm_loadu_si128(wp as *const __m128i));
+                    let w_hi =
+                        _mm256_cvtepi8_epi16(_mm_loadu_si128(wp.add(QLANES) as *const __m128i));
+                    wp = wp.add(2 * QLANES);
+                    let x = _mm256_set1_epi32(*px.add(r * kpairs + kp));
+                    acc_lo = _mm256_add_epi32(acc_lo, _mm256_madd_epi16(w_lo, x));
+                    acc_hi = _mm256_add_epi32(acc_hi, _mm256_madd_epi16(w_hi, x));
+                }
+                store_quantized_avx2_row(
+                    acc_lo, acc_hi, xscales[r], panels, p, activation, out, r * n,
+                );
+            }
+            r += 1;
+        }
+    }
+
+    /// Dequantize-and-store epilogue of one AVX2 int8 output tile:
+    /// `y = (acc as f32) · (x_scale · w_scale) + bias`, activation fused.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn store_quantized_avx2_row(
+        acc_lo: __m256i,
+        acc_hi: __m256i,
+        x_scale: f32,
+        panels: &QuantizedPanels,
+        p: usize,
+        activation: Activation,
+        out: &mut [f32],
+        row_base: usize,
+    ) {
+        let n = panels.n;
+        let xs = _mm256_set1_ps(x_scale);
+        let m_lo = _mm256_mul_ps(xs, _mm256_loadu_ps(panels.scales.as_ptr().add(p * QLANES)));
+        let m_hi = _mm256_mul_ps(
+            xs,
+            _mm256_loadu_ps(panels.scales.as_ptr().add(p * QLANES + HALF)),
+        );
+        let y_lo = _mm256_fmadd_ps(
+            _mm256_cvtepi32_ps(acc_lo),
+            m_lo,
+            _mm256_loadu_ps(panels.bias.as_ptr().add(p * QLANES)),
+        );
+        let y_hi = _mm256_fmadd_ps(
+            _mm256_cvtepi32_ps(acc_hi),
+            m_hi,
+            _mm256_loadu_ps(panels.bias.as_ptr().add(p * QLANES + HALF)),
+        );
+        store_half_tiles(y_lo, y_hi, activation, out, row_base + p * QLANES, n - p * QLANES);
+    }
+
+    /// Stores a 16-lane tile held as two `__m256` halves, applying the
+    /// activation in the same pass (see [`store_tile256`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn store_half_tiles(
+        lo: __m256,
+        hi: __m256,
+        activation: Activation,
+        out: &mut [f32],
+        offset: usize,
+        remaining_cols: usize,
+    ) {
+        store_tile256(lo, activation, out, offset, remaining_cols.min(HALF));
+        if remaining_cols > HALF {
+            store_tile256(hi, activation, out, offset + HALF, remaining_cols - HALF);
         }
     }
 
@@ -577,7 +1553,7 @@ mod x86 {
     /// the same pass (ReLU in registers; sigmoid/tanh scalar on the stored
     /// lanes, identical to the scalar kernel's recipe).
     #[target_feature(enable = "avx2", enable = "fma")]
-    unsafe fn store_tile(
+    unsafe fn store_tile256(
         acc: __m256,
         activation: Activation,
         out: &mut [f32],
@@ -594,12 +1570,44 @@ mod x86 {
             }
             _ => acc,
         };
-        let cols = LANES.min(remaining_cols);
-        if cols == LANES {
+        let cols = HALF.min(remaining_cols);
+        if cols == HALF {
             _mm256_storeu_ps(out.as_mut_ptr().add(offset), acc);
         } else {
-            let mut tmp = [0.0f32; LANES];
+            let mut tmp = [0.0f32; HALF];
             _mm256_storeu_ps(tmp.as_mut_ptr(), acc);
+            out[offset..offset + cols].copy_from_slice(&tmp[..cols]);
+        }
+        if matches!(activation, Activation::Sigmoid | Activation::Tanh) {
+            apply_activation_slice(activation, &mut out[offset..offset + cols]);
+        }
+    }
+
+    /// Stores up to 16 lanes of a finished tile (AVX-512 form of
+    /// [`store_tile256`], same activation recipe).
+    #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512dq")]
+    unsafe fn store_tile512(
+        acc: __m512,
+        activation: Activation,
+        out: &mut [f32],
+        offset: usize,
+        remaining_cols: usize,
+    ) {
+        let acc = match activation {
+            Activation::Relu => {
+                // Lanes where v < 0 (ordered) are zeroed; -0.0 and NaN pass
+                // through — exactly the scalar recipe.
+                let lt = _mm512_cmp_ps_mask::<_CMP_LT_OQ>(acc, _mm512_setzero_ps());
+                _mm512_maskz_mov_ps(!lt, acc)
+            }
+            _ => acc,
+        };
+        let cols = LANES.min(remaining_cols);
+        if cols == LANES {
+            _mm512_storeu_ps(out.as_mut_ptr().add(offset), acc);
+        } else {
+            let mut tmp = [0.0f32; LANES];
+            _mm512_storeu_ps(tmp.as_mut_ptr(), acc);
             out[offset..offset + cols].copy_from_slice(&tmp[..cols]);
         }
         if matches!(activation, Activation::Sigmoid | Activation::Tanh) {
@@ -612,39 +1620,86 @@ mod x86 {
         let k = panels.k;
         let n = panels.n;
         let np = panels.panel_count();
-        const KC: usize = 8;
+        const KC: usize = 4;
         for i in 0..lhs.rows() {
             let lhs_row = lhs.row(i);
             let mut kk0 = 0;
             while kk0 < k {
                 let kb = KC.min(k - kk0);
-                let mut acc = [_mm256_setzero_ps(); KC];
+                let mut acc_lo = [_mm256_setzero_ps(); KC];
+                let mut acc_hi = [_mm256_setzero_ps(); KC];
                 for p in 0..np {
                     let cols = LANES.min(n - p * LANES);
-                    let x = if cols == LANES {
-                        _mm256_loadu_ps(lhs_row.as_ptr().add(p * LANES))
+                    let (x_lo, x_hi) = if cols == LANES {
+                        (
+                            _mm256_loadu_ps(lhs_row.as_ptr().add(p * LANES)),
+                            _mm256_loadu_ps(lhs_row.as_ptr().add(p * LANES + HALF)),
+                        )
                     } else {
                         let mut tmp = [0.0f32; LANES];
                         tmp[..cols].copy_from_slice(&lhs_row[p * LANES..p * LANES + cols]);
-                        _mm256_loadu_ps(tmp.as_ptr())
+                        (
+                            _mm256_loadu_ps(tmp.as_ptr()),
+                            _mm256_loadu_ps(tmp.as_ptr().add(HALF)),
+                        )
                     };
                     let panel = panels.panel(p);
-                    for (j, acc_j) in acc.iter_mut().enumerate().take(kb) {
-                        let w = _mm256_loadu_ps(panel.as_ptr().add((kk0 + j) * LANES));
-                        *acc_j = _mm256_fmadd_ps(x, w, *acc_j);
+                    for j in 0..kb {
+                        let w_lo = _mm256_loadu_ps(panel.as_ptr().add((kk0 + j) * LANES));
+                        let w_hi = _mm256_loadu_ps(panel.as_ptr().add((kk0 + j) * LANES + HALF));
+                        acc_lo[j] = _mm256_fmadd_ps(x_lo, w_lo, acc_lo[j]);
+                        acc_hi[j] = _mm256_fmadd_ps(x_hi, w_hi, acc_hi[j]);
                     }
                 }
-                for (j, &acc_j) in acc.iter().enumerate().take(kb) {
-                    out[i * k + kk0 + j] = reduce_lanes_avx(acc_j);
+                for j in 0..kb {
+                    // Fold the halves (`s_i = l_i + l_{i+8}`), then the 8-lane
+                    // tree — the fixed 16-lane reduction order.
+                    out[i * k + kk0 + j] =
+                        reduce_lanes_avx(_mm256_add_ps(acc_lo[j], acc_hi[j]));
                 }
                 kk0 += kb;
             }
         }
     }
 
-    /// The vector form of [`super::reduce_lanes`]: extract/add the 128-bit
-    /// halves, then the movehl/shuffle pair — summing in exactly the fixed
-    /// tree's order.
+    #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512dq")]
+    pub(super) unsafe fn matmul_wt_avx512(lhs: &Matrix, panels: &PackedPanels, out: &mut [f32]) {
+        let k = panels.k;
+        let n = panels.n;
+        let np = panels.panel_count();
+        const KC: usize = 8;
+        for i in 0..lhs.rows() {
+            let lhs_row = lhs.row(i);
+            let mut kk0 = 0;
+            while kk0 < k {
+                let kb = KC.min(k - kk0);
+                let mut acc = [_mm512_setzero_ps(); KC];
+                for p in 0..np {
+                    let cols = LANES.min(n - p * LANES);
+                    let x = if cols == LANES {
+                        _mm512_loadu_ps(lhs_row.as_ptr().add(p * LANES))
+                    } else {
+                        let mut tmp = [0.0f32; LANES];
+                        tmp[..cols].copy_from_slice(&lhs_row[p * LANES..p * LANES + cols]);
+                        _mm512_loadu_ps(tmp.as_ptr())
+                    };
+                    let panel = panels.panel(p);
+                    for (j, acc_j) in acc.iter_mut().enumerate().take(kb) {
+                        let w = _mm512_loadu_ps(panel.as_ptr().add((kk0 + j) * LANES));
+                        *acc_j = _mm512_fmadd_ps(x, w, *acc_j);
+                    }
+                }
+                for (j, &acc_j) in acc.iter().enumerate().take(kb) {
+                    out[i * k + kk0 + j] = reduce_lanes_512(acc_j);
+                }
+                kk0 += kb;
+            }
+        }
+    }
+
+    /// The vector form of [`super::reduce_lanes`]'s 8-lane tail: extract/add
+    /// the 128-bit halves, then the movehl/shuffle pair — summing in exactly
+    /// the fixed tree's order.
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn reduce_lanes_avx(v: __m256) -> f32 {
         let lo = _mm256_castps256_ps128(v);
@@ -655,6 +1710,15 @@ mod x86 {
         let pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
         let one = _mm_add_ss(pair, _mm_shuffle_ps::<0b01>(pair, pair));
         _mm_cvtss_f32(one)
+    }
+
+    /// The 16-lane reduction: fold the 256-bit halves (`s_i = l_i + l_{i+8}`),
+    /// then [`reduce_lanes_avx`] — the exact order of [`super::reduce_lanes`].
+    #[target_feature(enable = "avx512f", enable = "avx512bw", enable = "avx512dq")]
+    unsafe fn reduce_lanes_512(v: __m512) -> f32 {
+        let lo = _mm512_castps512_ps256(v);
+        let hi = _mm512_extractf32x8_ps::<1>(v);
+        reduce_lanes_avx(_mm256_add_ps(lo, hi))
     }
 
     #[target_feature(enable = "avx2", enable = "fma")]
@@ -670,11 +1734,11 @@ mod x86 {
                 let out_row = &mut out[i * n..(i + 1) * n];
                 let av = _mm256_set1_ps(a);
                 let mut j = 0;
-                while j + LANES <= n {
+                while j + HALF <= n {
                     let o = _mm256_loadu_ps(out_row.as_ptr().add(j));
                     let b = _mm256_loadu_ps(rhs_row.as_ptr().add(j));
                     _mm256_storeu_ps(out_row.as_mut_ptr().add(j), _mm256_fmadd_ps(av, b, o));
-                    j += LANES;
+                    j += HALF;
                 }
                 for (o, &b) in out_row[j..].iter_mut().zip(&rhs_row[j..]) {
                     *o = a.mul_add(b, *o);
@@ -682,6 +1746,16 @@ mod x86 {
             }
         }
     }
+}
+
+/// Runs `f` with the AVX-512 forms of the vector kernels disabled, so the
+/// AVX2 forms can be bit-compared against them on one machine (test-only).
+#[cfg(all(test, target_arch = "x86_64"))]
+pub(crate) fn with_avx512_disabled<T>(f: impl FnOnce() -> T) -> T {
+    let previous = DISABLE_AVX512.with(|c| c.replace(true));
+    let result = f();
+    DISABLE_AVX512.with(|c| c.set(previous));
+    result
 }
 
 #[cfg(test)]
@@ -721,28 +1795,32 @@ mod tests {
         }
     }
 
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|f| f.to_bits()).collect()
+    }
+
     fn both_kernels() -> Vec<Kernel> {
         vec![Kernel::Scalar, Kernel::Vector]
     }
 
     #[test]
     fn pack_lays_out_panels_with_zero_padding() {
-        let w = fill(3, 10, 1);
-        let b = fill(1, 10, 2);
+        let w = fill(3, 18, 1);
+        let b = fill(1, 18, 2);
         let panels = PackedPanels::pack(&w, Some(&b)).unwrap();
         assert_eq!(panels.k(), 3);
-        assert_eq!(panels.n(), 10);
+        assert_eq!(panels.n(), 18);
         assert_eq!(panels.panel_count(), 2);
         assert!(panels.bytes() > 0);
         // Panel 0, row 1, lane 3 is weight[1][3]; panel 1, row 2, lane 1 is
-        // weight[2][9]; padding lanes are zero.
+        // weight[2][17]; padding lanes are zero.
         assert_eq!(panels.panel(0)[LANES + 3], w.get(1, 3));
-        assert_eq!(panels.panel(1)[2 * LANES + 1], w.get(2, 9));
+        assert_eq!(panels.panel(1)[2 * LANES + 1], w.get(2, 17));
         for lane in 2..LANES {
             assert_eq!(panels.panel(1)[2 * LANES + lane], 0.0);
             assert_eq!(panels.bias_panel(1)[lane], 0.0);
         }
-        assert_eq!(panels.bias_panel(1)[1], b.get(0, 9));
+        assert_eq!(panels.bias_panel(1)[1], b.get(0, 17));
     }
 
     #[test]
@@ -760,7 +1838,7 @@ mod tests {
         for kernel in both_kernels() {
             for &m in &[0usize, 1, 3, 4, 5, 9] {
                 for &k in &[1usize, 4, 7, 8, 9, 17] {
-                    for &n in &[1usize, 7, 8, 9, 16, 19] {
+                    for &n in &[1usize, 7, 8, 15, 16, 17, 31, 32, 35] {
                         for act in [Activation::Linear, Activation::Relu, Activation::Tanh] {
                             let x = fill(m, k, 3);
                             let w = fill(k, n, 4);
@@ -780,8 +1858,8 @@ mod tests {
     #[test]
     fn forward_packed_row_windows_match_full_pass() {
         let x = fill(10, 9, 6);
-        let w = fill(9, 12, 7);
-        let b = fill(1, 12, 8);
+        let w = fill(9, 18, 7);
+        let b = fill(1, 18, 8);
         let panels = PackedPanels::pack(&w, Some(&b)).unwrap();
         let full = forward_packed(&x, 0, 10, &panels, Activation::Relu).unwrap();
         for start in 0..10 {
@@ -799,13 +1877,22 @@ mod tests {
     }
 
     /// Scalar and vector kernels must agree bit for bit — the invariant that
-    /// keeps aux-table memorization lossless across kernel selection.
+    /// keeps aux-table memorization lossless across kernel selection.  On
+    /// AVX-512 hardware the vector kernel is additionally run in its AVX2
+    /// form (via the test-only feature override) and must agree too.
     #[test]
     fn scalar_and_vector_kernels_are_bit_identical() {
         if !vector_available() {
             return; // vector lanes degrade to the scalar recipe anyway
         }
-        for &(m, k, n) in &[(1usize, 5usize, 3usize), (4, 8, 8), (7, 33, 21), (64, 40, 100)] {
+        for &(m, k, n) in &[
+            (1usize, 5usize, 3usize),
+            (4, 8, 8),
+            (5, 16, 16),
+            (7, 33, 21),
+            (9, 40, 48),
+            (64, 40, 100),
+        ] {
             let x = fill(m, k, 11);
             let w = fill(k, n, 12);
             let b = fill(1, n, 13);
@@ -818,27 +1905,31 @@ mod tests {
             ] {
                 let s = forward_packed_with(Kernel::Scalar, &x, 0, m, &panels, act).unwrap();
                 let v = forward_packed_with(Kernel::Vector, &x, 0, m, &panels, act).unwrap();
-                let s_bits: Vec<u32> = s.as_slice().iter().map(|f| f.to_bits()).collect();
-                let v_bits: Vec<u32> = v.as_slice().iter().map(|f| f.to_bits()).collect();
-                assert_eq!(s_bits, v_bits, "forward {m}x{k}x{n} {act:?}");
+                assert_eq!(bits(&s), bits(&v), "forward {m}x{k}x{n} {act:?}");
+                #[cfg(target_arch = "x86_64")]
+                if avx512_available() {
+                    let v2 = with_avx512_disabled(|| {
+                        forward_packed_with(Kernel::Vector, &x, 0, m, &panels, act).unwrap()
+                    });
+                    assert_eq!(bits(&s), bits(&v2), "forward avx2 {m}x{k}x{n} {act:?}");
+                }
             }
             let dy = fill(m, n, 14);
             let s = matmul_transpose_packed_with(Kernel::Scalar, &dy, &panels).unwrap();
             let v = matmul_transpose_packed_with(Kernel::Vector, &dy, &panels).unwrap();
-            assert_eq!(
-                s.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
-                v.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
-                "matmul_wt {m}x{n}x{k}"
-            );
+            assert_eq!(bits(&s), bits(&v), "matmul_wt {m}x{n}x{k}");
+            #[cfg(target_arch = "x86_64")]
+            if avx512_available() {
+                let v2 = with_avx512_disabled(|| {
+                    matmul_transpose_packed_with(Kernel::Vector, &dy, &panels).unwrap()
+                });
+                assert_eq!(bits(&s), bits(&v2), "matmul_wt avx2 {m}x{n}x{k}");
+            }
             let xt = fill(k, m, 15);
             let rhs = fill(k, n, 16);
             let s = transpose_matmul_with(Kernel::Scalar, &xt, &rhs).unwrap();
             let v = transpose_matmul_with(Kernel::Vector, &xt, &rhs).unwrap();
-            assert_eq!(
-                s.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
-                v.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
-                "transpose_matmul {k}x{m}x{n}"
-            );
+            assert_eq!(bits(&s), bits(&v), "transpose_matmul {k}x{m}x{n}");
         }
     }
 
@@ -875,12 +1966,221 @@ mod tests {
 
     #[test]
     fn reduce_lanes_is_the_documented_tree() {
-        let v = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
-        assert_eq!(reduce_lanes(v), 36.0);
-        // Order sensitivity: the tree is ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
-        let v = [1e8f32, 1.0, -1e8, 0.5, 1e8, 0.25, -1e8, 0.125];
-        let expected = ((1e8f32 + 1e8) + (-1e8 + -1e8)) + ((1.0 + 0.25) + (0.5 + 0.125));
+        let v: [f32; LANES] = std::array::from_fn(|i| (i + 1) as f32);
+        assert_eq!(reduce_lanes(v), 136.0);
+        // Order sensitivity: fold halves first, then the 8-lane tree.
+        let mut v = [0.0f32; LANES];
+        v[0] = 1e8;
+        v[8] = 1.0;
+        v[2] = -1e8;
+        v[10] = 0.5;
+        v[1] = 0.25;
+        let s0 = 1e8f32 + 1.0;
+        let s2 = -1e8f32 + 0.5;
+        let expected = ((s0 + s2) + 0.0) + ((0.25 + 0.0) + 0.0);
         assert_eq!(reduce_lanes(v), expected);
+    }
+
+    // -----------------------------------------------------------------------
+    // Int8 quantized path.
+    // -----------------------------------------------------------------------
+
+    /// Independent re-implementation of the quantized recipe (row
+    /// quantization, exact i32 dot, fixed dequantization epilogue) used to
+    /// cross-check the panel layout end to end.
+    fn naive_quantized_forward(
+        x: &Matrix,
+        w: &Matrix,
+        b: &Matrix,
+        act: Activation,
+    ) -> Matrix {
+        let (m, k, n) = (x.rows(), w.rows(), w.cols());
+        // Per-column weight quantization.
+        let mut wscale = vec![1.0f32; n];
+        let mut q = vec![0i32; k * n];
+        for c in 0..n {
+            let mut amax = 0.0f32;
+            for kk in 0..k {
+                amax = amax.max(w.get(kk, c).abs());
+            }
+            if amax > 0.0 {
+                wscale[c] = amax / 127.0;
+            }
+            for kk in 0..k {
+                q[kk * n + c] =
+                    (w.get(kk, c) / wscale[c]).round().clamp(-127.0, 127.0) as i32;
+            }
+        }
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let row = x.row(i);
+            let mut amax = 0.0f32;
+            for &v in row {
+                if v.abs() > amax {
+                    amax = v.abs();
+                }
+            }
+            let (xq, xscale): (Vec<i32>, f32) = if amax == 0.0 {
+                (vec![0; k], 1.0)
+            } else {
+                let inv = 127.0 / amax;
+                (
+                    row.iter()
+                        // Input rows round ties-to-even (the `vcvtps2dq` mode).
+                        .map(|&v| (v * inv).round_ties_even().clamp(-127.0, 127.0) as i32)
+                        .collect(),
+                    amax / 127.0,
+                )
+            };
+            for c in 0..n {
+                let mut acc = 0i32;
+                for kk in 0..k {
+                    acc += xq[kk] * q[kk * n + c];
+                }
+                let mscale = xscale * wscale[c];
+                out.set(i, c, (acc as f32).mul_add(mscale, b.get(0, c)));
+            }
+        }
+        act.apply_in_place(&mut out);
+        out
+    }
+
+    /// Every kernel's quantized forward must agree bit for bit with the
+    /// independent recipe across all lane/panel/k-pair remainder classes.
+    #[test]
+    fn quantized_forward_matches_the_recipe_across_remainders() {
+        for kernel in both_kernels() {
+            for &m in &[0usize, 1, 3, 4, 5, 9] {
+                for &k in &[1usize, 2, 7, 16, 17, 33] {
+                    for &n in &[1usize, 8, 15, 16, 17, 33] {
+                        for act in [Activation::Linear, Activation::Relu, Activation::Sigmoid] {
+                            let x = fill(m, k, 43);
+                            let w = fill(k, n, 44);
+                            let b = fill(1, n, 45);
+                            let panels = QuantizedPanels::quantize(&w, Some(&b)).unwrap();
+                            let got =
+                                forward_quantized_with(kernel, &x, 0, m, &panels, act).unwrap();
+                            let expected = naive_quantized_forward(&x, &w, &b, act);
+                            assert_eq!(
+                                bits(&got),
+                                bits(&expected),
+                                "{kernel:?} quantized {m}x{k}x{n} {act:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scalar, AVX2 and AVX-512 quantized kernels are bit-identical, and row
+    /// windows (chunking) cannot change any row.
+    #[test]
+    fn quantized_kernels_are_bit_identical_and_chunk_invariant() {
+        let x = fill(13, 33, 51);
+        let w = fill(33, 37, 52);
+        let b = fill(1, 37, 53);
+        let panels = QuantizedPanels::quantize(&w, Some(&b)).unwrap();
+        let full =
+            forward_quantized_with(Kernel::Scalar, &x, 0, 13, &panels, Activation::Relu).unwrap();
+        let v =
+            forward_quantized_with(Kernel::Vector, &x, 0, 13, &panels, Activation::Relu).unwrap();
+        assert_eq!(bits(&full), bits(&v));
+        #[cfg(target_arch = "x86_64")]
+        if avx512_available() {
+            let v2 = with_avx512_disabled(|| {
+                forward_quantized_with(Kernel::Vector, &x, 0, 13, &panels, Activation::Relu)
+                    .unwrap()
+            });
+            assert_eq!(bits(&full), bits(&v2), "avx2 form");
+        }
+        for start in 0..13 {
+            for count in 0..=(13 - start) {
+                let window =
+                    forward_quantized(&x, start, count, &panels, Activation::Relu).unwrap();
+                for r in 0..count {
+                    assert_eq!(window.row(r), full.row(start + r), "window [{start}; {count})");
+                }
+            }
+        }
+        assert!(forward_quantized(&x, 12, 3, &panels, Activation::Relu).is_err());
+        let wrong_k = fill(4, 8, 1);
+        assert!(forward_quantized(&wrong_k, 0, 4, &panels, Activation::Relu).is_err());
+    }
+
+    /// Quantization must be a deterministic fixed point: raw parts reproduce
+    /// the panels byte-identically, and re-quantizing the dequantized weight
+    /// reproduces the same quantized values and scales.
+    #[test]
+    fn quantize_dequantize_round_trip_is_deterministic() {
+        for &(k, n) in &[(1usize, 1usize), (5, 7), (16, 16), (17, 33), (40, 100)] {
+            let w = fill(k, n, 61);
+            let b = fill(1, n, 62);
+            let panels = QuantizedPanels::quantize(&w, Some(&b)).unwrap();
+            // Serialization round trip: raw parts → identical panels.
+            let q = panels.weights_row_major();
+            let rebuilt =
+                QuantizedPanels::from_parts(k, n, &q, panels.column_scales(), Some(&b)).unwrap();
+            assert_eq!(panels, rebuilt, "{k}x{n} parts round trip");
+            // Quantization fixed point: quantize(dequantize(q)) == q.
+            let dq = panels.dequantized_weight();
+            let again = QuantizedPanels::quantize(&dq, Some(&b)).unwrap();
+            assert_eq!(panels, again, "{k}x{n} fixed point");
+            // And the dequantized weight is within one quantization step.
+            for kk in 0..k {
+                for c in 0..n {
+                    let err = (dq.get(kk, c) - w.get(kk, c)).abs();
+                    assert!(err <= panels.column_scales()[c] * 0.5 + 1e-6, "{k}x{n} error");
+                }
+            }
+        }
+    }
+
+    /// The backward shapes over a quantized layer run against the dequantized
+    /// weight through the f32 kernels — scalar and vector must agree bit for
+    /// bit there too (dy·Wᵀ and xᵀ·dy).
+    #[test]
+    fn quantized_backward_shapes_are_bit_identical_across_kernels() {
+        if !vector_available() {
+            return;
+        }
+        let w = fill(17, 21, 71);
+        let b = fill(1, 21, 72);
+        let qpanels = QuantizedPanels::quantize(&w, Some(&b)).unwrap();
+        let dq = qpanels.dequantized_weight();
+        let panels = PackedPanels::pack(&dq, Some(&b)).unwrap();
+        let dy = fill(9, 21, 73);
+        let s = matmul_transpose_packed_with(Kernel::Scalar, &dy, &panels).unwrap();
+        let v = matmul_transpose_packed_with(Kernel::Vector, &dy, &panels).unwrap();
+        assert_eq!(bits(&s), bits(&v), "dy·Wᵀ over dequantized weights");
+        let xt = fill(17, 9, 74);
+        let rhs = fill(17, 21, 75);
+        let s = transpose_matmul_with(Kernel::Scalar, &xt, &rhs).unwrap();
+        let v = transpose_matmul_with(Kernel::Vector, &xt, &rhs).unwrap();
+        assert_eq!(bits(&s), bits(&v), "xᵀ·dy");
+    }
+
+    #[test]
+    fn quantized_panels_validate_their_inputs() {
+        let w = Matrix::zeros(3, 4);
+        let bad = Matrix::zeros(1, 5);
+        assert!(QuantizedPanels::quantize(&w, Some(&bad)).is_err());
+        assert!(QuantizedPanels::from_parts(3, 4, &[0; 11], &[1.0; 4], None).is_err());
+        assert!(QuantizedPanels::from_parts(3, 4, &[0; 12], &[1.0; 3], None).is_err());
+        assert!(matches!(
+            QuantizedPanels::from_parts(
+                QUANT_MAX_K + 1,
+                1,
+                &vec![0; QUANT_MAX_K + 1],
+                &[1.0],
+                None
+            ),
+            Err(NnError::InvalidConfig(_))
+        ));
+        // All-zero columns quantize with the 1.0 sentinel scale.
+        let panels = QuantizedPanels::quantize(&Matrix::zeros(4, 3), None).unwrap();
+        assert_eq!(panels.column_scales(), &[1.0, 1.0, 1.0]);
+        assert!(panels.bytes() > 0);
     }
 
     #[test]

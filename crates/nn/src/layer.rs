@@ -8,7 +8,7 @@
 //! parameters.
 
 use crate::init;
-use crate::kernel::{self, PackedPanels};
+use crate::kernel::{self, PackedPanels, QuantizedPanels};
 use crate::tensor::Matrix;
 use rand::Rng;
 use std::sync::OnceLock;
@@ -126,6 +126,12 @@ pub struct Dense {
     /// Weight + bias repacked into lane-width panels for the SIMD kernels
     /// (packed on first use after every weight mutation; see `dm_nn::kernel`).
     panels: OnceLock<PackedPanels>,
+    /// Int8 quantized panels when the layer runs the quantized inference path.
+    /// When set, `weight` holds the **dequantized** weights (the exact matrix
+    /// the backward kernels and re-serialization see), so a layer's in-memory
+    /// state after [`Dense::quantize_int8`] equals its state after a snapshot
+    /// reload.  Cleared by any weight mutation.
+    quant: Option<QuantizedPanels>,
     // Cached forward state required by backward().
     last_input: Option<Matrix>,
     last_output: Option<Matrix>,
@@ -148,6 +154,7 @@ impl Dense {
             bias: init::zero_bias(out_dim),
             activation,
             panels: OnceLock::new(),
+            quant: None,
             last_input: None,
             last_output: None,
             grad_weight: Matrix::zeros(in_dim, out_dim),
@@ -178,11 +185,73 @@ impl Dense {
             bias,
             activation,
             panels,
+            quant: None,
             last_input: None,
             last_output: None,
             grad_weight: Matrix::zeros(in_dim, out_dim),
             grad_bias: Matrix::zeros(1, out_dim),
         })
+    }
+
+    /// Rebuilds a **quantized** layer from the raw int8 weights and per-column
+    /// scales a snapshot stores.  The reassembled panels are byte-identical to
+    /// the ones [`Dense::quantize_int8`] produced at build time, and the
+    /// layer's f32 view is the dequantized weight — exactly the build-time
+    /// in-memory state, so serve-time predictions cannot drift.
+    pub fn from_quantized_parameters(
+        in_dim: usize,
+        out_dim: usize,
+        q: &[i8],
+        scales: &[f32],
+        bias: Matrix,
+        activation: Activation,
+    ) -> crate::Result<Self> {
+        if bias.rows() != 1 || bias.cols() != out_dim {
+            return Err(crate::NnError::ShapeMismatch {
+                context: format!(
+                    "dense from_quantized_parameters: weight is {in_dim}x{out_dim}, bias is {}x{}",
+                    bias.rows(),
+                    bias.cols()
+                ),
+            });
+        }
+        let quant = QuantizedPanels::from_parts(in_dim, out_dim, q, scales, Some(&bias))?;
+        let weight = quant.dequantized_weight();
+        let panels = OnceLock::from(PackedPanels::pack(&weight, Some(&bias))?);
+        Ok(Dense {
+            weight,
+            bias,
+            activation,
+            panels,
+            quant: Some(quant),
+            last_input: None,
+            last_output: None,
+            grad_weight: Matrix::zeros(in_dim, out_dim),
+            grad_bias: Matrix::zeros(1, out_dim),
+        })
+    }
+
+    /// Switches the layer onto the int8 quantized inference path: quantizes
+    /// the current weights per output column, then replaces the f32 weights
+    /// with their dequantized image (single rounding), so everything that
+    /// reads `weight()` — backward kernels, serialization, re-quantization —
+    /// sees exactly the arithmetic the quantized forward path encodes.
+    pub fn quantize_int8(&mut self) -> crate::Result<()> {
+        let quant = QuantizedPanels::quantize(&self.weight, Some(&self.bias))?;
+        self.weight = quant.dequantized_weight();
+        self.panels.take();
+        self.quant = Some(quant);
+        Ok(())
+    }
+
+    /// Whether the layer serves inference through int8 quantized panels.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// The layer's quantized panels, when [`Dense::is_quantized`].
+    pub fn quantized(&self) -> Option<&QuantizedPanels> {
+        self.quant.as_ref()
     }
 
     /// Input dimensionality.
@@ -205,10 +274,12 @@ impl Dense {
         &self.weight
     }
 
-    /// Mutable access to the weight matrix.  Invalidates the packed panels, so
-    /// the next forward/backward pass repacks the mutated weights.
+    /// Mutable access to the weight matrix.  Invalidates the packed panels
+    /// (and any quantized panels), so the next forward/backward pass repacks
+    /// the mutated weights in f32.
     pub fn weight_mut(&mut self) -> &mut Matrix {
         self.panels.take();
+        self.quant = None;
         &mut self.weight
     }
 
@@ -252,7 +323,24 @@ impl Dense {
     /// register-blocked FMA pass with the bias and activation fused into each
     /// output tile.
     pub fn forward_rows(&self, x: &Matrix, start: usize, count: usize) -> crate::Result<Matrix> {
-        kernel::forward_packed(x, start, count, self.packed(), self.activation)
+        match &self.quant {
+            Some(quant) => kernel::forward_quantized(x, start, count, quant, self.activation),
+            None => kernel::forward_packed(x, start, count, self.packed(), self.activation),
+        }
+    }
+
+    /// Inference-only forward over an input window the caller already
+    /// quantized — the multi-task head path, where every head reads the same
+    /// trunk output and shares one [`kernel::QuantizedRows`] instead of
+    /// re-quantizing it per head.  Returns `None` when this layer serves f32
+    /// weights (the caller falls back to [`forward`](Self::forward)).
+    pub fn forward_prequantized(
+        &self,
+        qrows: &kernel::QuantizedRows,
+    ) -> Option<crate::Result<Matrix>> {
+        self.quant
+            .as_ref()
+            .map(|quant| kernel::forward_prequantized(qrows, quant, self.activation))
     }
 
     /// Backward pass.  `grad_out` is the loss gradient w.r.t. this layer's output;
@@ -279,6 +367,7 @@ impl Dense {
     /// repacks the updated parameters.
     pub fn parameters_and_grads(&mut self) -> Vec<(&mut Matrix, &Matrix)> {
         self.panels.take();
+        self.quant = None;
         vec![
             (&mut self.weight, &self.grad_weight),
             (&mut self.bias, &self.grad_bias),
@@ -376,6 +465,51 @@ mod tests {
         for (a, n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
             assert!((a - n).abs() < 1e-2, "analytic {a} vs numeric {n}");
         }
+    }
+
+    /// A layer quantized in place and a layer rebuilt from its serialized
+    /// parts (raw int8 weights + scales) must be in identical states: same
+    /// dequantized f32 weights, same predictions bit for bit.
+    #[test]
+    fn quantized_layer_state_equals_its_reloaded_state() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut layer = Dense::new(&mut rng, 7, 11, Activation::Relu);
+        let x = {
+            let mut m = Matrix::zeros(5, 7);
+            for r in 0..5 {
+                for c in 0..7 {
+                    m.set(r, c, (r as f32 - 2.0) * 0.3 + c as f32 * 0.1);
+                }
+            }
+            m
+        };
+        let f32_out = layer.forward(&x).unwrap();
+        layer.quantize_int8().unwrap();
+        assert!(layer.is_quantized());
+        let q_out = layer.forward(&x).unwrap();
+        // Quantized predictions approximate the f32 ones...
+        for (&a, &b) in q_out.as_slice().iter().zip(f32_out.as_slice()) {
+            assert!((a - b).abs() < 0.25, "{a} vs {b}");
+        }
+        // ...and are bit-identical after a parts round trip.
+        let quant = layer.quantized().unwrap();
+        let reloaded = Dense::from_quantized_parameters(
+            7,
+            11,
+            &quant.weights_row_major(),
+            quant.column_scales(),
+            layer.bias().clone(),
+            Activation::Relu,
+        )
+        .unwrap();
+        assert_eq!(reloaded.weight(), layer.weight(), "dequantized weights");
+        let r_out = reloaded.forward(&x).unwrap();
+        let bits = |m: &Matrix| m.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&q_out), bits(&r_out));
+        // Any weight mutation drops the layer back onto the f32 path.
+        let mut mutated = reloaded.clone();
+        mutated.weight_mut().set(0, 0, 42.0);
+        assert!(!mutated.is_quantized());
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! * [`tensor::Matrix`] — a row-major `f32` matrix with the handful of BLAS-like
 //!   operations the forward/backward passes need,
 //! * [`kernel`] — register-blocked, lane-vectorized micro-kernels over
-//!   pre-packed weight panels (AVX2/FMA with a bit-identical scalar fallback,
-//!   selectable via `DM_NN_KERNEL`), the engine under every dense matmul,
+//!   pre-packed weight panels (16-lane AVX-512 with an AVX2/FMA form and a
+//!   bit-identical scalar fallback, selectable via `DM_NN_KERNEL`) plus an
+//!   int8 quantized inference path (`vpmaddwd` widening with per-column
+//!   symmetric scales, bit-identical across all kernels), the engine under
+//!   every dense matmul,
 //! * [`layer`] — dense layers and activations with explicit backward passes,
 //! * [`loss`] — softmax cross-entropy (the paper's training loss),
 //! * [`optimizer`] — SGD (with momentum and decay) and Adam,
@@ -39,7 +42,7 @@ pub mod serialize;
 pub mod tensor;
 
 pub use encoding::{KeyEncoder, LabelCodec};
-pub use kernel::{Kernel, PackedPanels, LANES};
+pub use kernel::{Kernel, PackedPanels, QuantizedPanels, QuantizedRows, LANES, QLANES};
 pub use layer::{Activation, Dense};
 pub use loss::softmax_cross_entropy;
 pub use lstm::{LstmCell, SequenceController};

@@ -7,6 +7,7 @@
 //! MHAS (in `dm-core`) searches the number and width of both trunk and head layers;
 //! this module only cares about instantiating and training a concrete choice.
 
+use crate::kernel;
 use crate::layer::{Activation, Dense};
 use crate::loss::{accuracy, softmax_cross_entropy};
 use crate::optimizer::Optimizer;
@@ -24,7 +25,16 @@ pub const PARALLEL_ROW_CROSSOVER: usize = 256;
 /// batch through a 100-wide trunk materializes ~10 MB of activations per layer —
 /// far out of cache; bounding chunks keeps each pass's activations resident, so
 /// large batches stop paying per-key latency that small batches don't.
-pub const CACHE_CHUNK_ROWS: usize = 2048;
+///
+/// Retuned against the int8 kernels with the `lookup_throughput` bench's
+/// chunk-sweep section (trained DM-Z network, 25 k-row batch, best-of-7
+/// serial ns/row): 256 → 845, 512 → 858, 1024 → 868, 2048 → 904, 4096 → 909,
+/// 8192 → 935.  Smaller chunks win now that each chunk also carries the
+/// shared head [`crate::kernel::QuantizedRows`]; 256 keeps the trunk output
+/// plus its quantized pairs L2-resident and matches
+/// [`PARALLEL_ROW_CROSSOVER`], the floor of the parallel chunk clamp.
+/// Rerun the sweep when the kernels change.
+pub const CACHE_CHUNK_ROWS: usize = 256;
 
 /// Specification of one private head: hidden widths plus the number of output classes
 /// (the cardinality of the target column).
@@ -214,11 +224,28 @@ impl MultiTaskModel {
                 .sum::<usize>()
     }
 
-    /// Serialized model size in bytes (f32 parameters + per-layer headers); the
-    /// `size(M)` term in Eq. 1.
+    /// Serialized model size in bytes; the `size(M)` term in Eq. 1.  Accounts
+    /// for quantization: int8 layers serialize one byte per weight plus f32
+    /// scales and biases, f32 layers four bytes per parameter — so quantizing
+    /// a store genuinely shrinks its reported (and snapshot) footprint.
     pub fn size_bytes(&self) -> usize {
-        let layers = self.trunk.len() + self.heads.iter().map(Vec::len).sum::<usize>();
-        self.parameter_count() * 4 + layers * 16
+        let layer_bytes = |layer: &Dense| {
+            let (rows, cols) = (layer.in_dim(), layer.out_dim());
+            if layer.is_quantized() {
+                // kind/activation/dims header + per-column scales + int8
+                // weights + f32 bias.
+                16 + cols * 4 + rows * cols + cols * 4
+            } else {
+                16 + (rows * cols + cols) * 4
+            }
+        };
+        self.trunk.iter().map(layer_bytes).sum::<usize>()
+            + self
+                .heads
+                .iter()
+                .flat_map(|h| h.iter())
+                .map(layer_bytes)
+                .sum::<usize>()
     }
 
     /// Batched inference: returns one logit matrix per task (`batch × classes`).
@@ -297,14 +324,7 @@ impl MultiTaskModel {
         if rows < PARALLEL_ROW_CROSSOVER || exec.threads() <= 1 {
             // Serial path, cache-blocked: never materialize more than
             // CACHE_CHUNK_ROWS rows of activations at once.
-            if rows <= CACHE_CHUNK_ROWS {
-                self.forward_rows_flat(x, 0, rows, out)?;
-            } else {
-                for (ci, out_chunk) in out.chunks_mut(CACHE_CHUNK_ROWS * tasks).enumerate() {
-                    let start = ci * CACHE_CHUNK_ROWS;
-                    self.forward_rows_flat(x, start, out_chunk.len() / tasks, out_chunk)?;
-                }
-            }
+            self.forward_flat_serial_chunked(x, CACHE_CHUNK_ROWS, out)?;
             return Ok(tasks);
         }
         // Aim for ~2 chunks per thread so the work steals evenly, but never chunks
@@ -335,6 +355,54 @@ impl MultiTaskModel {
         Ok(tasks)
     }
 
+    /// Serial cache-blocked inference with an explicit chunk size: rows are
+    /// processed `chunk_rows` at a time into the caller's pre-sized flat
+    /// prediction buffer (`rows * num_tasks` entries).  This is the body of
+    /// the serial branch of [`forward_batch_flat_on`](Self::forward_batch_flat_on),
+    /// exposed so the bench can sweep chunk sizes against the packed kernels
+    /// when retuning [`CACHE_CHUNK_ROWS`].  Chunking never changes any row's
+    /// prediction (rows are independent in every kernel).
+    pub fn forward_flat_serial_chunked(
+        &self,
+        x: &Matrix,
+        chunk_rows: usize,
+        out: &mut [u32],
+    ) -> crate::Result<()> {
+        let tasks = self.heads.len();
+        let rows = x.rows();
+        debug_assert_eq!(out.len(), rows * tasks);
+        if rows <= chunk_rows {
+            return self.forward_rows_flat(x, 0, rows, out);
+        }
+        for (ci, out_chunk) in out.chunks_mut(chunk_rows.max(1) * tasks).enumerate() {
+            let start = ci * chunk_rows;
+            self.forward_rows_flat(x, start, out_chunk.len() / tasks, out_chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Switches every dense layer onto the int8 quantized inference path (see
+    /// [`Dense::quantize_int8`]).  Quantization replaces each layer's f32
+    /// weights with their dequantized image, so serialization, retraining and
+    /// backward passes all see exactly the arithmetic inference executes.
+    pub fn quantize_int8(&mut self) -> crate::Result<()> {
+        for layer in &mut self.trunk {
+            layer.quantize_int8()?;
+        }
+        for head in &mut self.heads {
+            for layer in head.iter_mut() {
+                layer.quantize_int8()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether any layer serves inference through int8 quantized panels.
+    pub fn is_quantized(&self) -> bool {
+        self.trunk.iter().any(Dense::is_quantized)
+            || self.heads.iter().flatten().any(Dense::is_quantized)
+    }
+
     /// One serial trunk + heads pass over rows `[start, start + count)` of `x`,
     /// writing row-major argmax predictions into `out` (`count * num_tasks` wide).
     /// The row window enters the first layer via `Dense::forward_rows`, so
@@ -358,12 +426,34 @@ impl MultiTaskModel {
             }
             None => None,
         };
+        // Every head reads the same trunk output; when the heads are
+        // int8-quantized, quantize that window once and share the packed
+        // pairs across them.  The shared pairs come from the same recipe the
+        // per-head path runs, so predictions are bit-identical either way —
+        // this only removes the per-head re-quantization cost.
+        let shared_quant = match &trunk_out {
+            Some(h)
+                if !self.heads.is_empty()
+                    && self.heads.iter().all(|head| head[0].is_quantized()) =>
+            {
+                Some(kernel::QuantizedRows::quantize(
+                    h,
+                    0,
+                    h.rows(),
+                    h.cols().div_ceil(2),
+                )?)
+            }
+            _ => None,
+        };
         for (task, head) in self.heads.iter().enumerate() {
             let (first, rest) = head.split_first().expect("heads have an output layer");
             // With no trunk, the head reads the input window directly.
-            let mut t = match &trunk_out {
-                Some(h) => first.forward(h)?,
-                None => first.forward_rows(x, start, count)?,
+            let mut t = match (&trunk_out, &shared_quant) {
+                (Some(_), Some(q)) => first
+                    .forward_prequantized(q)
+                    .expect("all head entry layers are quantized")?,
+                (Some(h), None) => first.forward(h)?,
+                (None, _) => first.forward_rows(x, start, count)?,
             };
             for layer in rest {
                 t = layer.forward(&t)?;
@@ -676,6 +766,47 @@ mod tests {
         let (vector_logits, vector_classes) = run(Kernel::Vector);
         assert_eq!(scalar_logits, vector_logits, "logit bits must match exactly");
         assert_eq!(scalar_classes, vector_classes);
+    }
+
+    /// A quantized model must predict bit-identically across kernel
+    /// selection, thread counts and chunk sizes — the invariant that lets a
+    /// quantized snapshot serve losslessly anywhere.
+    #[test]
+    fn quantized_model_predictions_are_bit_identical_across_kernels_and_chunks() {
+        use crate::kernel::{self, Kernel};
+        let mut rng = StdRng::seed_from_u64(27);
+        let mut model = MultiTaskModel::new(&mut rng, &toy_spec()).unwrap();
+        model.quantize_int8().unwrap();
+        assert!(model.is_quantized());
+        let rows = 700;
+        let mut x = Matrix::zeros(rows, 6);
+        for r in 0..rows {
+            for c in 0..6 {
+                x.set(r, c, ((r * 11 + c * 5) % 7) as f32 / 3.0 - 1.0);
+            }
+        }
+        let serial = dm_exec::ThreadPool::new(1);
+        let parallel = dm_exec::ThreadPool::new(4);
+        let run = |kernel: Kernel| {
+            kernel::with_forced(kernel, || {
+                let mut flat = Vec::new();
+                model.forward_batch_flat_on(&serial, &x, &mut flat).unwrap();
+                flat
+            })
+        };
+        let scalar = run(Kernel::Scalar);
+        let vector = run(Kernel::Vector);
+        assert_eq!(scalar, vector);
+        // Chunk size must not change any prediction...
+        for chunk in [1usize, 7, 64, 2048] {
+            let mut chunked = vec![0u32; rows * 2];
+            model.forward_flat_serial_chunked(&x, chunk, &mut chunked).unwrap();
+            assert_eq!(scalar, chunked, "chunk={chunk}");
+        }
+        // ...and neither must the thread count.
+        let mut threaded = Vec::new();
+        model.forward_batch_flat_on(&parallel, &x, &mut threaded).unwrap();
+        assert_eq!(scalar, threaded);
     }
 
     #[test]

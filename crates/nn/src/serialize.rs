@@ -8,9 +8,20 @@
 //! magic "DMNN" | version u16 | input_dim u32
 //! | n_shared u32 | shared widths u32...
 //! | n_heads u32 | per head: n_hidden u32, hidden widths u32..., classes u32
-//! | per layer in (trunk, then heads in order): activation u8, rows u32, cols u32,
-//!   weight f32..., bias f32...
+//! | per layer in (trunk, then heads in order):
+//!     version 1:  activation u8, rows u32, cols u32, weight f32..., bias f32...
+//!     version 2:  kind u8, then
+//!       kind 0 (f32):  activation u8, rows u32, cols u32, weight f32..., bias f32...
+//!       kind 1 (int8): activation u8, rows u32, cols u32, scales f32 × cols,
+//!                      weight i8 (row-major rows·cols), bias f32 × cols
 //! ```
+//!
+//! Version 1 is written for pure-f32 models (byte-identical to every earlier
+//! release); version 2 is written exactly when any layer is int8-quantized.
+//! Both versions deserialize.  An int8 layer stores the raw quantized weights
+//! and per-column scales — the arithmetic source of truth — so the reloaded
+//! layer's panels are byte-identical to the build-time ones (serving cannot
+//! drift) and the model shrinks ~4× on disk.
 
 use crate::layer::{Activation, Dense};
 use crate::multitask::{MultiTaskModel, MultiTaskSpec, TaskHeadSpec};
@@ -19,6 +30,11 @@ use crate::NnError;
 
 const MAGIC: &[u8; 4] = b"DMNN";
 const VERSION: u16 = 1;
+/// Version written when any layer carries int8 quantized weights.
+const VERSION_QUANT: u16 = 2;
+/// Per-layer kind tags used by [`VERSION_QUANT`] buffers.
+const LAYER_F32: u8 = 0;
+const LAYER_INT8: u8 = 1;
 
 /// A streaming little-endian writer over a byte vector.
 #[derive(Debug, Default)]
@@ -146,7 +162,29 @@ impl<'a> ByteReader<'a> {
     }
 }
 
-fn write_dense(w: &mut ByteWriter, layer: &Dense) {
+fn write_dense(w: &mut ByteWriter, layer: &Dense, tagged: bool) {
+    match layer.quantized() {
+        Some(quant) if tagged => {
+            w.put_u8(LAYER_INT8);
+            w.put_u8(layer.activation().tag());
+            w.put_u32(quant.k() as u32);
+            w.put_u32(quant.n() as u32);
+            for &s in quant.column_scales() {
+                w.put_f32(s);
+            }
+            for q in quant.weights_row_major() {
+                w.put_u8(q as u8);
+            }
+            for &v in layer.bias().as_slice() {
+                w.put_f32(v);
+            }
+            return;
+        }
+        _ => {}
+    }
+    if tagged {
+        w.put_u8(LAYER_F32);
+    }
     w.put_u8(layer.activation().tag());
     w.put_u32(layer.weight().rows() as u32);
     w.put_u32(layer.weight().cols() as u32);
@@ -158,7 +196,7 @@ fn write_dense(w: &mut ByteWriter, layer: &Dense) {
     }
 }
 
-fn read_dense(r: &mut ByteReader<'_>) -> crate::Result<Dense> {
+fn read_layer_shape(r: &mut ByteReader<'_>) -> crate::Result<(Activation, usize, usize)> {
     let act = Activation::from_tag(r.get_u8()?)
         .ok_or_else(|| NnError::Corrupt("unknown activation tag".into()))?;
     let rows = r.get_u32()? as usize;
@@ -168,22 +206,51 @@ fn read_dense(r: &mut ByteReader<'_>) -> crate::Result<Dense> {
             "implausible layer shape {rows}x{cols}"
         )));
     }
-    let mut weight = Matrix::zeros(rows, cols);
-    for v in weight.as_mut_slice() {
-        *v = r.get_f32()?;
+    Ok((act, rows, cols))
+}
+
+fn read_dense(r: &mut ByteReader<'_>, tagged: bool) -> crate::Result<Dense> {
+    let kind = if tagged { r.get_u8()? } else { LAYER_F32 };
+    match kind {
+        LAYER_F32 => {
+            let (act, rows, cols) = read_layer_shape(r)?;
+            let mut weight = Matrix::zeros(rows, cols);
+            for v in weight.as_mut_slice() {
+                *v = r.get_f32()?;
+            }
+            let mut bias = Matrix::zeros(1, cols);
+            for v in bias.as_mut_slice() {
+                *v = r.get_f32()?;
+            }
+            Dense::from_parameters(weight, bias, act)
+        }
+        LAYER_INT8 => {
+            let (act, rows, cols) = read_layer_shape(r)?;
+            let mut scales = vec![0.0f32; cols];
+            for s in &mut scales {
+                *s = r.get_f32()?;
+            }
+            let raw = r.get_bytes(rows * cols)?;
+            let q: Vec<i8> = raw.iter().map(|&b| b as i8).collect();
+            let mut bias = Matrix::zeros(1, cols);
+            for v in bias.as_mut_slice() {
+                *v = r.get_f32()?;
+            }
+            Dense::from_quantized_parameters(rows, cols, &q, &scales, bias, act)
+        }
+        other => Err(NnError::Corrupt(format!("unknown layer kind tag {other}"))),
     }
-    let mut bias = Matrix::zeros(1, cols);
-    for v in bias.as_mut_slice() {
-        *v = r.get_f32()?;
-    }
-    Dense::from_parameters(weight, bias, act)
 }
 
 /// Serializes a multi-task model into a self-describing byte buffer.
 pub fn serialize_multitask(model: &MultiTaskModel) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_bytes(MAGIC);
-    w.put_u16(VERSION);
+    // Pure-f32 models keep writing version 1, byte-identical to earlier
+    // releases; the tagged version 2 layout is used exactly when a layer
+    // carries int8 panels.
+    let tagged = model.is_quantized();
+    w.put_u16(if tagged { VERSION_QUANT } else { VERSION });
     let spec = model.spec();
     w.put_u32(spec.input_dim as u32);
     w.put_u32(spec.shared_hidden.len() as u32);
@@ -199,11 +266,11 @@ pub fn serialize_multitask(model: &MultiTaskModel) -> Vec<u8> {
         w.put_u32(head.classes as u32);
     }
     for layer in model.trunk() {
-        write_dense(&mut w, layer);
+        write_dense(&mut w, layer, tagged);
     }
     for head in model.heads() {
         for layer in head {
-            write_dense(&mut w, layer);
+            write_dense(&mut w, layer, tagged);
         }
     }
     w.into_bytes()
@@ -217,9 +284,10 @@ pub fn deserialize_multitask(bytes: &[u8]) -> crate::Result<MultiTaskModel> {
         return Err(NnError::Corrupt("bad magic".into()));
     }
     let version = r.get_u16()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_QUANT {
         return Err(NnError::Corrupt(format!("unsupported version {version}")));
     }
+    let tagged = version == VERSION_QUANT;
     let input_dim = r.get_u32()? as usize;
     let n_shared = r.get_u32()? as usize;
     if n_shared > 64 {
@@ -253,13 +321,13 @@ pub fn deserialize_multitask(bytes: &[u8]) -> crate::Result<MultiTaskModel> {
     };
     let mut trunk = Vec::with_capacity(spec.shared_hidden.len());
     for _ in 0..spec.shared_hidden.len() {
-        trunk.push(read_dense(&mut r)?);
+        trunk.push(read_dense(&mut r, tagged)?);
     }
     let mut head_layers = Vec::with_capacity(spec.heads.len());
     for head_spec in &spec.heads {
         let mut layers = Vec::with_capacity(head_spec.hidden.len() + 1);
         for _ in 0..=head_spec.hidden.len() {
-            layers.push(read_dense(&mut r)?);
+            layers.push(read_dense(&mut r, tagged)?);
         }
         head_layers.push(layers);
     }
@@ -331,6 +399,62 @@ mod tests {
         // and not wildly larger.
         assert!(bytes.len() >= model.parameter_count() * 4);
         assert!(bytes.len() <= model.parameter_count() * 4 + 1024);
+    }
+
+    /// A quantized model writes version 2, shrinks markedly (int8 weights
+    /// dominate), and reloads into a model with bit-identical predictions.
+    #[test]
+    fn quantized_model_round_trips_exactly_as_version_2() {
+        let mut model = sample_model(6);
+        let f32_bytes = serialize_multitask(&model);
+        assert_eq!(u16::from_le_bytes([f32_bytes[4], f32_bytes[5]]), 1);
+        model.quantize_int8().unwrap();
+        let bytes = serialize_multitask(&model);
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2);
+        // Weight bytes shrink ~4x; scales/bias/headers keep it above 1/4.
+        assert!(
+            bytes.len() * 2 < f32_bytes.len(),
+            "quantized {} vs f32 {}",
+            bytes.len(),
+            f32_bytes.len()
+        );
+        let restored = deserialize_multitask(&bytes).unwrap();
+        assert!(restored.is_quantized());
+        let x = crate::encoding::KeyEncoder::with_bits(10).encode_batch(&[0, 1, 5, 999, 12345]);
+        let a = model.forward(&x).unwrap();
+        let b = restored.forward(&x).unwrap();
+        for (ma, mb) in a.iter().zip(&b) {
+            let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(ma), bits(mb));
+        }
+        // And a second serialization of the reloaded model is byte-identical
+        // (quantization is a fixed point).
+        assert_eq!(serialize_multitask(&restored), bytes);
+    }
+
+    #[test]
+    fn unknown_versions_and_layer_kinds_are_rejected() {
+        let bytes = serialize_multitask(&sample_model(7));
+        // A future version must be rejected with a typed error, not misparsed.
+        let mut future = bytes.clone();
+        future[4] = 3;
+        future[5] = 0;
+        assert!(matches!(
+            deserialize_multitask(&future),
+            Err(NnError::Corrupt(_))
+        ));
+        // A version-2 buffer with an unknown layer kind tag is rejected.
+        let mut model = sample_model(7);
+        model.quantize_int8().unwrap();
+        let mut tagged = serialize_multitask(&model);
+        // The first layer kind tag sits right after the spec header: magic(4)
+        // + version(2) + input_dim(4) + n_shared(4) + 2 widths(8) + n_heads(4)
+        // + head0 [n_hidden(4) + width(4) + classes(4)] + head1 [n_hidden(4) +
+        // classes(4)] = byte 46 for `sample_model`'s spec.
+        const FIRST_TAG: usize = 46;
+        assert_eq!(tagged[FIRST_TAG], LAYER_INT8);
+        tagged[FIRST_TAG] = 9;
+        assert!(deserialize_multitask(&tagged).is_err());
     }
 
     #[test]

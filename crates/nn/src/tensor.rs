@@ -9,6 +9,13 @@
 
 use crate::NnError;
 
+/// Row count above which [`Matrix::matmul_rows`] packs the right-hand side
+/// into lane panels and runs the SIMD kernel instead of the scalar unroll.
+/// Below this, the O(k·n) pack costs more than the kernel saves (measured on
+/// the LSTM controller shapes: 1-row steps want the unroll, ≥16-row batched
+/// projections want panels).
+const PACKED_MATMUL_MIN_ROWS: usize = 16;
+
 /// A dense row-major `f32` matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -155,6 +162,22 @@ impl Matrix {
                     self.rows
                 ),
             });
+        }
+        // Batched products (LSTM projections, DeepSqueeze encode, training
+        // passes over ad-hoc matrices) go through the packed-panel kernel:
+        // the one-time pack of `rhs` is O(k·n) and amortizes over the row
+        // count, after which every row runs the register-blocked FMA kernel
+        // instead of this scalar 4-wide unroll.  Small products keep the
+        // unrolled loop — packing would cost more than it saves.
+        if count >= PACKED_MATMUL_MIN_ROWS {
+            let panels = crate::kernel::PackedPanels::pack(rhs, None)?;
+            return crate::kernel::forward_packed(
+                self,
+                start,
+                count,
+                &panels,
+                crate::layer::Activation::Linear,
+            );
         }
         let mut out = Matrix::zeros(count, rhs.cols);
         let n = rhs.cols;
@@ -499,6 +522,46 @@ mod tests {
             )
             .unwrap();
             assert_matrices_close(&packed, &expected);
+        }
+    }
+
+    /// Above `PACKED_MATMUL_MIN_ROWS` the product routes through pack-on-the-
+    /// fly panels; it must agree with the textbook triple loop on the same
+    /// remainder classes (fused vs unfused accumulation differs only in ulps).
+    #[test]
+    fn large_matmul_routes_through_panels_and_matches_reference() {
+        let m = PACKED_MATMUL_MIN_ROWS + 7;
+        for &(k_dim, n) in &[(1usize, 1usize), (7, 5), (9, 16), (13, 21)] {
+            let a = Matrix::from_vec(
+                m,
+                k_dim,
+                (0..m * k_dim)
+                    .map(|v| if v % 4 == 0 { 0.0 } else { v as f32 * 0.17 - 2.0 })
+                    .collect(),
+            )
+            .unwrap();
+            let b = Matrix::from_vec(
+                k_dim,
+                n,
+                (0..k_dim * n).map(|v| v as f32 * 0.31 - 1.5).collect(),
+            )
+            .unwrap();
+            let got = a.matmul(&b).unwrap();
+            let mut expected = Matrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for k in 0..k_dim {
+                        acc += a.get(i, k) * b.get(k, j);
+                    }
+                    expected.set(i, j, acc);
+                }
+            }
+            // Relative tolerance: fused vs unfused sums differ in low bits and
+            // the magnitudes here reach the hundreds.
+            for (&x, &y) in got.as_slice().iter().zip(expected.as_slice()) {
+                assert!((x - y).abs() <= 1e-5 * (1.0 + y.abs()), "{x} vs {y}");
+            }
         }
     }
 

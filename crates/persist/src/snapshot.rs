@@ -1,6 +1,6 @@
 //! The versioned single-file snapshot format, with lazy partition serving.
 //!
-//! ## File layout (version 1)
+//! ## File layout
 //!
 //! ```text
 //! offset 0   header (28 bytes, fixed):
@@ -35,9 +35,20 @@
 //!
 //! The header version is bumped on any incompatible layout change; `open`
 //! rejects unknown versions with [`PersistError::UnsupportedVersion`] rather
-//! than guessing.  Additive evolution (new trailing manifest fields) would be
-//! a new version too — the manifest decoder intentionally rejects trailing
-//! bytes so mixed-version files cannot half-parse.
+//! than guessing.  Additive evolution (new trailing manifest fields) is a new
+//! version too — the manifest decoder intentionally rejects trailing bytes so
+//! mixed-version files cannot half-parse — but *within* that rule an older
+//! version may stay openable when its contents are still servable bit-for-bit:
+//!
+//! * **v1 → v2** changed the model's arithmetic recipe (packed-panel fused
+//!   multiply-adds).  A v1 aux table memorizes the mispredictions of the old
+//!   arithmetic, so v1 files are **rejected** — serving them would silently
+//!   return wrong tuples.
+//! * **v2 → v3** added the quantization descriptor to the manifest config and
+//!   int8 layer support to the model section.  The f32 arithmetic is
+//!   untouched, so v2 files (always f32) are **still opened and served
+//!   unchanged**: the missing descriptor decodes as `Quantization::F32`.
+//!   New snapshots are always written as v3.
 
 use crate::error::{PersistError, Result};
 use crate::manifest::{Manifest, PartitionEntry};
@@ -53,13 +64,17 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"DMSS";
-/// v1 → v2: the inference kernels changed the model's arithmetic recipe
-/// (packed-panel fused multiply-adds, bias-initialized accumulators).  A v1
-/// snapshot's auxiliary table memorizes the mispredictions of the *old*
-/// arithmetic, so serving it with the new kernels would silently return wrong
-/// tuples for keys whose prediction drifted — v1 files are rejected with
-/// [`PersistError::UnsupportedVersion`] instead.
-const VERSION: u16 = 2;
+/// The version written by [`Snapshot::write`].  v3 added the quantization
+/// descriptor to the manifest config (and int8 layers to the model section);
+/// see the module docs for the full version history.
+const VERSION: u16 = 3;
+/// The oldest version [`Snapshot::open`] still accepts.  v2 files predate
+/// quantization but their f32 arithmetic is unchanged, so they serve
+/// bit-identically.  v1 files memorized their aux table under a *different*
+/// arithmetic recipe (pre-packed-panel kernels) and are rejected with
+/// [`PersistError::UnsupportedVersion`] — serving one would silently return
+/// wrong tuples for keys whose prediction drifted.
+const MIN_VERSION: u16 = 2;
 /// magic(4) + version(2) + reserved(2) + file_len(8) + manifest_len(8) + manifest_crc(4)
 const HEADER_LEN: u64 = 28;
 
@@ -236,7 +251,7 @@ impl Snapshot {
             return Err(PersistError::BadMagic);
         }
         let version = r.get_u16().expect("header length checked");
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion(version));
         }
         let _reserved = r.get_u16().expect("header length checked");
@@ -276,7 +291,7 @@ impl Snapshot {
                 section: "manifest",
             });
         }
-        let manifest = Manifest::decode(&manifest_bytes)?;
+        let manifest = Manifest::decode(&manifest_bytes, version)?;
         // Checked sums: corrupted lengths must not wrap around and accidentally
         // match `file_len` — and this check runs before `model_len`/`exist_len`
         // size any allocation, so every section length is bounded by the real

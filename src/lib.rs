@@ -59,9 +59,11 @@
 //! ├── crates/nn              dm-nn        matrices, dense layers, multi-task model,
 //! │                                       forward_batch / forward_batch_flat
 //! │                                       (vectorized, row-chunked on the pool);
-//! │                                       kernel: packed-panel AVX2/FMA micro-
-//! │                                       kernels with a bit-identical scalar
-//! │                                       fallback (DM_NN_KERNEL=scalar)
+//! │                                       kernel: packed-panel micro-kernels —
+//! │                                       16-lane AVX-512 / AVX2+FMA f32 forms,
+//! │                                       an int8 widening (vpmaddwd) quantized
+//! │                                       path, and bit-identical scalar
+//! │                                       fallbacks (DM_NN_KERNEL=scalar)
 //! ├── crates/compress        dm-compress  lz / lz+huffman / deflate-like / dictionary,
 //! │                                       varint, rle, bitpack, framed format
 //! ├── crates/storage         dm-storage   Row, TupleStore/MutableStore + LookupBuffer,
@@ -148,7 +150,14 @@
 //! under `dm-exec`).  Versioning is strict: an unknown header version or any
 //! failed CRC is a typed [`dm_persist::PersistError`], never a guess.  The
 //! compatibility policy is bump-on-any-layout-change; the manifest decoder
-//! rejects trailing bytes so mixed-version files cannot half-parse.
+//! rejects trailing bytes so mixed-version files cannot half-parse.  Within
+//! that rule, older versions stay openable only when their contents are still
+//! servable bit-for-bit: v1 files are rejected (the v2 kernels changed the f32
+//! arithmetic recipe the v1 aux table was memorized against), while v2 files —
+//! always f32 — still open and serve unchanged under v3, which merely added
+//! the per-store quantization descriptor
+//! ([`DeepMappingBuilder::quantization`](dm_core::DeepMappingBuilder::quantization))
+//! and int8 model layers.  New snapshots are always written as v3.
 //!
 //! Mutations persist through [`dm_persist::PersistentStore`]: each
 //! insert/delete/update batch is applied and then appended + fsynced to
@@ -218,7 +227,7 @@ pub mod prelude {
     pub use dm_compress::Codec;
     pub use dm_core::{
         DeepMapping, DeepMappingBuilder, DeepMappingConfig, MhasConfig, MhasSearch,
-        SearchStrategy, StorageBreakdown, TrainingConfig,
+        Quantization, SearchStrategy, StorageBreakdown, TrainingConfig,
     };
     pub use dm_data::{
         Column, Correlation, CropConfig, Dataset, LookupWorkload, ModificationWorkload,

@@ -41,7 +41,7 @@ fn mixed_rows(n: u64) -> Vec<Row> {
         .collect()
 }
 
-fn build_store(rows: &[Row]) -> DeepMapping {
+fn build_store_with(rows: &[Row], quantization: Quantization) -> DeepMapping {
     DeepMappingBuilder::dm_z()
         .training(TrainingConfig {
             epochs: 12,
@@ -50,8 +50,13 @@ fn build_store(rows: &[Row]) -> DeepMapping {
         })
         .partition_bytes(4 * 1024)
         .exec_threads(1)
+        .quantization(quantization)
         .build(rows)
         .expect("build")
+}
+
+fn build_store(rows: &[Row]) -> DeepMapping {
+    build_store_with(rows, Quantization::F32)
 }
 
 /// A live store must answer identically — byte for byte — under both kernels.
@@ -104,6 +109,47 @@ fn snapshot_round_trips_across_kernel_selection() {
         reopened.lookup_batch(&probe).unwrap()
     });
     assert_eq!(expected, under_scalar, "vector-written, scalar-served");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The v3 quantized form of the same invariant: an int8 store snapshotted
+/// under one kernel must serve byte-identically under the other, in both
+/// directions.  The int8 path has its own arithmetic (widening i32
+/// accumulation + fixed f32 epilogue), so it needs its own guard.
+#[test]
+fn quantized_snapshot_round_trips_across_kernel_selection() {
+    let dir = scratch_dir("quant-roundtrip");
+    let rows = mixed_rows(2_500);
+    let probe: Vec<u64> = (0..5_000u64).collect();
+    let reference = deepmapping::storage::row::ReferenceStore::from_rows(&rows);
+
+    let path_s = dir.join("int8-built-under-scalar.dmss");
+    let expected = kernel::with_forced(Kernel::Scalar, || {
+        let dm = build_store_with(&rows, Quantization::Int8);
+        assert!(dm.model().is_quantized());
+        Snapshot::write(&dm, &path_s).expect("write snapshot");
+        dm.lookup_batch(&probe).unwrap()
+    });
+    assert_eq!(expected, reference.lookup_batch(&probe).unwrap());
+    let under_vector = kernel::with_forced(Kernel::Vector, || {
+        let reopened = DeepMapping::open(&path_s).expect("open snapshot");
+        assert!(reopened.model().is_quantized());
+        reopened.lookup_batch(&probe).unwrap()
+    });
+    assert_eq!(expected, under_vector, "int8 scalar-written, vector-served");
+
+    let path_v = dir.join("int8-built-under-vector.dmss");
+    let expected = kernel::with_forced(Kernel::Vector, || {
+        let dm = build_store_with(&rows, Quantization::Int8);
+        Snapshot::write(&dm, &path_v).expect("write snapshot");
+        dm.lookup_batch(&probe).unwrap()
+    });
+    let under_scalar = kernel::with_forced(Kernel::Scalar, || {
+        let reopened = DeepMapping::open(&path_v).expect("open snapshot");
+        reopened.lookup_batch(&probe).unwrap()
+    });
+    assert_eq!(expected, under_scalar, "int8 vector-written, scalar-served");
 
     std::fs::remove_dir_all(&dir).ok();
 }
