@@ -16,6 +16,7 @@
 //! * [`report`] — fixed-width table printing so `cargo bench` output reads like the
 //!   paper's tables.
 
+pub mod open_loop;
 pub mod sweeps;
 
 use dm_baselines::{DeepSqueezeConfig, DeepSqueezeStore, PartitionedStore, PartitionedStoreConfig};
@@ -278,6 +279,15 @@ pub fn measure_lookup_samples(
         .collect()
 }
 
+/// Minimum sample count for which a nearest-rank p99 is a distinct statistic.
+///
+/// Nearest-rank over `n` sorted samples puts p99 at rank `round(0.99·(n-1))` and
+/// p95 at `round(0.95·(n-1))`; below 26 samples those ranks collide, so every
+/// reported "p99" was silently the p95 (the committed `BENCH_lookup.json` rows
+/// produced from 9 reps all showed p99 == p95).  Records built from fewer
+/// samples omit p99 instead of reporting fiction.
+pub const P99_MIN_SAMPLES: usize = 26;
+
 /// One per-system, per-batch-size throughput record for the machine-readable
 /// `BENCH_lookup.json` report, with latency-distribution tails.
 #[derive(Debug, Clone, PartialEq)]
@@ -288,14 +298,17 @@ pub struct LookupThroughputRecord {
     pub threads: usize,
     /// Keys per batch.
     pub batch_size: usize,
+    /// Measurements behind the distribution fields.
+    pub samples: usize,
     /// Mean total latency (wall + simulated I/O) per batch in milliseconds.
     pub total_ms: f64,
     /// Median per-batch latency in milliseconds.
     pub p50_ms: f64,
     /// 95th-percentile per-batch latency in milliseconds.
     pub p95_ms: f64,
-    /// 99th-percentile per-batch latency in milliseconds.
-    pub p99_ms: f64,
+    /// 99th-percentile per-batch latency in milliseconds, reported only when the
+    /// sample count makes it a distinct statistic (see [`P99_MIN_SAMPLES`]).
+    pub p99_ms: Option<f64>,
     /// Lookup throughput in keys per second (aggregate across threads).
     pub keys_per_second: f64,
 }
@@ -323,6 +336,7 @@ impl LookupThroughputRecord {
             system: system.to_string(),
             threads,
             batch_size,
+            samples: samples.len(),
             total_ms: mean_ms,
             p50_ms: p50,
             p95_ms: p95,
@@ -357,6 +371,7 @@ impl LookupThroughputRecord {
             system: system.to_string(),
             threads,
             batch_size,
+            samples: per_op.len(),
             total_ms: mean_ms,
             p50_ms: p50,
             p95_ms: p95,
@@ -370,16 +385,28 @@ impl LookupThroughputRecord {
     }
 }
 
-/// Mean plus nearest-rank p50/p95/p99 (in ms) over a set of measurements.
-fn latency_distribution(samples: &[MeasuredLatency]) -> (f64, f64, f64, f64) {
-    let mut sorted_ms: Vec<f64> = samples.iter().map(MeasuredLatency::total_ms).collect();
+/// Mean plus nearest-rank p50/p95 (in ms) over a set of raw millisecond samples,
+/// with p99 reported only when the sample count supports a distinct nearest-rank
+/// p99 (see [`P99_MIN_SAMPLES`]).  Shared by the per-batch latency records and
+/// the open-loop server section, so every percentile in `BENCH_lookup.json`
+/// follows the same honesty rule.
+pub fn distribution_ms(samples_ms: &[f64]) -> (f64, f64, f64, Option<f64>) {
+    assert!(!samples_ms.is_empty(), "need at least one sample");
+    let mut sorted_ms = samples_ms.to_vec();
     sorted_ms.sort_by(|a, b| a.total_cmp(b));
     let percentile = |p: f64| {
         let rank = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
         sorted_ms[rank.min(sorted_ms.len() - 1)]
     };
     let mean_ms = sorted_ms.iter().sum::<f64>() / sorted_ms.len() as f64;
-    (mean_ms, percentile(50.0), percentile(95.0), percentile(99.0))
+    let p99 = (sorted_ms.len() >= P99_MIN_SAMPLES).then(|| percentile(99.0));
+    (mean_ms, percentile(50.0), percentile(95.0), p99)
+}
+
+/// [`distribution_ms`] over measured latencies.
+fn latency_distribution(samples: &[MeasuredLatency]) -> (f64, f64, f64, Option<f64>) {
+    let ms: Vec<f64> = samples.iter().map(MeasuredLatency::total_ms).collect();
+    distribution_ms(&ms)
 }
 
 /// One inference micro-benchmark cell: ns/row through one dense layer shape,
@@ -450,6 +477,49 @@ impl ColdStartRecord {
     }
 }
 
+/// One cell of the open-loop server saturation sweep: requests issued at a fixed
+/// offered load (open-loop — arrivals are scheduled by rate, *not* gated on
+/// completions), served either through the coalescing `dm-server` front-end or
+/// as uncoalesced per-request pipeline calls.  Per-request latency is measured
+/// from the request's **scheduled** arrival time, so a saturated server shows
+/// its queueing honestly instead of the coordinated-omission flattery a
+/// closed-loop harness produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerLoadRecord {
+    /// `"coalesced"` (through `QueryServer`) or `"direct"` (per-request
+    /// `lookup_batch_into` on the caller thread).
+    pub mode: String,
+    /// Coalescing window in microseconds (0 for direct mode).
+    pub window_us: f64,
+    /// Batch-size trigger of the coalescer (0 for direct mode).
+    pub max_batch_keys: usize,
+    /// Offered load in keys per second, summed across client threads.
+    pub offered_kps: f64,
+    /// Achieved (completed) load in keys per second.
+    pub achieved_kps: f64,
+    /// Issuing client threads.
+    pub clients: usize,
+    /// Keys per request (the paper's point-lookup traffic is 1–10).
+    pub keys_per_request: usize,
+    /// Completed requests behind the latency distribution.
+    pub samples: usize,
+    /// Mean per-request latency (scheduled arrival → completion) in ms.
+    pub mean_ms: f64,
+    /// Median per-request latency in ms.
+    pub p50_ms: f64,
+    /// 95th-percentile per-request latency in ms.
+    pub p95_ms: f64,
+    /// 99th-percentile per-request latency in ms (omitted below
+    /// [`P99_MIN_SAMPLES`] samples).
+    pub p99_ms: Option<f64>,
+    /// Requests rejected by admission control during the run.
+    pub shed: u64,
+    /// Batches the coalescer formed (0 for direct mode).
+    pub batches: u64,
+    /// Mean requests merged per batch (1.0 for direct mode).
+    pub mean_coalesce_width: f64,
+}
+
 /// Serializes throughput records as a `BENCH_lookup.json` document so successive PRs
 /// can diff per-backend batch-lookup throughput mechanically.  (Hand-rolled JSON —
 /// the offline build environment has no serde.)
@@ -458,6 +528,7 @@ pub fn lookup_records_to_json(
     records: &[LookupThroughputRecord],
     cold_start: &[ColdStartRecord],
     inference: &[InferenceKernelRecord],
+    server: &[ServerLoadRecord],
 ) -> String {
     fn escape(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -465,22 +536,53 @@ pub fn lookup_records_to_json(
     fn finite(v: f64) -> f64 {
         if v.is_finite() { v } else { f64::MAX }
     }
+    // p99 is omitted, never invented, when the sample count can't support it.
+    fn p99_field(p99: Option<f64>) -> String {
+        match p99 {
+            Some(v) => format!("\"p99_ms\": {:.6}, ", if v.is_finite() { v } else { f64::MAX }),
+            None => String::new(),
+        }
+    }
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"lookup_batch\",\n");
     out.push_str(&format!("  \"scale_factor\": {},\n", scale.factor));
     out.push_str("  \"results\": [\n");
     for (i, record) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"system\": \"{}\", \"threads\": {}, \"batch_size\": {}, \"total_ms\": {:.6}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"p99_ms\": {:.6}, \"keys_per_second\": {:.3}}}{}\n",
+            "    {{\"system\": \"{}\", \"threads\": {}, \"batch_size\": {}, \"samples\": {}, \"total_ms\": {:.6}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, {}\"keys_per_second\": {:.3}}}{}\n",
             escape(&record.system),
             record.threads,
             record.batch_size,
+            record.samples,
             finite(record.total_ms),
             finite(record.p50_ms),
             finite(record.p95_ms),
-            finite(record.p99_ms),
+            p99_field(record.p99_ms),
             finite(record.keys_per_second),
             if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"server\": [\n");
+    for (i, record) in server.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"window_us\": {:.1}, \"max_batch_keys\": {}, \"offered_kps\": {:.0}, \"achieved_kps\": {:.0}, \"clients\": {}, \"keys_per_request\": {}, \"samples\": {}, \"mean_ms\": {:.6}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, {}\"shed\": {}, \"batches\": {}, \"mean_coalesce_width\": {:.2}}}{}\n",
+            escape(&record.mode),
+            finite(record.window_us),
+            record.max_batch_keys,
+            finite(record.offered_kps),
+            finite(record.achieved_kps),
+            record.clients,
+            record.keys_per_request,
+            record.samples,
+            finite(record.mean_ms),
+            finite(record.p50_ms),
+            finite(record.p95_ms),
+            p99_field(record.p99_ms),
+            record.shed,
+            record.batches,
+            finite(record.mean_coalesce_width),
+            if i + 1 == server.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");
@@ -528,6 +630,7 @@ pub fn write_lookup_json(
     records: &[LookupThroughputRecord],
     cold_start: &[ColdStartRecord],
     inference: &[InferenceKernelRecord],
+    server: &[ServerLoadRecord],
 ) -> std::io::Result<std::path::PathBuf> {
     let mut dir = std::env::var_os("CARGO_MANIFEST_DIR")
         .map(std::path::PathBuf::from)
@@ -548,7 +651,7 @@ pub fn write_lookup_json(
     let path = dir.join("BENCH_lookup.json");
     std::fs::write(
         &path,
-        lookup_records_to_json(scale, records, cold_start, inference),
+        lookup_records_to_json(scale, records, cold_start, inference, server),
     )?;
     Ok(path)
 }
@@ -744,7 +847,24 @@ mod tests {
             packed_ns_per_row: 120.0,
             reference_ns_per_row: 600.0,
         }];
-        let json = lookup_records_to_json(&scale, &records, &cold, &inference);
+        let server = vec![ServerLoadRecord {
+            mode: "coalesced".into(),
+            window_us: 100.0,
+            max_batch_keys: 256,
+            offered_kps: 100_000.0,
+            achieved_kps: 98_000.0,
+            clients: 4,
+            keys_per_request: 1,
+            samples: 49_000,
+            mean_ms: 0.4,
+            p50_ms: 0.35,
+            p95_ms: 0.9,
+            p99_ms: Some(1.4),
+            shed: 0,
+            batches: 400,
+            mean_coalesce_width: 122.5,
+        }];
+        let json = lookup_records_to_json(&scale, &records, &cold, &inference, &server);
         assert!(json.contains("\"benchmark\": \"lookup_batch\""));
         assert!(json.contains("\"cold_start\""));
         assert!(json.contains("\"inference\""));
@@ -759,13 +879,25 @@ mod tests {
         assert!(json.contains("\"batch_size\": 1000"));
         assert!(json.contains("\"p50_ms\""));
         assert!(json.contains("\"p95_ms\""));
-        assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"mode\": \"coalesced\""));
+        assert!(json.contains("\"mean_coalesce_width\": 122.50"));
+        assert!(json.contains("\"p99_ms\": 1.400000"));
         assert!(json.contains("\\\"Z\\\""), "quotes must be escaped: {json}");
         // Throughput of the 3 ms / 1000-key batch is ~333k keys/s.
         assert!((records[0].keys_per_second - 333_333.3).abs() < 1_000.0);
-        // A single measurement degenerates to flat percentiles.
+        // A single measurement degenerates to flat p50/p95 — and p99 is
+        // *omitted*, not invented, below the supported sample count.
         assert_eq!(records[0].p50_ms, records[0].total_ms);
-        assert_eq!(records[0].p99_ms, records[0].total_ms);
+        assert_eq!(records[0].p99_ms, None);
+        let result_rows: String = json
+            .lines()
+            .skip_while(|l| !l.contains("\"results\""))
+            .take_while(|l| !l.contains("\"server\""))
+            .collect();
+        assert!(
+            !result_rows.contains("p99_ms"),
+            "under-sampled rows must omit p99: {result_rows}"
+        );
         // A zero-latency measurement must not emit non-JSON tokens like `inf`
         // (as a value; the "inference" section name contains the substring).
         assert!(!json.contains(": inf"));
@@ -777,18 +909,26 @@ mod tests {
             wall: Duration::from_millis(v),
             simulated_io: Duration::ZERO,
         };
-        // 1..=20 ms, shuffled: p50 ≈ 11 ms, p95 ≈ 19 ms, p99 ≈ 20 ms.
+        // 1..=20 ms, shuffled: p50 ≈ 11 ms, p95 ≈ 19 ms — and 20 samples is
+        // below P99_MIN_SAMPLES, so p99 is withheld rather than aliased to p95.
         let samples: Vec<MeasuredLatency> =
             (1..=20u64).map(|v| ms(((v * 7) % 20) + 1)).collect();
         let record = LookupThroughputRecord::from_samples("DM-Z", 2, 1_000, &samples);
         assert_eq!(record.threads, 2);
+        assert_eq!(record.samples, 20);
         assert!((record.total_ms - 10.5).abs() < 1e-6, "mean {}", record.total_ms);
         assert_eq!(record.p50_ms, 11.0);
         assert_eq!(record.p95_ms, 19.0);
-        assert_eq!(record.p99_ms, 20.0);
-        assert!(record.p50_ms <= record.p95_ms && record.p95_ms <= record.p99_ms);
+        assert_eq!(record.p99_ms, None);
         // Aggregate throughput counts every thread's keys.
         assert!((record.keys_per_second - 2.0 * 1_000.0 / 0.0105).abs() < 1.0);
+        // At P99_MIN_SAMPLES and beyond the nearest-rank p99 is a distinct
+        // statistic again (1..=31 ms: p95 = 30, p99 = 31).
+        let samples: Vec<MeasuredLatency> = (1..=31u64).map(ms).collect();
+        let record = LookupThroughputRecord::from_samples("DM-Z", 1, 1_000, &samples);
+        assert_eq!(record.p95_ms, 30.0);
+        assert_eq!(record.p99_ms, Some(31.0));
+        assert!(record.p50_ms <= record.p95_ms && record.p95_ms <= 31.0);
     }
 
     #[test]
@@ -824,7 +964,8 @@ mod tests {
         let record = LookupThroughputRecord::from_concurrent("DM-Z", 4, 1_000, &per_op, &rounds);
         assert_eq!(record.threads, 4);
         assert!((record.total_ms - 10.0).abs() < 1e-9, "per-op mean stays 10 ms");
-        assert_eq!(record.p99_ms, 10.0);
+        assert_eq!(record.p95_ms, 10.0);
+        assert_eq!(record.p99_ms, None, "8 samples cannot support a p99");
         // 4 threads * 1000 keys * 2 rounds / 20 ms = 400k keys/s aggregate.
         assert!((record.keys_per_second - 400_000.0).abs() < 1.0);
         // The same measurements fed through the single-issuer constructor would

@@ -1,0 +1,352 @@
+//! Open-loop load generation against a [`QueryServer`].
+//!
+//! Closed-loop benchmarking (issue, wait, issue) hides saturation: when the
+//! server slows down the generator slows down with it, so the measured
+//! latency stays flattering. An *open-loop* generator instead schedules
+//! arrivals on a fixed clock derived from the offered load and measures each
+//! request's latency from its **scheduled** arrival time — a request that
+//! could not even be submitted on time accrues that delay, which is the
+//! standard correction for coordinated omission. Sweeping offered load then
+//! exposes the throughput knee: the load beyond which p99 departs from p50.
+//!
+//! Two modes share one generator so the comparison is apples-to-apples:
+//!
+//! * [`Mode::Coalesced`] — requests go through [`ServerClient::submit`] /
+//!   [`wait_into`](ServerClient::wait_into) with a pipeline deep enough that
+//!   the generator keeps issuing while earlier requests are still in flight.
+//! * [`Mode::Direct`] — each arrival calls the tenant store's own
+//!   `lookup_batch_into` synchronously (no server, no coalescing): the
+//!   uncoalesced per-request pipeline baseline.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dm_server::{QueryServer, ServerClient, ServerError, TenantId, Ticket};
+use dm_storage::{LookupBuffer, TupleStore};
+
+/// How requests are issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Through the coalescing [`QueryServer`].
+    Coalesced,
+    /// Straight to `TupleStore::lookup_batch_into`, one call per request.
+    Direct,
+}
+
+impl Mode {
+    /// Stable label used in the JSON report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Coalesced => "coalesced",
+            Mode::Direct => "direct",
+        }
+    }
+}
+
+/// Parameters for one open-loop measurement cell.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Offered load in keys per second (spread evenly over the clients).
+    pub offered_keys_per_sec: f64,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Generator threads, each with its own arrival schedule and client.
+    pub clients: usize,
+    /// Keys per request (1 = the single-key serving shape).
+    pub keys_per_request: usize,
+    /// In-flight requests per client in [`Mode::Coalesced`] (ignored for
+    /// direct mode, which is inherently one-at-a-time per client).
+    pub pipeline_depth: usize,
+}
+
+/// What one open-loop run measured.
+#[derive(Debug, Clone, Default)]
+pub struct OpenLoopOutcome {
+    /// Requests that completed successfully.
+    pub completed_requests: usize,
+    /// Keys across completed requests.
+    pub completed_keys: usize,
+    /// Requests rejected by admission control ([`ServerError::Overloaded`]).
+    pub rejected_requests: usize,
+    /// Per-request latency in milliseconds, measured from the *scheduled*
+    /// arrival to completion (coordinated-omission corrected). One entry per
+    /// completed request, unordered.
+    pub latencies_ms: Vec<f64>,
+    /// Wall time of the whole run (schedule start to last harvest).
+    pub wall: Duration,
+}
+
+impl OpenLoopOutcome {
+    /// Achieved throughput in keys per second.
+    pub fn achieved_keys_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.completed_keys as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    fn absorb(&mut self, other: OpenLoopOutcome) {
+        self.completed_requests += other.completed_requests;
+        self.completed_keys += other.completed_keys;
+        self.rejected_requests += other.rejected_requests;
+        self.latencies_ms.extend(other.latencies_ms);
+        self.wall = self.wall.max(other.wall);
+    }
+}
+
+/// Per-client starting cursor.  A golden-ratio multiply decorrelates the
+/// clients' positions modulo any key space: with a small linear offset
+/// (`c * K`) two clients can land a few keys apart mod the store size and
+/// then march through the *same* partitions in lockstep forever (all clients
+/// share one stride), letting the buffer pool's single-flight path merge
+/// their partition loads — which halves the apparent cost of the direct
+/// baseline by accident rather than by design.
+fn client_cursor(client_index: usize) -> u64 {
+    (client_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Deterministic key sequence shared by both modes: client `c` touches keys
+/// `(base + i * stride) % key_space` so requests spread over the whole store
+/// without coordination or RNG state.
+fn request_keys(out: &mut Vec<u64>, key_space: u64, cursor: &mut u64, keys_per_request: usize) {
+    out.clear();
+    for _ in 0..keys_per_request {
+        out.push(*cursor % key_space);
+        *cursor = cursor.wrapping_add(7_368_787); // large prime stride
+    }
+}
+
+struct ClientRun {
+    outcome: OpenLoopOutcome,
+}
+
+fn run_coalesced_client(
+    server: &QueryServer,
+    tenant: TenantId,
+    config: &OpenLoopConfig,
+    key_space: u64,
+    client_index: usize,
+    start: Instant,
+) -> ClientRun {
+    let interval = Duration::from_secs_f64(
+        (config.keys_per_request.max(1) as f64 * config.clients.max(1) as f64)
+            / config.offered_keys_per_sec,
+    );
+    let total = (config.duration.as_secs_f64() / interval.as_secs_f64()) as usize;
+    let mut client: ServerClient = server.client_with_depth(config.pipeline_depth.max(1));
+    let mut outcome = OpenLoopOutcome::default();
+    outcome.latencies_ms.reserve(total);
+    let mut keys: Vec<u64> = Vec::with_capacity(config.keys_per_request);
+    let mut cursor = client_cursor(client_index);
+    let mut out = LookupBuffer::new();
+    // Tickets in flight, oldest first, paired with their scheduled arrival.
+    let mut in_flight: Vec<(Ticket, Instant)> = Vec::with_capacity(config.pipeline_depth);
+
+    // Client c's i-th request is scheduled at start + (c + i*clients) * interval / clients:
+    // the per-client schedules interleave into one uniform arrival process.
+    let phase = interval.mul_f64(client_index as f64 / config.clients.max(1) as f64);
+
+    for i in 0..total {
+        let scheduled = start + phase + interval.mul_f64(i as f64);
+        // Harvest everything already done, then sleep until the arrival.
+        loop {
+            let now = Instant::now();
+            if now >= scheduled {
+                break;
+            }
+            if let Some((ticket, _)) = in_flight.first() {
+                if client.is_done(ticket) {
+                    let (ticket, sched) = in_flight.remove(0);
+                    harvest(&mut client, ticket, sched, &mut out, &mut outcome);
+                    continue;
+                }
+            }
+            let remaining = scheduled - now;
+            std::thread::sleep(remaining.min(Duration::from_micros(200)));
+        }
+        request_keys(&mut keys, key_space, &mut cursor, config.keys_per_request);
+        // Free a slot if the pipeline is full (blocking on the oldest).
+        if in_flight.len() >= client.pipeline_depth() {
+            let (ticket, sched) = in_flight.remove(0);
+            harvest(&mut client, ticket, sched, &mut out, &mut outcome);
+        }
+        match client.submit(tenant, &keys) {
+            Ok(ticket) => in_flight.push((ticket, scheduled)),
+            Err(ServerError::Overloaded { .. }) => outcome.rejected_requests += 1,
+            Err(err) => panic!("open-loop submit failed: {err}"),
+        }
+    }
+    for (ticket, sched) in in_flight.drain(..) {
+        harvest(&mut client, ticket, sched, &mut out, &mut outcome);
+    }
+    outcome.wall = start.elapsed();
+    ClientRun { outcome }
+}
+
+fn harvest(
+    client: &mut ServerClient,
+    ticket: Ticket,
+    scheduled: Instant,
+    out: &mut LookupBuffer,
+    outcome: &mut OpenLoopOutcome,
+) {
+    match client.wait_into(ticket, out) {
+        Ok(report) => {
+            let latency = report.completed_at.saturating_duration_since(scheduled);
+            outcome.latencies_ms.push(latency.as_secs_f64() * 1e3);
+            outcome.completed_requests += 1;
+            outcome.completed_keys += out.len();
+        }
+        Err(ServerError::Overloaded { .. }) => outcome.rejected_requests += 1,
+        Err(err) => panic!("open-loop wait failed: {err}"),
+    }
+}
+
+fn run_direct_client(
+    store: &Arc<dyn TupleStore>,
+    config: &OpenLoopConfig,
+    key_space: u64,
+    client_index: usize,
+    start: Instant,
+) -> ClientRun {
+    let interval = Duration::from_secs_f64(
+        (config.keys_per_request.max(1) as f64 * config.clients.max(1) as f64)
+            / config.offered_keys_per_sec,
+    );
+    let total = (config.duration.as_secs_f64() / interval.as_secs_f64()) as usize;
+    let mut outcome = OpenLoopOutcome::default();
+    outcome.latencies_ms.reserve(total);
+    let mut keys: Vec<u64> = Vec::with_capacity(config.keys_per_request);
+    let mut cursor = client_cursor(client_index);
+    let mut out = LookupBuffer::new();
+    let phase = interval.mul_f64(client_index as f64 / config.clients.max(1) as f64);
+
+    for i in 0..total {
+        let scheduled = start + phase + interval.mul_f64(i as f64);
+        loop {
+            let now = Instant::now();
+            if now >= scheduled {
+                break;
+            }
+            std::thread::sleep((scheduled - now).min(Duration::from_micros(200)));
+        }
+        request_keys(&mut keys, key_space, &mut cursor, config.keys_per_request);
+        store
+            .lookup_batch_into(&keys, &mut out)
+            .expect("direct lookup failed");
+        let done = Instant::now();
+        outcome
+            .latencies_ms
+            .push(done.saturating_duration_since(scheduled).as_secs_f64() * 1e3);
+        outcome.completed_requests += 1;
+        outcome.completed_keys += out.len();
+    }
+    outcome.wall = start.elapsed();
+    ClientRun { outcome }
+}
+
+/// Runs one open-loop cell in [`Mode::Coalesced`]: `config.clients` generator
+/// threads submit scheduled arrivals through the server and the merged
+/// outcome is returned.
+pub fn run_coalesced(
+    server: &QueryServer,
+    tenant: TenantId,
+    config: &OpenLoopConfig,
+    key_space: u64,
+) -> OpenLoopOutcome {
+    let start = Instant::now() + Duration::from_millis(5);
+    let mut merged = OpenLoopOutcome::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|c| {
+                scope.spawn(move || run_coalesced_client(server, tenant, config, key_space, c, start))
+            })
+            .collect();
+        for handle in handles {
+            merged.absorb(handle.join().expect("open-loop client panicked").outcome);
+        }
+    });
+    merged
+}
+
+/// Runs one open-loop cell in [`Mode::Direct`] against the store itself.
+pub fn run_direct(
+    store: &Arc<dyn TupleStore>,
+    config: &OpenLoopConfig,
+    key_space: u64,
+) -> OpenLoopOutcome {
+    let start = Instant::now() + Duration::from_millis(5);
+    let mut merged = OpenLoopOutcome::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|c| scope.spawn(move || run_direct_client(store, config, key_space, c, start)))
+            .collect();
+        for handle in handles {
+            merged.absorb(handle.join().expect("open-loop client panicked").outcome);
+        }
+    });
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_server::ServerConfig;
+    use dm_storage::{ReferenceStore, Row};
+
+    fn reference(keys: u64) -> Arc<dyn TupleStore> {
+        let rows: Vec<Row> = (0..keys).map(|k| Row::new(k, vec![k as u32])).collect();
+        Arc::new(ReferenceStore::from_rows(&rows))
+    }
+
+    #[test]
+    fn coalesced_open_loop_completes_every_scheduled_arrival() {
+        let store = reference(512);
+        let server = QueryServer::new(ServerConfig::coalescing(
+            Duration::from_micros(100),
+            64,
+        ));
+        let tenant = server.register_store("t", Arc::clone(&store)).unwrap();
+        let config = OpenLoopConfig {
+            offered_keys_per_sec: 20_000.0,
+            duration: Duration::from_millis(100),
+            clients: 2,
+            keys_per_request: 1,
+            pipeline_depth: 8,
+        };
+        let outcome = run_coalesced(&server, tenant, &config, 512);
+        assert!(outcome.completed_requests > 0);
+        assert_eq!(outcome.completed_requests, outcome.latencies_ms.len());
+        assert_eq!(outcome.completed_keys, outcome.completed_requests);
+        assert_eq!(outcome.rejected_requests, 0);
+        assert!(outcome.achieved_keys_per_sec() > 0.0);
+        // ~100ms at 20k keys/s == ~2000 single-key requests over 2 clients.
+        let expected = 2_000;
+        assert!(
+            outcome.completed_requests as f64 > 0.5 * expected as f64,
+            "only {} of ~{} scheduled requests completed",
+            outcome.completed_requests,
+            expected
+        );
+        let stats = server.stats();
+        assert!(stats.batches_formed > 0);
+        assert!(stats.mean_coalesce_width() >= 1.0);
+    }
+
+    #[test]
+    fn direct_open_loop_matches_the_coalesced_request_count_shape() {
+        let store = reference(512);
+        let config = OpenLoopConfig {
+            offered_keys_per_sec: 20_000.0,
+            duration: Duration::from_millis(50),
+            clients: 2,
+            keys_per_request: 1,
+            pipeline_depth: 1,
+        };
+        let outcome = run_direct(&store, &config, 512);
+        assert!(outcome.completed_requests > 0);
+        assert_eq!(outcome.completed_keys, outcome.completed_requests);
+        assert!(outcome.latencies_ms.iter().all(|&ms| ms >= 0.0));
+    }
+}

@@ -303,10 +303,20 @@ impl Dense {
     }
 
     /// Forward pass that caches activations for a subsequent [`Dense::backward`].
+    ///
+    /// The cached input/output live in per-layer scratch matrices reused across
+    /// steps (`Matrix::copy_from`), so steady-state training makes no activation
+    /// allocations here — background retrains stop churning the allocator.
     pub fn forward_train(&mut self, x: &Matrix) -> crate::Result<Matrix> {
         let out = self.forward(x)?;
-        self.last_input = Some(x.clone());
-        self.last_output = Some(out.clone());
+        match &mut self.last_input {
+            Some(cache) => cache.copy_from(x),
+            slot => *slot = Some(x.clone()),
+        }
+        match &mut self.last_output {
+            Some(cache) => cache.copy_from(&out),
+            slot => *slot = Some(out.clone()),
+        }
         Ok(out)
     }
 
@@ -424,6 +434,30 @@ mod tests {
         let y = layer.forward(&x).unwrap();
         assert_eq!(y.rows(), 5);
         assert_eq!(y.cols(), 3);
+    }
+
+    /// The activation caches behind `forward_train` are per-layer scratch: after
+    /// the first step of a given shape, further steps must reuse the same
+    /// allocations instead of cloning fresh matrices (ROADMAP carried-over slow
+    /// path: background retrains were churning the allocator).
+    #[test]
+    fn forward_train_reuses_activation_caches_across_steps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(&mut rng, 4, 3, Activation::Relu);
+        let x = Matrix::filled(16, 4, 0.5);
+        layer.forward_train(&x).unwrap();
+        let input_ptr = layer.last_input.as_ref().unwrap().as_slice().as_ptr();
+        let output_ptr = layer.last_output.as_ref().unwrap().as_slice().as_ptr();
+        for _ in 0..3 {
+            layer.forward_train(&x).unwrap();
+            assert_eq!(layer.last_input.as_ref().unwrap().as_slice().as_ptr(), input_ptr);
+            assert_eq!(layer.last_output.as_ref().unwrap().as_slice().as_ptr(), output_ptr);
+        }
+        // A smaller batch (e.g. the tail batch of an epoch) reuses capacity too.
+        let tail = Matrix::filled(5, 4, 0.25);
+        layer.forward_train(&tail).unwrap();
+        assert_eq!(layer.last_input.as_ref().unwrap().as_slice().as_ptr(), input_ptr);
+        assert_eq!(layer.last_input.as_ref().unwrap().rows(), 5);
     }
 
     #[test]

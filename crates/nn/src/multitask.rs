@@ -483,17 +483,27 @@ impl MultiTaskModel {
                 targets.len()
             )));
         }
-        // Trunk forward (cached).
-        let mut h = x.clone();
-        for layer in &mut self.trunk {
+        // Trunk forward (cached).  The first layer reads `x` directly — the
+        // entry activation is never cloned per step (layers keep their own
+        // reusable caches via `forward_train`).
+        let mut trunk_iter = self.trunk.iter_mut();
+        let mut h = match trunk_iter.next() {
+            Some(first) => first.forward_train(x)?,
+            None => x.clone(),
+        };
+        for layer in trunk_iter {
             h = layer.forward_train(&h)?;
         }
         // Heads forward + backward; accumulate gradient at the trunk output.
         let mut total_loss = 0.0f32;
         let mut trunk_grad = Matrix::zeros(h.rows(), h.cols());
         for (head, head_targets) in self.heads.iter_mut().zip(targets.iter()) {
-            let mut t = h.clone();
-            for layer in head.iter_mut() {
+            let mut head_iter = head.iter_mut();
+            let mut t = match head_iter.next() {
+                Some(first) => first.forward_train(&h)?,
+                None => h.clone(),
+            };
+            for layer in head_iter {
                 t = layer.forward_train(&t)?;
             }
             let (loss, mut grad) = softmax_cross_entropy(&t, head_targets)?;

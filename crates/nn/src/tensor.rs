@@ -67,6 +67,18 @@ impl Matrix {
         }
     }
 
+    /// Overwrites this matrix with the contents (and shape) of `src`, reusing the
+    /// existing allocation whenever its capacity suffices.  Training caches one
+    /// activation matrix per layer per step; assigning through `copy_from` instead
+    /// of `clone` keeps those caches allocation-free once shapes stabilize — the
+    /// buffer only ever grows to the largest batch seen.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -598,6 +610,27 @@ mod tests {
         assert_eq!(s.row(0), &[3.0, 4.0]);
         assert_eq!(s.row(1), &[5.0, 6.0]);
         assert!(m.rows_slice(2, 2).is_err());
+    }
+
+    #[test]
+    fn copy_from_reuses_the_allocation_and_tracks_shape() {
+        let mut dst = Matrix::zeros(4, 8);
+        let src = Matrix::filled(2, 3, 7.0);
+        let ptr = dst.as_slice().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!((dst.rows(), dst.cols()), (2, 3));
+        assert!(dst.as_slice().iter().all(|&v| approx_eq(v, 7.0)));
+        // Shrinking (or same-size) assignment must not reallocate: the scratch
+        // discipline training relies on.
+        assert_eq!(dst.as_slice().as_ptr(), ptr);
+        // Growing past capacity reallocates once, then stays stable.
+        let big = Matrix::filled(8, 8, 1.0);
+        dst.copy_from(&big);
+        let grown_ptr = dst.as_slice().as_ptr();
+        dst.copy_from(&src);
+        dst.copy_from(&big);
+        assert_eq!(dst.as_slice().as_ptr(), grown_ptr);
+        assert_eq!((dst.rows(), dst.cols()), (8, 8));
     }
 
     #[test]

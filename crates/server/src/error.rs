@@ -1,0 +1,109 @@
+//! Typed error surface for the query server.
+//!
+//! Every rejection a caller can observe is a distinct variant so load
+//! generators and tests can branch on the cause (`Overloaded` is retryable
+//! back-pressure, `ShuttingDown` is terminal, `UnknownTenant` is a caller
+//! bug) without string matching.
+
+use std::fmt;
+
+/// Errors returned by [`QueryServer`](crate::QueryServer) and
+/// [`ServerClient`](crate::ServerClient) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// Admission control rejected the request: the pending-key queue is at or
+    /// above its shedding watermark. The request was *not* enqueued; the
+    /// caller may retry after backing off.
+    Overloaded {
+        /// Keys queued at the moment of rejection.
+        queued_keys: usize,
+        /// Hard capacity of the pending-key queue.
+        capacity: usize,
+    },
+    /// The server is shutting down (or already shut down). Queued waiters are
+    /// failed with this variant rather than left hanging.
+    ShuttingDown,
+    /// No tenant is registered under the given name or id.
+    UnknownTenant(String),
+    /// A tenant with this name is already registered.
+    DuplicateTenant(String),
+    /// Lazily opening a tenant's snapshot failed (bad path, corrupt file).
+    TenantOpen(String),
+    /// The underlying store returned an error while serving a merged batch.
+    /// Every request coalesced into that batch observes the same error.
+    Store(String),
+    /// The client has no free request slot: every slot in its pipeline is
+    /// in flight. Harvest a ticket with
+    /// [`wait_into`](crate::ServerClient::wait_into) and resubmit.
+    PipelineFull,
+    /// A single request exceeded
+    /// [`max_request_keys`](crate::ServerConfig::max_request_keys); split it.
+    RequestTooLarge {
+        /// Keys in the rejected request.
+        keys: usize,
+        /// Per-request key limit configured on the server.
+        max_request_keys: usize,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Overloaded { queued_keys, capacity } => write!(
+                f,
+                "server overloaded: {queued_keys} keys queued (capacity {capacity})"
+            ),
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::UnknownTenant(name) => write!(f, "unknown tenant: {name}"),
+            ServerError::DuplicateTenant(name) => {
+                write!(f, "tenant already registered: {name}")
+            }
+            ServerError::TenantOpen(msg) => write!(f, "tenant snapshot open failed: {msg}"),
+            ServerError::Store(msg) => write!(f, "store error: {msg}"),
+            ServerError::PipelineFull => {
+                write!(f, "client pipeline full: harvest a ticket before submitting")
+            }
+            ServerError::RequestTooLarge { keys, max_request_keys } => write!(
+                f,
+                "request of {keys} keys exceeds per-request limit {max_request_keys}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_cause() {
+        let cases: Vec<(ServerError, &str)> = vec![
+            (
+                ServerError::Overloaded { queued_keys: 4096, capacity: 4096 },
+                "server overloaded: 4096 keys queued (capacity 4096)",
+            ),
+            (ServerError::ShuttingDown, "server is shutting down"),
+            (
+                ServerError::UnknownTenant("orders".into()),
+                "unknown tenant: orders",
+            ),
+            (
+                ServerError::DuplicateTenant("orders".into()),
+                "tenant already registered: orders",
+            ),
+            (
+                ServerError::RequestTooLarge { keys: 2048, max_request_keys: 1024 },
+                "request of 2048 keys exceeds per-request limit 1024",
+            ),
+            (ServerError::PipelineFull, "client pipeline full: harvest a ticket before submitting"),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! # dm-server — batched in-process query serving for DeepMapping stores
+//!
+//! DeepMapping's lookup path amortizes its fixed costs — pipeline dispatch,
+//! model inference setup, partition touch-up — over the keys in a batch: the
+//! committed benches serve large batches at ~1 µs/key while a single-key call
+//! pays the full fixed cost alone. Real serving workloads, however, arrive as
+//! many *small* requests from concurrent callers. This crate closes that gap
+//! with a [`QueryServer`] that:
+//!
+//! * **coalesces** concurrent small `get` / `lookup_batch` requests into
+//!   inference-sized merged batches under a deadline — flush at
+//!   [`max_batch_keys`](ServerConfig::max_batch_keys) pending keys or when the
+//!   oldest request has waited [`max_delay`](ServerConfig::max_delay),
+//!   whichever comes first;
+//! * **demuxes** the merged result back to each waiter by copying spans out of
+//!   one flat [`LookupBuffer`](dm_storage::LookupBuffer) arena — no
+//!   per-request allocation on the steady-state path, the same discipline the
+//!   buffer itself uses;
+//! * applies **admission control**: a bounded pending-key queue with a typed
+//!   [`Overloaded`](ServerError::Overloaded) rejection and high/low
+//!   load-shedding watermarks (hysteresis, so the server sheds decisively
+//!   instead of flapping at the threshold);
+//! * serves **multiple tenants**, each an
+//!   [`Arc<dyn TupleStore>`](dm_storage::TupleStore) registered up front or a
+//!   snapshot path opened lazily (and exactly once) on first request;
+//! * exposes **observability** via [`QueryServer::stats`]: queue delay,
+//!   coalesce width, batches formed, shed count, per-request wall time — the
+//!   counters an open-loop load generator needs to find the throughput knee.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dm_server::{QueryServer, ServerConfig};
+//! use dm_storage::{ReferenceStore, Row};
+//!
+//! let reference = ReferenceStore::from_rows(&[Row::new(7, vec![70])]);
+//!
+//! let server = QueryServer::new(ServerConfig::default());
+//! let tenant = server.register_store("orders", Arc::new(reference)).unwrap();
+//!
+//! let mut client = server.client();
+//! assert_eq!(client.get(tenant, 7).unwrap(), Some(vec![70]));
+//! assert_eq!(client.get(tenant, 8).unwrap(), None);
+//! ```
+//!
+//! # Threading model
+//!
+//! One plain OS dispatcher thread per server, deliberately outside the
+//! dm-exec pool: under `DM_EXEC_THREADS=1` the merged batch simply executes
+//! serially inside the store while the dispatcher keeps coalescing — the
+//! server degrades to inline serial execution instead of deadlocking.
+//! [`ServerConfig::inline`] removes the dispatcher entirely (requests run
+//! synchronously on caller threads), which is both the uncoalesced baseline
+//! for benches and the simplest mode for single-threaded tests.
+
+pub mod client;
+pub mod error;
+pub mod server;
+pub mod stats;
+
+pub use client::{RequestReport, ServerClient, Ticket};
+pub use error::{Result, ServerError};
+pub use server::{QueryServer, ServerConfig, TenantId, DEFAULT_PIPELINE_DEPTH};
+pub use stats::ServerStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_storage::{LookupBuffer, ReferenceStore, Row, TupleStore};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn seeded_store(keys: std::ops::Range<u64>) -> Arc<dyn TupleStore> {
+        let rows: Vec<Row> = keys
+            .map(|k| Row::new(k, vec![k as u32, (k * 2) as u32]))
+            .collect();
+        Arc::new(ReferenceStore::from_rows(&rows))
+    }
+
+    #[test]
+    fn coalesced_server_answers_like_the_store() {
+        let server = QueryServer::new(ServerConfig::coalescing(Duration::from_micros(200), 64));
+        let tenant = server
+            .register_store("t", seeded_store(0..100))
+            .unwrap();
+        let mut client = server.client();
+        let mut out = LookupBuffer::new();
+        for round in 0..20u64 {
+            let keys = [round, round + 50, round + 1000];
+            let report = client.lookup_batch_into(tenant, &keys, &mut out).unwrap();
+            assert_eq!(out.len(), 3);
+            assert_eq!(out.get(0), Some(&[round as u32, (round * 2) as u32][..]));
+            let second = round + 50;
+            if second < 100 {
+                assert_eq!(out.get(1), Some(&[second as u32, (second * 2) as u32][..]));
+            } else {
+                assert_eq!(out.get(1), None);
+            }
+            assert_eq!(out.get(2), None, "key {} should miss", round + 1000);
+            assert!(report.wall >= report.queue_delay);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests_completed, 20);
+        assert_eq!(stats.keys_served, 60);
+        assert!(stats.batches_formed >= 1);
+    }
+
+    #[test]
+    fn inline_mode_runs_on_the_caller_thread() {
+        let server = QueryServer::new(ServerConfig::inline());
+        let tenant = server.register_store("t", seeded_store(0..10)).unwrap();
+        let mut client = server.client();
+        assert_eq!(client.get(tenant, 3).unwrap(), Some(vec![3, 6]));
+        assert_eq!(client.get(tenant, 99).unwrap(), None);
+        let stats = server.stats();
+        assert_eq!(stats.inline_requests, 2);
+        assert_eq!(stats.batches_formed, 0);
+        assert_eq!(stats.requests_completed, 2);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_tenants_are_typed_errors() {
+        let server = QueryServer::with_defaults();
+        assert_eq!(
+            server.tenant("nope"),
+            Err(ServerError::UnknownTenant("nope".into()))
+        );
+        server.register_store("t", seeded_store(0..4)).unwrap();
+        assert_eq!(
+            server
+                .register_store("t", seeded_store(0..4))
+                .unwrap_err(),
+            ServerError::DuplicateTenant("t".into())
+        );
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_without_consuming_a_slot() {
+        let config = ServerConfig {
+            max_request_keys: 4,
+            ..ServerConfig::default()
+        };
+        let server = QueryServer::new(config);
+        let tenant = server.register_store("t", seeded_store(0..4)).unwrap();
+        let mut client = server.client();
+        let keys: Vec<u64> = (0..10).collect();
+        assert_eq!(
+            client.submit(tenant, &keys).unwrap_err(),
+            ServerError::RequestTooLarge {
+                keys: 10,
+                max_request_keys: 4
+            }
+        );
+        assert_eq!(client.in_flight(), 0);
+        // The slot is still usable for an in-range request.
+        assert_eq!(client.get(tenant, 1).unwrap(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn pipeline_full_is_reported_and_slots_recycle() {
+        let server = QueryServer::new(ServerConfig::coalescing(Duration::from_micros(50), 8));
+        let tenant = server.register_store("t", seeded_store(0..32)).unwrap();
+        let mut client = server.client_with_depth(2);
+        let t0 = client.submit(tenant, &[1]).unwrap();
+        let t1 = client.submit(tenant, &[2]).unwrap();
+        assert_eq!(client.submit(tenant, &[3]).unwrap_err(), ServerError::PipelineFull);
+        let mut out = LookupBuffer::new();
+        client.wait_into(t0, &mut out).unwrap();
+        assert_eq!(out.get(0), Some(&[1u32, 2][..]));
+        let t2 = client.submit(tenant, &[3]).unwrap();
+        client.wait_into(t1, &mut out).unwrap();
+        assert_eq!(out.get(0), Some(&[2u32, 4][..]));
+        client.wait_into(t2, &mut out).unwrap();
+        assert_eq!(out.get(0), Some(&[3u32, 6][..]));
+    }
+
+    /// A store whose lookups block until the gate opens — lets tests hold the
+    /// dispatcher mid-batch so queue buildup is deterministic.
+    struct GateStore {
+        inner: ReferenceStore,
+        open: std::sync::Mutex<bool>,
+        cv: std::sync::Condvar,
+        entered: std::sync::atomic::AtomicUsize,
+    }
+
+    impl GateStore {
+        fn new(keys: std::ops::Range<u64>) -> Self {
+            let rows: Vec<Row> = keys
+                .map(|k| Row::new(k, vec![k as u32, (k * 2) as u32]))
+                .collect();
+            GateStore {
+                inner: ReferenceStore::from_rows(&rows),
+                open: std::sync::Mutex::new(false),
+                cv: std::sync::Condvar::new(),
+                entered: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+
+        fn entered(&self) -> usize {
+            self.entered.load(std::sync::atomic::Ordering::Acquire)
+        }
+
+        fn open_gate(&self) {
+            *self.open.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+    }
+
+    impl TupleStore for GateStore {
+        fn name(&self) -> &str {
+            "GATE"
+        }
+
+        fn lookup_batch_into(
+            &self,
+            keys: &[u64],
+            out: &mut LookupBuffer,
+        ) -> dm_storage::Result<()> {
+            self.entered
+                .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                open = self.cv.wait(open).unwrap();
+            }
+            drop(open);
+            self.inner.lookup_batch_into(keys, out)
+        }
+
+        fn stats(&self) -> dm_storage::StoreStats {
+            self.inner.stats()
+        }
+    }
+
+    #[test]
+    fn admission_control_sheds_past_capacity_and_recovers_after_drain() {
+        let config = ServerConfig {
+            max_batch_keys: 4,
+            max_delay: Duration::from_micros(100),
+            queue_capacity_keys: 8,
+            shed_high_watermark_keys: 8,
+            shed_low_watermark_keys: 4,
+            max_request_keys: 8,
+            inline: false,
+        };
+        let server = QueryServer::new(config);
+        let gate = Arc::new(GateStore::new(0..64));
+        let tenant = server
+            .register_store("t", Arc::clone(&gate) as Arc<dyn TupleStore>)
+            .unwrap();
+        let mut client = server.client_with_depth(16);
+
+        // A 4-key request trips the size trigger; the dispatcher takes it and
+        // blocks inside the gated store, leaving the queue to build up.
+        let stuck = client.submit(tenant, &[0, 1, 2, 3]).unwrap();
+        while gate.entered() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // 8 single-key submissions fill the queue to capacity (the 8th
+        // crosses the high watermark and latches shedding).
+        let tickets: Vec<_> = (0..8)
+            .map(|k| client.submit(tenant, &[k]).unwrap())
+            .collect();
+        let err = client.submit(tenant, &[9]).unwrap_err();
+        assert!(
+            matches!(err, ServerError::Overloaded { queued_keys: 8, capacity: 8 }),
+            "expected Overloaded at capacity, got {err:?}"
+        );
+        assert_eq!(server.stats().requests_shed, 1);
+
+        // Open the gate: the stuck batch completes, the queue drains (falling
+        // through the low watermark clears shedding), and all waiters finish.
+        gate.open_gate();
+        let mut out = LookupBuffer::new();
+        client.wait_into(stuck, &mut out).unwrap();
+        assert_eq!(out.get(3), Some(&[3u32, 6][..]));
+        for (k, t) in tickets.into_iter().enumerate() {
+            client.wait_into(t, &mut out).unwrap();
+            assert_eq!(out.get(0), Some(&[k as u32, (k * 2) as u32][..]));
+        }
+        // After the drain the server accepts again.
+        assert_eq!(client.get(tenant, 1).unwrap(), Some(vec![1, 2]));
+        assert_eq!(server.stats().requests_shed, 1);
+
+        drop(client);
+        server.shutdown();
+
+        let config = ServerConfig {
+            max_batch_keys: 4,
+            max_delay: Duration::from_micros(50),
+            queue_capacity_keys: 8,
+            shed_high_watermark_keys: 8,
+            shed_low_watermark_keys: 4,
+            max_request_keys: 8,
+            inline: false,
+        };
+        let server = QueryServer::new(config);
+        let tenant = server.register_store("t", seeded_store(0..64)).unwrap();
+        let mut client = server.client_with_depth(16);
+        let mut out = LookupBuffer::new();
+        // Saturate, shed or complete, then verify the server still serves.
+        let mut pending = Vec::new();
+        let mut shed = 0u64;
+        for k in 0..32u64 {
+            match client.submit(tenant, &[k % 16]) {
+                Ok(t) => pending.push(t),
+                Err(ServerError::Overloaded { .. }) => shed += 1,
+                Err(ServerError::PipelineFull) => {
+                    let t = pending.remove(0);
+                    client.wait_into(t, &mut out).unwrap();
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        for t in pending {
+            client.wait_into(t, &mut out).unwrap();
+        }
+        // After the storm the server must accept again.
+        assert_eq!(client.get(tenant, 1).unwrap(), Some(vec![1, 2]));
+        assert_eq!(server.stats().requests_shed, shed);
+    }
+
+    #[test]
+    fn shutdown_fails_queued_waiters_with_a_typed_error() {
+        // Long deadline so queued requests are still pending at shutdown.
+        let config = ServerConfig {
+            max_batch_keys: 1024,
+            max_delay: Duration::from_secs(30),
+            ..ServerConfig::default()
+        };
+        let server = Arc::new(QueryServer::new(config));
+        let tenant = server.register_store("t", seeded_store(0..8)).unwrap();
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let for_thread = Arc::clone(&server);
+        let waiter = std::thread::spawn(move || {
+            let mut client = for_thread.client();
+            let ticket = client.submit(tenant, &[1, 2]).unwrap();
+            let mut out = LookupBuffer::new();
+            let outcome = client.wait_into(ticket, &mut out);
+            tx.send(outcome).unwrap();
+        });
+
+        // Give the waiter time to park, then shut down.
+        std::thread::sleep(Duration::from_millis(20));
+        server.shutdown();
+        let outcome = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("waiter must be released by shutdown, not hang");
+        assert_eq!(outcome.unwrap_err(), ServerError::ShuttingDown);
+        waiter.join().unwrap();
+
+        // Post-shutdown submissions fail fast with the same typed error.
+        let mut client = server.client();
+        assert_eq!(
+            client.submit(tenant, &[1]).unwrap_err(),
+            ServerError::ShuttingDown
+        );
+        // Shutdown is idempotent.
+        server.shutdown();
+    }
+
+    #[test]
+    fn lazy_snapshot_tenant_with_a_bad_path_reports_tenant_open() {
+        let server = QueryServer::new(ServerConfig::inline());
+        let tenant = server
+            .register_snapshot("ghost", "/nonexistent/dm-server-test.snap")
+            .unwrap();
+        assert_eq!(server.tenants(), vec![("ghost".to_string(), false)]);
+        let mut client = server.client();
+        match client.get(tenant, 1) {
+            Err(ServerError::TenantOpen(msg)) => assert!(msg.contains("ghost"), "{msg}"),
+            other => panic!("expected TenantOpen, got {other:?}"),
+        }
+        // Registration stays; the open is retried on the next request.
+        assert_eq!(server.tenants(), vec![("ghost".to_string(), false)]);
+    }
+
+    #[test]
+    fn multi_tenant_requests_route_to_the_right_store() {
+        let server = QueryServer::new(ServerConfig::coalescing(Duration::from_micros(100), 32));
+        let a = server.register_store("a", seeded_store(0..10)).unwrap();
+        let b = server.register_store("b", seeded_store(100..110)).unwrap();
+        assert_eq!(server.tenant("a").unwrap(), a);
+        assert_eq!(server.tenant("b").unwrap(), b);
+        let mut client = server.client();
+        assert_eq!(client.get(a, 5).unwrap(), Some(vec![5, 10]));
+        assert_eq!(client.get(b, 5).unwrap(), None);
+        assert_eq!(client.get(b, 105).unwrap(), Some(vec![105, 210]));
+        assert_eq!(client.get(a, 105).unwrap(), None);
+    }
+
+    #[test]
+    fn config_normalization_orders_the_watermarks() {
+        let config = ServerConfig {
+            max_batch_keys: 0,
+            max_request_keys: 0,
+            queue_capacity_keys: 0,
+            shed_high_watermark_keys: 10_000,
+            shed_low_watermark_keys: 20_000,
+            ..ServerConfig::default()
+        };
+        let server = QueryServer::new(config);
+        let c = server.config();
+        assert!(c.max_batch_keys >= 1);
+        assert!(c.max_request_keys >= 1);
+        assert!(c.queue_capacity_keys >= c.max_batch_keys);
+        assert!(c.shed_high_watermark_keys <= c.queue_capacity_keys);
+        assert!(c.shed_low_watermark_keys <= c.shed_high_watermark_keys);
+    }
+}

@@ -1,0 +1,627 @@
+//! The query server: tenant registry, admission control, and the coalescing
+//! dispatcher.
+//!
+//! # Architecture
+//!
+//! ```text
+//! caller threads                dispatcher thread            TupleStore
+//! ─────────────                 ─────────────────            ──────────
+//! submit ──┐  bounded queue      form batch (deadline         one merged
+//! submit ──┼─▶ of QueuedReq ───▶ or max_batch_keys) ───────▶ lookup_batch_into
+//! submit ──┘  (admission ctl)    demux via copy_range_from ◀─ flat LookupBuffer
+//!    ▲                                │
+//!    └── wait_into ◀── slot condvar ──┘ (notified only if a waiter is parked)
+//! ```
+//!
+//! The dispatcher is one plain OS thread, deliberately *outside* the dm-exec
+//! pool: the merged batch runs through whatever parallelism the tenant store
+//! already uses (`DM_EXEC_THREADS=1` degrades the whole path to inline serial
+//! execution with no cross-pool deadlock possible). Batch formation holds the
+//! queue lock only; batch execution and demux hold slot locks only — the two
+//! lock domains never nest in conflicting order.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dm_core::DeepMapping;
+use dm_persist::SnapshotExt;
+use dm_storage::{LookupBuffer, TupleStore};
+use parking_lot::{Mutex, RwLock};
+
+use crate::client::{RequestSlot, ServerClient, SlotState};
+use crate::error::{Result, ServerError};
+use crate::stats::{ServerStats, StatsCells};
+
+/// Default pipeline depth for [`QueryServer::client`].
+pub const DEFAULT_PIPELINE_DEPTH: usize = 4;
+
+/// Tuning knobs for a [`QueryServer`]. Watermarks and limits are normalized
+/// at server construction (see [`QueryServer::new`]) so any hand-built config
+/// is made internally consistent rather than rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Flush a forming batch once this many keys are pending for its tenant.
+    pub max_batch_keys: usize,
+    /// Flush a forming batch once its oldest request has waited this long.
+    /// This is the coalescing window: the latency the fastest request donates
+    /// to let stragglers join the batch.
+    pub max_delay: Duration,
+    /// Hard capacity of the pending-key queue; submissions beyond it are
+    /// rejected with [`ServerError::Overloaded`].
+    pub queue_capacity_keys: usize,
+    /// Once pending keys reach this level the server starts shedding new
+    /// requests (continuing to serve what is queued).
+    pub shed_high_watermark_keys: usize,
+    /// Shedding stops once pending keys drain to this level. The gap between
+    /// the watermarks is hysteresis: without it a queue hovering at the
+    /// threshold would flap between accepting and rejecting on every request.
+    pub shed_low_watermark_keys: usize,
+    /// Largest single request; bigger ones are rejected with
+    /// [`ServerError::RequestTooLarge`] (they should go straight to the
+    /// store's own batch API instead of monopolizing the coalescer).
+    pub max_request_keys: usize,
+    /// When true no dispatcher thread is spawned and every request executes
+    /// synchronously on the caller thread — no coalescing, no queueing. The
+    /// degenerate baseline mode, also useful in single-threaded tests.
+    pub inline: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_batch_keys: 256,
+            max_delay: Duration::from_micros(100),
+            queue_capacity_keys: 4096,
+            shed_high_watermark_keys: 3584,
+            shed_low_watermark_keys: 2048,
+            max_request_keys: 1024,
+            inline: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config with the given coalescing window and batch-size trigger,
+    /// defaults elsewhere.
+    pub fn coalescing(max_delay: Duration, max_batch_keys: usize) -> Self {
+        ServerConfig {
+            max_delay,
+            max_batch_keys,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// The inline (uncoalesced) config: every request runs synchronously on
+    /// its caller thread.
+    pub fn inline() -> Self {
+        ServerConfig {
+            inline: true,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Clamps fields into a consistent shape: nonzero batch/request limits,
+    /// capacity at least one batch, watermarks ordered `low <= high <=
+    /// capacity`.
+    fn normalized(mut self) -> Self {
+        self.max_batch_keys = self.max_batch_keys.max(1);
+        self.max_request_keys = self.max_request_keys.max(1);
+        self.queue_capacity_keys = self.queue_capacity_keys.max(self.max_batch_keys);
+        self.shed_high_watermark_keys = self
+            .shed_high_watermark_keys
+            .min(self.queue_capacity_keys)
+            .max(1);
+        self.shed_low_watermark_keys = self.shed_low_watermark_keys.min(self.shed_high_watermark_keys);
+        self
+    }
+}
+
+/// Opaque handle to a registered tenant, returned by
+/// [`QueryServer::register_store`] / [`register_snapshot`](QueryServer::register_snapshot)
+/// and resolvable by name via [`QueryServer::tenant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(pub(crate) usize);
+
+/// One registered tenant. `store` starts `None` for snapshot-backed tenants
+/// and is populated single-flight on first request (the mutex makes
+/// concurrent first requests open the file exactly once).
+struct Tenant {
+    name: String,
+    path: Option<PathBuf>,
+    store: Mutex<Option<Arc<dyn TupleStore>>>,
+}
+
+#[derive(Default)]
+struct Registry {
+    tenants: Vec<Arc<Tenant>>,
+    names: HashMap<String, usize>,
+}
+
+/// Queue-side view of one admitted request. Key count and timestamps are
+/// copied out of the slot at submission so the dispatcher can form batches
+/// while holding only the queue lock.
+pub(crate) struct QueuedReq {
+    slot: Arc<RequestSlot>,
+    tenant: usize,
+    keys: usize,
+    enqueued_at: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    entries: VecDeque<QueuedReq>,
+    queued_keys: usize,
+    /// Load-shedding latch: set when pending keys reach the high watermark,
+    /// cleared when they drain to the low watermark.
+    shedding: bool,
+    shutdown: bool,
+}
+
+/// State shared between the server handle, its clients, and the dispatcher.
+pub(crate) struct Shared {
+    config: ServerConfig,
+    queue: Mutex<QueueState>,
+    /// Signalled when the queue goes non-empty or a batch-size trigger fires;
+    /// the dispatcher otherwise sleeps on the oldest request's deadline.
+    work_cv: Condvar,
+    registry: RwLock<Registry>,
+    stats: StatsCells,
+}
+
+impl Shared {
+    fn tenant_count(&self) -> usize {
+        self.registry.read().tenants.len()
+    }
+
+    /// Resolves the tenant's store, opening its snapshot on first use.
+    fn tenant_store(&self, index: usize) -> Result<Arc<dyn TupleStore>> {
+        let tenant = Arc::clone(&self.registry.read().tenants[index]);
+        let mut guard = tenant.store.lock();
+        if let Some(store) = guard.as_ref() {
+            return Ok(Arc::clone(store));
+        }
+        let path = tenant
+            .path
+            .as_ref()
+            .expect("tenant without a store must carry a snapshot path");
+        let started = Instant::now();
+        let dm = DeepMapping::open(path)
+            .map_err(|err| ServerError::TenantOpen(format!("{}: {err}", tenant.name)))?;
+        self.stats.record_tenant_open(started.elapsed());
+        let store: Arc<dyn TupleStore> = Arc::new(dm);
+        *guard = Some(Arc::clone(&store));
+        Ok(store)
+    }
+
+    /// Fails every request in `batch` with `err`, waking parked waiters.
+    fn fail_requests(&self, batch: &mut Vec<QueuedReq>, err: &ServerError) {
+        StatsCells::add(&self.stats.requests_failed, batch.len() as u64);
+        for req in batch.drain(..) {
+            let mut inner = req.slot.inner.lock();
+            inner.state = SlotState::Failed(err.clone());
+            let notify = inner.waiting;
+            drop(inner);
+            if notify {
+                req.slot.cv.notify_all();
+            }
+        }
+    }
+
+    /// Runs one merged batch: merge keys, execute on the tenant store, demux
+    /// spans back into each slot, wake parked waiters. Called with no locks
+    /// held; takes slot locks only.
+    fn execute_batch(
+        &self,
+        batch: &mut Vec<QueuedReq>,
+        merged: &mut Vec<u64>,
+        results: &mut LookupBuffer,
+    ) {
+        let formed_at = Instant::now();
+        merged.clear();
+        let mut queue_delay_total = 0u64;
+        for req in batch.iter() {
+            let mut inner = req.slot.inner.lock();
+            merged.extend_from_slice(&inner.keys);
+            let delay = formed_at.saturating_duration_since(req.enqueued_at);
+            inner.queue_delay = delay;
+            queue_delay_total += delay.as_nanos() as u64;
+        }
+
+        let store = match self.tenant_store(batch[0].tenant) {
+            Ok(store) => store,
+            Err(err) => {
+                self.fail_requests(batch, &err);
+                return;
+            }
+        };
+        let exec_started = Instant::now();
+        let outcome = store.lookup_batch_into(merged, results);
+        let exec_nanos = exec_started.elapsed().as_nanos() as u64;
+
+        match outcome {
+            Ok(()) => {
+                let done = Instant::now();
+                // Record stats before any waiter is woken: a caller that
+                // returns from wait_into and immediately reads stats() must
+                // see its own request counted.
+                let wall_total: u64 = batch
+                    .iter()
+                    .map(|req| done.saturating_duration_since(req.enqueued_at).as_nanos() as u64)
+                    .sum();
+                self.stats.record_batch(
+                    batch.len() as u64,
+                    merged.len() as u64,
+                    queue_delay_total,
+                    wall_total,
+                    exec_nanos,
+                );
+                let mut offset = 0usize;
+                for req in batch.drain(..) {
+                    let mut inner = req.slot.inner.lock();
+                    let len = inner.keys.len();
+                    inner.response.copy_range_from(results, offset, len);
+                    offset += len;
+                    inner.done_at = done;
+                    inner.state = SlotState::Done;
+                    let notify = inner.waiting;
+                    drop(inner);
+                    if notify {
+                        req.slot.cv.notify_all();
+                    }
+                }
+            }
+            Err(err) => {
+                let err = ServerError::Store(err.to_string());
+                self.fail_requests(batch, &err);
+            }
+        }
+    }
+
+    /// Serves one request synchronously on the caller thread (inline mode).
+    fn execute_inline(&self, slot: &Arc<RequestSlot>) -> Result<()> {
+        let tenant = slot.inner.lock().tenant;
+        let store = match self.tenant_store(tenant) {
+            Ok(store) => store,
+            Err(err) => {
+                slot.inner.lock().state = SlotState::Idle;
+                return Err(err);
+            }
+        };
+        let mut inner = slot.inner.lock();
+        let started = Instant::now();
+        let inner_ref = &mut *inner;
+        let outcome = store.lookup_batch_into(&inner_ref.keys, &mut inner_ref.response);
+        match outcome {
+            Ok(()) => {
+                let done = Instant::now();
+                let exec_nanos = done.saturating_duration_since(started).as_nanos() as u64;
+                let wall = done.saturating_duration_since(inner.enqueued_at);
+                inner.done_at = done;
+                inner.queue_delay = Duration::ZERO;
+                inner.state = SlotState::Done;
+                self.stats
+                    .record_inline(inner.keys.len() as u64, wall.as_nanos() as u64, exec_nanos);
+                Ok(())
+            }
+            Err(err) => {
+                inner.state = SlotState::Idle;
+                Err(ServerError::Store(err.to_string()))
+            }
+        }
+    }
+}
+
+/// Submits one prepared slot. Called by [`ServerClient::submit`]; the slot
+/// must be `Idle` and owned by the calling client. On any error the slot is
+/// returned to `Idle` so the client's pipeline slot is not consumed.
+pub(crate) fn submit_slot(
+    shared: &Arc<Shared>,
+    slot: &Arc<RequestSlot>,
+    tenant: TenantId,
+    keys: &[u64],
+) -> Result<()> {
+    let config = &shared.config;
+    if keys.len() > config.max_request_keys {
+        return Err(ServerError::RequestTooLarge {
+            keys: keys.len(),
+            max_request_keys: config.max_request_keys,
+        });
+    }
+    if tenant.0 >= shared.tenant_count() {
+        return Err(ServerError::UnknownTenant(format!("#{}", tenant.0)));
+    }
+
+    let enqueued_at = Instant::now();
+    {
+        let mut inner = slot.inner.lock();
+        debug_assert_eq!(inner.state, SlotState::Idle, "submit into a busy slot");
+        inner.tenant = tenant.0;
+        inner.keys.clear();
+        inner.keys.extend_from_slice(keys);
+        inner.enqueued_at = enqueued_at;
+        inner.state = SlotState::Queued;
+    }
+
+    if config.inline {
+        return shared.execute_inline(slot);
+    }
+
+    let wake = {
+        let mut q = shared.queue.lock();
+        if q.shutdown {
+            slot.inner.lock().state = SlotState::Idle;
+            return Err(ServerError::ShuttingDown);
+        }
+        let after = q.queued_keys + keys.len();
+        let over_capacity = after > config.queue_capacity_keys;
+        let shedding = q.shedding && q.queued_keys > config.shed_low_watermark_keys;
+        if over_capacity || shedding {
+            let queued_keys = q.queued_keys;
+            q.shedding = q.shedding || over_capacity;
+            drop(q);
+            StatsCells::add(&shared.stats.requests_shed, 1);
+            slot.inner.lock().state = SlotState::Idle;
+            return Err(ServerError::Overloaded {
+                queued_keys,
+                capacity: config.queue_capacity_keys,
+            });
+        }
+        if q.shedding {
+            // Drained to the low watermark: stop shedding and admit.
+            q.shedding = false;
+        }
+        let was_empty = q.entries.is_empty();
+        q.entries.push_back(QueuedReq {
+            slot: Arc::clone(slot),
+            tenant: tenant.0,
+            keys: keys.len(),
+            enqueued_at,
+        });
+        q.queued_keys = after;
+        if after >= config.shed_high_watermark_keys {
+            q.shedding = true;
+        }
+        // Wake the dispatcher only on the transitions it cannot infer from
+        // the deadline it is already sleeping on: queue went non-empty, or
+        // pending keys just crossed the batch-size trigger. Everything else
+        // resolves at the deadline, keeping submissions syscall-free.
+        was_empty
+            || (after >= config.max_batch_keys && after - keys.len() < config.max_batch_keys)
+    };
+    StatsCells::add(&shared.stats.requests_enqueued, 1);
+    StatsCells::add(&shared.stats.keys_enqueued, keys.len() as u64);
+    if wake {
+        shared.work_cv.notify_one();
+    }
+    Ok(())
+}
+
+/// The dispatcher: forms batches under the deadline/size policy and executes
+/// them. Runs until shutdown is observed.
+fn dispatcher_loop(shared: Arc<Shared>) {
+    let mut batch: Vec<QueuedReq> = Vec::new();
+    let mut kept: VecDeque<QueuedReq> = VecDeque::new();
+    let mut merged: Vec<u64> = Vec::new();
+    let mut results = LookupBuffer::new();
+
+    loop {
+        {
+            let mut q = shared.queue.lock();
+            loop {
+                if q.shutdown {
+                    batch.extend(q.entries.drain(..));
+                    q.queued_keys = 0;
+                    drop(q);
+                    shared.fail_requests(&mut batch, &ServerError::ShuttingDown);
+                    return;
+                }
+                if q.entries.is_empty() {
+                    q = shared.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                    continue;
+                }
+                // The oldest request anchors the batch: its tenant, its
+                // deadline. Requests for other tenants wait their turn —
+                // FIFO across tenants keeps the policy simple and starvation-free.
+                let front = &q.entries[0];
+                let tenant = front.tenant;
+                let deadline = front.enqueued_at + shared.config.max_delay;
+                let mut pending = 0usize;
+                for entry in q.entries.iter() {
+                    if entry.tenant == tenant {
+                        pending += entry.keys;
+                        if pending >= shared.config.max_batch_keys {
+                            break;
+                        }
+                    }
+                }
+                let now = Instant::now();
+                if pending >= shared.config.max_batch_keys || now >= deadline {
+                    let cap = shared.config.max_batch_keys;
+                    let mut taken = 0usize;
+                    while let Some(entry) = q.entries.pop_front() {
+                        let fits = entry.tenant == tenant
+                            && (taken == 0 || taken + entry.keys <= cap);
+                        if fits {
+                            taken += entry.keys;
+                            batch.push(entry);
+                            if taken >= cap {
+                                kept.extend(q.entries.drain(..));
+                                break;
+                            }
+                        } else {
+                            kept.push_back(entry);
+                        }
+                    }
+                    std::mem::swap(&mut q.entries, &mut kept);
+                    q.queued_keys -= taken;
+                    if q.shedding && q.queued_keys <= shared.config.shed_low_watermark_keys {
+                        q.shedding = false;
+                    }
+                    break;
+                }
+                let (guard, _) = shared
+                    .work_cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+        shared.execute_batch(&mut batch, &mut merged, &mut results);
+        batch.clear();
+    }
+}
+
+/// A batched in-process query server over one or more [`TupleStore`] tenants.
+///
+/// Concurrent callers submit small `get` / `lookup_batch` requests through
+/// per-thread [`ServerClient`]s; the server coalesces them into
+/// inference-sized batches under a deadline, runs each merged batch through
+/// the tenant store's own pipeline, and demuxes the flat result arena back to
+/// each waiter without per-request allocation. See the [crate docs](crate)
+/// for the full tour.
+pub struct QueryServer {
+    shared: Arc<Shared>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl QueryServer {
+    /// Builds a server with `config` (normalized — see [`ServerConfig`]) and
+    /// starts its dispatcher thread unless `config.inline`.
+    pub fn new(config: ServerConfig) -> Self {
+        let config = config.normalized();
+        let inline = config.inline;
+        let shared = Arc::new(Shared {
+            config,
+            queue: Mutex::new(QueueState::default()),
+            work_cv: Condvar::new(),
+            registry: RwLock::new(Registry::default()),
+            stats: StatsCells::default(),
+        });
+        let dispatcher = if inline {
+            None
+        } else {
+            let for_thread = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("dm-server-dispatch".into())
+                    .spawn(move || dispatcher_loop(for_thread))
+                    .expect("spawn dm-server dispatcher"),
+            )
+        };
+        QueryServer {
+            shared,
+            dispatcher: Mutex::new(dispatcher),
+        }
+    }
+
+    /// A server with [`ServerConfig::default`].
+    pub fn with_defaults() -> Self {
+        QueryServer::new(ServerConfig::default())
+    }
+
+    /// The (normalized) configuration this server runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.shared.config
+    }
+
+    /// Registers an already-open store under `name`.
+    pub fn register_store(&self, name: &str, store: Arc<dyn TupleStore>) -> Result<TenantId> {
+        self.register(name, Some(store), None)
+    }
+
+    /// Registers a snapshot-backed tenant under `name`. The file is not
+    /// touched here: the snapshot is opened lazily (and exactly once) on the
+    /// tenant's first request.
+    pub fn register_snapshot(&self, name: &str, path: impl Into<PathBuf>) -> Result<TenantId> {
+        self.register(name, None, Some(path.into()))
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        store: Option<Arc<dyn TupleStore>>,
+        path: Option<PathBuf>,
+    ) -> Result<TenantId> {
+        let mut registry = self.shared.registry.write();
+        if registry.names.contains_key(name) {
+            return Err(ServerError::DuplicateTenant(name.to_string()));
+        }
+        let index = registry.tenants.len();
+        registry.tenants.push(Arc::new(Tenant {
+            name: name.to_string(),
+            path,
+            store: Mutex::new(store),
+        }));
+        registry.names.insert(name.to_string(), index);
+        Ok(TenantId(index))
+    }
+
+    /// Resolves a tenant id by registration name.
+    pub fn tenant(&self, name: &str) -> Result<TenantId> {
+        self.shared
+            .registry
+            .read()
+            .names
+            .get(name)
+            .copied()
+            .map(TenantId)
+            .ok_or_else(|| ServerError::UnknownTenant(name.to_string()))
+    }
+
+    /// Registered tenants as `(name, opened)` pairs, in registration order.
+    /// `opened` is false for snapshot tenants that have not yet served a
+    /// request.
+    pub fn tenants(&self) -> Vec<(String, bool)> {
+        self.shared
+            .registry
+            .read()
+            .tenants
+            .iter()
+            .map(|t| (t.name.clone(), t.store.lock().is_some()))
+            .collect()
+    }
+
+    /// A new client with the default pipeline depth
+    /// ([`DEFAULT_PIPELINE_DEPTH`]).
+    pub fn client(&self) -> ServerClient {
+        self.client_with_depth(DEFAULT_PIPELINE_DEPTH)
+    }
+
+    /// A new client able to keep `depth` requests in flight.
+    pub fn client_with_depth(&self, depth: usize) -> ServerClient {
+        ServerClient::new(Arc::clone(&self.shared), depth)
+    }
+
+    /// A point-in-time snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops the server: new submissions fail with
+    /// [`ServerError::ShuttingDown`], every queued waiter is failed with the
+    /// same typed error (never left hanging), the in-flight batch (if any)
+    /// completes, and the dispatcher thread is joined. Idempotent.
+    pub fn shutdown(&self) {
+        let mut drained: Vec<QueuedReq> = {
+            let mut q = self.shared.queue.lock();
+            q.shutdown = true;
+            q.queued_keys = 0;
+            q.entries.drain(..).collect()
+        };
+        self.shared.work_cv.notify_all();
+        self.shared
+            .fail_requests(&mut drained, &ServerError::ShuttingDown);
+        if let Some(handle) = self.dispatcher.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

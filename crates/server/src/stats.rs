@@ -1,0 +1,193 @@
+//! Lock-free observability counters for the query server.
+//!
+//! The server records everything in relaxed [`AtomicU64`] cells so the hot
+//! path never takes a lock to bump a counter; [`ServerStats`] is a consistent
+//! *enough* snapshot for dashboards and benches (individual cells are exact,
+//! cross-cell ratios can be one request stale).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Internal mutable counter cells. One instance lives in the server's shared
+/// state; [`snapshot`](StatsCells::snapshot) turns it into a [`ServerStats`].
+#[derive(Default)]
+pub(crate) struct StatsCells {
+    pub requests_enqueued: AtomicU64,
+    pub requests_completed: AtomicU64,
+    pub requests_failed: AtomicU64,
+    pub requests_shed: AtomicU64,
+    pub keys_enqueued: AtomicU64,
+    pub keys_served: AtomicU64,
+    pub batches_formed: AtomicU64,
+    pub batched_requests: AtomicU64,
+    pub max_coalesce_width: AtomicU64,
+    pub queue_delay_nanos: AtomicU64,
+    pub request_wall_nanos: AtomicU64,
+    pub exec_nanos: AtomicU64,
+    pub inline_requests: AtomicU64,
+    pub tenants_opened: AtomicU64,
+    pub tenant_open_nanos: AtomicU64,
+}
+
+impl StatsCells {
+    pub fn add(cell: &AtomicU64, n: u64) {
+        cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one merged batch that completed successfully: `width` requests
+    /// coalesced, `keys` total keys, plus the summed queue delay and
+    /// per-request wall time and the store-execution time.
+    pub fn record_batch(
+        &self,
+        width: u64,
+        keys: u64,
+        queue_delay_nanos: u64,
+        wall_nanos: u64,
+        exec_nanos: u64,
+    ) {
+        Self::add(&self.batches_formed, 1);
+        Self::add(&self.batched_requests, width);
+        Self::add(&self.requests_completed, width);
+        Self::add(&self.keys_served, keys);
+        Self::add(&self.queue_delay_nanos, queue_delay_nanos);
+        Self::add(&self.request_wall_nanos, wall_nanos);
+        Self::add(&self.exec_nanos, exec_nanos);
+        self.max_coalesce_width.fetch_max(width, Ordering::Relaxed);
+    }
+
+    /// Records one request served inline on the caller thread (no dispatcher).
+    pub fn record_inline(&self, keys: u64, wall_nanos: u64, exec_nanos: u64) {
+        Self::add(&self.inline_requests, 1);
+        Self::add(&self.requests_completed, 1);
+        Self::add(&self.keys_served, keys);
+        Self::add(&self.request_wall_nanos, wall_nanos);
+        Self::add(&self.exec_nanos, exec_nanos);
+    }
+
+    pub fn record_tenant_open(&self, elapsed: Duration) {
+        Self::add(&self.tenants_opened, 1);
+        Self::add(&self.tenant_open_nanos, elapsed.as_nanos() as u64);
+    }
+
+    pub fn snapshot(&self) -> ServerStats {
+        let load = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
+        ServerStats {
+            requests_enqueued: load(&self.requests_enqueued),
+            requests_completed: load(&self.requests_completed),
+            requests_failed: load(&self.requests_failed),
+            requests_shed: load(&self.requests_shed),
+            keys_enqueued: load(&self.keys_enqueued),
+            keys_served: load(&self.keys_served),
+            batches_formed: load(&self.batches_formed),
+            batched_requests: load(&self.batched_requests),
+            max_coalesce_width: load(&self.max_coalesce_width),
+            queue_delay_nanos: load(&self.queue_delay_nanos),
+            request_wall_nanos: load(&self.request_wall_nanos),
+            exec_nanos: load(&self.exec_nanos),
+            inline_requests: load(&self.inline_requests),
+            tenants_opened: load(&self.tenants_opened),
+            tenant_open_nanos: load(&self.tenant_open_nanos),
+        }
+    }
+}
+
+/// Point-in-time counter snapshot returned by
+/// [`QueryServer::stats`](crate::QueryServer::stats).
+///
+/// All durations are summed nanoseconds over the events counted so far;
+/// divide by the matching count (the `mean_*` helpers do) for averages. This
+/// mirrors the `LatencyBreakdown` discipline in `dm_core`: cheap relaxed
+/// counters on the hot path, derived rates at read time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests admitted past admission control.
+    pub requests_enqueued: u64,
+    /// Requests answered successfully (batched + inline).
+    pub requests_completed: u64,
+    /// Requests failed after admission (store error, shutdown drain).
+    pub requests_failed: u64,
+    /// Requests rejected by admission control with [`Overloaded`](crate::ServerError::Overloaded).
+    pub requests_shed: u64,
+    /// Keys across all admitted requests.
+    pub keys_enqueued: u64,
+    /// Keys across all successfully answered requests.
+    pub keys_served: u64,
+    /// Merged batches executed by the dispatcher.
+    pub batches_formed: u64,
+    /// Requests that travelled inside a merged batch (excludes inline).
+    pub batched_requests: u64,
+    /// Largest number of requests coalesced into a single batch.
+    pub max_coalesce_width: u64,
+    /// Summed time from enqueue to batch formation, over batched requests.
+    pub queue_delay_nanos: u64,
+    /// Summed time from enqueue to response ready, over completed requests.
+    pub request_wall_nanos: u64,
+    /// Summed time spent inside `TupleStore::lookup_batch_into`.
+    pub exec_nanos: u64,
+    /// Requests served synchronously on the caller thread (inline mode).
+    pub inline_requests: u64,
+    /// Tenant snapshots opened lazily on first request.
+    pub tenants_opened: u64,
+    /// Summed wall time of those lazy opens.
+    pub tenant_open_nanos: u64,
+}
+
+impl ServerStats {
+    /// Mean number of requests merged per dispatcher batch, or 0.0 before the
+    /// first batch. Inline requests are excluded — they never coalesce.
+    pub fn mean_coalesce_width(&self) -> f64 {
+        if self.batches_formed == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches_formed as f64
+        }
+    }
+
+    /// Mean enqueue-to-batch-formation delay over batched requests.
+    pub fn mean_queue_delay(&self) -> Duration {
+        self.queue_delay_nanos
+            .checked_div(self.batched_requests)
+            .map(Duration::from_nanos)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Mean enqueue-to-response wall time over completed requests.
+    pub fn mean_request_wall(&self) -> Duration {
+        self.request_wall_nanos
+            .checked_div(self.requests_completed)
+            .map(Duration::from_nanos)
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_batches_and_derived_means() {
+        let cells = StatsCells::default();
+        cells.record_batch(4, 400, 4_000, 8_000, 1_000);
+        cells.record_batch(2, 200, 1_000, 1_600, 500);
+        cells.record_inline(7, 900, 300);
+
+        let s = cells.snapshot();
+        assert_eq!(s.batches_formed, 2);
+        assert_eq!(s.batched_requests, 6);
+        assert_eq!(s.requests_completed, 7);
+        assert_eq!(s.keys_served, 607);
+        assert_eq!(s.max_coalesce_width, 4);
+        assert_eq!(s.inline_requests, 1);
+        assert!((s.mean_coalesce_width() - 3.0).abs() < 1e-9);
+        assert_eq!(s.mean_queue_delay(), Duration::from_nanos(5_000 / 6));
+        assert_eq!(s.mean_request_wall(), Duration::from_nanos(10_500 / 7));
+    }
+
+    #[test]
+    fn empty_stats_report_zero_means_without_dividing_by_zero() {
+        let s = ServerStats::default();
+        assert_eq!(s.mean_coalesce_width(), 0.0);
+        assert_eq!(s.mean_queue_delay(), Duration::ZERO);
+        assert_eq!(s.mean_request_wall(), Duration::ZERO);
+    }
+}

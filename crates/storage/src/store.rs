@@ -114,6 +114,44 @@ impl LookupBuffer {
         self.spans[index] = Span { start, len };
     }
 
+    /// Overwrites this buffer with the results for the contiguous key range
+    /// `[start, start + len)` of `src` — the demultiplex primitive a batching
+    /// front-end uses to hand each coalesced sub-request its own slice of a
+    /// merged batch's results.  Hits keep their values (copied into this
+    /// buffer's arena), misses stay misses, and like [`reset`](Self::reset) the
+    /// existing allocations are reused, so steady-state demuxing allocates
+    /// nothing.
+    ///
+    /// # Panics
+    /// Panics if `start + len` exceeds `src.len()`.
+    pub fn copy_range_from(&mut self, src: &LookupBuffer, start: usize, len: usize) {
+        assert!(
+            start + len <= src.len(),
+            "copy_range_from range {}..{} out of bounds for batch of {}",
+            start,
+            start + len,
+            src.len()
+        );
+        self.keys.clear();
+        self.keys.extend_from_slice(&src.keys[start..start + len]);
+        self.spans.clear();
+        self.values.clear();
+        self.hits = 0;
+        for i in start..start + len {
+            let span = src.spans[i];
+            if span == MISS {
+                self.spans.push(MISS);
+            } else {
+                let at = u32::try_from(self.values.len())
+                    .expect("lookup arena exceeds u32 span space");
+                self.values
+                    .extend_from_slice(&src.values[span.start as usize..(span.start + span.len) as usize]);
+                self.spans.push(Span { start: at, len: span.len });
+                self.hits += 1;
+            }
+        }
+    }
+
     /// Number of keys in the current batch.
     pub fn len(&self) -> usize {
         self.keys.len()
@@ -325,6 +363,55 @@ mod tests {
         }
         assert_eq!(buffer.key_capacity(), keys_cap);
         assert_eq!(buffer.value_capacity(), values_cap);
+    }
+
+    #[test]
+    fn copy_range_from_demuxes_a_merged_batch() {
+        let mut merged = LookupBuffer::new();
+        merged.reset(&[10, 20, 30, 40, 50]);
+        merged.set_hit(0, &[1]);
+        merged.set_hit(2, &[3, 33]);
+        merged.set_hit(4, &[5]);
+
+        let mut part = LookupBuffer::new();
+        part.copy_range_from(&merged, 1, 3);
+        assert_eq!(part.len(), 3);
+        assert_eq!(part.key(0), 20);
+        assert_eq!(part.get(0), None);
+        assert_eq!(part.get(1), Some(&[3u32, 33][..]));
+        assert_eq!(part.get(2), None);
+        assert_eq!(part.hit_count(), 1);
+
+        // Steady-state demuxing reuses the destination's allocations.
+        for _ in 0..20 {
+            part.copy_range_from(&merged, 0, 5);
+        }
+        let keys_cap = part.key_capacity();
+        let values_cap = part.value_capacity();
+        for _ in 0..50 {
+            part.copy_range_from(&merged, 0, 5);
+        }
+        assert_eq!(part.key_capacity(), keys_cap);
+        assert_eq!(part.value_capacity(), values_cap);
+        assert_eq!(part.hit_count(), 3);
+
+        // Empty ranges and zero-width hits round-trip too.
+        part.copy_range_from(&merged, 5, 0);
+        assert!(part.is_empty());
+        merged.reset(&[7]);
+        merged.set_hit(0, &[]);
+        part.copy_range_from(&merged, 0, 1);
+        assert!(part.is_hit(0));
+        assert_eq!(part.get(0), Some(&[][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn copy_range_from_rejects_out_of_bounds_ranges() {
+        let mut merged = LookupBuffer::new();
+        merged.reset(&[1, 2]);
+        let mut part = LookupBuffer::new();
+        part.copy_range_from(&merged, 1, 2);
     }
 
     #[test]

@@ -76,6 +76,11 @@
 //! ├── crates/persist         dm-persist   single-file snapshots (lazy partition
 //! │                                       serving via FilePartitionSource), delta
 //! │                                       WAL, PersistentStore wrapper
+//! ├── crates/server          dm-server    batched in-process QueryServer: request
+//! │                                       coalescing under a deadline, bounded
+//! │                                       queue + load-shedding watermarks,
+//! │                                       per-tenant lazy snapshot open,
+//! │                                       ServerStats observability
 //! ├── crates/data            dm-data      TPC-H / TPC-DS / synthetic / crop
 //! │                                       generators, lookup & modification workloads
 //! ├── crates/baselines       dm-baselines array/hash partitioned stores, DeepSqueeze
@@ -219,6 +224,7 @@ pub use dm_data as data;
 pub use dm_exec as exec;
 pub use dm_nn as nn;
 pub use dm_persist as persist;
+pub use dm_server as server;
 pub use dm_storage as storage;
 
 /// The most commonly used types, importable in one line.
@@ -237,6 +243,10 @@ pub mod prelude {
     pub use dm_data::tpch::TpchConfig;
     pub use dm_persist::{
         PersistError, PersistentStore, Snapshot, SnapshotExt, WalOp,
+    };
+    pub use dm_server::{
+        QueryServer, RequestReport, ServerClient, ServerConfig, ServerError, ServerStats,
+        TenantId, Ticket,
     };
     pub use dm_storage::{
         BitVec, DiskProfile, LatencyBreakdown, LookupBuffer, Metrics, MutableStore, Phase,
@@ -257,5 +267,18 @@ mod tests {
         let _ = Row::new(1, vec![2]);
         let _ = LookupBuffer::new();
         let _ = ReferenceStore::new();
+        let _ = ServerConfig::default();
+    }
+
+    #[test]
+    fn prelude_serves_lookups_through_the_query_server() {
+        let store = ReferenceStore::from_rows(&[Row::new(1, vec![10])]);
+        let server = QueryServer::new(ServerConfig::inline());
+        let tenant = server
+            .register_store("t", std::sync::Arc::new(store))
+            .unwrap();
+        let mut client = server.client();
+        assert_eq!(client.get(tenant, 1).unwrap(), Some(vec![10]));
+        assert!(server.stats().requests_completed == 1);
     }
 }

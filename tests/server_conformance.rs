@@ -1,0 +1,244 @@
+//! End-to-end guarantees of the `dm-server` subsystem against real
+//! DeepMapping tenants:
+//!
+//! * interleaved concurrent small requests through a coalescing
+//!   [`QueryServer`] return **byte-identical** results to calling
+//!   `TupleStore::lookup_batch` directly on the same store — hits, misses and
+//!   values alike,
+//! * a tenant whose deletes live in the WAL overlay (PersistentStore create →
+//!   delete → reopen) serves the same post-delete answers through the server,
+//! * multi-tenant routing never leaks a key across stores,
+//! * snapshot tenants open lazily — registration touches nothing, the first
+//!   request pays the open, the second tenant stays unopened until used,
+//! * shutdown fails queued waiters with a typed error, never a hang.
+
+use deepmapping::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dm-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Half-learnable rows so model hits, aux-table corrections and misses all
+/// occur in every batch.
+fn noisy_rows(n: u64, seed: u64) -> Vec<Row> {
+    (0..n)
+        .map(|k| {
+            let h = (k ^ seed).wrapping_mul(0x9E3779B97F4A7C15) >> 17;
+            Row::new(k, vec![((k / 16) % 4) as u32, (h % 5) as u32])
+        })
+        .collect()
+}
+
+fn quick_build(rows: &[Row]) -> DeepMapping {
+    DeepMappingBuilder::dm_z()
+        .training(TrainingConfig {
+            epochs: 8,
+            batch_size: 1024,
+            ..TrainingConfig::default()
+        })
+        .partition_bytes(4 * 1024)
+        .disk_profile(DiskProfile::free())
+        .build(rows)
+        .expect("build DeepMapping")
+}
+
+#[test]
+fn interleaved_concurrent_requests_match_direct_lookups_byte_for_byte() {
+    let rows = noisy_rows(3_000, 7);
+    let dm: Arc<DeepMapping> = Arc::new(quick_build(&rows));
+    let store: Arc<dyn TupleStore> = Arc::clone(&dm) as Arc<dyn TupleStore>;
+
+    let server = QueryServer::new(ServerConfig::coalescing(Duration::from_micros(100), 256));
+    let tenant = server.register_store("dm", Arc::clone(&store)).unwrap();
+
+    // 4 client threads interleave small requests of varying shapes; each
+    // compares the server's answer against a direct lookup on the same store.
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let server = &server;
+            let dm = &dm;
+            scope.spawn(move || {
+                let mut client = server.client();
+                for round in 0..150u64 {
+                    let base = (t * 811 + round * 13) % 3_400;
+                    let keys: Vec<u64> = match round % 3 {
+                        0 => vec![base],
+                        1 => vec![base, base + 1_700, base + 500_000],
+                        _ => (base..base + 7).collect(),
+                    };
+                    let via_server = client.lookup_batch(tenant, &keys).unwrap();
+                    let direct = dm.lookup_batch(&keys).unwrap();
+                    assert_eq!(
+                        via_server, direct,
+                        "thread {t} round {round}: server answer diverged for {keys:?}"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.requests_completed, 4 * 150);
+    assert_eq!(stats.requests_failed, 0);
+    assert!(stats.batches_formed > 0);
+    assert!(
+        stats.batches_formed < stats.requests_completed,
+        "coalescing never merged anything: {} batches for {} requests",
+        stats.batches_formed,
+        stats.requests_completed
+    );
+}
+
+#[test]
+fn wal_overlay_deletes_are_visible_through_the_server() {
+    let dir = temp_dir("wal-overlay");
+    let path = dir.join("tenant.dmss");
+    let rows = noisy_rows(1_200, 3);
+    let dm = quick_build(&rows);
+    let mut persistent = PersistentStore::create(dm, &path).expect("create persistent store");
+
+    // Delete a stripe and update a few rows: both land in the WAL, not the
+    // snapshot, so a reopen serves them from the replayed overlay.
+    let deleted: Vec<u64> = (0..1_200).step_by(9).collect();
+    persistent.delete(&deleted).unwrap();
+    persistent
+        .update(&[Row::new(4, vec![3, 3]), Row::new(13, vec![2, 1])])
+        .unwrap();
+    drop(persistent);
+
+    let reopened = PersistentStore::open(&path).expect("reopen with WAL replay");
+    let probe: Vec<u64> = (0..1_260).collect();
+    let expected = reopened.lookup_batch(&probe).unwrap();
+    assert!(expected[0].is_none(), "key 0 was deleted via the WAL");
+    assert_eq!(expected[4].as_deref(), Some(&[3u32, 3][..]));
+
+    let server = QueryServer::new(ServerConfig::coalescing(Duration::from_micros(100), 128));
+    let store: Arc<dyn TupleStore> = Arc::new(reopened);
+    let tenant = server.register_store("walled", store).unwrap();
+    let mut client = server.client();
+    for chunk in probe.chunks(11) {
+        let got = client.lookup_batch(tenant, chunk).unwrap();
+        let want: Vec<_> = chunk
+            .iter()
+            .map(|&k| expected[k as usize].clone())
+            .collect();
+        assert_eq!(got, want, "overlay answers diverged for {chunk:?}");
+    }
+}
+
+#[test]
+fn multi_tenant_routing_keeps_stores_separate() {
+    let rows_a = noisy_rows(900, 11);
+    let rows_b = noisy_rows(900, 77);
+    let a: Arc<dyn TupleStore> = Arc::new(quick_build(&rows_a));
+    let b: Arc<dyn TupleStore> = Arc::new(quick_build(&rows_b));
+
+    let server = QueryServer::new(ServerConfig::coalescing(Duration::from_micros(80), 128));
+    let ta = server.register_store("a", Arc::clone(&a)).unwrap();
+    let tb = server.register_store("b", Arc::clone(&b)).unwrap();
+    assert_eq!(server.tenant("a").unwrap(), ta);
+    assert_eq!(server.tenant("b").unwrap(), tb);
+
+    // Interleave requests against both tenants from two threads; answers must
+    // match each tenant's own store even when coalesced back-to-back.
+    std::thread::scope(|scope| {
+        for (tenant, store) in [(ta, &a), (tb, &b)] {
+            let server = &server;
+            scope.spawn(move || {
+                let mut client = server.client();
+                for round in 0..80u64 {
+                    let keys: Vec<u64> = (round * 9..round * 9 + 5).collect();
+                    let got = client.lookup_batch(tenant, &keys).unwrap();
+                    let want = store.lookup_batch(&keys).unwrap();
+                    assert_eq!(got, want);
+                }
+            });
+        }
+    });
+    assert_eq!(server.stats().requests_failed, 0);
+}
+
+#[test]
+fn snapshot_tenants_open_lazily_on_first_request() {
+    let dir = temp_dir("lazy-open");
+    let path_a = dir.join("a.dmss");
+    let path_b = dir.join("b.dmss");
+    let rows = noisy_rows(1_000, 5);
+    let dm = quick_build(&rows);
+    let expected = dm.lookup_batch(&[1, 500, 2_000]).unwrap();
+    dm.write_snapshot(&path_a).expect("write snapshot a");
+    dm.write_snapshot(&path_b).expect("write snapshot b");
+    drop(dm);
+
+    let server = QueryServer::new(ServerConfig::coalescing(Duration::from_micros(100), 128));
+    let ta = server.register_snapshot("a", &path_a).unwrap();
+    let _tb = server.register_snapshot("b", &path_b).unwrap();
+    assert_eq!(
+        server.tenants(),
+        vec![("a".to_string(), false), ("b".to_string(), false)],
+        "registration must not open any snapshot"
+    );
+    assert_eq!(server.stats().tenants_opened, 0);
+
+    let mut client = server.client();
+    let got = client.lookup_batch(ta, &[1, 500, 2_000]).unwrap();
+    assert_eq!(got, expected);
+
+    let stats = server.stats();
+    assert_eq!(stats.tenants_opened, 1, "only the touched tenant opens");
+    assert_eq!(
+        server.tenants(),
+        vec![("a".to_string(), true), ("b".to_string(), false)]
+    );
+    assert!(stats.tenant_open_nanos > 0);
+}
+
+#[test]
+fn shutdown_releases_queued_waiters_with_a_typed_error() {
+    let rows = noisy_rows(600, 1);
+    let store: Arc<dyn TupleStore> = Arc::new(quick_build(&rows));
+    // A deadline far in the future keeps queued requests pending until
+    // shutdown reaches them.
+    let server = Arc::new(QueryServer::new(ServerConfig::coalescing(
+        Duration::from_secs(60),
+        1_000_000,
+    )));
+    let tenant = server.register_store("t", store).unwrap();
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut waiters = Vec::new();
+    for w in 0..3u64 {
+        let server = Arc::clone(&server);
+        let tx = tx.clone();
+        waiters.push(std::thread::spawn(move || {
+            let mut client = server.client();
+            let ticket = client.submit(tenant, &[w, w + 100]).unwrap();
+            let mut out = LookupBuffer::new();
+            tx.send(client.wait_into(ticket, &mut out)).unwrap();
+        }));
+    }
+    drop(tx);
+
+    std::thread::sleep(Duration::from_millis(30));
+    server.shutdown();
+
+    for _ in 0..3 {
+        let outcome = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("every queued waiter must be released by shutdown, not hang");
+        assert!(
+            matches!(outcome, Err(ServerError::ShuttingDown)),
+            "expected ShuttingDown, got {outcome:?}"
+        );
+    }
+    for waiter in waiters {
+        waiter.join().unwrap();
+    }
+    assert_eq!(server.stats().requests_failed, 3);
+}
