@@ -18,7 +18,8 @@ use dm_bench::{
     measure_cold_start, measure_lookup_samples,
     open_loop::{self, OpenLoopConfig, OpenLoopOutcome},
     report, write_lookup_json, BenchScale, ColdStartRecord, InferenceKernelRecord,
-    LookupThroughputRecord, MachineProfile, MeasuredLatency, ServerLoadRecord,
+    LookupThroughputRecord, MachineProfile, MeasuredLatency, ObsOverheadRecord,
+    ObservabilityReport, ServerLoadRecord, StageLatencyRecord, SystemUnderTest,
 };
 use dm_core::{
     DeepMappingBuilder, MappingSchema, Quantization, SearchStrategy, TrainingConfig, KEY_HEADROOM,
@@ -190,6 +191,10 @@ fn main() {
             "  {}",
             report::pool_counters_line(&dm.metrics().snapshot())
         );
+        // The MT rows used to read like per-op latency grew with threads —
+        // that was the phase sum (CPU across tasks) standing in for time.
+        // Both meanings, side by side, from the last round's metrics:
+        println!("  {}", report::wall_vs_phases_line(&dm.metrics().snapshot()));
         // The threads=1 run is printed for context but not recorded: its
         // methodology (fresh store, thread spawn, round wall-clock) differs from
         // the sweep's, and the JSON already carries the canonical
@@ -308,15 +313,101 @@ fn main() {
         }
     };
 
+    // Observability: per-stage latency percentiles for the standard DM-Z row,
+    // plus the measured cost of recording them (the same batch driven with
+    // tracing on, then with the kill switch off).
+    report::banner(
+        "BENCH_lookup (observability)",
+        "per-stage p50/p95/p99 for DM-Z and the obs-on vs obs-off overhead",
+    );
+    let obs_report = systems
+        .iter_mut()
+        .find(|s| s.name == "DM-Z")
+        .map(|dmz| run_observability_section(dmz, &dataset, scale.batch(100_000)));
+
     match write_lookup_json(
         &scale,
         &records,
         &cold_records,
         &inference_records,
         &server_records,
+        obs_report.as_ref(),
     ) {
         Ok(path) => println!("\nwrote {} ({} records)", path.display(), records.len()),
         Err(err) => eprintln!("\nfailed to write BENCH_lookup.json: {err}"),
+    }
+}
+
+/// Drives the standard DM-Z row with stage tracing enabled, reads the
+/// per-stage histograms back out, then reruns the identical batch with the
+/// `DM_OBS` kill switch off so the report can state what the instrumentation
+/// itself costs.  Stage histograms are process-wide, so the section resets
+/// them first and owns them for its duration.
+fn run_observability_section(
+    system: &mut SystemUnderTest,
+    dataset: &dm_data::Dataset,
+    batch: usize,
+) -> ObservabilityReport {
+    let keys = LookupWorkload::hits_only(batch).generate(dataset);
+
+    dm_obs::set_enabled(true);
+    dm_obs::trace::reset_stage_histograms();
+    let on_samples = measure_lookup_samples(system, &keys, SAMPLES);
+    let stages: Vec<StageLatencyRecord> = dm_obs::Stage::all()
+        .iter()
+        .filter_map(|&stage| {
+            StageLatencyRecord::from_snapshot(stage, &dm_obs::trace::stage_snapshot(stage))
+        })
+        .collect();
+
+    dm_obs::set_enabled(false);
+    let off_samples = measure_lookup_samples(system, &keys, SAMPLES);
+    dm_obs::set_enabled(true);
+
+    let kps = |samples: &[MeasuredLatency]| {
+        LookupThroughputRecord::from_samples(&system.name, 1, batch, samples).keys_per_second
+    };
+    let overhead = ObsOverheadRecord {
+        samples: SAMPLES,
+        obs_on_kps: kps(&on_samples),
+        obs_off_kps: kps(&off_samples),
+    };
+
+    println!("{} B={batch}, {SAMPLES} samples per mode\n", system.name);
+    report::row(
+        "stage",
+        &[
+            "count".to_string(),
+            "p50 ms".to_string(),
+            "p95 ms".to_string(),
+            "p99 ms".to_string(),
+            "max ms".to_string(),
+        ],
+    );
+    for stage in &stages {
+        report::row(
+            &stage.stage,
+            &[
+                format!("{}", stage.count),
+                format!("{:.4}", stage.p50_ms),
+                format!("{:.4}", stage.p95_ms),
+                format!("{:.4}", stage.p99_ms),
+                format!("{:.4}", stage.max_ms),
+            ],
+        );
+    }
+    println!(
+        "\nobs overhead: {:.0} keys/s traced vs {:.0} keys/s with DM_OBS=off ({:+.2}%)",
+        overhead.obs_on_kps,
+        overhead.obs_off_kps,
+        overhead.delta_pct(),
+    );
+
+    ObservabilityReport {
+        system: system.name.clone(),
+        batch_size: batch,
+        stages,
+        overhead,
     }
 }
 

@@ -520,6 +520,78 @@ pub struct ServerLoadRecord {
     pub mean_coalesce_width: f64,
 }
 
+/// Per-stage latency distribution for one pipeline stage, read from the
+/// process-wide `dm_obs` stage histograms after a measured section.  Values in
+/// milliseconds; percentiles carry the histogram's ≤ 12.5% bucket error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageLatencyRecord {
+    /// Stage slug (`existence`, `inference`, `probe`, ...).
+    pub stage: String,
+    /// Spans recorded for the stage over the measured section.
+    pub count: u64,
+    /// Median span duration in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile span duration in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile span duration in milliseconds.
+    pub p99_ms: f64,
+    /// Largest span duration in milliseconds (exact, not bucketed).
+    pub max_ms: f64,
+}
+
+impl StageLatencyRecord {
+    /// Builds a record from a stage's histogram snapshot; `None` when the
+    /// stage recorded nothing over the section.
+    pub fn from_snapshot(stage: dm_obs::Stage, snap: &dm_obs::HistogramSnapshot) -> Option<Self> {
+        (snap.count() > 0).then(|| StageLatencyRecord {
+            stage: stage.slug().to_string(),
+            count: snap.count(),
+            p50_ms: snap.p50() as f64 / 1e6,
+            p95_ms: snap.p95() as f64 / 1e6,
+            p99_ms: snap.p99() as f64 / 1e6,
+            max_ms: snap.max() as f64 / 1e6,
+        })
+    }
+}
+
+/// The measured cost of observability itself: the same batch driven with
+/// recording on and with the `DM_OBS` kill switch off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsOverheadRecord {
+    /// Measured repetitions per mode.
+    pub samples: usize,
+    /// Throughput with stage tracing recording, keys per second.
+    pub obs_on_kps: f64,
+    /// Throughput with recording compiled to no-ops, keys per second.
+    pub obs_off_kps: f64,
+}
+
+impl ObsOverheadRecord {
+    /// Relative throughput cost of observability in percent (positive =
+    /// recording is slower).
+    pub fn delta_pct(&self) -> f64 {
+        if self.obs_off_kps > 0.0 {
+            (self.obs_off_kps - self.obs_on_kps) / self.obs_off_kps * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The `observability` section of `BENCH_lookup.json`: per-stage latency
+/// percentiles for the standard DM-Z row plus the obs-on vs obs-off overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservabilityReport {
+    /// System the stages were sampled from (`DM-Z`).
+    pub system: String,
+    /// Keys per measured batch.
+    pub batch_size: usize,
+    /// Per-stage distributions, pipeline order, silent stages omitted.
+    pub stages: Vec<StageLatencyRecord>,
+    /// Measured recording overhead.
+    pub overhead: ObsOverheadRecord,
+}
+
 /// Serializes throughput records as a `BENCH_lookup.json` document so successive PRs
 /// can diff per-backend batch-lookup throughput mechanically.  (Hand-rolled JSON —
 /// the offline build environment has no serde.)
@@ -529,6 +601,7 @@ pub fn lookup_records_to_json(
     cold_start: &[ColdStartRecord],
     inference: &[InferenceKernelRecord],
     server: &[ServerLoadRecord],
+    observability: Option<&ObservabilityReport>,
 ) -> String {
     fn escape(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -601,6 +674,39 @@ pub fn lookup_records_to_json(
         ));
     }
     out.push_str("  ],\n");
+    match observability {
+        Some(obs) => {
+            out.push_str("  \"observability\": {\n");
+            out.push_str(&format!(
+                "    \"system\": \"{}\", \"batch_size\": {},\n",
+                escape(&obs.system),
+                obs.batch_size
+            ));
+            out.push_str("    \"stages\": [\n");
+            for (i, stage) in obs.stages.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"stage\": \"{}\", \"count\": {}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"p99_ms\": {:.6}, \"max_ms\": {:.6}}}{}\n",
+                    escape(&stage.stage),
+                    stage.count,
+                    finite(stage.p50_ms),
+                    finite(stage.p95_ms),
+                    finite(stage.p99_ms),
+                    finite(stage.max_ms),
+                    if i + 1 == obs.stages.len() { "" } else { "," }
+                ));
+            }
+            out.push_str("    ],\n");
+            out.push_str(&format!(
+                "    \"overhead\": {{\"samples\": {}, \"obs_on_kps\": {:.3}, \"obs_off_kps\": {:.3}, \"delta_pct\": {:.3}}}\n",
+                obs.overhead.samples,
+                finite(obs.overhead.obs_on_kps),
+                finite(obs.overhead.obs_off_kps),
+                finite(obs.overhead.delta_pct()),
+            ));
+            out.push_str("  },\n");
+        }
+        None => out.push_str("  \"observability\": null,\n"),
+    }
     out.push_str("  \"cold_start\": [\n");
     for (i, record) in cold_start.iter().enumerate() {
         out.push_str(&format!(
@@ -631,6 +737,7 @@ pub fn write_lookup_json(
     cold_start: &[ColdStartRecord],
     inference: &[InferenceKernelRecord],
     server: &[ServerLoadRecord],
+    observability: Option<&ObservabilityReport>,
 ) -> std::io::Result<std::path::PathBuf> {
     let mut dir = std::env::var_os("CARGO_MANIFEST_DIR")
         .map(std::path::PathBuf::from)
@@ -651,7 +758,7 @@ pub fn write_lookup_json(
     let path = dir.join("BENCH_lookup.json");
     std::fs::write(
         &path,
-        lookup_records_to_json(scale, records, cold_start, inference, server),
+        lookup_records_to_json(scale, records, cold_start, inference, server, observability),
     )?;
     Ok(path)
 }
@@ -749,6 +856,18 @@ pub mod report {
     /// Formats a ratio/percentage cell.
     pub fn ratio_cell(ratio: f64) -> String {
         format!("{:.3}", ratio)
+    }
+
+    /// One-line wall-vs-phase-sum report, keeping the two time meanings apart:
+    /// `wall_nanos` is measured on the caller thread around the whole batch,
+    /// while the phase sum adds CPU time across all pool tasks and can exceed
+    /// wall under parallelism.
+    pub fn wall_vs_phases_line(snapshot: &dm_storage::LatencyBreakdown) -> String {
+        format!(
+            "time: {:.2} ms wall / {:.2} ms phase-sum (CPU across tasks; > wall means parallel overlap)",
+            snapshot.wall_nanos as f64 / 1e6,
+            snapshot.total().as_secs_f64() * 1e3,
+        )
     }
 
     /// One-line buffer-pool / runtime observability summary for a measured system,
@@ -864,8 +983,34 @@ mod tests {
             batches: 400,
             mean_coalesce_width: 122.5,
         }];
-        let json = lookup_records_to_json(&scale, &records, &cold, &inference, &server);
+        let obs = ObservabilityReport {
+            system: "DM-Z".into(),
+            batch_size: 25_000,
+            stages: vec![StageLatencyRecord {
+                stage: "inference".into(),
+                count: 33,
+                p50_ms: 0.8,
+                p95_ms: 1.1,
+                p99_ms: 1.3,
+                max_ms: 1.31,
+            }],
+            overhead: ObsOverheadRecord {
+                samples: 33,
+                obs_on_kps: 99_000.0,
+                obs_off_kps: 100_000.0,
+            },
+        };
+        let json =
+            lookup_records_to_json(&scale, &records, &cold, &inference, &server, Some(&obs));
         assert!(json.contains("\"benchmark\": \"lookup_batch\""));
+        assert!(json.contains("\"observability\": {"));
+        assert!(json.contains("\"stage\": \"inference\""));
+        assert!(json.contains("\"obs_on_kps\": 99000.000"));
+        assert!(json.contains("\"delta_pct\": 1.000"));
+        assert!((obs.overhead.delta_pct() - 1.0).abs() < 1e-9);
+        let without =
+            lookup_records_to_json(&scale, &records, &cold, &inference, &server, None);
+        assert!(without.contains("\"observability\": null"));
         assert!(json.contains("\"cold_start\""));
         assert!(json.contains("\"inference\""));
         assert!(json.contains("\"shape\": \"35x100\""));
@@ -929,6 +1074,30 @@ mod tests {
         assert_eq!(record.p95_ms, 30.0);
         assert_eq!(record.p99_ms, Some(31.0));
         assert!(record.p50_ms <= record.p95_ms && record.p95_ms <= 31.0);
+    }
+
+    #[test]
+    fn stage_record_reads_histogram_snapshots_and_skips_silent_stages() {
+        let hist = dm_obs::Histogram::new();
+        let empty = StageLatencyRecord::from_snapshot(dm_obs::Stage::Probe, &hist.snapshot());
+        assert_eq!(empty, None, "silent stages are omitted, not zero-filled");
+        hist.record_nanos(2_000_000);
+        let record =
+            StageLatencyRecord::from_snapshot(dm_obs::Stage::Probe, &hist.snapshot()).unwrap();
+        assert_eq!(record.stage, "probe");
+        assert_eq!(record.count, 1);
+        assert_eq!(record.max_ms, 2.0, "max is exact");
+        assert!(record.p50_ms >= 2.0 && record.p50_ms <= 2.0 * 1.125);
+    }
+
+    #[test]
+    fn wall_vs_phases_line_keeps_both_time_meanings() {
+        let metrics = Metrics::new();
+        metrics.add_time(dm_storage::Phase::NeuralNetwork, Duration::from_millis(8));
+        metrics.add_wall(Duration::from_millis(5));
+        let line = report::wall_vs_phases_line(&metrics.snapshot());
+        assert!(line.contains("5.00 ms wall"), "{line}");
+        assert!(line.contains("8.00 ms phase-sum"), "{line}");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::Result;
 use dm_compress::Codec;
 use dm_exec::ThreadPool;
+use dm_obs::{Stage, Trace};
 use dm_storage::layout::{partition_rows, ArrayPartition};
 use dm_storage::{BufferPool, DiskProfile, Metrics, PartitionSource, Phase, Row, SimulatedDisk};
 use std::collections::{BTreeMap, BTreeSet};
@@ -289,12 +290,14 @@ impl AuxTable {
         (key <= self.directory[idx].max_key).then_some(idx)
     }
 
-    fn load_partition(&self, idx: usize) -> Result<Arc<ArrayPartition>> {
+    /// Loads partition `idx` through the single-flight buffer pool, recording
+    /// pool wait/load spans on `trace` when the caller carries one.
+    fn load_partition(&self, idx: usize, trace: Option<&Trace>) -> Result<Arc<ArrayPartition>> {
         let meta = self.directory[idx];
         let source = self.backing.source();
         let metrics = &self.metrics;
         self.pool
-            .get_or_load(meta.disk_id, || {
+            .get_or_load_observed(meta.disk_id, trace, || {
                 let payload = metrics.time(Phase::LoadAndDecompress, || {
                     source.read_partition(meta.disk_id, metrics)
                 })?;
@@ -321,7 +324,7 @@ impl AuxTable {
         else {
             return Ok(None);
         };
-        let partition = self.load_partition(idx)?;
+        let partition = self.load_partition(idx, None)?;
         Ok(self
             .metrics
             .time(Phase::AuxiliaryLookup, || partition.get(key).map(|v| v.to_vec())))
@@ -367,7 +370,7 @@ impl AuxTable {
         sink: &mut dyn FnMut(usize, &[u32]),
     ) -> Result<()> {
         let plan = self.plan_probes(keys);
-        self.probe_planned(plan, keys, exec, sink)
+        self.probe_planned(plan, keys, exec, None, sink)
     }
 
     /// Whether partition `idx` is decoded and resident in the buffer pool right
@@ -382,8 +385,8 @@ impl AuxTable {
     /// body.  Errors are swallowed: a failed prefetch leaves the partition
     /// cold, and the stage-3 probe retries the load and surfaces the error
     /// through the lookup path.
-    pub(crate) fn prefetch_partition(&self, idx: usize) {
-        let _ = self.load_partition(idx);
+    pub(crate) fn prefetch_partition(&self, idx: usize, trace: Option<&Trace>) {
+        let _ = self.load_partition(idx, trace);
     }
 
     /// Decoded (pool-resident) size estimate of partition `idx`, matching what
@@ -415,6 +418,7 @@ impl AuxTable {
         plan: ProbePlan,
         keys: &[u64],
         exec: &ThreadPool,
+        trace: Option<&Trace>,
         sink: &mut dyn FnMut(usize, &[u32]),
     ) -> Result<()> {
         for qi in plan.resolved {
@@ -429,7 +433,7 @@ impl AuxTable {
             exec.scope(|s| {
                 for (slot, (idx, query_indices)) in results.iter_mut().zip(groups.iter()) {
                     s.spawn(move || {
-                        *slot = Some(self.probe_group(*idx, query_indices, keys));
+                        *slot = Some(self.probe_group(*idx, query_indices, keys, trace));
                     });
                 }
             });
@@ -441,7 +445,8 @@ impl AuxTable {
             }
         } else {
             for (idx, query_indices) in &groups {
-                let partition = self.load_partition(*idx)?;
+                let partition = self.load_partition(*idx, trace)?;
+                let begin = std::time::Instant::now();
                 self.metrics.time(Phase::AuxiliaryLookup, || {
                     for &qi in query_indices {
                         if let Some(values) = partition.get(keys[qi]) {
@@ -449,6 +454,9 @@ impl AuxTable {
                         }
                     }
                 });
+                if let Some(trace) = trace {
+                    trace.record_span(Stage::Probe, begin, begin.elapsed());
+                }
             }
         }
         Ok(())
@@ -456,14 +464,24 @@ impl AuxTable {
 
     /// Probes one partition group (pool task body of the parallel stage-3 path):
     /// loads the partition through the single-flight pool and collects the hits
-    /// into an owned, flat per-group arena.
-    fn probe_group(&self, idx: usize, query_indices: &[usize], keys: &[u64]) -> Result<GroupHits> {
-        let partition = self.load_partition(idx)?;
+    /// into an owned, flat per-group arena.  The probe search records a
+    /// [`Stage::Probe`] span on `trace` (the load records its own pool spans),
+    /// which is safe from a pool worker — trace recording is lock-free and the
+    /// scope barrier orders it before `finish`.
+    fn probe_group(
+        &self,
+        idx: usize,
+        query_indices: &[usize],
+        keys: &[u64],
+        trace: Option<&Trace>,
+    ) -> Result<GroupHits> {
+        let partition = self.load_partition(idx, trace)?;
         let mut hits = GroupHits {
             columns: self.value_columns,
             qis: Vec::new(),
             values: Vec::new(),
         };
+        let begin = std::time::Instant::now();
         self.metrics.time(Phase::AuxiliaryLookup, || {
             for &qi in query_indices {
                 if let Some(values) = partition.get(keys[qi]) {
@@ -472,6 +490,9 @@ impl AuxTable {
                 }
             }
         });
+        if let Some(trace) = trace {
+            trace.record_span(Stage::Probe, begin, begin.elapsed());
+        }
         Ok(hits)
     }
 
@@ -530,7 +551,7 @@ impl AuxTable {
     fn key_in_partitions(&self, key: u64) -> bool {
         match self.locate(key) {
             Some(idx) => self
-                .load_partition(idx)
+                .load_partition(idx, None)
                 .map(|p| p.get(key).is_some())
                 .unwrap_or(false),
             None => false,

@@ -68,6 +68,7 @@ use crate::aux_table::AuxTable;
 use crate::model::MappingModel;
 use crate::Result;
 use dm_exec::ThreadPool;
+use dm_obs::{Stage, Trace};
 use dm_storage::{BitVec, LookupBuffer, Metrics, Phase};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -146,7 +147,27 @@ impl<'a> QueryPipeline<'a> {
         if keys.is_empty() {
             return Ok(());
         }
+        // Wall time is measured here, on the calling thread, around the whole
+        // batch: unlike the per-phase sums it never double-counts parallel
+        // work (`LatencyBreakdown::wall_nanos` vs `total()`).  The trace
+        // records the batch's stage timeline; `finish` publishes it to the
+        // per-thread ring and — past the `DM_OBS_SLOW_MS` threshold — to the
+        // slow-batch capture ring.  Both are inert under `DM_OBS=off`.
+        let batch_start = Instant::now();
+        let trace = Trace::start("lookup_batch");
+        let result = self.execute_traced(keys, out, &trace);
+        self.metrics.add_wall(batch_start.elapsed());
+        trace.finish();
+        result
+    }
+
+    /// The staged dataflow behind [`execute_into`], with the batch's `trace`
+    /// threaded through every stage (and into the pool tasks stages 2 and 3
+    /// spawn).
+    fn execute_traced(&self, keys: &[u64], out: &mut LookupBuffer, trace: &Trace) -> Result<()> {
+        let stage1_begin = Instant::now();
         let split = self.split_by_existence(keys);
+        trace.record_span(Stage::Existence, stage1_begin, stage1_begin.elapsed());
         let surviving = split.surviving_keys();
         if surviving.is_empty() {
             return Ok(());
@@ -156,7 +177,9 @@ impl<'a> QueryPipeline<'a> {
         // Stage 3 is *planned* before stage 2 runs: the probe plan depends only
         // on the keys, so the partitions it names can start loading while the
         // model is still inferring.
+        let plan_begin = Instant::now();
         let plan = self.aux.plan_probes(surviving);
+        trace.record_span(Stage::Plan, plan_begin, plan_begin.elapsed());
         // Only a parallel pool can overlap, so only then is it worth probing
         // pool residency (one shard lock per touched partition); a serial pool
         // skips straight to load-at-probe.  Never prefetch past what the pool
@@ -194,22 +217,27 @@ impl<'a> QueryPipeline<'a> {
         let mut predictions = out.take_scratch();
         let inference = if !cold.is_empty() {
             let load_nanos = AtomicU64::new(0);
-            let (inference, inference_wall) = self.exec.scope(|s| {
+            let (inference, inference_begin, inference_wall) = self.exec.scope(|s| {
                 for &idx in &cold {
                     let load_nanos = &load_nanos;
                     s.spawn(move || {
                         let start = Instant::now();
-                        self.aux.prefetch_partition(idx);
-                        load_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        self.aux.prefetch_partition(idx, Some(trace));
+                        let elapsed = start.elapsed();
+                        load_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+                        // The scope barrier sequences these cross-thread event
+                        // writes before `trace.finish()` on the caller.
+                        trace.record_span(Stage::Prefetch, start, elapsed);
                     });
                 }
                 let start = Instant::now();
                 let result = self
                     .model
                     .predict_into_on(self.exec, surviving, &mut predictions);
-                (result, start.elapsed())
+                (result, start, start.elapsed())
             });
             self.metrics.add_time(Phase::NeuralNetwork, inference_wall);
+            trace.record_span(Stage::Inference, inference_begin, inference_wall);
             // The scope is a barrier, so a prefetched partition is only absent
             // now if its load failed or memory pressure already evicted it.
             let hits = cold
@@ -225,10 +253,13 @@ impl<'a> QueryPipeline<'a> {
             );
             inference
         } else {
-            self.metrics.time(Phase::NeuralNetwork, || {
+            let inference_begin = Instant::now();
+            let result = self.metrics.time(Phase::NeuralNetwork, || {
                 self.model
                     .predict_into_on(self.exec, surviving, &mut predictions)
-            })
+            });
+            trace.record_span(Stage::Inference, inference_begin, inference_begin.elapsed());
+            result
         };
         let columns = match inference {
             Ok(columns) => columns,
@@ -246,13 +277,14 @@ impl<'a> QueryPipeline<'a> {
         let positions = &split.surviving_positions;
         let validated = self
             .aux
-            .probe_planned(plan, surviving, self.exec, &mut |si, values| {
+            .probe_planned(plan, surviving, self.exec, Some(trace), &mut |si, values| {
                 out.set_hit(positions[si], values);
             });
 
         // Stage 4: merge — surviving keys the auxiliary table did not override take
         // the model's prediction, restoring the original batch order via positions.
         if validated.is_ok() {
+            let merge_begin = Instant::now();
             self.metrics.time(Phase::Other, || {
                 for (si, &position) in positions.iter().enumerate() {
                     if !out.is_hit(position) {
@@ -260,6 +292,7 @@ impl<'a> QueryPipeline<'a> {
                     }
                 }
             });
+            trace.record_span(Stage::Merge, merge_begin, merge_begin.elapsed());
         }
         out.restore_scratch(predictions);
         // Charge the runtime activity this batch drove (approximate when several

@@ -1,0 +1,378 @@
+//! Lock-free log2-bucketed latency histograms.
+//!
+//! A [`Histogram`] is a fixed-size array of relaxed [`AtomicU64`] buckets: a
+//! recorded value selects its bucket from its most-significant bit plus
+//! [`SUB_BITS`] bits of mantissa, so every bucket spans at most `1/2^SUB_BITS`
+//! (12.5%) of its lower bound.  Recording is two relaxed atomic adds and one
+//! `fetch_max` — no locks, no allocation, safe from any thread.
+//!
+//! ## Accuracy contract
+//!
+//! * `count` and `sum` are exact: every recorded value contributes exactly once
+//!   (relaxed adds never lose increments, they only reorder).
+//! * Percentiles are nearest-rank over the bucket counts and are reported as
+//!   the *upper bound* of the selected bucket (clamped to the exact observed
+//!   maximum), so a reported quantile is `>=` the true sample quantile and at
+//!   most 12.5% + 1ns above it.
+//! * A [`snapshot`](Histogram::snapshot) taken while writers are active is a
+//!   *consistent-enough* view: each bucket is exact, but buckets may be offset
+//!   by in-flight recordings (the usual relaxed-counter caveat).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Bits of linear mantissa per power-of-two range.  8 sub-buckets per octave
+/// bounds the relative quantization error at 12.5%.
+pub const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Total number of buckets: values below `2^SUB_BITS` are exact (one bucket per
+/// value); every octave above contributes `2^SUB_BITS` linear sub-buckets.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS) + SUB;
+
+/// Bucket index for a value — monotone in `value`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let offset = (value >> (msb - SUB_BITS)) & (SUB as u64 - 1);
+    (((msb - SUB_BITS + 1) as usize) << SUB_BITS) + offset as usize
+}
+
+/// Inclusive `(low, high)` value range covered by bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB {
+        return (index as u64, index as u64);
+    }
+    let group = (index >> SUB_BITS) as u32;
+    let msb = group + SUB_BITS - 1;
+    let offset = (index & (SUB - 1)) as u64;
+    let low = (1u64 << msb) + (offset << (msb - SUB_BITS));
+    let high = low + ((1u64 << (msb - SUB_BITS)) - 1);
+    (low, high)
+}
+
+/// A mergeable, lock-free, fixed-size latency histogram (see the module docs
+/// for the accuracy contract).  Values are conventionally nanoseconds but any
+/// `u64` works.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation, in nanoseconds.  Three relaxed atomic ops, no
+    /// locks.
+    #[inline]
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Records one observation given as a [`Duration`].
+    #[inline]
+    pub fn record_duration(&self, duration: Duration) {
+        self.record_nanos(duration.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Point-in-time copy of the bucket counts (see the module-level
+    /// consistency caveat for concurrent writers).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every bucket.  Intended for quiescent use (e.g. a benchmark
+    /// resetting between measurement sections); concurrent recordings during a
+    /// clear may survive it or be lost, but never corrupt the histogram.
+    pub fn clear(&self) {
+        for bucket in self.buckets.iter() {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; NUM_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Nearest-rank quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th smallest observation, clamped to the
+    /// exact observed maximum.  Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.counts.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return bucket_bounds(index).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (nearest-rank p50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// Nearest-rank p95.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// Nearest-rank p99.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Folds `other` into `self`.  Merging is exactly record-union: a merged
+    /// snapshot is indistinguishable from one histogram that recorded both
+    /// input streams.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank quantile over a sorted sample — the oracle the
+    /// bucketed percentile is validated against.
+    fn oracle_percentile(sorted: &[u64], q: f64) -> u64 {
+        assert!(!sorted.is_empty());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Deterministic pseudo-random stream (no external crates in dm-obs).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_are_a_partition() {
+        // Every bucket's bounds must invert bucket_index, and consecutive
+        // buckets must tile the u64 range with no gap or overlap.
+        let mut expected_low = 0u64;
+        for index in 0..NUM_BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            assert_eq!(low, expected_low, "gap/overlap before bucket {index}");
+            assert!(high >= low);
+            assert_eq!(bucket_index(low), index);
+            assert_eq!(bucket_index(high), index);
+            if high == u64::MAX {
+                assert_eq!(index, NUM_BUCKETS - 1);
+                return;
+            }
+            expected_low = high + 1;
+        }
+        panic!("buckets did not reach u64::MAX");
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        let mut state = 7u64;
+        for _ in 0..10_000 {
+            let v = splitmix(&mut state);
+            let (low, high) = bucket_bounds(bucket_index(v));
+            assert!(low <= v && v <= high);
+            // Bucket width is at most 1/8 of the value's magnitude.
+            assert!(high - low <= (v >> SUB_BITS) + 1);
+        }
+    }
+
+    #[test]
+    fn percentiles_match_sorted_vec_oracle_within_bucket_error() {
+        let mut state = 42u64;
+        for workload in 0..20 {
+            let n = 50 + (workload * 97) % 2_000;
+            let hist = Histogram::new();
+            let mut samples: Vec<u64> = (0..n)
+                .map(|_| match splitmix(&mut state) % 4 {
+                    0 => splitmix(&mut state) % 100,              // sub-bucket exact range
+                    1 => splitmix(&mut state) % 1_000_000,        // microseconds
+                    2 => splitmix(&mut state) % 10_000_000_000,   // up to 10s
+                    _ => splitmix(&mut state),                    // full u64
+                })
+                .collect();
+            for &s in &samples {
+                hist.record_nanos(s);
+            }
+            samples.sort_unstable();
+            let snap = hist.snapshot();
+            assert_eq!(snap.count(), n as u64);
+            assert_eq!(snap.max(), *samples.last().unwrap());
+            for q in [0.01, 0.25, 0.50, 0.75, 0.95, 0.99, 1.0] {
+                let exact = oracle_percentile(&samples, q);
+                let approx = snap.percentile(q);
+                assert!(
+                    approx >= exact,
+                    "q={q}: reported {approx} below exact {exact}"
+                );
+                // Upper bound of the exact value's bucket, and never above max.
+                assert!(approx <= bucket_bounds(bucket_index(exact)).1.min(snap.max()));
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q() {
+        let mut state = 1u64;
+        let hist = Histogram::new();
+        for _ in 0..500 {
+            hist.record_nanos(splitmix(&mut state) % 1_000_000);
+        }
+        let snap = hist.snapshot();
+        let mut prev = 0;
+        for step in 1..=100 {
+            let value = snap.percentile(step as f64 / 100.0);
+            assert!(value >= prev, "percentile not monotone at q={step}%");
+            prev = value;
+        }
+        assert!(snap.p50() <= snap.p95());
+        assert!(snap.p95() <= snap.p99());
+        assert!(snap.p99() <= snap.max());
+    }
+
+    #[test]
+    fn merge_equals_record_union() {
+        let mut state = 99u64;
+        let left = Histogram::new();
+        let right = Histogram::new();
+        let union = Histogram::new();
+        for i in 0..3_000u64 {
+            let v = splitmix(&mut state) % (1 << (i % 40));
+            if i % 3 == 0 {
+                left.record_nanos(v);
+            } else {
+                right.record_nanos(v);
+            }
+            union.record_nanos(v);
+        }
+        let mut merged = left.snapshot();
+        merged.merge(&right.snapshot());
+        assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_counts() {
+        use std::sync::Arc;
+        let hist = Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 20_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    let mut state = t;
+                    let mut local_sum = 0u64;
+                    for _ in 0..per_thread {
+                        let v = splitmix(&mut state) % 1_000_000;
+                        local_sum += v;
+                        hist.record_nanos(v);
+                    }
+                    local_sum
+                })
+            })
+            .collect();
+        let expected_sum: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), threads * per_thread, "lost bucket increments");
+        assert_eq!(snap.sum(), expected_sum, "lost sum increments");
+    }
+
+    #[test]
+    fn empty_and_cleared_histograms_report_zero() {
+        let hist = Histogram::new();
+        assert_eq!(hist.snapshot(), HistogramSnapshot::default());
+        assert_eq!(hist.snapshot().p99(), 0);
+        hist.record_nanos(123);
+        hist.record_duration(Duration::from_micros(5));
+        assert_eq!(hist.count(), 2);
+        hist.clear();
+        assert_eq!(hist.snapshot(), HistogramSnapshot::default());
+    }
+}

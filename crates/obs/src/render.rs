@@ -1,0 +1,187 @@
+//! Exposition: Prometheus text format and JSON over a [`Registry`].
+//!
+//! Both renderers work from a [`Registry::gather`] snapshot, so they never
+//! block recorders.  Histograms are exposed as Prometheus *summaries*
+//! (`quantile` labels for p50/p95/p99, plus `_sum`/`_count`/`_max`): the
+//! workspace's histograms already reduce to nearest-rank quantiles, and a
+//! summary keeps scrape output small where exporting all 496 raw buckets
+//! would not.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::{Registry, RegistrySnapshot};
+use std::fmt::Write;
+
+/// Replaces characters Prometheus metric names reject with `_`, forcing a
+/// leading alphabetic character.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit()) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn render_prometheus_snapshot(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for (q, v) in [(0.5, hist.p50()), (0.95, hist.p95()), (0.99, hist.p99())] {
+            let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", hist.sum());
+        let _ = writeln!(out, "{name}_count {}", hist.count());
+        let _ = writeln!(out, "{name}_max {}", hist.max());
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn histogram_json(hist: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+        hist.count(),
+        hist.sum(),
+        hist.p50(),
+        hist.p95(),
+        hist.p99(),
+        hist.max()
+    )
+}
+
+fn render_json_snapshot(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {value}", json_escape(name));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {value}", json_escape(name));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (name, hist)) in snapshot.histograms.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {}",
+            json_escape(name),
+            histogram_json(hist)
+        );
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Renders `registry` in the Prometheus text exposition format.
+pub fn render_prometheus_for(registry: &Registry) -> String {
+    render_prometheus_snapshot(&registry.gather())
+}
+
+/// Renders the [global registry](crate::registry::global) in the Prometheus
+/// text exposition format.
+pub fn render_prometheus() -> String {
+    render_prometheus_for(crate::registry::global())
+}
+
+/// Renders `registry` as a JSON object (`counters` / `gauges` / `histograms`).
+pub fn render_json_for(registry: &Registry) -> String {
+    render_json_snapshot(&registry.gather())
+}
+
+/// Renders the [global registry](crate::registry::global) as JSON.
+pub fn render_json() -> String {
+    render_json_for(crate::registry::global())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_text_has_types_and_values() {
+        let registry = Registry::new();
+        registry.register_counter("dm_requests_total").add(7);
+        registry.register_gauge("dm_pool_bytes").set(-3);
+        let hist = registry.register_histogram("dm_latency_nanos");
+        hist.record_nanos(1_000);
+        hist.record_nanos(2_000);
+        let text = render_prometheus_for(&registry);
+        assert!(text.contains("# TYPE dm_requests_total counter"));
+        assert!(text.contains("dm_requests_total 7"));
+        assert!(text.contains("# TYPE dm_pool_bytes gauge"));
+        assert!(text.contains("dm_pool_bytes -3"));
+        assert!(text.contains("# TYPE dm_latency_nanos summary"));
+        assert!(text.contains("dm_latency_nanos{quantile=\"0.5\"}"));
+        assert!(text.contains("dm_latency_nanos_sum 3000"));
+        assert!(text.contains("dm_latency_nanos_count 2"));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        let registry = Registry::new();
+        registry.register_counter("tenant-a.requests").incr();
+        let text = render_prometheus_for(&registry);
+        assert!(text.contains("tenant_a_requests 1"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escapes_names() {
+        let registry = Registry::new();
+        registry.register_counter("with\"quote").add(2);
+        registry.register_histogram("lat").record_nanos(500);
+        let json = render_json_for(&registry);
+        assert!(json.contains("\"with\\\"quote\": 2"));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"p99\": "));
+        // Balanced braces as a cheap well-formedness check (no serde in-tree).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON braces:\n{json}"
+        );
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_sections() {
+        let registry = Registry::new();
+        assert_eq!(render_prometheus_for(&registry), "");
+        let json = render_json_for(&registry);
+        assert!(json.contains("\"counters\": {\n  }"));
+    }
+}

@@ -1,0 +1,634 @@
+//! Per-batch stage tracing with slow-op capture.
+//!
+//! A [`Trace`] is a per-batch handle the query pipeline creates at the top of
+//! `execute_into` and threads through its stages: each stage (and each pool
+//! task spawned on its behalf — prefetch loads, sharded probes, single-flight
+//! pool waits) records a span into the trace's fixed-size event array.  Span
+//! recording is an index reservation via one relaxed `fetch_add` plus three
+//! relaxed stores — no locks, safe from any thread inside the batch's
+//! `dm-exec` scope (the scope barrier is what makes the events visible to
+//! [`finish`](Trace::finish); a `Trace` must not be finished while spans are
+//! still being recorded elsewhere).
+//!
+//! Every span is also recorded into a process-wide per-[`Stage`] histogram
+//! (see [`stage_snapshot`]), which is where benchmark percentiles come from.
+//!
+//! ## Slow-op capture policy
+//!
+//! [`Trace::finish`] publishes a [`TraceSummary`] into the finishing thread's
+//! ring buffer (newest [`RECENT_CAPACITY`] batches, see [`recent_batches`])
+//! and, when the batch's wall time is at or above the slow threshold
+//! (`DM_OBS_SLOW_MS`, overridable via
+//! [`set_slow_threshold`](crate::set_slow_threshold)), retains the batch's
+//! *full* stage timeline in a bounded global ring ([`slow_batches`]).  Fast
+//! batches cost a summary write; slow batches — the ones worth debugging —
+//! keep every span.
+//!
+//! With the `DM_OBS=off` kill switch, [`Trace::start`] returns an inert handle:
+//! no allocation, and every recording call is a no-op behind one branch.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::registry;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The pipeline/pool/exec/server stages a span can be charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Stage 1: existence bit-vector split.
+    Existence,
+    /// Probe planning (locate partitions, group keys).
+    Plan,
+    /// Stage 2: vectorized model inference.
+    Inference,
+    /// Stage-2/3 overlap: a cold-partition prefetch load task.
+    Prefetch,
+    /// Stage 3: one partition group's auxiliary probe.
+    Probe,
+    /// Stage 4: order-preserving merge of predictions and auxiliary hits.
+    Merge,
+    /// Buffer-pool single-flight wait (blocked on another reader's load).
+    PoolWait,
+    /// Buffer-pool cold load + decompress (the loader run by the race winner).
+    PoolLoad,
+    /// Server: enqueue → batch execution start, per request.
+    QueueDelay,
+    /// Server: batch's newest member arriving → execution start (the
+    /// coalescing hold shared by every request in the batch).
+    CoalesceWait,
+    /// Server: store execution (`lookup_batch_into`) on the merged batch.
+    Exec,
+    /// Server: demultiplexing the merged batch back into per-request responses.
+    Demux,
+    /// Server: copying one request's result rows out of the batch buffer.
+    ResultCopy,
+}
+
+impl Stage {
+    /// Number of stages (length of [`Stage::all`]).
+    pub const COUNT: usize = 13;
+
+    /// All stages, in [`index`](Stage::index) order.
+    pub fn all() -> [Stage; Stage::COUNT] {
+        [
+            Stage::Existence,
+            Stage::Plan,
+            Stage::Inference,
+            Stage::Prefetch,
+            Stage::Probe,
+            Stage::Merge,
+            Stage::PoolWait,
+            Stage::PoolLoad,
+            Stage::QueueDelay,
+            Stage::CoalesceWait,
+            Stage::Exec,
+            Stage::Demux,
+            Stage::ResultCopy,
+        ]
+    }
+
+    /// Dense index, the position in [`Stage::all`].
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    fn from_index(index: usize) -> Option<Stage> {
+        Stage::all().get(index).copied()
+    }
+
+    /// Identifier-style name used in metric names and JSON keys.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Stage::Existence => "existence",
+            Stage::Plan => "plan",
+            Stage::Inference => "inference",
+            Stage::Prefetch => "prefetch",
+            Stage::Probe => "probe",
+            Stage::Merge => "merge",
+            Stage::PoolWait => "pool_wait",
+            Stage::PoolLoad => "pool_load",
+            Stage::QueueDelay => "queue_delay",
+            Stage::CoalesceWait => "coalesce_wait",
+            Stage::Exec => "exec",
+            Stage::Demux => "demux",
+            Stage::ResultCopy => "result_copy",
+        }
+    }
+}
+
+/// The per-stage histograms, registered once in the global registry as
+/// `dm_stage_<slug>_nanos`.
+fn stage_histograms() -> &'static [Arc<Histogram>] {
+    static STAGES: OnceLock<Vec<Arc<Histogram>>> = OnceLock::new();
+    STAGES.get_or_init(|| {
+        Stage::all()
+            .iter()
+            .map(|stage| {
+                registry::global().register_histogram(&format!("dm_stage_{}_nanos", stage.slug()))
+            })
+            .collect()
+    })
+}
+
+/// Records one span duration into `stage`'s process-wide histogram.  A no-op
+/// when observability is [disabled](crate::enabled).
+#[inline]
+pub fn record_stage(stage: Stage, nanos: u64) {
+    if crate::enabled() {
+        stage_histograms()[stage.index()].record_nanos(nanos);
+    }
+}
+
+/// Snapshot of `stage`'s process-wide span histogram.
+pub fn stage_snapshot(stage: Stage) -> HistogramSnapshot {
+    stage_histograms()[stage.index()].snapshot()
+}
+
+/// Zeroes every stage histogram (quiescent use — benchmarks isolating a
+/// measurement section).
+pub fn reset_stage_histograms() {
+    for hist in stage_histograms() {
+        hist.clear();
+    }
+}
+
+/// Spans a [`Trace`] can hold before counting overflow instead of recording.
+/// Sized for the pipeline's worst realistic batch: four serial stages plus a
+/// prefetch + probe + pool event per touched partition group.
+pub const TRACE_EVENT_CAPACITY: usize = 48;
+
+/// Per-thread ring depth of recent batch summaries.
+pub const RECENT_CAPACITY: usize = 64;
+
+/// Capacity of the global slow-batch capture ring.
+const SLOW_RING_CAPACITY: usize = 32;
+
+#[derive(Default)]
+struct EventSlot {
+    stage: AtomicU32,
+    start_nanos: AtomicU64,
+    dur_nanos: AtomicU64,
+}
+
+/// One batch's trace handle.  See the module docs for the recording and
+/// visibility contract.
+pub struct Trace {
+    active: bool,
+    label: &'static str,
+    start: Instant,
+    cursor: AtomicUsize,
+    overflow: AtomicUsize,
+    events: Box<[EventSlot]>,
+}
+
+impl Trace {
+    /// Starts a trace for one batch.  When observability is disabled this
+    /// allocates nothing and every later call on the handle is a no-op.
+    pub fn start(label: &'static str) -> Trace {
+        let active = crate::enabled();
+        Trace {
+            active,
+            label,
+            start: Instant::now(),
+            cursor: AtomicUsize::new(0),
+            overflow: AtomicUsize::new(0),
+            events: if active {
+                (0..TRACE_EVENT_CAPACITY).map(|_| EventSlot::default()).collect()
+            } else {
+                Box::new([])
+            },
+        }
+    }
+
+    /// Whether this trace records anything (the kill switch, sampled once at
+    /// [`start`](Trace::start)).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Opens a span charged to `stage`; the span records itself when the
+    /// returned guard drops.
+    #[inline]
+    pub fn span(&self, stage: Stage) -> SpanGuard<'_> {
+        SpanGuard {
+            trace: self,
+            stage,
+            begin: self.active.then(Instant::now),
+        }
+    }
+
+    /// Records an already-measured span: `begin` is when it started (must not
+    /// precede the trace's start), `dur` how long it ran.  Also feeds the
+    /// stage's process-wide histogram.
+    pub fn record_span(&self, stage: Stage, begin: Instant, dur: Duration) {
+        if !self.active {
+            return;
+        }
+        let dur_nanos = dur.as_nanos().min(u64::MAX as u128) as u64;
+        record_stage(stage, dur_nanos);
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if slot >= self.events.len() {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let start_nanos = begin
+            .checked_duration_since(self.start)
+            .unwrap_or_default()
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let event = &self.events[slot];
+        event.stage.store(stage.index() as u32, Ordering::Relaxed);
+        event.start_nanos.store(start_nanos, Ordering::Relaxed);
+        event.dur_nanos.store(dur_nanos, Ordering::Relaxed);
+    }
+
+    fn collect_events(&self) -> Vec<TraceEvent> {
+        let recorded = self.cursor.load(Ordering::Relaxed).min(self.events.len());
+        self.events[..recorded]
+            .iter()
+            .filter_map(|slot| {
+                Some(TraceEvent {
+                    stage: Stage::from_index(slot.stage.load(Ordering::Relaxed) as usize)?,
+                    start_nanos: slot.start_nanos.load(Ordering::Relaxed),
+                    dur_nanos: slot.dur_nanos.load(Ordering::Relaxed),
+                })
+            })
+            .collect()
+    }
+
+    /// Ends the batch: aggregates the spans into a [`TraceSummary`], publishes
+    /// it to this thread's recent ring and last-batch slot, and — when total
+    /// wall time reaches the slow threshold — retains the full timeline in the
+    /// global slow-batch ring.  All recording (including from pool tasks) must
+    /// have completed before `finish` (the pipeline's scope barrier guarantees
+    /// this).
+    pub fn finish(self) -> TraceSummary {
+        let total_nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let mut summary = TraceSummary {
+            label: self.label,
+            total_nanos,
+            stage_nanos: [0; Stage::COUNT],
+            events: 0,
+            dropped: self.overflow.load(Ordering::Relaxed),
+        };
+        if !self.active {
+            return summary;
+        }
+        let events = self.collect_events();
+        summary.events = events.len();
+        for event in &events {
+            summary.stage_nanos[event.stage.index()] += event.dur_nanos;
+        }
+        LAST_BATCH.with(|cell| cell.set(Some(summary)));
+        RECENT.with(|ring| {
+            let mut ring = ring.borrow_mut();
+            if ring.len() == RECENT_CAPACITY {
+                ring.pop_front();
+            }
+            ring.push_back(summary);
+        });
+        if total_nanos >= crate::slow_threshold_nanos() {
+            slow_ring().push(CapturedTrace {
+                label: self.label,
+                detail: String::new(),
+                total_nanos,
+                events,
+            });
+        }
+        summary
+    }
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("label", &self.label)
+            .field("active", &self.active)
+            .field("events", &self.cursor.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// RAII span: records `stage` from construction to drop.
+#[must_use = "a span records when dropped — bind it, don't discard it"]
+pub struct SpanGuard<'a> {
+    trace: &'a Trace,
+    stage: Stage,
+    begin: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(begin) = self.begin {
+            self.trace.record_span(self.stage, begin, begin.elapsed());
+        }
+    }
+}
+
+/// Aggregated view of one finished batch: total wall time plus per-stage sums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// The label the trace was started with.
+    pub label: &'static str,
+    /// Wall time from `Trace::start` to `finish`, in nanoseconds.
+    pub total_nanos: u64,
+    /// Summed span time per stage, indexed by [`Stage::index`].  Concurrent
+    /// spans (parallel probes) each contribute fully, so a stage's sum can
+    /// exceed `total_nanos` — it is CPU time, not wall time.
+    pub stage_nanos: [u64; Stage::COUNT],
+    /// Spans recorded.
+    pub events: usize,
+    /// Spans dropped after the event array filled.
+    pub dropped: usize,
+}
+
+impl TraceSummary {
+    /// Summed span time charged to `stage`, in nanoseconds.
+    pub fn stage(&self, stage: Stage) -> u64 {
+        self.stage_nanos[stage.index()]
+    }
+}
+
+/// One span of a captured timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Stage the span was charged to.
+    pub stage: Stage,
+    /// Span start, nanoseconds after the trace started.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub dur_nanos: u64,
+}
+
+/// A retained full timeline of one over-threshold operation.
+#[derive(Debug, Clone)]
+pub struct CapturedTrace {
+    /// The label the trace was started with.
+    pub label: &'static str,
+    /// Free-form context the capturer attached (tenant, key count, ...).
+    pub detail: String,
+    /// Total wall time in nanoseconds.
+    pub total_nanos: u64,
+    /// Every recorded span, in recording order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl CapturedTrace {
+    /// Multi-line human-readable timeline (for logs and examples).
+    pub fn render_timeline(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} {} — {:.3} ms total, {} spans",
+            self.label,
+            self.detail,
+            self.total_nanos as f64 / 1e6,
+            self.events.len()
+        );
+        for event in &self.events {
+            let _ = writeln!(
+                out,
+                "  +{:>10.3} ms  {:<13} {:>10.3} ms",
+                event.start_nanos as f64 / 1e6,
+                event.stage.slug(),
+                event.dur_nanos as f64 / 1e6,
+            );
+        }
+        out
+    }
+}
+
+/// A bounded ring of captured slow-operation timelines, with a per-ring
+/// threshold.  The server owns one per instance; the pipeline shares the
+/// global one behind [`slow_batches`].
+pub struct CaptureRing {
+    capacity: usize,
+    threshold_nanos: AtomicU64,
+    inner: Mutex<VecDeque<CapturedTrace>>,
+}
+
+impl CaptureRing {
+    /// Creates a ring holding at most `capacity` captures, retaining
+    /// operations at or above `threshold_nanos`.
+    pub fn new(capacity: usize, threshold_nanos: u64) -> CaptureRing {
+        CaptureRing {
+            capacity,
+            threshold_nanos: AtomicU64::new(threshold_nanos),
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// The ring's current capture threshold in nanoseconds.
+    pub fn threshold_nanos(&self) -> u64 {
+        self.threshold_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Changes the capture threshold.
+    pub fn set_threshold_nanos(&self, nanos: u64) {
+        self.threshold_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Retains `capture` if it is at or above the ring's threshold.  Returns
+    /// whether it was kept.
+    pub fn offer(&self, capture: CapturedTrace) -> bool {
+        if capture.total_nanos < self.threshold_nanos() {
+            return false;
+        }
+        self.push(capture);
+        true
+    }
+
+    /// Unconditionally retains `capture`, evicting the oldest entry at
+    /// capacity.
+    pub fn push(&self, capture: CapturedTrace) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.len() == self.capacity {
+            inner.pop_front();
+        }
+        inner.push_back(capture);
+    }
+
+    /// All retained captures, oldest first.
+    pub fn snapshot(&self) -> Vec<CapturedTrace> {
+        self.inner.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// The retained capture with the largest total time.
+    pub fn slowest(&self) -> Option<CapturedTrace> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .max_by_key(|c| c.total_nanos)
+            .cloned()
+    }
+
+    /// Drops every retained capture.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+}
+
+fn slow_ring() -> &'static CaptureRing {
+    static RING: OnceLock<CaptureRing> = OnceLock::new();
+    // Threshold 0: admission is decided by `Trace::finish` against the live
+    // crate-level threshold, so runtime threshold changes take effect.
+    RING.get_or_init(|| CaptureRing::new(SLOW_RING_CAPACITY, 0))
+}
+
+/// Captured timelines of batches whose wall time reached the slow threshold,
+/// oldest first.
+pub fn slow_batches() -> Vec<CapturedTrace> {
+    slow_ring().snapshot()
+}
+
+/// The slowest captured batch, if any batch crossed the threshold.
+pub fn slowest_batch() -> Option<CapturedTrace> {
+    slow_ring().slowest()
+}
+
+/// Clears the global slow-batch ring (benchmarks isolating a section).
+pub fn clear_slow_batches() {
+    slow_ring().clear();
+}
+
+thread_local! {
+    static LAST_BATCH: Cell<Option<TraceSummary>> = const { Cell::new(None) };
+    static RECENT: RefCell<VecDeque<TraceSummary>> =
+        RefCell::new(VecDeque::with_capacity(RECENT_CAPACITY));
+}
+
+/// Takes (and clears) the summary of the most recent batch finished **on this
+/// thread** — how the server attributes a just-executed batch's stage times to
+/// the requests it coalesced, without widening the `TupleStore` trait.
+pub fn take_last_batch() -> Option<TraceSummary> {
+    LAST_BATCH.with(|cell| cell.take())
+}
+
+/// This thread's ring of recent batch summaries, oldest first.
+pub fn recent_batches() -> Vec<TraceSummary> {
+    RECENT.with(|ring| ring.borrow().iter().copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_land_in_summary_and_stage_order_is_dense() {
+        let stages = Stage::all();
+        let mut indices: Vec<usize> = stages.iter().map(|s| s.index()).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..Stage::COUNT).collect::<Vec<_>>());
+        for stage in stages {
+            assert_eq!(Stage::from_index(stage.index()), Some(stage));
+        }
+
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        let trace = Trace::start("test_batch");
+        {
+            let _span = trace.span(Stage::Inference);
+            std::hint::black_box(0);
+        }
+        trace.record_span(Stage::Probe, Instant::now(), Duration::from_micros(5));
+        let summary = trace.finish();
+        assert_eq!(summary.events, 2);
+        assert_eq!(summary.stage(Stage::Probe), 5_000);
+        assert_eq!(summary.dropped, 0);
+        assert_eq!(take_last_batch(), Some(summary));
+        assert_eq!(take_last_batch(), None, "take must clear the slot");
+        assert!(recent_batches().contains(&summary));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(false);
+        let trace = Trace::start("noop");
+        assert!(!trace.is_active());
+        {
+            let _span = trace.span(Stage::Inference);
+        }
+        trace.record_span(Stage::Probe, Instant::now(), Duration::from_millis(1));
+        let summary = trace.finish();
+        assert_eq!(summary.events, 0);
+        assert_eq!(summary.stage_nanos, [0; Stage::COUNT]);
+        crate::set_enabled(true);
+    }
+
+    #[test]
+    fn overflow_is_counted_not_corrupting() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        let trace = Trace::start("overflow");
+        for _ in 0..TRACE_EVENT_CAPACITY + 7 {
+            trace.record_span(Stage::Probe, Instant::now(), Duration::from_nanos(10));
+        }
+        let summary = trace.finish();
+        assert_eq!(summary.events, TRACE_EVENT_CAPACITY);
+        assert_eq!(summary.dropped, 7);
+    }
+
+    #[test]
+    fn concurrent_span_recording_from_scope_like_threads() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        let trace = Trace::start("parallel");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..3 {
+                        trace.record_span(Stage::Probe, Instant::now(), Duration::from_nanos(100));
+                    }
+                });
+            }
+        });
+        let summary = trace.finish();
+        assert_eq!(summary.events, 12);
+        assert_eq!(summary.stage(Stage::Probe), 1_200);
+    }
+
+    #[test]
+    fn capture_ring_respects_threshold_and_capacity() {
+        let ring = CaptureRing::new(2, 1_000);
+        let capture = |nanos| CapturedTrace {
+            label: "op",
+            detail: String::new(),
+            total_nanos: nanos,
+            events: Vec::new(),
+        };
+        assert!(!ring.offer(capture(999)));
+        assert!(ring.offer(capture(1_000)));
+        assert!(ring.offer(capture(5_000)));
+        assert!(ring.offer(capture(2_000)));
+        let kept = ring.snapshot();
+        assert_eq!(kept.len(), 2, "capacity bound");
+        assert_eq!(kept[0].total_nanos, 5_000, "oldest evicted first");
+        assert_eq!(ring.slowest().unwrap().total_nanos, 5_000);
+        ring.clear();
+        assert!(ring.snapshot().is_empty());
+    }
+
+    #[test]
+    fn render_timeline_is_readable() {
+        let capture = CapturedTrace {
+            label: "lookup_batch",
+            detail: "keys=100".to_string(),
+            total_nanos: 2_500_000,
+            events: vec![TraceEvent {
+                stage: Stage::Inference,
+                start_nanos: 1_000,
+                dur_nanos: 2_000_000,
+            }],
+        };
+        let text = capture.render_timeline();
+        assert!(text.contains("lookup_batch"));
+        assert!(text.contains("inference"));
+        assert!(text.contains("2.000 ms"));
+    }
+}

@@ -62,7 +62,7 @@ pub mod stats;
 pub use client::{RequestReport, ServerClient, Ticket};
 pub use error::{Result, ServerError};
 pub use server::{QueryServer, ServerConfig, TenantId, DEFAULT_PIPELINE_DEPTH};
-pub use stats::ServerStats;
+pub use stats::{ServerStats, TenantTail};
 
 #[cfg(test)]
 mod tests {
@@ -242,6 +242,7 @@ mod tests {
             shed_low_watermark_keys: 4,
             max_request_keys: 8,
             inline: false,
+            slow_request: None,
         };
         let server = QueryServer::new(config);
         let gate = Arc::new(GateStore::new(0..64));
@@ -294,6 +295,7 @@ mod tests {
             shed_low_watermark_keys: 4,
             max_request_keys: 8,
             inline: false,
+            slow_request: None,
         };
         let server = QueryServer::new(config);
         let tenant = server.register_store("t", seeded_store(0..64)).unwrap();
@@ -389,6 +391,43 @@ mod tests {
         assert_eq!(client.get(b, 5).unwrap(), None);
         assert_eq!(client.get(b, 105).unwrap(), Some(vec![105, 210]));
         assert_eq!(client.get(a, 105).unwrap(), None);
+    }
+
+    #[test]
+    fn tenant_tail_and_slow_requests_observe_served_traffic() {
+        // Threshold zero: every request's wall time crosses it, so the slow
+        // ring deterministically captures each one.
+        let config = ServerConfig {
+            slow_request: Some(Duration::ZERO),
+            ..ServerConfig::coalescing(Duration::from_micros(100), 64)
+        };
+        let server = QueryServer::new(config);
+        let tenant = server.register_store("t", seeded_store(0..100)).unwrap();
+        let mut client = server.client();
+        for k in 0..10 {
+            assert!(client.get(tenant, k).unwrap().is_some());
+        }
+
+        let tail = server.tenant_tail("t").unwrap();
+        assert_eq!(tail.request_wall.count(), 10);
+        assert_eq!(tail.queue_delay.count(), 10);
+        assert_eq!(tail.coalesce_wait.count(), 10);
+        assert_eq!(tail.exec_share.count(), 10);
+        assert_eq!(tail.result_copy.count(), 10);
+        assert!(tail.request_wall.max() > 0);
+
+        let slow = server.slow_requests();
+        assert_eq!(slow.len(), 10);
+        assert!(slow.iter().all(|c| c.label == "server_request"));
+        assert!(slow.iter().all(|c| c.detail.contains("tenant=t")));
+        assert!(slow.iter().all(|c| !c.events.is_empty()));
+
+        let stats = server.stats();
+        assert!(stats.request_wall_p50 > Duration::ZERO);
+        assert!(stats.request_wall_max >= stats.request_wall_p99);
+        assert!(stats.request_wall_p99 >= stats.request_wall_p50);
+
+        assert!(server.tenant_tail("nope").is_err());
     }
 
     #[test]

@@ -27,16 +27,21 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dm_core::DeepMapping;
+use dm_obs::trace::{self, CapturedTrace, TraceEvent};
+use dm_obs::{CaptureRing, Stage};
 use dm_persist::SnapshotExt;
 use dm_storage::{LookupBuffer, TupleStore};
 use parking_lot::{Mutex, RwLock};
 
 use crate::client::{RequestSlot, ServerClient, SlotState};
 use crate::error::{Result, ServerError};
-use crate::stats::{ServerStats, StatsCells};
+use crate::stats::{RequestSample, ServerStats, StatsCells, TenantObs, TenantTail};
 
 /// Default pipeline depth for [`QueryServer::client`].
 pub const DEFAULT_PIPELINE_DEPTH: usize = 4;
+
+/// Capacity of the per-server slow-request capture ring.
+const SLOW_REQUEST_CAPACITY: usize = 32;
 
 /// Tuning knobs for a [`QueryServer`]. Watermarks and limits are normalized
 /// at server construction (see [`QueryServer::new`]) so any hand-built config
@@ -67,6 +72,11 @@ pub struct ServerConfig {
     /// synchronously on the caller thread — no coalescing, no queueing. The
     /// degenerate baseline mode, also useful in single-threaded tests.
     pub inline: bool,
+    /// Requests whose wall time reaches this threshold get their latency
+    /// timeline retained in the server's slow-request ring (see
+    /// [`QueryServer::slow_requests`]). `None` falls back to the process-wide
+    /// `DM_OBS_SLOW_MS` threshold.
+    pub slow_request: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +89,7 @@ impl Default for ServerConfig {
             shed_low_watermark_keys: 2048,
             max_request_keys: 1024,
             inline: false,
+            slow_request: None,
         }
     }
 }
@@ -132,6 +143,8 @@ struct Tenant {
     name: String,
     path: Option<PathBuf>,
     store: Mutex<Option<Arc<dyn TupleStore>>>,
+    /// Per-tenant tail-attribution histograms (see [`TenantTail`]).
+    obs: TenantObs,
 }
 
 #[derive(Default)]
@@ -169,11 +182,26 @@ pub(crate) struct Shared {
     work_cv: Condvar,
     registry: RwLock<Registry>,
     stats: StatsCells,
+    /// Retained timelines of requests whose wall time crossed the slow
+    /// threshold. Threshold 0 on the ring itself: admission is decided in the
+    /// demux loop against [`slow_threshold_nanos`](Shared::slow_threshold_nanos),
+    /// so runtime threshold changes take effect.
+    slow: CaptureRing,
 }
 
 impl Shared {
     fn tenant_count(&self) -> usize {
         self.registry.read().tenants.len()
+    }
+
+    /// The wall-time threshold past which a request's timeline is retained:
+    /// the server's own [`ServerConfig::slow_request`] when set, otherwise
+    /// the live process-wide `DM_OBS_SLOW_MS` value.
+    fn slow_threshold_nanos(&self) -> u64 {
+        match self.config.slow_request {
+            Some(threshold) => threshold.as_nanos().min(u64::MAX as u128) as u64,
+            None => dm_obs::slow_threshold_nanos(),
+        }
     }
 
     /// Resolves the tenant's store, opening its snapshot on first use.
@@ -221,15 +249,17 @@ impl Shared {
     ) {
         let formed_at = Instant::now();
         merged.clear();
-        let mut queue_delay_total = 0u64;
+        let mut newest_enqueue = batch[0].enqueued_at;
         for req in batch.iter() {
             let mut inner = req.slot.inner.lock();
             merged.extend_from_slice(&inner.keys);
-            let delay = formed_at.saturating_duration_since(req.enqueued_at);
-            inner.queue_delay = delay;
-            queue_delay_total += delay.as_nanos() as u64;
+            inner.queue_delay = formed_at.saturating_duration_since(req.enqueued_at);
+            if req.enqueued_at > newest_enqueue {
+                newest_enqueue = req.enqueued_at;
+            }
         }
 
+        let tenant = Arc::clone(&self.registry.read().tenants[batch[0].tenant]);
         let store = match self.tenant_store(batch[0].tenant) {
             Ok(store) => store,
             Err(err) => {
@@ -240,38 +270,118 @@ impl Shared {
         let exec_started = Instant::now();
         let outcome = store.lookup_batch_into(merged, results);
         let exec_nanos = exec_started.elapsed().as_nanos() as u64;
+        // The pipeline finishes its batch trace on the calling thread — this
+        // one — so the thread-local last-batch summary, when the store
+        // publishes one, is exactly the merged batch just executed. Baseline
+        // stores (and `DM_OBS=off`) leave it `None`; their requests simply
+        // get zero inference/probe shares.
+        let batch_trace = trace::take_last_batch();
+        let inference_nanos = batch_trace.map_or(0, |s| s.stage(Stage::Inference));
+        let probe_nanos = batch_trace.map_or(0, |s| s.stage(Stage::Probe));
+        // The coalescing hold: how long the batch stayed open after its
+        // newest member arrived. One value, shared by every request in the
+        // batch — it is the price the batch collectively paid for width.
+        let coalesce_nanos = exec_started
+            .saturating_duration_since(newest_enqueue)
+            .as_nanos() as u64;
 
         match outcome {
             Ok(()) => {
                 let done = Instant::now();
-                // Record stats before any waiter is woken: a caller that
-                // returns from wait_into and immediately reads stats() must
-                // see its own request counted.
-                let wall_total: u64 = batch
-                    .iter()
-                    .map(|req| done.saturating_duration_since(req.enqueued_at).as_nanos() as u64)
-                    .sum();
-                self.stats.record_batch(
-                    batch.len() as u64,
-                    merged.len() as u64,
-                    queue_delay_total,
-                    wall_total,
-                    exec_nanos,
-                );
+                // Record batch counters before any waiter is woken: a caller
+                // that returns from wait_into and immediately reads stats()
+                // must see its own request counted. Per-request histograms
+                // follow the same rule inside the demux loop below.
+                self.stats
+                    .record_batch(batch.len() as u64, merged.len() as u64, exec_nanos);
+                trace::record_stage(Stage::Exec, exec_nanos);
+                trace::record_stage(Stage::CoalesceWait, coalesce_nanos);
+                let slow_threshold = self.slow_threshold_nanos();
+                let batch_keys = (merged.len() as u64).max(1);
+                let demux_started = Instant::now();
                 let mut offset = 0usize;
                 for req in batch.drain(..) {
                     let mut inner = req.slot.inner.lock();
                     let len = inner.keys.len();
+                    let copy_started = Instant::now();
                     inner.response.copy_range_from(results, offset, len);
+                    let copy_nanos = copy_started.elapsed().as_nanos() as u64;
                     offset += len;
                     inner.done_at = done;
                     inner.state = SlotState::Done;
+                    let queue_delay_nanos = inner.queue_delay.as_nanos() as u64;
                     let notify = inner.waiting;
                     drop(inner);
+
+                    let wall_nanos =
+                        done.saturating_duration_since(req.enqueued_at).as_nanos() as u64;
+                    // Batch-share attribution: this request's key-weighted
+                    // slice of the merged batch's stage time.
+                    let share = |total: u64| total * len as u64 / batch_keys;
+                    self.stats
+                        .record_request(queue_delay_nanos, coalesce_nanos, wall_nanos);
+                    tenant.obs.record(&RequestSample {
+                        queue_delay_nanos,
+                        coalesce_wait_nanos: coalesce_nanos,
+                        wall_nanos,
+                        exec_share_nanos: share(exec_nanos),
+                        inference_share_nanos: share(inference_nanos),
+                        probe_share_nanos: share(probe_nanos),
+                        result_copy_nanos: copy_nanos,
+                    });
+                    trace::record_stage(Stage::QueueDelay, queue_delay_nanos);
+                    trace::record_stage(Stage::ResultCopy, copy_nanos);
+                    if wall_nanos >= slow_threshold {
+                        // Timeline offsets are relative to this request's
+                        // enqueue. Inference/probe spans carry the *batch*
+                        // totals (the detail line names the batch size).
+                        let exec_offset = exec_started
+                            .saturating_duration_since(req.enqueued_at)
+                            .as_nanos() as u64;
+                        let events: Vec<TraceEvent> = [
+                            (Stage::QueueDelay, 0, queue_delay_nanos),
+                            (
+                                Stage::CoalesceWait,
+                                newest_enqueue
+                                    .saturating_duration_since(req.enqueued_at)
+                                    .as_nanos() as u64,
+                                coalesce_nanos,
+                            ),
+                            (Stage::Exec, exec_offset, exec_nanos),
+                            (Stage::Inference, exec_offset, inference_nanos),
+                            (Stage::Probe, exec_offset, probe_nanos),
+                            (
+                                Stage::ResultCopy,
+                                copy_started
+                                    .saturating_duration_since(req.enqueued_at)
+                                    .as_nanos() as u64,
+                                copy_nanos,
+                            ),
+                        ]
+                        .into_iter()
+                        .filter(|&(_, _, dur)| dur > 0)
+                        .map(|(stage, start_nanos, dur_nanos)| TraceEvent {
+                            stage,
+                            start_nanos,
+                            dur_nanos,
+                        })
+                        .collect();
+                        self.slow.push(CapturedTrace {
+                            label: "server_request",
+                            detail: format!(
+                                "tenant={} keys={len} batch_keys={}",
+                                tenant.name,
+                                merged.len()
+                            ),
+                            total_nanos: wall_nanos,
+                            events,
+                        });
+                    }
                     if notify {
                         req.slot.cv.notify_all();
                     }
                 }
+                trace::record_stage(Stage::Demux, demux_started.elapsed().as_nanos() as u64);
             }
             Err(err) => {
                 let err = ServerError::Store(err.to_string());
@@ -282,14 +392,15 @@ impl Shared {
 
     /// Serves one request synchronously on the caller thread (inline mode).
     fn execute_inline(&self, slot: &Arc<RequestSlot>) -> Result<()> {
-        let tenant = slot.inner.lock().tenant;
-        let store = match self.tenant_store(tenant) {
+        let tenant_index = slot.inner.lock().tenant;
+        let store = match self.tenant_store(tenant_index) {
             Ok(store) => store,
             Err(err) => {
                 slot.inner.lock().state = SlotState::Idle;
                 return Err(err);
             }
         };
+        let tenant = Arc::clone(&self.registry.read().tenants[tenant_index]);
         let mut inner = slot.inner.lock();
         let started = Instant::now();
         let inner_ref = &mut *inner;
@@ -299,11 +410,34 @@ impl Shared {
                 let done = Instant::now();
                 let exec_nanos = done.saturating_duration_since(started).as_nanos() as u64;
                 let wall = done.saturating_duration_since(inner.enqueued_at);
+                let wall_nanos = wall.as_nanos() as u64;
                 inner.done_at = done;
                 inner.queue_delay = Duration::ZERO;
                 inner.state = SlotState::Done;
                 self.stats
-                    .record_inline(inner.keys.len() as u64, wall.as_nanos() as u64, exec_nanos);
+                    .record_inline(inner.keys.len() as u64, wall_nanos, exec_nanos);
+                let batch_trace = trace::take_last_batch();
+                tenant.obs.record_inline(
+                    wall_nanos,
+                    exec_nanos,
+                    batch_trace.map_or(0, |s| s.stage(Stage::Inference)),
+                    batch_trace.map_or(0, |s| s.stage(Stage::Probe)),
+                );
+                trace::record_stage(Stage::Exec, exec_nanos);
+                if wall_nanos >= self.slow_threshold_nanos() {
+                    self.slow.push(CapturedTrace {
+                        label: "server_request_inline",
+                        detail: format!("tenant={} keys={}", tenant.name, inner.keys.len()),
+                        total_nanos: wall_nanos,
+                        events: vec![TraceEvent {
+                            stage: Stage::Exec,
+                            start_nanos: started
+                                .saturating_duration_since(inner.enqueued_at)
+                                .as_nanos() as u64,
+                            dur_nanos: exec_nanos,
+                        }],
+                    });
+                }
                 Ok(())
             }
             Err(err) => {
@@ -499,6 +633,7 @@ impl QueryServer {
             work_cv: Condvar::new(),
             registry: RwLock::new(Registry::default()),
             stats: StatsCells::default(),
+            slow: CaptureRing::new(SLOW_REQUEST_CAPACITY, 0),
         });
         let dispatcher = if inline {
             None
@@ -554,6 +689,7 @@ impl QueryServer {
             name: name.to_string(),
             path,
             store: Mutex::new(store),
+            obs: TenantObs::default(),
         }));
         registry.names.insert(name.to_string(), index);
         Ok(TenantId(index))
@@ -598,6 +734,27 @@ impl QueryServer {
     /// A point-in-time snapshot of the server's counters.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats.snapshot()
+    }
+
+    /// Per-tenant tail-attribution histograms for the tenant registered as
+    /// `name`: queue delay, coalescing hold, request wall time, the tenant's
+    /// key-weighted share of batch execution / inference / probe time, and
+    /// per-request result-copy time.
+    pub fn tenant_tail(&self, name: &str) -> Result<TenantTail> {
+        let registry = self.shared.registry.read();
+        let index = *registry
+            .names
+            .get(name)
+            .ok_or_else(|| ServerError::UnknownTenant(name.to_string()))?;
+        Ok(registry.tenants[index].obs.tail())
+    }
+
+    /// Captured timelines of requests whose wall time reached the
+    /// slow-request threshold ([`ServerConfig::slow_request`], falling back
+    /// to the process-wide `DM_OBS_SLOW_MS`), oldest first. The ring is
+    /// bounded: once full, each new capture evicts the oldest.
+    pub fn slow_requests(&self) -> Vec<CapturedTrace> {
+        self.shared.slow.snapshot()
     }
 
     /// Stops the server: new submissions fail with

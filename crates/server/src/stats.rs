@@ -1,10 +1,15 @@
-//! Lock-free observability counters for the query server.
+//! Lock-free observability counters and tail histograms for the query server.
 //!
-//! The server records everything in relaxed [`AtomicU64`] cells so the hot
-//! path never takes a lock to bump a counter; [`ServerStats`] is a consistent
-//! *enough* snapshot for dashboards and benches (individual cells are exact,
-//! cross-cell ratios can be one request stale).
+//! The server records everything in relaxed [`AtomicU64`] cells and
+//! [`Histogram`]s so the hot path never takes a lock to bump a counter;
+//! [`ServerStats`] is a consistent *enough* snapshot for dashboards and
+//! benches (individual cells are exact, cross-cell ratios can be one request
+//! stale).  Latency distributions (queue delay, coalesce wait, request wall)
+//! live in log2-bucketed histograms, so the snapshot carries percentiles —
+//! the summed-nanos fields are kept only as derived means for callers that
+//! predate the histograms.
 
+use dm_obs::{Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -21,12 +26,18 @@ pub(crate) struct StatsCells {
     pub batches_formed: AtomicU64,
     pub batched_requests: AtomicU64,
     pub max_coalesce_width: AtomicU64,
-    pub queue_delay_nanos: AtomicU64,
-    pub request_wall_nanos: AtomicU64,
     pub exec_nanos: AtomicU64,
     pub inline_requests: AtomicU64,
     pub tenants_opened: AtomicU64,
     pub tenant_open_nanos: AtomicU64,
+    /// Enqueue → batch-formation delay, per batched request.
+    pub queue_delay: Histogram,
+    /// Newest-batch-member arrival → execution start, per batched request
+    /// (every member of a batch records the same value).
+    pub coalesce_wait: Histogram,
+    /// Enqueue → response-ready wall time, per completed request (batched and
+    /// inline).
+    pub request_wall: Histogram,
 }
 
 impl StatsCells {
@@ -35,33 +46,40 @@ impl StatsCells {
     }
 
     /// Records one merged batch that completed successfully: `width` requests
-    /// coalesced, `keys` total keys, plus the summed queue delay and
-    /// per-request wall time and the store-execution time.
-    pub fn record_batch(
-        &self,
-        width: u64,
-        keys: u64,
-        queue_delay_nanos: u64,
-        wall_nanos: u64,
-        exec_nanos: u64,
-    ) {
+    /// coalesced, `keys` total keys, and the store-execution time.  Called
+    /// once per batch, *before* the per-request
+    /// [`record_request`](Self::record_request) calls, so a waiter woken by
+    /// the demux loop always sees its own batch counted.
+    pub fn record_batch(&self, width: u64, keys: u64, exec_nanos: u64) {
         Self::add(&self.batches_formed, 1);
         Self::add(&self.batched_requests, width);
         Self::add(&self.requests_completed, width);
         Self::add(&self.keys_served, keys);
-        Self::add(&self.queue_delay_nanos, queue_delay_nanos);
-        Self::add(&self.request_wall_nanos, wall_nanos);
         Self::add(&self.exec_nanos, exec_nanos);
         self.max_coalesce_width.fetch_max(width, Ordering::Relaxed);
     }
 
-    /// Records one request served inline on the caller thread (no dispatcher).
+    /// Records one batched request's latency decomposition into the tail
+    /// histograms.  Called during demux, before the request's waiter is woken.
+    pub fn record_request(
+        &self,
+        queue_delay_nanos: u64,
+        coalesce_wait_nanos: u64,
+        wall_nanos: u64,
+    ) {
+        self.queue_delay.record_nanos(queue_delay_nanos);
+        self.coalesce_wait.record_nanos(coalesce_wait_nanos);
+        self.request_wall.record_nanos(wall_nanos);
+    }
+
+    /// Records one request served inline on the caller thread (no dispatcher,
+    /// no queue — only the wall histogram is fed).
     pub fn record_inline(&self, keys: u64, wall_nanos: u64, exec_nanos: u64) {
         Self::add(&self.inline_requests, 1);
         Self::add(&self.requests_completed, 1);
         Self::add(&self.keys_served, keys);
-        Self::add(&self.request_wall_nanos, wall_nanos);
         Self::add(&self.exec_nanos, exec_nanos);
+        self.request_wall.record_nanos(wall_nanos);
     }
 
     pub fn record_tenant_open(&self, elapsed: Duration) {
@@ -71,6 +89,9 @@ impl StatsCells {
 
     pub fn snapshot(&self) -> ServerStats {
         let load = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
+        let queue_delay = self.queue_delay.snapshot();
+        let coalesce_wait = self.coalesce_wait.snapshot();
+        let request_wall = self.request_wall.snapshot();
         ServerStats {
             requests_enqueued: load(&self.requests_enqueued),
             requests_completed: load(&self.requests_completed),
@@ -81,23 +102,130 @@ impl StatsCells {
             batches_formed: load(&self.batches_formed),
             batched_requests: load(&self.batched_requests),
             max_coalesce_width: load(&self.max_coalesce_width),
-            queue_delay_nanos: load(&self.queue_delay_nanos),
-            request_wall_nanos: load(&self.request_wall_nanos),
+            queue_delay_nanos: queue_delay.sum(),
+            coalesce_wait_nanos: coalesce_wait.sum(),
+            request_wall_nanos: request_wall.sum(),
             exec_nanos: load(&self.exec_nanos),
             inline_requests: load(&self.inline_requests),
             tenants_opened: load(&self.tenants_opened),
             tenant_open_nanos: load(&self.tenant_open_nanos),
+            queue_delay_p50: Duration::from_nanos(queue_delay.p50()),
+            queue_delay_p95: Duration::from_nanos(queue_delay.p95()),
+            queue_delay_p99: Duration::from_nanos(queue_delay.p99()),
+            queue_delay_max: Duration::from_nanos(queue_delay.max()),
+            request_wall_p50: Duration::from_nanos(request_wall.p50()),
+            request_wall_p95: Duration::from_nanos(request_wall.p95()),
+            request_wall_p99: Duration::from_nanos(request_wall.p99()),
+            request_wall_max: Duration::from_nanos(request_wall.max()),
         }
     }
+}
+
+/// Per-tenant tail-attribution histograms.  One instance lives inside each
+/// registered tenant; the batch-share columns split a merged batch's stage
+/// time across its requests proportionally to key count, so a tenant can see
+/// where *its* requests' latency goes even when batches interleave work.
+#[derive(Default)]
+pub(crate) struct TenantObs {
+    pub queue_delay: Histogram,
+    pub coalesce_wait: Histogram,
+    pub request_wall: Histogram,
+    /// This request's key-weighted share of the batch's store-execution time.
+    pub exec_share: Histogram,
+    /// Key-weighted share of the batch's model-inference time (0 for stores
+    /// that publish no batch trace).
+    pub inference_share: Histogram,
+    /// Key-weighted share of the batch's auxiliary-probe time (0 for stores
+    /// that publish no batch trace).
+    pub probe_share: Histogram,
+    /// Time copying this request's rows out of the merged result buffer.
+    pub result_copy: Histogram,
+}
+
+/// One request's latency decomposition, handed to [`TenantObs::record`] by
+/// the demux loop.  All values are nanoseconds; the `*_share` fields are the
+/// request's key-weighted slice of its merged batch's stage time.
+pub(crate) struct RequestSample {
+    pub queue_delay_nanos: u64,
+    pub coalesce_wait_nanos: u64,
+    pub wall_nanos: u64,
+    pub exec_share_nanos: u64,
+    pub inference_share_nanos: u64,
+    pub probe_share_nanos: u64,
+    pub result_copy_nanos: u64,
+}
+
+impl TenantObs {
+    /// Records one batched request's sample into every histogram.
+    pub fn record(&self, sample: &RequestSample) {
+        self.queue_delay.record_nanos(sample.queue_delay_nanos);
+        self.coalesce_wait.record_nanos(sample.coalesce_wait_nanos);
+        self.request_wall.record_nanos(sample.wall_nanos);
+        self.exec_share.record_nanos(sample.exec_share_nanos);
+        self.inference_share.record_nanos(sample.inference_share_nanos);
+        self.probe_share.record_nanos(sample.probe_share_nanos);
+        self.result_copy.record_nanos(sample.result_copy_nanos);
+    }
+
+    /// Records one inline request: no queue, no coalescing, no demux copy —
+    /// only the wall/exec/stage-share histograms are fed.
+    pub fn record_inline(
+        &self,
+        wall_nanos: u64,
+        exec_nanos: u64,
+        inference_nanos: u64,
+        probe_nanos: u64,
+    ) {
+        self.request_wall.record_nanos(wall_nanos);
+        self.exec_share.record_nanos(exec_nanos);
+        self.inference_share.record_nanos(inference_nanos);
+        self.probe_share.record_nanos(probe_nanos);
+    }
+
+    pub fn tail(&self) -> TenantTail {
+        TenantTail {
+            queue_delay: self.queue_delay.snapshot(),
+            coalesce_wait: self.coalesce_wait.snapshot(),
+            request_wall: self.request_wall.snapshot(),
+            exec_share: self.exec_share.snapshot(),
+            inference_share: self.inference_share.snapshot(),
+            probe_share: self.probe_share.snapshot(),
+            result_copy: self.result_copy.snapshot(),
+        }
+    }
+}
+
+/// Per-tenant latency-attribution snapshot returned by
+/// [`QueryServer::tenant_tail`](crate::QueryServer::tenant_tail).  Each field
+/// is a full histogram snapshot (count / sum / percentiles / max) in
+/// nanoseconds, one sample per request routed to the tenant.
+#[derive(Debug, Clone, Default)]
+pub struct TenantTail {
+    /// Enqueue → batch formation, per batched request.
+    pub queue_delay: HistogramSnapshot,
+    /// Newest batch member's arrival → execution start (the coalescing hold).
+    pub coalesce_wait: HistogramSnapshot,
+    /// Enqueue → response ready, per completed request.
+    pub request_wall: HistogramSnapshot,
+    /// Key-weighted share of the merged batch's store execution time.
+    pub exec_share: HistogramSnapshot,
+    /// Key-weighted share of the batch's model inference time.
+    pub inference_share: HistogramSnapshot,
+    /// Key-weighted share of the batch's auxiliary probe time.
+    pub probe_share: HistogramSnapshot,
+    /// Per-request result-copy (demux) time.
+    pub result_copy: HistogramSnapshot,
 }
 
 /// Point-in-time counter snapshot returned by
 /// [`QueryServer::stats`](crate::QueryServer::stats).
 ///
-/// All durations are summed nanoseconds over the events counted so far;
-/// divide by the matching count (the `mean_*` helpers do) for averages. This
-/// mirrors the `LatencyBreakdown` discipline in `dm_core`: cheap relaxed
-/// counters on the hot path, derived rates at read time.
+/// Counts are exact relaxed-counter reads.  Latency fields come in two
+/// flavors: percentile fields (`*_p50` … `*_max`) read from log2-bucketed
+/// histograms (≤ 12.5% relative error, see `dm_obs`), and summed-nanos fields
+/// kept for mean computation.  This mirrors the `LatencyBreakdown` discipline
+/// in `dm_core`: cheap relaxed recording on the hot path, derived rates at
+/// read time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// Requests admitted past admission control.
@@ -119,8 +247,17 @@ pub struct ServerStats {
     /// Largest number of requests coalesced into a single batch.
     pub max_coalesce_width: u64,
     /// Summed time from enqueue to batch formation, over batched requests.
+    ///
+    /// Derived from the queue-delay histogram's sum; prefer the
+    /// `queue_delay_p*` percentile fields — a mean hides the tail.
     pub queue_delay_nanos: u64,
+    /// Summed coalescing hold (newest batch member's arrival → execution
+    /// start) over batched requests.
+    pub coalesce_wait_nanos: u64,
     /// Summed time from enqueue to response ready, over completed requests.
+    ///
+    /// Derived from the request-wall histogram's sum; prefer the
+    /// `request_wall_p*` percentile fields — a mean hides the tail.
     pub request_wall_nanos: u64,
     /// Summed time spent inside `TupleStore::lookup_batch_into`.
     pub exec_nanos: u64,
@@ -130,6 +267,22 @@ pub struct ServerStats {
     pub tenants_opened: u64,
     /// Summed wall time of those lazy opens.
     pub tenant_open_nanos: u64,
+    /// Median enqueue-to-batch-formation delay over batched requests.
+    pub queue_delay_p50: Duration,
+    /// 95th-percentile queue delay.
+    pub queue_delay_p95: Duration,
+    /// 99th-percentile queue delay.
+    pub queue_delay_p99: Duration,
+    /// Largest observed queue delay.
+    pub queue_delay_max: Duration,
+    /// Median enqueue-to-response wall time over completed requests.
+    pub request_wall_p50: Duration,
+    /// 95th-percentile request wall time.
+    pub request_wall_p95: Duration,
+    /// 99th-percentile request wall time.
+    pub request_wall_p99: Duration,
+    /// Largest observed request wall time.
+    pub request_wall_max: Duration,
 }
 
 impl ServerStats {
@@ -143,7 +296,8 @@ impl ServerStats {
         }
     }
 
-    /// Mean enqueue-to-batch-formation delay over batched requests.
+    /// Mean enqueue-to-batch-formation delay over batched requests.  A mean
+    /// hides the tail: prefer `queue_delay_p95` / `queue_delay_p99`.
     pub fn mean_queue_delay(&self) -> Duration {
         self.queue_delay_nanos
             .checked_div(self.batched_requests)
@@ -151,7 +305,8 @@ impl ServerStats {
             .unwrap_or(Duration::ZERO)
     }
 
-    /// Mean enqueue-to-response wall time over completed requests.
+    /// Mean enqueue-to-response wall time over completed requests.  A mean
+    /// hides the tail: prefer `request_wall_p95` / `request_wall_p99`.
     pub fn mean_request_wall(&self) -> Duration {
         self.request_wall_nanos
             .checked_div(self.requests_completed)
@@ -167,8 +322,13 @@ mod tests {
     #[test]
     fn snapshot_reflects_recorded_batches_and_derived_means() {
         let cells = StatsCells::default();
-        cells.record_batch(4, 400, 4_000, 8_000, 1_000);
-        cells.record_batch(2, 200, 1_000, 1_600, 500);
+        cells.record_batch(4, 400, 1_000);
+        for _ in 0..4 {
+            cells.record_request(1_000, 200, 2_000);
+        }
+        cells.record_batch(2, 200, 500);
+        cells.record_request(500, 100, 800);
+        cells.record_request(500, 100, 800);
         cells.record_inline(7, 900, 300);
 
         let s = cells.snapshot();
@@ -178,9 +338,54 @@ mod tests {
         assert_eq!(s.keys_served, 607);
         assert_eq!(s.max_coalesce_width, 4);
         assert_eq!(s.inline_requests, 1);
+        assert_eq!(s.queue_delay_nanos, 5_000);
+        assert_eq!(s.coalesce_wait_nanos, 1_000);
+        assert_eq!(s.request_wall_nanos, 10_500);
         assert!((s.mean_coalesce_width() - 3.0).abs() < 1e-9);
         assert_eq!(s.mean_queue_delay(), Duration::from_nanos(5_000 / 6));
         assert_eq!(s.mean_request_wall(), Duration::from_nanos(10_500 / 7));
+    }
+
+    #[test]
+    fn percentile_fields_come_from_the_histograms() {
+        let cells = StatsCells::default();
+        // 50 fast requests and one slow straggler (~2% of the population, so
+        // nearest-rank p99 lands on it): the mean averages the straggler
+        // away, the p99/max must not.
+        for _ in 0..50 {
+            cells.record_request(1_000, 0, 10_000);
+        }
+        cells.record_request(1_000, 0, 40_000_000);
+        let s = cells.snapshot();
+        assert!(s.request_wall_p50 < Duration::from_micros(12));
+        assert!(s.request_wall_p99 >= Duration::from_millis(40));
+        assert_eq!(s.request_wall_max, Duration::from_millis(40));
+        let mean = s.mean_request_wall();
+        assert!(
+            s.request_wall_p99 > mean * 10,
+            "tail must dominate the mean: p99={:?} mean={mean:?}",
+            s.request_wall_p99
+        );
+    }
+
+    #[test]
+    fn tenant_obs_tail_snapshots_every_histogram() {
+        let obs = TenantObs::default();
+        obs.queue_delay.record_nanos(5);
+        obs.coalesce_wait.record_nanos(6);
+        obs.request_wall.record_nanos(7);
+        obs.exec_share.record_nanos(8);
+        obs.inference_share.record_nanos(9);
+        obs.probe_share.record_nanos(10);
+        obs.result_copy.record_nanos(11);
+        let tail = obs.tail();
+        assert_eq!(tail.queue_delay.count(), 1);
+        assert_eq!(tail.coalesce_wait.sum(), 6);
+        assert_eq!(tail.request_wall.max(), 7);
+        assert_eq!(tail.exec_share.sum(), 8);
+        assert_eq!(tail.inference_share.sum(), 9);
+        assert_eq!(tail.probe_share.sum(), 10);
+        assert_eq!(tail.result_copy.sum(), 11);
     }
 
     #[test]
@@ -189,5 +394,7 @@ mod tests {
         assert_eq!(s.mean_coalesce_width(), 0.0);
         assert_eq!(s.mean_queue_delay(), Duration::ZERO);
         assert_eq!(s.mean_request_wall(), Duration::ZERO);
+        assert_eq!(s.queue_delay_p99, Duration::ZERO);
+        assert_eq!(s.request_wall_max, Duration::ZERO);
     }
 }

@@ -6,8 +6,16 @@
 //! those phases through a shared [`Metrics`] handle so the benchmark harness can print
 //! the same breakdown.  Simulated I/O time (bytes ÷ modelled bandwidth) is recorded
 //! separately from measured wall-clock time so reports can show either.
+//!
+//! Recording is **lock-free**: every counter is a [`dm_obs::RelaxedCell`]
+//! (one relaxed atomic add per bump), so concurrent pipeline stages, pool
+//! shards and exec workers never serialize on a metrics mutex.  Relaxed adds
+//! never lose increments; a [`snapshot`](Metrics::snapshot) taken while
+//! writers are active may mix cells from slightly different instants (see the
+//! `dm_obs` accuracy contract), which the quiescent read points used by tests
+//! and benches make exact.
 
-use parking_lot::Mutex;
+use dm_obs::RelaxedCell;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -72,14 +80,20 @@ impl Phase {
 /// sharded partition probes), concurrent tasks each charge their own time, so a
 /// phase's figure is *CPU time summed across tasks* and can exceed the batch's
 /// wall-clock; on a serial pool it is exact wall-clock.
-/// [`total`](LatencyBreakdown::total) is therefore an upper bound on wall time
-/// under parallelism — benchmark harnesses that need wall latency measure it
-/// around the batch call (see `dm-bench`'s `measure_lookup`).
+/// [`total`](LatencyBreakdown::total) sums the phases and is therefore an
+/// upper bound on wall time under parallelism — [`wall_nanos`](Self::wall_nanos)
+/// is the actual caller-thread wall time measured around each batch, and the
+/// two only coincide on a serial pool.  Harnesses should report both (as
+/// `dm-bench` does) rather than treating the phase sum as latency.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyBreakdown {
     /// Time per phase, indexed in [`Phase::all`] order, in nanoseconds (see the
     /// struct-level parallelism caveat).
     pub phase_nanos: [u64; 6],
+    /// Wall-clock time measured around each batch on the calling thread, in
+    /// nanoseconds.  Unlike the phase sums this never double-counts parallel
+    /// work: it is what a client actually waited, summed over batches.
+    pub wall_nanos: u64,
     /// Simulated I/O time (bytes ÷ modelled bandwidth), in nanoseconds.
     pub simulated_io_nanos: u64,
     /// Bytes read from the simulated disk.
@@ -132,9 +146,17 @@ impl LatencyBreakdown {
         Duration::from_nanos(self.phase_nanos[phase.index()])
     }
 
-    /// Sum of all measured phase times.
+    /// Sum of all measured phase times — CPU time across tasks, an upper
+    /// bound on wall time under parallelism.  For what a caller actually
+    /// waited, use [`wall`](Self::wall).
     pub fn total(&self) -> Duration {
         Duration::from_nanos(self.phase_nanos.iter().sum())
+    }
+
+    /// Caller-thread wall time summed over batches (never double-counts
+    /// parallel work).
+    pub fn wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_nanos)
     }
 
     /// Total including the simulated I/O component — what the paper's
@@ -144,11 +166,66 @@ impl LatencyBreakdown {
     }
 }
 
+/// The lock-free counter cells behind a [`Metrics`] handle, mirroring
+/// [`LatencyBreakdown`] field-for-field.
+#[derive(Debug, Default)]
+struct MetricCells {
+    phase_nanos: [RelaxedCell; 6],
+    wall_nanos: RelaxedCell,
+    simulated_io_nanos: RelaxedCell,
+    bytes_read: RelaxedCell,
+    bytes_written: RelaxedCell,
+    partition_loads: RelaxedCell,
+    decompressions: RelaxedCell,
+    pool_hits: RelaxedCell,
+    pool_misses: RelaxedCell,
+    pool_evictions: RelaxedCell,
+    pool_single_flight_waits: RelaxedCell,
+    inference_batches: RelaxedCell,
+    inference_rows: RelaxedCell,
+    prefetch_tasks: RelaxedCell,
+    prefetch_hits: RelaxedCell,
+    prefetch_overlap_nanos: RelaxedCell,
+    exec_tasks: RelaxedCell,
+    exec_steals: RelaxedCell,
+    exec_park_nanos: RelaxedCell,
+}
+
+impl MetricCells {
+    fn for_each(&self, mut f: impl FnMut(&RelaxedCell)) {
+        for phase in &self.phase_nanos {
+            f(phase);
+        }
+        f(&self.wall_nanos);
+        f(&self.simulated_io_nanos);
+        f(&self.bytes_read);
+        f(&self.bytes_written);
+        f(&self.partition_loads);
+        f(&self.decompressions);
+        f(&self.pool_hits);
+        f(&self.pool_misses);
+        f(&self.pool_evictions);
+        f(&self.pool_single_flight_waits);
+        f(&self.inference_batches);
+        f(&self.inference_rows);
+        f(&self.prefetch_tasks);
+        f(&self.prefetch_hits);
+        f(&self.prefetch_overlap_nanos);
+        f(&self.exec_tasks);
+        f(&self.exec_steals);
+        f(&self.exec_park_nanos);
+    }
+}
+
 /// A cloneable handle to shared metrics.  Stores hold a handle and charge work to it;
 /// the benchmark harness resets it before a run and reads the breakdown afterwards.
+///
+/// Every `add_*` method is a few relaxed atomic adds — no mutex anywhere on
+/// the record path, so concurrent stage-3 probe tasks (or whole concurrent
+/// batches) never serialize here.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    inner: Arc<Mutex<LatencyBreakdown>>,
+    inner: Arc<MetricCells>,
 }
 
 impl Metrics {
@@ -157,19 +234,46 @@ impl Metrics {
         Self::default()
     }
 
-    /// Resets all counters to zero.
+    /// Resets all counters to zero.  Intended for quiescent points (between
+    /// benchmark runs); concurrent recordings may land before or after the
+    /// reset but never corrupt a cell.
     pub fn reset(&self) {
-        *self.inner.lock() = LatencyBreakdown::default();
+        self.inner.for_each(RelaxedCell::reset);
     }
 
     /// Returns a snapshot of the current counters.
     pub fn snapshot(&self) -> LatencyBreakdown {
-        *self.inner.lock()
+        let cells = &*self.inner;
+        let mut phase_nanos = [0u64; 6];
+        for (out, cell) in phase_nanos.iter_mut().zip(cells.phase_nanos.iter()) {
+            *out = cell.get();
+        }
+        LatencyBreakdown {
+            phase_nanos,
+            wall_nanos: cells.wall_nanos.get(),
+            simulated_io_nanos: cells.simulated_io_nanos.get(),
+            bytes_read: cells.bytes_read.get(),
+            bytes_written: cells.bytes_written.get(),
+            partition_loads: cells.partition_loads.get(),
+            decompressions: cells.decompressions.get(),
+            pool_hits: cells.pool_hits.get(),
+            pool_misses: cells.pool_misses.get(),
+            pool_evictions: cells.pool_evictions.get(),
+            pool_single_flight_waits: cells.pool_single_flight_waits.get(),
+            inference_batches: cells.inference_batches.get(),
+            inference_rows: cells.inference_rows.get(),
+            prefetch_tasks: cells.prefetch_tasks.get(),
+            prefetch_hits: cells.prefetch_hits.get(),
+            prefetch_overlap_nanos: cells.prefetch_overlap_nanos.get(),
+            exec_tasks: cells.exec_tasks.get(),
+            exec_steals: cells.exec_steals.get(),
+            exec_park_nanos: cells.exec_park_nanos.get(),
+        }
     }
 
     /// Adds wall-clock time to a phase.
     pub fn add_time(&self, phase: Phase, duration: Duration) {
-        self.inner.lock().phase_nanos[phase.index()] += duration.as_nanos() as u64;
+        self.inner.phase_nanos[phase.index()].add(duration.as_nanos() as u64);
     }
 
     /// Times a closure and charges it to a phase, returning its result.
@@ -180,70 +284,72 @@ impl Metrics {
         result
     }
 
+    /// Records one batch's caller-thread wall time (what the client waited,
+    /// as opposed to the summed per-phase CPU time).
+    pub fn add_wall(&self, duration: Duration) {
+        self.inner.wall_nanos.add(duration.as_nanos() as u64);
+    }
+
     /// Records a simulated-disk read of `bytes` that the bandwidth model says takes
     /// `io_time`.
     pub fn add_read(&self, bytes: u64, io_time: Duration) {
-        let mut inner = self.inner.lock();
-        inner.bytes_read += bytes;
-        inner.partition_loads += 1;
-        inner.simulated_io_nanos += io_time.as_nanos() as u64;
+        self.inner.bytes_read.add(bytes);
+        self.inner.partition_loads.add(1);
+        self.inner.simulated_io_nanos.add(io_time.as_nanos() as u64);
     }
 
     /// Records a simulated-disk write of `bytes`.
     pub fn add_write(&self, bytes: u64) {
-        self.inner.lock().bytes_written += bytes;
+        self.inner.bytes_written.add(bytes);
     }
 
     /// Records one decompression.
     pub fn add_decompression(&self) {
-        self.inner.lock().decompressions += 1;
+        self.inner.decompressions.add(1);
     }
 
     /// Records a buffer-pool hit.
     pub fn add_pool_hit(&self) {
-        self.inner.lock().pool_hits += 1;
+        self.inner.pool_hits.add(1);
     }
 
     /// Records a buffer-pool miss.
     pub fn add_pool_miss(&self) {
-        self.inner.lock().pool_misses += 1;
+        self.inner.pool_misses.add(1);
     }
 
     /// Records a buffer-pool eviction.
     pub fn add_pool_eviction(&self) {
-        self.inner.lock().pool_evictions += 1;
+        self.inner.pool_evictions.add(1);
     }
 
     /// Records a buffer-pool lookup that waited on another reader's in-flight
     /// single-flight load.
     pub fn add_pool_single_flight_wait(&self) {
-        self.inner.lock().pool_single_flight_waits += 1;
+        self.inner.pool_single_flight_waits.add(1);
     }
 
     /// Records one batch's stage-2/3 overlap: `tasks` prefetch loads spawned,
     /// `hits` of them resident by the time stage 3 probed, and the estimated
     /// load time hidden behind inference.
     pub fn add_prefetch(&self, tasks: u64, hits: u64, overlap_nanos: u64) {
-        let mut inner = self.inner.lock();
-        inner.prefetch_tasks += tasks;
-        inner.prefetch_hits += hits;
-        inner.prefetch_overlap_nanos += overlap_nanos;
+        self.inner.prefetch_tasks.add(tasks);
+        self.inner.prefetch_hits.add(hits);
+        self.inner.prefetch_overlap_nanos.add(overlap_nanos);
     }
 
     /// Records execution-runtime activity (a `dm_exec::ExecStats` delta) observed
     /// while serving this store's work.
     pub fn add_exec(&self, tasks: u64, steals: u64, park_nanos: u64) {
-        let mut inner = self.inner.lock();
-        inner.exec_tasks += tasks;
-        inner.exec_steals += steals;
-        inner.exec_park_nanos += park_nanos;
+        self.inner.exec_tasks.add(tasks);
+        self.inner.exec_steals.add(steals);
+        self.inner.exec_park_nanos.add(park_nanos);
     }
 
     /// Records one vectorized model forward pass over `rows` inputs.
     pub fn add_inference_batch(&self, rows: u64) {
-        let mut inner = self.inner.lock();
-        inner.inference_batches += 1;
-        inner.inference_rows += rows;
+        self.inner.inference_batches.add(1);
+        self.inner.inference_rows.add(rows);
     }
 }
 
@@ -270,6 +376,7 @@ mod tests {
         let metrics = Metrics::new();
         metrics.add_time(Phase::NeuralNetwork, Duration::from_millis(5));
         metrics.add_time(Phase::NeuralNetwork, Duration::from_millis(3));
+        metrics.add_wall(Duration::from_millis(11));
         metrics.add_read(1024, Duration::from_millis(1));
         metrics.add_write(10);
         metrics.add_decompression();
@@ -282,6 +389,7 @@ mod tests {
         metrics.add_inference_batch(128);
         let snap = metrics.snapshot();
         assert_eq!(snap.phase(Phase::NeuralNetwork), Duration::from_millis(8));
+        assert_eq!(snap.wall(), Duration::from_millis(11));
         assert_eq!(snap.bytes_read, 1024);
         assert_eq!(snap.bytes_written, 10);
         assert_eq!(snap.partition_loads, 1);
@@ -320,5 +428,49 @@ mod tests {
         let value = metrics.time(Phase::AuxiliaryLookup, || 21 * 2);
         assert_eq!(value, 42);
         assert!(metrics.snapshot().phase_nanos[Phase::AuxiliaryLookup.index()] > 0);
+    }
+
+    /// The concurrent-recording stress behind the "no mutex on the record
+    /// path" guarantee: hammer every counter from many threads and assert no
+    /// increment was lost (relaxed atomic adds are exact; a racy read-modify-
+    /// write reimplementation would fail this immediately).
+    #[test]
+    fn concurrent_recording_loses_no_counts() {
+        let metrics = Metrics::new();
+        let threads = 8;
+        let iters = 5_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..iters {
+                        metrics.add_time(Phase::AuxiliaryLookup, Duration::from_nanos(3));
+                        metrics.add_wall(Duration::from_nanos(7));
+                        metrics.add_pool_hit();
+                        metrics.add_pool_miss();
+                        metrics.add_read(2, Duration::from_nanos(1));
+                        metrics.add_prefetch(1, 1, 5);
+                        metrics.add_exec(2, 1, 4);
+                        metrics.add_inference_batch(16);
+                    }
+                });
+            }
+        });
+        let snap = metrics.snapshot();
+        let n = threads * iters;
+        assert_eq!(snap.phase_nanos[Phase::AuxiliaryLookup.index()], 3 * n);
+        assert_eq!(snap.wall_nanos, 7 * n);
+        assert_eq!(snap.pool_hits, n);
+        assert_eq!(snap.pool_misses, n);
+        assert_eq!(snap.bytes_read, 2 * n);
+        assert_eq!(snap.partition_loads, n);
+        assert_eq!(snap.simulated_io_nanos, n);
+        assert_eq!(snap.prefetch_tasks, n);
+        assert_eq!(snap.prefetch_hits, n);
+        assert_eq!(snap.prefetch_overlap_nanos, 5 * n);
+        assert_eq!(snap.exec_tasks, 2 * n);
+        assert_eq!(snap.exec_steals, n);
+        assert_eq!(snap.exec_park_nanos, 4 * n);
+        assert_eq!(snap.inference_batches, n);
+        assert_eq!(snap.inference_rows, 16 * n);
     }
 }

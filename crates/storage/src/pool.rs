@@ -286,6 +286,30 @@ impl<V> BufferPool<V> {
         id: u64,
         loader: impl FnOnce() -> Result<(V, usize)>,
     ) -> Result<Arc<V>> {
+        self.get_or_load_observed(id, None, loader)
+    }
+
+    /// [`get_or_load`](Self::get_or_load) with per-batch stage tracing: a
+    /// single-flight wait records a [`Stage::PoolWait`](dm_obs::Stage) span
+    /// and a cold load a [`Stage::PoolLoad`](dm_obs::Stage) span — into
+    /// `trace` when the caller is carrying one, and into the process-wide
+    /// stage histograms either way (both no-ops under `DM_OBS=off`).  The
+    /// [`Metrics`] counters are recorded unconditionally, exactly as in
+    /// `get_or_load`.
+    pub fn get_or_load_observed(
+        &self,
+        id: u64,
+        trace: Option<&dm_obs::Trace>,
+        loader: impl FnOnce() -> Result<(V, usize)>,
+    ) -> Result<Arc<V>> {
+        use dm_obs::Stage;
+        let record = |stage: Stage, begin: std::time::Instant| {
+            let dur = begin.elapsed();
+            match trace {
+                Some(trace) => trace.record_span(stage, begin, dur),
+                None => dm_obs::trace::record_stage(stage, dur.as_nanos() as u64),
+            }
+        };
         let shard = self.shard_for(id);
         let our_latch = {
             let mut inner = shard.inner.lock();
@@ -303,7 +327,10 @@ impl<V> BufferPool<V> {
                     drop(inner);
                     shard.single_flight_waits.fetch_add(1, Ordering::Relaxed);
                     self.metrics.add_pool_single_flight_wait();
-                    return latch.wait();
+                    let begin = std::time::Instant::now();
+                    let waited = latch.wait();
+                    record(Stage::PoolWait, begin);
+                    return waited;
                 }
                 None => {
                     let latch = Arc::new(LoadLatch::new());
@@ -315,7 +342,10 @@ impl<V> BufferPool<V> {
         // We won the race: run the loader with no lock held.
         shard.misses.fetch_add(1, Ordering::Relaxed);
         self.metrics.add_pool_miss();
-        match loader() {
+        let begin = std::time::Instant::now();
+        let loaded = loader();
+        record(Stage::PoolLoad, begin);
+        match loaded {
             Ok((value, bytes)) => {
                 let value = Arc::new(value);
                 self.publish(shard, id, &our_latch, Arc::clone(&value), bytes);

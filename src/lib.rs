@@ -46,12 +46,22 @@
 //!   workloads (with [`LookupWorkload::drive`](dm_data::LookupWorkload::drive) running
 //!   a workload against any `TupleStore`),
 //! * [`dm_baselines`] — the array-based, hash-based and DeepSqueeze-like baselines the
-//!   paper compares against.
+//!   paper compares against,
+//! * [`dm_obs`] (re-exported as [`obs`]) — the std-only observability substrate:
+//!   lock-free counters and log2-bucketed histograms, per-batch stage traces with
+//!   slow-op capture, and Prometheus/JSON exposition (`DM_OBS=off` disables the
+//!   tracing paths; see `examples/obs_quickstart.rs`).
 //!
 //! ## Workspace map
 //!
 //! ```text
 //! Cargo.toml                 workspace root + this facade package
+//! ├── crates/obs             dm-obs       std-only observability substrate: sharded
+//! │                                       atomic counters/gauges, log2-bucketed
+//! │                                       mergeable histograms, per-batch stage
+//! │                                       traces + slow-op capture ring,
+//! │                                       Prometheus/JSON exposition, DM_OBS
+//! │                                       kill switch (depends on nothing below)
 //! ├── crates/exec            dm-exec      vendored work-stealing runtime: fixed
 //! │                                       ThreadPool (per-worker deques + injector
 //! │                                       + parking), scope/join/parallel_chunks,
@@ -80,7 +90,9 @@
 //! │                                       coalescing under a deadline, bounded
 //! │                                       queue + load-shedding watermarks,
 //! │                                       per-tenant lazy snapshot open,
-//! │                                       ServerStats observability
+//! │                                       ServerStats + per-tenant tail
+//! │                                       attribution (queue delay, coalesce
+//! │                                       wait, batch shares) via dm-obs
 //! ├── crates/data            dm-data      TPC-H / TPC-DS / synthetic / crop
 //! │                                       generators, lookup & modification workloads
 //! ├── crates/baselines       dm-baselines array/hash partitioned stores, DeepSqueeze
@@ -223,6 +235,7 @@ pub use dm_core as core;
 pub use dm_data as data;
 pub use dm_exec as exec;
 pub use dm_nn as nn;
+pub use dm_obs as obs;
 pub use dm_persist as persist;
 pub use dm_server as server;
 pub use dm_storage as storage;

@@ -1,0 +1,127 @@
+//! Guard: the observability layer must be a pure observer.
+//!
+//! Flipping the `DM_OBS` kill switch may change how much the process *records*,
+//! but it must never change what a lookup *returns* nor how the pipeline
+//! *behaves*.  This test runs the identical workload with tracing off and on
+//! and proves (a) byte-identical lookup results and (b) identical
+//! `LatencyBreakdown` discrete counters — partition loads, pool traffic,
+//! inference batches, prefetch tasks — i.e. the pipeline took the same path.
+//! (Timing fields are excluded: nanosecond totals legitimately vary run to
+//! run whether or not tracing is on.)
+
+use deepmapping::obs;
+use deepmapping::prelude::*;
+
+/// The discrete (count-valued, timing-free) slice of a `LatencyBreakdown`.
+/// Equal shapes here mean the two runs did the same work.
+#[derive(Debug, PartialEq, Eq)]
+struct DiscreteCounters {
+    bytes_read: u64,
+    partition_loads: u64,
+    decompressions: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+    pool_evictions: u64,
+    inference_batches: u64,
+    inference_rows: u64,
+    prefetch_tasks: u64,
+}
+
+impl DiscreteCounters {
+    fn of(snapshot: &LatencyBreakdown) -> Self {
+        DiscreteCounters {
+            bytes_read: snapshot.bytes_read,
+            partition_loads: snapshot.partition_loads,
+            decompressions: snapshot.decompressions,
+            pool_hits: snapshot.pool_hits,
+            pool_misses: snapshot.pool_misses,
+            pool_evictions: snapshot.pool_evictions,
+            inference_batches: snapshot.inference_batches,
+            inference_rows: snapshot.inference_rows,
+            prefetch_tasks: snapshot.prefetch_tasks,
+        }
+    }
+}
+
+fn build_store() -> DeepMapping {
+    // Mixed-correlation rows so the aux table holds real partitions and the
+    // batch exercises every stage: existence split, inference, aux probes
+    // (with a pool small enough to force loads), and the merge.
+    let rows: Vec<Row> = (0..6_000u64)
+        .map(|k| {
+            let noisy = (k % 7 == 3) as u32 * (k as u32 % 97);
+            Row::new(k * 2, vec![((k / 16) % 5) as u32, noisy])
+        })
+        .collect();
+    // One exec thread: a serial pipeline makes the buffer-pool access order —
+    // and therefore the hit/miss/eviction counters compared below — exactly
+    // reproducible between the two runs.
+    DeepMappingBuilder::dm_z()
+        .training(TrainingConfig::quick())
+        .partition_bytes(8 * 1024)
+        .memory_budget(32 * 1024)
+        .exec_threads(1)
+        .build(&rows)
+        .expect("build store")
+}
+
+/// Runs the workload batches against the store and returns the materialized
+/// results plus the discrete-counter slice of the metrics it produced.
+fn run_workload(dm: &DeepMapping, batches: &[Vec<u64>]) -> (Vec<Vec<Option<Vec<u32>>>>, DiscreteCounters) {
+    dm.metrics().reset();
+    let mut buffer = LookupBuffer::new();
+    let mut results = Vec::with_capacity(batches.len());
+    for keys in batches {
+        dm.lookup_batch_into(keys, &mut buffer).expect("lookup");
+        let materialized: Vec<Option<Vec<u32>>> = (0..keys.len())
+            .map(|i| buffer.get(i).map(|values| values.to_vec()))
+            .collect();
+        results.push(materialized);
+    }
+    (results, DiscreteCounters::of(&dm.metrics().snapshot()))
+}
+
+#[test]
+fn kill_switch_never_changes_results_or_pipeline_behavior() {
+    let dm = build_store();
+    // Hits, misses (odd keys are absent), and out-of-range keys, across
+    // batch sizes small enough to stay serial and large enough to fan out.
+    let batches: Vec<Vec<u64>> = vec![
+        (0..64).collect(),
+        (0..4_000).map(|k| k * 3 + 1).collect(),
+        (5_000..12_500).map(|k| k * 2).collect(),
+        vec![0, 1, 11_998, 11_999, u64::MAX],
+    ];
+
+    let was_enabled = obs::enabled();
+
+    // Warm-up pass: both measured runs then start from the same steady-state
+    // buffer-pool contents (the first pass would otherwise cold-load what the
+    // second finds cached, skewing the counters for reasons unrelated to obs).
+    let _ = run_workload(&dm, &batches);
+
+    obs::set_enabled(false);
+    let (results_off, counters_off) = run_workload(&dm, &batches);
+
+    obs::set_enabled(true);
+    let (results_on, counters_on) = run_workload(&dm, &batches);
+
+    obs::set_enabled(was_enabled);
+
+    assert_eq!(
+        results_off, results_on,
+        "lookup results must be identical with tracing off vs on"
+    );
+    assert_eq!(
+        counters_off, counters_on,
+        "pipeline work counters must be identical with tracing off vs on"
+    );
+    // Sanity: the workload actually exercised the pipeline.
+    assert!(counters_on.inference_batches > 0 || counters_on.partition_loads > 0);
+    let hits: usize = results_on
+        .iter()
+        .flatten()
+        .filter(|r| r.is_some())
+        .count();
+    assert!(hits > 1_000, "workload should produce real hits, got {hits}");
+}
