@@ -17,9 +17,9 @@ use dm_bench::{
     build_baselines, build_deepmapping_pair, build_deepsqueeze, distribution_ms,
     measure_cold_start, measure_lookup_samples,
     open_loop::{self, OpenLoopConfig, OpenLoopOutcome},
-    report, write_lookup_json, BenchScale, ColdStartRecord, InferenceKernelRecord,
-    LookupThroughputRecord, MachineProfile, MeasuredLatency, ObsOverheadRecord,
-    ObservabilityReport, ServerLoadRecord, StageLatencyRecord, SystemUnderTest,
+    report, write_lookup_json, BenchScale, ColdStartRecord, HealthEpisodeRecord, HealthSection,
+    InferenceKernelRecord, LookupThroughputRecord, MachineProfile, MeasuredLatency,
+    ObsOverheadRecord, ObservabilityReport, ServerLoadRecord, StageLatencyRecord, SystemUnderTest,
 };
 use dm_core::{
     DeepMappingBuilder, MappingSchema, Quantization, SearchStrategy, TrainingConfig, KEY_HEADROOM,
@@ -27,7 +27,7 @@ use dm_core::{
 use dm_data::{LookupWorkload, SyntheticConfig};
 use dm_nn::{kernel, Activation, Matrix, MultiTaskSpec, TaskHeadSpec};
 use dm_server::{QueryServer, ServerConfig};
-use dm_storage::{DiskProfile, LookupBuffer, TupleStore};
+use dm_storage::{DiskProfile, LookupBuffer, MutableStore, Row, TupleStore};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -325,6 +325,22 @@ fn main() {
         .find(|s| s.name == "DM-Z")
         .map(|dmz| run_observability_section(dmz, &dataset, scale.batch(100_000)));
 
+    // Workload health: what the health layer (heat touches, windowed tails,
+    // drift accounting) costs on the hot path, and one measured drift episode
+    // — off-pattern updates drive the advisor to `Retrain`, maintenance acts
+    // on it, and the aux shrink lands next to the advisor's prediction.
+    report::banner(
+        "BENCH_lookup (health)",
+        "health-layer overhead and the drift -> advise -> retrain -> shrink episode",
+    );
+    let health_section = match run_health_section(&scale) {
+        Ok(section) => Some(section),
+        Err(err) => {
+            eprintln!("health section failed: {err}");
+            None
+        }
+    };
+
     match write_lookup_json(
         &scale,
         &records,
@@ -332,6 +348,7 @@ fn main() {
         &inference_records,
         &server_records,
         obs_report.as_ref(),
+        health_section.as_ref(),
     ) {
         Ok(path) => println!("\nwrote {} ({} records)", path.display(), records.len()),
         Err(err) => eprintln!("\nfailed to write BENCH_lookup.json: {err}"),
@@ -409,6 +426,134 @@ fn run_observability_section(
         stages,
         overhead,
     }
+}
+
+/// Builds a correlated DM-Z store (the model memorizes nearly everything, so a
+/// retrain has real aux bytes to reclaim), measures lookup throughput with the
+/// health layer recording vs with `DM_OBS` off, then drives the full drift
+/// episode: schema-valid off-pattern updates until the advisor says `Retrain`,
+/// `maintenance()` acting on it, and the measured aux shrink.
+fn run_health_section(scale: &BenchScale) -> Result<HealthSection, Box<dyn std::error::Error>> {
+    let n = scale.rows(2_000_000).max(20_000) as u64;
+    let rows: Vec<Row> = (0..n)
+        .map(|k| Row::new(k, vec![((k / 16) % 5) as u32, ((k / 64) % 3) as u32]))
+        .collect();
+    let mut dm = DeepMappingBuilder::dm_z()
+        .training(TrainingConfig {
+            epochs: 8,
+            batch_size: 2048,
+            ..TrainingConfig::default()
+        })
+        .partition_bytes(32 * 1024)
+        .quantization(Quantization::Int8)
+        .build(&rows)?;
+
+    // Overhead: the same evenly-spread hit batch, obs on vs off.  The on-path
+    // includes everything the health layer adds to a lookup: heat touches on
+    // pool access and the answer-mix drift accounting.
+    let batch = (scale.batch(100_000) as u64).min(n);
+    let stride = (n / batch).max(1);
+    let keys: Vec<u64> = (0..batch).map(|i| i * stride).collect();
+    let mut buffer = LookupBuffer::new();
+    dm.lookup_batch_into(&keys, &mut buffer)?; // warm the pool and the arena
+    let measure_kps = |dm: &dm_core::DeepMapping,
+                           buffer: &mut LookupBuffer|
+     -> Result<f64, Box<dyn std::error::Error>> {
+        let mut samples_ms = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            dm.lookup_batch_into(&keys, buffer)?;
+            samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let (mean_ms, _, _, _) = distribution_ms(&samples_ms);
+        Ok(keys.len() as f64 / (mean_ms / 1e3))
+    };
+    dm_obs::set_enabled(true);
+    let obs_on_kps = measure_kps(&dm, &mut buffer)?;
+    dm_obs::set_enabled(false);
+    let obs_off_kps = measure_kps(&dm, &mut buffer)?;
+    dm_obs::set_enabled(true);
+    let overhead = ObsOverheadRecord {
+        samples: SAMPLES,
+        obs_on_kps,
+        obs_off_kps,
+    };
+    println!(
+        "health-layer overhead: {:.0} keys/s on vs {:.0} keys/s off ({:+.2}%) over B={batch}",
+        overhead.obs_on_kps,
+        overhead.obs_off_kps,
+        overhead.delta_pct(),
+    );
+
+    // The episode.  Update values stay inside the trained cardinalities
+    // (schema-valid) but break the key correlation, so the model mispredicts
+    // them and they pile up in the delta overlay.
+    let update_rows = (n / 3).max(1_000);
+    for chunk in keys_chunks(update_rows, 8) {
+        let updates: Vec<Row> = chunk
+            .map(|k| Row::new(k, vec![(k % 5) as u32, ((k * 3 + 1) % 3) as u32]))
+            .collect();
+        dm.update_rows(&updates)?;
+    }
+    let report = dm.health_report();
+    let advice = report.primary();
+    let predicted = match advice {
+        dm_obs::Advice::Retrain {
+            expected_aux_shrink_bytes,
+            ..
+        } => *expected_aux_shrink_bytes,
+        _ => 0,
+    };
+    let aux_bytes_before = dm.aux_table().size_bytes() as u64;
+    let episode_advice = advice.label().to_string();
+    let overlay_ratio = report.drift.overlay_ratio();
+    let mispredict_ema = report.drift.mispredict_ema;
+    let start = Instant::now();
+    dm.maintenance()?;
+    let maintenance_ms = start.elapsed().as_secs_f64() * 1e3;
+    let aux_bytes_after = dm.aux_table().size_bytes() as u64;
+    let healthy_after = matches!(dm.health_report().primary(), dm_obs::Advice::Healthy);
+    let episode = HealthEpisodeRecord {
+        system: dm.config().paper_name(),
+        rows: n as usize,
+        update_rows: update_rows as usize,
+        overlay_ratio,
+        mispredict_ema,
+        advice: episode_advice,
+        predicted_shrink_bytes: predicted,
+        aux_bytes_before,
+        aux_bytes_after,
+        maintenance_ms,
+        healthy_after,
+    };
+    println!(
+        "episode: {} off-pattern updates -> overlay {:.0}% / ema {:.2} -> advice '{}' (predicted shrink {}B)",
+        episode.update_rows,
+        episode.overlay_ratio * 100.0,
+        episode.mispredict_ema,
+        episode.advice,
+        episode.predicted_shrink_bytes,
+    );
+    println!(
+        "maintenance: {:.1} ms, aux {}B -> {}B (shrank {}B), healthy_after={}",
+        episode.maintenance_ms,
+        episode.aux_bytes_before,
+        episode.aux_bytes_after,
+        episode.measured_shrink_bytes(),
+        episode.healthy_after,
+    );
+    Ok(HealthSection { overhead, episode })
+}
+
+/// Splits `0..total` into `parts` contiguous key ranges (the storm arrives as
+/// batches, so the misprediction EMA folds more than once).
+fn keys_chunks(total: u64, parts: u64) -> impl Iterator<Item = std::ops::Range<u64>> {
+    let step = (total / parts).max(1);
+    (0..parts).map(move |i| {
+        let lo = i * step;
+        let hi = if i + 1 == parts { total } else { (i + 1) * step };
+        lo..hi
+    })
 }
 
 /// Builds the server-sweep tenant: the paper's out-of-memory serving shape.

@@ -1,0 +1,173 @@
+//! Quick-mode throughput regression gate against the committed
+//! `BENCH_lookup.json`.
+//!
+//! Rebuilds the two most load-bearing systems of the lookup sweep — the `AB`
+//! raw-array baseline (floor: nothing but memcpy-level work) and `DM-Z` (the
+//! paper's system, the row this repo's perf work targets) — at the baseline's
+//! own `scale_factor`, re-measures their single-threaded rows, and compares
+//! keys/s against the committed numbers with a noise-aware band.
+//!
+//! **Warn-only by default**: the committed numbers come from one reference
+//! box, so on CI or foreign hardware the gate reports drift without failing
+//! the build.  `DM_GATE_STRICT=1` turns regressions into exit 1 (for the
+//! reference box); `DM_GATE_TOLERANCE` (default 0.35) sets the band.
+//!
+//! Run with `cargo bench -p dm-bench --bench regression_gate`.
+
+use dm_bench::{
+    gate, measure_lookup_samples, report, BenchScale, LookupThroughputRecord, MachineProfile,
+    SystemUnderTest,
+};
+use dm_compress::Codec;
+use dm_core::{DeepMappingBuilder, Quantization, TrainingConfig};
+use dm_data::{LookupWorkload, SyntheticConfig};
+use dm_storage::Metrics;
+
+/// Fewer reps than the full bench (this runs on every PR), but still enough
+/// for a stable mean; the gate compares means, not tails.
+const SAMPLES: usize = 15;
+/// Systems the gate re-measures.  The full matrix takes minutes to build;
+/// these two bound the sweep from below (AB) and cover our own system (DM-Z).
+const GATED_SYSTEMS: [&str; 2] = ["AB", "DM-Z"];
+
+fn main() {
+    let Some(path) = gate::baseline_path() else {
+        println!("regression gate: no committed BENCH_lookup.json found — nothing to compare");
+        return;
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(json) => json,
+        Err(err) => {
+            println!("regression gate: cannot read {}: {err}", path.display());
+            return;
+        }
+    };
+    let baseline_rows = gate::parse_baseline(&json);
+    let gated: Vec<_> = baseline_rows
+        .iter()
+        .filter(|r| r.threads == 1 && GATED_SYSTEMS.contains(&r.system.as_str()))
+        .cloned()
+        .collect();
+    if gated.is_empty() {
+        println!(
+            "regression gate: {} has no single-threaded AB/DM-Z rows — nothing to compare",
+            path.display()
+        );
+        return;
+    }
+    let scale = BenchScale {
+        factor: gate::parse_scale_factor(&json).unwrap_or_else(|| BenchScale::from_env().factor),
+    };
+    let tolerance = gate::tolerance_from_env();
+    let strict = std::env::var("DM_GATE_STRICT").map(|v| v == "1").unwrap_or(false);
+
+    report::banner(
+        "regression gate",
+        "quick re-measure of AB / DM-Z vs the committed BENCH_lookup.json",
+    );
+    println!(
+        "baseline: {} (scale {}), tolerance {:.0}%, {} gated rows, {}",
+        path.display(),
+        scale.factor,
+        tolerance * 100.0,
+        gated.len(),
+        if strict { "strict" } else { "warn-only" }
+    );
+
+    // Same dataset family and machine profile as the committed sweep.
+    let dataset = SyntheticConfig::multi_high(scale.rows(2_000_000)).generate();
+    let machine = MachineProfile::large();
+    let mut systems: Vec<SystemUnderTest> = Vec::new();
+    {
+        use dm_baselines::{PartitionedStore, PartitionedStoreConfig};
+        let metrics = Metrics::new();
+        let config = PartitionedStoreConfig::array(Codec::None)
+            .with_memory_budget(machine.memory_budget_bytes)
+            .with_disk_profile(machine.disk)
+            .with_partition_bytes(64 * 1024);
+        let store =
+            PartitionedStore::build(&dataset.rows(), dataset.num_value_columns(), config, metrics.clone())
+                .expect("AB build");
+        systems.push(SystemUnderTest::new("AB", Box::new(store), metrics));
+    }
+    {
+        let dm = DeepMappingBuilder::dm_z()
+            .memory_budget(machine.memory_budget_bytes)
+            .disk_profile(machine.disk)
+            .partition_bytes(32 * 1024)
+            .quantization(Quantization::Int8)
+            .training(TrainingConfig {
+                epochs: 30,
+                batch_size: 512,
+                ..TrainingConfig::default()
+            })
+            .build(&dataset.rows())
+            .expect("DM-Z build");
+        let metrics = dm.metrics().clone();
+        systems.push(SystemUnderTest::new("DM-Z", Box::new(dm), metrics));
+    }
+
+    report::row(
+        "row",
+        &[
+            "baseline k/s".into(),
+            "measured".into(),
+            "ratio".into(),
+            "verdict".into(),
+        ],
+    );
+    let mut regressions = 0usize;
+    for row in &gated {
+        let Some(system) = systems.iter_mut().find(|s| s.name == row.system) else {
+            continue;
+        };
+        let keys = LookupWorkload::hits_only(row.batch_size).generate(&dataset);
+        let samples = measure_lookup_samples(system, &keys, SAMPLES);
+        let measured =
+            LookupThroughputRecord::from_samples(&row.system, 1, row.batch_size, &samples);
+        let comparison = gate::Comparison {
+            baseline: row.clone(),
+            measured_kps: measured.keys_per_second,
+        };
+        let regressed = comparison.regressed(tolerance);
+        if regressed {
+            regressions += 1;
+        }
+        report::row(
+            &format!("{} B={}", row.system, row.batch_size),
+            &[
+                format!("{:.0}", row.keys_per_second),
+                format!("{:.0}", comparison.measured_kps),
+                format!("{:.2}", comparison.ratio()),
+                if regressed { "WARN".into() } else { "ok".into() },
+            ],
+        );
+    }
+
+    // The health section ships under a ≤ 1% overhead budget; the committed
+    // number is re-checked here so a baseline regenerated past the budget is
+    // loud on the next gate run, not just buried in a JSON diff.
+    if let Some(delta_pct) = gate::parse_health_overhead_pct(&json) {
+        let over = delta_pct > 1.0;
+        println!(
+            "committed health-layer overhead: {delta_pct:+.3}% (budget 1%): {}",
+            if over { "WARN" } else { "ok" }
+        );
+        if over {
+            regressions += 1;
+        }
+    }
+
+    if regressions > 0 {
+        println!(
+            "\nregression gate: {regressions} row(s) beyond the {:.0}% band{}",
+            tolerance * 100.0,
+            if strict { "" } else { " (warn-only; set DM_GATE_STRICT=1 to fail)" }
+        );
+        if strict {
+            std::process::exit(1);
+        }
+    } else {
+        println!("\nregression gate: all gated rows within the noise band");
+    }
+}

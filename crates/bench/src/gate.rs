@@ -1,0 +1,242 @@
+//! Throughput regression gate: parse the committed `BENCH_lookup.json`
+//! baseline and compare a fresh quick-mode measurement against it.
+//!
+//! The committed numbers come from one reference box, so the gate is
+//! **warn-only by default**: on foreign hardware it reports drift instead of
+//! failing the build.  Set `DM_GATE_STRICT=1` on the reference box to turn
+//! regressions into a non-zero exit, and `DM_GATE_TOLERANCE` (default `0.35`)
+//! to widen or narrow the noise band.
+//!
+//! Parsing is line-based on purpose: `lookup_records_to_json` emits one record
+//! per line, and the offline build has no serde — a full JSON parser would be
+//! more code than the whole gate.
+
+/// One throughput row extracted from the committed report, keyed the same way
+/// the bench emits it: `(system, threads, batch_size)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Paper-style system name (`DM-Z`, `ABC-Z`, ...).
+    pub system: String,
+    /// Concurrent issuing threads of the row.
+    pub threads: usize,
+    /// Keys per batch.
+    pub batch_size: usize,
+    /// Committed lookup throughput in keys per second.
+    pub keys_per_second: f64,
+}
+
+/// Extracts `"key": <number>` from a single-line JSON record.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts `"key": "value"` from a single-line JSON record.  Stops at the
+/// closing quote; the bench escapes embedded quotes, which no paper-style
+/// system name contains, so the gate does not un-escape.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Parses the `results` array of a committed `BENCH_lookup.json` into
+/// comparable rows.  Unparseable lines are skipped, not fatal — a hand-edited
+/// baseline degrades the gate's coverage, never the build.
+pub fn parse_baseline(json: &str) -> Vec<BaselineRow> {
+    let mut rows = Vec::new();
+    let mut in_results = false;
+    for line in json.lines() {
+        if line.contains("\"results\"") {
+            in_results = true;
+            continue;
+        }
+        if in_results && line.trim_start().starts_with(']') {
+            break;
+        }
+        if !in_results {
+            continue;
+        }
+        let (Some(system), Some(threads), Some(batch), Some(kps)) = (
+            field_str(line, "system"),
+            field_f64(line, "threads"),
+            field_f64(line, "batch_size"),
+            field_f64(line, "keys_per_second"),
+        ) else {
+            continue;
+        };
+        rows.push(BaselineRow {
+            system,
+            threads: threads as usize,
+            batch_size: batch as usize,
+            keys_per_second: kps,
+        });
+    }
+    rows
+}
+
+/// Parses the document-level `scale_factor` the committed baseline was
+/// produced at, so the gate re-measures at the same scale regardless of the
+/// current `DM_BENCH_SCALE` environment.
+pub fn parse_scale_factor(json: &str) -> Option<f64> {
+    json.lines()
+        .find(|l| l.contains("\"scale_factor\""))
+        .and_then(|l| field_f64(l, "scale_factor"))
+}
+
+/// Parses the committed health-overhead `delta_pct` (observability cost in
+/// percent), when the baseline carries a `health` section.
+pub fn parse_health_overhead_pct(json: &str) -> Option<f64> {
+    let mut in_health = false;
+    for line in json.lines() {
+        if line.contains("\"health\"") {
+            in_health = true;
+        }
+        if in_health {
+            if let Some(v) = field_f64(line, "delta_pct") {
+                return Some(v);
+            }
+            if line.trim_start().starts_with('}') {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// One gate comparison: a baseline row against a fresh measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The committed row.
+    pub baseline: BaselineRow,
+    /// Freshly measured keys per second for the same cell.
+    pub measured_kps: f64,
+}
+
+impl Comparison {
+    /// Measured-over-baseline throughput ratio (1.0 = parity).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline.keys_per_second > 0.0 {
+            self.measured_kps / self.baseline.keys_per_second
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether the measurement regressed beyond the noise band: a drop larger
+    /// than `tolerance` (e.g. `0.35` allows measured ≥ 65% of baseline).
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        self.ratio() < 1.0 - tolerance
+    }
+}
+
+/// Reads the gate's noise tolerance from `DM_GATE_TOLERANCE` (default `0.35`,
+/// clamped to a sane band — throughput on shared CI boxes is noisy).
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("DM_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.35)
+        .clamp(0.05, 0.9)
+}
+
+/// Locates the committed `BENCH_lookup.json` by walking up from the package
+/// directory to the workspace root (where `Cargo.lock` lives), mirroring
+/// [`crate::write_lookup_json`].
+pub fn baseline_path() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    for _ in 0..4 {
+        let candidate = dir.join("BENCH_lookup.json");
+        if dir.join("Cargo.lock").exists() && candidate.exists() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmark": "lookup_batch",
+  "scale_factor": 0.005,
+  "results": [
+    {"system": "AB", "threads": 1, "batch_size": 1000, "samples": 33, "total_ms": 0.1, "p50_ms": 0.1, "p95_ms": 0.1, "keys_per_second": 9000000.0},
+    {"system": "DM-Z", "threads": 1, "batch_size": 25000, "samples": 33, "total_ms": 26.0, "p50_ms": 26.0, "p95_ms": 27.0, "p99_ms": 28.0, "keys_per_second": 945000.0},
+    {"system": "DM-Z", "threads": 4, "batch_size": 25000, "samples": 52, "total_ms": 40.0, "p50_ms": 40.0, "p95_ms": 44.0, "keys_per_second": 2400000.0}
+  ],
+  "server": [
+    {"mode": "direct", "window_us": 0.0, "keys_per_second": 1.0}
+  ],
+  "health": {
+    "overhead": {"samples": 33, "obs_on_kps": 940000.0, "obs_off_kps": 945000.0, "delta_pct": 0.529},
+    "episode": {"system": "DM-Z", "rows": 10000, "advice": "retrain", "healthy_after": true}
+  }
+}"#;
+
+    #[test]
+    fn parses_result_rows_and_stops_at_the_array_end() {
+        let rows = parse_baseline(SAMPLE);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].system, "DM-Z");
+        assert_eq!(rows[1].threads, 1);
+        assert_eq!(rows[1].batch_size, 25_000);
+        assert_eq!(rows[1].keys_per_second, 945_000.0);
+        // The `server` array's rows never leak into the results.
+        assert!(rows.iter().all(|r| r.system != "direct"));
+    }
+
+    #[test]
+    fn parses_the_health_overhead_and_tolerates_its_absence() {
+        assert_eq!(parse_health_overhead_pct(SAMPLE), Some(0.529));
+        let without = SAMPLE.replace("\"health\"", "\"hlth\"");
+        assert_eq!(parse_health_overhead_pct(&without), None);
+    }
+
+    #[test]
+    fn parses_the_scale_factor() {
+        assert_eq!(parse_scale_factor(SAMPLE), Some(0.005));
+        assert_eq!(parse_scale_factor("{}"), None);
+    }
+
+    #[test]
+    fn comparison_flags_only_drops_beyond_the_noise_band() {
+        let baseline = BaselineRow {
+            system: "DM-Z".into(),
+            threads: 1,
+            batch_size: 25_000,
+            keys_per_second: 1_000_000.0,
+        };
+        let fine = Comparison {
+            baseline: baseline.clone(),
+            measured_kps: 700_000.0,
+        };
+        assert!(!fine.regressed(0.35), "a 30% drop is inside the band");
+        let bad = Comparison {
+            baseline,
+            measured_kps: 600_000.0,
+        };
+        assert!(bad.regressed(0.35), "a 40% drop is a regression");
+        assert!((bad.ratio() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_not_fatal() {
+        let mangled = "{\n  \"results\": [\n    not json at all\n    {\"system\": \"AB\", \"threads\": 1, \"batch_size\": 100, \"keys_per_second\": 5.0}\n  ]\n}";
+        let rows = parse_baseline(mangled);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].system, "AB");
+    }
+}

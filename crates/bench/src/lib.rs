@@ -16,6 +16,7 @@
 //! * [`report`] — fixed-width table printing so `cargo bench` output reads like the
 //!   paper's tables.
 
+pub mod gate;
 pub mod open_loop;
 pub mod sweeps;
 
@@ -592,6 +593,56 @@ pub struct ObservabilityReport {
     pub overhead: ObsOverheadRecord,
 }
 
+/// One measured drift episode for the `health` section of `BENCH_lookup.json`:
+/// off-pattern updates drive the drift signals up, the advisor recommends a
+/// retrain with a predicted aux shrink, `maintenance()` acts on it, and the
+/// actual shrink lands next to the prediction — the advise→act loop measured,
+/// not asserted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthEpisodeRecord {
+    /// System under test (`DM-Z`).
+    pub system: String,
+    /// Rows in the store before the storm.
+    pub rows: usize,
+    /// Off-pattern updates applied during the storm.
+    pub update_rows: usize,
+    /// Delta-overlay share of the aux table at advice time.
+    pub overlay_ratio: f64,
+    /// Write-time misprediction EMA at advice time.
+    pub mispredict_ema: f64,
+    /// Primary advice slug at the peak of the storm (`retrain` expected).
+    pub advice: String,
+    /// The advisor's `expected_aux_shrink_bytes` prediction.
+    pub predicted_shrink_bytes: u64,
+    /// Aux-table bytes immediately before maintenance.
+    pub aux_bytes_before: u64,
+    /// Aux-table bytes immediately after maintenance.
+    pub aux_bytes_after: u64,
+    /// Wall time of the `maintenance()` call in milliseconds.
+    pub maintenance_ms: f64,
+    /// Whether the post-maintenance report is back to `Healthy`.
+    pub healthy_after: bool,
+}
+
+impl HealthEpisodeRecord {
+    /// Aux bytes actually reclaimed by maintenance.
+    pub fn measured_shrink_bytes(&self) -> u64 {
+        self.aux_bytes_before.saturating_sub(self.aux_bytes_after)
+    }
+}
+
+/// The `health` section of `BENCH_lookup.json`: what the workload-health layer
+/// itself costs on the hot path, plus one end-to-end drift episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSection {
+    /// Obs-on vs obs-off lookup throughput with the health layer active (heat
+    /// touches, windowed recording, drift accounting) — the ≤ 1% budget the
+    /// telemetry ships under.
+    pub overhead: ObsOverheadRecord,
+    /// The measured drift → advise → retrain → shrink episode.
+    pub episode: HealthEpisodeRecord,
+}
+
 /// Serializes throughput records as a `BENCH_lookup.json` document so successive PRs
 /// can diff per-backend batch-lookup throughput mechanically.  (Hand-rolled JSON —
 /// the offline build environment has no serde.)
@@ -602,6 +653,7 @@ pub fn lookup_records_to_json(
     inference: &[InferenceKernelRecord],
     server: &[ServerLoadRecord],
     observability: Option<&ObservabilityReport>,
+    health: Option<&HealthSection>,
 ) -> String {
     fn escape(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -707,6 +759,36 @@ pub fn lookup_records_to_json(
         }
         None => out.push_str("  \"observability\": null,\n"),
     }
+    match health {
+        Some(section) => {
+            out.push_str("  \"health\": {\n");
+            out.push_str(&format!(
+                "    \"overhead\": {{\"samples\": {}, \"obs_on_kps\": {:.3}, \"obs_off_kps\": {:.3}, \"delta_pct\": {:.3}}},\n",
+                section.overhead.samples,
+                finite(section.overhead.obs_on_kps),
+                finite(section.overhead.obs_off_kps),
+                finite(section.overhead.delta_pct()),
+            ));
+            let e = &section.episode;
+            out.push_str(&format!(
+                "    \"episode\": {{\"system\": \"{}\", \"rows\": {}, \"update_rows\": {}, \"overlay_ratio\": {:.4}, \"mispredict_ema\": {:.4}, \"advice\": \"{}\", \"predicted_shrink_bytes\": {}, \"aux_bytes_before\": {}, \"aux_bytes_after\": {}, \"measured_shrink_bytes\": {}, \"maintenance_ms\": {:.3}, \"healthy_after\": {}}}\n",
+                escape(&e.system),
+                e.rows,
+                e.update_rows,
+                finite(e.overlay_ratio),
+                finite(e.mispredict_ema),
+                escape(&e.advice),
+                e.predicted_shrink_bytes,
+                e.aux_bytes_before,
+                e.aux_bytes_after,
+                e.measured_shrink_bytes(),
+                finite(e.maintenance_ms),
+                e.healthy_after,
+            ));
+            out.push_str("  },\n");
+        }
+        None => out.push_str("  \"health\": null,\n"),
+    }
     out.push_str("  \"cold_start\": [\n");
     for (i, record) in cold_start.iter().enumerate() {
         out.push_str(&format!(
@@ -738,6 +820,7 @@ pub fn write_lookup_json(
     inference: &[InferenceKernelRecord],
     server: &[ServerLoadRecord],
     observability: Option<&ObservabilityReport>,
+    health: Option<&HealthSection>,
 ) -> std::io::Result<std::path::PathBuf> {
     let mut dir = std::env::var_os("CARGO_MANIFEST_DIR")
         .map(std::path::PathBuf::from)
@@ -758,7 +841,15 @@ pub fn write_lookup_json(
     let path = dir.join("BENCH_lookup.json");
     std::fs::write(
         &path,
-        lookup_records_to_json(scale, records, cold_start, inference, server, observability),
+        lookup_records_to_json(
+            scale,
+            records,
+            cold_start,
+            inference,
+            server,
+            observability,
+            health,
+        ),
     )?;
     Ok(path)
 }
@@ -1000,17 +1091,51 @@ mod tests {
                 obs_off_kps: 100_000.0,
             },
         };
-        let json =
-            lookup_records_to_json(&scale, &records, &cold, &inference, &server, Some(&obs));
+        let health = HealthSection {
+            overhead: ObsOverheadRecord {
+                samples: 33,
+                obs_on_kps: 99_500.0,
+                obs_off_kps: 100_000.0,
+            },
+            episode: HealthEpisodeRecord {
+                system: "DM-Z".into(),
+                rows: 10_000,
+                update_rows: 4_000,
+                overlay_ratio: 0.68,
+                mispredict_ema: 0.62,
+                advice: "retrain".into(),
+                predicted_shrink_bytes: 23_000,
+                aux_bytes_before: 122_000,
+                aux_bytes_after: 30_000,
+                maintenance_ms: 85.0,
+                healthy_after: true,
+            },
+        };
+        let json = lookup_records_to_json(
+            &scale,
+            &records,
+            &cold,
+            &inference,
+            &server,
+            Some(&obs),
+            Some(&health),
+        );
         assert!(json.contains("\"benchmark\": \"lookup_batch\""));
         assert!(json.contains("\"observability\": {"));
         assert!(json.contains("\"stage\": \"inference\""));
         assert!(json.contains("\"obs_on_kps\": 99000.000"));
         assert!(json.contains("\"delta_pct\": 1.000"));
         assert!((obs.overhead.delta_pct() - 1.0).abs() < 1e-9);
+        assert!(json.contains("\"health\": {"));
+        assert!(json.contains("\"advice\": \"retrain\""));
+        assert!(json.contains("\"measured_shrink_bytes\": 92000"));
+        assert_eq!(health.episode.measured_shrink_bytes(), 92_000);
+        assert!(json.contains("\"healthy_after\": true"));
+        assert!(json.contains("\"delta_pct\": 0.500"));
         let without =
-            lookup_records_to_json(&scale, &records, &cold, &inference, &server, None);
+            lookup_records_to_json(&scale, &records, &cold, &inference, &server, None, None);
         assert!(without.contains("\"observability\": null"));
+        assert!(without.contains("\"health\": null"));
         assert!(json.contains("\"cold_start\""));
         assert!(json.contains("\"inference\""));
         assert!(json.contains("\"shape\": \"35x100\""));

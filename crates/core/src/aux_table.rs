@@ -137,6 +137,10 @@ pub struct AuxTable {
     /// Keys removed from the compressed partitions since the last compaction.
     tombstones: BTreeSet<u64>,
     metrics: Metrics,
+    /// Decayed per-partition heat, fed by the buffer pool (accesses/misses)
+    /// and the loader (decompressions).  Recording is `DM_OBS`-gated inside
+    /// `HeatMap`; reports come out through [`heat_report`](Self::heat_report).
+    heat: Arc<dm_obs::HeatMap>,
 }
 
 impl std::fmt::Debug for AuxTable {
@@ -161,7 +165,9 @@ impl AuxTable {
         metrics: Metrics,
     ) -> Result<Self> {
         let disk = SimulatedDisk::new(disk_profile);
-        let pool = BufferPool::new(memory_budget_bytes, metrics.clone());
+        let heat = Arc::new(dm_obs::HeatMap::default());
+        let mut pool = BufferPool::new(memory_budget_bytes, metrics.clone());
+        pool.attach_heat(Arc::clone(&heat));
         let mut table = AuxTable {
             codec,
             partition_bytes,
@@ -174,6 +180,7 @@ impl AuxTable {
             delta: BTreeMap::new(),
             tombstones: BTreeSet::new(),
             metrics,
+            heat,
         };
         table.write_partitions(misclassified)?;
         Ok(table)
@@ -187,7 +194,9 @@ impl AuxTable {
         snapshot: AuxTableSnapshot,
         metrics: Metrics,
     ) -> Self {
-        let pool = BufferPool::new(snapshot.memory_budget_bytes, metrics.clone());
+        let heat = Arc::new(dm_obs::HeatMap::default());
+        let mut pool = BufferPool::new(snapshot.memory_budget_bytes, metrics.clone());
+        pool.attach_heat(Arc::clone(&heat));
         let mut directory: Vec<AuxPartitionMeta> = snapshot
             .partitions
             .iter()
@@ -216,6 +225,7 @@ impl AuxTable {
                 .collect(),
             tombstones: snapshot.tombstones.into_iter().collect(),
             metrics,
+            heat,
         }
     }
 
@@ -296,11 +306,13 @@ impl AuxTable {
         let meta = self.directory[idx];
         let source = self.backing.source();
         let metrics = &self.metrics;
+        let heat = &self.heat;
         self.pool
             .get_or_load_observed(meta.disk_id, trace, || {
                 let payload = metrics.time(Phase::LoadAndDecompress, || {
                     source.read_partition(meta.disk_id, metrics)
                 })?;
+                heat.touch(meta.disk_id, dm_obs::Touch::Decompress);
                 let partition = metrics
                     .time(Phase::LoadAndDecompress, || ArrayPartition::from_bytes(&payload))?;
                 let bytes = partition.len() * Row::fixed_width(partition.iter().next().map(|r| r.values.len()).unwrap_or(0));
@@ -640,6 +652,42 @@ impl AuxTable {
     /// The delta-overlay size in bytes (used by the retraining trigger).
     pub fn overlay_bytes(&self) -> usize {
         self.delta.len() * Row::fixed_width(self.value_columns) + self.tombstones.len() * 8
+    }
+
+    /// Rows currently staged in the delta overlay.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Live tombstones shadowing partition rows.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Partition-heat report over this table's buffer pool: top-`top_k`
+    /// hot/cold partitions by decayed score plus resident-vs-budget pressure.
+    /// Partition ids in the report are this table's disk ids.  Empty (all
+    /// zeros) under `DM_OBS=off`, since nothing feeds the tracker.
+    pub fn heat_report(&self, top_k: usize) -> dm_obs::HeatReport {
+        let mut report = self.heat.report(top_k);
+        report.resident_bytes = self.pool.used_bytes() as u64;
+        // A budget of usize::MAX models "memory comfortably holds everything"
+        // — report it as unknown/unbounded rather than as a pressure ratio.
+        if self.memory_budget_bytes != usize::MAX {
+            report.budget_bytes = self.memory_budget_bytes as u64;
+        }
+        report
+    }
+
+    /// The advisor's pool-pressure input, extracted from
+    /// [`heat_report`](Self::heat_report).
+    pub fn pool_pressure(&self) -> dm_obs::PoolPressure {
+        let report = self.heat_report(0);
+        dm_obs::PoolPressure {
+            resident_bytes: report.resident_bytes,
+            budget_bytes: report.budget_bytes,
+            miss_rate: report.miss_rate(),
+        }
     }
 
     /// The public partition directory, in key order (entry `i` ↔ partition id `i`

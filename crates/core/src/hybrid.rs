@@ -62,7 +62,23 @@ pub struct DeepMapping {
     tuple_count: usize,
     memorized_tuples: usize,
     retrain_count: usize,
+    /// Write-time misprediction EMA since the last retrain: each
+    /// insert/update batch folds its checked-prediction failure rate in with
+    /// `MISPREDICT_EMA_ALPHA`.  The advisor's earliest drift signal — it moves
+    /// before the overlay has grown.
+    mispredict_ema: f64,
+    /// Existence-bit flips (fresh inserts + deletes) since the last retrain.
+    exist_churn: u64,
+    /// Answer-mix counters at the last retrain: `Metrics` is monotone and
+    /// shared with the aux table, so drift reads subtract this baseline
+    /// instead of resetting the whole breakdown.
+    model_answered_base: u64,
+    aux_answered_base: u64,
 }
+
+/// Per-batch weight of the write-time misprediction EMA (see
+/// [`DeepMapping::drift_signals`]).
+const MISPREDICT_EMA_ALPHA: f64 = 0.2;
 
 impl std::fmt::Debug for DeepMapping {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -145,6 +161,10 @@ impl DeepMapping {
             tuple_count: rows.len(),
             memorized_tuples: memorized.len(),
             retrain_count: 0,
+            mispredict_ema: 0.0,
+            exist_churn: 0,
+            model_answered_base: 0,
+            aux_answered_base: 0,
         })
     }
 
@@ -226,6 +246,12 @@ impl DeepMapping {
             tuple_count: parts.tuple_count,
             memorized_tuples: parts.memorized_tuples,
             retrain_count: parts.retrain_count,
+            // Drift state is runtime-only: a freshly opened snapshot starts a
+            // new observation epoch.
+            mispredict_ema: 0.0,
+            exist_churn: 0,
+            model_answered_base: 0,
+            aux_answered_base: 0,
         }
     }
 
@@ -327,11 +353,13 @@ impl DeepMapping {
         let predictions = self
             .metrics
             .time(Phase::NeuralNetwork, || self.model.predict(&keys))?;
+        let mut mispredicts = 0u64;
         for (row, prediction) in rows.iter().zip(predictions.iter()) {
             let already_present = self.exist.get(row.key);
             self.exist.set(row.key, true);
             if !already_present {
                 self.tuple_count += 1;
+                self.exist_churn += 1;
             } else {
                 // Re-inserting an existing key behaves like an update; make sure any
                 // stale auxiliary entry does not survive.
@@ -347,9 +375,11 @@ impl DeepMapping {
                     self.memorized_tuples += 1;
                 }
             } else {
+                mispredicts += 1;
                 self.aux.upsert(row.clone());
             }
         }
+        self.note_write_checks(rows.len() as u64, mispredicts);
         self.maybe_retrain()?;
         Ok(())
     }
@@ -361,6 +391,7 @@ impl DeepMapping {
                 continue;
             }
             self.exist.set(key, false);
+            self.exist_churn += 1;
             self.tuple_count = self.tuple_count.saturating_sub(1);
             if self.aux.contains(key)? {
                 self.aux.remove(key);
@@ -387,14 +418,17 @@ impl DeepMapping {
         let predictions = self
             .metrics
             .time(Phase::NeuralNetwork, || self.model.predict(&keys))?;
+        let mut mispredicts = 0u64;
         for (row, prediction) in live.iter().zip(predictions.iter()) {
             if prediction == &row.values {
                 // The model already predicts the new value: drop any auxiliary entry.
                 self.aux.remove(row.key);
             } else {
+                mispredicts += 1;
                 self.aux.upsert((*row).clone());
             }
         }
+        self.note_write_checks(live.len() as u64, mispredicts);
         self.maybe_retrain()?;
         Ok(())
     }
@@ -443,7 +477,67 @@ impl DeepMapping {
         self.tuple_count = rows.len();
         self.memorized_tuples = memorized.len();
         self.retrain_count += 1;
+        // A retrain starts a fresh drift epoch: the new model is fit to the
+        // current data, so decay is measured from here.
+        self.mispredict_ema = 0.0;
+        self.exist_churn = 0;
+        let snap = self.metrics.snapshot();
+        self.model_answered_base = snap.model_answered;
+        self.aux_answered_base = snap.aux_answered;
         Ok(())
+    }
+
+    /// Folds one write batch's prediction-check outcomes into the
+    /// misprediction EMA ([`MISPREDICT_EMA_ALPHA`] per batch).
+    fn note_write_checks(&mut self, checks: u64, mispredicts: u64) {
+        if checks == 0 {
+            return;
+        }
+        let rate = mispredicts as f64 / checks as f64;
+        self.mispredict_ema =
+            MISPREDICT_EMA_ALPHA * rate + (1.0 - MISPREDICT_EMA_ALPHA) * self.mispredict_ema;
+    }
+
+    /// Drift signals since the last retrain (or build): the inputs
+    /// [`dm_obs::advise`] folds into maintenance recommendations.  The
+    /// model-vs-aux answer mix comes from the pipeline's merge stage (recorded
+    /// regardless of `DM_OBS`, minus the baseline captured at the last
+    /// retrain); the rest is read directly off the structure.
+    pub fn drift_signals(&self) -> dm_obs::DriftSignals {
+        let snap = self.metrics.snapshot();
+        dm_obs::DriftSignals {
+            model_answered: snap.model_answered.saturating_sub(self.model_answered_base),
+            aux_answered: snap.aux_answered.saturating_sub(self.aux_answered_base),
+            mispredict_ema: self.mispredict_ema,
+            overlay_bytes: self.aux.overlay_bytes() as u64,
+            aux_bytes: self.aux.size_bytes() as u64,
+            tombstones: self.aux.tombstone_count() as u64,
+            tuples: self.tuple_count as u64,
+            exist_churn: self.exist_churn,
+            memorized_fraction: if self.tuple_count == 0 {
+                0.0
+            } else {
+                self.memorized_tuples.min(self.tuple_count) as f64 / self.tuple_count as f64
+            },
+            retrain_count: self.retrain_count as u64,
+        }
+    }
+
+    /// Drift plus pool pressure — everything the advisor needs except the
+    /// (server-side) SLO input.  Also exposed through
+    /// [`TupleStore::health_signals`] so harnesses holding a `dyn TupleStore`
+    /// reach it without downcasting.
+    pub fn health_signals(&self) -> dm_obs::StoreHealthSignals {
+        dm_obs::StoreHealthSignals {
+            drift: self.drift_signals(),
+            pool: self.aux.pool_pressure(),
+        }
+    }
+
+    /// Runs the maintenance advisor over this store with default thresholds
+    /// and no SLO input (serve through `dm-server` for the SLO-aware view).
+    pub fn health_report(&self) -> dm_obs::HealthReport {
+        self.health_signals().advise(None)
     }
 
     fn maybe_retrain(&mut self) -> Result<()> {
@@ -532,6 +626,10 @@ impl TupleStore for DeepMapping {
 
     fn scan_range(&self, lo: u64, hi: u64) -> dm_storage::Result<Vec<Row>> {
         self.range_lookup(lo, hi).map_err(Into::into)
+    }
+
+    fn health_signals(&self) -> Option<dm_obs::StoreHealthSignals> {
+        Some(DeepMapping::health_signals(self))
     }
 }
 
@@ -763,6 +861,53 @@ mod tests {
         let range = TupleStore::scan_range(&dm, 10, 13).unwrap();
         assert_eq!(range.len(), 4);
         assert!(range.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn drift_signals_rise_with_off_pattern_writes_and_reset_at_retrain() {
+        let rows = correlated_rows(2_048);
+        let mut dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let baseline = dm.drift_signals();
+        assert_eq!(baseline.exist_churn, 0);
+        assert_eq!(baseline.retrain_count, 0);
+        assert!(baseline.memorized_fraction > 0.8);
+
+        // Off-pattern updates: most prediction checks fail, the overlay grows.
+        let updates: Vec<Row> = (0..512u64).map(|k| Row::new(k, vec![k as u32 % 7, 2])).collect();
+        dm.update_rows(&updates).unwrap();
+        // Deletes flip existence bits — membership churn.
+        dm.delete_keys(&[2_000, 2_001]).unwrap();
+        let drifted = dm.drift_signals();
+        assert!(drifted.mispredict_ema > 0.0);
+        assert!(drifted.overlay_bytes > 0);
+        assert_eq!(drifted.exist_churn, 2);
+        assert!(drifted.tombstones == 0, "updates overlay, they do not tombstone");
+
+        // The answer mix splits between model- and aux-answered lookups.
+        let keys: Vec<u64> = (0..2_000u64).collect();
+        dm.lookup_batch(&keys).unwrap();
+        let drifted = dm.drift_signals();
+        assert!(drifted.aux_answered > 0, "updated keys must be aux-answered");
+        assert!(drifted.model_answered > 0, "untouched keys stay model-answered");
+        assert!(drifted.aux_answer_ratio() > 0.0 && drifted.aux_answer_ratio() < 1.0);
+
+        // Retraining starts a fresh drift epoch.
+        dm.retrain().unwrap();
+        let fresh = dm.drift_signals();
+        assert_eq!(fresh.retrain_count, 1);
+        assert_eq!(fresh.mispredict_ema, 0.0);
+        assert_eq!(fresh.exist_churn, 0);
+        assert_eq!(fresh.model_answered + fresh.aux_answered, 0);
+    }
+
+    #[test]
+    fn health_report_is_reachable_from_the_store_and_the_trait() {
+        let rows = correlated_rows(1_024);
+        let dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let report = dm.health_report();
+        assert!(report.is_healthy(), "fresh store must be healthy: {report:?}");
+        let via_trait = TupleStore::health_signals(&dm).expect("DeepMapping reports health");
+        assert_eq!(via_trait.drift, dm.drift_signals());
     }
 
     #[test]

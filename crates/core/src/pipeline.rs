@@ -285,13 +285,19 @@ impl<'a> QueryPipeline<'a> {
         // the model's prediction, restoring the original batch order via positions.
         if validated.is_ok() {
             let merge_begin = Instant::now();
+            let mut model_answered = 0u64;
             self.metrics.time(Phase::Other, || {
                 for (si, &position) in positions.iter().enumerate() {
                     if !out.is_hit(position) {
                         out.set_hit(position, &predictions[si * columns..(si + 1) * columns]);
+                        model_answered += 1;
                     }
                 }
             });
+            // The answer mix is pipeline-work accounting (drift detection's
+            // primary signal), not tracing — recorded regardless of `DM_OBS`.
+            self.metrics
+                .add_answer_mix(model_answered, positions.len() as u64 - model_answered);
             trace.record_span(Stage::Merge, merge_begin, merge_begin.elapsed());
         }
         out.restore_scratch(predictions);

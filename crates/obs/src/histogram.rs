@@ -31,7 +31,7 @@ pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS) + SUB;
 
 /// Bucket index for a value — monotone in `value`.
 #[inline]
-fn bucket_index(value: u64) -> usize {
+pub fn bucket_index(value: u64) -> usize {
     if value < SUB as u64 {
         return value as usize;
     }
@@ -41,7 +41,7 @@ fn bucket_index(value: u64) -> usize {
 }
 
 /// Inclusive `(low, high)` value range covered by bucket `index`.
-fn bucket_bounds(index: usize) -> (u64, u64) {
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
     if index < SUB {
         return (index as u64, index as u64);
     }
@@ -197,6 +197,23 @@ impl HistogramSnapshot {
     /// Nearest-rank p99.
     pub fn p99(&self) -> u64 {
         self.percentile(0.99)
+    }
+
+    /// The non-empty buckets as Prometheus-style cumulative `le` pairs:
+    /// `(upper_bound, cumulative_count)` where `cumulative_count` is the
+    /// number of observations `<= upper_bound`.  Empty buckets are elided —
+    /// cumulative counts make them redundant, and exporting all
+    /// [`NUM_BUCKETS`] raw buckets would bloat every scrape.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            if count > 0 {
+                cumulative += count;
+                out.push((bucket_bounds(index).1, cumulative));
+            }
+        }
+        out
     }
 
     /// Folds `other` into `self`.  Merging is exactly record-union: a merged
@@ -362,6 +379,36 @@ mod tests {
         let snap = hist.snapshot();
         assert_eq!(snap.count(), threads * per_thread, "lost bucket increments");
         assert_eq!(snap.sum(), expected_sum, "lost sum increments");
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let mut state = 5u64;
+        let hist = Histogram::new();
+        let mut samples = Vec::new();
+        for _ in 0..2_000 {
+            let v = splitmix(&mut state) % 50_000_000;
+            samples.push(v);
+            hist.record_nanos(v);
+        }
+        let snap = hist.snapshot();
+        let buckets = snap.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        // Upper bounds and cumulative counts are strictly increasing, the
+        // last cumulative count is the total, and each cumulative count is
+        // exactly the number of samples <= that bound.
+        let mut prev_le = 0u64;
+        let mut prev_cum = 0u64;
+        for &(le, cum) in &buckets {
+            assert!(le > prev_le || prev_cum == 0);
+            assert!(cum > prev_cum);
+            let exact = samples.iter().filter(|&&s| s <= le).count() as u64;
+            assert_eq!(cum, exact, "cumulative count at le={le}");
+            prev_le = le;
+            prev_cum = cum;
+        }
+        assert_eq!(buckets.last().unwrap().1, snap.count());
+        assert!(HistogramSnapshot::default().cumulative_buckets().is_empty());
     }
 
     #[test]

@@ -44,19 +44,73 @@
 //! `DM_OBS_SLOW_MS` (default 25 ms) sets the slow-op capture threshold: a
 //! batch or request whose wall time reaches it keeps its full stage timeline
 //! in a bounded capture ring ([`trace::slow_batches`],
-//! `QueryServer::slow_requests` in `dm-server`).  Both knobs are sampled from
-//! the environment on first use and can be overridden at runtime
-//! ([`set_enabled`], [`set_slow_threshold`]) by benches and tests.
+//! `QueryServer::slow_requests` in `dm-server`).  `DM_OBS_SLOW_RING` sizes
+//! those rings (default [`trace::DEFAULT_SLOW_RING_CAPACITY`] entries);
+//! overflow past the ring is counted ([`CaptureRing::dropped`]), never
+//! silent.  The knobs are sampled from the environment on first use; the
+//! first two can be overridden at runtime ([`set_enabled`],
+//! [`set_slow_threshold`]) by benches and tests.
+//!
+//! # Operating the store: the workload-health layer
+//!
+//! Beyond recording, `dm-obs` answers the operational question learned
+//! formats raise: *the model never errors — it just silently stops covering
+//! the data* (every misprediction is absorbed by the aux table).  Four
+//! building blocks turn the raw counters into decisions:
+//!
+//! * **Windowed tails** ([`WindowedHistogram`] / [`WindowedCounter`]): a ring
+//!   of time-bucketed slices (default 12 × 5 s) whose merged snapshot is
+//!   "the last 60 seconds".  `dm-server`'s `ServerStats` exposes these as
+//!   `recent_*` percentiles next to the since-boot ones; a since-boot p99
+//!   cannot tell you the store got slow *this minute*.
+//! * **Partition heat** ([`HeatMap`] → [`HeatReport`]): decayed per-partition
+//!   access/miss/decompress counters fed by the buffer pool.  The report
+//!   ranks top-K hot and cold partitions and carries resident-vs-budget
+//!   pressure — the input for pool budgeting and (ROADMAP item 5) mmap
+//!   hot-partition pinning.
+//! * **Drift signals** ([`DriftSignals`]): model-vs-aux answer mix from the
+//!   pipeline's merge stage, write-time misprediction EMA, aux overlay bytes,
+//!   tombstone ratio and existence-bit churn — all reset at retrain, so they
+//!   describe decay *since the current model was fit*.
+//! * **The advisor** ([`advise`] → [`HealthReport`]): a pure function folding
+//!   drift + pool pressure + optional SLO burn ([`SloSignals`], windowed p99
+//!   vs a configured target) through documented [`AdvisorThresholds`] into
+//!   typed, evidence-carrying [`Advice`] (`Retrain` with the expected aux
+//!   shrink, `Compact`, `GrowPoolBudget`, or `Healthy`).
+//!
+//! Reading it in practice: call `health_report()` on a `DeepMapping` store
+//! (or `QueryServer::tenant_health` for the served, SLO-aware view), act on
+//! [`HealthReport::primary`], and verify the effect — after a `Retrain`
+//! advisory, `maintenance()` should shrink `aux_size_bytes()` by roughly the
+//! predicted amount.  `examples/health_quickstart.rs` walks the full
+//! drift → advise → retrain → shrink episode.
+//!
+//! For dashboards, [`render_prometheus`] exposes every registered histogram
+//! as a proper Prometheus histogram type — cumulative `le` buckets (upper
+//! bounds in nanoseconds) plus `_sum`/`_count`, so
+//! `histogram_quantile(0.99, rate(dm_stage_probe_nanos_bucket[5m]))` works as
+//! scraped — and [`render_json`] serves the same registry to humans.  All of
+//! the health layer sits behind the `DM_OBS=off` kill switch and adds nothing
+//! to the bit-identity-checked query results (see `tests/obs_guard.rs`).
 
+pub mod health;
+pub mod heat;
 pub mod histogram;
 pub mod registry;
 pub mod render;
 pub mod trace;
+pub mod window;
 
+pub use health::{
+    advise, Advice, AdvisorThresholds, DriftSignals, HealthReport, PoolPressure, SloSignals,
+    StoreHealthSignals,
+};
+pub use heat::{HeatMap, HeatReport, PartitionHeat, Touch};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use render::{render_json, render_json_for, render_prometheus, render_prometheus_for};
 pub use trace::{CaptureRing, CapturedTrace, SpanGuard, Stage, Trace, TraceEvent, TraceSummary};
+pub use window::{WindowedCounter, WindowedHistogram};
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::Duration;

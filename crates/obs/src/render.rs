@@ -1,11 +1,14 @@
 //! Exposition: Prometheus text format and JSON over a [`Registry`].
 //!
 //! Both renderers work from a [`Registry::gather`] snapshot, so they never
-//! block recorders.  Histograms are exposed as Prometheus *summaries*
-//! (`quantile` labels for p50/p95/p99, plus `_sum`/`_count`/`_max`): the
-//! workspace's histograms already reduce to nearest-rank quantiles, and a
-//! summary keeps scrape output small where exporting all 496 raw buckets
-//! would not.
+//! block recorders.  Histograms are exposed as proper Prometheus *histograms*:
+//! cumulative `{name}_bucket{{le="..."}}` counters (one per non-empty log2
+//! bucket, upper bound in nanoseconds, closed by the mandatory `le="+Inf"`)
+//! plus `{name}_sum` / `{name}_count`, so `histogram_quantile()` works on the
+//! scraped series.  Empty buckets are elided — cumulative counters make them
+//! redundant, and exporting all 496 raw buckets would bloat every scrape.
+//! The exact observed maximum rides along as a separate `{name}_max` gauge
+//! (a summary-era convenience `histogram_quantile` cannot recover).
 
 use crate::histogram::HistogramSnapshot;
 use crate::registry::{Registry, RegistrySnapshot};
@@ -42,12 +45,14 @@ fn render_prometheus_snapshot(snapshot: &RegistrySnapshot) -> String {
     }
     for (name, hist) in &snapshot.histograms {
         let name = sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} summary");
-        for (q, v) in [(0.5, hist.p50()), (0.95, hist.p95()), (0.99, hist.p99())] {
-            let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (le, cumulative) in hist.cumulative_buckets() {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
         }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
         let _ = writeln!(out, "{name}_sum {}", hist.sum());
         let _ = writeln!(out, "{name}_count {}", hist.count());
+        let _ = writeln!(out, "# TYPE {name}_max gauge");
         let _ = writeln!(out, "{name}_max {}", hist.max());
     }
     out
@@ -146,10 +151,42 @@ mod tests {
         assert!(text.contains("dm_requests_total 7"));
         assert!(text.contains("# TYPE dm_pool_bytes gauge"));
         assert!(text.contains("dm_pool_bytes -3"));
-        assert!(text.contains("# TYPE dm_latency_nanos summary"));
-        assert!(text.contains("dm_latency_nanos{quantile=\"0.5\"}"));
+        assert!(text.contains("# TYPE dm_latency_nanos histogram"));
+        assert!(text.contains("dm_latency_nanos_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("dm_latency_nanos_sum 3000"));
         assert!(text.contains("dm_latency_nanos_count 2"));
+        assert!(text.contains("# TYPE dm_latency_nanos_max gauge"));
+        assert!(text.contains("dm_latency_nanos_max 2000"));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_le_counters() {
+        let registry = Registry::new();
+        let hist = registry.register_histogram("lat");
+        // Three samples across two log2 buckets: 1000 and 1001 share a
+        // bucket (le covers both), 900_000 lands far above.
+        hist.record_nanos(1_000);
+        hist.record_nanos(1_001);
+        hist.record_nanos(900_000);
+        let text = render_prometheus_for(&registry);
+        let mut les = Vec::new();
+        let mut cums = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("lat_bucket{le=\"") {
+                let (le, cum) = rest.split_once("\"} ").unwrap();
+                if le != "+Inf" {
+                    les.push(le.parse::<u64>().unwrap());
+                    cums.push(cum.parse::<u64>().unwrap());
+                }
+            }
+        }
+        assert_eq!(cums, vec![2, 3], "counts must be cumulative, not raw");
+        assert!(les[0] >= 1_001 && les[0] < 1_200, "le is the bucket upper bound");
+        assert!(les.windows(2).all(|w| w[0] < w[1]));
+        // The +Inf bucket closes the series at the total count.
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        // No quantile labels remain from the summary-era exposition.
+        assert!(!text.contains("quantile="));
     }
 
     #[test]

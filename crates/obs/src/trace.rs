@@ -163,8 +163,24 @@ pub const TRACE_EVENT_CAPACITY: usize = 48;
 /// Per-thread ring depth of recent batch summaries.
 pub const RECENT_CAPACITY: usize = 64;
 
-/// Capacity of the global slow-batch capture ring.
-const SLOW_RING_CAPACITY: usize = 32;
+/// Default capacity of a slow-op capture ring when `DM_OBS_SLOW_RING` is
+/// unset.
+pub const DEFAULT_SLOW_RING_CAPACITY: usize = 32;
+
+/// Slow-op capture ring capacity: `DM_OBS_SLOW_RING` (entries, minimum 1),
+/// sampled from the environment on first call; default
+/// [`DEFAULT_SLOW_RING_CAPACITY`].  Used by the global slow-batch ring and by
+/// `dm-server`'s per-instance slow-request ring.
+pub fn slow_ring_capacity() -> usize {
+    static CAPACITY: OnceLock<usize> = OnceLock::new();
+    *CAPACITY.get_or_init(|| {
+        std::env::var("DM_OBS_SLOW_RING")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|n| n.max(1))
+            .unwrap_or(DEFAULT_SLOW_RING_CAPACITY)
+    })
+}
 
 #[derive(Default)]
 struct EventSlot {
@@ -408,6 +424,7 @@ impl CapturedTrace {
 pub struct CaptureRing {
     capacity: usize,
     threshold_nanos: AtomicU64,
+    dropped: AtomicU64,
     inner: Mutex<VecDeque<CapturedTrace>>,
 }
 
@@ -418,6 +435,7 @@ impl CaptureRing {
         CaptureRing {
             capacity,
             threshold_nanos: AtomicU64::new(threshold_nanos),
+            dropped: AtomicU64::new(0),
             inner: Mutex::new(VecDeque::with_capacity(capacity)),
         }
     }
@@ -443,13 +461,22 @@ impl CaptureRing {
     }
 
     /// Unconditionally retains `capture`, evicting the oldest entry at
-    /// capacity.
+    /// capacity (the eviction is counted in [`dropped`](Self::dropped)).
     pub fn push(&self, capture: CapturedTrace) {
         let mut inner = self.inner.lock().unwrap();
         if inner.len() == self.capacity {
             inner.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         inner.push_back(capture);
+    }
+
+    /// Captures evicted to make room since the ring was created: how many
+    /// over-threshold operations overflowed past the retained window.  A
+    /// nonzero value means the ring (see `DM_OBS_SLOW_RING`) is too small for
+    /// the slow-op rate.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// All retained captures, oldest first.
@@ -477,7 +504,7 @@ fn slow_ring() -> &'static CaptureRing {
     static RING: OnceLock<CaptureRing> = OnceLock::new();
     // Threshold 0: admission is decided by `Trace::finish` against the live
     // crate-level threshold, so runtime threshold changes take effect.
-    RING.get_or_init(|| CaptureRing::new(SLOW_RING_CAPACITY, 0))
+    RING.get_or_init(|| CaptureRing::new(slow_ring_capacity(), 0))
 }
 
 /// Captured timelines of batches whose wall time reached the slow threshold,
@@ -494,6 +521,13 @@ pub fn slowest_batch() -> Option<CapturedTrace> {
 /// Clears the global slow-batch ring (benchmarks isolating a section).
 pub fn clear_slow_batches() {
     slow_ring().clear();
+}
+
+/// Slow-batch captures evicted from the global ring since process start —
+/// nonzero means slow batches overflowed the retained window faster than
+/// anyone read them (grow `DM_OBS_SLOW_RING`).
+pub fn slow_batches_dropped() -> u64 {
+    slow_ring().dropped()
 }
 
 thread_local! {
@@ -610,8 +644,21 @@ mod tests {
         assert_eq!(kept.len(), 2, "capacity bound");
         assert_eq!(kept[0].total_nanos, 5_000, "oldest evicted first");
         assert_eq!(ring.slowest().unwrap().total_nanos, 5_000);
+        assert_eq!(ring.dropped(), 1, "the eviction must be counted");
         ring.clear();
         assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.dropped(), 1, "clear() does not forget past overflow");
+    }
+
+    #[test]
+    fn slow_ring_capacity_has_a_sane_default() {
+        // The env var is process-global and sampled once; tests only pin the
+        // unset default (set DM_OBS_SLOW_RING to exercise the override).
+        if std::env::var("DM_OBS_SLOW_RING").is_err() {
+            assert_eq!(slow_ring_capacity(), DEFAULT_SLOW_RING_CAPACITY);
+        } else {
+            assert!(slow_ring_capacity() >= 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! Time-windowed metric slices: "last 60 seconds", not "since boot".
+//!
+//! A [`WindowedHistogram`] (and its scalar sibling [`WindowedCounter`]) is a
+//! ring of `N` slices, each covering one fixed period of wall time (default
+//! [`DEFAULT_SLICES`] × [`DEFAULT_SLICE`] = 60 s).  Recording lands in the
+//! slice owning the current period; a [`snapshot`](WindowedHistogram::snapshot)
+//! merges every slice still inside the window, so percentiles computed from it
+//! describe *recent* behaviour.  This is what `ServerStats` windowed tails and
+//! the SLO burn-rate signal in the maintenance advisor are built on.
+//!
+//! ## Lock-free rotation protocol
+//!
+//! Each slice carries a period tag (`AtomicU64`).  Wall time is divided into
+//! consecutive periods (`now / slice_nanos`); period `p` owns slot
+//! `p % N`.  A recorder looks at the slot's tag:
+//!
+//! * `tag == p` — the slice is current: record and return.
+//! * `tag < p` — the slice holds an expired period: CAS the tag to the
+//!   [`ROTATING`] sentinel, clear the slice, publish `p`, then record.  Losing
+//!   the CAS means another thread is rotating; re-read the tag.
+//! * `tag == ROTATING` — another recorder is mid-clear: spin (the critical
+//!   section is a bounded bucket sweep, no allocation, no syscalls).
+//! * `tag > p` — the recorder's clock sample is stale by at least a full
+//!   window (it was preempted after reading the time).  The sample is
+//!   recorded into the newer slice: counted exactly once, attributed to the
+//!   period that replaced its own.  Windows are an approximation of "recent"
+//!   — attributing a stalled sample to the adjacent period is within the
+//!   contract; losing it would not be.
+//!
+//! Slice tags are initialized to their slot index, which is each slot's first
+//! owning period — so the ring needs no special "empty" state.
+//!
+//! ## Accuracy contract (extends the crate-level one)
+//!
+//! * Within one period, every recorded sample is counted exactly once (the
+//!   underlying [`Histogram`] adds are atomic).
+//! * Rotation discards slices older than the window — that is the point, not
+//!   a loss.
+//! * One benign race: a recorder that read the tag as current, then stalled
+//!   for longer than the *entire window* before touching the bucket, can have
+//!   its sample swept by the clear that reuses the slot.  A thread stalled
+//!   60 s between two adjacent instructions is outside any latency SLO this
+//!   layer reports on.
+//!
+//! Tests drive time explicitly through the `*_at` methods; production code
+//! uses the monotonic process clock via [`now_nanos`].
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Default number of slices in a window ring.
+pub const DEFAULT_SLICES: usize = 12;
+/// Default wall-time span of one slice.
+pub const DEFAULT_SLICE: Duration = Duration::from_secs(5);
+/// Period-tag sentinel marking a slice mid-clear.  No real period reaches it:
+/// at 1 ns slices the process would need ~584 years of uptime.
+pub const ROTATING: u64 = u64::MAX;
+
+/// Nanoseconds since the first windowed recording in this process, from the
+/// shared monotonic clock all windows in the process rotate against.
+#[inline]
+pub fn now_nanos() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One slice: the period it currently holds plus its histogram.
+#[derive(Debug)]
+struct HistSlice {
+    tag: AtomicU64,
+    hist: Histogram,
+}
+
+/// A ring of time-bucketed [`Histogram`] slices with lock-free rotation (see
+/// the module docs for the protocol and accuracy contract).
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    slices: Box<[HistSlice]>,
+    slice_nanos: u64,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        Self::new(DEFAULT_SLICES, DEFAULT_SLICE)
+    }
+}
+
+impl WindowedHistogram {
+    /// Creates a window of `slices` slices, each spanning `slice_span`.
+    pub fn new(slices: usize, slice_span: Duration) -> Self {
+        let slices = slices.max(2);
+        let slice_nanos = (slice_span.as_nanos().max(1)).min(u64::MAX as u128 / 2) as u64;
+        WindowedHistogram {
+            slices: (0..slices)
+                .map(|slot| HistSlice {
+                    // A slot's first owning period is its own index.
+                    tag: AtomicU64::new(slot as u64),
+                    hist: Histogram::new(),
+                })
+                .collect(),
+            slice_nanos,
+        }
+    }
+
+    /// Total wall-time span the window covers.
+    pub fn span(&self) -> Duration {
+        Duration::from_nanos(self.slice_nanos.saturating_mul(self.slices.len() as u64))
+    }
+
+    /// Records one observation at the current time.  Gated on the `DM_OBS`
+    /// kill switch: windowed tails are pure observability, so `DM_OBS=off`
+    /// reduces this to one relaxed load and a branch.
+    #[inline]
+    pub fn record_nanos(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.record_at(now_nanos(), value);
+    }
+
+    /// Records one [`Duration`] observation at the current time.
+    #[inline]
+    pub fn record_duration(&self, duration: Duration) {
+        self.record_nanos(duration.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records at an explicit clock value (test entry point — not gated on the
+    /// kill switch, so deterministic tests cannot be broken by the
+    /// environment).
+    pub fn record_at(&self, clock_nanos: u64, value: u64) {
+        let period = clock_nanos / self.slice_nanos;
+        let slice = &self.slices[(period % self.slices.len() as u64) as usize];
+        loop {
+            let tag = slice.tag.load(Ordering::Acquire);
+            if tag == ROTATING {
+                std::hint::spin_loop();
+                continue;
+            }
+            if tag >= period {
+                // Current (tag == period) or already rotated past us by a
+                // stalled clock sample (tag > period): count the sample here.
+                slice.hist.record_nanos(value);
+                return;
+            }
+            // Expired: claim the clear.
+            if slice
+                .tag
+                .compare_exchange(tag, ROTATING, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slice.hist.clear();
+                slice.tag.store(period, Ordering::Release);
+                slice.hist.record_nanos(value);
+                return;
+            }
+        }
+    }
+
+    /// Merged snapshot of every slice still inside the window ending now.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.snapshot_at(now_nanos())
+    }
+
+    /// Merged snapshot at an explicit clock value: slices whose period tag is
+    /// within the last `N` periods ending at `clock_nanos`'s period.  A slice
+    /// mid-rotation is skipped (its old samples are expired, its new ones not
+    /// yet published).
+    pub fn snapshot_at(&self, clock_nanos: u64) -> HistogramSnapshot {
+        let period = clock_nanos / self.slice_nanos;
+        let oldest = period.saturating_sub(self.slices.len() as u64 - 1);
+        let mut merged = HistogramSnapshot::default();
+        for slice in self.slices.iter() {
+            let tag = slice.tag.load(Ordering::Acquire);
+            if tag != ROTATING && tag >= oldest && tag <= period {
+                merged.merge(&slice.hist.snapshot());
+            }
+        }
+        merged
+    }
+
+    /// Clears every slice (quiescent use, e.g. between bench sections).
+    pub fn clear(&self) {
+        for (slot, slice) in self.slices.iter().enumerate() {
+            slice.hist.clear();
+            slice.tag.store(slot as u64, Ordering::Release);
+        }
+    }
+}
+
+/// One counter slice: period tag plus value.
+#[derive(Debug)]
+struct CounterSlice {
+    tag: AtomicU64,
+    value: AtomicU64,
+}
+
+/// The scalar sibling of [`WindowedHistogram`]: a ring of per-period counter
+/// slices whose [`sum`](WindowedCounter::sum) is "events in the last window".
+/// Same rotation protocol, same accuracy contract.
+#[derive(Debug)]
+pub struct WindowedCounter {
+    slices: Box<[CounterSlice]>,
+    slice_nanos: u64,
+}
+
+impl Default for WindowedCounter {
+    fn default() -> Self {
+        Self::new(DEFAULT_SLICES, DEFAULT_SLICE)
+    }
+}
+
+impl WindowedCounter {
+    /// Creates a window of `slices` slices, each spanning `slice_span`.
+    pub fn new(slices: usize, slice_span: Duration) -> Self {
+        let slices = slices.max(2);
+        let slice_nanos = (slice_span.as_nanos().max(1)).min(u64::MAX as u128 / 2) as u64;
+        WindowedCounter {
+            slices: (0..slices)
+                .map(|slot| CounterSlice {
+                    tag: AtomicU64::new(slot as u64),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
+            slice_nanos,
+        }
+    }
+
+    /// Total wall-time span the window covers.
+    pub fn span(&self) -> Duration {
+        Duration::from_nanos(self.slice_nanos.saturating_mul(self.slices.len() as u64))
+    }
+
+    /// Adds `n` at the current time (kill-switch gated like
+    /// [`WindowedHistogram::record_nanos`]).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.add_at(now_nanos(), n);
+    }
+
+    /// Adds at an explicit clock value (test entry point, not gated).
+    pub fn add_at(&self, clock_nanos: u64, n: u64) {
+        let period = clock_nanos / self.slice_nanos;
+        let slice = &self.slices[(period % self.slices.len() as u64) as usize];
+        loop {
+            let tag = slice.tag.load(Ordering::Acquire);
+            if tag == ROTATING {
+                std::hint::spin_loop();
+                continue;
+            }
+            if tag >= period {
+                slice.value.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
+            if slice
+                .tag
+                .compare_exchange(tag, ROTATING, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slice.value.store(0, Ordering::Relaxed);
+                slice.tag.store(period, Ordering::Release);
+                slice.value.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Sum of every slice still inside the window ending now.
+    pub fn sum(&self) -> u64 {
+        self.sum_at(now_nanos())
+    }
+
+    /// Windowed sum at an explicit clock value.
+    pub fn sum_at(&self, clock_nanos: u64) -> u64 {
+        let period = clock_nanos / self.slice_nanos;
+        let oldest = period.saturating_sub(self.slices.len() as u64 - 1);
+        let mut total = 0u64;
+        for slice in self.slices.iter() {
+            let tag = slice.tag.load(Ordering::Acquire);
+            if tag != ROTATING && tag >= oldest && tag <= period {
+                total += slice.value.load(Ordering::Relaxed);
+            }
+        }
+        total
+    }
+
+    /// Clears every slice (quiescent use).
+    pub fn clear(&self) {
+        for (slot, slice) in self.slices.iter().enumerate() {
+            slice.value.store(0, Ordering::Relaxed);
+            slice.tag.store(slot as u64, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const SLICE: u64 = 1_000; // 1 µs slices keep the arithmetic readable
+
+    fn window(slices: usize) -> WindowedHistogram {
+        WindowedHistogram::new(slices, Duration::from_nanos(SLICE))
+    }
+
+    #[test]
+    fn samples_land_in_their_period_and_expire_after_the_window() {
+        let w = window(4);
+        w.record_at(0, 10);
+        w.record_at(SLICE, 20);
+        w.record_at(2 * SLICE, 30);
+        // All three periods are inside the 4-slice window at t = 2 slices.
+        let snap = w.snapshot_at(2 * SLICE);
+        assert_eq!(snap.count(), 3);
+        assert_eq!(snap.sum(), 60);
+        // At t = 5 slices, only periods 2..=5 are in-window: period 0 and 1
+        // samples have expired.
+        let snap = w.snapshot_at(5 * SLICE);
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.sum(), 30);
+        // At t = 7 slices nothing recorded is in-window.  Period 2's slot
+        // (2 % 4) would be owned by period 6 now; its stale tag keeps it out.
+        assert_eq!(w.snapshot_at(7 * SLICE).count(), 0);
+    }
+
+    #[test]
+    fn slot_reuse_clears_expired_samples() {
+        let w = window(4);
+        for i in 0..100 {
+            w.record_at(SLICE, i); // period 1, slot 1
+        }
+        assert_eq!(w.snapshot_at(SLICE).count(), 100);
+        // Period 5 owns the same slot; the first record there must sweep the
+        // expired period-1 samples.
+        w.record_at(5 * SLICE, 42);
+        let snap = w.snapshot_at(5 * SLICE);
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.sum(), 42);
+    }
+
+    #[test]
+    fn stale_clock_records_into_newer_slice_counted_once() {
+        let w = window(4);
+        // Period 9 claims slot 1.
+        w.record_at(9 * SLICE, 5);
+        // A recorder whose clock sample is a full window stale targets the
+        // same slot for period 1.  tag (9) > period (1): the sample lands in
+        // the period-9 slice — counted once, not lost.
+        w.record_at(SLICE, 7);
+        let snap = w.snapshot_at(9 * SLICE);
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.sum(), 12);
+    }
+
+    #[test]
+    fn percentiles_describe_the_window_not_the_lifetime() {
+        let w = window(4);
+        // An old period full of slow samples, long expired.
+        for _ in 0..1_000 {
+            w.record_at(0, 1_000_000);
+        }
+        // Recent periods are fast.
+        for i in 0..100 {
+            w.record_at(10 * SLICE + (i % 2) * SLICE, 100);
+        }
+        let snap = w.snapshot_at(11 * SLICE);
+        assert_eq!(snap.count(), 100);
+        assert!(snap.p99() < 1_000, "lifetime samples leaked into the window");
+    }
+
+    /// The satellite-task property test: concurrent writers recording across
+    /// live slice rotations lose nothing and double-count nothing.  Every
+    /// thread walks the same period range `first..=last` chosen so that no
+    /// slot is reused (rotation happens — every slot advances from its init
+    /// tag — but no in-window sample can be swept), so the final window must
+    /// hold exactly every recorded sample.
+    #[test]
+    fn concurrent_rotation_loses_no_samples_and_double_counts_none() {
+        let slices = 8usize;
+        let threads = 8u64;
+        let per_period = 500u64;
+        let w = Arc::new(window(slices));
+        // Periods 10..=17: eight periods over eight slots, each slot rotated
+        // exactly once from its init tag, all still in-window at the end.
+        let first = 10u64;
+        let last = first + slices as u64 - 1;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let w = Arc::clone(&w);
+                s.spawn(move || {
+                    for period in first..=last {
+                        for i in 0..per_period {
+                            // Distinct values per thread so sum checks catch
+                            // a double-count even where counts happen to match.
+                            w.record_at(period * SLICE, t * 1_000 + i);
+                        }
+                    }
+                });
+            }
+        });
+        let snap = w.snapshot_at(last * SLICE);
+        let expected_count = threads * per_period * slices as u64;
+        let per_thread_sum: u64 = (0..per_period).sum();
+        let expected_sum: u64 = (0..threads)
+            .map(|t| (per_thread_sum + t * 1_000 * per_period) * slices as u64)
+            .sum();
+        assert_eq!(snap.count(), expected_count, "samples lost or duplicated");
+        assert_eq!(snap.sum(), expected_sum, "sample values corrupted");
+    }
+
+    /// Same property for the counter ring, with rotation contention focused
+    /// on a single slot handoff (every thread races the period-N → period-N+ring
+    /// transition).
+    #[test]
+    fn concurrent_counter_rotation_is_exact() {
+        let slices = 4usize;
+        let threads = 8u64;
+        let adds = 2_000u64;
+        let c = Arc::new(WindowedCounter::new(slices, Duration::from_nanos(SLICE)));
+        // Warm the slot with an expired period so every thread races to rotate.
+        c.add_at(3 * SLICE, 0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..adds {
+                        c.add_at(7 * SLICE, 3); // period 7 reuses period 3's slot
+                    }
+                });
+            }
+        });
+        assert_eq!(c.sum_at(7 * SLICE), threads * adds * 3);
+    }
+
+    #[test]
+    fn counter_window_expires_and_clears() {
+        let c = WindowedCounter::new(3, Duration::from_nanos(SLICE));
+        c.add_at(0, 5);
+        c.add_at(SLICE, 7);
+        assert_eq!(c.sum_at(SLICE), 12);
+        assert_eq!(c.sum_at(3 * SLICE), 7); // period 0 expired
+        assert_eq!(c.sum_at(10 * SLICE), 0);
+        c.add_at(10 * SLICE, 1);
+        c.clear();
+        assert_eq!(c.sum_at(10 * SLICE), 0);
+    }
+
+    #[test]
+    fn kill_switch_gates_wall_clock_recording() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(false);
+        let w = WindowedHistogram::default();
+        let c = WindowedCounter::default();
+        w.record_nanos(123);
+        c.add(5);
+        crate::set_enabled(true);
+        assert_eq!(w.snapshot().count(), 0);
+        assert_eq!(c.sum(), 0);
+        w.record_nanos(123);
+        c.add(5);
+        assert_eq!(w.snapshot().count(), 1);
+        assert_eq!(c.sum(), 5);
+    }
+
+    #[test]
+    fn defaults_cover_a_minute() {
+        assert_eq!(WindowedHistogram::default().span(), Duration::from_secs(60));
+        assert_eq!(WindowedCounter::default().span(), Duration::from_secs(60));
+    }
+}

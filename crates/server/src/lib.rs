@@ -241,8 +241,7 @@ mod tests {
             shed_high_watermark_keys: 8,
             shed_low_watermark_keys: 4,
             max_request_keys: 8,
-            inline: false,
-            slow_request: None,
+            ..ServerConfig::default()
         };
         let server = QueryServer::new(config);
         let gate = Arc::new(GateStore::new(0..64));
@@ -294,8 +293,7 @@ mod tests {
             shed_high_watermark_keys: 8,
             shed_low_watermark_keys: 4,
             max_request_keys: 8,
-            inline: false,
-            slow_request: None,
+            ..ServerConfig::default()
         };
         let server = QueryServer::new(config);
         let tenant = server.register_store("t", seeded_store(0..64)).unwrap();
@@ -428,6 +426,45 @@ mod tests {
         assert!(stats.request_wall_p99 >= stats.request_wall_p50);
 
         assert!(server.tenant_tail("nope").is_err());
+    }
+
+    #[test]
+    fn health_reports_cover_open_tenants_and_carry_slo_evidence() {
+        let config = ServerConfig {
+            tenant_p99_target: Some(Duration::from_millis(5)),
+            ..ServerConfig::inline()
+        };
+        let server = QueryServer::new(config);
+        let tenant = server.register_store("t", seeded_store(0..10)).unwrap();
+        server
+            .register_snapshot("lazy", "/nonexistent/dm-health-test.snap")
+            .unwrap();
+        let mut client = server.client();
+        for k in 0..5 {
+            client.get(tenant, k).unwrap();
+        }
+
+        let reports = server.health();
+        assert_eq!(reports.len(), 1, "unopened snapshot tenants are skipped");
+        let (name, report) = &reports[0];
+        assert_eq!(name, "t");
+        // A baseline store exposes no drift/pool signals, so the advisor sees
+        // defaults and must conclude Healthy.
+        assert!(report.is_healthy(), "{report:?}");
+        let slo = report.slo.expect("a target is configured");
+        assert_eq!(slo.target_p99_nanos, 5_000_000);
+        assert!(slo.windowed_requests >= 5, "served requests feed the window");
+
+        let direct = server.tenant_health("t").unwrap();
+        assert!(direct.is_healthy());
+        assert!(server.tenant_health("nope").is_err());
+
+        // publish_health lands the report in the global registry, where the
+        // Prometheus/JSON renderers pick it up on the next scrape.
+        assert_eq!(server.publish_health(), 1);
+        let text = dm_obs::render_prometheus();
+        assert!(text.contains("dm_health_t_advice_healthy 1"), "{text}");
+        assert!(text.contains("dm_health_t_slo_target_p99_nanos 5000000"));
     }
 
     #[test]

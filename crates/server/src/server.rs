@@ -40,9 +40,6 @@ use crate::stats::{RequestSample, ServerStats, StatsCells, TenantObs, TenantTail
 /// Default pipeline depth for [`QueryServer::client`].
 pub const DEFAULT_PIPELINE_DEPTH: usize = 4;
 
-/// Capacity of the per-server slow-request capture ring.
-const SLOW_REQUEST_CAPACITY: usize = 32;
-
 /// Tuning knobs for a [`QueryServer`]. Watermarks and limits are normalized
 /// at server construction (see [`QueryServer::new`]) so any hand-built config
 /// is made internally consistent rather than rejected.
@@ -77,6 +74,12 @@ pub struct ServerConfig {
     /// [`QueryServer::slow_requests`]). `None` falls back to the process-wide
     /// `DM_OBS_SLOW_MS` threshold.
     pub slow_request: Option<Duration>,
+    /// Per-tenant p99 latency target. When set, [`QueryServer::tenant_health`]
+    /// compares each tenant's *windowed* (last ~60 s) request-wall p99 against
+    /// it and feeds the resulting burn rate to the maintenance advisor as
+    /// [`dm_obs::SloSignals`]. `None` (the default) runs the advisor on store
+    /// signals alone.
+    pub tenant_p99_target: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +93,7 @@ impl Default for ServerConfig {
             max_request_keys: 1024,
             inline: false,
             slow_request: None,
+            tenant_p99_target: None,
         }
     }
 }
@@ -633,7 +637,8 @@ impl QueryServer {
             work_cv: Condvar::new(),
             registry: RwLock::new(Registry::default()),
             stats: StatsCells::default(),
-            slow: CaptureRing::new(SLOW_REQUEST_CAPACITY, 0),
+            // Sized by `DM_OBS_SLOW_RING`, like the per-thread batch rings.
+            slow: CaptureRing::new(trace::slow_ring_capacity(), 0),
         });
         let dispatcher = if inline {
             None
@@ -752,9 +757,83 @@ impl QueryServer {
     /// Captured timelines of requests whose wall time reached the
     /// slow-request threshold ([`ServerConfig::slow_request`], falling back
     /// to the process-wide `DM_OBS_SLOW_MS`), oldest first. The ring is
-    /// bounded: once full, each new capture evicts the oldest.
+    /// bounded ([`dm_obs::trace::slow_ring_capacity`], i.e. `DM_OBS_SLOW_RING`):
+    /// once full, each new capture evicts the oldest.
     pub fn slow_requests(&self) -> Vec<CapturedTrace> {
         self.shared.slow.snapshot()
+    }
+
+    /// The SLO input for one tenant: its windowed request-wall p99 against
+    /// [`ServerConfig::tenant_p99_target`], when a target is configured.
+    fn tenant_slo(&self, tenant: &Tenant) -> Option<dm_obs::SloSignals> {
+        let target = self.shared.config.tenant_p99_target?;
+        let recent = tenant.obs.recent_request_wall.snapshot();
+        Some(dm_obs::SloSignals {
+            target_p99_nanos: target.as_nanos().min(u64::MAX as u128) as u64,
+            windowed_p99_nanos: recent.p99(),
+            windowed_requests: recent.count(),
+        })
+    }
+
+    /// The maintenance advisor's view of the tenant registered as `name`:
+    /// the store's own drift + pool-pressure signals
+    /// ([`dm_storage::TupleStore::health_signals`]; defaulted for baseline
+    /// stores that expose none) folded with this server's windowed per-tenant
+    /// SLO burn (see [`ServerConfig::tenant_p99_target`]). Opens a
+    /// snapshot-backed tenant lazily, exactly like a first request would.
+    pub fn tenant_health(&self, name: &str) -> Result<dm_obs::HealthReport> {
+        let (index, tenant) = {
+            let registry = self.shared.registry.read();
+            let index = *registry
+                .names
+                .get(name)
+                .ok_or_else(|| ServerError::UnknownTenant(name.to_string()))?;
+            (index, Arc::clone(&registry.tenants[index]))
+        };
+        let store = self.shared.tenant_store(index)?;
+        let signals = store.health_signals().unwrap_or_default();
+        Ok(signals.advise(self.tenant_slo(&tenant)))
+    }
+
+    /// Health reports for every tenant that is already open, as
+    /// `(name, report)` pairs in registration order. Snapshot tenants that
+    /// have never served a request are skipped (probing health should not
+    /// fault every registered snapshot into memory); use
+    /// [`tenant_health`](Self::tenant_health) to force one open.
+    pub fn health(&self) -> Vec<(String, dm_obs::HealthReport)> {
+        let tenants: Vec<Arc<Tenant>> = self
+            .shared
+            .registry
+            .read()
+            .tenants
+            .iter()
+            .map(Arc::clone)
+            .collect();
+        tenants
+            .iter()
+            .filter_map(|tenant| {
+                let store = tenant.store.lock().as_ref().map(Arc::clone)?;
+                let signals = store.health_signals().unwrap_or_default();
+                Some((tenant.name.clone(), signals.advise(self.tenant_slo(tenant))))
+            })
+            .collect()
+    }
+
+    /// Publishes every open tenant's [`health`](Self::health) report into the
+    /// global `dm-obs` registry as `dm_health_{tenant}_*` gauges, so the next
+    /// [`dm_obs::render_prometheus`] / [`dm_obs::render_json`] scrape carries
+    /// the advisor's view alongside the raw metrics. Returns the number of
+    /// tenants published. Call it from the scrape path (or a periodic tick) —
+    /// gauges are set, not accumulated, so repeats are idempotent.
+    pub fn publish_health(&self) -> usize {
+        let reports = self.health();
+        for (name, report) in &reports {
+            report.publish_to(
+                &format!("dm_health_{name}"),
+                dm_obs::registry::global(),
+            );
+        }
+        reports.len()
     }
 
     /// Stops the server: new submissions fail with

@@ -9,7 +9,7 @@
 //! the summed-nanos fields are kept only as derived means for callers that
 //! predate the histograms.
 
-use dm_obs::{Histogram, HistogramSnapshot};
+use dm_obs::{Histogram, HistogramSnapshot, WindowedHistogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -38,6 +38,13 @@ pub(crate) struct StatsCells {
     /// Enqueue → response-ready wall time, per completed request (batched and
     /// inline).
     pub request_wall: Histogram,
+    /// Windowed (last ~60 s) view of `request_wall` — the `recent_*`
+    /// percentile fields of [`ServerStats`] and the advisor's SLO input.
+    /// Recording is `DM_OBS`-gated: with observability off the recent fields
+    /// read zero and the since-boot histograms remain authoritative.
+    pub recent_request_wall: WindowedHistogram,
+    /// Windowed view of `queue_delay`.
+    pub recent_queue_delay: WindowedHistogram,
 }
 
 impl StatsCells {
@@ -70,6 +77,8 @@ impl StatsCells {
         self.queue_delay.record_nanos(queue_delay_nanos);
         self.coalesce_wait.record_nanos(coalesce_wait_nanos);
         self.request_wall.record_nanos(wall_nanos);
+        self.recent_queue_delay.record_nanos(queue_delay_nanos);
+        self.recent_request_wall.record_nanos(wall_nanos);
     }
 
     /// Records one request served inline on the caller thread (no dispatcher,
@@ -80,6 +89,7 @@ impl StatsCells {
         Self::add(&self.keys_served, keys);
         Self::add(&self.exec_nanos, exec_nanos);
         self.request_wall.record_nanos(wall_nanos);
+        self.recent_request_wall.record_nanos(wall_nanos);
     }
 
     pub fn record_tenant_open(&self, elapsed: Duration) {
@@ -92,6 +102,8 @@ impl StatsCells {
         let queue_delay = self.queue_delay.snapshot();
         let coalesce_wait = self.coalesce_wait.snapshot();
         let request_wall = self.request_wall.snapshot();
+        let recent_wall = self.recent_request_wall.snapshot();
+        let recent_queue = self.recent_queue_delay.snapshot();
         ServerStats {
             requests_enqueued: load(&self.requests_enqueued),
             requests_completed: load(&self.requests_completed),
@@ -117,6 +129,12 @@ impl StatsCells {
             request_wall_p95: Duration::from_nanos(request_wall.p95()),
             request_wall_p99: Duration::from_nanos(request_wall.p99()),
             request_wall_max: Duration::from_nanos(request_wall.max()),
+            recent_window: self.recent_request_wall.span(),
+            recent_requests: recent_wall.count(),
+            recent_request_wall_p50: Duration::from_nanos(recent_wall.p50()),
+            recent_request_wall_p95: Duration::from_nanos(recent_wall.p95()),
+            recent_request_wall_p99: Duration::from_nanos(recent_wall.p99()),
+            recent_queue_delay_p99: Duration::from_nanos(recent_queue.p99()),
         }
     }
 }
@@ -140,6 +158,9 @@ pub(crate) struct TenantObs {
     pub probe_share: Histogram,
     /// Time copying this request's rows out of the merged result buffer.
     pub result_copy: Histogram,
+    /// Windowed (last ~60 s) view of `request_wall`, `DM_OBS`-gated — feeds
+    /// [`TenantTail::recent_request_wall`] and the per-tenant SLO input.
+    pub recent_request_wall: WindowedHistogram,
 }
 
 /// One request's latency decomposition, handed to [`TenantObs::record`] by
@@ -161,6 +182,7 @@ impl TenantObs {
         self.queue_delay.record_nanos(sample.queue_delay_nanos);
         self.coalesce_wait.record_nanos(sample.coalesce_wait_nanos);
         self.request_wall.record_nanos(sample.wall_nanos);
+        self.recent_request_wall.record_nanos(sample.wall_nanos);
         self.exec_share.record_nanos(sample.exec_share_nanos);
         self.inference_share.record_nanos(sample.inference_share_nanos);
         self.probe_share.record_nanos(sample.probe_share_nanos);
@@ -177,6 +199,7 @@ impl TenantObs {
         probe_nanos: u64,
     ) {
         self.request_wall.record_nanos(wall_nanos);
+        self.recent_request_wall.record_nanos(wall_nanos);
         self.exec_share.record_nanos(exec_nanos);
         self.inference_share.record_nanos(inference_nanos);
         self.probe_share.record_nanos(probe_nanos);
@@ -191,6 +214,7 @@ impl TenantObs {
             inference_share: self.inference_share.snapshot(),
             probe_share: self.probe_share.snapshot(),
             result_copy: self.result_copy.snapshot(),
+            recent_request_wall: self.recent_request_wall.snapshot(),
         }
     }
 }
@@ -215,6 +239,9 @@ pub struct TenantTail {
     pub probe_share: HistogramSnapshot,
     /// Per-request result-copy (demux) time.
     pub result_copy: HistogramSnapshot,
+    /// Windowed (last ~60 s) request wall time — empty when the tenant has
+    /// been idle for a full window or `DM_OBS=off`.
+    pub recent_request_wall: HistogramSnapshot,
 }
 
 /// Point-in-time counter snapshot returned by
@@ -283,6 +310,20 @@ pub struct ServerStats {
     pub request_wall_p99: Duration,
     /// Largest observed request wall time.
     pub request_wall_max: Duration,
+    /// Span of the sliding window the `recent_*` fields cover (~60 s).
+    pub recent_window: Duration,
+    /// Completed requests inside the window.  Zero when idle for a full
+    /// window *or* when `DM_OBS=off` (windowed recording is gated).
+    pub recent_requests: u64,
+    /// Median request wall time over the window — "now", not since boot.
+    pub recent_request_wall_p50: Duration,
+    /// 95th-percentile request wall time over the window.
+    pub recent_request_wall_p95: Duration,
+    /// 99th-percentile request wall time over the window (the SLO burn-rate
+    /// numerator).
+    pub recent_request_wall_p99: Duration,
+    /// 99th-percentile queue delay over the window.
+    pub recent_queue_delay_p99: Duration,
 }
 
 impl ServerStats {
@@ -386,6 +427,30 @@ mod tests {
         assert_eq!(tail.inference_share.sum(), 9);
         assert_eq!(tail.probe_share.sum(), 10);
         assert_eq!(tail.result_copy.sum(), 11);
+    }
+
+    #[test]
+    fn recent_fields_cover_the_sliding_window() {
+        let cells = StatsCells::default();
+        for _ in 0..20 {
+            cells.record_request(1_000, 100, 50_000);
+        }
+        cells.record_inline(5, 80_000, 10);
+        let s = cells.snapshot();
+        assert_eq!(s.recent_requests, 21);
+        assert!(s.recent_window >= Duration::from_secs(30));
+        assert!(s.recent_request_wall_p99 >= Duration::from_nanos(50_000));
+        assert!(s.recent_queue_delay_p99 >= Duration::from_nanos(1_000));
+        // Everything recorded inside one window: the recent view matches the
+        // since-boot histogram exactly.
+        assert_eq!(s.recent_request_wall_p50, s.request_wall_p50);
+        assert_eq!(cells.recent_request_wall.snapshot().count(), 21);
+
+        let obs = TenantObs::default();
+        obs.record_inline(7_000, 1, 1, 1);
+        let tail = obs.tail();
+        assert_eq!(tail.recent_request_wall.count(), 1);
+        assert_eq!(tail.recent_request_wall.sum(), tail.request_wall.sum());
     }
 
     #[test]

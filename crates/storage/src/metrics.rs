@@ -138,6 +138,14 @@ pub struct LatencyBreakdown {
     pub exec_steals: u64,
     /// Time runtime workers spent parked during that work, in nanoseconds.
     pub exec_park_nanos: u64,
+    /// Lookup hits answered by the model alone (prediction trusted — no aux
+    /// overlay/partition hit overrode it).  With `aux_answered` this is the
+    /// model-vs-aux answer mix drift detection watches: a drifting model
+    /// shifts answers from this counter to the next one.
+    pub model_answered: u64,
+    /// Lookup hits answered by the auxiliary table (overlay or compressed
+    /// partition probe).
+    pub aux_answered: u64,
 }
 
 impl LatencyBreakdown {
@@ -189,6 +197,8 @@ struct MetricCells {
     exec_tasks: RelaxedCell,
     exec_steals: RelaxedCell,
     exec_park_nanos: RelaxedCell,
+    model_answered: RelaxedCell,
+    aux_answered: RelaxedCell,
 }
 
 impl MetricCells {
@@ -214,6 +224,8 @@ impl MetricCells {
         f(&self.exec_tasks);
         f(&self.exec_steals);
         f(&self.exec_park_nanos);
+        f(&self.model_answered);
+        f(&self.aux_answered);
     }
 }
 
@@ -268,6 +280,8 @@ impl Metrics {
             exec_tasks: cells.exec_tasks.get(),
             exec_steals: cells.exec_steals.get(),
             exec_park_nanos: cells.exec_park_nanos.get(),
+            model_answered: cells.model_answered.get(),
+            aux_answered: cells.aux_answered.get(),
         }
     }
 
@@ -351,6 +365,15 @@ impl Metrics {
         self.inner.inference_batches.add(1);
         self.inner.inference_rows.add(rows);
     }
+
+    /// Records one batch's answer mix: `model` hits served by the model's
+    /// prediction alone, `aux` hits served by the auxiliary table.  Recorded
+    /// unconditionally (like every `LatencyBreakdown` counter) — the
+    /// `DM_OBS` kill switch gates tracing, never pipeline-work accounting.
+    pub fn add_answer_mix(&self, model: u64, aux: u64) {
+        self.inner.model_answered.add(model);
+        self.inner.aux_answered.add(aux);
+    }
 }
 
 #[cfg(test)]
@@ -387,6 +410,7 @@ mod tests {
         metrics.add_prefetch(4, 3, 2_500);
         metrics.add_exec(12, 3, 450);
         metrics.add_inference_batch(128);
+        metrics.add_answer_mix(90, 10);
         let snap = metrics.snapshot();
         assert_eq!(snap.phase(Phase::NeuralNetwork), Duration::from_millis(8));
         assert_eq!(snap.wall(), Duration::from_millis(11));
@@ -406,6 +430,8 @@ mod tests {
         assert_eq!(snap.exec_park_nanos, 450);
         assert_eq!(snap.inference_batches, 1);
         assert_eq!(snap.inference_rows, 128);
+        assert_eq!(snap.model_answered, 90);
+        assert_eq!(snap.aux_answered, 10);
         assert_eq!(snap.simulated_io_nanos, 1_000_000);
         assert_eq!(snap.total(), Duration::from_millis(8));
         assert_eq!(snap.total_with_simulated_io(), Duration::from_millis(9));

@@ -45,6 +45,11 @@ pub struct BufferPool<V> {
     shard_bits: u32,
     capacity_bytes: usize,
     metrics: Metrics,
+    /// Optional partition-heat tracker: every `get_or_load` touches it
+    /// (access always, miss on cold loads), feeding the top-K hot/cold
+    /// ranking the maintenance advisor reads.  `HeatMap::touch` is itself
+    /// gated on the `DM_OBS` kill switch.
+    heat: Option<Arc<dm_obs::HeatMap>>,
 }
 
 /// Per-shard counters, readable via [`BufferPool::shard_stats`].
@@ -174,7 +179,19 @@ impl<V> BufferPool<V> {
             shard_bits: shards.trailing_zeros(),
             capacity_bytes,
             metrics,
+            heat: None,
         }
+    }
+
+    /// Attaches a partition-heat tracker the pool will feed from every
+    /// lookup.  Call at build time, before the pool is shared.
+    pub fn attach_heat(&mut self, heat: Arc<dm_obs::HeatMap>) {
+        self.heat = Some(heat);
+    }
+
+    /// The attached heat tracker, if any.
+    pub fn heat(&self) -> Option<&Arc<dm_obs::HeatMap>> {
+        self.heat.as_ref()
     }
 
     /// The configured byte budget (split evenly across shards).
@@ -310,6 +327,9 @@ impl<V> BufferPool<V> {
                 None => dm_obs::trace::record_stage(stage, dur.as_nanos() as u64),
             }
         };
+        if let Some(heat) = &self.heat {
+            heat.touch(id, dm_obs::Touch::Access);
+        }
         let shard = self.shard_for(id);
         let our_latch = {
             let mut inner = shard.inner.lock();
@@ -342,6 +362,9 @@ impl<V> BufferPool<V> {
         // We won the race: run the loader with no lock held.
         shard.misses.fetch_add(1, Ordering::Relaxed);
         self.metrics.add_pool_miss();
+        if let Some(heat) = &self.heat {
+            heat.touch(id, dm_obs::Touch::Miss);
+        }
         let begin = std::time::Instant::now();
         let loaded = loader();
         record(Stage::PoolLoad, begin);
@@ -455,6 +478,23 @@ mod tests {
         assert_eq!(snap.pool_single_flight_waits, 0);
         assert_eq!(pool.used_bytes(), 100);
         assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn attached_heat_tracker_sees_accesses_and_misses() {
+        dm_obs::set_enabled(true);
+        let heat = Arc::new(dm_obs::HeatMap::default());
+        let mut pool = lru_pool(1024, Metrics::new());
+        pool.attach_heat(Arc::clone(&heat));
+        assert!(pool.heat().is_some());
+        pool.get_or_load(3, loader(1, 10)).unwrap();
+        pool.get_or_load(3, loader(1, 10)).unwrap();
+        pool.get_or_load(4, loader(2, 10)).unwrap();
+        let report = heat.report(10);
+        assert_eq!(report.tracked, 2);
+        assert_eq!(report.total_accesses, 3);
+        assert_eq!(report.total_misses, 2);
+        assert_eq!(report.hot[0].partition, 3, "hotter partition ranks first");
     }
 
     #[test]

@@ -276,6 +276,15 @@ pub trait TupleStore: Send + Sync {
             self.name()
         )))
     }
+
+    /// Workload-health signals for the maintenance advisor (drift + pool
+    /// pressure, see `dm_obs::StoreHealthSignals`).  The default reports
+    /// none: baselines have no model to drift.  DeepMapping overrides it, and
+    /// `dm-server` folds the result with per-tenant SLO signals into
+    /// `dm_obs::advise` without widening this trait any further.
+    fn health_signals(&self) -> Option<dm_obs::StoreHealthSignals> {
+        None
+    }
 }
 
 /// The write interface: batch modifications plus the off-peak maintenance hook.

@@ -48,9 +48,12 @@
 //! * [`dm_baselines`] — the array-based, hash-based and DeepSqueeze-like baselines the
 //!   paper compares against,
 //! * [`dm_obs`] (re-exported as [`obs`]) — the std-only observability substrate:
-//!   lock-free counters and log2-bucketed histograms, per-batch stage traces with
-//!   slow-op capture, and Prometheus/JSON exposition (`DM_OBS=off` disables the
-//!   tracing paths; see `examples/obs_quickstart.rs`).
+//!   lock-free counters and log2-bucketed histograms (plus windowed "last-60s"
+//!   variants), per-batch stage traces with slow-op capture, partition-heat
+//!   tracking, drift signals with a typed maintenance advisor
+//!   ([`HealthReport`](dm_obs::HealthReport)), and Prometheus/JSON exposition
+//!   (`DM_OBS=off` disables the tracing paths; see `examples/obs_quickstart.rs`
+//!   and `examples/health_quickstart.rs`).
 //!
 //! ## Workspace map
 //!
@@ -58,8 +61,11 @@
 //! Cargo.toml                 workspace root + this facade package
 //! ├── crates/obs             dm-obs       std-only observability substrate: sharded
 //! │                                       atomic counters/gauges, log2-bucketed
-//! │                                       mergeable histograms, per-batch stage
+//! │                                       mergeable histograms + windowed
+//! │                                       last-60s slices, per-batch stage
 //! │                                       traces + slow-op capture ring,
+//! │                                       partition-heat map, drift signals +
+//! │                                       maintenance advisor (HealthReport),
 //! │                                       Prometheus/JSON exposition, DM_OBS
 //! │                                       kill switch (depends on nothing below)
 //! ├── crates/exec            dm-exec      vendored work-stealing runtime: fixed
@@ -92,14 +98,19 @@
 //! │                                       per-tenant lazy snapshot open,
 //! │                                       ServerStats + per-tenant tail
 //! │                                       attribution (queue delay, coalesce
-//! │                                       wait, batch shares) via dm-obs
+//! │                                       wait, batch shares) via dm-obs,
+//! │                                       windowed recent tails + SLO-aware
+//! │                                       tenant_health() advisor view
 //! ├── crates/data            dm-data      TPC-H / TPC-DS / synthetic / crop
 //! │                                       generators, lookup & modification workloads
 //! ├── crates/baselines       dm-baselines array/hash partitioned stores, DeepSqueeze
 //! ├── crates/bench           dm-bench     harness + fig*/table* bench binaries,
 //! │                                       BENCH_lookup.json throughput report
 //! │                                       (p50/p95/p99, per-op vs aggregate MT
-//! │                                       fields, inference-kernel ns/row)
+//! │                                       fields, inference-kernel ns/row,
+//! │                                       health overhead + drift episode),
+//! │                                       warn-only regression gate vs the
+//! │                                       committed baseline
 //! └── crates/shims           offline stand-ins for rand / parking_lot / criterion
 //!                            (no registry access in the build environment; each
 //!                            implements only the API subset the workspace uses)

@@ -2,15 +2,29 @@
 //!
 //! Flipping the `DM_OBS` kill switch may change how much the process *records*,
 //! but it must never change what a lookup *returns* nor how the pipeline
-//! *behaves*.  This test runs the identical workload with tracing off and on
-//! and proves (a) byte-identical lookup results and (b) identical
+//! *behaves*.  The kill-switch test runs the identical workload with tracing
+//! off and on and proves (a) byte-identical lookup results and (b) identical
 //! `LatencyBreakdown` discrete counters — partition loads, pool traffic,
-//! inference batches, prefetch tasks — i.e. the pipeline took the same path.
-//! (Timing fields are excluded: nanosecond totals legitimately vary run to
-//! run whether or not tracing is on.)
+//! inference batches, prefetch tasks, the model-vs-aux answer mix — i.e. the
+//! pipeline took the same path.  (Timing fields are excluded: nanosecond
+//! totals legitimately vary run to run whether or not tracing is on.)
+//!
+//! The remaining tests drive the workload-health layer end to end: windowed
+//! tail percentiles through `QueryServer`, the partition-heat report, and the
+//! full drift episode (update storm → `Retrain` advice → `maintenance()` →
+//! measured aux shrink).
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
 
 use deepmapping::obs;
 use deepmapping::prelude::*;
+
+/// Serializes tests that read or flip the process-global `DM_OBS` switch.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// The discrete (count-valued, timing-free) slice of a `LatencyBreakdown`.
 /// Equal shapes here mean the two runs did the same work.
@@ -25,6 +39,8 @@ struct DiscreteCounters {
     inference_batches: u64,
     inference_rows: u64,
     prefetch_tasks: u64,
+    model_answered: u64,
+    aux_answered: u64,
 }
 
 impl DiscreteCounters {
@@ -39,6 +55,8 @@ impl DiscreteCounters {
             inference_batches: snapshot.inference_batches,
             inference_rows: snapshot.inference_rows,
             prefetch_tasks: snapshot.prefetch_tasks,
+            model_answered: snapshot.model_answered,
+            aux_answered: snapshot.aux_answered,
         }
     }
 }
@@ -83,6 +101,7 @@ fn run_workload(dm: &DeepMapping, batches: &[Vec<u64>]) -> (Vec<Vec<Option<Vec<u
 
 #[test]
 fn kill_switch_never_changes_results_or_pipeline_behavior() {
+    let _guard = obs_lock();
     let dm = build_store();
     // Hits, misses (odd keys are absent), and out-of-range keys, across
     // batch sizes small enough to stay serial and large enough to fan out.
@@ -124,4 +143,187 @@ fn kill_switch_never_changes_results_or_pipeline_behavior() {
         .filter(|r| r.is_some())
         .count();
     assert!(hits > 1_000, "workload should produce real hits, got {hits}");
+    // The answer mix is pipeline-work accounting, recorded with obs off too —
+    // it is what the drift detector reads, so the kill switch must not gate it.
+    assert_eq!(
+        counters_on.model_answered + counters_on.aux_answered,
+        hits as u64,
+        "every hit is answered by exactly one of model or aux"
+    );
+    assert!(counters_on.aux_answered > 0, "noisy rows must probe the aux");
+}
+
+#[test]
+fn windowed_tails_surface_through_server_stats_and_slo_evidence() {
+    let _guard = obs_lock();
+    let was_enabled = obs::enabled();
+    obs::set_enabled(true);
+
+    let rows: Vec<Row> = (0..512u64).map(|k| Row::new(k, vec![k as u32])).collect();
+    let config = ServerConfig {
+        // Generous target: this test asserts the SLO *plumbing*, not a burn.
+        tenant_p99_target: Some(Duration::from_secs(1)),
+        ..ServerConfig::inline()
+    };
+    let server = QueryServer::new(config);
+    let tenant = server
+        .register_store("t", std::sync::Arc::new(ReferenceStore::from_rows(&rows)))
+        .unwrap();
+    let mut client = server.client();
+    for k in 0..50 {
+        assert!(client.get(tenant, k % 512).unwrap().is_some());
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.recent_requests, 50, "all requests land inside the window");
+    assert!(stats.recent_window >= Duration::from_secs(30));
+    assert!(stats.recent_request_wall_p99 > Duration::ZERO);
+    assert!(stats.recent_request_wall_p99 >= stats.recent_request_wall_p50);
+    // Fresh server, one window: recent and since-boot views agree.
+    assert_eq!(stats.recent_request_wall_p99, stats.request_wall_p99);
+
+    let tail = server.tenant_tail("t").unwrap();
+    assert_eq!(tail.recent_request_wall.count(), 50);
+    assert_eq!(tail.recent_request_wall.sum(), tail.request_wall.sum());
+
+    // The windowed p99 feeds the advisor's SLO input.
+    let health = server.tenant_health("t").unwrap();
+    assert!(health.is_healthy(), "{health:?}");
+    let slo = health.slo.expect("a p99 target is configured");
+    assert_eq!(slo.windowed_requests, 50);
+    assert!(slo.windowed_p99_nanos > 0);
+    assert!(slo.burn_rate() < 1.0, "1 s target cannot burn on an in-memory store");
+
+    obs::set_enabled(was_enabled);
+}
+
+#[test]
+fn heat_report_ranks_hot_partitions_and_carries_pool_pressure() {
+    let _guard = obs_lock();
+    let was_enabled = obs::enabled();
+    obs::set_enabled(true);
+
+    let dm = build_store();
+    // Skew the aux-probe traffic: hammer a narrow key range, then touch the
+    // whole table once so cold partitions register too.
+    let hot_keys: Vec<u64> = (0..256u64).map(|k| k * 2).collect();
+    for _ in 0..20 {
+        dm.lookup_batch(&hot_keys).unwrap();
+    }
+    let wide: Vec<u64> = (0..6_000u64).map(|k| k * 2).collect();
+    dm.lookup_batch(&wide).unwrap();
+
+    let report = dm.aux_table().heat_report(3);
+    assert!(report.tracked > 0, "aux probes must feed the heat tracker");
+    assert_eq!(report.dropped, 0);
+    assert!(report.total_accesses > 0);
+    assert!(report.total_misses <= report.total_accesses);
+    assert!(!report.hot.is_empty());
+    assert!(report.hot.len() <= 3);
+    assert!(
+        report.hot.windows(2).all(|w| w[0].score >= w[1].score),
+        "hot list must rank by decayed score: {:?}",
+        report.hot
+    );
+    let hottest = &report.hot[0];
+    assert!(hottest.accesses >= 20, "the hammered partition leads the list");
+    if let Some(coldest) = report.cold.first() {
+        assert!(hottest.score >= coldest.score);
+    }
+    // build_store caps the pool at 32 KiB, so pressure is meaningful.
+    assert_eq!(report.budget_bytes, 32 * 1024);
+    assert!(report.resident_bytes > 0);
+    assert!(report.pressure() > 0.0 && report.pressure() <= 1.0);
+
+    let pressure = dm.aux_table().pool_pressure();
+    assert_eq!(pressure.budget_bytes, report.budget_bytes);
+    assert!(pressure.occupancy() > 0.0);
+
+    obs::set_enabled(was_enabled);
+}
+
+#[test]
+fn update_storm_draws_retrain_advice_and_maintenance_shrinks_the_aux() {
+    let _guard = obs_lock();
+    let was_enabled = obs::enabled();
+    obs::set_enabled(true);
+
+    // Strongly correlated data: the fresh model memorizes nearly everything,
+    // so the fresh store is healthy and the aux table starts small.
+    let rows: Vec<Row> = (0..4_000u64)
+        .map(|k| Row::new(k, vec![((k / 16) % 5) as u32, ((k / 64) % 3) as u32]))
+        .collect();
+    let mut dm = DeepMappingBuilder::dm_z()
+        .training(TrainingConfig::quick())
+        .partition_bytes(8 * 1024)
+        .exec_threads(1)
+        .build(&rows)
+        .expect("build store");
+    assert!(dm.health_report().is_healthy());
+
+    // The storm: several batches of off-pattern (but schema-valid) updates.
+    // Each batch mostly mispredicts, climbing the EMA, and every mispredicted
+    // row lands in the delta overlay.
+    for chunk in 0..4u64 {
+        let updates: Vec<Row> = (chunk * 400..(chunk + 1) * 400)
+            .map(|k| Row::new(k, vec![(k % 5) as u32, ((k * 3 + 1) % 3) as u32]))
+            .collect();
+        dm.update_rows(&updates).unwrap();
+    }
+
+    let report = dm.health_report();
+    assert!(!report.is_healthy(), "the storm must surface an advisory");
+    let (expected_shrink, overlay_ratio) = match report.primary() {
+        obs::Advice::Retrain {
+            expected_aux_shrink_bytes,
+            overlay_ratio,
+            ..
+        } => (*expected_aux_shrink_bytes, *overlay_ratio),
+        other => panic!("expected Retrain advice, got {other:?}"),
+    };
+    assert!(
+        overlay_ratio > 0.25,
+        "1 600 overlaid rows must dominate the small aux: {overlay_ratio}"
+    );
+    assert!(expected_shrink > 0, "a mostly-memorized store predicts real shrink");
+    assert!(report.drift.mispredict_ema > 0.0);
+    assert!(report.drift.aux_answer_ratio() >= 0.0);
+
+    // Acting on the advice: maintenance() retrains, folding the overlay back
+    // into the model + compressed partitions.
+    let aux_before = dm.aux_table().size_bytes();
+    MutableStore::maintenance(&mut dm).unwrap();
+    let aux_after = dm.aux_table().size_bytes();
+    assert!(
+        aux_after < aux_before,
+        "retrain must shrink the aux: {aux_before} -> {aux_after}"
+    );
+
+    // The retrain opened a fresh drift epoch and the store is healthy again.
+    let fresh = dm.drift_signals();
+    assert_eq!(fresh.retrain_count, 1);
+    assert_eq!(fresh.overlay_bytes, 0);
+    assert_eq!(fresh.mispredict_ema, 0.0);
+    assert_eq!(fresh.exist_churn, 0);
+    assert_eq!(fresh.model_answered + fresh.aux_answered, 0);
+    assert!(dm.health_report().is_healthy());
+
+    // And the store still answers exactly.
+    let reference = {
+        let mut r = ReferenceStore::from_rows(&rows);
+        for chunk in 0..4u64 {
+            let updates: Vec<Row> = (chunk * 400..(chunk + 1) * 400)
+                .map(|k| Row::new(k, vec![(k % 5) as u32, ((k * 3 + 1) % 3) as u32]))
+                .collect();
+            r.update(&updates).unwrap();
+        }
+        r
+    };
+    let probe: Vec<u64> = (0..4_500u64).collect();
+    assert_eq!(
+        dm.lookup_batch(&probe).unwrap(),
+        reference.lookup_batch(&probe).unwrap()
+    );
+
+    obs::set_enabled(was_enabled);
 }
