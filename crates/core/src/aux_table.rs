@@ -76,10 +76,21 @@ pub struct AuxTableSnapshot {
 }
 
 /// Which backing serves (and, for the simulated variant, absorbs) partitions.
+///
+/// Reads and writes are deliberately split: writes always reach the concrete
+/// simulated disk, while the *read* side is an `Arc<dyn PartitionSource>` that
+/// may be wrapped in a [`dm_faults::FaultyPartitionSource`] — either by the
+/// `DM_FAULTS` environment plan at construction or programmatically via
+/// [`AuxTable::inject_faults`].  This is what lets chaos tests corrupt or fail
+/// reads without ever producing an unwritable table.
 #[derive(Debug)]
 enum Backing {
     /// The writable in-memory simulated disk — build path and compactions.
-    Simulated(SimulatedDisk),
+    /// `read` serves lookups and is `disk` itself unless fault-wrapped.
+    Simulated {
+        disk: Arc<SimulatedDisk>,
+        read: Arc<dyn PartitionSource>,
+    },
     /// A read-only external source (snapshot file extents).  Modifications are
     /// absorbed by the overlay; a compaction migrates back to a fresh
     /// simulated disk.
@@ -87,9 +98,17 @@ enum Backing {
 }
 
 impl Backing {
+    /// A fresh writable backing whose read side honours the `DM_FAULTS`
+    /// environment plan (a no-op wrapper-free pass-through when unset).
+    fn simulated(disk: SimulatedDisk) -> Self {
+        let disk = Arc::new(disk);
+        let read = dm_faults::wrap_from_env(Arc::clone(&disk) as Arc<dyn PartitionSource>);
+        Backing::Simulated { disk, read }
+    }
+
     fn source(&self) -> &dyn PartitionSource {
         match self {
-            Backing::Simulated(disk) => disk,
+            Backing::Simulated { read, .. } => read.as_ref(),
             Backing::External(source) => source.as_ref(),
         }
     }
@@ -164,7 +183,6 @@ impl AuxTable {
         disk_profile: DiskProfile,
         metrics: Metrics,
     ) -> Result<Self> {
-        let disk = SimulatedDisk::new(disk_profile);
         let heat = Arc::new(dm_obs::HeatMap::default());
         let mut pool = BufferPool::new(memory_budget_bytes, metrics.clone());
         pool.attach_heat(Arc::clone(&heat));
@@ -174,7 +192,7 @@ impl AuxTable {
             memory_budget_bytes,
             disk_profile,
             value_columns,
-            backing: Backing::Simulated(disk),
+            backing: Backing::simulated(SimulatedDisk::new(disk_profile)),
             pool,
             directory: Vec::new(),
             delta: BTreeMap::new(),
@@ -215,7 +233,7 @@ impl AuxTable {
             memory_budget_bytes: snapshot.memory_budget_bytes,
             disk_profile: snapshot.disk_profile,
             value_columns: snapshot.value_columns,
-            backing: Backing::External(source),
+            backing: Backing::External(dm_faults::wrap_from_env(source)),
             pool,
             directory,
             delta: snapshot
@@ -229,8 +247,32 @@ impl AuxTable {
         }
     }
 
+    /// Rewraps the read side of the backing with `faults` — the programmatic
+    /// activation path for chaos tests (the environment path is
+    /// `DM_FAULTS` + [`dm_faults::wrap_from_env`] at construction).  The
+    /// buffer pool is cleared so the plan applies to the very next probe
+    /// instead of waiting for evictions; writes keep reaching the concrete
+    /// disk untouched.
+    pub fn inject_faults(&mut self, faults: Arc<dm_faults::Faults>) {
+        match &mut self.backing {
+            Backing::Simulated { disk, read } => {
+                *read = Arc::new(dm_faults::FaultyPartitionSource::new(
+                    Arc::clone(disk) as Arc<dyn PartitionSource>,
+                    faults,
+                ));
+            }
+            Backing::External(source) => {
+                *source = Arc::new(dm_faults::FaultyPartitionSource::new(
+                    Arc::clone(source),
+                    faults,
+                ));
+            }
+        }
+        self.pool.clear();
+    }
+
     fn write_partitions(&mut self, rows: &[Row]) -> Result<()> {
-        let Backing::Simulated(disk) = &self.backing else {
+        let Backing::Simulated { disk, .. } = &self.backing else {
             return Err(crate::CoreError::InvalidConfig(
                 "cannot write partitions into a read-only external partition source".into(),
             ));
@@ -301,24 +343,36 @@ impl AuxTable {
     }
 
     /// Loads partition `idx` through the single-flight buffer pool, recording
-    /// pool wait/load spans on `trace` when the caller carries one.
-    fn load_partition(&self, idx: usize, trace: Option<&Trace>) -> Result<Arc<ArrayPartition>> {
+    /// pool wait/load spans on `trace` when the caller carries one.  Keeps the
+    /// raw [`dm_storage::StorageError`] so degradation-aware callers
+    /// ([`probe_planned`](Self::probe_planned)) can attach the typed error to
+    /// exactly the keys it affects.
+    fn load_partition_raw(
+        &self,
+        idx: usize,
+        trace: Option<&Trace>,
+    ) -> dm_storage::Result<Arc<ArrayPartition>> {
         let meta = self.directory[idx];
         let source = self.backing.source();
         let metrics = &self.metrics;
         let heat = &self.heat;
-        self.pool
-            .get_or_load_observed(meta.disk_id, trace, || {
-                let payload = metrics.time(Phase::LoadAndDecompress, || {
-                    source.read_partition(meta.disk_id, metrics)
-                })?;
-                heat.touch(meta.disk_id, dm_obs::Touch::Decompress);
-                let partition = metrics
-                    .time(Phase::LoadAndDecompress, || ArrayPartition::from_bytes(&payload))?;
-                let bytes = partition.len() * Row::fixed_width(partition.iter().next().map(|r| r.values.len()).unwrap_or(0));
-                Ok((partition, bytes.max(64)))
-            })
-            .map_err(crate::CoreError::from)
+        self.pool.get_or_load_observed(meta.disk_id, trace, || {
+            let payload = metrics.time(Phase::LoadAndDecompress, || {
+                source.read_partition(meta.disk_id, metrics)
+            })?;
+            heat.touch(meta.disk_id, dm_obs::Touch::Decompress);
+            let partition = metrics
+                .time(Phase::LoadAndDecompress, || ArrayPartition::from_bytes(&payload))?;
+            let bytes = partition.len() * Row::fixed_width(partition.iter().next().map(|r| r.values.len()).unwrap_or(0));
+            Ok((partition, bytes.max(64)))
+        })
+    }
+
+    /// [`load_partition_raw`](Self::load_partition_raw) with the error lifted
+    /// into the crate taxonomy — the strict (fail-the-call) load used by the
+    /// single-key and scan paths.
+    fn load_partition(&self, idx: usize, trace: Option<&Trace>) -> Result<Arc<ArrayPartition>> {
+        self.load_partition_raw(idx, trace).map_err(crate::CoreError::from)
     }
 
     /// Looks up a key in the auxiliary table (Algorithm 1, lines 6–8).
@@ -382,7 +436,13 @@ impl AuxTable {
         sink: &mut dyn FnMut(usize, &[u32]),
     ) -> Result<()> {
         let plan = self.plan_probes(keys);
-        self.probe_planned(plan, keys, exec, None, sink)
+        let degraded = self.probe_planned(plan, keys, exec, None, sink)?;
+        // The owned-batch API has no per-key error channel, so it keeps the
+        // strict contract: any failed partition fails the whole call.
+        if let Some((_, err)) = degraded.into_iter().next() {
+            return Err(crate::CoreError::from(err));
+        }
+        Ok(())
     }
 
     /// Whether partition `idx` is decoded and resident in the buffer pool right
@@ -425,6 +485,15 @@ impl AuxTable {
     /// Executes an already-computed [`ProbePlan`] (see
     /// [`plan_probes`](Self::plan_probes)) — the pipeline plans before stage 2
     /// so partition prefetch can overlap inference, then probes here.
+    ///
+    /// **Graceful degradation:** a partition whose load fails (after the
+    /// buffer pool's bounded transient retries) does *not* fail the batch.
+    /// Its group's query indices are returned, each paired with the typed
+    /// [`dm_storage::StorageError`], and every other group is probed and
+    /// answered byte-identically to a fault-free run.  Callers decide the
+    /// policy: the pipeline marks the affected spans failed in the
+    /// [`LookupBuffer`](dm_storage::LookupBuffer); the legacy batch API
+    /// surfaces the first error for the whole batch.
     pub(crate) fn probe_planned(
         &self,
         plan: ProbePlan,
@@ -432,15 +501,20 @@ impl AuxTable {
         exec: &ThreadPool,
         trace: Option<&Trace>,
         sink: &mut dyn FnMut(usize, &[u32]),
-    ) -> Result<()> {
+    ) -> Result<Vec<(usize, dm_storage::StorageError)>> {
         for qi in plan.resolved {
             if let Some(values) = self.delta.get(&keys[qi]) {
                 sink(qi, values);
             }
         }
+        let mut degraded: Vec<(usize, dm_storage::StorageError)> = Vec::new();
+        let mut degrade = |query_indices: &[usize], err: dm_storage::StorageError| {
+            self.metrics.add_degraded_keys(query_indices.len() as u64);
+            degraded.extend(query_indices.iter().map(|&qi| (qi, err.clone())));
+        };
         let groups: Vec<(usize, Vec<usize>)> = plan.groups.into_iter().collect();
         if groups.len() >= 2 && exec.threads() > 1 {
-            let mut results: Vec<Option<Result<GroupHits>>> =
+            let mut results: Vec<Option<dm_storage::Result<GroupHits>>> =
                 std::iter::repeat_with(|| None).take(groups.len()).collect();
             exec.scope(|s| {
                 for (slot, (idx, query_indices)) in results.iter_mut().zip(groups.iter()) {
@@ -449,15 +523,25 @@ impl AuxTable {
                     });
                 }
             });
-            for result in results {
-                let hits = result.expect("scope waits for every probe task")?;
-                for (i, &qi) in hits.qis.iter().enumerate() {
-                    sink(qi, &hits.values[i * hits.columns..(i + 1) * hits.columns]);
+            for (result, (_, query_indices)) in results.into_iter().zip(groups.iter()) {
+                match result.expect("scope waits for every probe task") {
+                    Ok(hits) => {
+                        for (i, &qi) in hits.qis.iter().enumerate() {
+                            sink(qi, &hits.values[i * hits.columns..(i + 1) * hits.columns]);
+                        }
+                    }
+                    Err(err) => degrade(query_indices, err),
                 }
             }
         } else {
             for (idx, query_indices) in &groups {
-                let partition = self.load_partition(*idx, trace)?;
+                let partition = match self.load_partition_raw(*idx, trace) {
+                    Ok(partition) => partition,
+                    Err(err) => {
+                        degrade(query_indices, err);
+                        continue;
+                    }
+                };
                 let begin = std::time::Instant::now();
                 self.metrics.time(Phase::AuxiliaryLookup, || {
                     for &qi in query_indices {
@@ -471,7 +555,7 @@ impl AuxTable {
                 }
             }
         }
-        Ok(())
+        Ok(degraded)
     }
 
     /// Probes one partition group (pool task body of the parallel stage-3 path):
@@ -486,8 +570,8 @@ impl AuxTable {
         query_indices: &[usize],
         keys: &[u64],
         trace: Option<&Trace>,
-    ) -> Result<GroupHits> {
-        let partition = self.load_partition(idx, trace)?;
+    ) -> dm_storage::Result<GroupHits> {
+        let partition = self.load_partition_raw(idx, trace)?;
         let mut hits = GroupHits {
             columns: self.value_columns,
             qis: Vec::new(),
@@ -644,7 +728,10 @@ impl AuxTable {
         self.directory.clear();
         self.delta.clear();
         self.tombstones.clear();
-        self.backing = Backing::Simulated(SimulatedDisk::new(self.disk_profile));
+        // Note: a compaction re-derives the read wrapper from the environment
+        // plan; a programmatically injected [`inject_faults`](Self::inject_faults)
+        // wrapper must be re-installed by the test after compacting.
+        self.backing = Backing::simulated(SimulatedDisk::new(self.disk_profile));
         self.write_partitions(&rows)?;
         Ok(())
     }

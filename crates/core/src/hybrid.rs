@@ -203,6 +203,15 @@ impl DeepMapping {
         self.exec.get()
     }
 
+    /// Programmatic fault injection: rewraps the auxiliary table's read path
+    /// with `faults` (see [`AuxTable::inject_faults`]).  The environment
+    /// equivalent is setting `DM_FAULTS` before building/opening the store.
+    /// Chaos tests keep the `Arc<dm_faults::Faults>` handle to flip the
+    /// injector off ("repair the disk") or read its stats mid-run.
+    pub fn inject_faults(&mut self, faults: std::sync::Arc<dm_faults::Faults>) {
+        self.aux.inject_faults(faults);
+    }
+
     /// How many times the structure has been retrained since it was built.
     pub fn retrain_count(&self) -> usize {
         self.retrain_count
@@ -630,6 +639,14 @@ impl TupleStore for DeepMapping {
 
     fn health_signals(&self) -> Option<dm_obs::StoreHealthSignals> {
         Some(DeepMapping::health_signals(self))
+    }
+
+    fn fault_signals(&self) -> Option<dm_obs::FaultSignals> {
+        let snap = self.metrics.snapshot();
+        Some(dm_obs::FaultSignals {
+            degraded_keys: snap.degraded_keys,
+            load_retries: snap.load_retries,
+        })
     }
 }
 

@@ -132,9 +132,19 @@ impl<'a> QueryPipeline<'a> {
 
     /// Runs the full four-stage pipeline over a key batch, returning one result per
     /// input key in input order (`None` for keys that do not exist).
+    ///
+    /// This owned shape has no per-key error channel, so it keeps the strict
+    /// contract: if any partition probe failed (a degraded span in the
+    /// underlying buffer), the whole call returns that error.  Callers that
+    /// want the degraded answers for the unaffected keys use
+    /// [`execute_into`](Self::execute_into) and inspect the buffer's failed
+    /// spans.
     pub fn execute(&self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
         let mut buffer = LookupBuffer::with_capacity(keys.len(), 4);
         self.execute_into(keys, &mut buffer)?;
+        if let Some(err) = buffer.first_error() {
+            return Err(err.clone().into());
+        }
         Ok(buffer.to_options())
     }
 
@@ -273,7 +283,10 @@ impl<'a> QueryPipeline<'a> {
         // Stage 3: auxiliary hits (grouped by partition, each loaded at most once,
         // groups probed in parallel on the pool) land in the buffer first — the
         // accuracy-assurance contract says they win.  Executes the plan computed
-        // above.
+        // above.  A partition whose load failed degrades instead of aborting:
+        // its keys come back with their typed storage error and are marked as
+        // failed spans, while every other key is answered byte-identically to
+        // a fault-free batch.
         let positions = &split.surviving_positions;
         let validated = self
             .aux
@@ -283,23 +296,36 @@ impl<'a> QueryPipeline<'a> {
 
         // Stage 4: merge — surviving keys the auxiliary table did not override take
         // the model's prediction, restoring the original batch order via positions.
-        if validated.is_ok() {
-            let merge_begin = Instant::now();
-            let mut model_answered = 0u64;
-            self.metrics.time(Phase::Other, || {
-                for (si, &position) in positions.iter().enumerate() {
-                    if !out.is_hit(position) {
-                        out.set_hit(position, &predictions[si * columns..(si + 1) * columns]);
-                        model_answered += 1;
-                    }
+        // Failed spans are skipped: a key whose auxiliary partition could not be
+        // probed must NOT fall back to the bare model prediction (the partition
+        // may hold the correction), so it keeps its typed error instead.
+        let validated = match validated {
+            Ok(degraded) => {
+                let failed = degraded.len() as u64;
+                for (si, err) in degraded {
+                    out.set_failed(positions[si], err);
                 }
-            });
-            // The answer mix is pipeline-work accounting (drift detection's
-            // primary signal), not tracing — recorded regardless of `DM_OBS`.
-            self.metrics
-                .add_answer_mix(model_answered, positions.len() as u64 - model_answered);
-            trace.record_span(Stage::Merge, merge_begin, merge_begin.elapsed());
-        }
+                let merge_begin = Instant::now();
+                let mut model_answered = 0u64;
+                self.metrics.time(Phase::Other, || {
+                    for (si, &position) in positions.iter().enumerate() {
+                        if !out.is_hit(position) && !out.is_failed(position) {
+                            out.set_hit(position, &predictions[si * columns..(si + 1) * columns]);
+                            model_answered += 1;
+                        }
+                    }
+                });
+                // The answer mix is pipeline-work accounting (drift detection's
+                // primary signal), not tracing — recorded regardless of `DM_OBS`.
+                self.metrics.add_answer_mix(
+                    model_answered,
+                    (positions.len() as u64).saturating_sub(model_answered + failed),
+                );
+                trace.record_span(Stage::Merge, merge_begin, merge_begin.elapsed());
+                Ok(())
+            }
+            Err(err) => Err(err),
+        };
         out.restore_scratch(predictions);
         // Charge the runtime activity this batch drove (approximate when several
         // batches share one pool concurrently) to the store's metrics.
@@ -622,6 +648,80 @@ mod tests {
             snap.partition_loads,
             snap.prefetch_tasks
         );
+    }
+
+    /// Graceful degradation: a partition whose reads keep failing must degrade
+    /// only the keys it covers — every other key is answered byte-identically
+    /// to a fault-free run — and disabling the injector restores full service.
+    #[test]
+    fn failed_partition_degrades_only_its_keys_and_recovers() {
+        let rows = adversarial_rows(4_000);
+        let mut dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        assert!(dm.aux_table().partition_count() >= 2);
+        let probe: Vec<u64> = (0..4_000u64).collect();
+        let healthy = dm.lookup_batch(&probe).unwrap();
+
+        // Every read of partition 0 fails (transiently — so the pool's bounded
+        // retries are exhausted before the group degrades).
+        let faults = dm_faults::Faults::new(
+            dm_faults::FaultPlan::seeded(7)
+                .with_read_transient(1.0)
+                .with_read_partitions(vec![0]),
+        );
+        dm.inject_faults(faults.clone());
+        dm.metrics().reset();
+
+        // The strict owned-batch APIs keep their legacy contract: fail loudly.
+        let err = dm.lookup_batch(&probe).unwrap_err();
+        assert!(matches!(err, crate::CoreError::Storage(_)), "{err}");
+
+        // The buffer API degrades: only partition 0's keys carry errors.
+        let mut buffer = LookupBuffer::new();
+        dm.lookup_batch_into(&probe, &mut buffer).unwrap();
+        assert!(buffer.failed_count() > 0, "partition 0 keys must be marked failed");
+        for (i, &key) in probe.iter().enumerate() {
+            if buffer.is_failed(i) {
+                let err = buffer.error(i).expect("failed spans carry their error");
+                assert!(err.is_transient(), "retry-exhausted transient, got {err}");
+            } else {
+                assert_eq!(
+                    buffer.get(i).map(|v| v.to_vec()),
+                    healthy[i].clone(),
+                    "unaffected key {key} must be byte-identical to the fault-free run"
+                );
+            }
+        }
+        let snap = dm.metrics().snapshot();
+        assert!(snap.degraded_keys > 0, "degradation must be observable: {snap:?}");
+        assert!(snap.load_retries > 0, "transients must be retried before degrading");
+
+        // "Repair the disk": disabling the injector restores exact service.
+        faults.set_enabled(false);
+        assert_eq!(dm.lookup_batch(&probe).unwrap(), healthy);
+    }
+
+    /// A key answered by the model (not resident in the failed partition) must
+    /// never be degraded: degradation is scoped to keys whose *covering*
+    /// partition failed, not to batches that merely touched a failing store.
+    #[test]
+    fn keys_outside_failed_partitions_keep_answering() {
+        let rows = adversarial_rows(3_000);
+        let mut dm = DeepMapping::build(&rows, &quick_config()).unwrap();
+        let partitions = dm.aux_table().partition_count();
+        assert!(partitions >= 2);
+        let last = (partitions - 1) as u64;
+        let faults = dm_faults::Faults::new(
+            dm_faults::FaultPlan::seeded(11)
+                .with_read_transient(1.0)
+                .with_read_partitions(vec![last]),
+        );
+        dm.inject_faults(faults);
+        // Keys covered by partition 0 only: the batch must succeed outright.
+        let probe: Vec<u64> = (0..32u64).collect();
+        let mut buffer = LookupBuffer::new();
+        dm.lookup_batch_into(&probe, &mut buffer).unwrap();
+        assert_eq!(buffer.failed_count(), 0, "untouched partitions must not degrade");
+        assert!(dm.lookup_batch(&probe).is_ok());
     }
 
     #[test]

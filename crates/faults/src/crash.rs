@@ -1,0 +1,139 @@
+//! Crash-point instrumentation for the persistence write paths.
+//!
+//! A *crash site* is a named point between two filesystem effects — before a
+//! WAL record is written, after a snapshot rename, and so on.  `dm-persist`
+//! calls [`site`] at every such point; in production the call is one
+//! thread-local read and nothing else.  A torture test installs an observer
+//! with [`with_observer`] and receives a callback *at the moment the files on
+//! disk are in exactly the state a crash at that point would leave* — the
+//! canonical observer copies the store directory aside, and the test then
+//! reopens every captured state and asserts the recovery invariants
+//! (store opens, contents are a prefix of the applied operations, never a
+//! hybrid of old and new).
+//!
+//! The observer is **thread-local** on purpose: the persistence write paths
+//! (`append`, `sync`, `checkpoint`, `maintenance`) all run on the calling
+//! thread, and thread-locality means two torture tests in the same process
+//! cannot see each other's sites — no global mutable state, no test
+//! serialization.
+//!
+//! This instrument captures *ordering* crashes (everything before the site
+//! durable, nothing after).  Mid-write torn records are a different fault —
+//! inject those with [`WalFaultPlan::torn_nth`](crate::plan::WalFaultPlan).
+
+use std::cell::RefCell;
+
+type Observer = Box<dyn FnMut(&str)>;
+
+thread_local! {
+    static OBSERVER: RefCell<Option<Observer>> = const { RefCell::new(None) };
+}
+
+/// Announces a crash site to the observer installed on this thread, if any.
+/// Costs one thread-local read when no observer is installed.
+pub fn site(name: &str) {
+    OBSERVER.with(|slot| {
+        // A site reached *from inside* an observer callback (the observer
+        // itself doing I/O through instrumented code) is ignored: borrow_mut
+        // would panic, and reentrant capture is never what a test means.
+        if let Ok(mut slot) = slot.try_borrow_mut() {
+            if let Some(observer) = slot.as_mut() {
+                observer(name);
+            }
+        }
+    });
+}
+
+/// Runs `body` with `observer` installed as this thread's crash-site
+/// observer, restoring the previous observer afterwards (panic-safe).
+/// Returns `body`'s result.
+pub fn with_observer<R>(observer: impl FnMut(&str) + 'static, body: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Observer>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OBSERVER.with(|slot| *slot.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = OBSERVER.with(|slot| slot.borrow_mut().replace(Box::new(observer)));
+    let _restore = Restore(previous);
+    body()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn sites_are_invisible_without_an_observer() {
+        site("wal.append.before_write"); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn observer_sees_sites_in_order_and_is_removed_after() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let result = with_observer(
+            move |name| sink.borrow_mut().push(name.to_string()),
+            || {
+                site("a");
+                site("b");
+                42
+            },
+        );
+        assert_eq!(result, 42);
+        assert_eq!(*seen.borrow(), vec!["a", "b"]);
+        site("c");
+        assert_eq!(seen.borrow().len(), 2, "observer must be uninstalled");
+    }
+
+    #[test]
+    fn observers_nest_and_restore() {
+        let outer = Rc::new(RefCell::new(0u32));
+        let inner = Rc::new(RefCell::new(0u32));
+        let o = Rc::clone(&outer);
+        with_observer(
+            move |_| *o.borrow_mut() += 1,
+            || {
+                site("x");
+                let i = Rc::clone(&inner);
+                with_observer(move |_| *i.borrow_mut() += 1, || site("y"));
+                site("z");
+            },
+        );
+        assert_eq!(*outer.borrow(), 2, "outer sees x and z");
+        assert_eq!(*inner.borrow(), 1, "inner sees only y");
+    }
+
+    #[test]
+    fn observer_is_restored_on_panic() {
+        let seen = Rc::new(RefCell::new(0u32));
+        let sink = Rc::clone(&seen);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_observer(
+                move |_| *sink.borrow_mut() += 1,
+                || {
+                    site("pre");
+                    panic!("boom");
+                },
+            )
+        }));
+        assert!(result.is_err());
+        site("post-panic");
+        assert_eq!(*seen.borrow(), 1, "panicked observer must be uninstalled");
+    }
+
+    #[test]
+    fn reentrant_sites_inside_an_observer_are_ignored() {
+        let seen = Rc::new(RefCell::new(0u32));
+        let sink = Rc::clone(&seen);
+        with_observer(
+            move |_| {
+                *sink.borrow_mut() += 1;
+                site("reentrant"); // must not deadlock, panic or recurse
+            },
+            || site("outer"),
+        );
+        assert_eq!(*seen.borrow(), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! # dm-faults — deterministic fault injection for the DeepMapping stack
+//!
+//! The hybrid store's contract — *never serve a wrong tuple* — is easy to
+//! uphold on a healthy disk.  This crate exists to prove it holds on an
+//! unhealthy one: it injects the failures real storage produces (transient
+//! read errors, latency spikes, bit rot, torn writes, failed fsyncs,
+//! crashes between syscalls) **deterministically**, so every chaos run is a
+//! reproducible test case rather than a flaky coin toss.
+//!
+//! ## Operating guide
+//!
+//! ### Activation
+//!
+//! * **Environment** — set `DM_FAULTS` to a plan string (grammar below) and
+//!   every store opened or built in the process wraps its partition sources
+//!   in a [`FaultyPartitionSource`] and hands its WAL a write-side injector.
+//!   The variable is read once per process; each activated component gets an
+//!   *independent* injector instance, so per-store fault schedules do not
+//!   depend on how many stores the process opens.
+//! * **Programmatic** — build a [`FaultPlan`] (builder methods or
+//!   [`FaultPlan::parse`]), wrap it in [`Faults::new`], and hand it to the
+//!   component under test ([`FaultyPartitionSource::new`], the persist
+//!   layer's `with_faults`, etc.).  [`Faults::set_enabled`] is the runtime
+//!   kill switch — "repair the disk" mid-test without rebuilding the store.
+//! * **Off** — with no plan installed nothing is wrapped and the only cost
+//!   anywhere is an `Option` check at build time; the lookup hot path is
+//!   untouched (the acceptance gate for this is the regression guard's
+//!   noise band).
+//!
+//! ### Plan grammar (`DM_FAULTS`)
+//!
+//! `;`-separated directives, e.g.
+//! `DM_FAULTS="seed=7;read.transient=0.05;read.latency_ms=2:0.01"`:
+//!
+//! | directive | effect |
+//! |---|---|
+//! | `seed=N` | seed every probabilistic decision |
+//! | `read.transient=P` | cold read fails (retryable `Io`) with probability `P` |
+//! | `read.transient_nth=N` | the `N`-th read of each partition fails once |
+//! | `read.latency_ms=M[:P]` | add `M` ms to a read with probability `P` (default 1) |
+//! | `read.bitflip=P` | flip one bit in the frame (caught by checksums) |
+//! | `read.partitions=A,B,..` | restrict read faults to these partitions |
+//! | `wal.append_fail_nth=N` | `N`-th WAL append fails before writing |
+//! | `wal.torn_nth=N` | `N`-th WAL append writes half a record, then fails |
+//! | `wal.fsync_fail_nth=N` | `N`-th WAL fsync reports failure |
+//!
+//! See [`plan`] for the full grammar reference.
+//!
+//! ### Determinism guarantees
+//!
+//! Every decision is a pure function of `(seed, site, partition id,
+//! per-partition call number)`.  Thread interleaving cannot change which
+//! faults fire: two partitions probed from different threads draw from
+//! independent counter streams, and a retry *is* the next call number, so
+//! "fails on attempt 1, succeeds on attempt 2" is expressible exactly
+//! ([`FaultPlan::with_read_transient_nth`]).  Injected-fault counts are
+//! readable per injector ([`Faults::stats`]) and aggregated into the
+//! `dm-obs` global registry (`dm_faults_injected_total` + per-kind
+//! counters) for the Prometheus render.
+//!
+//! ### Fault → error taxonomy
+//!
+//! | injected fault | surfaces as | retried? |
+//! |---|---|---|
+//! | transient read | `StorageError::Io` (`is_transient()`) | yes, bounded backoff |
+//! | latency spike | slow read (tail latency) | n/a |
+//! | bit flip | checksum failure → `Corrupt`/`Compression` | never — fail-fast |
+//! | torn/failed WAL write | `PersistError` → store poison | no; recovery at reopen |
+//! | failed fsync | `PersistError` → store poison | no; recovery at reopen |
+//! | crash between syscalls | [`crash`] observer captures state | reopen must recover |
+//!
+//! ### Crash-point torture
+//!
+//! [`crash::site`] instruments every append/fsync/rename boundary in
+//! `dm-persist`.  A torture test installs [`crash::with_observer`] and
+//! copies the store directory at each site — the on-disk state a kill at
+//! that exact point would leave — then reopens every captured state and
+//! asserts the recovery invariants.  See `tests/persistence.rs` in the
+//! workspace root for the matrix.
+
+pub mod crash;
+pub mod inject;
+pub mod plan;
+pub mod source;
+
+pub use inject::{env_plan, from_env, FaultStats, Faults, ReadDecision, ReadOutcome, WalAppendFault};
+pub use plan::{FaultPlan, PlanParseError, ReadFaultPlan, WalFaultPlan, DEFAULT_SEED};
+pub use source::{wrap_from_env, FaultyPartitionSource};

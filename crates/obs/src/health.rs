@@ -132,6 +132,22 @@ impl SloSignals {
     }
 }
 
+/// Fault pressure observed at serve time: how often the store had to retry
+/// cold loads and how many keys it refused to answer because their partition
+/// could not be read (per-span degradation).  Assembled by the serving layer
+/// from the store's metrics; see `dm_storage::TupleStore::fault_signals`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultSignals {
+    /// Keys answered with a typed per-span failure instead of a value
+    /// (partition probe failed after retries).  Any nonzero value means some
+    /// requests are being refused — worth investigating even if rare.
+    pub degraded_keys: u64,
+    /// Cold partition loads that succeeded only after at least one retry
+    /// (transient I/O absorbed by backoff).  Elevated retries with zero
+    /// degraded keys mean the storage layer is sick but still hiding it.
+    pub load_retries: u64,
+}
+
 /// A typed maintenance recommendation with its evidence attached.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Advice {
@@ -164,6 +180,16 @@ pub enum Advice {
         /// The miss rate that tripped the threshold.
         miss_rate: f64,
     },
+    /// The store is degrading keys (failed partition probes) or leaning on
+    /// load retries: the underlying storage needs investigation.  No
+    /// maintenance operation fixes this from inside the store — it is
+    /// evidence of external I/O faults.
+    InvestigateStorage {
+        /// Keys refused with a typed per-span failure.
+        degraded_keys: u64,
+        /// Cold loads that needed at least one retry.
+        load_retries: u64,
+    },
     /// Nothing actionable.
     Healthy,
 }
@@ -175,6 +201,7 @@ impl Advice {
             Advice::Retrain { .. } => "retrain",
             Advice::Compact { .. } => "compact",
             Advice::GrowPoolBudget { .. } => "grow_pool_budget",
+            Advice::InvestigateStorage { .. } => "investigate_storage",
             Advice::Healthy => "healthy",
         }
     }
@@ -229,6 +256,8 @@ pub struct HealthReport {
     pub pool: PoolPressure,
     /// SLO signals, when a latency target is configured.
     pub slo: Option<SloSignals>,
+    /// Fault pressure, when the serving layer supplied it.
+    pub faults: Option<FaultSignals>,
     /// Recommendations, most urgent first.  Never empty: a healthy store
     /// reports `[Advice::Healthy]`.
     pub advice: Vec<Advice>,
@@ -275,7 +304,17 @@ impl HealthReport {
             gauge("slo_windowed_p99_nanos", slo.windowed_p99_nanos as i64);
             gauge("slo_burn_ppm", ppm(slo.burn_rate()));
         }
-        for label in ["retrain", "compact", "grow_pool_budget", "healthy"] {
+        if let Some(faults) = self.faults {
+            gauge("degraded_keys", faults.degraded_keys as i64);
+            gauge("load_retries", faults.load_retries as i64);
+        }
+        for label in [
+            "retrain",
+            "compact",
+            "grow_pool_budget",
+            "investigate_storage",
+            "healthy",
+        ] {
             let active = self.advice.iter().any(|a| a.label() == label);
             gauge(&format!("advice_{label}"), active as i64);
         }
@@ -299,7 +338,31 @@ pub fn advise(
     slo: Option<SloSignals>,
     thresholds: &AdvisorThresholds,
 ) -> HealthReport {
+    advise_with_faults(drift, pool, slo, None, thresholds)
+}
+
+/// [`advise`] with fault pressure folded in.  Degraded keys outrank every
+/// maintenance advisory: a store refusing answers is broken *now*, while
+/// drift and pool pressure are trends.  Retries alone (transients the backoff
+/// absorbed) do not trip the advisory — they ride along as evidence in
+/// [`HealthReport::faults`].
+pub fn advise_with_faults(
+    drift: DriftSignals,
+    pool: PoolPressure,
+    slo: Option<SloSignals>,
+    faults: Option<FaultSignals>,
+    thresholds: &AdvisorThresholds,
+) -> HealthReport {
     let mut advice = Vec::new();
+
+    if let Some(f) = faults {
+        if f.degraded_keys > 0 {
+            advice.push(Advice::InvestigateStorage {
+                degraded_keys: f.degraded_keys,
+                load_retries: f.load_retries,
+            });
+        }
+    }
 
     if drift.overlay_ratio() > thresholds.overlay_ratio
         || drift.mispredict_ema > thresholds.mispredict_ema
@@ -337,6 +400,7 @@ pub fn advise(
         drift,
         pool,
         slo,
+        faults,
         advice,
     }
 }
@@ -357,11 +421,50 @@ impl StoreHealthSignals {
     pub fn advise(&self, slo: Option<SloSignals>) -> HealthReport {
         advise(self.drift, self.pool, slo, &AdvisorThresholds::default())
     }
+
+    /// Runs the advisor with fault pressure folded in (see
+    /// [`advise_with_faults`]).
+    pub fn advise_with_faults(
+        &self,
+        slo: Option<SloSignals>,
+        faults: Option<FaultSignals>,
+    ) -> HealthReport {
+        advise_with_faults(self.drift, self.pool, slo, faults, &AdvisorThresholds::default())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn degraded_keys_outrank_maintenance_advice() {
+        let report = advise_with_faults(
+            DriftSignals::default(),
+            PoolPressure::default(),
+            None,
+            Some(FaultSignals { degraded_keys: 3, load_retries: 7 }),
+            &AdvisorThresholds::default(),
+        );
+        assert!(!report.is_healthy());
+        assert!(matches!(
+            report.primary(),
+            Advice::InvestigateStorage { degraded_keys: 3, load_retries: 7 }
+        ));
+        assert_eq!(report.primary().label(), "investigate_storage");
+
+        // Retries alone are absorbed transients: evidence in the report, but
+        // not an advisory by themselves.
+        let quiet = advise_with_faults(
+            DriftSignals::default(),
+            PoolPressure::default(),
+            None,
+            Some(FaultSignals { degraded_keys: 0, load_retries: 9 }),
+            &AdvisorThresholds::default(),
+        );
+        assert!(quiet.is_healthy());
+        assert_eq!(quiet.faults.unwrap().load_retries, 9);
+    }
 
     fn healthy_drift() -> DriftSignals {
         DriftSignals {

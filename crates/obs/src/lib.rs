@@ -102,8 +102,8 @@ pub mod trace;
 pub mod window;
 
 pub use health::{
-    advise, Advice, AdvisorThresholds, DriftSignals, HealthReport, PoolPressure, SloSignals,
-    StoreHealthSignals,
+    advise, advise_with_faults, Advice, AdvisorThresholds, DriftSignals, FaultSignals,
+    HealthReport, PoolPressure, SloSignals, StoreHealthSignals,
 };
 pub use heat::{HeatMap, HeatReport, PartitionHeat, Touch};
 pub use histogram::{Histogram, HistogramSnapshot};

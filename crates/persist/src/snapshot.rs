@@ -177,6 +177,7 @@ impl Snapshot {
         debug_assert_eq!(header.len() as u64, HEADER_LEN);
 
         let tmp_path = temp_sibling(path);
+        dm_faults::crash::site("snapshot.stage.begin");
         let mut file = File::create(&tmp_path)?;
         let write_result = (|| -> Result<()> {
             file.write_all(&header)?;
@@ -202,6 +203,7 @@ impl Snapshot {
                 file.write_all(&frame.frame)?;
             }
             file.sync_all()?;
+            dm_faults::crash::site("snapshot.stage.synced");
             Ok(())
         })();
         drop(file);
@@ -407,11 +409,14 @@ impl StagedSnapshot {
     /// WAL (losing the folded mutations).
     pub(crate) fn commit(mut self) -> Result<SnapshotStats> {
         let tmp = self.tmp_path.take().expect("staged snapshot committed twice");
+        dm_faults::crash::site("snapshot.commit.begin");
         if let Err(err) = std::fs::rename(&tmp, &self.final_path) {
             let _ = std::fs::remove_file(&tmp);
             return Err(err.into());
         }
+        dm_faults::crash::site("snapshot.commit.renamed");
         sync_parent_dir(&self.final_path)?;
+        dm_faults::crash::site("snapshot.commit.done");
         Ok(self.stats)
     }
 }

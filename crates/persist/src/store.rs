@@ -66,7 +66,9 @@ impl PersistentStore {
         let snapshot_path = path.into();
         remove_stale_temp_snapshots(&snapshot_path);
         let staged = Snapshot::stage(&dm, &snapshot_path)?;
+        dm_faults::crash::site("create.staged");
         let wal = DeltaWal::create(wal_path_for(&snapshot_path))?;
+        dm_faults::crash::site("create.wal_ready");
         staged.commit()?;
         Ok(PersistentStore {
             dm,
@@ -138,10 +140,22 @@ impl PersistentStore {
     /// captures the *entire* in-memory structure, so once it is renamed into
     /// place and the WAL is reset, durable state matches served state again.
     pub fn checkpoint(&mut self) -> Result<SnapshotStats> {
+        dm_faults::crash::site("checkpoint.begin");
         let stats = Snapshot::write(&self.dm, &self.snapshot_path)?;
+        dm_faults::crash::site("checkpoint.snapshot_committed");
         self.wal.reset()?;
         self.poisoned = false;
+        dm_faults::crash::site("checkpoint.done");
         Ok(stats)
+    }
+
+    /// Installs a fault injector on the delta WAL, steering the write-side
+    /// failure points (`wal.append_fail_nth`, `wal.torn_nth`,
+    /// `wal.fsync_fail_nth` in the [`dm_faults`] plan grammar).  Read-side
+    /// faults are installed separately via the aux table's partition source
+    /// (see `DeepMapping::inject_faults`).
+    pub fn inject_wal_faults(&mut self, faults: std::sync::Arc<dm_faults::Faults>) {
+        self.wal.set_faults(faults);
     }
 
     fn ensure_not_poisoned(&self) -> dm_storage::Result<()> {

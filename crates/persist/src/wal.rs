@@ -28,11 +28,13 @@
 //! crc-valid record with an unknown op tag.
 
 use crate::error::{PersistError, Result};
+use dm_faults::{crash, Faults, WalAppendFault};
 use dm_nn::serialize::{ByteReader, ByteWriter};
 use dm_storage::Row;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const OP_INSERT: u8 = 1;
 const OP_DELETE: u8 = 2;
@@ -68,6 +70,10 @@ pub struct DeltaWal {
     /// partial record, so further appends would land *behind* garbage and be
     /// unreachable at replay.  All subsequent appends are refused.
     poisoned: bool,
+    /// Write-side fault injector (`DM_FAULTS` wal.* directives, or
+    /// [`set_faults`](Self::set_faults) programmatically).  `None` in
+    /// production: the hot path then pays one `Option` check per append/sync.
+    faults: Option<Arc<Faults>>,
 }
 
 impl DeltaWal {
@@ -90,6 +96,7 @@ impl DeltaWal {
             file,
             path,
             poisoned: false,
+            faults: dm_faults::from_env(),
         };
         wal.truncate_to(0)?;
         Ok(wal)
@@ -112,12 +119,21 @@ impl DeltaWal {
             file,
             path,
             poisoned: false,
+            faults: dm_faults::from_env(),
         })
     }
 
     /// The file this WAL appends to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Installs (or replaces) the write-side fault injector — the programmatic
+    /// activation path; the environment path is `DM_FAULTS` with `wal.*`
+    /// directives, picked up at [`create`](Self::create) /
+    /// [`open_append`](Self::open_append).
+    pub fn set_faults(&mut self, faults: Arc<Faults>) {
+        self.faults = Some(faults);
     }
 
     /// Appends one record (length + CRC + payload in a single write).
@@ -149,18 +165,52 @@ impl DeltaWal {
         record.put_u32(payload_len);
         record.put_u32(dm_compress::crc32(&payload));
         record.put_bytes(&payload);
-        if let Err(err) = self.file.write_all(&record.into_bytes()) {
+        let record = record.into_bytes();
+        crash::site("wal.append.begin");
+        if let Some(faults) = &self.faults {
+            match faults.on_wal_append() {
+                WalAppendFault::Pass => {}
+                WalAppendFault::Fail => {
+                    // Fails before touching the file — the clean ENOSPC shape.
+                    return Err(PersistError::Io(
+                        "injected fault: WAL append refused before writing".into(),
+                    ));
+                }
+                WalAppendFault::Torn { keep_half } => {
+                    // A crash mid-write: part of the record reaches the file
+                    // and STAYS there (no rollback — a real crash cannot roll
+                    // back either).  The handle poisons itself, exactly like a
+                    // failed rollback, and replay treats the partial record as
+                    // the expected torn tail.
+                    let keep = if keep_half { record.len() / 2 } else { 0 };
+                    let _ = self.file.write_all(&record[..keep]);
+                    self.poisoned = true;
+                    return Err(PersistError::Wal(
+                        "injected fault: torn WAL append left a partial record".into(),
+                    ));
+                }
+            }
+        }
+        if let Err(err) = self.file.write_all(&record) {
             if self.truncate_to(start).is_err() {
                 self.poisoned = true;
             }
             return Err(err.into());
         }
+        crash::site("wal.append.done");
         Ok(())
     }
 
     /// Forces appended records to stable storage.
     pub fn sync(&self) -> Result<()> {
+        crash::site("wal.sync.begin");
+        if let Some(faults) = &self.faults {
+            if faults.on_wal_fsync() {
+                return Err(PersistError::Io("injected fault: WAL fsync failed".into()));
+            }
+        }
         self.file.sync_data()?;
+        crash::site("wal.sync.done");
         Ok(())
     }
 
@@ -170,9 +220,11 @@ impl DeltaWal {
     /// append handle keeps writing to EOF regardless, so the two never
     /// disagree about where the next record lands.
     fn truncate_to(&self, len: u64) -> Result<()> {
+        crash::site("wal.truncate.begin");
         let file = OpenOptions::new().write(true).open(&self.path)?;
         file.set_len(len)?;
         file.sync_all()?;
+        crash::site("wal.truncate.done");
         Ok(())
     }
 
@@ -474,6 +526,58 @@ mod tests {
         let (ops, replay) = DeltaWal::replay(&path).unwrap();
         assert!(ops.is_empty());
         assert_eq!(replay.records, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_append_poisons_and_leaves_a_replayable_prefix() {
+        let path = temp_wal("injected-torn");
+        let mut wal = DeltaWal::create(&path).unwrap();
+        wal.set_faults(Faults::new(
+            dm_faults::FaultPlan::seeded(11).with_wal_torn_nth(2),
+        ));
+        wal.append(&WalOp::Delete(vec![1])).unwrap();
+        let err = wal.append(&WalOp::Delete(vec![2])).unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        // The tear cannot be rolled back (a real crash would not), so the
+        // handle refuses to append behind the stranded partial record.
+        assert!(wal.append(&WalOp::Delete(vec![3])).is_err());
+        drop(wal);
+        // Replay sees the intact prefix and reports the tear as a torn tail.
+        let (ops, replay) = DeltaWal::replay(&path).unwrap();
+        assert_eq!(ops, vec![WalOp::Delete(vec![1])]);
+        assert!(replay.dropped_tail_bytes > 0);
+        // Reopening truncates the tear; service resumes cleanly.
+        let mut wal = DeltaWal::open_append(&path, replay).unwrap();
+        wal.append(&WalOp::Delete(vec![9])).unwrap();
+        drop(wal);
+        let (ops, replay) = DeltaWal::replay(&path).unwrap();
+        assert_eq!(ops, vec![WalOp::Delete(vec![1]), WalOp::Delete(vec![9])]);
+        assert_eq!(replay.dropped_tail_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_append_refusal_is_clean_and_injected_fsync_failure_surfaces() {
+        let path = temp_wal("injected-fail");
+        let mut wal = DeltaWal::create(&path).unwrap();
+        wal.set_faults(Faults::new(
+            dm_faults::FaultPlan::seeded(11)
+                .with_wal_append_fail_nth(1)
+                .with_wal_fsync_fail_nth(1),
+        ));
+        let err = wal.append(&WalOp::Delete(vec![1])).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        // A refused append wrote nothing: the next append succeeds.
+        wal.append(&WalOp::Delete(vec![2])).unwrap();
+        let err = wal.sync().unwrap_err();
+        assert!(err.to_string().contains("fsync"), "{err}");
+        // The nth-call trigger is one-shot: the retried sync goes through.
+        wal.sync().unwrap();
+        drop(wal);
+        let (ops, replay) = DeltaWal::replay(&path).unwrap();
+        assert_eq!(ops, vec![WalOp::Delete(vec![2])]);
+        assert_eq!(replay.dropped_tail_bytes, 0);
         std::fs::remove_file(&path).unwrap();
     }
 }

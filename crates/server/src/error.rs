@@ -6,6 +6,7 @@
 //! bug) without string matching.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors returned by [`QueryServer`](crate::QueryServer) and
 /// [`ServerClient`](crate::ServerClient) operations.
@@ -44,6 +45,41 @@ pub enum ServerError {
         /// Per-request key limit configured on the server.
         max_request_keys: usize,
     },
+    /// The request sat in the queue past
+    /// [`request_deadline`](crate::ServerConfig::request_deadline) and was
+    /// failed at batch formation instead of being served stale. The caller's
+    /// own deadline has likely passed too; retrying immediately is only
+    /// useful if the queue has drained.
+    Timeout {
+        /// How long the request actually waited before the server gave up.
+        waited: Duration,
+        /// The configured per-request deadline it exceeded.
+        deadline: Duration,
+    },
+    /// The tenant's circuit breaker is open: enough consecutive serving
+    /// failures accumulated that new requests are fast-failed at admission
+    /// instead of burning queue capacity on a tenant that cannot answer.
+    /// Retry after `retry_after`; the first request past the cooldown is
+    /// admitted as a half-open probe and, if it succeeds, closes the breaker.
+    TenantUnavailable {
+        /// Registration name of the unavailable tenant.
+        tenant: String,
+        /// Cooldown remaining before the breaker admits a probe.
+        retry_after: Duration,
+    },
+    /// The merged batch succeeded overall but the spans belonging to *this*
+    /// request include keys whose aux partition could not be read. Keys
+    /// outside the faulted partitions were served byte-identically to the
+    /// healthy path — only requests touching the failed keys see this error
+    /// (the hybrid contract forbids answering them from the model alone).
+    PartialFailure {
+        /// Keys of this request that hit a failed partition probe.
+        failed_keys: usize,
+        /// Total keys in this request.
+        total_keys: usize,
+        /// The first underlying storage error, for diagnostics.
+        cause: String,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -66,6 +102,18 @@ impl fmt::Display for ServerError {
             ServerError::RequestTooLarge { keys, max_request_keys } => write!(
                 f,
                 "request of {keys} keys exceeds per-request limit {max_request_keys}"
+            ),
+            ServerError::Timeout { waited, deadline } => write!(
+                f,
+                "request timed out: waited {waited:?} against a {deadline:?} deadline"
+            ),
+            ServerError::TenantUnavailable { tenant, retry_after } => write!(
+                f,
+                "tenant {tenant} unavailable: circuit breaker open, retry after {retry_after:?}"
+            ),
+            ServerError::PartialFailure { failed_keys, total_keys, cause } => write!(
+                f,
+                "partial failure: {failed_keys} of {total_keys} keys hit unreadable partitions ({cause})"
             ),
         }
     }
@@ -101,6 +149,28 @@ mod tests {
                 "request of 2048 keys exceeds per-request limit 1024",
             ),
             (ServerError::PipelineFull, "client pipeline full: harvest a ticket before submitting"),
+            (
+                ServerError::Timeout {
+                    waited: Duration::from_millis(7),
+                    deadline: Duration::from_millis(5),
+                },
+                "request timed out: waited 7ms against a 5ms deadline",
+            ),
+            (
+                ServerError::TenantUnavailable {
+                    tenant: "orders".into(),
+                    retry_after: Duration::from_millis(250),
+                },
+                "tenant orders unavailable: circuit breaker open, retry after 250ms",
+            ),
+            (
+                ServerError::PartialFailure {
+                    failed_keys: 2,
+                    total_keys: 8,
+                    cause: "io: injected".into(),
+                },
+                "partial failure: 2 of 8 keys hit unreadable partitions (io: injected)",
+            ),
         ];
         for (err, want) in cases {
             assert_eq!(err.to_string(), want);

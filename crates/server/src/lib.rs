@@ -467,6 +467,222 @@ mod tests {
         assert!(text.contains("dm_health_t_slo_target_p99_nanos 5000000"));
     }
 
+    /// A store that can be switched between serving normally, failing every
+    /// batch outright, and degrading a chosen key range with per-span marks.
+    struct FlakyStore {
+        inner: ReferenceStore,
+        mode: std::sync::atomic::AtomicU8, // 0 = ok, 1 = fail, 2 = degrade
+        degraded_from: u64,
+    }
+
+    impl FlakyStore {
+        fn new(keys: std::ops::Range<u64>, degraded_from: u64) -> Self {
+            let rows: Vec<Row> = keys
+                .map(|k| Row::new(k, vec![k as u32, (k * 2) as u32]))
+                .collect();
+            FlakyStore {
+                inner: ReferenceStore::from_rows(&rows),
+                mode: std::sync::atomic::AtomicU8::new(0),
+                degraded_from,
+            }
+        }
+
+        fn set_mode(&self, mode: u8) {
+            self.mode.store(mode, std::sync::atomic::Ordering::Release);
+        }
+    }
+
+    impl TupleStore for FlakyStore {
+        fn name(&self) -> &str {
+            "FLAKY"
+        }
+
+        fn lookup_batch_into(
+            &self,
+            keys: &[u64],
+            out: &mut LookupBuffer,
+        ) -> dm_storage::Result<()> {
+            match self.mode.load(std::sync::atomic::Ordering::Acquire) {
+                1 => Err(dm_storage::StorageError::Io("injected batch failure".into())),
+                2 => {
+                    self.inner.lookup_batch_into(keys, out)?;
+                    for (i, key) in keys.iter().enumerate() {
+                        if *key >= self.degraded_from {
+                            out.set_failed(
+                                i,
+                                dm_storage::StorageError::Io("partition unreadable".into()),
+                            );
+                        }
+                    }
+                    Ok(())
+                }
+                _ => self.inner.lookup_batch_into(keys, out),
+            }
+        }
+
+        fn stats(&self) -> dm_storage::StoreStats {
+            self.inner.stats()
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_probes_and_recovers() {
+        let config = ServerConfig {
+            breaker_failure_threshold: 3,
+            breaker_cooldown: Duration::from_millis(30),
+            ..ServerConfig::inline()
+        };
+        let server = QueryServer::new(config);
+        let flaky = Arc::new(FlakyStore::new(0..32, u64::MAX));
+        let tenant = server
+            .register_store("t", Arc::clone(&flaky) as Arc<dyn TupleStore>)
+            .unwrap();
+        let mut client = server.client();
+
+        // Three consecutive store failures trip the breaker...
+        flaky.set_mode(1);
+        for _ in 0..3 {
+            assert!(matches!(
+                client.get(tenant, 1).unwrap_err(),
+                ServerError::Store(_)
+            ));
+        }
+        assert_eq!(server.stats().breaker_trips, 1);
+        // ...and the next request is fast-failed at admission with a typed
+        // retry hint, without ever reaching the store.
+        match client.get(tenant, 1).unwrap_err() {
+            ServerError::TenantUnavailable { tenant: name, retry_after } => {
+                assert_eq!(name, "t");
+                assert!(retry_after <= Duration::from_millis(30));
+            }
+            other => panic!("expected TenantUnavailable, got {other:?}"),
+        }
+        assert_eq!(server.stats().breaker_rejections, 1);
+
+        // Past the cooldown, one half-open probe is admitted; it still fails,
+        // so the breaker re-opens for another cooldown.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(matches!(
+            client.get(tenant, 1).unwrap_err(),
+            ServerError::Store(_)
+        ));
+        assert_eq!(server.stats().breaker_trips, 2);
+        assert!(matches!(
+            client.get(tenant, 1).unwrap_err(),
+            ServerError::TenantUnavailable { .. }
+        ));
+
+        // Heal the store: the next probe succeeds, the breaker closes, and
+        // service resumes exactly as before the incident.
+        flaky.set_mode(0);
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(client.get(tenant, 1).unwrap(), Some(vec![1, 2]));
+        assert_eq!(server.stats().breaker_recoveries, 1);
+        for k in 0..8 {
+            assert_eq!(client.get(tenant, k).unwrap(), Some(vec![k as u32, (k * 2) as u32]));
+        }
+    }
+
+    #[test]
+    fn partial_failures_fail_only_requests_touching_failed_keys() {
+        // Keys >= 100 degrade with a per-span failure mark; the rest serve.
+        let config = ServerConfig {
+            breaker_failure_threshold: 0,
+            ..ServerConfig::coalescing(Duration::from_micros(300), 64)
+        };
+        let server = QueryServer::new(config);
+        let flaky = Arc::new(FlakyStore::new(0..200, 100));
+        let tenant = server
+            .register_store("t", Arc::clone(&flaky) as Arc<dyn TupleStore>)
+            .unwrap();
+        flaky.set_mode(2);
+        let mut client = server.client_with_depth(4);
+
+        // Submit both before waiting so they can coalesce into one batch:
+        // the merged batch succeeds overall, but only the request whose span
+        // touches a degraded key fails.
+        let clean = client.submit(tenant, &[1, 2, 7]).unwrap();
+        let dirty = client.submit(tenant, &[3, 150]).unwrap();
+        let mut out = LookupBuffer::new();
+        client.wait_into(clean, &mut out).unwrap();
+        assert_eq!(out.get(0), Some(&[1u32, 2][..]));
+        assert_eq!(out.get(1), Some(&[2u32, 4][..]));
+        assert_eq!(out.get(2), Some(&[7u32, 14][..]));
+        match client.wait_into(dirty, &mut out).unwrap_err() {
+            ServerError::PartialFailure { failed_keys, total_keys, cause } => {
+                assert_eq!(failed_keys, 1);
+                assert_eq!(total_keys, 2);
+                assert!(cause.contains("partition unreadable"), "{cause}");
+            }
+            other => panic!("expected PartialFailure, got {other:?}"),
+        }
+
+        let stats = server.stats();
+        assert_eq!(stats.partial_failures, 1);
+        assert_eq!(stats.requests_failed, 1);
+        // The clean request was counted served; the dirty one was not.
+        assert_eq!(stats.keys_served, 3);
+
+        // Inline mode surfaces the same typed error for single requests.
+        let inline_server = QueryServer::new(ServerConfig {
+            breaker_failure_threshold: 0,
+            ..ServerConfig::inline()
+        });
+        let t2 = inline_server
+            .register_store("t", Arc::clone(&flaky) as Arc<dyn TupleStore>)
+            .unwrap();
+        let mut inline_client = inline_server.client();
+        assert_eq!(inline_client.get(t2, 5).unwrap(), Some(vec![5, 10]));
+        assert!(matches!(
+            inline_client.get(t2, 150).unwrap_err(),
+            ServerError::PartialFailure { failed_keys: 1, total_keys: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn stale_queued_requests_time_out_with_a_typed_error() {
+        let config = ServerConfig {
+            max_batch_keys: 4,
+            max_delay: Duration::from_micros(100),
+            request_deadline: Some(Duration::from_millis(10)),
+            breaker_failure_threshold: 0,
+            ..ServerConfig::default()
+        };
+        let server = QueryServer::new(config);
+        let gate = Arc::new(GateStore::new(0..64));
+        let tenant = server
+            .register_store("t", Arc::clone(&gate) as Arc<dyn TupleStore>)
+            .unwrap();
+        let mut client = server.client_with_depth(8);
+
+        // The first batch enters the store and blocks on the gate.
+        let stuck = client.submit(tenant, &[0, 1, 2, 3]).unwrap();
+        while gate.entered() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // These queue up behind the stuck batch and outwait their deadline.
+        let stale_a = client.submit(tenant, &[4]).unwrap();
+        let stale_b = client.submit(tenant, &[5]).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        gate.open_gate();
+
+        let mut out = LookupBuffer::new();
+        client.wait_into(stuck, &mut out).unwrap();
+        assert_eq!(out.get(0), Some(&[0u32, 0][..]));
+        for ticket in [stale_a, stale_b] {
+            match client.wait_into(ticket, &mut out).unwrap_err() {
+                ServerError::Timeout { waited, deadline } => {
+                    assert!(waited >= deadline, "{waited:?} < {deadline:?}");
+                    assert_eq!(deadline, Duration::from_millis(10));
+                }
+                other => panic!("expected Timeout, got {other:?}"),
+            }
+        }
+        assert_eq!(server.stats().requests_timed_out, 2);
+        // The server still serves promptly once the queue is healthy again.
+        assert_eq!(client.get(tenant, 6).unwrap(), Some(vec![6, 12]));
+    }
+
     #[test]
     fn config_normalization_orders_the_watermarks() {
         let config = ServerConfig {

@@ -80,6 +80,21 @@ pub struct ServerConfig {
     /// [`dm_obs::SloSignals`]. `None` (the default) runs the advisor on store
     /// signals alone.
     pub tenant_p99_target: Option<Duration>,
+    /// Per-request deadline. A queued request that outwaits it is failed with
+    /// [`ServerError::Timeout`] at the next batch formation instead of being
+    /// served an answer its caller has already given up on — under a stalled
+    /// store the queue drains by timing out rather than serving stale work.
+    /// `None` (the default) never times requests out.
+    pub request_deadline: Option<Duration>,
+    /// Consecutive serving failures (store errors, failed snapshot opens,
+    /// partially failed batches) after which a tenant's circuit breaker opens
+    /// and new requests fast-fail with [`ServerError::TenantUnavailable`].
+    /// `0` disables the breaker.
+    pub breaker_failure_threshold: u32,
+    /// How long an open breaker rejects before admitting one half-open probe
+    /// request. A successful probe closes the breaker; a failed one re-opens
+    /// it for another cooldown.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +109,9 @@ impl Default for ServerConfig {
             inline: false,
             slow_request: None,
             tenant_p99_target: None,
+            request_deadline: None,
+            breaker_failure_threshold: 5,
+            breaker_cooldown: Duration::from_millis(250),
         }
     }
 }
@@ -140,6 +158,63 @@ impl ServerConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TenantId(pub(crate) usize);
 
+/// Per-tenant circuit breaker: closed (serving) → open (fast-failing) after
+/// [`breaker_failure_threshold`](ServerConfig::breaker_failure_threshold)
+/// consecutive failures → half-open (one probe admitted) after
+/// [`breaker_cooldown`](ServerConfig::breaker_cooldown) → closed again on a
+/// successful probe, or straight back to open on a failed one.
+#[derive(Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    /// `Some` while the breaker is open (or probing); when the probe closes
+    /// the breaker this resets to `None`.
+    opened_at: Option<Instant>,
+    /// A half-open probe is in flight: exactly one request is testing the
+    /// tenant; everyone else keeps fast-failing until it reports back.
+    probing: bool,
+}
+
+impl BreakerState {
+    /// Admission check. `None` admits; `Some(retry_after)` fast-fails.
+    fn check(&mut self, now: Instant, cooldown: Duration) -> Option<Duration> {
+        let opened_at = self.opened_at?;
+        let elapsed = now.saturating_duration_since(opened_at);
+        if elapsed < cooldown {
+            return Some(cooldown - elapsed);
+        }
+        if self.probing {
+            // Someone else is already probing; keep rejecting until the
+            // probe's verdict is in rather than stampeding a sick tenant.
+            return Some(cooldown);
+        }
+        self.probing = true;
+        None
+    }
+
+    /// Records a serving failure; returns true when this transition opened
+    /// (or re-opened) the breaker.
+    fn record_failure(&mut self, now: Instant, threshold: u32) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.probing {
+            self.probing = false;
+            self.opened_at = Some(now);
+            return true;
+        }
+        if self.opened_at.is_none() && self.consecutive_failures >= threshold {
+            self.opened_at = Some(now);
+            return true;
+        }
+        false
+    }
+
+    /// Records a serving success; returns true when it closed an open breaker.
+    fn record_success(&mut self) -> bool {
+        let recovered = self.opened_at.is_some();
+        *self = BreakerState::default();
+        recovered
+    }
+}
+
 /// One registered tenant. `store` starts `None` for snapshot-backed tenants
 /// and is populated single-flight on first request (the mutex makes
 /// concurrent first requests open the file exactly once).
@@ -149,6 +224,8 @@ struct Tenant {
     store: Mutex<Option<Arc<dyn TupleStore>>>,
     /// Per-tenant tail-attribution histograms (see [`TenantTail`]).
     obs: TenantObs,
+    /// Circuit breaker guarding admission (see [`BreakerState`]).
+    breaker: Mutex<BreakerState>,
 }
 
 #[derive(Default)]
@@ -228,6 +305,76 @@ impl Shared {
         Ok(store)
     }
 
+    /// Breaker admission check for `index`. `Ok(())` admits (possibly as the
+    /// half-open probe); `Err` carries the typed fast-fail.
+    fn breaker_admit(&self, index: usize) -> Result<()> {
+        if self.config.breaker_failure_threshold == 0 {
+            return Ok(());
+        }
+        let tenant = Arc::clone(&self.registry.read().tenants[index]);
+        let verdict = tenant
+            .breaker
+            .lock()
+            .check(Instant::now(), self.config.breaker_cooldown);
+        match verdict {
+            None => Ok(()),
+            Some(retry_after) => {
+                StatsCells::add(&self.stats.breaker_rejections, 1);
+                Err(ServerError::TenantUnavailable {
+                    tenant: tenant.name.clone(),
+                    retry_after,
+                })
+            }
+        }
+    }
+
+    /// Reports one serving outcome to `tenant`'s breaker. Trips and
+    /// recoveries feed both the server stats and the global `dm-obs`
+    /// registry, so a scrape shows breaker churn next to the fault counters.
+    fn breaker_record(&self, tenant: &Tenant, ok: bool) {
+        let threshold = self.config.breaker_failure_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let mut breaker = tenant.breaker.lock();
+        if ok {
+            if breaker.record_success() {
+                StatsCells::add(&self.stats.breaker_recoveries, 1);
+                dm_obs::registry::global()
+                    .register_counter("dm_server_breaker_recoveries_total")
+                    .incr();
+            }
+        } else if breaker.record_failure(Instant::now(), threshold) {
+            StatsCells::add(&self.stats.breaker_trips, 1);
+            dm_obs::registry::global()
+                .register_counter("dm_server_breaker_trips_total")
+                .incr();
+        }
+    }
+
+    /// Fails every entry in `expired` with a typed [`ServerError::Timeout`]
+    /// carrying how long it actually waited. Called by the dispatcher after
+    /// dropping the queue lock.
+    fn fail_timeouts(&self, expired: &mut Vec<QueuedReq>) {
+        let deadline = self.config.request_deadline.unwrap_or_default();
+        let now = Instant::now();
+        StatsCells::add(&self.stats.requests_failed, expired.len() as u64);
+        StatsCells::add(&self.stats.requests_timed_out, expired.len() as u64);
+        dm_obs::registry::global()
+            .register_counter("dm_server_timeouts_total")
+            .add(expired.len() as u64);
+        for req in expired.drain(..) {
+            let waited = now.saturating_duration_since(req.enqueued_at);
+            let mut inner = req.slot.inner.lock();
+            inner.state = SlotState::Failed(ServerError::Timeout { waited, deadline });
+            let notify = inner.waiting;
+            drop(inner);
+            if notify {
+                req.slot.cv.notify_all();
+            }
+        }
+    }
+
     /// Fails every request in `batch` with `err`, waking parked waiters.
     fn fail_requests(&self, batch: &mut Vec<QueuedReq>, err: &ServerError) {
         StatsCells::add(&self.stats.requests_failed, batch.len() as u64);
@@ -267,6 +414,7 @@ impl Shared {
         let store = match self.tenant_store(batch[0].tenant) {
             Ok(store) => store,
             Err(err) => {
+                self.breaker_record(&tenant, false);
                 self.fail_requests(batch, &err);
                 return;
             }
@@ -292,19 +440,78 @@ impl Shared {
         match outcome {
             Ok(()) => {
                 let done = Instant::now();
+                // Graceful degradation: a store with per-span failure marks
+                // (see `LookupBuffer::set_failed`) answered the batch overall
+                // but could not serve some keys. Only the requests whose own
+                // spans touch a failed key fail — with a typed
+                // `PartialFailure` — and everyone else demuxes byte-identical
+                // to the healthy path. The rare-path pre-scan below is only
+                // taken when the buffer actually carries failures.
+                let mut span_failures: Vec<Option<ServerError>> = Vec::new();
+                let mut completed = batch.len() as u64;
+                let mut completed_keys = merged.len() as u64;
+                if results.failed_count() > 0 {
+                    let mut offset = 0usize;
+                    for req in batch.iter() {
+                        let mut failed_keys = 0usize;
+                        let mut cause = None;
+                        for i in offset..offset + req.keys {
+                            if results.is_failed(i) {
+                                failed_keys += 1;
+                                if cause.is_none() {
+                                    cause = results.error(i).map(|e| e.to_string());
+                                }
+                            }
+                        }
+                        offset += req.keys;
+                        span_failures.push((failed_keys > 0).then(|| {
+                            completed -= 1;
+                            completed_keys -= req.keys as u64;
+                            ServerError::PartialFailure {
+                                failed_keys,
+                                total_keys: req.keys,
+                                cause: cause.unwrap_or_default(),
+                            }
+                        }));
+                    }
+                }
+                // Partition probes failed inside an otherwise-served batch:
+                // that is a tenant-level serving failure for the breaker,
+                // even though most requests got answers.
+                self.breaker_record(&tenant, completed == batch.len() as u64);
                 // Record batch counters before any waiter is woken: a caller
                 // that returns from wait_into and immediately reads stats()
                 // must see its own request counted. Per-request histograms
                 // follow the same rule inside the demux loop below.
-                self.stats
-                    .record_batch(batch.len() as u64, merged.len() as u64, exec_nanos);
+                self.stats.record_batch(
+                    batch.len() as u64,
+                    completed,
+                    completed_keys,
+                    exec_nanos,
+                );
                 trace::record_stage(Stage::Exec, exec_nanos);
                 trace::record_stage(Stage::CoalesceWait, coalesce_nanos);
                 let slow_threshold = self.slow_threshold_nanos();
                 let batch_keys = (merged.len() as u64).max(1);
                 let demux_started = Instant::now();
                 let mut offset = 0usize;
-                for req in batch.drain(..) {
+                for (index, req) in batch.drain(..).enumerate() {
+                    if let Some(Some(err)) = span_failures.get_mut(index).map(Option::take) {
+                        StatsCells::add(&self.stats.requests_failed, 1);
+                        StatsCells::add(&self.stats.partial_failures, 1);
+                        dm_obs::registry::global()
+                            .register_counter("dm_server_partial_failures_total")
+                            .incr();
+                        let mut inner = req.slot.inner.lock();
+                        offset += inner.keys.len();
+                        inner.state = SlotState::Failed(err);
+                        let notify = inner.waiting;
+                        drop(inner);
+                        if notify {
+                            req.slot.cv.notify_all();
+                        }
+                        continue;
+                    }
                     let mut inner = req.slot.inner.lock();
                     let len = inner.keys.len();
                     let copy_started = Instant::now();
@@ -388,6 +595,7 @@ impl Shared {
                 trace::record_stage(Stage::Demux, demux_started.elapsed().as_nanos() as u64);
             }
             Err(err) => {
+                self.breaker_record(&tenant, false);
                 let err = ServerError::Store(err.to_string());
                 self.fail_requests(batch, &err);
             }
@@ -397,20 +605,46 @@ impl Shared {
     /// Serves one request synchronously on the caller thread (inline mode).
     fn execute_inline(&self, slot: &Arc<RequestSlot>) -> Result<()> {
         let tenant_index = slot.inner.lock().tenant;
+        let tenant = Arc::clone(&self.registry.read().tenants[tenant_index]);
         let store = match self.tenant_store(tenant_index) {
             Ok(store) => store,
             Err(err) => {
+                self.breaker_record(&tenant, false);
                 slot.inner.lock().state = SlotState::Idle;
                 return Err(err);
             }
         };
-        let tenant = Arc::clone(&self.registry.read().tenants[tenant_index]);
         let mut inner = slot.inner.lock();
         let started = Instant::now();
         let inner_ref = &mut *inner;
         let outcome = store.lookup_batch_into(&inner_ref.keys, &mut inner_ref.response);
         match outcome {
+            Ok(()) if inner.response.failed_count() > 0 => {
+                // Per-span degradation: this single request *is* the batch,
+                // so any failed span fails it with the typed partial error.
+                let failed_keys = inner.response.failed_count();
+                let total_keys = inner.keys.len();
+                let cause = inner
+                    .response
+                    .first_error()
+                    .map(|e| e.to_string())
+                    .unwrap_or_default();
+                inner.state = SlotState::Idle;
+                drop(inner);
+                self.breaker_record(&tenant, false);
+                StatsCells::add(&self.stats.requests_failed, 1);
+                StatsCells::add(&self.stats.partial_failures, 1);
+                dm_obs::registry::global()
+                    .register_counter("dm_server_partial_failures_total")
+                    .incr();
+                Err(ServerError::PartialFailure {
+                    failed_keys,
+                    total_keys,
+                    cause,
+                })
+            }
             Ok(()) => {
+                self.breaker_record(&tenant, true);
                 let done = Instant::now();
                 let exec_nanos = done.saturating_duration_since(started).as_nanos() as u64;
                 let wall = done.saturating_duration_since(inner.enqueued_at);
@@ -446,6 +680,8 @@ impl Shared {
             }
             Err(err) => {
                 inner.state = SlotState::Idle;
+                drop(inner);
+                self.breaker_record(&tenant, false);
                 Err(ServerError::Store(err.to_string()))
             }
         }
@@ -471,6 +707,10 @@ pub(crate) fn submit_slot(
     if tenant.0 >= shared.tenant_count() {
         return Err(ServerError::UnknownTenant(format!("#{}", tenant.0)));
     }
+    // Circuit breaker: a tenant that keeps failing is fast-failed here, at
+    // admission, so a sick tenant cannot fill the queue with requests that
+    // are doomed to fail after burning a coalescing slot.
+    shared.breaker_admit(tenant.0)?;
 
     let enqueued_at = Instant::now();
     {
@@ -544,6 +784,7 @@ fn dispatcher_loop(shared: Arc<Shared>) {
     let mut kept: VecDeque<QueuedReq> = VecDeque::new();
     let mut merged: Vec<u64> = Vec::new();
     let mut results = LookupBuffer::new();
+    let mut timed_out: Vec<QueuedReq> = Vec::new();
 
     loop {
         {
@@ -579,7 +820,19 @@ fn dispatcher_loop(shared: Arc<Shared>) {
                 if pending >= shared.config.max_batch_keys || now >= deadline {
                     let cap = shared.config.max_batch_keys;
                     let mut taken = 0usize;
+                    let mut expired = 0usize;
                     while let Some(entry) = q.entries.pop_front() {
+                        // Deadline sweep: a request that outwaited its
+                        // per-request deadline (typically because the
+                        // dispatcher was stuck in a slow store call) is
+                        // failed, not served — its caller has moved on.
+                        if shared.config.request_deadline.is_some_and(|limit| {
+                            now.saturating_duration_since(entry.enqueued_at) >= limit
+                        }) {
+                            expired += entry.keys;
+                            timed_out.push(entry);
+                            continue;
+                        }
                         let fits = entry.tenant == tenant
                             && (taken == 0 || taken + entry.keys <= cap);
                         if fits {
@@ -594,7 +847,7 @@ fn dispatcher_loop(shared: Arc<Shared>) {
                         }
                     }
                     std::mem::swap(&mut q.entries, &mut kept);
-                    q.queued_keys -= taken;
+                    q.queued_keys -= taken + expired;
                     if q.shedding && q.queued_keys <= shared.config.shed_low_watermark_keys {
                         q.shedding = false;
                     }
@@ -606,6 +859,13 @@ fn dispatcher_loop(shared: Arc<Shared>) {
                     .unwrap_or_else(|e| e.into_inner());
                 q = guard;
             }
+        }
+        if !timed_out.is_empty() {
+            shared.fail_timeouts(&mut timed_out);
+        }
+        // Every candidate for this round may have expired; go back to waiting.
+        if batch.is_empty() {
+            continue;
         }
         shared.execute_batch(&mut batch, &mut merged, &mut results);
         batch.clear();
@@ -695,6 +955,7 @@ impl QueryServer {
             path,
             store: Mutex::new(store),
             obs: TenantObs::default(),
+            breaker: Mutex::new(BreakerState::default()),
         }));
         registry.names.insert(name.to_string(), index);
         Ok(TenantId(index))
@@ -792,7 +1053,7 @@ impl QueryServer {
         };
         let store = self.shared.tenant_store(index)?;
         let signals = store.health_signals().unwrap_or_default();
-        Ok(signals.advise(self.tenant_slo(&tenant)))
+        Ok(signals.advise_with_faults(self.tenant_slo(&tenant), store.fault_signals()))
     }
 
     /// Health reports for every tenant that is already open, as
@@ -814,7 +1075,9 @@ impl QueryServer {
             .filter_map(|tenant| {
                 let store = tenant.store.lock().as_ref().map(Arc::clone)?;
                 let signals = store.health_signals().unwrap_or_default();
-                Some((tenant.name.clone(), signals.advise(self.tenant_slo(tenant))))
+                let report =
+                    signals.advise_with_faults(self.tenant_slo(tenant), store.fault_signals());
+                Some((tenant.name.clone(), report))
             })
             .collect()
     }

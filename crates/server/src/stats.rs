@@ -21,6 +21,11 @@ pub(crate) struct StatsCells {
     pub requests_completed: AtomicU64,
     pub requests_failed: AtomicU64,
     pub requests_shed: AtomicU64,
+    pub requests_timed_out: AtomicU64,
+    pub partial_failures: AtomicU64,
+    pub breaker_trips: AtomicU64,
+    pub breaker_rejections: AtomicU64,
+    pub breaker_recoveries: AtomicU64,
     pub keys_enqueued: AtomicU64,
     pub keys_served: AtomicU64,
     pub batches_formed: AtomicU64,
@@ -52,15 +57,18 @@ impl StatsCells {
         cell.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Records one merged batch that completed successfully: `width` requests
-    /// coalesced, `keys` total keys, and the store-execution time.  Called
+    /// Records one merged batch the store executed: `width` requests
+    /// coalesced, of which `completed` were fully answered (`width -
+    /// completed` hit failed spans and fail with
+    /// [`PartialFailure`](crate::ServerError::PartialFailure)), `keys` keys
+    /// across the completed requests, and the store-execution time.  Called
     /// once per batch, *before* the per-request
     /// [`record_request`](Self::record_request) calls, so a waiter woken by
     /// the demux loop always sees its own batch counted.
-    pub fn record_batch(&self, width: u64, keys: u64, exec_nanos: u64) {
+    pub fn record_batch(&self, width: u64, completed: u64, keys: u64, exec_nanos: u64) {
         Self::add(&self.batches_formed, 1);
         Self::add(&self.batched_requests, width);
-        Self::add(&self.requests_completed, width);
+        Self::add(&self.requests_completed, completed);
         Self::add(&self.keys_served, keys);
         Self::add(&self.exec_nanos, exec_nanos);
         self.max_coalesce_width.fetch_max(width, Ordering::Relaxed);
@@ -109,6 +117,11 @@ impl StatsCells {
             requests_completed: load(&self.requests_completed),
             requests_failed: load(&self.requests_failed),
             requests_shed: load(&self.requests_shed),
+            requests_timed_out: load(&self.requests_timed_out),
+            partial_failures: load(&self.partial_failures),
+            breaker_trips: load(&self.breaker_trips),
+            breaker_rejections: load(&self.breaker_rejections),
+            breaker_recoveries: load(&self.breaker_recoveries),
             keys_enqueued: load(&self.keys_enqueued),
             keys_served: load(&self.keys_served),
             batches_formed: load(&self.batches_formed),
@@ -263,6 +276,23 @@ pub struct ServerStats {
     pub requests_failed: u64,
     /// Requests rejected by admission control with [`Overloaded`](crate::ServerError::Overloaded).
     pub requests_shed: u64,
+    /// Requests failed at batch formation with [`Timeout`](crate::ServerError::Timeout)
+    /// because they outwaited [`request_deadline`](crate::ServerConfig::request_deadline).
+    /// Also counted in `requests_failed`.
+    pub requests_timed_out: u64,
+    /// Requests failed with [`PartialFailure`](crate::ServerError::PartialFailure):
+    /// their batch succeeded but their own spans touched unreadable
+    /// partitions. Also counted in `requests_failed`.
+    pub partial_failures: u64,
+    /// Times a tenant's circuit breaker transitioned closed→open (or a
+    /// half-open probe failed and re-opened it).
+    pub breaker_trips: u64,
+    /// Requests fast-failed at admission with
+    /// [`TenantUnavailable`](crate::ServerError::TenantUnavailable) while a
+    /// breaker was open.
+    pub breaker_rejections: u64,
+    /// Times an open breaker closed again after a successful half-open probe.
+    pub breaker_recoveries: u64,
     /// Keys across all admitted requests.
     pub keys_enqueued: u64,
     /// Keys across all successfully answered requests.
@@ -363,11 +393,11 @@ mod tests {
     #[test]
     fn snapshot_reflects_recorded_batches_and_derived_means() {
         let cells = StatsCells::default();
-        cells.record_batch(4, 400, 1_000);
+        cells.record_batch(4, 4, 400, 1_000);
         for _ in 0..4 {
             cells.record_request(1_000, 200, 2_000);
         }
-        cells.record_batch(2, 200, 500);
+        cells.record_batch(2, 2, 200, 500);
         cells.record_request(500, 100, 800);
         cells.record_request(500, 100, 800);
         cells.record_inline(7, 900, 300);

@@ -42,7 +42,7 @@ pub use disk::{DiskProfile, SimulatedDisk};
 pub use source::{FileExtent, FilePartitionSource, PartitionSource};
 pub use layout::{ArrayPartition, HashPartition, PartitionLayout};
 pub use metrics::{LatencyBreakdown, Metrics, Phase};
-pub use pool::{BufferPool, PoolShardStats, DEFAULT_POOL_SHARDS};
+pub use pool::{BufferPool, PoolShardStats, RetryPolicy, DEFAULT_POOL_SHARDS};
 pub use row::{ReferenceStore, Row, StoreStats};
 pub use store::{LookupBuffer, MutableStore, TupleRef, TupleStore};
 
@@ -60,6 +60,25 @@ pub enum StorageError {
     /// The store does not implement the requested operation (e.g. range scans on a
     /// backend with no key order).
     Unsupported(String),
+    /// A positional read or other I/O operation failed *without* evidence of
+    /// corruption (the device said no, not the checksum).  These are the only
+    /// errors [`is_transient`](Self::is_transient) classifies as retryable:
+    /// a flaky cable or an interrupted syscall may succeed on the next
+    /// attempt, while a failed CRC never will.
+    Io(String),
+}
+
+impl StorageError {
+    /// Whether a retry of the failed operation could plausibly succeed.
+    ///
+    /// Only [`Io`](Self::Io) qualifies: corruption ([`Corrupt`](Self::Corrupt),
+    /// [`Compression`](Self::Compression)) is a property of the bytes and must
+    /// fail fast — retrying would re-read the same bad frame — and the
+    /// remaining variants are caller mistakes.  The buffer pool's cold-load
+    /// retry policy and the server's circuit breaker both key off this.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Io(_))
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -70,6 +89,7 @@ impl std::fmt::Display for StorageError {
             StorageError::Compression(msg) => write!(f, "compression error: {msg}"),
             StorageError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             StorageError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            StorageError::Io(msg) => write!(f, "transient i/o error: {msg}"),
         }
     }
 }

@@ -146,6 +146,14 @@ pub struct LatencyBreakdown {
     /// Lookup hits answered by the auxiliary table (overlay or compressed
     /// partition probe).
     pub aux_answered: u64,
+    /// Buffer-pool cold loads re-attempted after a transient I/O failure
+    /// (one per extra loader invocation, successful or not).  Corruption is
+    /// never retried, so this counts exactly the retry policy's work.
+    pub load_retries: u64,
+    /// Lookup keys whose partition probe failed after retries and were marked
+    /// failed in the result buffer instead of failing the whole batch — the
+    /// degraded-serving counter.
+    pub degraded_keys: u64,
 }
 
 impl LatencyBreakdown {
@@ -199,6 +207,8 @@ struct MetricCells {
     exec_park_nanos: RelaxedCell,
     model_answered: RelaxedCell,
     aux_answered: RelaxedCell,
+    load_retries: RelaxedCell,
+    degraded_keys: RelaxedCell,
 }
 
 impl MetricCells {
@@ -226,6 +236,8 @@ impl MetricCells {
         f(&self.exec_park_nanos);
         f(&self.model_answered);
         f(&self.aux_answered);
+        f(&self.load_retries);
+        f(&self.degraded_keys);
     }
 }
 
@@ -282,6 +294,8 @@ impl Metrics {
             exec_park_nanos: cells.exec_park_nanos.get(),
             model_answered: cells.model_answered.get(),
             aux_answered: cells.aux_answered.get(),
+            load_retries: cells.load_retries.get(),
+            degraded_keys: cells.degraded_keys.get(),
         }
     }
 
@@ -374,6 +388,17 @@ impl Metrics {
         self.inner.model_answered.add(model);
         self.inner.aux_answered.add(aux);
     }
+
+    /// Records one extra cold-load attempt after a transient I/O failure.
+    pub fn add_load_retry(&self) {
+        self.inner.load_retries.add(1);
+    }
+
+    /// Records `keys` lookup keys answered with a per-key failure instead of
+    /// failing their whole batch.
+    pub fn add_degraded_keys(&self, keys: u64) {
+        self.inner.degraded_keys.add(keys);
+    }
 }
 
 #[cfg(test)]
@@ -411,6 +436,8 @@ mod tests {
         metrics.add_exec(12, 3, 450);
         metrics.add_inference_batch(128);
         metrics.add_answer_mix(90, 10);
+        metrics.add_load_retry();
+        metrics.add_degraded_keys(2);
         let snap = metrics.snapshot();
         assert_eq!(snap.phase(Phase::NeuralNetwork), Duration::from_millis(8));
         assert_eq!(snap.wall(), Duration::from_millis(11));
@@ -432,6 +459,8 @@ mod tests {
         assert_eq!(snap.inference_rows, 128);
         assert_eq!(snap.model_answered, 90);
         assert_eq!(snap.aux_answered, 10);
+        assert_eq!(snap.load_retries, 1);
+        assert_eq!(snap.degraded_keys, 2);
         assert_eq!(snap.simulated_io_nanos, 1_000_000);
         assert_eq!(snap.total(), Duration::from_millis(8));
         assert_eq!(snap.total_with_simulated_io(), Duration::from_millis(9));

@@ -36,6 +36,79 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 /// workspace uses while staying cheap for tiny pools.
 pub const DEFAULT_POOL_SHARDS: usize = 8;
 
+/// Process-wide cold-load retry counter in the `dm-obs` global registry
+/// (`dm_pool_load_retries_total` in the Prometheus render).  Registered
+/// lazily; only touched on the retry path, which is already sleeping.
+fn obs_retry_counter() -> &'static Arc<dm_obs::Counter> {
+    static COUNTER: std::sync::OnceLock<Arc<dm_obs::Counter>> = std::sync::OnceLock::new();
+    COUNTER
+        .get_or_init(|| dm_obs::registry::global().register_counter("dm_pool_load_retries_total"))
+}
+
+/// Bounded exponential backoff for cold-load retries.
+///
+/// Only failures classified transient by [`StorageError::is_transient`] are
+/// retried — corruption re-reads the same bad bytes, so it stays fail-fast.
+/// Delays grow `base_delay · 2^(attempt-1)` capped at `max_delay`, each scaled
+/// by a *deterministic* jitter factor in `[0.5, 1.0)` derived from
+/// `jitter_seed ^ partition id ^ attempt`, so two stores with the same seed
+/// replay the same retry schedule (full jitter without a shared RNG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total loader invocations allowed per cold load (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: std::time::Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: std::time::Duration,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 500 µs base, 8 ms cap: a flaky read gets two more
+    /// chances within ~3 ms, while a dead device fails in well under a
+    /// dispatcher batch deadline.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: std::time::Duration::from_micros(500),
+            max_delay: std::time::Duration::from_millis(8),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (the pre-PR-10 behaviour).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The delay to sleep before retry number `attempt` (1-based) of a load
+    /// of partition `salt`.  Pure: same policy + inputs → same delay.
+    pub fn backoff_delay(&self, attempt: u32, salt: u64) -> std::time::Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let slot = self
+            .base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay);
+        // splitmix64 finalizer over (seed, salt, attempt) → jitter in [0.5, 1.0).
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(attempt as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        slot.mul_f64(jitter)
+    }
+}
+
 /// A sharded LRU cache of decoded partitions with a byte budget and single-flight
 /// cold loads.
 #[derive(Debug)]
@@ -45,6 +118,7 @@ pub struct BufferPool<V> {
     shard_bits: u32,
     capacity_bytes: usize,
     metrics: Metrics,
+    retry: RetryPolicy,
     /// Optional partition-heat tracker: every `get_or_load` touches it
     /// (access always, miss on cold loads), feeding the top-K hot/cold
     /// ranking the maintenance advisor reads.  `HeatMap::touch` is itself
@@ -179,8 +253,21 @@ impl<V> BufferPool<V> {
             shard_bits: shards.trailing_zeros(),
             capacity_bytes,
             metrics,
+            retry: RetryPolicy::default(),
             heat: None,
         }
+    }
+
+    /// Replaces the cold-load retry policy.  Call at build time, before the
+    /// pool is shared; use [`RetryPolicy::none`] for fail-on-first-error
+    /// semantics in deterministic tests.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active cold-load retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Attaches a partition-heat tracker the pool will feed from every
@@ -298,10 +385,18 @@ impl<V> BufferPool<V> {
     /// Cold loads are **single-flight**: when several readers race for the same
     /// absent id, exactly one runs `loader` (outside any lock) while the rest block
     /// until the value — or the loader's error — is published.
+    ///
+    /// Transient loader failures ([`StorageError::is_transient`]) are retried
+    /// per the pool's [`RetryPolicy`] before the error is published; corrupt
+    /// frames fail fast.  A failed load never strands later readers: the
+    /// in-flight entry is removed *before* the error is published, so the next
+    /// arrival re-attempts the load, and a parked waiter handed a transient
+    /// failure re-enters the protocol once itself instead of surfacing the
+    /// winner's stale error.
     pub fn get_or_load(
         &self,
         id: u64,
-        loader: impl FnOnce() -> Result<(V, usize)>,
+        loader: impl FnMut() -> Result<(V, usize)>,
     ) -> Result<Arc<V>> {
         self.get_or_load_observed(id, None, loader)
     }
@@ -317,7 +412,7 @@ impl<V> BufferPool<V> {
         &self,
         id: u64,
         trace: Option<&dm_obs::Trace>,
-        loader: impl FnOnce() -> Result<(V, usize)>,
+        mut loader: impl FnMut() -> Result<(V, usize)>,
     ) -> Result<Arc<V>> {
         use dm_obs::Stage;
         let record = |stage: Stage, begin: std::time::Instant| {
@@ -331,7 +426,11 @@ impl<V> BufferPool<V> {
             heat.touch(id, dm_obs::Touch::Access);
         }
         let shard = self.shard_for(id);
-        let our_latch = {
+        // One bounded re-entry: a waiter handed a transient failure takes a
+        // second pass (the failed entry was removed, so it becomes the new
+        // winner and runs the loader itself with a fresh retry budget).
+        let mut reentered = false;
+        let our_latch = loop {
             let mut inner = shard.inner.lock();
             inner.clock += 1;
             let clock = inner.clock;
@@ -350,24 +449,43 @@ impl<V> BufferPool<V> {
                     let begin = std::time::Instant::now();
                     let waited = latch.wait();
                     record(Stage::PoolWait, begin);
-                    return waited;
+                    match waited {
+                        Err(err) if err.is_transient() && !reentered => {
+                            reentered = true;
+                            continue;
+                        }
+                        other => return other,
+                    }
                 }
                 None => {
                     let latch = Arc::new(LoadLatch::new());
                     inner.entries.insert(id, Slot::InFlight(Arc::clone(&latch)));
-                    latch
+                    break latch;
                 }
             }
         };
-        // We won the race: run the loader with no lock held.
+        // We won the race: run the loader with no lock held, retrying
+        // transient failures per the policy.
         shard.misses.fetch_add(1, Ordering::Relaxed);
         self.metrics.add_pool_miss();
         if let Some(heat) = &self.heat {
             heat.touch(id, dm_obs::Touch::Miss);
         }
-        let begin = std::time::Instant::now();
-        let loaded = loader();
-        record(Stage::PoolLoad, begin);
+        let mut attempt = 1u32;
+        let loaded = loop {
+            let begin = std::time::Instant::now();
+            let loaded = loader();
+            record(Stage::PoolLoad, begin);
+            match loaded {
+                Err(err) if err.is_transient() && attempt < self.retry.max_attempts => {
+                    self.metrics.add_load_retry();
+                    obs_retry_counter().incr();
+                    std::thread::sleep(self.retry.backoff_delay(attempt, id));
+                    attempt += 1;
+                }
+                other => break other,
+            }
+        };
         match loaded {
             Ok((value, bytes)) => {
                 let value = Arc::new(value);
@@ -376,6 +494,9 @@ impl<V> BufferPool<V> {
                 Ok(value)
             }
             Err(err) => {
+                // Remove the in-flight entry *before* publishing the error:
+                // any reader arriving after this point starts a fresh load
+                // rather than inheriting a stale failure.
                 let mut inner = shard.inner.lock();
                 if matches!(inner.entries.get(&id), Some(Slot::InFlight(l)) if Arc::ptr_eq(l, &our_latch))
                 {
@@ -455,7 +576,7 @@ mod tests {
     use std::sync::Barrier;
     use std::time::Duration;
 
-    fn loader(value: u32, bytes: usize) -> impl FnOnce() -> Result<(u32, usize)> {
+    fn loader(value: u32, bytes: usize) -> impl FnMut() -> Result<(u32, usize)> {
         move || Ok((value, bytes))
     }
 
@@ -643,6 +764,127 @@ mod tests {
         assert!(waited.is_err(), "waiters share the loader's failure");
         // The failed entry is gone, so a retry loads fresh.
         assert_eq!(*pool.get_or_load(5, loader(9, 10)).unwrap(), 9);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_within_one_load() {
+        let metrics = Metrics::new();
+        let pool = lru_pool(1024, metrics.clone());
+        let mut calls = 0u32;
+        let value = pool
+            .get_or_load(1, || {
+                calls += 1;
+                if calls == 1 {
+                    Err(StorageError::Io("injected transient".into()))
+                } else {
+                    Ok((7u32, 10))
+                }
+            })
+            .unwrap();
+        assert_eq!(*value, 7, "once-then-ok fault must be absorbed by the retry");
+        assert_eq!(calls, 2);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.load_retries, 1);
+        assert_eq!(snap.pool_misses, 1, "a retry is not a second miss");
+    }
+
+    #[test]
+    fn corruption_is_never_retried() {
+        let metrics = Metrics::new();
+        let pool = lru_pool(1024, metrics.clone());
+        let mut calls = 0u32;
+        let err = pool
+            .get_or_load(1, || {
+                calls += 1;
+                Err(StorageError::Corrupt("bad crc".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+        assert_eq!(calls, 1, "corruption must fail fast");
+        assert_eq!(metrics.snapshot().load_retries, 0);
+    }
+
+    #[test]
+    fn retries_are_bounded_by_the_policy() {
+        let metrics = Metrics::new();
+        let mut pool = lru_pool(1024, metrics.clone());
+        pool.set_retry_policy(RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(50),
+            ..RetryPolicy::default()
+        });
+        let mut calls = 0u32;
+        let err = pool
+            .get_or_load(1, || {
+                calls += 1;
+                Err(StorageError::Io("still down".into()))
+            })
+            .unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(calls, 4, "exactly max_attempts loader invocations");
+        assert_eq!(metrics.snapshot().load_retries, 3);
+        // The failed entry is gone; a later reader loads fresh.
+        assert_eq!(*pool.get_or_load(1, loader(3, 10)).unwrap(), 3);
+    }
+
+    #[test]
+    fn reader_after_failed_load_reattempts_instead_of_inheriting_the_failure() {
+        let mut pool = lru_pool(1024, Metrics::new());
+        pool.set_retry_policy(RetryPolicy::none());
+        let err = pool.get_or_load(5, || Err(StorageError::Io("flaky".into())));
+        assert!(err.is_err());
+        // Once-then-ok: the next arrival must run the loader again, not see
+        // a cached failure.
+        assert_eq!(*pool.get_or_load(5, loader(9, 10)).unwrap(), 9);
+    }
+
+    #[test]
+    fn waiter_handed_a_transient_failure_reenters_and_loads() {
+        let mut pool = BufferPool::with_shards(usize::MAX, 1, Metrics::new());
+        pool.set_retry_policy(RetryPolicy::none());
+        let pool = Arc::new(pool);
+        let barrier = Arc::new(Barrier::new(2));
+        let winner = {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                pool.get_or_load(5, || {
+                    barrier.wait();
+                    std::thread::sleep(Duration::from_millis(30));
+                    Err(StorageError::Io("transient cold-load failure".into()))
+                })
+            })
+        };
+        barrier.wait();
+        // Parked on the winner's latch by now; handed the transient failure it
+        // must re-enter, become the new winner and succeed with its own loader.
+        let waited = pool.get_or_load(5, loader(11, 10)).unwrap();
+        assert_eq!(*waited, 11, "waiter must recover from the winner's transient error");
+        assert!(winner.join().unwrap().is_err(), "the winner still sees its own failure");
+        // Corruption, by contrast, is inherited as-is (covered by
+        // `waiters_observe_the_loaders_error_and_can_retry`).
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        for attempt in 1..6u32 {
+            for salt in [0u64, 7, 12345] {
+                let a = policy.backoff_delay(attempt, salt);
+                let b = policy.backoff_delay(attempt, salt);
+                assert_eq!(a, b, "same inputs must give the same delay");
+                let slot = policy
+                    .base_delay
+                    .saturating_mul(1 << (attempt - 1).min(16))
+                    .min(policy.max_delay);
+                assert!(a >= slot.mul_f64(0.5) && a <= slot, "jitter in [0.5, 1.0): {a:?} vs {slot:?}");
+            }
+        }
+        // Different salts de-synchronize concurrent retriers.
+        let a = policy.backoff_delay(1, 1);
+        let b = policy.backoff_delay(1, 2);
+        assert_ne!(a, b);
     }
 
     #[test]

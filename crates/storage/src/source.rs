@@ -124,10 +124,19 @@ impl PartitionSource for FilePartitionSource {
         let start = Instant::now();
         let mut frame = vec![0u8; extent.len as usize];
         self.read_at(&mut frame, extent.offset).map_err(|err| {
-            StorageError::Corrupt(format!(
+            let detail = format!(
                 "snapshot partition {id} unreadable at offset {} (+{} bytes): {err}",
                 extent.offset, extent.len
-            ))
+            );
+            // A short read means the file ends before the extent does — the
+            // snapshot itself is damaged and no retry will grow it back.  Any
+            // other failure is the device saying no; classify it transient so
+            // the pool's retry policy gets a shot at it.
+            if err.kind() == std::io::ErrorKind::UnexpectedEof {
+                StorageError::Corrupt(detail)
+            } else {
+                StorageError::Io(detail)
+            }
         })?;
         self.bytes_read.fetch_add(extent.len, Ordering::Relaxed);
         metrics.add_read(extent.len, start.elapsed());

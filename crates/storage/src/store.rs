@@ -33,6 +33,16 @@ const MISS: Span = Span {
     len: 0,
 };
 
+/// Sentinel span marking a key whose probe *failed*: the store could not
+/// determine this key's answer (e.g. its auxiliary partition would not load),
+/// which is a different statement than "this key does not exist".  Failed
+/// keys carry a typed [`StorageError`] in a side table; see
+/// [`LookupBuffer::set_failed`].
+const FAILED: Span = Span {
+    start: u32::MAX,
+    len: u32::MAX,
+};
+
 /// A borrowed view of one tuple inside a [`LookupBuffer`]: the query key plus a slice
 /// of its value codes in the buffer's arena.  No allocation, valid until the buffer is
 /// next reset.
@@ -64,6 +74,11 @@ pub struct LookupBuffer {
     spans: Vec<Span>,
     values: Vec<u32>,
     hits: usize,
+    /// Per-key probe failures, sparse: `(query index, error)` pairs in query
+    /// order.  Failures are rare (a partition that would not load), so a
+    /// linear side table beats widening every span.  Cleared, not freed, by
+    /// [`reset`](Self::reset).
+    errors: Vec<(u32, StorageError)>,
     /// Detachable scratch arena stores may borrow to stage flat intermediate results
     /// (e.g. a model's row-major predictions) without allocating per batch.
     scratch: Vec<u32>,
@@ -83,6 +98,7 @@ impl LookupBuffer {
             spans: Vec::with_capacity(keys),
             values: Vec::with_capacity(keys * values_per_key),
             hits: 0,
+            errors: Vec::new(),
             scratch: Vec::new(),
         }
     }
@@ -96,6 +112,7 @@ impl LookupBuffer {
         self.spans.resize(keys.len(), MISS);
         self.values.clear();
         self.hits = 0;
+        self.errors.clear();
     }
 
     /// Records a hit for query position `index`, appending `values` to the arena.
@@ -108,10 +125,39 @@ impl LookupBuffer {
         let start = u32::try_from(self.values.len()).expect("lookup arena exceeds u32 span space");
         let len = u32::try_from(values.len()).expect("tuple wider than u32 span space");
         self.values.extend_from_slice(values);
-        if self.spans[index] == MISS {
-            self.hits += 1;
+        match self.spans[index] {
+            MISS => self.hits += 1,
+            FAILED => {
+                // A hit supersedes an earlier failure for the position.
+                self.hits += 1;
+                self.errors.retain(|(i, _)| *i != index as u32);
+            }
+            _ => {}
         }
         self.spans[index] = Span { start, len };
+    }
+
+    /// Marks query position `index` as *failed*: the store could not answer
+    /// this key (its partition would not load after retries, say).  A failed
+    /// key is neither a hit nor a miss — [`get`](Self::get) returns `None`
+    /// like a miss, but [`error`](Self::error) carries the typed cause and
+    /// [`first_error`](Self::first_error) lets whole-batch callers keep their
+    /// fail-on-any-error contract.  This is the degraded-serving primitive:
+    /// stores mark only the keys a fault actually touched and answer the rest
+    /// byte-identically to a fault-free run.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn set_failed(&mut self, index: usize, error: StorageError) {
+        match self.spans[index] {
+            FAILED => {
+                self.errors.retain(|(i, _)| *i != index as u32);
+            }
+            MISS => {}
+            _ => self.hits -= 1,
+        }
+        self.spans[index] = FAILED;
+        self.errors.push((index as u32, error));
     }
 
     /// Overwrites this buffer with the results for the contiguous key range
@@ -137,10 +183,16 @@ impl LookupBuffer {
         self.spans.clear();
         self.values.clear();
         self.hits = 0;
+        self.errors.clear();
         for i in start..start + len {
             let span = src.spans[i];
             if span == MISS {
                 self.spans.push(MISS);
+            } else if span == FAILED {
+                self.spans.push(FAILED);
+                if let Some((_, err)) = src.errors.iter().find(|(at, _)| *at as usize == i) {
+                    self.errors.push(((i - start) as u32, err.clone()));
+                }
             } else {
                 let at = u32::try_from(self.values.len())
                     .expect("lookup arena exceeds u32 span space");
@@ -174,13 +226,47 @@ impl LookupBuffer {
 
     /// Whether query position `index` was answered with a hit.
     pub fn is_hit(&self, index: usize) -> bool {
-        self.spans[index] != MISS
+        self.spans[index] != MISS && self.spans[index] != FAILED
     }
 
-    /// The values for query position `index`, or `None` on a miss.
+    /// Whether the probe for query position `index` failed (see
+    /// [`set_failed`](Self::set_failed)).
+    pub fn is_failed(&self, index: usize) -> bool {
+        self.spans[index] == FAILED
+    }
+
+    /// Number of keys whose probe failed.
+    pub fn failed_count(&self) -> usize {
+        self.spans.iter().filter(|s| **s == FAILED).count()
+    }
+
+    /// The typed failure recorded for query position `index`, if any.
+    pub fn error(&self, index: usize) -> Option<&StorageError> {
+        if self.spans[index] != FAILED {
+            return None;
+        }
+        self.errors
+            .iter()
+            .find(|(at, _)| *at as usize == index)
+            .map(|(_, err)| err)
+    }
+
+    /// The first per-key failure in query order, if any — the error a
+    /// whole-batch caller surfaces to keep the historical
+    /// fail-on-any-error contract of [`TupleStore::lookup_batch`].
+    pub fn first_error(&self) -> Option<&StorageError> {
+        self.spans
+            .iter()
+            .position(|s| *s == FAILED)
+            .and_then(|i| self.error(i))
+    }
+
+    /// The values for query position `index`, or `None` on a miss or a failed
+    /// probe (disambiguate with [`is_failed`](Self::is_failed)).
     pub fn get(&self, index: usize) -> Option<&[u32]> {
         let span = self.spans[index];
-        (span != MISS).then(|| &self.values[span.start as usize..(span.start + span.len) as usize])
+        (span != MISS && span != FAILED)
+            .then(|| &self.values[span.start as usize..(span.start + span.len) as usize])
     }
 
     /// A [`TupleRef`] view of query position `index`, or `None` on a miss.
@@ -253,9 +339,18 @@ pub trait TupleStore: Send + Sync {
 
     /// Convenience batch lookup materializing owned results: one entry per query key
     /// in query order, `Some(values)` on a hit, `None` otherwise.
+    ///
+    /// The materialized shape has no per-key error channel, so a batch with
+    /// *any* failed probe surfaces the first per-key error as `Err` — the
+    /// historical whole-batch contract.  Callers that want degraded
+    /// per-key results use [`lookup_batch_into`](Self::lookup_batch_into)
+    /// and inspect [`LookupBuffer::is_failed`] themselves.
     fn lookup_batch(&self, keys: &[u64]) -> Result<Vec<Option<Vec<u32>>>> {
         let mut buffer = LookupBuffer::with_capacity(keys.len(), 4);
         self.lookup_batch_into(keys, &mut buffer)?;
+        if let Some(err) = buffer.first_error() {
+            return Err(err.clone());
+        }
         Ok(buffer.to_options())
     }
 
@@ -283,6 +378,15 @@ pub trait TupleStore: Send + Sync {
     /// `dm-server` folds the result with per-tenant SLO signals into
     /// `dm_obs::advise` without widening this trait any further.
     fn health_signals(&self) -> Option<dm_obs::StoreHealthSignals> {
+        None
+    }
+
+    /// Fault pressure observed while serving (retried cold loads, keys
+    /// degraded by failed partition probes — see `dm_obs::FaultSignals`).
+    /// The default reports none: baselines hold everything in memory and
+    /// cannot fault.  DeepMapping overrides it from its store metrics so the
+    /// advisor can flag storage trouble before it becomes an outage.
+    fn fault_signals(&self) -> Option<dm_obs::FaultSignals> {
         None
     }
 }
@@ -421,6 +525,58 @@ mod tests {
         merged.reset(&[1, 2]);
         let mut part = LookupBuffer::new();
         part.copy_range_from(&merged, 1, 2);
+    }
+
+    #[test]
+    fn failed_spans_are_neither_hits_nor_misses_and_carry_their_error() {
+        let mut buffer = LookupBuffer::new();
+        buffer.reset(&[10, 20, 30]);
+        buffer.set_hit(0, &[1]);
+        buffer.set_failed(1, StorageError::Io("partition 3 unreadable".into()));
+        assert_eq!(buffer.hit_count(), 1);
+        assert_eq!(buffer.failed_count(), 1);
+        assert!(buffer.is_failed(1));
+        assert!(!buffer.is_hit(1));
+        assert_eq!(buffer.get(1), None);
+        assert!(matches!(buffer.error(1), Some(StorageError::Io(_))));
+        assert!(buffer.error(0).is_none());
+        assert!(matches!(buffer.first_error(), Some(StorageError::Io(_))));
+        // A later hit supersedes the failure.
+        buffer.set_hit(1, &[9]);
+        assert!(!buffer.is_failed(1));
+        assert_eq!(buffer.failed_count(), 0);
+        assert!(buffer.first_error().is_none());
+        assert_eq!(buffer.get(1), Some(&[9u32][..]));
+        // And a failure supersedes a hit, keeping the hit count honest.
+        buffer.set_failed(2, StorageError::Corrupt("crc".into()));
+        buffer.set_failed(2, StorageError::Io("second opinion".into()));
+        assert_eq!(buffer.failed_count(), 1);
+        assert!(matches!(buffer.error(2), Some(StorageError::Io(_))));
+        assert_eq!(buffer.hit_count(), 2);
+        // Reset clears the side table.
+        buffer.reset(&[1]);
+        assert_eq!(buffer.failed_count(), 0);
+        assert!(buffer.first_error().is_none());
+    }
+
+    #[test]
+    fn copy_range_from_propagates_failed_spans_and_their_errors() {
+        let mut merged = LookupBuffer::new();
+        merged.reset(&[10, 20, 30, 40]);
+        merged.set_hit(0, &[1]);
+        merged.set_failed(2, StorageError::Io("flaky".into()));
+        let mut part = LookupBuffer::new();
+        part.copy_range_from(&merged, 1, 3);
+        assert_eq!(part.len(), 3);
+        assert_eq!(part.get(0), None);
+        assert!(part.is_failed(1), "failure must survive the demux");
+        assert!(matches!(part.error(1), Some(StorageError::Io(_))));
+        assert_eq!(part.failed_count(), 1);
+        assert_eq!(part.hit_count(), 0);
+        // A sub-range that misses the failed key sees no error at all.
+        part.copy_range_from(&merged, 0, 2);
+        assert!(part.first_error().is_none());
+        assert_eq!(part.hit_count(), 1);
     }
 
     #[test]

@@ -85,7 +85,16 @@
 //! ├── crates/storage         dm-storage   Row, TupleStore/MutableStore + LookupBuffer,
 //! │                                       BitVec (Vexist), partition layouts,
 //! │                                       simulated disk, sharded single-flight
-//! │                                       LRU BufferPool, Figure-7 Metrics
+//! │                                       LRU BufferPool with bounded retry +
+//! │                                       backoff on transient cold-load
+//! │                                       failures, Figure-7 Metrics
+//! ├── crates/faults          dm-faults    deterministic fault injection: seeded
+//! │                                       FaultPlan (transient read errors,
+//! │                                       latency spikes, bit-flips, torn WAL
+//! │                                       appends, failed fsyncs; DM_FAULTS env
+//! │                                       or programmatic), FaultyPartitionSource
+//! │                                       wrapper, crash-site observer for
+//! │                                       kill-point torture tests
 //! ├── crates/core            dm-core      DeepMapping hybrid + DeepMappingBuilder,
 //! │                                       QueryPipeline (parallel stage 3), AuxTable,
 //! │                                       schema/encoders, MHAS
@@ -195,6 +204,47 @@
 //! overlay, and `maintenance()` retrains, rewrites the snapshot atomically
 //! (temp file + rename + directory fsync) and resets the WAL.
 //!
+//! ## Failure taxonomy: what fails, how it surfaces, what degrades
+//!
+//! The serving stack classifies every storage failure into one of four shapes
+//! and answers each with a different, *typed* response — never a silently
+//! wrong tuple (the hybrid contract: a key whose auxiliary partition cannot be
+//! read gets an error, not a bare model prediction that might be a
+//! misprediction):
+//!
+//! * **Transient read faults** (`StorageError::Io` with
+//!   [`is_transient`](dm_storage::StorageError::is_transient) true — EINTR,
+//!   EAGAIN, timeouts): absorbed inside [`dm_storage::BufferPool`] by a
+//!   bounded retry loop with exponential backoff + deterministic jitter.
+//!   Callers see nothing but latency; `LatencyBreakdown::load_retries` and the
+//!   `dm_pool_load_retries_total` counter see everything.
+//! * **Persistent read faults** (corruption, CRC mismatches, exhausted
+//!   retries): degrade *per key, not per batch*.  The query pipeline marks
+//!   only the spans owned by the unreadable partition as failed in the
+//!   [`LookupBuffer`](dm_storage::LookupBuffer); every other key in the batch
+//!   is answered byte-identically to a fault-free run.  `dm-server`'s
+//!   coalescing demux then fails only the *requests* whose keys touch a
+//!   failed span ([`ServerError::PartialFailure`](dm_server::ServerError)).
+//! * **Write-side faults** (failed WAL append/fsync, torn record):
+//!   [`dm_persist::PersistentStore`] poisons itself — memory is ahead of
+//!   disk, so reads and writes are refused until a `checkpoint()`
+//!   re-synchronizes them.  Loudly unavailable beats silently lossy.
+//! * **Sustained tenant failure**: `dm-server`'s per-tenant circuit breaker
+//!   opens after N consecutive batch failures
+//!   ([`ServerError::TenantUnavailable`](dm_server::ServerError) with a
+//!   `retry_after`), admits a half-open probe after a cooldown, and closes on
+//!   the first success.  Queued requests that outwait the configured deadline
+//!   fail with [`ServerError::Timeout`](dm_server::ServerError) instead of
+//!   being served an answer their caller gave up on.
+//!
+//! All of it is rehearsable offline: [`dm_faults`] injects seeded,
+//! reproducible fault plans (`DM_FAULTS` env or programmatic) at the partition
+//! source and WAL layers, its crash-site observer drives kill-point torture
+//! tests over the checkpoint window (`tests/crash_matrix.rs`), and the fault
+//! counters feed the maintenance advisor
+//! ([`dm_obs::FaultSignals`] → `Advice::InvestigateStorage`).  See
+//! `examples/chaos_quickstart.rs` for the full degraded-serving episode.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -245,6 +295,7 @@ pub use dm_compress as compress;
 pub use dm_core as core;
 pub use dm_data as data;
 pub use dm_exec as exec;
+pub use dm_faults as faults;
 pub use dm_nn as nn;
 pub use dm_obs as obs;
 pub use dm_persist as persist;

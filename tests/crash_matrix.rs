@@ -1,0 +1,292 @@
+//! Crash-point torture matrix for the persistence write paths.
+//!
+//! `dm-persist` announces a crash *site* (`dm_faults::crash::site`) at every
+//! point between two filesystem effects on its write paths.  This harness
+//! installs an observer that copies the whole store directory aside at each
+//! site — exactly the bytes a kill at that instant would leave — then reopens
+//! every capture and asserts the recovery invariants:
+//!
+//! * **WAL append window** (`wal.append.*`, `wal.sync.*`): the store reopens
+//!   to either the pre-mutation or the post-mutation state — the two legal
+//!   outcomes for an unacknowledged write — and never to garbage.
+//! * **Checkpoint window** (`maintenance()` = retrain + snapshot rewrite +
+//!   WAL reset): every kill point reopens to the full post-mutation state.
+//!   The WAL made the mutations durable *before* the checkpoint began, and
+//!   the snapshot swap is ordered (temp-write → fsync → rename → parent
+//!   fsync → WAL reset) so no interleaving can lose them: old snapshot + full
+//!   WAL replays to the same answers as new snapshot + empty WAL, and the
+//!   one-rename swap means no capture ever holds a hybrid file.
+//! * **Create-over-existing window** (`PersistentStore::create` on a path
+//!   holding an older store): the old store survives until the staged
+//!   snapshot is complete; the documented narrow lossy window (stale WAL
+//!   truncated before the rename lands) reopens as the old store minus its
+//!   un-checkpointed tail — degraded, but never a cross-store replay and
+//!   never a hybrid.
+
+use deepmapping::faults::crash;
+use deepmapping::persist::PersistentStore;
+use deepmapping::prelude::*;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dm-crash-matrix-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn quick_build(rows: &[Row]) -> DeepMapping {
+    DeepMappingBuilder::dm_z()
+        .training(TrainingConfig {
+            epochs: 2,
+            batch_size: 512,
+            ..TrainingConfig::default()
+        })
+        .partition_bytes(2 * 1024)
+        .disk_profile(DiskProfile::free())
+        .build(rows)
+        .expect("build DeepMapping")
+}
+
+fn base_rows(n: u64) -> Vec<Row> {
+    (0..n)
+        .map(|k| Row::new(k, vec![(k % 7) as u32, (k % 3) as u32]))
+        .collect()
+}
+
+/// One capture: every file of the store directory, read at the crash site.
+type DirImage = BTreeMap<String, Vec<u8>>;
+
+fn image_of(dir: &Path) -> DirImage {
+    let mut image = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read store dir").flatten() {
+        if entry.path().is_file() {
+            image.insert(
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).expect("read store file"),
+            );
+        }
+    }
+    image
+}
+
+/// Materializes a capture into a fresh directory and reopens the store from it.
+fn reopen(image: &DirImage, scratch: &Path, snapshot_name: &str) -> PersistentStore {
+    let _ = std::fs::remove_dir_all(scratch);
+    std::fs::create_dir_all(scratch).expect("create scratch dir");
+    for (name, bytes) in image {
+        std::fs::write(scratch.join(name), bytes).expect("restore store file");
+    }
+    PersistentStore::open(scratch.join(snapshot_name)).expect("capture must reopen cleanly")
+}
+
+/// Runs `body` with a capture observer installed; returns the ordered
+/// `(site, image)` list.  A site that fires more than once captures each time.
+fn capture_sites<R>(dir: &Path, body: impl FnOnce() -> R) -> (R, Vec<(String, DirImage)>) {
+    let captures: Rc<RefCell<Vec<(String, DirImage)>>> = Rc::default();
+    let sink = Rc::clone(&captures);
+    let dir = dir.to_path_buf();
+    let result = crash::with_observer(
+        move |site| sink.borrow_mut().push((site.to_string(), image_of(&dir))),
+        body,
+    );
+    let captures = Rc::try_unwrap(captures).expect("observer uninstalled").into_inner();
+    (result, captures)
+}
+
+fn lookups(store: &dyn TupleStore, probe: &[u64]) -> Vec<Option<Vec<u32>>> {
+    store.lookup_batch(probe).expect("reopened store must serve")
+}
+
+/// Every kill point inside `maintenance()` (retrain + checkpoint: snapshot
+/// temp-write → fsync → rename → parent fsync → WAL reset) must reopen to the
+/// full post-mutation state: the WAL already made the mutations durable, and
+/// the ordered swap never exposes a state that loses them.
+#[test]
+fn maintenance_checkpoint_window_recovers_everything_at_every_kill_point() {
+    let dir = temp_dir("checkpoint");
+    let path = dir.join("store.dmss");
+    let rows = base_rows(600);
+    let mut reference = ReferenceStore::from_rows(&rows);
+    let mut store = PersistentStore::create(quick_build(&rows), &path).expect("create");
+
+    let inserts: Vec<Row> = (0..30u64).map(|i| Row::new(7_000 + i, vec![1, (i % 3) as u32])).collect();
+    store.insert(&inserts).unwrap();
+    reference.insert(&inserts).unwrap();
+    store.delete(&[2, 4, 7_003]).unwrap();
+    reference.delete(&[2, 4, 7_003]).unwrap();
+    let updates = vec![Row::new(8, vec![6, 2]), Row::new(11, vec![0, 0])];
+    store.update(&updates).unwrap();
+    reference.update(&updates).unwrap();
+
+    let probe: Vec<u64> = (0..7_040u64).collect();
+    let expected = reference.lookup_batch(&probe).unwrap();
+
+    let (result, captures) = capture_sites(&dir, || store.maintenance());
+    result.expect("maintenance under observation");
+    let sites: Vec<&str> = captures.iter().map(|(site, _)| site.as_str()).collect();
+    assert_eq!(
+        sites,
+        [
+            "checkpoint.begin",
+            "snapshot.stage.begin",
+            "snapshot.stage.synced",
+            "snapshot.commit.begin",
+            "snapshot.commit.renamed",
+            "snapshot.commit.done",
+            "checkpoint.snapshot_committed",
+            "wal.truncate.begin",
+            "wal.truncate.done",
+            "checkpoint.done",
+        ],
+        "the checkpoint window must announce every kill point, in order"
+    );
+
+    let scratch = dir.join("reopened");
+    for (site, image) in &captures {
+        let revived = reopen(image, &scratch, "store.dmss");
+        assert_eq!(
+            lookups(&revived, &probe),
+            expected,
+            "kill at `{site}` must recover the full post-mutation state"
+        );
+    }
+
+    // The surviving (uncrashed) store also matches, with an emptied WAL.
+    assert_eq!(lookups(&store, &probe), expected);
+    drop(store);
+    let folded = PersistentStore::open(&path).expect("reopen after maintenance");
+    assert_eq!(folded.last_replay().records, 0, "maintenance must reset the WAL");
+    assert_eq!(lookups(&folded, &probe), expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A kill during a WAL append/fsync loses at most the *unacknowledged* batch:
+/// each capture reopens to the pre-mutation or post-mutation state, never to a
+/// hybrid and never to an unopenable log.
+#[test]
+fn wal_append_window_loses_at_most_the_unacknowledged_batch() {
+    let dir = temp_dir("append");
+    let path = dir.join("store.dmss");
+    let rows = base_rows(500);
+    let mut store = PersistentStore::create(quick_build(&rows), &path).expect("create");
+    store.insert(&[Row::new(9_000, vec![5, 1])]).unwrap();
+
+    let probe: Vec<u64> = (0..9_010u64).collect();
+    let before = lookups(&store, &probe);
+
+    let (result, captures) = capture_sites(&dir, || store.insert(&[Row::new(9_001, vec![2, 2])]));
+    result.expect("observed insert");
+    let after = lookups(&store, &probe);
+    assert_ne!(before, after, "the probe must distinguish the two legal states");
+
+    let sites: Vec<&str> = captures.iter().map(|(site, _)| site.as_str()).collect();
+    assert_eq!(
+        sites,
+        ["wal.append.begin", "wal.append.done", "wal.sync.begin", "wal.sync.done"],
+        "one logged mutation = one append + one fsync"
+    );
+
+    let scratch = dir.join("reopened");
+    for (site, image) in &captures {
+        let revived = reopen(image, &scratch, "store.dmss");
+        let recovered = lookups(&revived, &probe);
+        assert!(
+            recovered == before || recovered == after,
+            "kill at `{site}` recovered a state that is neither pre- nor post-mutation"
+        );
+        // Before the record hits the file the batch must be lost; once the
+        // append completed it must be replayed (page-cache-visible writes are
+        // what a kill -9 preserves; only power loss can undo an un-fsynced
+        // write, and replay tolerates that as a torn tail instead).
+        match site.as_str() {
+            "wal.append.begin" => assert_eq!(recovered, before, "unwritten batch must be lost"),
+            "wal.append.done" | "wal.sync.begin" | "wal.sync.done" => {
+                assert_eq!(recovered, after, "written batch must replay")
+            }
+            other => panic!("unexpected site {other}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `PersistentStore::create` over an existing store: the old store (snapshot +
+/// WAL tail) survives every kill point up to the stale-WAL truncation; the
+/// documented lossy window (truncated WAL, rename not yet landed) reopens as
+/// the old store *minus its un-checkpointed tail*; after the rename the new
+/// store is fully durable.  No kill point may pair the new snapshot with the
+/// old store's log (cross-store replay) or fail to reopen.
+#[test]
+fn create_over_an_existing_store_never_mixes_incarnations() {
+    let dir = temp_dir("create");
+    let path = dir.join("store.dmss");
+    let old_rows = base_rows(400);
+    let mut old_store = PersistentStore::create(quick_build(&old_rows), &path).expect("create old");
+    // An un-checkpointed tail that lives only in the old WAL.
+    old_store.insert(&[Row::new(8_000, vec![3, 1])]).unwrap();
+    let probe: Vec<u64> = (0..8_010u64).collect();
+    let old_full = lookups(&old_store, &probe);
+    drop(old_store);
+    let old_base = {
+        let reference = ReferenceStore::from_rows(&old_rows);
+        reference.lookup_batch(&probe).unwrap()
+    };
+    assert_ne!(old_full, old_base, "the WAL tail must be probe-visible");
+
+    // A different table shape for the new incarnation, so a cross-store
+    // replay or half-swap cannot masquerade as either legal state.
+    let new_rows: Vec<Row> = (0..450u64)
+        .map(|k| Row::new(k, vec![(k % 5) as u32, (k % 2) as u32]))
+        .collect();
+    let (created, captures) =
+        capture_sites(&dir, || PersistentStore::create(quick_build(&new_rows), &path));
+    let new_store = created.expect("create new over old");
+    let new_state = lookups(&new_store, &probe);
+    drop(new_store);
+    assert_ne!(new_state, old_full);
+    assert_ne!(new_state, old_base);
+
+    let sites: Vec<&str> = captures.iter().map(|(site, _)| site.as_str()).collect();
+    assert_eq!(
+        sites,
+        [
+            "snapshot.stage.begin",
+            "snapshot.stage.synced",
+            "create.staged",
+            "wal.truncate.begin",
+            "wal.truncate.done",
+            "create.wal_ready",
+            "snapshot.commit.begin",
+            "snapshot.commit.renamed",
+            "snapshot.commit.done",
+        ],
+        "the create window must announce every kill point, in order"
+    );
+
+    let scratch = dir.join("reopened");
+    for (site, image) in &captures {
+        let revived = reopen(image, &scratch, "store.dmss");
+        let recovered = lookups(&revived, &probe);
+        let expected: (&[Option<Vec<u32>>], &str) = match site.as_str() {
+            // Old snapshot + old WAL: the old store, tail included.
+            "snapshot.stage.begin" | "snapshot.stage.synced" | "create.staged"
+            | "wal.truncate.begin" => (&old_full, "old store with its WAL tail"),
+            // The narrow documented lossy window: old snapshot, emptied WAL.
+            "wal.truncate.done" | "create.wal_ready" | "snapshot.commit.begin" => {
+                (&old_base, "old store minus its un-checkpointed tail")
+            }
+            // Renamed: the new incarnation, durable.
+            "snapshot.commit.renamed" | "snapshot.commit.done" => (&new_state, "new store"),
+            other => panic!("unexpected site {other}"),
+        };
+        assert_eq!(
+            recovered, expected.0,
+            "kill at `{site}` must reopen as the {} and nothing else",
+            expected.1
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
